@@ -1,0 +1,32 @@
+"""Shared fixtures for the benchmark/reproduction suite.
+
+The full-size experiment results are computed once per session; the
+individual benchmarks time representative slices and assert the
+paper-shape properties on the full-size results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.ble_uc2 import UC2Config
+from repro.datasets.light_uc1 import UC1Config
+from repro.experiments import run_fig6, run_fig7
+
+
+def pytest_configure(config):
+    # The reproduction assertions live in benchmark tests; make sure
+    # they are not silently skipped when run without --benchmark-only.
+    config.addinivalue_line("markers", "repro: paper reproduction benchmark")
+
+
+@pytest.fixture(scope="session")
+def fig6_full():
+    """The full 10'000-round UC-1 comparison (paper scale)."""
+    return run_fig6(UC1Config())
+
+
+@pytest.fixture(scope="session")
+def fig7_full():
+    """The full 297-round UC-2 comparison (paper scale)."""
+    return run_fig7(UC2Config())

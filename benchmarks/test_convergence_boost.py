@@ -1,0 +1,56 @@
+"""The abstract's headline claim: clustering bootstrap boosts
+convergence by 4×.
+
+Measured as the ratio of 1-indexed outlier-exclusion rounds between
+plain Hybrid and AVOC (the paper's §7 metric (a): "voting rounds
+required to converge back to the baseline, and by extension how quickly
+outliers are eliminated"), across several dataset seeds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.report import render_table
+from repro.datasets.light_uc1 import UC1Config
+from repro.experiments import run_fig6
+
+SEEDS = (1202, 1, 7, 42, 99)
+
+
+def test_bootstrap_convergence_boost(benchmark):
+    def measure_one(seed=1202):
+        return run_fig6(UC1Config(n_rounds=300, seed=seed))
+
+    benchmark.pedantic(measure_one, iterations=1, rounds=1)
+
+    rows = []
+    boosts = []
+    for seed in SEEDS:
+        result = run_fig6(UC1Config(n_rounds=300, seed=seed))
+        rows.append(
+            [
+                seed,
+                result.exclusion_rounds["hybrid"],
+                result.exclusion_rounds["avoc"],
+                f"{result.boost:.2f}x",
+            ]
+        )
+        boosts.append(result.boost)
+    print("\nConvergence boost (AVOC vs Hybrid), per dataset seed:")
+    print(
+        render_table(
+            ["seed", "hybrid exclusion round", "avoc exclusion round", "boost"],
+            rows,
+        )
+    )
+    mean_boost = float(np.mean(boosts))
+    print(f"mean boost: {mean_boost:.2f}x (paper claims 4x)")
+    assert 3.0 <= mean_boost <= 6.0
+    assert min(boosts) >= 2.0
+
+
+def test_boost_holds_at_full_scale(benchmark, fig6_full):
+    benchmark.pedantic(lambda: fig6_full.boost, iterations=1, rounds=1)
+    assert 3.0 <= fig6_full.boost <= 6.0
+    print(f"\nfull-scale (10k rounds) boost: {fig6_full.boost:.2f}x")

@@ -1,0 +1,135 @@
+"""Fig. 6 reproduction: UC-1 light sensors, all six panels.
+
+Each test regenerates one panel of the paper's Fig. 6 at full scale
+(10'000 rounds, 5 sensors), prints the series the panel plots, and
+asserts the published shape.  The timed portion is the representative
+computation behind the panel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.diff import run_voter_series
+from repro.analysis.report import render_series, render_table
+from repro.datasets.injection import offset_fault
+from repro.datasets.light_uc1 import UC1Config, generate_uc1_dataset
+from repro.experiments import FIG6_ALGORITHMS, make_uc1_voter
+
+_TIMING_ROUNDS = 1_000  # rounds used in the timed portion of each bench
+
+
+def _timing_dataset():
+    return generate_uc1_dataset(UC1Config(n_rounds=_TIMING_ROUNDS))
+
+
+def test_fig6a_raw_reference_data(benchmark, fig6_full):
+    """Fig. 6-a: the raw 10k-round reference dataset, 17-20 klm band."""
+    benchmark.pedantic(
+        generate_uc1_dataset, args=(UC1Config(n_rounds=_TIMING_ROUNDS),),
+        iterations=1, rounds=3,
+    )
+    clean = fig6_full.clean
+    assert clean.matrix.shape == (10_000, 5)
+    assert clean.matrix.min() > 16.0
+    assert clean.matrix.max() < 21.0
+    print("\nFig. 6-a — raw sensor data (kilolumen):")
+    print(render_series({m: clean.column(m) for m in clean.modules}))
+
+
+def test_fig6b_voting_output_on_raw_data(benchmark, fig6_full):
+    """Fig. 6-b: all six variants coincide on clean data (18-19 klm)."""
+    dataset = _timing_dataset()
+    benchmark.pedantic(
+        run_voter_series, args=(make_uc1_voter("avoc"), dataset),
+        iterations=1, rounds=3,
+    )
+    outputs = np.array([fig6_full.clean_outputs[a] for a in FIG6_ALGORITHMS])
+    spread = outputs.max(axis=0) - outputs.min(axis=0)
+    assert float(spread.mean()) < 0.3, "variants must match almost completely"
+    for algorithm in FIG6_ALGORITHMS:
+        mean = float(np.nanmean(fig6_full.clean_outputs[algorithm]))
+        assert 17.5 < mean < 19.5
+    print("\nFig. 6-b — voting output on raw data:")
+    print(render_series(fig6_full.clean_outputs))
+    print(f"mean cross-variant spread: {spread.mean():.4f} klm")
+
+
+def test_fig6c_error_injected_raw_data(benchmark, fig6_full):
+    """Fig. 6-c: the +6 klm fault on E4 shifts only E4's series."""
+    dataset = _timing_dataset()
+    benchmark(offset_fault, dataset, "E4", 6.0)
+    faulty = fig6_full.faulty
+    clean = fig6_full.clean
+    assert np.allclose(faulty.column("E4") - clean.column("E4"), 6.0)
+    for module in ("E1", "E2", "E3", "E5"):
+        assert np.array_equal(faulty.column(module), clean.column(module))
+    print("\nFig. 6-c — raw data with faulty E4:")
+    print(render_series({m: faulty.column(m) for m in faulty.modules}))
+
+
+def test_fig6d_voting_output_under_faults(benchmark, fig6_full):
+    """Fig. 6-d: Hybrid/Clustering/AVOC stay in the pre-error band."""
+    faulty = offset_fault(_timing_dataset(), "E4", 6.0)
+    benchmark.pedantic(
+        run_voter_series, args=(make_uc1_voter("avoc"), faulty),
+        iterations=1, rounds=3,
+    )
+    for algorithm in ("hybrid", "clustering", "avoc"):
+        tail = fig6_full.fault_outputs[algorithm][100:]
+        clean_tail = fig6_full.clean_outputs[algorithm][100:]
+        assert float(np.nanmean(np.abs(tail - clean_tail))) < 0.25, algorithm
+    # The stateless average remains fully skewed (+1.2).
+    skew = fig6_full.fault_outputs["average"] - fig6_full.clean_outputs["average"]
+    assert np.allclose(skew, 1.2, atol=0.01)
+    print("\nFig. 6-d — voting output with faults:")
+    print(render_series(fig6_full.fault_outputs))
+
+
+def test_fig6e_error_injection_effect(benchmark, fig6_full):
+    """Fig. 6-e: per-algorithm diff between fault-vote and clean-vote."""
+    faulty = offset_fault(_timing_dataset(), "E4", 6.0)
+
+    def diff_standard():
+        clean_out = run_voter_series(make_uc1_voter("standard"), _timing_dataset())
+        fault_out = run_voter_series(make_uc1_voter("standard"), faulty)
+        return fault_out - clean_out
+
+    benchmark.pedantic(diff_standard, iterations=1, rounds=1)
+    diffs = fig6_full.diffs
+    # Standard: high initial skew, slowly mitigated, never eliminated.
+    assert diffs["standard"][0] > 1.1
+    assert 0.0 < float(np.nanmean(diffs["standard"][-500:])) < 1.1
+    # Me: eliminated at round 2 (index 1).
+    assert fig6_full.exclusion_rounds["me"] == 1
+    # Hybrid: near-zero diff minus few spikes.
+    assert float(np.nanmean(np.abs(diffs["hybrid"][10:]))) < 0.15
+    # Clustering: excluded from the first round.
+    assert fig6_full.exclusion_rounds["clustering"] == 0
+    print("\nFig. 6-e — error-injection effect on voting (diff):")
+    print(render_series(diffs))
+    rows = [
+        [alg, fig6_full.convergence_rounds[alg], fig6_full.exclusion_rounds[alg]]
+        for alg in FIG6_ALGORITHMS
+    ]
+    print(render_table(["algorithm", "settling round", "E4 exclusion round"], rows))
+
+
+def test_fig6f_clustering_effect_at_bootstrap(benchmark, fig6_full):
+    """Fig. 6-f: first rounds zoom — AVOC prunes the startup spike."""
+    faulty = offset_fault(_timing_dataset(), "E4", 6.0)
+    benchmark.pedantic(
+        run_voter_series, args=(make_uc1_voter("avoc"), faulty),
+        iterations=1, rounds=3,
+    )
+    zoom = {alg: fig6_full.zoom(alg, 10) for alg in FIG6_ALGORITHMS}
+    # History voters spike at startup; AVOC does not.
+    assert abs(zoom["standard"][0]) > 1.1
+    assert abs(zoom["me"][0]) > 1.1
+    assert abs(zoom["avoc"][0]) < 0.2
+    # AVOC already excludes E4 in round 2 (index 1) thanks to the
+    # bootstrap-seeded history.
+    assert fig6_full.exclusion_rounds["avoc"] == 0
+    print("\nFig. 6-f — first 10 rounds of the diffs:")
+    rows = [[alg] + [round(float(v), 3) for v in zoom[alg]] for alg in zoom]
+    print(render_table(["algorithm"] + [f"r{i}" for i in range(10)], rows))

@@ -1,0 +1,84 @@
+"""Fig. 7 reproduction: UC-2 BLE beacon positioning, all three panels."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.diff import run_voter_series
+from repro.analysis.report import render_series, render_table
+from repro.datasets.ble_uc2 import UC2Config, generate_uc2_dataset
+from repro.experiments import FIG7_COLLATION_GROUPS
+from repro.experiments.uc2 import make_uc2_voter
+
+
+def test_fig7a_single_beacon_per_stack(benchmark, fig7_full):
+    """Fig. 7-a: one beacon per stack — closest stack mostly ambiguous."""
+    benchmark.pedantic(
+        generate_uc2_dataset, args=(UC2Config(),), iterations=1, rounds=3
+    )
+    single = fig7_full.single_beacon
+    assert single["A"].shape == (297,)
+    # With a single beacon, the unstable region dominates the run.
+    assert fig7_full.instability("single_beacon") > 150
+    print("\nFig. 7-a — single beacon per stack (RSSI dBm):")
+    print(render_series(single))
+    print(f"unstable closest-stack calls: {fig7_full.instability('single_beacon')}/297")
+
+
+def test_fig7b_nine_beacon_average(benchmark, fig7_full):
+    """Fig. 7-b: 9-beacon plain average — visibly less ambiguous."""
+    dataset = fig7_full.dataset.stack_a
+    benchmark.pedantic(
+        run_voter_series, args=(make_uc2_voter("average"), dataset),
+        iterations=1, rounds=3,
+    )
+    assert fig7_full.instability("nine_average") < (
+        fig7_full.instability("single_beacon") / 2
+    )
+    assert fig7_full.accuracy("nine_average") > 0.85
+    # RSSI crossover still present: A starts closer, B ends closer.
+    avg = fig7_full.nine_average
+    assert np.nanmean(avg["A"][:30]) > np.nanmean(avg["B"][:30])
+    assert np.nanmean(avg["B"][-30:]) > np.nanmean(avg["A"][-30:])
+    print("\nFig. 7-b — 9-beacon average per stack:")
+    print(render_series(avg))
+    print(f"unstable calls: {fig7_full.instability('nine_average')}/297")
+
+
+def test_fig7c_avoc_voting_per_stack(benchmark, fig7_full):
+    """Fig. 7-c: AVOC voting — works, but averaging beats selection."""
+    dataset = fig7_full.dataset.stack_a
+    benchmark.pedantic(
+        run_voter_series, args=(make_uc2_voter("avoc"), dataset),
+        iterations=1, rounds=3,
+    )
+    # AVOC still crushes the single-beacon baseline...
+    assert fig7_full.instability("avoc_voting") < (
+        fig7_full.instability("single_beacon") / 2
+    )
+    # ... but the averaging collation is the better option here (§7).
+    assert fig7_full.instability("nine_average") < fig7_full.instability(
+        "avoc_voting"
+    )
+    print("\nFig. 7-c — 9-beacon AVOC voting per stack:")
+    print(render_series(fig7_full.avoc_voting))
+    print(f"unstable calls: {fig7_full.instability('avoc_voting')}/297")
+
+
+def test_fig7_collation_groups_and_history_irrelevance(benchmark, fig7_full):
+    """§7 observations: 2 collation groups; history method irrelevant."""
+    dataset = fig7_full.dataset.stack_b
+    benchmark.pedantic(
+        run_voter_series, args=(make_uc2_voter("standard"), dataset),
+        iterations=1, rounds=3,
+    )
+    instability = fig7_full.algorithm_instability()
+    averaging = [instability[a] for a in FIG7_COLLATION_GROUPS["averaging"]]
+    selection = [instability[a] for a in FIG7_COLLATION_GROUPS["selection"]]
+    # Between-group gap exists; within-group spread is small.
+    assert max(averaging) < min(selection)
+    assert max(averaging) - min(averaging) <= 5
+    assert max(selection) - min(selection) <= 5
+    print("\nPer-algorithm closest-stack instability (collation groups):")
+    rows = [[alg, count] for alg, count in instability.items()]
+    print(render_table(["algorithm", "unstable calls"], rows))

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Algorithm comparison application (the paper's Fig. 5, as text).
+
+Streams a configurable scenario — agreeing sensors, one faulty sensor,
+a mid-run spike — through every registered algorithm side by side, so
+the behavioural differences the paper tabulates are directly visible.
+
+Run:  python examples/compare_algorithms.py
+"""
+
+import numpy as np
+
+from repro.analysis.report import render_table
+from repro.types import Round
+from repro.voting.registry import create_voter
+
+ALGORITHMS = ("average", "median", "standard", "me", "sdt", "hybrid",
+              "clustering", "avoc", "mlv")
+
+
+def scenario(n_rounds: int = 30, seed: int = 0):
+    """Five sensors; E4 reads +6 high; everyone spikes at round 20."""
+    rng = np.random.default_rng(seed)
+    biases = np.array([-0.05, 0.10, -0.45, 0.15, 0.20])
+    for number in range(n_rounds):
+        values = 18.0 + biases + rng.normal(0.0, 0.1, size=5)
+        values[3] += 6.0  # faulty E4
+        if number == 20:
+            values += 30.0  # correlated data spike (lightning, reboot)
+        yield Round.from_values(number, list(values))
+
+
+def main() -> None:
+    voters = {name: create_voter(name) for name in ALGORITHMS}
+    history = {name: [] for name in ALGORITHMS}
+
+    for voting_round in scenario():
+        for name, voter in voters.items():
+            outcome = voter.vote(voting_round)
+            history[name].append(outcome)
+
+    print("Output per round (faulty E4 at +6; correlated spike at round 20):")
+    rounds_to_show = (0, 1, 2, 5, 19, 20, 21, 29)
+    rows = []
+    for name in ALGORITHMS:
+        row = [name]
+        for r in rounds_to_show:
+            row.append(round(float(history[name][r].value), 2))
+        rows.append(row)
+    print(render_table(["algorithm"] + [f"r{r}" for r in rounds_to_show], rows))
+
+    print("\nWho excluded the faulty sensor, and when:")
+    rows = []
+    for name in ALGORITHMS:
+        first = next(
+            (
+                o.round_number
+                for o in history[name]
+                if o.weights.get("E4", 1.0) == 0.0
+            ),
+            None,
+        )
+        rows.append([name, "round " + str(first) if first is not None else "never"])
+    print(render_table(["algorithm", "E4 first zero-weighted"], rows))
+
+    print(
+        "\nNote how at round 20 every algorithm follows the correlated spike "
+        "(all sensors moved together: internal ground truth CAN be wrong when "
+        "the world lies to every sensor at once), and how history-based "
+        "voters recover the round after."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Simulated edge deployment: the paper's Fig. 1 topology, end to end.
+
+Five light sensors stream through a hub over a lossy WiFi link to a
+voting sink running AVOC (the 'shoe-box' demonstrator of Fig. 2, minus
+the cardboard).  Readings lost in transit arrive nowhere and become the
+§7 missing-value fault scenario; the sink's deadline closes rounds with
+partial data and the fusion engine's fault policy fills the gaps.
+
+Run:  python examples/edge_deployment.py
+"""
+
+import numpy as np
+
+from repro.analysis.report import render_series, render_table
+from repro.simulation import run_uc1_simulation
+
+
+def main() -> None:
+    print("Simulating the Fig. 1 deployment at three WiFi loss rates ...\n")
+    rows = []
+    outputs = {}
+    for loss in (0.0, 0.05, 0.30):
+        report = run_uc1_simulation(algorithm="avoc", rounds=400, wifi_loss=loss)
+        fused = report.outputs
+        outputs[f"loss={loss:.0%}"] = fused
+        finite = fused[~np.isnan(fused)]
+        rows.append(
+            [
+                f"{loss:.0%}",
+                f"{report.link_stats['wifi']['loss_rate']:.1%}",
+                report.rounds_degraded,
+                round(float(finite.mean()), 3),
+                round(float(finite.std()), 3),
+            ]
+        )
+    print(render_table(
+        ["configured loss", "observed loss", "degraded rounds",
+         "mean output (klm)", "output std"],
+        rows,
+    ))
+
+    print("\nFused output under increasing loss:")
+    print(render_series(outputs))
+
+    print(
+        "\nEven at 30% transport loss the voting sink keeps producing a "
+        "stable fused light level: lost readings become missing values, "
+        "minority gaps are voted around, majority gaps hold the last "
+        "accepted value."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Multi-dimensional fusion: the §5 generalisation in action.
+
+An environmental monitoring station carries six redundant sensor pods,
+each reporting a (temperature, humidity, pressure) vector.  Pod P6 is
+*consistently slightly off on every axis* — each axis individually is
+within the agreement margin, so per-dimension voting alone cannot see
+it.  Whitened vector-level clustering (the §5 generalisation of the
+AVOC bootstrap) catches the correlated error; per-dimension AVOC then
+handles the remaining per-axis fault on pod P3's pressure channel.
+
+Run:  python examples/multi_axis_fusion.py
+"""
+
+import numpy as np
+
+from repro.analysis.report import render_table
+from repro.fusion.vector import VectorFusion
+from repro.voting.avoc import AvocVoter
+
+TRUTH = (21.5, 55.0, 1013.0)  # °C, %RH, hPa
+DIMENSIONS = ("temperature", "humidity", "pressure")
+
+
+def pod_readings(rng, round_number):
+    """One round of vector readings from six pods."""
+    vectors = {}
+    for i in range(6):
+        noise = rng.normal(0.0, [0.05, 0.3, 0.4])
+        vectors[f"P{i+1}"] = [t + n for t, n in zip(TRUTH, noise)]
+    # P6: correlated miscalibration, ~1.5 agreement margins per axis.
+    vectors["P6"] = [
+        vectors["P6"][0] + 1.6,
+        vectors["P6"][1] + 4.2,
+        vectors["P6"][2] + 77.0,
+    ]
+    # P3: pressure channel broken outright from round 2 on.
+    if round_number >= 2:
+        vectors["P3"][2] = 850.0
+    return vectors
+
+
+def run_station(clustering: str):
+    rng = np.random.default_rng(7)
+    fusion = VectorFusion(
+        AvocVoter, DIMENSIONS, clustering=clustering, error=0.05
+    )
+    rows = []
+    for number in range(8):
+        result = fusion.vote(number, pod_readings(rng, number))
+        eliminated = sorted(
+            {m for o in result.outcomes.values() for m in o.eliminated}
+        )
+        rows.append(
+            [
+                number,
+                *(round(float(v), 2) for v in result.value),
+                ",".join(result.pruned) or "-",
+                ",".join(eliminated) or "-",
+            ]
+        )
+    return rows
+
+
+def main() -> None:
+    header = ["round", *DIMENSIONS, "vector-pruned", "axis-eliminated"]
+
+    print("With the §5 vector-clustering prefilter (whitened agreement):")
+    print(render_table(header, run_station("agreement")))
+    print(
+        "\n-> P6's correlated miscalibration (sub-margin on every axis) is "
+        "caught at the vector level; P3 becomes a joint outlier too once "
+        "its pressure channel breaks, so the whole pod is pruned."
+    )
+
+    print("\nWithout the prefilter (per-dimension AVOC only, AVOC's own "
+          "§5 choice):")
+    print(render_table(header, run_station("none")))
+    print(
+        "\n-> per-dimension voting keeps P3's healthy temperature/humidity "
+        "axes and eliminates only its pressure channel — but P6's "
+        "correlated error is invisible per axis and quietly skews each "
+        "dimension's pool.  The two layers are complementary, which is "
+        "exactly why §5 sketches both."
+    )
+
+
+if __name__ == "__main__":
+    main()

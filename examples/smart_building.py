@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""UC-1: smart-building sunlight detection with a faulty sensor.
+
+Recreates the paper's first case study end-to-end: generate the
+10'000-round reference dataset (scaled down here for speed), inject the
++6 kilolumen fault into sensor E4, run every voting algorithm over both
+recordings, and report which algorithms mask the fault and how fast.
+
+Run:  python examples/smart_building.py [rounds]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.analysis.report import render_series, render_table
+from repro.datasets.light_uc1 import UC1Config
+from repro.experiments import FIG6_ALGORITHMS, run_fig6
+
+
+def main(n_rounds: int = 2000) -> None:
+    print(f"Generating UC-1 dataset ({n_rounds} rounds, 5 sensors) ...")
+    result = run_fig6(UC1Config(n_rounds=n_rounds))
+
+    print("\nRaw sensor data (kilolumen):")
+    print(render_series({m: result.clean.column(m) for m in result.clean.modules}))
+
+    print("\nSame data with sensor E4 reading +6 kilolumen:")
+    print(render_series({m: result.faulty.column(m) for m in result.faulty.modules}))
+
+    print("\nError-injection effect per algorithm (fault vote − clean vote):")
+    print(render_series(result.diffs))
+
+    rows = []
+    for algorithm in FIG6_ALGORITHMS:
+        diff = result.diffs[algorithm]
+        rows.append(
+            [
+                algorithm,
+                round(float(diff[0]), 3),
+                round(float(np.nanmean(np.abs(diff[-200:]))), 3),
+                result.exclusion_rounds[algorithm]
+                if result.exclusion_rounds[algorithm] < n_rounds
+                else "never",
+            ]
+        )
+    print("\nSummary:")
+    print(
+        render_table(
+            ["algorithm", "round-0 skew", "residual |skew|", "E4 excluded from"],
+            rows,
+        )
+    )
+    print(
+        f"\nAVOC converges {result.boost:.1f}x faster than plain Hybrid "
+        "(the paper's 4x bootstrap boost)."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 2000)

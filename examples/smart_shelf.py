@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Smart shelf: categorical voting over dozens of proximity sensors.
+
+The paper's introduction motivates high redundancy with smart shopping
+shelves watched by dozens of proximity sensors.  This example runs that
+scenario through the VDX categorical mode: 24 sensors report a shelf
+slot's occupancy state, three of them are defective (barely better than
+a coin flip), and the weighted-majority voter with Me history learns to
+ignore them.
+
+Run:  python examples/smart_shelf.py
+"""
+
+from repro.analysis.report import render_table
+from repro.datasets.shelf import ShelfConfig, generate_shelf_dataset
+from repro.types import Round
+from repro.vdx import VotingSpec, build_voter
+
+
+def main() -> None:
+    config = ShelfConfig(n_rounds=500, n_sensors=24, n_defective=3)
+    dataset = generate_shelf_dataset(config)
+    print(
+        f"Shelf slot watched by {config.n_sensors} proximity sensors "
+        f"({config.n_defective} defective at "
+        f"{config.defective_accuracy:.0%} accuracy), "
+        f"{config.n_rounds} rounds."
+    )
+
+    spec = VotingSpec.from_dict(
+        {
+            "algorithm_name": "shelf-occupancy",
+            "history": "ME",
+            "collation": "WEIGHTED_MAJORITY",
+            "value_type": "CATEGORICAL",
+        }
+    )
+    voter = build_voter(spec)
+
+    outputs = []
+    for number in range(dataset.n_rounds):
+        voting_round = Round.from_mapping(number, dataset.round_values(number))
+        outputs.append(voter.vote(voting_round).value)
+
+    fused_accuracy = dataset.accuracy_of(outputs)
+
+    # Compare against the best and worst single sensor.
+    def sensor_accuracy(module):
+        idx = dataset.modules.index(module)
+        pairs = [
+            (row[idx], truth)
+            for row, truth in zip(dataset.readings, dataset.truth)
+            if row[idx] is not None
+        ]
+        return sum(1 for r, t in pairs if r == t) / len(pairs)
+
+    accuracies = {m: sensor_accuracy(m) for m in dataset.modules}
+    best = max(accuracies, key=accuracies.get)
+    worst = min(accuracies, key=accuracies.get)
+    rows = [
+        ["fused (VDX categorical, Me history)", f"{fused_accuracy:.1%}"],
+        [f"best single sensor ({best})", f"{accuracies[best]:.1%}"],
+        [f"worst single sensor ({worst})", f"{accuracies[worst]:.1%}"],
+    ]
+    print()
+    print(render_table(["source", "occupancy accuracy"], rows))
+
+    records = voter.history.snapshot()
+    defective = config.defective_modules()
+    print("\nHistory records after the run (defective sensors flagged):")
+    flagged = [
+        [m, round(records[m], 3), "DEFECTIVE" if m in defective else ""]
+        for m in sorted(records, key=records.get)[:6]
+    ]
+    print(render_table(["sensor", "record", ""], flagged))
+    print(
+        "\nThe defective minority sinks to the bottom of the history "
+        "records and is zero-weighted by Me — no numeric margins needed."
+    )
+
+
+if __name__ == "__main__":
+    main()

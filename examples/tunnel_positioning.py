@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""UC-2: tracking a cargo vehicle in a tunnel with BLE beacon stacks.
+
+Recreates the paper's second case study: a robot drives 15 m between
+two stacks of nine BLE beacons, measuring RSSI per beacon with heavy
+fading and missing values.  The positioning question each round is
+"which stack is the vehicle closest to?" — answered here with three
+fusion strategies of increasing quality.
+
+Run:  python examples/tunnel_positioning.py
+"""
+
+import numpy as np
+
+from repro.analysis.ambiguity import closest_stack_series
+from repro.analysis.report import render_series, render_table
+from repro.datasets.ble_uc2 import UC2Config
+from repro.experiments import run_fig7
+
+
+def main() -> None:
+    config = UC2Config()
+    print(
+        f"Robot traverse: {config.track_length_m} m at "
+        f"{config.robot_speed_mps} m/s, {config.n_rounds} measurement "
+        f"rounds, 2 stacks x {config.beacons_per_stack} beacons."
+    )
+    result = run_fig7(config)
+
+    print("\nSingle beacon per stack (no redundancy):")
+    print(render_series(result.single_beacon))
+    print("\n9-beacon average per stack:")
+    print(render_series(result.nine_average))
+    print("\n9-beacon AVOC voting per stack:")
+    print(render_series(result.avoc_voting))
+
+    rows = []
+    for label, panel in (
+        ("single beacon", "single_beacon"),
+        ("9-beacon average", "nine_average"),
+        ("9-beacon AVOC", "avoc_voting"),
+    ):
+        rows.append(
+            [
+                label,
+                result.instability(panel),
+                f"{result.accuracy(panel):.1%}",
+            ]
+        )
+    print("\nPositioning quality (297 rounds):")
+    print(render_table(["fusion", "unstable closest-stack calls", "accuracy"], rows))
+
+    # Show the actual positioning decisions around the crossover.
+    calls = closest_stack_series(
+        result.nine_average["A"], result.nine_average["B"]
+    )
+    mid = len(calls) // 2
+    window = "".join(calls[mid - 30 : mid + 30])
+    print(f"\nClosest-stack calls around mid-track (averaged fusion):\n  {window}")
+    truth = result.dataset.true_closest()
+    print(f"  ground truth:\n  {''.join(truth[mid - 30: mid + 30])}")
+    print(
+        "\nTakeaway (the paper's Q3): on chaotic RSSI data the collation "
+        "method dominates — smoothing/averaging beats value selection, and "
+        "history records add nothing."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works in offline environments whose setuptools
+lacks the PEP 517 editable-wheel path (no ``wheel`` package installed).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,79 @@
+"""repro — reproduction of AVOC: History-Aware Data Fusion for Reliable
+IoT Analytics (Middleware 2022).
+
+Public API highlights:
+
+* :mod:`repro.voting` — the voting algorithm zoo (AVOC, Hybrid, Me, Sdt,
+  Standard, clustering-only, stateless baselines, MLV, categorical).
+* :mod:`repro.vdx` — the VDX voting-definition specification: parse,
+  validate and instantiate voters from JSON documents.
+* :mod:`repro.fusion` — the fusion engine: quorum, fault policies and
+  multi-dimensional pipelines around a voter.
+* :mod:`repro.sensors` / :mod:`repro.datasets` — sensor models and the
+  UC-1 (light) and UC-2 (BLE RSSI) evaluation datasets.
+* :mod:`repro.simulation` — discrete-event IoT deployment simulator.
+* :mod:`repro.analysis` — convergence, ambiguity and diff metrics used
+  by the paper's figures.
+* :mod:`repro.service` — the networked voter-service prototype.
+* :mod:`repro.tuning` — parameter search (grid + genetic) per scenario.
+"""
+
+from .fusion import (
+    FaultPolicy,
+    FusionEngine,
+    FusionResult,
+    MultiDimensionalPipeline,
+    QuorumRule,
+    VectorFusion,
+)
+from .types import MISSING, Reading, Round, Series, VoteOutcome, is_missing
+from .voting import (
+    AvocVoter,
+    CategoricalMajorityVoter,
+    ClusteringOnlyVoter,
+    HybridVoter,
+    MaximumLikelihoodVoter,
+    MeanVoter,
+    MedianVoter,
+    ModuleEliminationVoter,
+    PluralityVoter,
+    SoftDynamicThresholdVoter,
+    StandardVoter,
+    Voter,
+    VoterParams,
+    available_algorithms,
+    create_voter,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MISSING",
+    "Reading",
+    "Round",
+    "Series",
+    "VoteOutcome",
+    "is_missing",
+    "FaultPolicy",
+    "FusionEngine",
+    "FusionResult",
+    "MultiDimensionalPipeline",
+    "QuorumRule",
+    "VectorFusion",
+    "Voter",
+    "VoterParams",
+    "AvocVoter",
+    "CategoricalMajorityVoter",
+    "ClusteringOnlyVoter",
+    "HybridVoter",
+    "MaximumLikelihoodVoter",
+    "MeanVoter",
+    "MedianVoter",
+    "ModuleEliminationVoter",
+    "PluralityVoter",
+    "SoftDynamicThresholdVoter",
+    "StandardVoter",
+    "available_algorithms",
+    "create_voter",
+    "__version__",
+]

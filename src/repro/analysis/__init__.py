@@ -1,0 +1,49 @@
+"""Analysis metrics for the paper's evaluation.
+
+* :mod:`repro.analysis.convergence` — rounds-to-converge and the
+  bootstrap "4×" boost metric (Fig. 6-f, abstract claim).
+* :mod:`repro.analysis.diff` — error-injection differentials
+  (Fig. 6-e): voting on raw values vs voting on error-injected values.
+* :mod:`repro.analysis.ambiguity` — closest-stack ambiguity for UC-2
+  (Fig. 7's "number of rounds while it is ambiguous which stack ... is
+  closest").
+* :mod:`repro.analysis.stats` — series summary statistics.
+* :mod:`repro.analysis.report` — plain-text tables and series renderers
+  (the library's stand-in for the paper's plots and LCD display).
+"""
+
+from .convergence import (
+    convergence_boost,
+    convergence_round,
+    rounds_above_tolerance,
+    stable_value_distance,
+)
+from .diff import error_injection_diff, run_voter_series
+from .ambiguity import ambiguous_rounds, closest_stack_series, classification_accuracy
+from .stats import availability, mae, max_abs, rmse, summarize
+from .report import render_series, render_table, sparkline
+from .reliability import FAULT_CLASSES, ModuleReport, diagnose, worst_module
+
+__all__ = [
+    "convergence_round",
+    "convergence_boost",
+    "rounds_above_tolerance",
+    "stable_value_distance",
+    "error_injection_diff",
+    "run_voter_series",
+    "ambiguous_rounds",
+    "closest_stack_series",
+    "classification_accuracy",
+    "availability",
+    "rmse",
+    "mae",
+    "max_abs",
+    "summarize",
+    "render_table",
+    "render_series",
+    "sparkline",
+    "FAULT_CLASSES",
+    "ModuleReport",
+    "diagnose",
+    "worst_module",
+]

@@ -1,0 +1,164 @@
+"""Per-module reliability diagnosis.
+
+Voting tells a deployment *what the true value is*; operations teams
+also need to know *which sensor to go and replace*.  This module turns
+a run of :class:`~repro.types.VoteOutcome` objects into a per-module
+report: agreement statistics, exclusion frequency, final record, and a
+coarse fault classification derived from the module's residual against
+the fused output:
+
+* ``healthy`` — agrees with the consensus;
+* ``offset`` — stable bias away from the consensus (miscalibration);
+* ``drift`` — bias that grows over time (aging transducer);
+* ``erratic`` — large residual variance without a stable bias;
+* ``silent`` — mostly missing values (connectivity/power).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..datasets.dataset import Dataset
+from ..types import VoteOutcome
+
+#: Fault classes the classifier can emit.
+FAULT_CLASSES = ("healthy", "offset", "drift", "erratic", "silent")
+
+
+@dataclass(frozen=True)
+class ModuleReport:
+    """Diagnosis of one module over a run."""
+
+    module: str
+    rounds_present: int
+    rounds_missing: int
+    mean_agreement: float
+    exclusion_fraction: float
+    final_record: float
+    residual_bias: float
+    residual_trend: float
+    residual_std: float
+    classification: str
+
+    @property
+    def rounds_total(self) -> int:
+        return self.rounds_present + self.rounds_missing
+
+
+def _classify(
+    present_fraction: float,
+    bias: float,
+    trend: float,
+    spread: float,
+    scale: float,
+) -> str:
+    """Coarse fault classification from residual statistics.
+
+    ``scale`` is the magnitude reference (the agreement margin), so the
+    thresholds adapt to the data's units, like the voters themselves.
+    """
+    if present_fraction < 0.5:
+        return "silent"
+    # Drift must dominate both the unit scale and the module's own
+    # noise — a fitted slope smaller than the residual spread is just
+    # noise masquerading as a trend.
+    if abs(trend) > 0.5 * scale and abs(trend) > spread:
+        return "drift"
+    if abs(bias) > scale:
+        return "offset"
+    if spread > 2.0 * scale:
+        return "erratic"
+    return "healthy"
+
+
+def diagnose(
+    dataset: Dataset,
+    outcomes: Sequence[VoteOutcome],
+    error: float = 0.05,
+) -> Dict[str, ModuleReport]:
+    """Diagnose every module of a recorded run.
+
+    Args:
+        dataset: the raw readings that were voted on.
+        outcomes: the voter's outcomes, aligned with the dataset rounds.
+        error: relative agreement threshold used to scale thresholds.
+
+    Returns:
+        One :class:`ModuleReport` per module.
+    """
+    if len(outcomes) != dataset.n_rounds:
+        raise ValueError(
+            f"outcome count {len(outcomes)} does not match dataset rounds "
+            f"{dataset.n_rounds}"
+        )
+    fused = np.asarray(
+        [np.nan if o.value is None else float(o.value) for o in outcomes]
+    )
+    scale = float(np.nanmedian(np.abs(fused))) * error if len(fused) else 0.0
+    scale = max(scale, 1e-9)
+
+    reports: Dict[str, ModuleReport] = {}
+    for module in dataset.modules:
+        column = dataset.column(module)
+        present_mask = ~np.isnan(column)
+        residual = column - fused
+        valid = present_mask & ~np.isnan(fused)
+        residual_valid = residual[valid]
+
+        agreements: List[float] = [
+            o.agreement[module] for o in outcomes if module in o.agreement
+        ]
+        exclusions = [
+            module in o.eliminated or o.weights.get(module, 1.0) == 0.0
+            for o in outcomes
+            if o.weights or o.eliminated
+        ]
+        final_record = next(
+            (o.history[module] for o in reversed(outcomes) if module in o.history),
+            float("nan"),
+        )
+
+        if residual_valid.size >= 2:
+            bias = float(residual_valid.mean())
+            x = np.flatnonzero(valid).astype(float)
+            slope = float(np.polyfit(x, residual_valid, 1)[0])
+            trend = slope * dataset.n_rounds  # residual change over the run
+            spread = float(residual_valid.std())
+        else:
+            bias, trend, spread = float("nan"), 0.0, float("nan")
+
+        present_fraction = float(present_mask.mean()) if len(column) else 0.0
+        classification = _classify(present_fraction, bias, trend, spread, scale)
+        reports[module] = ModuleReport(
+            module=module,
+            rounds_present=int(present_mask.sum()),
+            rounds_missing=int((~present_mask).sum()),
+            mean_agreement=float(np.mean(agreements)) if agreements else float("nan"),
+            exclusion_fraction=float(np.mean(exclusions)) if exclusions else 0.0,
+            final_record=final_record,
+            residual_bias=bias,
+            residual_trend=trend,
+            residual_std=spread,
+            classification=classification,
+        )
+    return reports
+
+
+def worst_module(reports: Dict[str, ModuleReport]) -> Optional[str]:
+    """The module most in need of attention (None if all healthy).
+
+    Priority: silent > drift > offset > erratic; ties break on the
+    larger exclusion fraction.
+    """
+    priority = {"silent": 4, "drift": 3, "offset": 2, "erratic": 1, "healthy": 0}
+    candidates = [r for r in reports.values() if r.classification != "healthy"]
+    if not candidates:
+        return None
+    best = max(
+        candidates,
+        key=lambda r: (priority[r.classification], r.exclusion_fraction),
+    )
+    return best.module

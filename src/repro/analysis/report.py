@@ -1,0 +1,120 @@
+"""Plain-text rendering of tables and series.
+
+The paper presents its results as plots (and on the demonstrator's LCD
+screen); in this library every figure is regenerated as aligned text —
+a table of summary rows plus downsampled series — so results diff
+cleanly and need no plotting dependency.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+from pathlib import Path
+from typing import List, Mapping, Sequence, Union
+
+import numpy as np
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def save_series_csv(
+    path: Union[str, Path], series: Mapping[str, Sequence[float]]
+) -> None:
+    """Write named per-round series as a CSV (one column per series).
+
+    Series may have different lengths; shorter ones leave trailing
+    cells empty.  NaN values become empty cells.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    names = list(series)
+    columns = [np.asarray(series[name], dtype=float) for name in names]
+    length = max((c.shape[0] for c in columns), default=0)
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["round"] + names)
+        for i in range(length):
+            row: List[str] = [str(i)]
+            for column in columns:
+                if i >= column.shape[0] or math.isnan(column[i]):
+                    row.append("")
+                else:
+                    row.append(repr(float(column[i])))
+            writer.writerow(row)
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], precision: int = 4
+) -> str:
+    """Render an aligned text table with a header separator line."""
+
+    def fmt(cell: object) -> str:
+        if isinstance(cell, bool):
+            return str(cell)
+        if isinstance(cell, float):
+            if math.isnan(cell):
+                return "nan"
+            return f"{cell:.{precision}g}"
+        return str(cell)
+
+    table = [[fmt(c) for c in headers]] + [[fmt(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in table) for i in range(len(headers))]
+    lines = []
+    for n, row in enumerate(table):
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip())
+        if n == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """A unicode block sparkline of the series (NaN rendered as space)."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return ""
+    if arr.size > width:
+        # Downsample by block mean.
+        edges = np.linspace(0, arr.size, width + 1).astype(int)
+        arr = np.asarray(
+            [
+                np.nanmean(arr[a:b]) if b > a and not np.isnan(arr[a:b]).all() else np.nan
+                for a, b in zip(edges[:-1], edges[1:])
+            ]
+        )
+    finite = arr[~np.isnan(arr)]
+    if finite.size == 0:
+        return " " * arr.size
+    low, high = float(finite.min()), float(finite.max())
+    span = high - low or 1.0
+    chars = []
+    for v in arr:
+        if np.isnan(v):
+            chars.append(" ")
+        else:
+            level = int((v - low) / span * (len(_BLOCKS) - 1))
+            chars.append(_BLOCKS[level])
+    return "".join(chars)
+
+
+def render_series(
+    series: Mapping[str, Sequence[float]],
+    width: int = 60,
+    show_range: bool = True,
+) -> str:
+    """Render named series as labelled sparklines with min/max annotations."""
+    if not series:
+        return ""
+    label_width = max(len(name) for name in series)
+    lines: List[str] = []
+    for name, values in series.items():
+        arr = np.asarray(values, dtype=float)
+        line = f"{name.ljust(label_width)}  {sparkline(arr, width)}"
+        if show_range:
+            finite = arr[~np.isnan(arr)]
+            if finite.size:
+                line += f"  [{finite.min():.4g}, {finite.max():.4g}]"
+            else:
+                line += "  [all missing]"
+        lines.append(line)
+    return "\n".join(lines)

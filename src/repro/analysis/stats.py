@@ -1,0 +1,96 @@
+"""Series summary statistics used across experiments and reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+
+def _clean(values: Sequence[float]) -> np.ndarray:
+    arr = np.asarray(values, dtype=float)
+    return arr[~np.isnan(arr)]
+
+
+def rmse(series: Sequence[float], reference: Sequence[float]) -> float:
+    """Root-mean-square error between two aligned series (NaN-skipping)."""
+    a = np.asarray(series, dtype=float)
+    b = np.asarray(reference, dtype=float)
+    if a.shape != b.shape:
+        raise ValueError("series shapes differ")
+    diff = a - b
+    diff = diff[~np.isnan(diff)]
+    if diff.size == 0:
+        return float("nan")
+    return float(np.sqrt((diff**2).mean()))
+
+
+def mae(series: Sequence[float], reference: Sequence[float]) -> float:
+    """Mean absolute error between two aligned series (NaN-skipping)."""
+    a = np.asarray(series, dtype=float)
+    b = np.asarray(reference, dtype=float)
+    if a.shape != b.shape:
+        raise ValueError("series shapes differ")
+    diff = np.abs(a - b)
+    diff = diff[~np.isnan(diff)]
+    if diff.size == 0:
+        return float("nan")
+    return float(diff.mean())
+
+
+def max_abs(values: Sequence[float]) -> float:
+    """Largest absolute value in the series (NaN-skipping)."""
+    arr = _clean(values)
+    if arr.size == 0:
+        return float("nan")
+    return float(np.abs(arr).max())
+
+
+def availability(statuses: Sequence[str]) -> float:
+    """Fraction of rounds that produced a regular output.
+
+    ``statuses`` are :class:`~repro.fusion.engine.FusionResult` statuses;
+    only ``"ok"`` counts — held and skipped rounds both mean the voter
+    could not answer from that round's data.  This is the metric a MooN
+    deployment trades for integrity.
+    """
+    statuses = list(statuses)
+    if not statuses:
+        return 0.0
+    return sum(1 for s in statuses if s == "ok") / len(statuses)
+
+
+@dataclass(frozen=True)
+class SeriesSummary:
+    """min/max/mean/std/count summary of one series."""
+
+    count: int
+    minimum: float
+    maximum: float
+    mean: float
+    std: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+            "std": self.std,
+        }
+
+
+def summarize(values: Sequence[float]) -> SeriesSummary:
+    """Summary statistics of a series, ignoring NaN entries."""
+    arr = _clean(values)
+    if arr.size == 0:
+        nan = float("nan")
+        return SeriesSummary(count=0, minimum=nan, maximum=nan, mean=nan, std=nan)
+    return SeriesSummary(
+        count=int(arr.size),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        mean=float(arr.mean()),
+        std=float(arr.std()),
+    )

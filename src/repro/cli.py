@@ -1,0 +1,509 @@
+"""Command-line interface: regenerate every figure, inspect VDX, vote.
+
+Installed as ``avoc`` (see ``pyproject.toml``); also runnable as
+``python -m repro``.  The ``compare`` subcommand is the text counterpart
+of the paper's interactive algorithm-comparison application (Fig. 5).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+import numpy as np
+
+
+def _cmd_algorithms(args) -> int:
+    from .voting.registry import available_algorithms
+
+    for name in available_algorithms():
+        print(name)
+    return 0
+
+
+def _cmd_fig6(args) -> int:
+    from .analysis.report import render_series, render_table, save_series_csv
+    from .datasets.light_uc1 import UC1Config
+    from .experiments import run_fig6
+
+    config = UC1Config(n_rounds=args.rounds, seed=args.seed)
+    result = run_fig6(config, tolerance=args.tolerance)
+
+    if args.export:
+        from pathlib import Path
+
+        export = Path(args.export)
+        save_series_csv(
+            export / "fig6a_raw.csv",
+            {m: result.clean.column(m) for m in result.clean.modules},
+        )
+        save_series_csv(export / "fig6b_clean_outputs.csv", result.clean_outputs)
+        save_series_csv(
+            export / "fig6c_faulty_raw.csv",
+            {m: result.faulty.column(m) for m in result.faulty.modules},
+        )
+        save_series_csv(export / "fig6d_fault_outputs.csv", result.fault_outputs)
+        save_series_csv(export / "fig6e_diffs.csv", result.diffs)
+        print(f"exported Fig. 6 series to {export}/")
+
+    print("== Fig. 6-a: raw sensor data (kilolumen) ==")
+    print(
+        render_series(
+            {m: result.clean.column(m) for m in result.clean.modules}
+        )
+    )
+    print("\n== Fig. 6-b: voting output on raw data ==")
+    print(render_series(result.clean_outputs))
+    print("\n== Fig. 6-c: raw data with faulty E4 (+6) ==")
+    print(
+        render_series(
+            {m: result.faulty.column(m) for m in result.faulty.modules}
+        )
+    )
+    print("\n== Fig. 6-d: voting output under faults ==")
+    print(render_series(result.fault_outputs))
+    print("\n== Fig. 6-e: error-injection effect (fault − clean output) ==")
+    print(render_series(result.diffs))
+    print("\n== Fig. 6-f: first 10 rounds of the diffs ==")
+    rows = [
+        [alg] + [round(v, 3) for v in result.zoom(alg, 10)]
+        for alg in result.diffs
+    ]
+    print(render_table(["algorithm"] + [f"r{i}" for i in range(10)], rows))
+    print("\n== Convergence (settling within ±{:.2g} klm) ==".format(args.tolerance))
+    rows = [
+        [alg, result.convergence_rounds[alg], result.exclusion_rounds[alg]]
+        for alg in result.diffs
+    ]
+    print(
+        render_table(
+            ["algorithm", "output settling round", "E4 exclusion round"], rows
+        )
+    )
+    print(f"\nAVOC convergence boost over Hybrid: {result.boost:.2f}x")
+    return 0
+
+
+def _cmd_fig7(args) -> int:
+    from .analysis.report import render_series, render_table, save_series_csv
+    from .datasets.ble_uc2 import UC2Config
+    from .experiments import run_fig7
+
+    config = UC2Config(seed=args.seed)
+    result = run_fig7(config, margin_db=args.margin)
+
+    if args.export:
+        from pathlib import Path
+
+        export = Path(args.export)
+        for panel in ("single_beacon", "nine_average", "avoc_voting"):
+            save_series_csv(export / f"fig7_{panel}.csv", getattr(result, panel))
+        print(f"exported Fig. 7 series to {export}/")
+
+    print("== Fig. 7-a: single beacon per stack (RSSI, dBm) ==")
+    print(render_series(result.single_beacon))
+    print("\n== Fig. 7-b: 9-beacon average per stack ==")
+    print(render_series(result.nine_average))
+    print("\n== Fig. 7-c: 9-beacon AVOC voting per stack ==")
+    print(render_series(result.avoc_voting))
+    print(
+        "\n== Ambiguous rounds (|RSSI_A − RSSI_B| < {:.3g} dB) ==".format(args.margin)
+    )
+    rows = [
+        [label, result.ambiguity(panel), result.instability(panel),
+         f"{result.accuracy(panel):.3f}"]
+        for label, panel in (
+            ("single beacon", "single_beacon"),
+            ("9-beacon average", "nine_average"),
+            ("9-beacon AVOC", "avoc_voting"),
+        )
+    ]
+    print(
+        render_table(
+            ["fusion", "ambiguous rounds", "unstable calls", "accuracy"], rows
+        )
+    )
+    print("\n== Per-algorithm closest-stack instability (collation groups) ==")
+    instability = result.algorithm_instability()
+    ambiguity = result.algorithm_ambiguity()
+    rows = [[alg, ambiguity[alg], instability[alg]] for alg in instability]
+    print(render_table(["algorithm", "ambiguous rounds", "unstable calls"], rows))
+    return 0
+
+
+def _cmd_shelf(args) -> int:
+    from .analysis.report import render_table
+    from .datasets.shelf import ShelfConfig, generate_shelf_dataset
+    from .types import Round
+    from .voting.categorical import CategoricalMajorityVoter
+
+    config = ShelfConfig(
+        n_rounds=args.rounds,
+        n_sensors=args.sensors,
+        n_defective=args.defective,
+    )
+    dataset = generate_shelf_dataset(config)
+    voter = CategoricalMajorityVoter(history_mode=args.history)
+    outputs = []
+    for number in range(dataset.n_rounds):
+        voting_round = Round.from_mapping(number, dataset.round_values(number))
+        outputs.append(voter.vote(voting_round).value)
+    accuracy = dataset.accuracy_of(outputs)
+    print(
+        f"smart shelf: {config.n_sensors} sensors "
+        f"({config.n_defective} defective), {config.n_rounds} rounds, "
+        f"history={args.history}"
+    )
+    print(f"fused occupancy accuracy: {accuracy:.2%}")
+    records = voter.history.snapshot()
+    if records:
+        rows = [
+            [m, round(records[m], 3),
+             "DEFECTIVE" if m in config.defective_modules() else ""]
+            for m in sorted(records, key=records.get)[:5]
+        ]
+        print("\nlowest history records:")
+        print(render_table(["sensor", "record", ""], rows))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from .analysis.report import render_table
+    from .types import Round
+    from .voting.registry import available_algorithms, create_voter
+
+    values = [float(v) for v in args.values.split(",")]
+    algorithms = args.algorithms.split(",") if args.algorithms else [
+        "average", "median", "standard", "me", "sdt", "hybrid", "clustering", "avoc",
+    ]
+    rows = []
+    for name in algorithms:
+        voter = create_voter(name.strip())
+        outcome = voter.vote(Round.from_values(0, values))
+        rows.append([name.strip(), outcome.value, ",".join(outcome.eliminated) or "-"])
+    print(render_table(["algorithm", "output", "eliminated"], rows))
+    return 0
+
+
+def _cmd_vdx(args) -> int:
+    from .exceptions import SpecificationError
+    from .vdx import VotingSpec, build_voter
+    from .vdx.schema import describe
+
+    if args.describe:
+        print(describe())
+        return 0
+    if args.file is None:
+        print("vdx: provide a file to validate, or --describe", file=sys.stderr)
+        return 2
+    try:
+        spec = VotingSpec.from_file(args.file)
+    except SpecificationError as exc:
+        print(f"INVALID: {args.file}", file=sys.stderr)
+        for problem in exc.problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    voter = build_voter(spec)
+    print(f"VALID: {args.file}")
+    print(f"  algorithm_name: {spec.algorithm_name}")
+    print(f"  voter class:    {type(voter).__name__}")
+    print(f"  collation:      {spec.collation}")
+    print(f"  history:        {spec.history}")
+    print(f"  bootstrapping:  {spec.bootstrapping}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from .analysis.report import render_series, render_table
+    from .simulation import run_uc1_simulation, run_uc2_simulation
+
+    if args.use_case == "uc1":
+        report = run_uc1_simulation(algorithm=args.algorithm, rounds=args.rounds)
+    else:
+        report = run_uc2_simulation(algorithm=args.algorithm)
+    print(render_series({f"{args.use_case} fused output": report.outputs}))
+    rows = [
+        [name, s["sent"], s["delivered"], s["dropped"], f"{s['loss_rate']:.3f}"]
+        for name, s in sorted(report.link_stats.items())
+    ]
+    print(render_table(["link", "sent", "delivered", "dropped", "loss"], rows))
+    print(
+        f"rounds: {report.n_rounds}  degraded: {report.rounds_degraded}  "
+        f"virtual time: {report.virtual_duration:.1f}s"
+    )
+    return 0
+
+
+def _cmd_diagnose(args) -> int:
+    from .analysis.reliability import diagnose, worst_module
+    from .analysis.report import render_table
+    from .datasets.loader import load_csv
+    from .voting.registry import create_voter
+
+    dataset = load_csv(args.csv)
+    voter = create_voter(args.algorithm)
+    outcomes = [voter.vote(r) for r in dataset.rounds()]
+    reports = diagnose(dataset, outcomes)
+    rows = [
+        [
+            r.module,
+            r.classification,
+            f"{r.rounds_missing}/{r.rounds_total}",
+            round(r.mean_agreement, 3),
+            f"{r.exclusion_fraction:.1%}",
+            round(r.residual_bias, 3),
+            round(r.residual_trend, 3),
+            round(r.final_record, 3),
+        ]
+        for r in reports.values()
+    ]
+    print(
+        render_table(
+            ["module", "class", "missing", "agreement", "excluded",
+             "bias", "trend", "record"],
+            rows,
+        )
+    )
+    worst = worst_module(reports)
+    if worst is None:
+        print("\nall modules healthy")
+    else:
+        print(f"\nmodule most in need of attention: {worst} "
+              f"({reports[worst].classification})")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from .service.server import VoterServer
+    from .vdx.examples import AVOC_SPEC
+    from .vdx.spec import VotingSpec
+
+    spec = VotingSpec.from_file(args.spec) if args.spec else AVOC_SPEC
+    server = VoterServer(spec, host=args.host, port=args.port)
+    server.start()
+    host, port = server.address
+    print(f"voter service '{spec.algorithm_name}' listening on {host}:{port}")
+    print("protocol: line-delimited JSON; ops: ping/spec/vote/submit/"
+          "close_round/history/stats/reset")
+    if args.once:
+        server.stop()
+        return 0
+    try:
+        import threading
+
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
+def _cmd_fuse(args) -> int:
+    from .datasets.loader import load_csv
+    from .fusion.engine import FusionEngine
+    from .vdx.factory import build_engine
+    from .vdx.spec import VotingSpec
+    from .voting.registry import create_voter
+
+    dataset = load_csv(args.csv)
+    if args.spec:
+        engine = build_engine(VotingSpec.from_file(args.spec))
+    else:
+        engine = FusionEngine(create_voter(args.algorithm))
+    results = engine.run_matrix(dataset.matrix, modules=dataset.modules)
+    writer = open(args.output, "w", encoding="utf-8") if args.output else sys.stdout
+    try:
+        writer.write("round,value,status,excluded\n")
+        for result in results:
+            value = "" if result.value is None else repr(float(result.value))
+            writer.write(
+                f"{result.round_number},{value},{result.status},"
+                f"{'|'.join(result.excluded)}\n"
+            )
+    finally:
+        if args.output:
+            writer.close()
+            print(f"wrote {len(results)} fused rounds to {args.output}")
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    from .analysis.report import render_table
+    from .datasets.injection import offset_fault
+    from .datasets.light_uc1 import UC1Config, generate_uc1_dataset
+    from .tuning import (
+        Choice,
+        Continuous,
+        ParameterSpace,
+        genetic_search,
+        grid_search,
+        uc1_fault_recovery_objective,
+    )
+    from .voting.registry import create_voter
+
+    clean = generate_uc1_dataset(UC1Config(n_rounds=args.rounds))
+    faulty = offset_fault(clean, "E4", 6.0)
+    objective = uc1_fault_recovery_objective(clean, faulty, algorithm=args.algorithm)
+    base = create_voter(args.algorithm).params
+    space = ParameterSpace(
+        {
+            "error": Continuous(0.02, 0.15),
+            "soft_threshold": Continuous(1.0, 4.0),
+            "collation": Choice(["MEAN", "MEAN_NEAREST_NEIGHBOR", "MEDIAN"]),
+        },
+        base=base,
+    )
+    if args.method == "grid":
+        result = grid_search(objective, space, points_per_dimension=args.points)
+    else:
+        result = genetic_search(
+            objective, space, population_size=12, generations=args.points
+        )
+    print(f"evaluated {result.n_trials} configurations ({args.method})")
+    rows = [
+        [
+            round(t.assignment["error"], 4),
+            round(t.assignment["soft_threshold"], 2),
+            t.assignment["collation"],
+            round(t.score, 3),
+        ]
+        for t in result.top(5)
+    ]
+    print(render_table(["error", "soft_threshold", "collation", "score"], rows))
+    print(f"\nbest: {result.best_assignment} -> score {result.best_score:.3f}")
+    return 0
+
+
+def _cmd_latency(args) -> int:
+    from .analysis.report import render_table
+    from .types import Round
+    from .voting.registry import create_voter
+
+    rng = np.random.default_rng(0)
+    rows = []
+    for name in ("average", "clustering", "standard", "me", "sdt", "hybrid", "avoc"):
+        voter = create_voter(name)
+        rounds = [
+            Round.from_values(i, list(18.0 + rng.normal(0, 0.1, size=5)))
+            for i in range(args.iterations)
+        ]
+        start = time.perf_counter()
+        for r in rounds:
+            voter.vote(r)
+        elapsed = time.perf_counter() - start
+        rows.append([name, f"{elapsed / args.iterations * 1e6:.1f}"])
+    print(render_table(["algorithm", "µs / round"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    from . import __version__
+
+    parser = argparse.ArgumentParser(
+        prog="avoc",
+        description="AVOC reproduction: history-aware data fusion for IoT.",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("algorithms", help="list available voting algorithms")
+
+    fig6 = sub.add_parser("fig6", help="regenerate Fig. 6 (UC-1 light sensors)")
+    fig6.add_argument("--rounds", type=int, default=10_000)
+    fig6.add_argument("--seed", type=int, default=1202)
+    fig6.add_argument("--tolerance", type=float, default=0.3)
+    fig6.add_argument("--export", default=None, help="directory for series CSVs")
+
+    fig7 = sub.add_parser("fig7", help="regenerate Fig. 7 (UC-2 BLE beacons)")
+    fig7.add_argument("--seed", type=int, default=2207)
+    fig7.add_argument("--margin", type=float, default=5.0)
+    fig7.add_argument("--export", default=None, help="directory for series CSVs")
+
+    shelf = sub.add_parser(
+        "shelf", help="run the smart-shelf categorical scenario"
+    )
+    shelf.add_argument("--rounds", type=int, default=500)
+    shelf.add_argument("--sensors", type=int, default=24)
+    shelf.add_argument("--defective", type=int, default=3)
+    shelf.add_argument("--history", choices=("none", "standard", "me"),
+                       default="me")
+
+    compare = sub.add_parser(
+        "compare", help="compare all algorithms on one round of values (Fig. 5)"
+    )
+    compare.add_argument("--values", required=True, help="comma-separated floats")
+    compare.add_argument("--algorithms", default=None)
+
+    vdx = sub.add_parser("vdx", help="validate a VDX document / describe the schema")
+    vdx.add_argument("file", nargs="?", default=None)
+    vdx.add_argument("--describe", action="store_true")
+
+    simulate = sub.add_parser("simulate", help="run a deployment simulation")
+    simulate.add_argument("use_case", choices=("uc1", "uc2"))
+    simulate.add_argument("--algorithm", default="avoc")
+    simulate.add_argument("--rounds", type=int, default=400)
+
+    latency = sub.add_parser("latency", help="per-round latency of each voter")
+    latency.add_argument("--iterations", type=int, default=2000)
+
+    serve = sub.add_parser("serve", help="run a VDX-configured voter service")
+    serve.add_argument("--spec", default=None, help="VDX document (default: AVOC)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0)
+    serve.add_argument(
+        "--once", action="store_true",
+        help="bind, print the address, and exit (for scripting/tests)",
+    )
+
+    fuse = sub.add_parser("fuse", help="fuse a recorded CSV dataset")
+    fuse.add_argument("csv", help="rounds x modules CSV (empty cell = missing)")
+    fuse.add_argument("--spec", default=None, help="VDX document to vote with")
+    fuse.add_argument("--algorithm", default="avoc")
+    fuse.add_argument("--output", default=None, help="output CSV (default stdout)")
+
+    diagnose = sub.add_parser(
+        "diagnose", help="per-module reliability report for a recorded CSV"
+    )
+    diagnose.add_argument("csv")
+    diagnose.add_argument("--algorithm", default="avoc")
+
+    tune = sub.add_parser("tune", help="search voting parameters on UC-1")
+    tune.add_argument("--algorithm", default="avoc")
+    tune.add_argument("--method", choices=("grid", "genetic"), default="grid")
+    tune.add_argument("--rounds", type=int, default=300)
+    tune.add_argument(
+        "--points", type=int, default=4,
+        help="grid points per dimension, or GA generations",
+    )
+
+    return parser
+
+
+_COMMANDS = {
+    "algorithms": _cmd_algorithms,
+    "fig6": _cmd_fig6,
+    "fig7": _cmd_fig7,
+    "shelf": _cmd_shelf,
+    "compare": _cmd_compare,
+    "vdx": _cmd_vdx,
+    "simulate": _cmd_simulate,
+    "latency": _cmd_latency,
+    "serve": _cmd_serve,
+    "fuse": _cmd_fuse,
+    "tune": _cmd_tune,
+    "diagnose": _cmd_diagnose,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

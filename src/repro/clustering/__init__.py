@@ -1,0 +1,33 @@
+"""Clustering substrate.
+
+AVOC's bootstrap step only needs the lightweight 1-D agreement
+clustering in :mod:`repro.clustering.agreement_clustering`, but §5 of the
+paper sketches a generalisation to multi-dimensional data via
+unsupervised clustering (Mean-shift, X-means).  This package provides
+from-scratch implementations of all of them plus DBSCAN (the algorithm
+the paper notes its grouping logic resembles), so the generalisation can
+actually be exercised rather than assumed.
+"""
+
+from .agreement_clustering import (
+    AgreementClustering,
+    cluster_by_agreement,
+    largest_cluster,
+)
+from .dbscan import dbscan
+from .kmeans import kmeans
+from .meanshift import mean_shift
+from .metrics import inertia, silhouette_score
+from .xmeans import xmeans
+
+__all__ = [
+    "AgreementClustering",
+    "cluster_by_agreement",
+    "largest_cluster",
+    "dbscan",
+    "kmeans",
+    "mean_shift",
+    "xmeans",
+    "inertia",
+    "silhouette_score",
+]

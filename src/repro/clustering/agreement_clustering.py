@@ -1,0 +1,124 @@
+"""The AVOC agreement-clustering step (§5 of the paper).
+
+The clustering leverages the same logic as the voters' agreement
+calculation: values within a scaling threshold of each other are grouped
+(the threshold mirrors the voting algorithm's parameters — a
+*soft-dynamic* margin derived from a per-round reference value, so no
+separate tuning is needed), and the largest group wins.  The grouping is
+"similar to DBSCAN" but self-calibrating.
+
+We implement the grouping as connected components of the pairwise
+agreement graph, which is exactly DBSCAN with ``min_samples = 1`` on a
+1-D dataset and an adaptive ``eps``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..voting.agreement import binary_agreement_matrix, dynamic_margin
+
+
+@dataclass(frozen=True)
+class AgreementClustering:
+    """Result of one agreement-clustering pass.
+
+    Attributes:
+        clusters: index groups, largest first (ties by lower first index).
+        margin: the absolute grouping margin that was used.
+    """
+
+    clusters: Tuple[Tuple[int, ...], ...]
+    margin: float
+
+    @property
+    def largest(self) -> Tuple[int, ...]:
+        return self.clusters[0] if self.clusters else ()
+
+    @property
+    def outliers(self) -> Tuple[int, ...]:
+        """Indices outside the largest cluster."""
+        inside = set(self.largest)
+        total = sum(len(c) for c in self.clusters)
+        return tuple(i for i in range(total) if i not in inside)
+
+    def membership(self) -> List[int]:
+        """Cluster label per value index (0 = largest cluster)."""
+        total = sum(len(c) for c in self.clusters)
+        labels = [-1] * total
+        for label, cluster in enumerate(self.clusters):
+            for idx in cluster:
+                labels[idx] = label
+        return labels
+
+
+def _connected_components(matrix: np.ndarray) -> List[List[int]]:
+    """Connected components of a boolean adjacency matrix (DFS)."""
+    n = matrix.shape[0]
+    seen = [False] * n
+    components: List[List[int]] = []
+    for start in range(n):
+        if seen[start]:
+            continue
+        stack = [start]
+        seen[start] = True
+        component = []
+        while stack:
+            node = stack.pop()
+            component.append(node)
+            for neighbour in np.flatnonzero(matrix[node] > 0.5):
+                if not seen[neighbour]:
+                    seen[neighbour] = True
+                    stack.append(int(neighbour))
+        components.append(sorted(component))
+    return components
+
+
+def cluster_by_agreement(
+    values: Sequence[float],
+    error: float = 0.05,
+    soft_threshold: float = 2.0,
+    min_margin: float = 1e-9,
+) -> AgreementClustering:
+    """Group 1-D values by mutual agreement.
+
+    The grouping margin is the voting margin (``error`` relative to the
+    round's median) scaled by ``soft_threshold`` — the outermost distance
+    at which the soft agreement of the host algorithm is still non-zero,
+    so clustering and voting share one notion of "close enough".
+
+    Args:
+        values: the round's candidate values.
+        error: relative agreement threshold ε.
+        soft_threshold: scaling multiple applied to the margin.
+        min_margin: absolute floor for the margin.
+
+    Returns:
+        An :class:`AgreementClustering` with clusters sorted largest
+        first.
+    """
+    vals = np.asarray(list(values), dtype=float)
+    if vals.ndim != 1:
+        raise ValueError("agreement clustering operates on 1-D value sets")
+    margin = dynamic_margin(vals, error, min_margin) * soft_threshold
+    if vals.size == 0:
+        return AgreementClustering(clusters=(), margin=margin)
+    matrix = binary_agreement_matrix(vals, margin)
+    components = _connected_components(matrix)
+    components.sort(key=lambda c: (-len(c), c[0]))
+    return AgreementClustering(
+        clusters=tuple(tuple(c) for c in components), margin=margin
+    )
+
+
+def largest_cluster(
+    values: Sequence[float],
+    error: float = 0.05,
+    soft_threshold: float = 2.0,
+    min_margin: float = 1e-9,
+) -> Tuple[int, ...]:
+    """Indices of the largest agreement cluster (convenience wrapper)."""
+    return cluster_by_agreement(values, error, soft_threshold, min_margin).largest

@@ -1,0 +1,91 @@
+"""DBSCAN [Ester et al. 1996], implemented from scratch on NumPy.
+
+The paper notes AVOC's grouping logic is "similar to DBSCAN" but
+self-calibrating; this full implementation lets the two be compared
+directly (see ``benchmarks/test_ablations.py``) and backs the
+multi-dimensional generalisation of §5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+#: Label assigned to noise points.
+NOISE = -1
+
+
+@dataclass(frozen=True)
+class DbscanResult:
+    """Labels per point (``-1`` = noise) and the core-point mask."""
+
+    labels: Tuple[int, ...]
+    core_mask: Tuple[bool, ...]
+
+    @property
+    def n_clusters(self) -> int:
+        return len({label for label in self.labels if label != NOISE})
+
+    def cluster(self, label: int) -> Tuple[int, ...]:
+        return tuple(i for i, lab in enumerate(self.labels) if lab == label)
+
+    def clusters(self) -> List[Tuple[int, ...]]:
+        """All clusters, largest first."""
+        found = sorted({lab for lab in self.labels if lab != NOISE})
+        groups = [self.cluster(lab) for lab in found]
+        groups.sort(key=lambda g: (-len(g), g[0] if g else 0))
+        return groups
+
+
+def _as_points(data: Sequence) -> np.ndarray:
+    points = np.asarray(list(data), dtype=float)
+    if points.ndim == 1:
+        points = points[:, None]
+    if points.ndim != 2:
+        raise ValueError(f"expected 1-D or 2-D data, got shape {points.shape}")
+    return points
+
+
+def dbscan(data: Sequence, eps: float, min_samples: int = 2) -> DbscanResult:
+    """Density-based clustering.
+
+    Args:
+        data: N points, either scalars (1-D) or coordinate vectors.
+        eps: neighbourhood radius (Euclidean).
+        min_samples: minimum neighbourhood size (including the point
+            itself) for a point to be a core point.
+
+    Returns:
+        A :class:`DbscanResult` with cluster labels starting at 0.
+    """
+    if eps <= 0:
+        raise ValueError(f"eps must be positive, got {eps}")
+    if min_samples < 1:
+        raise ValueError(f"min_samples must be >= 1, got {min_samples}")
+    points = _as_points(data)
+    n = points.shape[0]
+    if n == 0:
+        return DbscanResult(labels=(), core_mask=())
+
+    diffs = points[:, None, :] - points[None, :, :]
+    distances = np.sqrt((diffs**2).sum(axis=2))
+    neighbourhoods = [np.flatnonzero(distances[i] <= eps) for i in range(n)]
+    core = [len(nb) >= min_samples for nb in neighbourhoods]
+
+    labels = [NOISE] * n
+    current = 0
+    for seed in range(n):
+        if labels[seed] != NOISE or not core[seed]:
+            continue
+        labels[seed] = current
+        frontier = list(neighbourhoods[seed])
+        while frontier:
+            point = int(frontier.pop())
+            if labels[point] == NOISE:
+                labels[point] = current
+                if core[point]:
+                    frontier.extend(int(q) for q in neighbourhoods[point])
+        current += 1
+    return DbscanResult(labels=tuple(labels), core_mask=tuple(core))

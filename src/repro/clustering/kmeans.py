@@ -1,0 +1,105 @@
+"""Lloyd's k-means with k-means++ seeding, from scratch on NumPy.
+
+Used directly for the multi-dimensional generalisation experiments and
+as the inner loop of :mod:`repro.clustering.xmeans`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Centroids, per-point labels, final inertia and iteration count."""
+
+    centroids: np.ndarray
+    labels: Tuple[int, ...]
+    inertia: float
+    iterations: int
+
+    @property
+    def k(self) -> int:
+        return self.centroids.shape[0]
+
+
+def _as_points(data: Sequence) -> np.ndarray:
+    points = np.asarray(list(data), dtype=float)
+    if points.ndim == 1:
+        points = points[:, None]
+    if points.ndim != 2:
+        raise ValueError(f"expected 1-D or 2-D data, got shape {points.shape}")
+    return points
+
+
+def _plus_plus_seeds(points: np.ndarray, k: int, rng: np.random.Generator):
+    """k-means++ initial centroid selection."""
+    n = points.shape[0]
+    centroids = [points[rng.integers(n)]]
+    for _ in range(1, k):
+        dists = np.min(
+            [((points - c) ** 2).sum(axis=1) for c in centroids], axis=0
+        )
+        total = dists.sum()
+        if total == 0:
+            centroids.append(points[rng.integers(n)])
+            continue
+        probs = dists / total
+        centroids.append(points[rng.choice(n, p=probs)])
+    return np.asarray(centroids)
+
+
+def kmeans(
+    data: Sequence,
+    k: int,
+    max_iterations: int = 100,
+    tolerance: float = 1e-8,
+    seed: Optional[int] = 0,
+) -> KMeansResult:
+    """Cluster ``data`` into ``k`` groups with Lloyd's algorithm.
+
+    Args:
+        data: N points (scalars or coordinate vectors).
+        k: number of clusters, 1 <= k <= N.
+        max_iterations: hard iteration cap.
+        tolerance: stop when centroids move less than this (squared).
+        seed: RNG seed for the k-means++ initialisation.
+    """
+    points = _as_points(data)
+    n = points.shape[0]
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, {n}], got {k}")
+    rng = np.random.default_rng(seed)
+    centroids = _plus_plus_seeds(points, k, rng)
+
+    labels = np.zeros(n, dtype=int)
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        distances = ((points[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        labels = distances.argmin(axis=1)
+        moved = 0.0
+        new_centroids = centroids.copy()
+        for j in range(k):
+            members = points[labels == j]
+            if members.size == 0:
+                # Re-seed an empty cluster at the farthest point.
+                farthest = distances.min(axis=1).argmax()
+                new_centroids[j] = points[farthest]
+            else:
+                new_centroids[j] = members.mean(axis=0)
+            moved += float(((new_centroids[j] - centroids[j]) ** 2).sum())
+        centroids = new_centroids
+        if moved <= tolerance:
+            break
+    distances = ((points[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+    labels = distances.argmin(axis=1)
+    inertia = float(distances[np.arange(n), labels].sum())
+    return KMeansResult(
+        centroids=centroids,
+        labels=tuple(int(label) for label in labels),
+        inertia=inertia,
+        iterations=iterations,
+    )

@@ -1,0 +1,63 @@
+"""Cluster quality metrics used by the tests and ablation benchmarks."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .kmeans import _as_points
+
+
+def inertia(data: Sequence, labels: Sequence[int]) -> float:
+    """Total within-cluster sum of squared distances to cluster means."""
+    points = _as_points(data)
+    labels_arr = np.asarray(list(labels), dtype=int)
+    if labels_arr.shape[0] != points.shape[0]:
+        raise ValueError("labels length does not match data length")
+    total = 0.0
+    for label in np.unique(labels_arr):
+        if label < 0:
+            continue  # noise points contribute nothing
+        members = points[labels_arr == label]
+        centre = members.mean(axis=0)
+        total += float(((members - centre) ** 2).sum())
+    return total
+
+
+def silhouette_score(data: Sequence, labels: Sequence[int]) -> float:
+    """Mean silhouette coefficient over non-noise points.
+
+    Returns 0.0 when fewer than two clusters exist (the coefficient is
+    undefined there), matching the convention used by scikit-learn's
+    error case but without raising — convenient inside sweeps.
+    """
+    points = _as_points(data)
+    labels_arr = np.asarray(list(labels), dtype=int)
+    if labels_arr.shape[0] != points.shape[0]:
+        raise ValueError("labels length does not match data length")
+    mask = labels_arr >= 0
+    points = points[mask]
+    labels_arr = labels_arr[mask]
+    unique = np.unique(labels_arr)
+    if unique.size < 2 or points.shape[0] < 2:
+        return 0.0
+    diffs = points[:, None, :] - points[None, :, :]
+    distances = np.sqrt((diffs**2).sum(axis=2))
+    scores = []
+    for i in range(points.shape[0]):
+        own = labels_arr[i]
+        own_mask = labels_arr == own
+        own_count = int(own_mask.sum())
+        if own_count <= 1:
+            scores.append(0.0)
+            continue
+        a = distances[i][own_mask].sum() / (own_count - 1)
+        b = min(
+            distances[i][labels_arr == other].mean()
+            for other in unique
+            if other != own
+        )
+        denom = max(a, b)
+        scores.append(0.0 if denom == 0 else (b - a) / denom)
+    return float(np.mean(scores))

@@ -1,0 +1,95 @@
+"""X-means [Pelleg & Moore 2000]: k-means with BIC-driven cluster count.
+
+Cited by §5 of the paper as a candidate for generalising the AVOC
+bootstrap to multi-dimensional data, where the number of agreeing groups
+is not known in advance.  Starting from ``k_min`` clusters, each cluster
+is tentatively split in two; the split is kept when it improves the
+Bayesian Information Criterion.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .kmeans import KMeansResult, _as_points, kmeans
+
+
+def _bic(points: np.ndarray, centroids: np.ndarray, labels: np.ndarray) -> float:
+    """BIC of a spherical-Gaussian mixture fit (Pelleg & Moore, eq. 2-4)."""
+    n, dims = points.shape
+    k = centroids.shape[0]
+    if n <= k:
+        return -math.inf
+    residual = 0.0
+    for j in range(k):
+        members = points[labels == j]
+        if members.size:
+            residual += float(((members - centroids[j]) ** 2).sum())
+    variance = residual / (dims * (n - k))
+    if variance <= 0:
+        variance = 1e-12
+    log_likelihood = 0.0
+    for j in range(k):
+        size = int((labels == j).sum())
+        if size == 0:
+            continue
+        log_likelihood += (
+            size * math.log(size / n)
+            - size * dims / 2.0 * math.log(2.0 * math.pi * variance)
+            - (size - 1) * dims / 2.0
+        )
+    parameters = k * (dims + 1)
+    return log_likelihood - parameters / 2.0 * math.log(n)
+
+
+def xmeans(
+    data: Sequence,
+    k_min: int = 1,
+    k_max: int = 10,
+    seed: Optional[int] = 0,
+) -> KMeansResult:
+    """Estimate cluster count and clustering simultaneously.
+
+    Args:
+        data: N points (scalars or coordinate vectors).
+        k_min: starting number of clusters.
+        k_max: hard upper bound on the cluster count.
+        seed: RNG seed threaded through the inner k-means runs.
+
+    Returns:
+        The final :class:`~repro.clustering.kmeans.KMeansResult`.
+    """
+    points = _as_points(data)
+    n = points.shape[0]
+    if not 1 <= k_min <= k_max:
+        raise ValueError(f"need 1 <= k_min <= k_max, got {k_min}, {k_max}")
+    k_min = min(k_min, n)
+    result = kmeans(points, k_min, seed=seed)
+
+    improved = True
+    while improved and result.k < min(k_max, n):
+        improved = False
+        labels = np.asarray(result.labels)
+        new_centroids = []
+        for j in range(result.k):
+            members = points[labels == j]
+            if members.shape[0] < 3:
+                new_centroids.append(result.centroids[j])
+                continue
+            parent_bic = _bic(
+                members, result.centroids[j : j + 1], np.zeros(len(members), dtype=int)
+            )
+            split = kmeans(members, 2, seed=seed)
+            child_bic = _bic(members, split.centroids, np.asarray(split.labels))
+            if child_bic > parent_bic and result.k + len(new_centroids) < k_max:
+                new_centroids.extend(split.centroids)
+                improved = True
+            else:
+                new_centroids.append(result.centroids[j])
+        k_next = min(len(new_centroids), n)
+        if improved:
+            result = kmeans(points, k_next, seed=seed)
+    return result

@@ -1,0 +1,96 @@
+"""The :class:`Dataset` container: a recorded rounds × modules matrix."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+import numpy as np
+
+from ..exceptions import DatasetError
+from ..types import Round, is_missing
+
+
+@dataclass
+class Dataset:
+    """A recorded multi-sensor dataset.
+
+    Attributes:
+        name: dataset label.
+        modules: module (column) names.
+        matrix: rounds × modules float matrix; NaN marks missing values.
+        times: per-round timestamps (seconds), same length as rounds.
+        metadata: free-form provenance (seed, config, fault description).
+    """
+
+    name: str
+    modules: List[str]
+    matrix: np.ndarray
+    times: Optional[np.ndarray] = None
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.matrix = np.asarray(self.matrix, dtype=float)
+        if self.matrix.ndim != 2:
+            raise DatasetError(f"matrix must be 2-D, got shape {self.matrix.shape}")
+        if self.matrix.shape[1] != len(self.modules):
+            raise DatasetError(
+                f"matrix has {self.matrix.shape[1]} columns but "
+                f"{len(self.modules)} module names were given"
+            )
+        if self.times is not None:
+            self.times = np.asarray(self.times, dtype=float)
+            if self.times.shape[0] != self.matrix.shape[0]:
+                raise DatasetError("times length does not match round count")
+
+    @property
+    def n_rounds(self) -> int:
+        return self.matrix.shape[0]
+
+    @property
+    def n_modules(self) -> int:
+        return self.matrix.shape[1]
+
+    def column(self, module: str) -> np.ndarray:
+        """One module's full value series."""
+        try:
+            idx = self.modules.index(module)
+        except ValueError:
+            raise DatasetError(f"no module named {module!r} in dataset {self.name!r}")
+        return self.matrix[:, idx]
+
+    def rounds(self) -> Iterator[Round]:
+        """Iterate the dataset as voting rounds (NaN becomes missing)."""
+        for number, row in enumerate(self.matrix):
+            mapping = {
+                m: (None if is_missing(v) else float(v))
+                for m, v in zip(self.modules, row)
+            }
+            timestamp = float(self.times[number]) if self.times is not None else 0.0
+            yield Round.from_mapping(number, mapping, timestamp=timestamp)
+
+    def slice(self, start: int, stop: Optional[int] = None) -> "Dataset":
+        """A new dataset restricted to rounds [start, stop)."""
+        return Dataset(
+            name=self.name,
+            modules=list(self.modules),
+            matrix=self.matrix[start:stop].copy(),
+            times=None if self.times is None else self.times[start:stop].copy(),
+            metadata=dict(self.metadata),
+        )
+
+    def with_matrix(self, matrix: np.ndarray, suffix: str, **metadata) -> "Dataset":
+        """Derive a dataset with a replaced matrix (fault injection)."""
+        merged = dict(self.metadata)
+        merged.update(metadata)
+        return Dataset(
+            name=f"{self.name}-{suffix}",
+            modules=list(self.modules),
+            matrix=matrix,
+            times=None if self.times is None else self.times.copy(),
+            metadata=merged,
+        )
+
+    def missing_fraction(self) -> float:
+        """Fraction of NaN entries over the whole matrix."""
+        return float(np.isnan(self.matrix).mean())

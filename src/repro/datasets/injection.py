@@ -1,0 +1,128 @@
+"""Error injection on recorded datasets.
+
+The paper's UC-1 error experiment "injected an artificial outlier
+sensor, by adding +6 lumen to one of the sensors" (+6 on the
+kilolumen-scaled axis) — :func:`offset_fault` is that transformation.
+The other injectors cover the fault families used by the wider test
+suite and the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import DatasetError
+from .dataset import Dataset
+
+
+def _module_index(dataset: Dataset, module: str) -> int:
+    try:
+        return dataset.modules.index(module)
+    except ValueError:
+        raise DatasetError(f"no module named {module!r} in dataset {dataset.name!r}")
+
+
+def _window(dataset: Dataset, start_round: int, end_round: Optional[int]):
+    if start_round < 0:
+        raise DatasetError("start_round must be non-negative")
+    end = dataset.n_rounds if end_round is None else end_round
+    if end < start_round:
+        raise DatasetError("end_round precedes start_round")
+    return start_round, min(end, dataset.n_rounds)
+
+
+def offset_fault(
+    dataset: Dataset,
+    module: str,
+    delta: float,
+    start_round: int = 0,
+    end_round: Optional[int] = None,
+) -> Dataset:
+    """Add a constant offset to one module's values (the UC-1 fault)."""
+    idx = _module_index(dataset, module)
+    start, end = _window(dataset, start_round, end_round)
+    matrix = dataset.matrix.copy()
+    matrix[start:end, idx] += delta
+    return dataset.with_matrix(
+        matrix,
+        suffix=f"fault-{module}",
+        fault={"type": "offset", "module": module, "delta": delta,
+               "start_round": start, "end_round": end},
+    )
+
+
+def stuck_fault(
+    dataset: Dataset,
+    module: str,
+    stuck_value: float,
+    start_round: int = 0,
+    end_round: Optional[int] = None,
+) -> Dataset:
+    """Freeze one module at a constant value."""
+    idx = _module_index(dataset, module)
+    start, end = _window(dataset, start_round, end_round)
+    matrix = dataset.matrix.copy()
+    matrix[start:end, idx] = stuck_value
+    return dataset.with_matrix(
+        matrix,
+        suffix=f"stuck-{module}",
+        fault={"type": "stuck", "module": module, "value": stuck_value,
+               "start_round": start, "end_round": end},
+    )
+
+
+def spike_fault(
+    dataset: Dataset,
+    module: str,
+    magnitude: float,
+    probability: float = 0.05,
+    seed: int = 0,
+    start_round: int = 0,
+    end_round: Optional[int] = None,
+) -> Dataset:
+    """Random ±magnitude spikes on one module with the given probability."""
+    if not 0.0 <= probability <= 1.0:
+        raise DatasetError("spike probability must be in [0, 1]")
+    idx = _module_index(dataset, module)
+    start, end = _window(dataset, start_round, end_round)
+    rng = np.random.default_rng(seed)
+    matrix = dataset.matrix.copy()
+    window = slice(start, end)
+    hits = rng.random(end - start) < probability
+    signs = np.where(rng.random(end - start) < 0.5, -1.0, 1.0)
+    matrix[window, idx] = matrix[window, idx] + hits * signs * magnitude
+    return dataset.with_matrix(
+        matrix,
+        suffix=f"spikes-{module}",
+        fault={"type": "spike", "module": module, "magnitude": magnitude,
+               "probability": probability, "seed": seed},
+    )
+
+
+def drop_values(
+    dataset: Dataset,
+    module: str,
+    probability: float,
+    seed: int = 0,
+    start_round: int = 0,
+    end_round: Optional[int] = None,
+) -> Dataset:
+    """Replace one module's values with NaN at the given probability."""
+    if not 0.0 <= probability <= 1.0:
+        raise DatasetError("dropout probability must be in [0, 1]")
+    idx = _module_index(dataset, module)
+    start, end = _window(dataset, start_round, end_round)
+    rng = np.random.default_rng(seed)
+    matrix = dataset.matrix.copy()
+    hits = rng.random(end - start) < probability
+    column = matrix[start:end, idx]
+    column[hits] = np.nan
+    matrix[start:end, idx] = column
+    return dataset.with_matrix(
+        matrix,
+        suffix=f"dropout-{module}",
+        fault={"type": "dropout", "module": module, "probability": probability,
+               "seed": seed},
+    )

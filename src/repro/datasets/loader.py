@@ -1,0 +1,122 @@
+"""Dataset persistence: CSV and JSON round-trips.
+
+CSV is the interchange format for recorded sensor matrices (one row per
+round, optional leading ``time`` column, empty cells = missing values);
+JSON additionally carries metadata.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+from pathlib import Path
+from typing import List, Optional, Union
+
+import numpy as np
+
+from ..exceptions import DatasetError
+from .dataset import Dataset
+
+PathLike = Union[str, Path]
+
+
+def save_csv(dataset: Dataset, path: PathLike) -> None:
+    """Write a dataset as CSV (``time`` column first when present)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        header = (["time"] if dataset.times is not None else []) + dataset.modules
+        writer.writerow(header)
+        for i, row in enumerate(dataset.matrix):
+            cells: List[str] = []
+            if dataset.times is not None:
+                cells.append(repr(float(dataset.times[i])))
+            cells.extend("" if math.isnan(v) else repr(float(v)) for v in row)
+            writer.writerow(cells)
+
+
+def load_csv(path: PathLike, name: Optional[str] = None) -> Dataset:
+    """Read a dataset from CSV written by :func:`save_csv` (or similar)."""
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"dataset file not found: {path}")
+    with open(path, "r", newline="", encoding="utf-8") as fh:
+        reader = csv.reader(fh)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise DatasetError(f"empty dataset file: {path}")
+        has_time = bool(header) and header[0].lower() == "time"
+        modules = header[1:] if has_time else header
+        if not modules:
+            raise DatasetError(f"no module columns in {path}")
+        times: List[float] = []
+        rows: List[List[float]] = []
+        for lineno, cells in enumerate(reader, start=2):
+            if not cells:
+                continue
+            expected = len(modules) + (1 if has_time else 0)
+            if len(cells) != expected:
+                raise DatasetError(
+                    f"{path}:{lineno}: expected {expected} cells, got {len(cells)}"
+                )
+            if has_time:
+                times.append(float(cells[0]))
+                cells = cells[1:]
+            rows.append([float("nan") if c == "" else float(c) for c in cells])
+    return Dataset(
+        name=name or path.stem,
+        modules=list(modules),
+        matrix=np.asarray(rows, dtype=float),
+        times=np.asarray(times) if has_time else None,
+    )
+
+
+def save_json(dataset: Dataset, path: PathLike) -> None:
+    """Write a dataset (matrix + metadata) as a JSON document."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    document = {
+        "name": dataset.name,
+        "modules": dataset.modules,
+        "matrix": [
+            [None if math.isnan(v) else float(v) for v in row]
+            for row in dataset.matrix
+        ],
+        "times": None if dataset.times is None else [float(t) for t in dataset.times],
+        "metadata": dataset.metadata,
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh)
+
+
+def load_json(path: PathLike) -> Dataset:
+    """Read a dataset from a JSON document written by :func:`save_json`."""
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"dataset file not found: {path}")
+    with open(path, "r", encoding="utf-8") as fh:
+        try:
+            document = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise DatasetError(f"invalid dataset JSON in {path}: {exc}")
+    for key in ("name", "modules", "matrix"):
+        if key not in document:
+            raise DatasetError(f"dataset JSON missing key {key!r}")
+    matrix = np.asarray(
+        [
+            [float("nan") if v is None else float(v) for v in row]
+            for row in document["matrix"]
+        ],
+        dtype=float,
+    )
+    times = document.get("times")
+    return Dataset(
+        name=document["name"],
+        modules=list(document["modules"]),
+        matrix=matrix,
+        times=None if times is None else np.asarray(times, dtype=float),
+        metadata=dict(document.get("metadata", {})),
+    )

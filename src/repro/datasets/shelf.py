@@ -1,0 +1,129 @@
+"""Smart-shelf scenario: high-redundancy categorical sensing.
+
+The paper's introduction motivates high redundancy with "smart shopping
+scenarios with networked shelf labels, [where] the degree of redundancy
+rises significantly to dozens of proximity sensors".  This generator
+models that third scenario: a shelf slot watched by N proximity
+sensors, each reporting a categorical occupancy state per round.
+
+Ground truth is a seeded occupancy timeline (items picked up and put
+back); each sensor reports the true state with a per-sensor accuracy,
+flips to a wrong state otherwise, and may drop out entirely.  A
+configurable subset of *defective* sensors reports at much lower
+accuracy — the categorical analogue of UC-1's faulty module.
+
+The shelf dataset exercises exactly the VDX categorical mode (§6):
+weighted-majority collation, standard/Me history, no clustering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import DatasetError
+
+#: The occupancy states a proximity sensor can report.
+STATES: Tuple[str, ...] = ("present", "absent")
+
+
+@dataclass(frozen=True)
+class ShelfConfig:
+    """Parameters of the smart-shelf generator."""
+
+    n_rounds: int = 500
+    n_sensors: int = 24
+    flip_probability: float = 0.02
+    healthy_accuracy: float = 0.95
+    defective_accuracy: float = 0.55
+    n_defective: int = 3
+    dropout_probability: float = 0.02
+    seed: int = 77
+
+    def __post_init__(self):
+        if self.n_sensors < 1 or self.n_rounds < 1:
+            raise DatasetError("need at least one sensor and one round")
+        if self.n_defective >= self.n_sensors / 2:
+            raise DatasetError(
+                "defective sensors must stay a minority "
+                f"({self.n_defective} of {self.n_sensors})"
+            )
+        for name in ("flip_probability", "healthy_accuracy",
+                     "defective_accuracy", "dropout_probability"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise DatasetError(f"{name} must be in [0, 1], got {value}")
+
+    def module_names(self) -> List[str]:
+        return [f"P{i + 1}" for i in range(self.n_sensors)]
+
+    def defective_modules(self) -> List[str]:
+        return self.module_names()[: self.n_defective]
+
+
+@dataclass
+class ShelfDataset:
+    """Rounds × sensors categorical matrix plus the ground truth."""
+
+    config: ShelfConfig
+    modules: List[str]
+    readings: List[List[Optional[str]]]
+    truth: List[str]
+
+    @property
+    def n_rounds(self) -> int:
+        return len(self.readings)
+
+    def round_values(self, number: int) -> Dict[str, Optional[str]]:
+        """One round as a ``{module: state_or_None}`` mapping."""
+        return dict(zip(self.modules, self.readings[number]))
+
+    def accuracy_of(self, outputs: List[Optional[str]]) -> float:
+        """Fraction of rounds where a fused output matches the truth."""
+        if len(outputs) != self.n_rounds:
+            raise DatasetError("output length does not match round count")
+        correct = sum(
+            1 for out, true in zip(outputs, self.truth) if out == true
+        )
+        return correct / self.n_rounds
+
+
+def _wrong_state(state: str, rng: np.random.Generator) -> str:
+    options = [s for s in STATES if s != state]
+    return options[int(rng.integers(len(options)))]
+
+
+def generate_shelf_dataset(config: ShelfConfig = ShelfConfig()) -> ShelfDataset:
+    """Generate the smart-shelf dataset (deterministic per seed)."""
+    rng = np.random.default_rng(config.seed)
+    truth: List[str] = []
+    state = "present"
+    for _ in range(config.n_rounds):
+        if rng.random() < config.flip_probability:
+            state = _wrong_state(state, rng)
+        truth.append(state)
+
+    modules = config.module_names()
+    defective = set(config.defective_modules())
+    readings: List[List[Optional[str]]] = []
+    for true_state in truth:
+        row: List[Optional[str]] = []
+        for module in modules:
+            if rng.random() < config.dropout_probability:
+                row.append(None)
+                continue
+            accuracy = (
+                config.defective_accuracy
+                if module in defective
+                else config.healthy_accuracy
+            )
+            if rng.random() < accuracy:
+                row.append(true_state)
+            else:
+                row.append(_wrong_state(true_state, rng))
+        readings.append(row)
+    return ShelfDataset(
+        config=config, modules=modules, readings=readings, truth=truth
+    )

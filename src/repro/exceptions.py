@@ -1,0 +1,66 @@
+"""Exception hierarchy for the AVOC reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+client code can catch the whole family with a single ``except`` clause
+while still distinguishing specific failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class ConfigurationError(ReproError):
+    """A voter, engine or simulation was configured with invalid parameters."""
+
+
+class SpecificationError(ReproError):
+    """A VDX document failed validation.
+
+    Carries the list of individual problems found so callers can report
+    them all at once rather than fixing one field at a time.
+    """
+
+    def __init__(self, problems):
+        if isinstance(problems, str):
+            problems = [problems]
+        self.problems = list(problems)
+        super().__init__("; ".join(self.problems))
+
+
+class QuorumNotReachedError(ReproError):
+    """Too few candidate values were submitted for a vote to trigger."""
+
+    def __init__(self, submitted, required, message=None):
+        self.submitted = submitted
+        self.required = required
+        super().__init__(
+            message
+            or f"quorum not reached: {submitted} submitted, {required} required"
+        )
+
+
+class NoMajorityError(ReproError):
+    """No (relative) majority agreement exists among the candidate values."""
+
+
+class EmptyRoundError(ReproError):
+    """A voting round received no candidate values at all."""
+
+
+class HistoryStoreError(ReproError):
+    """A history datastore backend failed to read or persist records."""
+
+
+class DatasetError(ReproError):
+    """A dataset could not be generated, loaded or parsed."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class FusionError(ReproError):
+    """The fusion engine could not produce an output for a round."""

@@ -1,0 +1,33 @@
+"""Experiment orchestration: one entry point per paper figure/claim.
+
+The CLI and the benchmark suite both call into this package, so a
+figure is regenerated identically however it is invoked.
+"""
+
+from .uc1 import (
+    FIG6_ALGORITHMS,
+    Fig6Result,
+    make_uc1_voter,
+    run_fig6,
+)
+from .uc2 import (
+    FIG7_COLLATION_GROUPS,
+    Fig7Result,
+    run_fig7,
+)
+from .robustness import RobustnessResult, run_robustness_sweep
+from .shelf import ShelfResult, run_shelf_experiment
+
+__all__ = [
+    "RobustnessResult",
+    "run_robustness_sweep",
+    "ShelfResult",
+    "run_shelf_experiment",
+    "FIG6_ALGORITHMS",
+    "Fig6Result",
+    "make_uc1_voter",
+    "run_fig6",
+    "FIG7_COLLATION_GROUPS",
+    "Fig7Result",
+    "run_fig7",
+]

@@ -1,0 +1,132 @@
+"""UC-1 experiment driver: everything behind Fig. 6 and the 4× claim.
+
+One call to :func:`run_fig6` regenerates the data behind all six panels:
+
+* 6-a — the raw reference dataset;
+* 6-b — voting output of the six variants on the raw data;
+* 6-c — the reference data with the +6 kilolumen fault on E4;
+* 6-d — voting output under the fault;
+* 6-e — per-algorithm differentials (fault output − clean output);
+* 6-f — the same differentials zoomed to the first rounds, where the
+  AVOC bootstrap acts;
+
+plus the convergence rounds per algorithm and the AVOC-vs-Hybrid
+convergence boost (the abstract's 4×).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..analysis.convergence import convergence_round
+from ..analysis.diff import run_voter_series
+from ..datasets.dataset import Dataset
+from ..datasets.injection import offset_fault
+from ..datasets.light_uc1 import UC1Config, generate_uc1_dataset
+from ..voting.base import Voter
+from ..voting.registry import create_voter
+
+#: The six variants compared in Fig. 6 (paper labels:
+#: avg. / standard / ME / Hybrid / Clustering / AVOC).
+FIG6_ALGORITHMS: Tuple[str, ...] = (
+    "average",
+    "standard",
+    "me",
+    "hybrid",
+    "clustering",
+    "avoc",
+)
+
+#: The fault of Fig. 6-c: +6 on the kilolumen axis, sensor E4.
+FAULT_MODULE = "E4"
+FAULT_DELTA = 6.0
+
+
+def make_uc1_voter(algorithm: str) -> Voter:
+    """A fresh voter configured for UC-1 (paper defaults: ε=5 %, k=2)."""
+    return create_voter(algorithm)
+
+
+@dataclass
+class Fig6Result:
+    """All series behind Fig. 6, keyed by algorithm name.
+
+    Two convergence readings are reported, following the paper's §7
+    metric (a) — "voting rounds required to converge back to the
+    baseline, and by extension how quickly outliers are eliminated":
+
+    * ``convergence_rounds`` — settling round of the output diff
+      (sensitive to the residual pick-flip spikes the paper also shows
+      in Fig. 6-e);
+    * ``exclusion_rounds`` — first round from which the faulty module
+      stays zero-weighted (the robust "outlier eliminated" reading; the
+      headline 4× boost is computed on this one).
+    """
+
+    clean: Dataset
+    faulty: Dataset
+    fault_module: str = FAULT_MODULE
+    clean_outputs: Dict[str, np.ndarray] = field(default_factory=dict)
+    fault_outputs: Dict[str, np.ndarray] = field(default_factory=dict)
+    diffs: Dict[str, np.ndarray] = field(default_factory=dict)
+    convergence_rounds: Dict[str, int] = field(default_factory=dict)
+    exclusion_rounds: Dict[str, int] = field(default_factory=dict)
+    tolerance: float = 0.3
+
+    @property
+    def boost(self) -> float:
+        """AVOC's convergence boost over plain Hybrid (the 4× claim).
+
+        Ratio of 1-indexed outlier-exclusion rounds.
+        """
+        hybrid = self.exclusion_rounds["hybrid"] + 1
+        avoc = self.exclusion_rounds["avoc"] + 1
+        return hybrid / avoc
+
+    def zoom(self, algorithm: str, rounds: int = 10) -> np.ndarray:
+        """Fig. 6-f: the first ``rounds`` entries of one diff series."""
+        return self.diffs[algorithm][:rounds]
+
+
+def exclusion_round(voter: Voter, faulty: Dataset, module: str) -> int:
+    """First round from which ``module`` stays zero-weighted.
+
+    Returns the dataset length when the module is never (permanently)
+    excluded — e.g. for stateless averaging or the Standard voter.
+    """
+    voter.reset()
+    last_included = -1
+    for number, voting_round in enumerate(faulty.rounds()):
+        outcome = voter.vote(voting_round)
+        if outcome.weights.get(module, 0.0) != 0.0:
+            last_included = number
+    return min(last_included + 1, faulty.n_rounds)
+
+
+def run_fig6(
+    config: UC1Config = UC1Config(),
+    fault_module: str = FAULT_MODULE,
+    fault_delta: float = FAULT_DELTA,
+    tolerance: float = 0.3,
+) -> Fig6Result:
+    """Run the full UC-1 comparison on a freshly generated dataset."""
+    clean = generate_uc1_dataset(config)
+    faulty = offset_fault(clean, fault_module, fault_delta)
+    result = Fig6Result(
+        clean=clean, faulty=faulty, fault_module=fault_module, tolerance=tolerance
+    )
+    for algorithm in FIG6_ALGORITHMS:
+        clean_out = run_voter_series(make_uc1_voter(algorithm), clean)
+        fault_out = run_voter_series(make_uc1_voter(algorithm), faulty)
+        diff = fault_out - clean_out
+        result.clean_outputs[algorithm] = clean_out
+        result.fault_outputs[algorithm] = fault_out
+        result.diffs[algorithm] = diff
+        result.convergence_rounds[algorithm] = convergence_round(diff, tolerance)
+        result.exclusion_rounds[algorithm] = exclusion_round(
+            make_uc1_voter(algorithm), faulty, fault_module
+        )
+    return result

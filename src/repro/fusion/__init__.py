@@ -1,0 +1,31 @@
+"""Fusion middleware: the layer around a voter that the paper's §7
+fault scenarios demand.
+
+A bare voter turns one round of values into one output.  Deployments
+need more: pre-vote value exclusion (VDX ``exclusion``), quorum
+enforcement, policies for rounds with missing values or unresolvable
+conflicts ("the system should either revert to the last accepted result,
+or raise an error"), and per-dimension pipelines for multi-dimensional
+data (§5 Generalisation).  That glue lives here.
+"""
+
+from .quorum import QuorumRule
+from .faults import FaultPolicy
+from .exclusion import exclude_values
+from .engine import FusionEngine, FusionResult
+from .pipeline import MultiDimensionalPipeline
+from .vector import VectorFusion, VectorRoundResult
+from .stream import SensorEvent, StreamingFusion
+
+__all__ = [
+    "SensorEvent",
+    "StreamingFusion",
+    "QuorumRule",
+    "FaultPolicy",
+    "exclude_values",
+    "FusionEngine",
+    "FusionResult",
+    "MultiDimensionalPipeline",
+    "VectorFusion",
+    "VectorRoundResult",
+]

@@ -1,0 +1,201 @@
+"""The fusion engine: a voter wrapped in deployment policy.
+
+One engine instance owns one voter, one quorum rule, one exclusion
+filter and one fault policy, and processes rounds (or whole recorded
+matrices, as the paper's reproducible evaluation does) into
+:class:`FusionResult` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import (
+    EmptyRoundError,
+    FusionError,
+    NoMajorityError,
+    QuorumNotReachedError,
+)
+from ..types import Round, VoteOutcome, is_missing
+from ..voting.base import Voter
+from .exclusion import exclude_values
+from .faults import FaultPolicy
+from .quorum import QuorumRule
+
+
+@dataclass(frozen=True)
+class FusionResult:
+    """One round's engine-level result.
+
+    ``status`` is ``"ok"`` for a regular vote, ``"held"`` when the fault
+    policy substituted the last accepted value, and ``"skipped"`` when
+    the round produced no output at all.
+    """
+
+    round_number: int
+    value: Optional[Any]
+    status: str
+    excluded: Tuple[str, ...] = ()
+    outcome: Optional[VoteOutcome] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+class FusionEngine:
+    """Policy wrapper around a voter.
+
+    Args:
+        voter: the voting algorithm instance.
+        roster: known module names.  When None, the roster is learned
+            from the first round and extended as new modules appear.
+        quorum: quorum rule (default: no quorum requirement).
+        exclusion: VDX exclusion mode.
+        exclusion_threshold: threshold for the exclusion mode.
+        fault_policy: behaviour on degraded rounds.
+    """
+
+    def __init__(
+        self,
+        voter: Voter,
+        roster: Optional[Sequence[str]] = None,
+        quorum: Optional[QuorumRule] = None,
+        exclusion: str = "NONE",
+        exclusion_threshold: float = 0.0,
+        fault_policy: Optional[FaultPolicy] = None,
+    ):
+        self.voter = voter
+        self.roster: List[str] = list(roster) if roster else []
+        self.quorum = quorum or QuorumRule()
+        self.exclusion = exclusion.upper()
+        self.exclusion_threshold = exclusion_threshold
+        self.fault_policy = fault_policy or FaultPolicy()
+        self.last_accepted: Optional[Any] = None
+        self.rounds_processed = 0
+        self.rounds_degraded = 0
+
+    @classmethod
+    def from_spec(cls, spec, voter: Voter, fault_policy=None) -> "FusionEngine":
+        """Build an engine configured by a VDX specification."""
+        return cls(
+            voter=voter,
+            quorum=QuorumRule(mode=spec.quorum, percentage=spec.quorum_percentage),
+            exclusion=spec.exclusion,
+            exclusion_threshold=spec.exclusion_threshold,
+            fault_policy=fault_policy,
+        )
+
+    # -- degraded-round handling -----------------------------------------
+
+    def _degraded(self, voting_round: Round, action: str, reason: str) -> FusionResult:
+        self.rounds_degraded += 1
+        if action == "raise":
+            if reason == "quorum":
+                raise QuorumNotReachedError(
+                    voting_round.submitted_count,
+                    self.quorum.required_count(len(self.roster)),
+                )
+            raise FusionError(f"round {voting_round.number} rejected: {reason}")
+        if action == "last_value" and self.last_accepted is not None:
+            return FusionResult(
+                round_number=voting_round.number,
+                value=self.last_accepted,
+                status="held",
+            )
+        return FusionResult(
+            round_number=voting_round.number, value=None, status="skipped"
+        )
+
+    # -- main entry ---------------------------------------------------------
+
+    def process(self, voting_round: Round) -> FusionResult:
+        """Run one round through exclusion, quorum, fault policy and vote."""
+        self.rounds_processed += 1
+        for module in voting_round.modules:
+            if module not in self.roster:
+                self.roster.append(module)
+
+        policy = self.fault_policy
+        if policy.majority_missing(voting_round.submitted_count, len(self.roster)):
+            return self._degraded(
+                voting_round, policy.on_missing_majority, "majority of values missing"
+            )
+        if not self.quorum.satisfied(voting_round, len(self.roster)):
+            return self._degraded(voting_round, policy.on_quorum_failure, "quorum")
+
+        filtered, excluded = exclude_values(
+            voting_round, self.exclusion, self.exclusion_threshold
+        )
+        try:
+            outcome = self.voter.vote(filtered)
+        except NoMajorityError:
+            return self._degraded(voting_round, policy.on_conflict, "no majority")
+        except EmptyRoundError:
+            return self._degraded(
+                voting_round, policy.on_missing_majority, "no values present"
+            )
+        if not outcome.quorum_reached or outcome.value is None:
+            return self._degraded(voting_round, policy.on_quorum_failure, "quorum")
+        self.last_accepted = outcome.value
+        return FusionResult(
+            round_number=voting_round.number,
+            value=outcome.value,
+            status="ok",
+            excluded=excluded,
+            outcome=outcome,
+        )
+
+    def run(self, rounds) -> List[FusionResult]:
+        """Process an iterable of rounds in order."""
+        return [self.process(r) for r in rounds]
+
+    def run_matrix(
+        self, matrix: np.ndarray, modules: Optional[Sequence[str]] = None
+    ) -> List[FusionResult]:
+        """Process a recorded dataset matrix (rounds × modules).
+
+        NaN entries are treated as missing values, matching the UC-2
+        dataset's unreachable-beacon gaps.
+        """
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2:
+            raise FusionError(f"expected a 2-D matrix, got shape {matrix.shape}")
+        if modules is None:
+            modules = [f"E{i + 1}" for i in range(matrix.shape[1])]
+        if len(modules) != matrix.shape[1]:
+            raise FusionError("module name count does not match matrix columns")
+        results = []
+        for number, row in enumerate(matrix):
+            mapping = {m: (None if is_missing(v) else float(v)) for m, v in zip(modules, row)}
+            results.append(self.process(Round.from_mapping(number, mapping)))
+        return results
+
+    def output_series(self, results: Sequence[FusionResult]) -> np.ndarray:
+        """Extract the output values as a float array (NaN for skips)."""
+        return np.asarray(
+            [float("nan") if r.value is None else float(r.value) for r in results]
+        )
+
+    def statistics(self) -> Dict[str, Any]:
+        """Operational summary: throughput, degradation, availability."""
+        processed = self.rounds_processed
+        degraded = self.rounds_degraded
+        return {
+            "rounds_processed": processed,
+            "rounds_degraded": degraded,
+            "availability": (processed - degraded) / processed if processed else 0.0,
+            "roster_size": len(self.roster),
+            "last_accepted": self.last_accepted,
+            "algorithm": getattr(self.voter, "name", type(self.voter).__name__),
+        }
+
+    def reset(self) -> None:
+        """Reset voter state and engine counters (roster is kept)."""
+        self.voter.reset()
+        self.last_accepted = None
+        self.rounds_processed = 0
+        self.rounds_degraded = 0

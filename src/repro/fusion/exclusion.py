@@ -1,0 +1,72 @@
+"""Pre-vote value-based exclusion (VDX ``exclusion``).
+
+VDL's second voting step "excluding outliers" survives in VDX as an
+optional filter applied before the voter sees the round:
+
+* ``DEVIATION`` — drop values more than ``threshold`` standard
+  deviations away from the round mean (classic z-score pruning);
+* ``RANGE`` — drop values farther than ``threshold`` (absolute units)
+  from the round median.
+
+Exclusion never removes so many values that the round becomes empty:
+when the filter would reject everything, the original round is returned
+untouched (pruning everything is indistinguishable from a broken
+filter, and the voter's own mechanisms handle dissent better).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..types import Round
+
+_MODES = ("NONE", "DEVIATION", "RANGE")
+
+
+def exclude_values(
+    voting_round: Round, mode: str, threshold: float
+) -> Tuple[Round, Tuple[str, ...]]:
+    """Apply value-based exclusion to a round.
+
+    Returns:
+        A (possibly filtered) round and the names of excluded modules.
+    """
+    mode = mode.upper()
+    if mode not in _MODES:
+        raise ConfigurationError(f"exclusion mode must be one of {_MODES}")
+    if mode == "NONE":
+        return voting_round, ()
+    if threshold <= 0:
+        raise ConfigurationError("exclusion requires a positive threshold")
+
+    present = voting_round.present
+    if len(present) < 3:
+        # With fewer than 3 values no robust outlier criterion exists.
+        return voting_round, ()
+    values = np.asarray([float(r.value) for r in present])
+
+    if mode == "DEVIATION":
+        std = float(values.std())
+        if std == 0:
+            return voting_round, ()
+        scores = np.abs(values - values.mean()) / std
+        keep_mask = scores <= threshold
+    else:  # RANGE
+        keep_mask = np.abs(values - np.median(values)) <= threshold
+
+    if not keep_mask.any():
+        return voting_round, ()
+
+    excluded = tuple(r.module for r, keep in zip(present, keep_mask) if not keep)
+    if not excluded:
+        return voting_round, ()
+    kept_readings = tuple(
+        r
+        for r in voting_round.readings
+        if r.missing or r.module not in excluded
+    )
+    filtered = Round(number=voting_round.number, readings=kept_readings)
+    return filtered, excluded

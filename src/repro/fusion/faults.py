@@ -1,0 +1,76 @@
+"""Fault-handling policies for the §7 fault scenarios.
+
+The paper identifies two fault families in the BLE experiment and
+explicitly leaves their handling to client code ("these behaviors are
+currently not modelled by VDX itself"):
+
+* **missing values** — unreachable beacons.  A minority of gaps merely
+  reduces redundancy; when the majority (or all) values are missing the
+  result is untrustworthy and "the system should either revert to the
+  last accepted result, or raise an error";
+* **conflicting results** — no absolute majority exists, or a tie
+  between tallies; a tie-break (e.g. proximity to the previous output)
+  may apply.
+
+:class:`FaultPolicy` makes that choice explicit and reusable, and is the
+"high-level description of the desired fault handling policy" the paper
+proposes as a future VDX extension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import ConfigurationError
+
+#: What to do when a round is rejected (quorum failure, majority of
+#: values missing, or unresolved conflict).
+_ACTIONS = ("last_value", "raise", "skip")
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """Behaviour on degraded rounds.
+
+    Attributes:
+        on_missing_majority: action when more than ``missing_tolerance``
+            of the roster failed to submit a value.
+        on_conflict: action when the voter raises
+            :class:`~repro.exceptions.NoMajorityError`.
+        on_quorum_failure: action when the quorum rule rejects a round.
+        missing_tolerance: largest tolerated *missing* fraction in
+            [0, 1); the default 0.5 implements the paper's "majority or
+            all values missing" criterion.
+    """
+
+    on_missing_majority: str = "last_value"
+    on_conflict: str = "last_value"
+    on_quorum_failure: str = "skip"
+    missing_tolerance: float = 0.5
+
+    def __post_init__(self):
+        for name in ("on_missing_majority", "on_conflict", "on_quorum_failure"):
+            action = getattr(self, name)
+            if action not in _ACTIONS:
+                raise ConfigurationError(
+                    f"{name} must be one of {_ACTIONS}, got {action!r}"
+                )
+        if not 0.0 <= self.missing_tolerance < 1.0:
+            raise ConfigurationError("missing_tolerance must be in [0, 1)")
+
+    def majority_missing(self, submitted: int, roster_size: int) -> bool:
+        """True when the missing fraction exceeds the tolerance."""
+        if roster_size <= 0:
+            return True
+        missing_fraction = 1.0 - submitted / roster_size
+        return missing_fraction > self.missing_tolerance
+
+
+#: Policy objects for the common configurations.
+STRICT = FaultPolicy(
+    on_missing_majority="raise", on_conflict="raise", on_quorum_failure="raise"
+)
+LENIENT = FaultPolicy(
+    on_missing_majority="skip", on_conflict="skip", on_quorum_failure="skip"
+)
+HOLD_LAST = FaultPolicy()

@@ -1,0 +1,91 @@
+"""Multi-dimensional fusion pipeline (§5 Generalisation).
+
+For multi-dimensional data the paper recommends voting "on each
+dimension separately, leaving other data fusion techniques to process
+the multi-dimensional results" — choosing one output *vector* is
+non-trivial because error correlation across dimensions grows quickly.
+:class:`MultiDimensionalPipeline` implements exactly that: one
+independent voter (and history) per dimension, fed from vector-valued
+readings, producing one fused vector per round.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..types import Round, VoteOutcome
+from ..voting.base import Voter
+
+
+class MultiDimensionalPipeline:
+    """Per-dimension voting over vector-valued sensor readings.
+
+    Args:
+        voter_factory: zero-argument callable producing a fresh voter;
+            called once per dimension so each dimension gets independent
+            history.
+        dimensions: number of vector components, or dimension names.
+    """
+
+    def __init__(self, voter_factory: Callable[[], Voter], dimensions):
+        if isinstance(dimensions, int):
+            if dimensions < 1:
+                raise ConfigurationError("dimensions must be >= 1")
+            self.dimension_names: Tuple[str, ...] = tuple(
+                f"dim{i}" for i in range(dimensions)
+            )
+        else:
+            self.dimension_names = tuple(dimensions)
+            if not self.dimension_names:
+                raise ConfigurationError("dimension names must be non-empty")
+        self.voters: Dict[str, Voter] = {
+            name: voter_factory() for name in self.dimension_names
+        }
+
+    @property
+    def n_dimensions(self) -> int:
+        return len(self.dimension_names)
+
+    def vote(
+        self, round_number: int, vectors: Mapping[str, Sequence[float]]
+    ) -> Tuple[np.ndarray, Dict[str, VoteOutcome]]:
+        """Fuse one round of vector readings.
+
+        Args:
+            round_number: the round index.
+            vectors: per-module coordinate vectors, all of length
+                ``n_dimensions``.
+
+        Returns:
+            The fused output vector and the per-dimension outcomes.
+        """
+        for module, vector in vectors.items():
+            if len(vector) != self.n_dimensions:
+                raise ConfigurationError(
+                    f"module {module!r} submitted {len(vector)} components, "
+                    f"expected {self.n_dimensions}"
+                )
+        outcomes: Dict[str, VoteOutcome] = {}
+        fused = np.empty(self.n_dimensions)
+        for axis, name in enumerate(self.dimension_names):
+            component_round = Round.from_mapping(
+                round_number,
+                {module: vector[axis] for module, vector in vectors.items()},
+            )
+            outcome = self.voters[name].vote(component_round)
+            outcomes[name] = outcome
+            fused[axis] = float("nan") if outcome.value is None else outcome.value
+        return fused, outcomes
+
+    def run(
+        self, rounds: Sequence[Mapping[str, Sequence[float]]]
+    ) -> List[np.ndarray]:
+        """Fuse a sequence of vector rounds; returns fused vectors."""
+        return [self.vote(i, vectors)[0] for i, vectors in enumerate(rounds)]
+
+    def reset(self) -> None:
+        for voter in self.voters.values():
+            voter.reset()

@@ -1,0 +1,52 @@
+"""Quorum rules: when is a round eligible for voting?
+
+VDX models quorum as a mode plus a percentage (Listing 1 uses
+``UNTIL``/100: all known modules must submit).  The engine evaluates the
+rule against the full module roster, which may be wider than the round's
+submissions — a module that has gone silent still counts toward the
+denominator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..exceptions import ConfigurationError
+from ..types import Round
+
+_MODES = ("NONE", "ANY", "UNTIL")
+
+
+@dataclass(frozen=True)
+class QuorumRule:
+    """Quorum evaluation for one engine.
+
+    Attributes:
+        mode: ``NONE`` (always eligible), ``ANY`` (at least one value),
+            or ``UNTIL`` (at least ``percentage`` % of the roster).
+        percentage: required submission percentage for ``UNTIL``.
+    """
+
+    mode: str = "NONE"
+    percentage: float = 100.0
+
+    def __post_init__(self):
+        mode = self.mode.upper()
+        if mode not in _MODES:
+            raise ConfigurationError(f"quorum mode must be one of {_MODES}")
+        object.__setattr__(self, "mode", mode)
+        if not 0.0 <= self.percentage <= 100.0:
+            raise ConfigurationError("quorum percentage must be in [0, 100]")
+
+    def required_count(self, roster_size: int) -> int:
+        """Minimum number of submissions for ``roster_size`` modules."""
+        if self.mode == "NONE":
+            return 0
+        if self.mode == "ANY":
+            return 1
+        return math.ceil(roster_size * self.percentage / 100.0)
+
+    def satisfied(self, voting_round: Round, roster_size: int) -> bool:
+        """Whether the round meets this quorum rule."""
+        return voting_round.submitted_count >= self.required_count(roster_size)

@@ -1,0 +1,174 @@
+"""Multi-dimensional generalisation of the AVOC bootstrap (§5).
+
+For vector-valued readings the paper sketches two layers:
+
+1. an unsupervised clustering algorithm — "Meanshift or X-Means" —
+   groups whole vectors, because per-dimension agreement cannot see
+   *correlated* errors (a module slightly off on every axis passes each
+   axis's margin while being jointly far from everyone);
+2. voting is then "applied for each dimension separately, leaving other
+   data fusion techniques to process the multi-dimensional results".
+
+:class:`VectorFusion` implements exactly that: an optional vector-level
+clustering prefilter (self-calibrated the AVOC way — dimensions are
+whitened by their per-round dynamic margins so one relative error
+setting covers all axes), followed by the per-dimension
+:class:`~repro.fusion.pipeline.MultiDimensionalPipeline`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..clustering.dbscan import dbscan
+from ..clustering.meanshift import mean_shift
+from ..clustering.xmeans import xmeans
+from ..exceptions import ConfigurationError
+from ..types import VoteOutcome
+from ..voting.agreement import dynamic_margin
+from ..voting.base import Voter
+from .pipeline import MultiDimensionalPipeline
+
+#: ``agreement`` is the direct generalisation of the 1-D AVOC grouping
+#: (hard cutoff at soft_threshold margins, connected components);
+#: ``meanshift``/``xmeans`` are the unsupervised alternatives §5 names.
+_CLUSTERING_METHODS = ("none", "agreement", "meanshift", "xmeans")
+
+
+@dataclass(frozen=True)
+class VectorRoundResult:
+    """One fused vector round: output, per-dim outcomes, pruned modules."""
+
+    round_number: int
+    value: np.ndarray
+    outcomes: Dict[str, VoteOutcome]
+    pruned: Tuple[str, ...]
+
+
+def _whiten(matrix: np.ndarray, error: float, min_margin: float) -> np.ndarray:
+    """Scale each dimension by its dynamic agreement margin.
+
+    After whitening, a Euclidean distance of 1 means "one agreement
+    margin apart", so clustering bandwidths are dimension-free.
+    """
+    scaled = np.empty_like(matrix)
+    for axis in range(matrix.shape[1]):
+        margin = dynamic_margin(matrix[:, axis], error, min_margin)
+        scaled[:, axis] = matrix[:, axis] / margin
+    return scaled
+
+
+class VectorFusion:
+    """Vector-level outlier pruning plus per-dimension voting.
+
+    Args:
+        voter_factory: zero-argument callable producing a fresh voter
+            per dimension.
+        dimensions: number of components or component names.
+        clustering: ``"agreement"`` (default — the direct
+            generalisation of the 1-D grouping), ``"meanshift"``,
+            ``"xmeans"``, or ``"none"`` (pure per-dimension voting,
+            AVOC's own §5 choice).
+        error: relative agreement threshold used for whitening.
+        soft_threshold: margin multiple used as the clustering
+            bandwidth in whitened space (mirrors the 1-D AVOC step).
+        min_margin: absolute floor for per-dimension margins.
+        min_modules: never prune below this many surviving modules.
+    """
+
+    def __init__(
+        self,
+        voter_factory: Callable[[], Voter],
+        dimensions,
+        clustering: str = "agreement",
+        error: float = 0.05,
+        soft_threshold: float = 2.0,
+        min_margin: float = 1e-9,
+        min_modules: int = 2,
+    ):
+        if clustering not in _CLUSTERING_METHODS:
+            raise ConfigurationError(
+                f"clustering must be one of {_CLUSTERING_METHODS}"
+            )
+        if error <= 0:
+            raise ConfigurationError("error must be positive")
+        if min_modules < 1:
+            raise ConfigurationError("min_modules must be >= 1")
+        self.clustering = clustering
+        self.error = error
+        self.soft_threshold = soft_threshold
+        self.min_margin = min_margin
+        self.min_modules = min_modules
+        self.pipeline = MultiDimensionalPipeline(voter_factory, dimensions)
+        self.rounds_voted = 0
+        self.modules_pruned = 0
+
+    @property
+    def n_dimensions(self) -> int:
+        return self.pipeline.n_dimensions
+
+    # -- clustering prefilter ---------------------------------------------
+
+    def _winning_modules(self, modules: List[str], matrix: np.ndarray):
+        if self.clustering == "none" or len(modules) <= self.min_modules:
+            return list(modules)
+        whitened = _whiten(matrix, self.error, self.min_margin)
+        if self.clustering == "agreement":
+            # Hard cutoff at soft_threshold whitened margins, grouped by
+            # connected components — DBSCAN with min_samples=1, exactly
+            # like the 1-D bootstrap step.
+            result = dbscan(whitened, eps=self.soft_threshold, min_samples=1)
+            winners = result.clusters()[0]
+        elif self.clustering == "meanshift":
+            result = mean_shift(whitened, bandwidth=self.soft_threshold)
+            winners = result.clusters()[0] if result.n_clusters else range(len(modules))
+        else:  # xmeans
+            result = xmeans(whitened, k_min=1, k_max=max(2, len(modules) // 2))
+            labels = np.asarray(result.labels)
+            counts = np.bincount(labels)
+            winners = np.flatnonzero(labels == counts.argmax())
+        winners = sorted(int(i) for i in winners)
+        if len(winners) < self.min_modules:
+            return list(modules)
+        return [modules[i] for i in winners]
+
+    # -- voting ----------------------------------------------------------
+
+    def vote(
+        self, round_number: int, vectors: Mapping[str, Sequence[float]]
+    ) -> VectorRoundResult:
+        """Fuse one round of per-module coordinate vectors."""
+        if not vectors:
+            raise ConfigurationError("vector round has no submissions")
+        modules = list(vectors)
+        matrix = np.asarray([list(vectors[m]) for m in modules], dtype=float)
+        if matrix.ndim != 2 or matrix.shape[1] != self.n_dimensions:
+            raise ConfigurationError(
+                f"expected {self.n_dimensions}-component vectors, got shape "
+                f"{matrix.shape}"
+            )
+        survivors = self._winning_modules(modules, matrix)
+        pruned = tuple(m for m in modules if m not in survivors)
+        self.modules_pruned += len(pruned)
+        fused, outcomes = self.pipeline.vote(
+            round_number, {m: vectors[m] for m in survivors}
+        )
+        self.rounds_voted += 1
+        return VectorRoundResult(
+            round_number=round_number,
+            value=fused,
+            outcomes=outcomes,
+            pruned=pruned,
+        )
+
+    def run(self, rounds: Sequence[Mapping[str, Sequence[float]]]):
+        """Fuse a sequence of vector rounds."""
+        return [self.vote(i, vectors) for i, vectors in enumerate(rounds)]
+
+    def reset(self) -> None:
+        self.pipeline.reset()
+        self.rounds_voted = 0
+        self.modules_pruned = 0

@@ -1,0 +1,22 @@
+"""Persistent backends for per-module history records.
+
+The paper's deployment keeps history records in a datastore and notes
+that "datastore reads and writes [are] the bottleneck" of the
+1-millisecond history-aware round (§7).  This package provides the
+store interface plus two backends: a process-local in-memory store and
+a JSONL append-log file store with snapshot/replay semantics.
+"""
+
+from .store import HistoryStore
+from .memory import MemoryHistoryStore
+from .file import JsonlHistoryStore
+from .sqlite import SqliteHistoryStore
+from .cached import WriteBehindStore
+
+__all__ = [
+    "HistoryStore",
+    "MemoryHistoryStore",
+    "JsonlHistoryStore",
+    "SqliteHistoryStore",
+    "WriteBehindStore",
+]

@@ -1,0 +1,70 @@
+"""Write-behind caching for history stores.
+
+§7 names datastore reads and writes as the bottleneck of the
+1-millisecond history-aware round.  A write-behind cache is the classic
+fix: reads come from memory, and the backing store is only touched
+every ``flush_every`` updates (or on explicit flush/close).  The
+trade-off is bounded staleness — a crash loses at most the unflushed
+rounds of record movement, which history records tolerate by design
+(they re-converge from subsequent agreement).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from ..exceptions import HistoryStoreError
+from .store import HistoryStore
+
+
+class WriteBehindStore(HistoryStore):
+    """Decorator adding a write-behind cache to any history store.
+
+    Args:
+        backing: the durable store to decorate.
+        flush_every: persist after this many ``save`` calls (1 =
+            write-through).
+    """
+
+    def __init__(self, backing: HistoryStore, flush_every: int = 16):
+        if flush_every < 1:
+            raise HistoryStoreError("flush_every must be >= 1")
+        self.backing = backing
+        self.flush_every = flush_every
+        self._cache: Optional[Dict[str, float]] = None
+        self._dirty_saves = 0
+        self.flushes = 0
+
+    def load(self) -> Dict[str, float]:
+        if self._cache is None:
+            self._cache = self.backing.load()
+        return dict(self._cache)
+
+    def save(self, records: Mapping[str, float]) -> None:
+        self._cache = dict(records)
+        self._dirty_saves += 1
+        if self._dirty_saves >= self.flush_every:
+            self.flush()
+
+    def flush(self) -> None:
+        """Persist the cached snapshot to the backing store now."""
+        if self._cache is not None and self._dirty_saves > 0:
+            self.backing.save(self._cache)
+            self.flushes += 1
+        self._dirty_saves = 0
+
+    def clear(self) -> None:
+        self._cache = {}
+        self._dirty_saves = 0
+        self.backing.clear()
+
+    @property
+    def pending_saves(self) -> int:
+        """Unflushed save calls (lost on crash; bounded by flush_every)."""
+        return self._dirty_saves
+
+    def __enter__(self) -> "WriteBehindStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.flush()

@@ -1,0 +1,98 @@
+"""JSONL append-log history store.
+
+Each ``save`` appends one JSON line containing the full record snapshot;
+``load`` replays the log and returns the last snapshot.  Appending keeps
+writes cheap and crash-safe (a torn final line is ignored on replay),
+and :meth:`JsonlHistoryStore.compact` rewrites the log down to a single
+line when it grows past a threshold.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Union
+
+from ..exceptions import HistoryStoreError
+from .store import HistoryStore
+
+
+class JsonlHistoryStore(HistoryStore):
+    """Durable history store backed by a JSON-lines append log.
+
+    Args:
+        path: log file location (created on first save).
+        compact_after: automatically compact once the log holds this
+            many snapshots (``None`` disables auto-compaction).
+    """
+
+    def __init__(
+        self, path: Union[str, Path], compact_after: Optional[int] = 1000
+    ):
+        if compact_after is not None and compact_after < 1:
+            raise HistoryStoreError("compact_after must be >= 1 or None")
+        self.path = Path(path)
+        self.compact_after = compact_after
+        self._appends_since_compact = 0
+
+    def load(self) -> Dict[str, float]:
+        if not self.path.exists():
+            return {}
+        last: Dict[str, float] = {}
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        snapshot = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue  # torn trailing write; keep previous snapshot
+                    if isinstance(snapshot, dict):
+                        last = {str(k): float(v) for k, v in snapshot.items()}
+        except OSError as exc:
+            raise HistoryStoreError(f"cannot read history log {self.path}: {exc}")
+        return last
+
+    def save(self, records: Mapping[str, float]) -> None:
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "a", encoding="utf-8") as fh:
+                fh.write(json.dumps(dict(records), sort_keys=True) + "\n")
+        except OSError as exc:
+            raise HistoryStoreError(f"cannot append to history log {self.path}: {exc}")
+        self._appends_since_compact += 1
+        if (
+            self.compact_after is not None
+            and self._appends_since_compact >= self.compact_after
+        ):
+            self.compact()
+
+    def clear(self) -> None:
+        try:
+            if self.path.exists():
+                os.remove(self.path)
+        except OSError as exc:
+            raise HistoryStoreError(f"cannot remove history log {self.path}: {exc}")
+        self._appends_since_compact = 0
+
+    def compact(self) -> None:
+        """Rewrite the log as a single line holding the latest snapshot."""
+        snapshot = self.load()
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.write(json.dumps(snapshot, sort_keys=True) + "\n")
+            os.replace(tmp, self.path)
+        except OSError as exc:
+            raise HistoryStoreError(f"cannot compact history log {self.path}: {exc}")
+        self._appends_since_compact = 0
+
+    def snapshot_count(self) -> int:
+        """Number of snapshots currently in the log (for tests/metrics)."""
+        if not self.path.exists():
+            return 0
+        with open(self.path, "r", encoding="utf-8") as fh:
+            return sum(1 for line in fh if line.strip())

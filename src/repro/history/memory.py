@@ -1,0 +1,27 @@
+"""In-memory history store — the fast path for single-process voting."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from .store import HistoryStore
+
+
+class MemoryHistoryStore(HistoryStore):
+    """Dictionary-backed store; contents live and die with the process."""
+
+    def __init__(self):
+        self._records: Dict[str, float] = {}
+        self.save_count = 0
+        self.load_count = 0
+
+    def load(self) -> Dict[str, float]:
+        self.load_count += 1
+        return dict(self._records)
+
+    def save(self, records: Mapping[str, float]) -> None:
+        self.save_count += 1
+        self._records = dict(records)
+
+    def clear(self) -> None:
+        self._records.clear()

@@ -1,0 +1,29 @@
+"""History store interface.
+
+A store persists the mapping ``{module_name: record}`` between voting
+rounds (and across process restarts for durable backends).  Stores are
+deliberately tiny: :class:`~repro.voting.history.HistoryRecords` calls
+``load`` once at attach time and ``save`` after every update round,
+mirroring the read/update/write cycle of the paper's deployment.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Mapping
+
+
+class HistoryStore(abc.ABC):
+    """Abstract persistence backend for history records."""
+
+    @abc.abstractmethod
+    def load(self) -> Dict[str, float]:
+        """Return all persisted records (empty dict when none exist)."""
+
+    @abc.abstractmethod
+    def save(self, records: Mapping[str, float]) -> None:
+        """Persist the full current record mapping."""
+
+    @abc.abstractmethod
+    def clear(self) -> None:
+        """Remove every persisted record."""

@@ -1,0 +1,58 @@
+"""Sensor substrate: ground-truth signals, sensor models, fault injectors.
+
+The paper's evaluation hardware (Phidget LUX1000 light sensors, BLE
+beacons) is substituted by statistical models that reproduce the same
+per-round value structure the voting stack consumes: a shared physical
+ground truth, per-sensor calibration bias, per-sample noise, and —
+for the BLE use case — log-distance path loss with shadowing and
+missing-value dropouts.
+"""
+
+from .signal import (
+    CompositeSignal,
+    ConstantSignal,
+    DiurnalSignal,
+    PiecewiseSignal,
+    RampSignal,
+    RandomWalkSignal,
+    Signal,
+)
+from .base import Sensor
+from .light import LightSensor
+from .ble import BleBeacon, rssi_at_distance
+from .faults import (
+    DriftFault,
+    DropoutFault,
+    FaultySensor,
+    NoiseFault,
+    OffsetFault,
+    SpikeFault,
+    StuckAtFault,
+)
+from .array import SensorArray
+from .calibration import Calibration, apply_calibration, estimate_calibration
+
+__all__ = [
+    "Calibration",
+    "apply_calibration",
+    "estimate_calibration",
+    "Signal",
+    "ConstantSignal",
+    "RampSignal",
+    "DiurnalSignal",
+    "RandomWalkSignal",
+    "CompositeSignal",
+    "PiecewiseSignal",
+    "Sensor",
+    "LightSensor",
+    "BleBeacon",
+    "rssi_at_distance",
+    "FaultySensor",
+    "OffsetFault",
+    "SpikeFault",
+    "StuckAtFault",
+    "DriftFault",
+    "DropoutFault",
+    "NoiseFault",
+    "SensorArray",
+]

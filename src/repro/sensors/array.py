@@ -1,0 +1,68 @@
+"""Sensor arrays: groups of redundant modules sampled together.
+
+An array is what a voting round reads from — UC-1's five light sensors
+on the VINT hub, or one nine-beacon stack in UC-2.  Arrays produce
+:class:`~repro.types.Round` objects or whole rounds × modules matrices.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..types import Round, is_missing
+from .base import Sensor
+from .faults import FaultySensor
+
+AnySensor = Union[Sensor, FaultySensor]
+
+
+class SensorArray:
+    """A named group of redundant sensors sampled in lockstep.
+
+    Args:
+        sensors: the member sensors; names must be unique.
+        name: optional array label (stack identifier in UC-2).
+    """
+
+    def __init__(self, sensors: Sequence[AnySensor], name: str = "array"):
+        names = [s.name for s in sensors]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate sensor names in array: {names}")
+        if not sensors:
+            raise ConfigurationError("array needs at least one sensor")
+        self.sensors = list(sensors)
+        self.name = name
+
+    @property
+    def module_names(self) -> List[str]:
+        return [s.name for s in self.sensors]
+
+    def __len__(self) -> int:
+        return len(self.sensors)
+
+    def sample_round(self, number: int, t: float) -> Round:
+        """One synchronous polling round at time ``t``."""
+        mapping = {}
+        for sensor in self.sensors:
+            value = sensor.sample(t)
+            mapping[sensor.name] = None if is_missing(value) else value
+        return Round.from_mapping(number, mapping, timestamp=t)
+
+    def sample_matrix(self, times: Sequence[float]) -> np.ndarray:
+        """A rounds × modules matrix over ``times`` (NaN = missing)."""
+        rows = []
+        for t in times:
+            rows.append([sensor.sample(t) for sensor in self.sensors])
+        return np.asarray(rows, dtype=float)
+
+    def replace(self, name: str, replacement: AnySensor) -> "SensorArray":
+        """A new array with the named sensor swapped (fault injection)."""
+        if name not in self.module_names:
+            raise ConfigurationError(f"no sensor named {name!r} in array")
+        sensors = [
+            replacement if sensor.name == name else sensor for sensor in self.sensors
+        ]
+        return SensorArray(sensors, name=self.name)

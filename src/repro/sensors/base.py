@@ -1,0 +1,93 @@
+"""Sensor model base class.
+
+A :class:`Sensor` transforms the ground truth into what a real module
+would report: calibration gain/bias, additive Gaussian noise,
+quantisation, saturation, and a dropout probability for missing values
+(the UC-2 "beacon not reachable" scenario).  Sampling is driven by a
+per-sensor seeded RNG, so whole datasets are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..types import MISSING
+from .signal import Signal
+
+
+class Sensor:
+    """A noisy, possibly unreliable observer of a ground-truth signal.
+
+    Args:
+        name: module identifier (e.g. ``"E1"``).
+        signal: the ground truth this sensor observes.
+        gain: multiplicative calibration error (1.0 = perfect).
+        bias: additive calibration offset, in output units.
+        noise_std: standard deviation of per-sample Gaussian noise.
+        resolution: quantisation step (0 disables quantisation).
+        saturation: (low, high) clipping range, or None.
+        dropout_probability: chance a sample is missing entirely.
+        seed: RNG seed for this sensor's noise/dropout stream.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        signal: Signal,
+        gain: float = 1.0,
+        bias: float = 0.0,
+        noise_std: float = 0.0,
+        resolution: float = 0.0,
+        saturation: Optional[Tuple[float, float]] = None,
+        dropout_probability: float = 0.0,
+        seed: int = 0,
+    ):
+        if noise_std < 0:
+            raise ConfigurationError("noise_std must be non-negative")
+        if resolution < 0:
+            raise ConfigurationError("resolution must be non-negative")
+        if not 0.0 <= dropout_probability <= 1.0:
+            raise ConfigurationError("dropout_probability must be in [0, 1]")
+        if saturation is not None and saturation[0] > saturation[1]:
+            raise ConfigurationError("saturation low bound exceeds high bound")
+        self.name = name
+        self.signal = signal
+        self.gain = float(gain)
+        self.bias = float(bias)
+        self.noise_std = float(noise_std)
+        self.resolution = float(resolution)
+        self.saturation = saturation
+        self.dropout_probability = float(dropout_probability)
+        self._rng = np.random.default_rng(seed)
+        self.samples_taken = 0
+        self.samples_dropped = 0
+
+    def _transduce(self, truth: float) -> float:
+        """Subclass hook: physical quantity -> ideal sensor output."""
+        return truth
+
+    def sample(self, t: float) -> float:
+        """One measurement at time ``t`` (``MISSING`` on dropout)."""
+        self.samples_taken += 1
+        if (
+            self.dropout_probability > 0.0
+            and self._rng.random() < self.dropout_probability
+        ):
+            self.samples_dropped += 1
+            return MISSING
+        value = self._transduce(self.signal.value(t))
+        value = self.gain * value + self.bias
+        if self.noise_std > 0.0:
+            value += float(self._rng.normal(0.0, self.noise_std))
+        if self.resolution > 0.0:
+            value = round(value / self.resolution) * self.resolution
+        if self.saturation is not None:
+            value = min(max(value, self.saturation[0]), self.saturation[1])
+        return float(value)
+
+    def sample_many(self, times) -> np.ndarray:
+        """Measurements at each time in ``times`` (NaN = missing)."""
+        return np.asarray([self.sample(t) for t in times], dtype=float)

@@ -1,0 +1,146 @@
+"""Fault injection for sensors.
+
+Faults wrap a healthy :class:`~repro.sensors.base.Sensor` and corrupt
+its output over a round/time window.  The UC-1 error-injection
+experiment uses :class:`OffsetFault` (the "+6 (kilo)lumen" skew on E4);
+the other fault types cover the wider failure taxonomy used in the test
+suite and the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..types import MISSING, is_missing
+from .base import Sensor
+
+
+class FaultySensor:
+    """Base wrapper: delegates to the wrapped sensor, corrupts in a window.
+
+    Args:
+        sensor: the healthy sensor to wrap.
+        start: first time (inclusive, seconds) the fault is active.
+        end: first time the fault is no longer active (None = forever).
+    """
+
+    def __init__(self, sensor: Sensor, start: float = 0.0, end: Optional[float] = None):
+        if end is not None and end < start:
+            raise ConfigurationError("fault end precedes start")
+        self.sensor = sensor
+        self.start = float(start)
+        self.end = end
+
+    @property
+    def name(self) -> str:
+        return self.sensor.name
+
+    def active(self, t: float) -> bool:
+        if t < self.start:
+            return False
+        return self.end is None or t < self.end
+
+    def _corrupt(self, t: float, value: float) -> float:
+        """Subclass hook: transform an in-window, non-missing value."""
+        return value
+
+    def sample(self, t: float) -> float:
+        value = self.sensor.sample(t)
+        if not self.active(t) or is_missing(value):
+            return value
+        return self._corrupt(t, value)
+
+    def sample_many(self, times) -> np.ndarray:
+        return np.asarray([self.sample(t) for t in times], dtype=float)
+
+
+class OffsetFault(FaultySensor):
+    """Constant additive skew — the UC-1 injected fault."""
+
+    def __init__(self, sensor, offset: float, start: float = 0.0, end=None):
+        super().__init__(sensor, start, end)
+        self.offset = float(offset)
+
+    def _corrupt(self, t: float, value: float) -> float:
+        return value + self.offset
+
+
+class StuckAtFault(FaultySensor):
+    """Output frozen at a fixed value (dead transducer, stale cache)."""
+
+    def __init__(self, sensor, stuck_value: float, start: float = 0.0, end=None):
+        super().__init__(sensor, start, end)
+        self.stuck_value = float(stuck_value)
+
+    def _corrupt(self, t: float, value: float) -> float:
+        return self.stuck_value
+
+
+class DriftFault(FaultySensor):
+    """Linearly growing offset ``rate * (t - start)`` (calibration drift)."""
+
+    def __init__(self, sensor, rate: float, start: float = 0.0, end=None):
+        super().__init__(sensor, start, end)
+        self.rate = float(rate)
+
+    def _corrupt(self, t: float, value: float) -> float:
+        return value + self.rate * (t - self.start)
+
+
+class SpikeFault(FaultySensor):
+    """Random large spikes with a given per-sample probability."""
+
+    def __init__(
+        self,
+        sensor,
+        magnitude: float,
+        probability: float = 0.05,
+        start: float = 0.0,
+        end=None,
+        seed: int = 0,
+    ):
+        super().__init__(sensor, start, end)
+        if not 0.0 <= probability <= 1.0:
+            raise ConfigurationError("spike probability must be in [0, 1]")
+        self.magnitude = float(magnitude)
+        self.probability = float(probability)
+        self._rng = np.random.default_rng(seed)
+
+    def _corrupt(self, t: float, value: float) -> float:
+        if self._rng.random() < self.probability:
+            sign = 1.0 if self._rng.random() < 0.5 else -1.0
+            return value + sign * self.magnitude
+        return value
+
+
+class NoiseFault(FaultySensor):
+    """Extra zero-mean Gaussian noise (degraded signal conditions)."""
+
+    def __init__(self, sensor, noise_std: float, start: float = 0.0, end=None, seed: int = 0):
+        super().__init__(sensor, start, end)
+        if noise_std < 0:
+            raise ConfigurationError("noise_std must be non-negative")
+        self.noise_std = float(noise_std)
+        self._rng = np.random.default_rng(seed)
+
+    def _corrupt(self, t: float, value: float) -> float:
+        return value + float(self._rng.normal(0.0, self.noise_std))
+
+
+class DropoutFault(FaultySensor):
+    """Samples go missing with the given probability (link loss)."""
+
+    def __init__(self, sensor, probability: float, start: float = 0.0, end=None, seed: int = 0):
+        super().__init__(sensor, start, end)
+        if not 0.0 <= probability <= 1.0:
+            raise ConfigurationError("dropout probability must be in [0, 1]")
+        self.probability = float(probability)
+        self._rng = np.random.default_rng(seed)
+
+    def _corrupt(self, t: float, value: float) -> float:
+        if self._rng.random() < self.probability:
+            return MISSING
+        return value

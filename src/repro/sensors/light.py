@@ -1,0 +1,48 @@
+"""Light sensor model (UC-1 substitute for the Phidget LUX1000).
+
+The LUX1000 reports illuminance in lux up to ~100 klx with a small
+per-unit calibration spread.  UC-1's figures are plotted in "Lumen
+(×1000)", i.e. kilolumen units in the 17–20 band; the model works in
+those units directly so generated datasets line up with Fig. 6.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from .base import Sensor
+from .signal import Signal
+
+
+class LightSensor(Sensor):
+    """A LUX1000-like illuminance sensor.
+
+    Defaults reflect a decent ambient-light module: ±1 % calibration
+    spread handled by the caller through ``gain``/``bias``, per-sample
+    noise around 0.05 kilolumen, 0.001-kilolumen resolution, readings
+    clipped to the physical [0, 100] kilolumen range.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        signal: Signal,
+        gain: float = 1.0,
+        bias: float = 0.0,
+        noise_std: float = 0.05,
+        resolution: float = 0.001,
+        saturation: Optional[Tuple[float, float]] = (0.0, 100.0),
+        dropout_probability: float = 0.0,
+        seed: int = 0,
+    ):
+        super().__init__(
+            name=name,
+            signal=signal,
+            gain=gain,
+            bias=bias,
+            noise_std=noise_std,
+            resolution=resolution,
+            saturation=saturation,
+            dropout_probability=dropout_probability,
+            seed=seed,
+        )

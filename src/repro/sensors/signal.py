@@ -1,0 +1,153 @@
+"""Ground-truth signal generators.
+
+A :class:`Signal` maps time (seconds) to the true physical quantity the
+redundant sensors observe.  UC-1 uses a slowly varying sunlight level
+(diurnal arc plus a correlated random walk for passing clouds); tests
+use the simpler shapes.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+
+class Signal(abc.ABC):
+    """Deterministic (given a seed) mapping from time to ground truth."""
+
+    @abc.abstractmethod
+    def value(self, t: float) -> float:
+        """Ground-truth value at time ``t`` seconds."""
+
+    def sample(self, times: Sequence[float]) -> np.ndarray:
+        """Vectorised convenience: ground truth at each time."""
+        return np.asarray([self.value(t) for t in times], dtype=float)
+
+
+class ConstantSignal(Signal):
+    """A fixed level."""
+
+    def __init__(self, level: float):
+        self.level = float(level)
+
+    def value(self, t: float) -> float:
+        return self.level
+
+
+class RampSignal(Signal):
+    """Linear ramp ``start + rate * t``."""
+
+    def __init__(self, start: float, rate: float):
+        self.start = float(start)
+        self.rate = float(rate)
+
+    def value(self, t: float) -> float:
+        return self.start + self.rate * t
+
+
+class DiurnalSignal(Signal):
+    """A slow sinusoidal arc, e.g. sunlight over part of a day.
+
+    ``base + amplitude * sin(2π (t + phase) / period)``.
+    """
+
+    def __init__(
+        self, base: float, amplitude: float, period: float, phase: float = 0.0
+    ):
+        if period <= 0:
+            raise ConfigurationError("period must be positive")
+        self.base = float(base)
+        self.amplitude = float(amplitude)
+        self.period = float(period)
+        self.phase = float(phase)
+
+    def value(self, t: float) -> float:
+        return self.base + self.amplitude * math.sin(
+            2.0 * math.pi * (t + self.phase) / self.period
+        )
+
+
+class RandomWalkSignal(Signal):
+    """Seeded random walk sampled on a fixed grid, interpolated between.
+
+    Models correlated medium-frequency variation (clouds, reflections)
+    that all redundant sensors see together.  Deterministic per seed:
+    repeated queries return identical values.
+    """
+
+    def __init__(
+        self,
+        step_std: float,
+        step_interval: float = 1.0,
+        seed: int = 0,
+        clamp: Optional[Tuple[float, float]] = None,
+    ):
+        if step_interval <= 0:
+            raise ConfigurationError("step_interval must be positive")
+        if step_std < 0:
+            raise ConfigurationError("step_std must be non-negative")
+        self.step_std = float(step_std)
+        self.step_interval = float(step_interval)
+        self.seed = seed
+        self.clamp = clamp
+        self._levels: List[float] = [0.0]
+        self._rng = np.random.default_rng(seed)
+
+    def _extend_to(self, index: int) -> None:
+        while len(self._levels) <= index:
+            step = float(self._rng.normal(0.0, self.step_std))
+            level = self._levels[-1] + step
+            if self.clamp is not None:
+                level = min(max(level, self.clamp[0]), self.clamp[1])
+            self._levels.append(level)
+
+    def value(self, t: float) -> float:
+        if t < 0:
+            raise ConfigurationError("random walk is defined for t >= 0")
+        position = t / self.step_interval
+        low = int(math.floor(position))
+        self._extend_to(low + 1)
+        frac = position - low
+        return self._levels[low] * (1.0 - frac) + self._levels[low + 1] * frac
+
+
+class CompositeSignal(Signal):
+    """Sum of component signals."""
+
+    def __init__(self, components: Sequence[Signal]):
+        if not components:
+            raise ConfigurationError("composite needs at least one component")
+        self.components = list(components)
+
+    def value(self, t: float) -> float:
+        return sum(c.value(t) for c in self.components)
+
+
+class PiecewiseSignal(Signal):
+    """Switch between signals at given boundaries.
+
+    ``segments`` maps segment start time to the signal active from that
+    time; the earliest start must be 0.
+    """
+
+    def __init__(self, segments: Dict[float, Signal]):
+        if not segments:
+            raise ConfigurationError("piecewise needs at least one segment")
+        self.boundaries = sorted(segments)
+        if self.boundaries[0] != 0.0:
+            raise ConfigurationError("first segment must start at t=0")
+        self.segments = dict(segments)
+
+    def value(self, t: float) -> float:
+        active = self.boundaries[0]
+        for start in self.boundaries:
+            if start <= t:
+                active = start
+            else:
+                break
+        return self.segments[active].value(t)

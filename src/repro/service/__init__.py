@@ -1,0 +1,27 @@
+"""Voter service prototype.
+
+The paper's future work (§8) plans to "field test a voter service
+prototype with a variety of compute-power-restricted setups": an edge
+node runs a voter described by a VDX document, and clients — sensor
+gateways, analytics jobs — talk to it over the network instead of
+linking the voting code.
+
+This package is that prototype: a threaded TCP server speaking a
+line-delimited JSON protocol (:mod:`repro.service.protocol`), backed by
+a :class:`~repro.fusion.engine.FusionEngine`, plus a blocking client.
+The protocol supports whole-round voting, incremental per-module
+submission with explicit round close, history inspection, and service
+statistics.
+"""
+
+from .protocol import ProtocolError, decode_message, encode_message
+from .server import VoterServer
+from .client import VoterClient
+
+__all__ = [
+    "ProtocolError",
+    "decode_message",
+    "encode_message",
+    "VoterServer",
+    "VoterClient",
+]

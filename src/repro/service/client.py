@@ -1,0 +1,125 @@
+"""Blocking client for the voter service."""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, Optional
+
+from ..exceptions import ReproError
+from .protocol import MAX_LINE_BYTES, ProtocolError, decode_message, encode_message
+
+
+class ServiceError(ReproError):
+    """The service answered a request with ``ok: false``."""
+
+
+class VoterClient:
+    """A synchronous connection to a :class:`~repro.service.server.VoterServer`.
+
+    Use as a context manager::
+
+        with VoterClient(host, port) as client:
+            result = client.vote(0, {"E1": 18.0, "E2": 18.1})
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 5.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._buffer = b""
+
+    # -- lifecycle --------------------------------------------------------
+
+    def connect(self) -> "VoterClient":
+        if self._sock is not None:
+            return self
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        return self
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+                self._buffer = b""
+
+    def __enter__(self) -> "VoterClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- wire -------------------------------------------------------------
+
+    def _read_line(self) -> bytes:
+        while b"\n" not in self._buffer:
+            if len(self._buffer) > MAX_LINE_BYTES:
+                raise ProtocolError("server line exceeds protocol maximum")
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise ProtocolError("server closed the connection")
+            self._buffer += chunk
+        line, self._buffer = self._buffer.split(b"\n", 1)
+        return line
+
+    def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request and return the (ok) response payload.
+
+        Raises:
+            ServiceError: when the service reports a handled error.
+            ProtocolError: on wire-level problems.
+        """
+        if self._sock is None:
+            self.connect()
+        self._sock.sendall(encode_message(message))
+        response = decode_message(self._read_line())
+        if not response.get("ok"):
+            raise ServiceError(response.get("error", "unknown service error"))
+        return response
+
+    # -- operations ---------------------------------------------------------
+
+    def ping(self) -> bool:
+        return bool(self.request({"op": "ping"}).get("pong"))
+
+    def spec(self) -> Dict[str, Any]:
+        return self.request({"op": "spec"})["spec"]
+
+    def vote(self, round_number: int, values: Dict[str, Optional[float]]):
+        """Vote a complete round; returns the result payload."""
+        return self.request(
+            {"op": "vote", "round": round_number, "values": values}
+        )["result"]
+
+    def submit(self, round_number: int, module: str, value: Optional[float]):
+        """Submit one module's reading; returns the submit payload.
+
+        When the submission completes the roster, the service votes the
+        round immediately and the payload contains ``result``.
+        """
+        return self.request(
+            {"op": "submit", "round": round_number, "module": module,
+             "value": value}
+        )
+
+    def close_round(self, round_number: int):
+        """Vote a partially-submitted round now (deadline expiry)."""
+        return self.request({"op": "close_round", "round": round_number})["result"]
+
+    def history(self) -> Dict[str, float]:
+        return self.request({"op": "history"})["records"]
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request({"op": "stats"})
+
+    def reset(self) -> bool:
+        return bool(self.request({"op": "reset"}).get("reset"))
+
+    def configure(self, spec: Dict[str, Any]) -> str:
+        """Replace the service's voting scheme; returns the new name."""
+        response = self.request({"op": "configure", "spec": spec})
+        return response["algorithm_name"]

@@ -1,0 +1,126 @@
+"""Line-delimited JSON protocol for the voter service.
+
+Every request and response is one JSON object on one line (UTF-8,
+``\\n``-terminated).  Requests carry an ``op`` field; responses carry
+``ok`` (bool) plus either the operation's payload or an ``error``
+string.
+
+Operations:
+
+====================  =====================================================
+``ping``              liveness check; echoes ``{"ok": true, "pong": true}``
+``spec``              the service's active VDX document
+``vote``              vote a complete round: ``{"op": "vote", "round": 3,
+                      "values": {"E1": 18.0, "E2": null}}``
+``submit``            incremental submission of one module's reading:
+                      ``{"op": "submit", "round": 3, "module": "E1",
+                      "value": 18.0}``
+``close_round``       vote whatever has been submitted for a round
+``history``           current per-module history records
+``stats``             rounds processed/degraded, last output
+``reset``             reset voter history and engine state
+====================  =====================================================
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict
+
+from ..exceptions import ReproError
+
+#: All operations the server understands.
+OPERATIONS = (
+    "ping",
+    "spec",
+    "vote",
+    "submit",
+    "close_round",
+    "history",
+    "stats",
+    "reset",
+    "configure",
+)
+
+#: Cap on a single protocol line; longer lines are rejected (guards the
+#: server against unbounded buffering from a misbehaving client).
+MAX_LINE_BYTES = 1_048_576
+
+
+class ProtocolError(ReproError):
+    """A message violated the wire protocol."""
+
+
+def _jsonable(value: Any) -> Any:
+    """Make a value JSON-encodable (NaN becomes null)."""
+    if isinstance(value, float) and math.isnan(value):
+        return None
+    return value
+
+
+def encode_message(message: Dict[str, Any]) -> bytes:
+    """Encode one protocol message as a JSON line."""
+    text = json.dumps(
+        {k: _jsonable(v) for k, v in message.items()}, allow_nan=False
+    )
+    data = text.encode("utf-8") + b"\n"
+    if len(data) > MAX_LINE_BYTES:
+        raise ProtocolError(f"message exceeds {MAX_LINE_BYTES} bytes")
+    return data
+
+
+def decode_message(line: bytes) -> Dict[str, Any]:
+    """Decode one JSON line into a message dict."""
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(f"line exceeds {MAX_LINE_BYTES} bytes")
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"invalid JSON line: {exc}")
+    if not isinstance(message, dict):
+        raise ProtocolError("message must be a JSON object")
+    return message
+
+
+def validate_request(message: Dict[str, Any]) -> str:
+    """Check a request's shape; returns the operation name."""
+    op = message.get("op")
+    if not isinstance(op, str) or op not in OPERATIONS:
+        raise ProtocolError(f"unknown or missing op {op!r}")
+    if op == "vote":
+        if not isinstance(message.get("round"), int):
+            raise ProtocolError("vote requires an integer 'round'")
+        values = message.get("values")
+        if not isinstance(values, dict) or not values:
+            raise ProtocolError("vote requires a non-empty 'values' object")
+        for module, value in values.items():
+            if value is not None and not isinstance(value, (int, float)):
+                raise ProtocolError(
+                    f"value for module {module!r} must be numeric or null"
+                )
+    elif op == "submit":
+        if not isinstance(message.get("round"), int):
+            raise ProtocolError("submit requires an integer 'round'")
+        if not isinstance(message.get("module"), str):
+            raise ProtocolError("submit requires a string 'module'")
+        value = message.get("value")
+        if value is not None and not isinstance(value, (int, float)):
+            raise ProtocolError("submit 'value' must be numeric or null")
+    elif op == "close_round":
+        if not isinstance(message.get("round"), int):
+            raise ProtocolError("close_round requires an integer 'round'")
+    elif op == "configure":
+        if not isinstance(message.get("spec"), dict):
+            raise ProtocolError("configure requires a 'spec' object")
+    return op
+
+
+def error_response(message: str) -> Dict[str, Any]:
+    return {"ok": False, "error": message}
+
+
+def ok_response(**payload: Any) -> Dict[str, Any]:
+    response = {"ok": True}
+    response.update(payload)
+    return response

@@ -1,0 +1,230 @@
+"""The voter service: a threaded TCP server around a fusion engine.
+
+One server hosts one voting scheme (a VDX document).  Concurrent client
+connections are served by threads; all engine access is serialised by a
+lock, so rounds are voted in arrival order regardless of which
+connection closes them.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+from typing import Any, Dict, Optional
+
+from ..exceptions import ReproError
+from ..fusion.engine import FusionEngine, FusionResult
+from ..types import Round
+from ..vdx.factory import build_engine
+from ..vdx.spec import VotingSpec
+from .protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    decode_message,
+    encode_message,
+    error_response,
+    ok_response,
+    validate_request,
+)
+
+
+def _result_payload(result: FusionResult) -> Dict[str, Any]:
+    payload: Dict[str, Any] = {
+        "round": result.round_number,
+        "value": result.value,
+        "status": result.status,
+        "excluded": list(result.excluded),
+    }
+    if result.outcome is not None:
+        payload["eliminated"] = list(result.outcome.eliminated)
+        payload["used_bootstrap"] = result.outcome.used_bootstrap
+        payload["weights"] = dict(result.outcome.weights)
+    return payload
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One connection: read JSON lines, dispatch, write JSON lines."""
+
+    def handle(self) -> None:
+        while True:
+            line = self.rfile.readline(MAX_LINE_BYTES + 1)
+            if not line:
+                return
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                request = decode_message(stripped)
+                response = self.server.service.dispatch(request)
+            except ProtocolError as exc:
+                response = error_response(str(exc))
+            except ReproError as exc:
+                response = error_response(f"{type(exc).__name__}: {exc}")
+            try:
+                self.wfile.write(encode_message(response))
+            except (BrokenPipeError, ConnectionResetError):
+                return
+
+
+class _ThreadingServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class VoterServer:
+    """A VDX-configured voter reachable over TCP.
+
+    Args:
+        spec: the voting scheme this service hosts.
+        host: bind address (default loopback).
+        port: bind port; 0 picks a free port (see :attr:`address`).
+        history_store: optional persistent record backend.
+
+    Use as a context manager, or call :meth:`start` / :meth:`stop`.
+    """
+
+    def __init__(
+        self,
+        spec: VotingSpec,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        history_store=None,
+    ):
+        self.spec = spec
+        self.engine: FusionEngine = build_engine(spec, history_store=history_store)
+        self._lock = threading.Lock()
+        self._pending: Dict[int, Dict[str, Optional[float]]] = {}
+        self._voted = set()
+        self._last_result: Optional[FusionResult] = None
+        self.requests_served = 0
+        self._tcp = _ThreadingServer((host, port), _Handler)
+        self._tcp.service = self
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle --------------------------------------------------------
+
+    @property
+    def address(self):
+        """(host, port) the server is bound to."""
+        return self._tcp.server_address
+
+    def start(self) -> "VoterServer":
+        if self._thread is not None:
+            raise ReproError("server already started")
+        self._thread = threading.Thread(
+            target=self._tcp.serve_forever, kwargs={"poll_interval": 0.05},
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._tcp.shutdown()
+        self._tcp.server_close()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+
+    def __enter__(self) -> "VoterServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- request dispatch ---------------------------------------------------
+
+    def dispatch(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Handle one validated request (thread-safe)."""
+        op = validate_request(request)
+        with self._lock:
+            self.requests_served += 1
+            handler = getattr(self, f"_op_{op}")
+            return handler(request)
+
+    # -- operations ---------------------------------------------------------
+
+    def _op_ping(self, request) -> Dict[str, Any]:
+        return ok_response(pong=True)
+
+    def _op_spec(self, request) -> Dict[str, Any]:
+        return ok_response(spec=self.spec.to_dict())
+
+    def _vote_round(self, number: int, values: Dict[str, Optional[float]]):
+        if number in self._voted:
+            raise ProtocolError(f"round {number} was already voted")
+        self._voted.add(number)
+        voting_round = Round.from_mapping(number, values)
+        result = self.engine.process(voting_round)
+        self._last_result = result
+        return result
+
+    def _op_vote(self, request) -> Dict[str, Any]:
+        values = {
+            str(m): (None if v is None else float(v))
+            for m, v in request["values"].items()
+        }
+        result = self._vote_round(request["round"], values)
+        return ok_response(result=_result_payload(result))
+
+    def _op_submit(self, request) -> Dict[str, Any]:
+        number = request["round"]
+        if number in self._voted:
+            raise ProtocolError(f"round {number} was already voted")
+        bucket = self._pending.setdefault(number, {})
+        value = request["value"]
+        bucket[request["module"]] = None if value is None else float(value)
+        roster = self.engine.roster
+        complete = bool(roster) and set(bucket) >= set(roster)
+        if complete:
+            result = self._vote_round(number, self._pending.pop(number))
+            return ok_response(
+                accepted=True, voted=True, result=_result_payload(result)
+            )
+        return ok_response(accepted=True, voted=False, pending=len(bucket))
+
+    def _op_close_round(self, request) -> Dict[str, Any]:
+        number = request["round"]
+        bucket = self._pending.pop(number, None)
+        if bucket is None:
+            raise ProtocolError(f"no pending submissions for round {number}")
+        result = self._vote_round(number, bucket)
+        return ok_response(result=_result_payload(result))
+
+    def _op_history(self, request) -> Dict[str, Any]:
+        history = getattr(self.engine.voter, "history", None)
+        records = history.snapshot() if history is not None else {}
+        return ok_response(records=records)
+
+    def _op_stats(self, request) -> Dict[str, Any]:
+        return ok_response(
+            rounds_processed=self.engine.rounds_processed,
+            rounds_degraded=self.engine.rounds_degraded,
+            pending_rounds=sorted(self._pending),
+            requests_served=self.requests_served,
+            last_value=self._last_result.value if self._last_result else None,
+            algorithm=self.spec.algorithm_name,
+        )
+
+    def _op_reset(self, request) -> Dict[str, Any]:
+        self.engine.reset()
+        self._pending.clear()
+        self._voted.clear()
+        self._last_result = None
+        return ok_response(reset=True)
+
+    def _op_configure(self, request) -> Dict[str, Any]:
+        """Hot-swap the voting scheme (the VDX promise made live).
+
+        The new document is validated before anything changes; an
+        invalid document leaves the running scheme untouched.  A swap
+        discards all voting state — records earned under one scheme
+        mean nothing under another.
+        """
+        spec = VotingSpec.from_dict(request["spec"])
+        self.spec = spec
+        self.engine = build_engine(spec)
+        self._pending.clear()
+        self._voted.clear()
+        self._last_result = None
+        return ok_response(configured=True, algorithm_name=spec.algorithm_name)

@@ -1,0 +1,108 @@
+"""Minimal discrete-event simulation core.
+
+A :class:`Simulator` owns a priority queue of timestamped callbacks.
+Determinism matters more than speed here: events at equal times fire in
+scheduling order (a monotonic sequence number breaks ties), so a seeded
+simulation always replays identically.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..exceptions import SimulationError
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`Simulator.schedule`; allows cancelling."""
+
+    def __init__(self, event: _Event):
+        self._event = event
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+
+class Simulator:
+    """Run callbacks in virtual-time order."""
+
+    def __init__(self):
+        self._queue: List[_Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._running = False
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time (seconds)."""
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        event = _Event(time=self._now + delay, seq=next(self._seq), callback=callback)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at an absolute virtual time."""
+        return self.schedule(time - self._now, callback)
+
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> float:
+        """Process events until the queue drains or ``until`` is reached.
+
+        Returns the final virtual time.  ``max_events`` guards against
+        runaway self-rescheduling loops.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run)")
+        self._running = True
+        try:
+            processed = 0
+            while self._queue:
+                event = self._queue[0]
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                if event.time < self._now:
+                    raise SimulationError("event queue went backwards in time")
+                self._now = event.time
+                event.callback()
+                processed += 1
+                self.events_processed += 1
+                if processed > max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; runaway schedule loop?"
+                    )
+            if until is not None and self._now < until:
+                self._now = until
+            return self._now
+        finally:
+            self._running = False
+
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events in the queue."""
+        return sum(1 for e in self._queue if not e.cancelled)

@@ -1,0 +1,32 @@
+"""Message types carried over simulated links."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+
+@dataclass(frozen=True)
+class ReadingPayload:
+    """One sensor reading in flight: module, round id, value, sample time."""
+
+    module: str
+    round_id: int
+    value: Optional[float]
+    sampled_at: float
+
+
+@dataclass(frozen=True)
+class Message:
+    """An addressed message with arbitrary payload.
+
+    ``kind`` is a routing hint (``"reading"``, ``"batch"``, ``"output"``)
+    so nodes can dispatch without isinstance chains on payload types.
+    """
+
+    sender: str
+    recipient: str
+    kind: str
+    payload: Any
+    sent_at: float = 0.0
+    headers: Dict[str, Any] = field(default_factory=dict)

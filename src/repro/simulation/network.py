@@ -1,0 +1,77 @@
+"""Simulated point-to-point links with latency, jitter and loss.
+
+UC-1's topology has two link classes (Fig. 1): sensor→hub ethernet
+(sub-millisecond, reliable) and hub→sink WiFi (milliseconds of jitter,
+occasional loss).  Loss is what turns a sensor reading into a §7
+"missing value" at the voter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .events import Simulator
+from .messages import Message
+
+
+class Link:
+    """A unidirectional lossy link between two nodes.
+
+    Args:
+        simulator: the owning event loop.
+        latency: base one-way delay, seconds.
+        jitter: uniform extra delay in [0, jitter] seconds.
+        loss_probability: chance a message is silently dropped.
+        seed: RNG seed for jitter/loss decisions.
+        name: label used in statistics and debugging.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        latency: float = 0.001,
+        jitter: float = 0.0,
+        loss_probability: float = 0.0,
+        seed: int = 0,
+        name: str = "link",
+    ):
+        if latency < 0 or jitter < 0:
+            raise ConfigurationError("latency and jitter must be non-negative")
+        if not 0.0 <= loss_probability <= 1.0:
+            raise ConfigurationError("loss_probability must be in [0, 1]")
+        self.simulator = simulator
+        self.latency = latency
+        self.jitter = jitter
+        self.loss_probability = loss_probability
+        self.name = name
+        self._rng = np.random.default_rng(seed)
+        self.sent = 0
+        self.delivered = 0
+        self.dropped = 0
+
+    def transmit(self, message: Message, destination) -> bool:
+        """Send a message toward ``destination`` (a node with .receive).
+
+        Returns False when the message was dropped (callers normally
+        ignore this — real senders don't know either).
+        """
+        self.sent += 1
+        if self.loss_probability > 0.0 and self._rng.random() < self.loss_probability:
+            self.dropped += 1
+            return False
+        delay = self.latency
+        if self.jitter > 0.0:
+            delay += float(self._rng.uniform(0.0, self.jitter))
+
+        def deliver():
+            self.delivered += 1
+            destination.receive(message)
+
+        self.simulator.schedule(delay, deliver)
+        return True
+
+    @property
+    def loss_rate(self) -> float:
+        """Observed loss fraction so far."""
+        return self.dropped / self.sent if self.sent else 0.0

@@ -1,0 +1,56 @@
+"""Base node type for the simulated deployments."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..exceptions import SimulationError
+from .events import Simulator
+from .messages import Message
+from .network import Link
+
+
+class Node:
+    """A named participant in the simulated network.
+
+    Nodes hold outgoing links keyed by destination node and exchange
+    :class:`~repro.simulation.messages.Message` objects.  Subclasses
+    implement :meth:`handle` for their application logic.
+    """
+
+    def __init__(self, simulator: Simulator, name: str):
+        self.simulator = simulator
+        self.name = name
+        self._links: Dict[str, Tuple[Link, "Node"]] = {}
+        self.received_count = 0
+
+    def connect(self, destination: "Node", link: Link) -> None:
+        """Attach an outgoing link toward ``destination``."""
+        self._links[destination.name] = (link, destination)
+
+    def send(self, recipient: str, kind: str, payload) -> bool:
+        """Send a message over the link to ``recipient``."""
+        if recipient not in self._links:
+            raise SimulationError(
+                f"node {self.name!r} has no link to {recipient!r}"
+            )
+        link, destination = self._links[recipient]
+        message = Message(
+            sender=self.name,
+            recipient=recipient,
+            kind=kind,
+            payload=payload,
+            sent_at=self.simulator.now,
+        )
+        return link.transmit(message, destination)
+
+    def receive(self, message: Message) -> None:
+        """Entry point called by links on delivery."""
+        self.received_count += 1
+        self.handle(message)
+
+    def handle(self, message: Message) -> None:
+        """Application logic; subclasses override."""
+
+    def start(self) -> None:
+        """Called once before the simulation runs; subclasses override."""

@@ -1,0 +1,169 @@
+"""Concrete node types: sensors, hub, and the voting sink.
+
+The voting sink implements the deployment behaviour the paper's fault
+scenarios assume: readings are collected per round id, the round is
+voted when every roster module reported or when the round deadline
+expires (readings lost in transit simply never arrive and become
+missing values), and the fusion engine's policies decide what a
+degraded round yields.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..fusion.engine import FusionEngine, FusionResult
+from ..types import Round, is_missing
+from .events import Simulator
+from .messages import Message, ReadingPayload
+from .node import Node
+
+
+class SensorNode(Node):
+    """Periodically samples a sensor and ships readings to a collector.
+
+    Args:
+        simulator: owning event loop.
+        sensor: object with ``.name`` and ``.sample(t)`` (a
+            :class:`~repro.sensors.base.Sensor` or a fault wrapper).
+        collector: node name the readings are sent to.
+        interval: sampling period, seconds (UC-1: 1/8 s).
+        rounds: how many rounds to produce (None = until sim end).
+        outages: ``(start, end)`` windows (seconds) during which this
+            node is down — it samples nothing and sends nothing, the
+            node-level version of the §7 missing-value scenario
+            (crashed gateway, battery swap, reboot).
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        sensor,
+        collector: str,
+        interval: float,
+        rounds: Optional[int] = None,
+        outages=(),
+    ):
+        super().__init__(simulator, name=f"sensor-{sensor.name}")
+        for start, end in outages:
+            if end < start:
+                from ..exceptions import SimulationError
+
+                raise SimulationError(f"outage window ({start}, {end}) inverted")
+        self.sensor = sensor
+        self.collector = collector
+        self.interval = interval
+        self.rounds = rounds
+        self.outages = tuple(outages)
+        self.rounds_skipped = 0
+        self._round_id = 0
+
+    def in_outage(self, t: float) -> bool:
+        return any(start <= t < end for start, end in self.outages)
+
+    def start(self) -> None:
+        self.simulator.schedule(0.0, self._tick)
+
+    def _tick(self) -> None:
+        if self.rounds is not None and self._round_id >= self.rounds:
+            return
+        now = self.simulator.now
+        if self.in_outage(now):
+            self.rounds_skipped += 1
+        else:
+            value = self.sensor.sample(now)
+            payload = ReadingPayload(
+                module=self.sensor.name,
+                round_id=self._round_id,
+                value=None if is_missing(value) else float(value),
+                sampled_at=now,
+            )
+            self.send(self.collector, kind="reading", payload=payload)
+        self._round_id += 1
+        self.simulator.schedule(self.interval, self._tick)
+
+
+class HubNode(Node):
+    """Forwards sensor readings to the sink (the VINT hub of Fig. 1)."""
+
+    def __init__(self, simulator: Simulator, name: str, sink: str):
+        super().__init__(simulator, name)
+        self.sink = sink
+        self.forwarded = 0
+
+    def handle(self, message: Message) -> None:
+        if message.kind != "reading":
+            return
+        self.send(self.sink, kind="reading", payload=message.payload)
+        self.forwarded += 1
+
+
+class VotingSinkNode(Node):
+    """Collects readings per round and votes via a fusion engine.
+
+    A round is voted as soon as every roster module reported, or when
+    its deadline (``deadline`` seconds after the first reading of that
+    round arrives) expires with a partial set — modules that never
+    reported appear as missing values, exactly the §7 missing-value
+    scenario.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        name: str,
+        engine: FusionEngine,
+        roster: List[str],
+        deadline: float = 0.05,
+        on_output: Optional[Callable[[FusionResult], None]] = None,
+    ):
+        super().__init__(simulator, name)
+        self.engine = engine
+        self.roster = list(roster)
+        self.deadline = deadline
+        self.on_output = on_output
+        self._pending: Dict[int, Dict[str, Optional[float]]] = {}
+        self._deadlines: Dict[int, object] = {}
+        self._voted: set = set()
+        self.results: List[FusionResult] = []
+
+    def handle(self, message: Message) -> None:
+        if message.kind != "reading":
+            return
+        payload: ReadingPayload = message.payload
+        if payload.round_id in self._voted:
+            return  # late reading for an already-voted round
+        bucket = self._pending.setdefault(payload.round_id, {})
+        if not bucket:
+            handle = self.simulator.schedule(
+                self.deadline, lambda rid=payload.round_id: self._expire(rid)
+            )
+            self._deadlines[payload.round_id] = handle
+        bucket[payload.module] = payload.value
+        if len(bucket) == len(self.roster):
+            self._vote(payload.round_id)
+
+    def _expire(self, round_id: int) -> None:
+        if round_id not in self._voted and round_id in self._pending:
+            self._vote(round_id)
+
+    def _vote(self, round_id: int) -> None:
+        bucket = self._pending.pop(round_id)
+        handle = self._deadlines.pop(round_id, None)
+        if handle is not None:
+            handle.cancel()
+        self._voted.add(round_id)
+        mapping = {module: bucket.get(module) for module in self.roster}
+        voting_round = Round.from_mapping(
+            round_id, mapping, timestamp=self.simulator.now
+        )
+        result = self.engine.process(voting_round)
+        self.results.append(result)
+        if self.on_output is not None:
+            self.on_output(result)
+
+    def flush(self) -> None:
+        """Vote every still-pending round (called at simulation end)."""
+        for round_id in sorted(self._pending):
+            self._vote(round_id)
+        self.results.sort(key=lambda r: r.round_number)

@@ -1,0 +1,153 @@
+"""End-to-end simulation drivers producing fused output series."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..datasets.ble_uc2 import UC2Config, build_uc2_stack
+from ..datasets.light_uc1 import UC1Config, build_uc1_array
+from ..fusion.engine import FusionEngine, FusionResult
+from ..fusion.faults import FaultPolicy
+from ..voting.registry import create_voter
+from .topology import Topology, build_uc1_topology, build_uc2_topology
+
+
+@dataclass
+class SimulationReport:
+    """Outcome of one simulated deployment run."""
+
+    outputs: np.ndarray
+    results: List[FusionResult]
+    rounds_degraded: int
+    link_stats: Dict[str, Dict[str, float]]
+    virtual_duration: float
+
+    @property
+    def n_rounds(self) -> int:
+        return len(self.results)
+
+
+def _report(topology: Topology, engine: FusionEngine) -> SimulationReport:
+    results = topology.sink.results
+    outputs = np.asarray(
+        [float("nan") if r.value is None else float(r.value) for r in results]
+    )
+    link_stats = {
+        name: {
+            "sent": link.sent,
+            "delivered": link.delivered,
+            "dropped": link.dropped,
+            "loss_rate": link.loss_rate,
+        }
+        for name, link in topology.links.items()
+    }
+    return SimulationReport(
+        outputs=outputs,
+        results=results,
+        rounds_degraded=engine.rounds_degraded,
+        link_stats=link_stats,
+        virtual_duration=topology.simulator.now,
+    )
+
+
+def run_uc1_simulation(
+    algorithm: str = "avoc",
+    rounds: int = 400,
+    config: UC1Config = UC1Config(),
+    wifi_loss: float = 0.01,
+    fault_policy: Optional[FaultPolicy] = None,
+) -> SimulationReport:
+    """Simulate the UC-1 deployment end-to-end for ``rounds`` rounds."""
+    array = build_uc1_array(config)
+    voter = create_voter(algorithm)
+    engine = FusionEngine(
+        voter, roster=array.module_names, fault_policy=fault_policy or FaultPolicy()
+    )
+    sample_interval = 1.0 / config.sample_rate_hz
+    topology = build_uc1_topology(
+        array,
+        engine,
+        sample_interval=sample_interval,
+        rounds=rounds,
+        wifi_loss=wifi_loss,
+        seed=config.seed,
+    )
+    # One extra deadline's worth of time lets the final round close.
+    topology.run(until=rounds * sample_interval + 1.0)
+    return _report(topology, engine)
+
+
+def run_uc2_simulation(
+    algorithm: str = "avoc",
+    stack: str = "A",
+    config: UC2Config = UC2Config(),
+    ble_loss: float = 0.02,
+    fault_policy: Optional[FaultPolicy] = None,
+) -> SimulationReport:
+    """Simulate one UC-2 beacon stack end-to-end for the full traverse."""
+    array = build_uc2_stack(config, stack)
+    voter = create_voter(algorithm)
+    engine = FusionEngine(
+        voter, roster=array.module_names, fault_policy=fault_policy or FaultPolicy()
+    )
+    sample_interval = config.duration_seconds / config.n_rounds
+    topology = build_uc2_topology(
+        array,
+        engine,
+        sample_interval=sample_interval,
+        rounds=config.n_rounds,
+        ble_loss=ble_loss,
+        seed=config.seed,
+    )
+    topology.run(until=config.duration_seconds + 2.0)
+    return _report(topology, engine)
+
+
+@dataclass
+class PositioningReport:
+    """Outcome of a dual-stack UC-2 positioning run."""
+
+    stack_a: SimulationReport
+    stack_b: SimulationReport
+    calls: np.ndarray
+    truth: np.ndarray
+    accuracy: float
+    unstable_calls: int
+
+
+def run_uc2_positioning_simulation(
+    algorithm: str = "average",
+    config: UC2Config = UC2Config(),
+    ble_loss: float = 0.02,
+) -> PositioningReport:
+    """Both UC-2 stacks end-to-end, fused into closest-stack calls.
+
+    This is the whole positioning application running on the simulated
+    runtime: two independent edge voters (one per stack, as in the
+    paper's deployment), their per-round fused RSSI compared to call
+    the closest stack, scored against the robot's true trajectory.
+    """
+    from ..analysis.ambiguity import (
+        classification_accuracy,
+        closest_stack_series,
+        unstable_rounds,
+    )
+    from ..datasets.ble_uc2 import generate_uc2_dataset
+
+    report_a = run_uc2_simulation(algorithm, "A", config, ble_loss)
+    report_b = run_uc2_simulation(algorithm, "B", config, ble_loss)
+    n = min(report_a.n_rounds, report_b.n_rounds)
+    outputs_a = report_a.outputs[:n]
+    outputs_b = report_b.outputs[:n]
+    truth = generate_uc2_dataset(config).true_closest()[:n]
+    return PositioningReport(
+        stack_a=report_a,
+        stack_b=report_b,
+        calls=closest_stack_series(outputs_a, outputs_b),
+        truth=truth,
+        accuracy=classification_accuracy(outputs_a, outputs_b, truth),
+        unstable_calls=unstable_rounds(outputs_a, outputs_b),
+    )

@@ -1,0 +1,143 @@
+"""Deployment topologies for the two use cases.
+
+UC-1 (Fig. 1): five light sensors —ethernet→ VINT hub —WiFi→ voting
+sink.  UC-2 (Fig. 3/4): beacons broadcast straight to the edge voter on
+the robot (the laptop); the BLE channel's unreliability already lives
+in the beacon model, the link adds transport loss on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..fusion.engine import FusionEngine
+from ..sensors.array import SensorArray
+from .events import Simulator
+from .network import Link
+from .nodes import HubNode, SensorNode, VotingSinkNode
+
+
+@dataclass
+class Topology:
+    """A wired-up simulation: event loop plus named nodes and links."""
+
+    simulator: Simulator
+    sensor_nodes: List[SensorNode]
+    sink: VotingSinkNode
+    hub: Optional[HubNode] = None
+    links: Dict[str, Link] = field(default_factory=dict)
+
+    def start(self) -> None:
+        for node in self.sensor_nodes:
+            node.start()
+
+    def run(self, until: float) -> None:
+        self.start()
+        self.simulator.run(until=until)
+        self.sink.flush()
+
+
+def build_uc1_topology(
+    array: SensorArray,
+    engine: FusionEngine,
+    sample_interval: float = 1.0 / 8.0,
+    rounds: Optional[int] = None,
+    ethernet_latency: float = 0.0005,
+    wifi_latency: float = 0.004,
+    wifi_jitter: float = 0.006,
+    wifi_loss: float = 0.01,
+    deadline: float = 0.05,
+    seed: int = 7,
+) -> Topology:
+    """Wire the Fig. 1 deployment: sensors → hub (ethernet) → sink (WiFi)."""
+    simulator = Simulator()
+    sink = VotingSinkNode(
+        simulator,
+        name="sink",
+        engine=engine,
+        roster=array.module_names,
+        deadline=deadline,
+    )
+    hub = HubNode(simulator, name="hub", sink="sink")
+    wifi = Link(
+        simulator,
+        latency=wifi_latency,
+        jitter=wifi_jitter,
+        loss_probability=wifi_loss,
+        seed=seed,
+        name="wifi",
+    )
+    hub.connect(sink, wifi)
+    links = {"wifi": wifi}
+    sensor_nodes = []
+    for i, sensor in enumerate(array.sensors):
+        node = SensorNode(
+            simulator,
+            sensor=sensor,
+            collector="hub",
+            interval=sample_interval,
+            rounds=rounds,
+        )
+        ethernet = Link(
+            simulator,
+            latency=ethernet_latency,
+            seed=seed + i + 1,
+            name=f"eth-{sensor.name}",
+        )
+        node.connect(hub, ethernet)
+        links[f"eth-{sensor.name}"] = ethernet
+        sensor_nodes.append(node)
+    return Topology(
+        simulator=simulator,
+        sensor_nodes=sensor_nodes,
+        sink=sink,
+        hub=hub,
+        links=links,
+    )
+
+
+def build_uc2_topology(
+    array: SensorArray,
+    engine: FusionEngine,
+    sample_interval: float,
+    rounds: Optional[int] = None,
+    ble_latency: float = 0.02,
+    ble_jitter: float = 0.02,
+    ble_loss: float = 0.02,
+    deadline: float = 0.2,
+    seed: int = 11,
+) -> Topology:
+    """Wire the Fig. 3/4 deployment: beacons → edge voter, direct BLE."""
+    simulator = Simulator()
+    sink = VotingSinkNode(
+        simulator,
+        name="edge-voter",
+        engine=engine,
+        roster=array.module_names,
+        deadline=deadline,
+    )
+    links: Dict[str, Link] = {}
+    sensor_nodes = []
+    for i, beacon in enumerate(array.sensors):
+        node = SensorNode(
+            simulator,
+            sensor=beacon,
+            collector="edge-voter",
+            interval=sample_interval,
+            rounds=rounds,
+        )
+        ble = Link(
+            simulator,
+            latency=ble_latency,
+            jitter=ble_jitter,
+            loss_probability=ble_loss,
+            seed=seed + i + 1,
+            name=f"ble-{beacon.name}",
+        )
+        node.connect(sink, ble)
+        links[f"ble-{beacon.name}"] = ble
+        sensor_nodes.append(node)
+    return Topology(
+        simulator=simulator, sensor_nodes=sensor_nodes, sink=sink, links=links
+    )

@@ -1,0 +1,38 @@
+"""Voting-parameter tuning.
+
+The paper's Q3/Q4 conclusion is that no voting method is optimal for
+every application and that the specification (VDX) exists so each
+deployment can pick its own parameters.  This package closes the loop:
+given a recorded scenario, *search* for the parameters that optimise a
+deployment-relevant objective — fault recovery speed on UC-1, call
+stability on UC-2 — instead of hand-tuning.
+
+Two searchers are provided: exhaustive :func:`grid_search` and a small
+seeded :func:`genetic_search` (genetic optimisation of voting
+architectures per Torres-Echeverría et al., the reference §6 notes VDX
+cannot yet express).
+"""
+
+from .space import Choice, Continuous, ParameterSpace
+from .objective import (
+    Objective,
+    uc1_fault_recovery_objective,
+    uc2_stability_objective,
+)
+from .search import TuningResult, Trial, grid_search
+from .genetic import genetic_search
+from .random_search import random_search
+
+__all__ = [
+    "random_search",
+    "Choice",
+    "Continuous",
+    "ParameterSpace",
+    "Objective",
+    "uc1_fault_recovery_objective",
+    "uc2_stability_objective",
+    "TuningResult",
+    "Trial",
+    "grid_search",
+    "genetic_search",
+]

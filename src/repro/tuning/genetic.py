@@ -1,0 +1,116 @@
+"""A small, seeded genetic search over voting parameters.
+
+Follows the classic recipe used for optimising voting architectures
+[Torres-Echeverría 2012]: tournament selection, blend crossover for
+continuous genes, uniform crossover for categorical genes, Gaussian
+mutation clipped into range, and elitism of the single best individual.
+Deterministic per seed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .objective import Objective
+from .search import Trial, TuningResult, _evaluate
+from .space import Choice, Continuous, ParameterSpace
+
+
+def _crossover(parent_a, parent_b, space: ParameterSpace, rng) -> Dict[str, Any]:
+    child: Dict[str, Any] = {}
+    for name, dim in space.dimensions.items():
+        if isinstance(dim, Continuous):
+            # Blend (BLX-0): uniform point between the parents.
+            low, high = sorted((parent_a[name], parent_b[name]))
+            child[name] = float(rng.uniform(low, high)) if low < high else low
+        else:
+            child[name] = parent_a[name] if rng.random() < 0.5 else parent_b[name]
+    return child
+
+
+def _mutate(
+    assignment: Dict[str, Any],
+    space: ParameterSpace,
+    rng,
+    rate: float,
+    scale: float,
+) -> Dict[str, Any]:
+    mutated = dict(assignment)
+    for name, dim in space.dimensions.items():
+        if rng.random() >= rate:
+            continue
+        if isinstance(dim, Continuous):
+            span = dim.high - dim.low
+            mutated[name] = dim.clip(
+                mutated[name] + float(rng.normal(0.0, scale * span))
+            )
+        elif isinstance(dim, Choice):
+            mutated[name] = dim.sample(rng)
+    return mutated
+
+
+def _tournament(population, scores, rng, k: int = 3) -> Dict[str, Any]:
+    indices = rng.integers(len(population), size=min(k, len(population)))
+    winner = min(indices, key=lambda i: scores[i])
+    return population[int(winner)]
+
+
+def genetic_search(
+    objective: Objective,
+    space: ParameterSpace,
+    population_size: int = 16,
+    generations: int = 10,
+    mutation_rate: float = 0.25,
+    mutation_scale: float = 0.15,
+    seed: int = 0,
+) -> TuningResult:
+    """Evolve parameter assignments against the objective.
+
+    Invalid assignments (rejected by VoterParams validation) score
+    infinity and die out naturally.
+    """
+    if population_size < 4:
+        raise ConfigurationError("population_size must be >= 4")
+    if generations < 1:
+        raise ConfigurationError("generations must be >= 1")
+    rng = np.random.default_rng(seed)
+
+    def score_of(assignment: Dict[str, Any]) -> float:
+        try:
+            params = space.to_params(assignment)
+        except ConfigurationError:
+            return float("inf")
+        return _evaluate(objective, params)
+
+    population: List[Dict[str, Any]] = [
+        space.sample(rng) for _ in range(population_size)
+    ]
+    trials: List[Trial] = []
+    scores = [score_of(a) for a in population]
+    trials.extend(Trial(a, s) for a, s in zip(population, scores))
+
+    for _ in range(generations - 1):
+        elite_index = int(np.argmin(scores))
+        next_population = [dict(population[elite_index])]
+        while len(next_population) < population_size:
+            parent_a = _tournament(population, scores, rng)
+            parent_b = _tournament(population, scores, rng)
+            child = _crossover(parent_a, parent_b, space, rng)
+            child = _mutate(child, space, rng, mutation_rate, mutation_scale)
+            next_population.append(space.clip(child))
+        population = next_population
+        scores = [score_of(a) for a in population]
+        trials.extend(Trial(a, s) for a, s in zip(population, scores))
+
+    best_trial = min(trials, key=lambda t: t.score)
+    if best_trial.score == float("inf"):
+        raise ConfigurationError("no valid assignment found by the search")
+    return TuningResult(
+        best_assignment=best_trial.assignment,
+        best_score=best_trial.score,
+        best_params=space.to_params(best_trial.assignment),
+        trials=trials,
+    )

@@ -1,0 +1,66 @@
+"""Tuning objectives: deployment-relevant scores for a parameter set.
+
+An objective is any callable ``f(VoterParams) -> float`` where lower is
+better.  The two factories here mirror the paper's two case studies.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..analysis.ambiguity import unstable_rounds
+from ..analysis.convergence import convergence_round
+from ..analysis.diff import error_injection_diff, run_voter_series
+from ..datasets.ble_uc2 import UC2Dataset
+from ..datasets.dataset import Dataset
+from ..voting.base import Voter, VoterParams
+from ..voting.registry import create_voter
+
+#: Lower-is-better score of one parameter assignment.
+Objective = Callable[[VoterParams], float]
+
+
+def uc1_fault_recovery_objective(
+    clean: Dataset,
+    faulty: Dataset,
+    algorithm: str = "avoc",
+    tolerance: float = 0.3,
+    residual_weight: float = 100.0,
+) -> Objective:
+    """UC-1 objective: recover fast *and* land on the right value.
+
+    Score = settling round of the error-injection diff plus
+    ``residual_weight`` × the mean tail |diff| — so a parameter set
+    cannot win by converging instantly to a wrong stable value.
+    """
+
+    def evaluate(params: VoterParams) -> float:
+        def make_voter() -> Voter:
+            return create_voter(algorithm, params=params)
+
+        diff = error_injection_diff(make_voter, clean, faulty)
+        settling = convergence_round(diff, tolerance)
+        tail = np.abs(diff[len(diff) // 2 :])
+        tail = tail[~np.isnan(tail)]
+        residual = float(tail.mean()) if tail.size else float("inf")
+        return settling + residual_weight * residual
+
+    return evaluate
+
+
+def uc2_stability_objective(
+    dataset: UC2Dataset,
+    algorithm: str = "avoc",
+) -> Objective:
+    """UC-2 objective: minimise unstable closest-stack calls."""
+
+    def evaluate(params: VoterParams) -> float:
+        series = {}
+        for stack, ds in dataset.stacks().items():
+            voter = create_voter(algorithm, params=params)
+            series[stack] = run_voter_series(voter, ds)
+        return float(unstable_rounds(series["A"], series["B"]))
+
+    return evaluate

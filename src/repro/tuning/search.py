@@ -1,0 +1,87 @@
+"""Exhaustive grid search over a parameter space."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..exceptions import ConfigurationError
+from ..voting.base import VoterParams
+from .objective import Objective
+from .space import ParameterSpace
+
+
+@dataclass(frozen=True)
+class Trial:
+    """One evaluated assignment."""
+
+    assignment: Dict[str, Any]
+    score: float
+
+
+@dataclass
+class TuningResult:
+    """Outcome of a search: the best assignment plus the full trace."""
+
+    best_assignment: Dict[str, Any]
+    best_score: float
+    best_params: VoterParams
+    trials: List[Trial] = field(default_factory=list)
+
+    @property
+    def n_trials(self) -> int:
+        return len(self.trials)
+
+    def top(self, k: int = 5) -> List[Trial]:
+        """The k best trials, best first."""
+        return sorted(self.trials, key=lambda t: t.score)[:k]
+
+
+def _evaluate(objective: Objective, params: VoterParams) -> float:
+    score = objective(params)
+    if score is None or (isinstance(score, float) and math.isnan(score)):
+        return float("inf")
+    return float(score)
+
+
+def grid_search(
+    objective: Objective,
+    space: ParameterSpace,
+    points_per_dimension: int = 5,
+    max_trials: Optional[int] = None,
+) -> TuningResult:
+    """Evaluate the full cartesian grid (optionally truncated).
+
+    Args:
+        objective: lower-is-better score function.
+        space: the dimensions to sweep.
+        points_per_dimension: grid resolution for continuous dimensions.
+        max_trials: optional hard cap on evaluations.
+
+    Raises:
+        ConfigurationError: when every assignment fails to validate.
+    """
+    trials: List[Trial] = []
+    best: Optional[Trial] = None
+    best_params: Optional[VoterParams] = None
+    for assignment in space.grid(points_per_dimension):
+        if max_trials is not None and len(trials) >= max_trials:
+            break
+        try:
+            params = space.to_params(assignment)
+        except ConfigurationError:
+            continue  # invalid corner of the grid (e.g. k < 1)
+        trial = Trial(assignment=assignment, score=_evaluate(objective, params))
+        trials.append(trial)
+        if best is None or trial.score < best.score:
+            best = trial
+            best_params = params
+    if best is None:
+        raise ConfigurationError("no valid assignment in the search space")
+    return TuningResult(
+        best_assignment=best.assignment,
+        best_score=best.score,
+        best_params=best_params,
+        trials=trials,
+    )

@@ -1,0 +1,120 @@
+"""Parameter search spaces.
+
+A :class:`ParameterSpace` maps :class:`~repro.voting.base.VoterParams`
+field names to dimensions — :class:`Continuous` ranges or discrete
+:class:`Choice` sets — and turns assignments into validated
+``VoterParams`` instances layered over a base configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..voting.base import VoterParams
+
+
+@dataclass(frozen=True)
+class Continuous:
+    """A continuous dimension in [low, high]."""
+
+    low: float
+    high: float
+
+    def __post_init__(self):
+        if not self.low < self.high:
+            raise ConfigurationError(f"need low < high, got [{self.low}, {self.high}]")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low, self.high))
+
+    def clip(self, value: float) -> float:
+        return float(min(max(value, self.low), self.high))
+
+    def grid(self, points: int) -> List[float]:
+        if points < 2:
+            return [(self.low + self.high) / 2.0]
+        return [float(v) for v in np.linspace(self.low, self.high, points)]
+
+
+@dataclass(frozen=True)
+class Choice:
+    """A discrete dimension over explicit options."""
+
+    options: Tuple[Any, ...]
+
+    def __init__(self, options: Sequence[Any]):
+        if not options:
+            raise ConfigurationError("Choice needs at least one option")
+        object.__setattr__(self, "options", tuple(options))
+
+    def sample(self, rng: np.random.Generator) -> Any:
+        return self.options[int(rng.integers(len(self.options)))]
+
+    def grid(self, points: int) -> List[Any]:
+        return list(self.options)
+
+
+class ParameterSpace:
+    """Named dimensions over VoterParams fields.
+
+    Args:
+        dimensions: mapping of VoterParams field name to dimension.
+        base: configuration the sampled fields are layered over.
+    """
+
+    def __init__(
+        self,
+        dimensions: Mapping[str, Any],
+        base: Optional[VoterParams] = None,
+    ):
+        if not dimensions:
+            raise ConfigurationError("parameter space has no dimensions")
+        valid_fields = set(VoterParams.__dataclass_fields__)
+        for name, dim in dimensions.items():
+            if name not in valid_fields:
+                raise ConfigurationError(f"unknown VoterParams field {name!r}")
+            if not isinstance(dim, (Continuous, Choice)):
+                raise ConfigurationError(
+                    f"dimension {name!r} must be Continuous or Choice"
+                )
+        self.dimensions: Dict[str, Any] = dict(dimensions)
+        self.base = base or VoterParams()
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self.dimensions)
+
+    def sample(self, rng: np.random.Generator) -> Dict[str, Any]:
+        """One random assignment."""
+        return {name: dim.sample(rng) for name, dim in self.dimensions.items()}
+
+    def grid(self, points_per_dimension: int = 5) -> Iterator[Dict[str, Any]]:
+        """The full cartesian grid of assignments."""
+        names = list(self.dimensions)
+        axes = [self.dimensions[n].grid(points_per_dimension) for n in names]
+
+        def recurse(index: int, partial: Dict[str, Any]):
+            if index == len(names):
+                yield dict(partial)
+                return
+            for value in axes[index]:
+                partial[names[index]] = value
+                yield from recurse(index + 1, partial)
+
+        yield from recurse(0, {})
+
+    def to_params(self, assignment: Mapping[str, Any]) -> VoterParams:
+        """A validated VoterParams with the assignment applied."""
+        return self.base.with_overrides(**dict(assignment))
+
+    def clip(self, assignment: Dict[str, Any]) -> Dict[str, Any]:
+        """Clamp continuous values into their ranges (GA mutation)."""
+        clipped = {}
+        for name, value in assignment.items():
+            dim = self.dimensions[name]
+            clipped[name] = dim.clip(value) if isinstance(dim, Continuous) else value
+        return clipped

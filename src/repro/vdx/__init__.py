@@ -1,0 +1,52 @@
+"""VDX — the paper's voting definition specification (§6).
+
+VDX is a JSON scheme that "precisely defines application requirements
+and allows users to select appropriate parameters for software voters".
+It is a superset of VDL [Bakken et al. 2001]: on top of VDL's quorum /
+exclusion / collation triple it adds the history algorithm selection,
+algorithm parameters, clustering bootstrap, and categorical values.
+
+Typical use::
+
+    from repro.vdx import VotingSpec, build_voter
+
+    spec = VotingSpec.from_json(open("avoc.vdx.json").read())
+    voter = build_voter(spec)
+"""
+
+from .schema import FIELDS, SCHEMA_VERSION, field_names
+from .spec import VotingSpec
+from .validation import validate_document
+from .factory import build_voter, build_engine
+from .examples import (
+    AVOC_SPEC,
+    CLUSTERING_SPEC,
+    HYBRID_SPEC,
+    LISTING_1,
+    ME_SPEC,
+    SDT_SPEC,
+    STANDARD_SPEC,
+    STATELESS_MEAN_SPEC,
+    CATEGORICAL_SPEC,
+    all_example_specs,
+)
+
+__all__ = [
+    "FIELDS",
+    "SCHEMA_VERSION",
+    "field_names",
+    "VotingSpec",
+    "validate_document",
+    "build_voter",
+    "build_engine",
+    "AVOC_SPEC",
+    "CLUSTERING_SPEC",
+    "HYBRID_SPEC",
+    "LISTING_1",
+    "ME_SPEC",
+    "SDT_SPEC",
+    "STANDARD_SPEC",
+    "STATELESS_MEAN_SPEC",
+    "CATEGORICAL_SPEC",
+    "all_example_specs",
+]

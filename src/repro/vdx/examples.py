@@ -1,0 +1,92 @@
+"""Canned VDX documents, including Listing 1 from the paper."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .spec import VotingSpec
+
+#: Listing 1, verbatim content (the paper's AVOC definition).
+LISTING_1: Dict = {
+    "algorithm_name": "AVOC",
+    "quorum": "UNTIL",
+    "quorum_percentage": 100,
+    "exclusion": "NONE",
+    "exclusion_threshold": 0,
+    "history": "HYBRID",
+    "params": {"error": 0.05, "soft_threshold": 2},
+    "collation": "MEAN_NEAREST_NEIGHBOR",
+    "bootstrapping": True,
+}
+
+AVOC_SPEC = VotingSpec.from_dict(LISTING_1)
+
+HYBRID_SPEC = AVOC_SPEC.with_overrides(
+    algorithm_name="Hybrid", bootstrapping=False
+)
+
+STANDARD_SPEC = VotingSpec.from_dict(
+    {
+        "algorithm_name": "Standard",
+        "quorum": "UNTIL",
+        "quorum_percentage": 100,
+        "history": "STANDARD",
+        "params": {"error": 0.05},
+        "collation": "MEAN",
+    }
+)
+
+ME_SPEC = STANDARD_SPEC.with_overrides(algorithm_name="Me", history="ME")
+
+SDT_SPEC = VotingSpec.from_dict(
+    {
+        "algorithm_name": "Sdt",
+        "quorum": "UNTIL",
+        "quorum_percentage": 100,
+        "history": "SDT",
+        "params": {"error": 0.05, "soft_threshold": 2},
+        "collation": "MEAN",
+    }
+)
+
+CLUSTERING_SPEC = VotingSpec.from_dict(
+    {
+        "algorithm_name": "Clustering",
+        "history": "NONE",
+        "params": {"error": 0.05, "soft_threshold": 2},
+        "collation": "MEAN",
+        "bootstrapping": True,
+    }
+)
+
+STATELESS_MEAN_SPEC = VotingSpec.from_dict(
+    {
+        "algorithm_name": "avg.",
+        "history": "NONE",
+        "collation": "MEAN",
+    }
+)
+
+CATEGORICAL_SPEC = VotingSpec.from_dict(
+    {
+        "algorithm_name": "door-state",
+        "history": "ME",
+        "collation": "WEIGHTED_MAJORITY",
+        "value_type": "CATEGORICAL",
+    }
+)
+
+
+def all_example_specs() -> Dict[str, VotingSpec]:
+    """Every canned spec, keyed by its algorithm name."""
+    specs = (
+        AVOC_SPEC,
+        HYBRID_SPEC,
+        STANDARD_SPEC,
+        ME_SPEC,
+        SDT_SPEC,
+        CLUSTERING_SPEC,
+        STATELESS_MEAN_SPEC,
+        CATEGORICAL_SPEC,
+    )
+    return {spec.algorithm_name: spec for spec in specs}

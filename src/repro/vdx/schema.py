@@ -1,0 +1,246 @@
+"""Declarative schema for VDX documents.
+
+The schema is expressed as data (one :class:`Field` per document key) so
+the validator, the documentation and the parser all derive from a single
+source of truth.  Enumerations follow the paper's Listing 1 plus the
+categorical extension described in §6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+SCHEMA_VERSION = "1.1"
+
+#: Fault-handling actions for degraded rounds (the §7 extension: VDX
+#: 1.1 adds "high-level descriptions of the desired fault handling
+#: policy" that the paper left to client code in 1.0).
+FAULT_ACTIONS = ("last_value", "raise", "skip")
+
+#: Quorum modes.  ``NONE`` votes on whatever arrived; ``UNTIL`` waits
+#: until ``quorum_percentage`` of the known modules submitted a value
+#: (Listing 1 uses UNTIL/100); ``ANY`` requires at least one value.
+QUORUM_MODES = ("NONE", "UNTIL", "ANY")
+
+#: Value-based exclusion applied before the vote.  ``DEVIATION``
+#: removes values more than ``exclusion_threshold`` standard deviations
+#: from the round mean; ``RANGE`` removes values farther than the
+#: threshold (absolute) from the round median.
+EXCLUSION_MODES = ("NONE", "DEVIATION", "RANGE")
+
+#: History algorithm selection (§4 of the paper).
+HISTORY_MODES = ("NONE", "STANDARD", "ME", "SDT", "HYBRID")
+
+#: Collation techniques (§6; "mean nearest neighbour" per Listing 1).
+COLLATION_MODES = ("MEAN", "MEDIAN", "MEAN_NEAREST_NEIGHBOR", "WEIGHTED_MAJORITY")
+
+#: Candidate value domains.  ``CATEGORICAL`` enables the §6 extension
+#: with its restrictions (no hybrid history, no bootstrap, no
+#: value-based exclusion, weighted-majority collation only).
+VALUE_TYPES = ("NUMERIC", "CATEGORICAL")
+
+
+@dataclass(frozen=True)
+class Field:
+    """One VDX document field.
+
+    Attributes:
+        name: JSON key.
+        types: accepted Python types.
+        required: whether the document must contain the key.
+        default: value used when the key is absent.
+        choices: closed enumeration (case-insensitive) when not None.
+        minimum / maximum: numeric bounds when not None.
+        doc: one-line description used by generated documentation.
+    """
+
+    name: str
+    types: Tuple[type, ...]
+    required: bool = False
+    default: Any = None
+    choices: Optional[Tuple[str, ...]] = None
+    minimum: Optional[float] = None
+    maximum: Optional[float] = None
+    doc: str = ""
+
+
+FIELDS: Tuple[Field, ...] = (
+    Field(
+        "algorithm_name",
+        (str,),
+        required=True,
+        doc="Free-form label for the scheme (e.g. 'AVOC').",
+    ),
+    Field(
+        "quorum",
+        (str,),
+        default="NONE",
+        choices=QUORUM_MODES,
+        doc="When a round becomes eligible for voting.",
+    ),
+    Field(
+        "quorum_percentage",
+        (int, float),
+        default=100,
+        minimum=0,
+        maximum=100,
+        doc="Percentage of modules that must submit for quorum=UNTIL.",
+    ),
+    Field(
+        "exclusion",
+        (str,),
+        default="NONE",
+        choices=EXCLUSION_MODES,
+        doc="Value-based outlier exclusion applied before the vote.",
+    ),
+    Field(
+        "exclusion_threshold",
+        (int, float),
+        default=0,
+        minimum=0,
+        doc="Threshold for the selected exclusion mode.",
+    ),
+    Field(
+        "history",
+        (str,),
+        default="NONE",
+        choices=HISTORY_MODES,
+        doc="History algorithm used to weigh candidate modules.",
+    ),
+    Field(
+        "params",
+        (dict,),
+        default=None,
+        doc="Algorithm parameters: error, soft_threshold, and optional "
+        "history_policy/reward/penalty/learning_rate overrides.",
+    ),
+    Field(
+        "collation",
+        (str,),
+        default="MEAN",
+        choices=COLLATION_MODES,
+        doc="How weighted candidates become one output value.",
+    ),
+    Field(
+        "bootstrapping",
+        (bool,),
+        default=False,
+        doc="Enable the AVOC clustering bootstrap/fallback step.",
+    ),
+    Field(
+        "value_type",
+        (str,),
+        default="NUMERIC",
+        choices=VALUE_TYPES,
+        doc="Candidate value domain (categorical disables some features).",
+    ),
+    Field(
+        "fault_policy",
+        (dict,),
+        default=None,
+        doc="Optional fault-handling policy: on_missing_majority, "
+        "on_conflict, on_quorum_failure (last_value/raise/skip) and "
+        "missing_tolerance in [0, 1).",
+    ),
+    Field(
+        "schema_version",
+        (str,),
+        default=SCHEMA_VERSION,
+        doc="VDX schema version the document targets.",
+    ),
+)
+
+#: Accepted keys inside the nested ``fault_policy`` object.
+FAULT_POLICY_FIELDS: Tuple[Field, ...] = (
+    Field(
+        "on_missing_majority",
+        (str,),
+        default="last_value",
+        choices=FAULT_ACTIONS,
+        doc="Action when more than missing_tolerance of the roster is missing.",
+    ),
+    Field(
+        "on_conflict",
+        (str,),
+        default="last_value",
+        choices=FAULT_ACTIONS,
+        doc="Action on an unresolvable majority conflict / tie.",
+    ),
+    Field(
+        "on_quorum_failure",
+        (str,),
+        default="skip",
+        choices=FAULT_ACTIONS,
+        doc="Action when the quorum rule rejects a round.",
+    ),
+    Field(
+        "missing_tolerance",
+        (int, float),
+        default=0.5,
+        minimum=0,
+        maximum=0.999999,
+        doc="Largest tolerated missing fraction of the roster.",
+    ),
+)
+
+#: Accepted keys inside the nested ``params`` object, with bounds.
+PARAM_FIELDS: Tuple[Field, ...] = (
+    Field("error", (int, float), default=0.05, minimum=0, doc="Relative agreement threshold ε."),
+    Field(
+        "soft_threshold",
+        (int, float),
+        default=2,
+        minimum=1,
+        doc="Soft-dynamic multiple k of the margin.",
+    ),
+    Field(
+        "history_policy",
+        (str,),
+        default="additive",
+        choices=("additive", "ema"),
+        doc="History record update policy.",
+    ),
+    Field("reward", (int, float), default=0.1, minimum=0, doc="Additive-policy reward."),
+    Field("penalty", (int, float), default=0.2, minimum=0, doc="Additive-policy penalty."),
+    Field(
+        "learning_rate",
+        (int, float),
+        default=0.3,
+        minimum=0,
+        maximum=1,
+        doc="EMA-policy smoothing factor.",
+    ),
+)
+
+
+def field_names() -> Tuple[str, ...]:
+    """All top-level VDX keys."""
+    return tuple(f.name for f in FIELDS)
+
+
+def defaults() -> Dict[str, Any]:
+    """Top-level defaults (params expanded from PARAM_FIELDS)."""
+    doc = {f.name: f.default for f in FIELDS}
+    doc["params"] = {p.name: p.default for p in PARAM_FIELDS}
+    return doc
+
+
+def describe() -> str:
+    """Human-readable schema documentation (used by the CLI)."""
+    lines = [f"VDX schema version {SCHEMA_VERSION}", ""]
+    for f in FIELDS:
+        constraint = ""
+        if f.choices:
+            constraint = f" one of {f.choices}"
+        elif f.minimum is not None or f.maximum is not None:
+            constraint = f" in [{f.minimum}, {f.maximum if f.maximum is not None else '∞'}]"
+        required = "required" if f.required else f"default {f.default!r}"
+        lines.append(f"  {f.name}: {f.doc} ({required};{constraint})")
+    lines.append("  params object keys:")
+    for p in PARAM_FIELDS:
+        lines.append(f"    {p.name}: {p.doc} (default {p.default!r})")
+    lines.append("  fault_policy object keys (VDX 1.1 extension):")
+    for p in FAULT_POLICY_FIELDS:
+        lines.append(f"    {p.name}: {p.doc} (default {p.default!r})")
+    return "\n".join(lines)

@@ -1,0 +1,149 @@
+"""Parsed VDX documents: the :class:`VotingSpec` value object."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, replace
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from ..exceptions import SpecificationError
+from .schema import FAULT_POLICY_FIELDS, PARAM_FIELDS, SCHEMA_VERSION
+from .validation import validate_document
+
+
+@dataclass(frozen=True)
+class VotingSpec:
+    """A validated, normalised VDX voting definition.
+
+    Enum-valued fields are normalised to upper case; the ``params``
+    object is filled with schema defaults for absent keys.  Instances
+    are immutable — use :meth:`with_overrides` to derive variants
+    (re-validation included).
+    """
+
+    algorithm_name: str
+    quorum: str = "NONE"
+    quorum_percentage: float = 100.0
+    exclusion: str = "NONE"
+    exclusion_threshold: float = 0.0
+    history: str = "NONE"
+    params: Dict[str, Any] = field(default_factory=dict)
+    collation: str = "MEAN"
+    bootstrapping: bool = False
+    value_type: str = "NUMERIC"
+    fault_policy: Optional[Dict[str, Any]] = None
+    schema_version: str = SCHEMA_VERSION
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, document: Dict[str, Any]) -> "VotingSpec":
+        """Parse and validate a raw document dict.
+
+        ``params`` keeps only the keys the document set explicitly, so
+        the factory can tell a pinned parameter from an algorithm
+        default; use :attr:`effective_params` for the fully-defaulted
+        view.
+        """
+        validate_document(document)
+        params = dict(document.get("params") or {})
+        if isinstance(params.get("history_policy"), str):
+            params["history_policy"] = params["history_policy"].lower()
+        return cls(
+            algorithm_name=document["algorithm_name"],
+            quorum=str(document.get("quorum", "NONE")).upper(),
+            quorum_percentage=float(document.get("quorum_percentage", 100)),
+            exclusion=str(document.get("exclusion", "NONE")).upper(),
+            exclusion_threshold=float(document.get("exclusion_threshold", 0)),
+            history=str(document.get("history", "NONE")).upper(),
+            params=params,
+            collation=str(document.get("collation", "MEAN")).upper(),
+            bootstrapping=bool(document.get("bootstrapping", False)),
+            value_type=str(document.get("value_type", "NUMERIC")).upper(),
+            fault_policy=(
+                dict(document["fault_policy"])
+                if document.get("fault_policy") is not None
+                else None
+            ),
+            schema_version=str(document.get("schema_version", SCHEMA_VERSION)),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "VotingSpec":
+        """Parse a VDX document from its JSON text."""
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SpecificationError([f"invalid JSON: {exc}"])
+        return cls.from_dict(document)
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "VotingSpec":
+        """Load a VDX document from a ``.json`` file."""
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(fh.read())
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def save(self, path: Union[str, Path]) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json() + "\n")
+
+    # -- derivation ----------------------------------------------------------
+
+    def with_overrides(self, **kwargs) -> "VotingSpec":
+        """A validated copy with the given fields replaced.
+
+        ``params`` overrides merge into the existing params object
+        rather than replacing it wholesale.
+        """
+        if "params" in kwargs:
+            merged = dict(self.params)
+            merged.update(kwargs["params"])
+            kwargs["params"] = merged
+        candidate = replace(self, **kwargs)
+        return VotingSpec.from_dict(candidate.to_dict())
+
+    # -- convenience accessors -------------------------------------------
+
+    @property
+    def error(self) -> float:
+        return float(self.params.get("error", 0.05))
+
+    @property
+    def soft_threshold(self) -> float:
+        return float(self.params.get("soft_threshold", 2))
+
+    @property
+    def effective_params(self) -> Dict[str, Any]:
+        """Explicit params merged over the schema defaults."""
+        merged = {p.name: p.default for p in PARAM_FIELDS}
+        merged.update(self.params)
+        return merged
+
+    @property
+    def is_categorical(self) -> bool:
+        return self.value_type == "CATEGORICAL"
+
+    def build_fault_policy(self):
+        """The :class:`~repro.fusion.faults.FaultPolicy` this spec asks
+        for (None when the document declares no ``fault_policy``)."""
+        if self.fault_policy is None:
+            return None
+        from ..fusion.faults import FaultPolicy
+
+        merged = {p.name: p.default for p in FAULT_POLICY_FIELDS}
+        merged.update(self.fault_policy)
+        return FaultPolicy(
+            on_missing_majority=str(merged["on_missing_majority"]),
+            on_conflict=str(merged["on_conflict"]),
+            on_quorum_failure=str(merged["on_quorum_failure"]),
+            missing_tolerance=float(merged["missing_tolerance"]),
+        )

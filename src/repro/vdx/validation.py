@@ -1,0 +1,154 @@
+"""VDX document validation.
+
+Validation happens in two layers:
+
+1. **Field validation** against the declarative schema — unknown keys,
+   wrong types, out-of-range values, unknown enum members.
+2. **Cross-field rules** encoding the semantic restrictions of §6: the
+   categorical mode disables value-based exclusion, the Hybrid history
+   algorithm, clustering bootstrap, and every collation except the
+   weighted majority vote; numeric mode conversely cannot use the
+   weighted-majority collation without a history to weight it is fine,
+   but ``quorum=UNTIL`` requires a quorum percentage, etc.
+
+All problems are collected and reported at once through
+:class:`~repro.exceptions.SpecificationError`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ..exceptions import SpecificationError
+from .schema import FAULT_POLICY_FIELDS, FIELDS, PARAM_FIELDS, Field
+
+
+def _check_field(field: Field, value: Any, problems: List[str], prefix: str = ""):
+    label = f"{prefix}{field.name}"
+    if not isinstance(value, field.types) or isinstance(value, bool) and bool not in field.types:
+        expected = "/".join(t.__name__ for t in field.types)
+        problems.append(f"{label}: expected {expected}, got {type(value).__name__}")
+        return
+    if field.choices is not None:
+        if value.upper() not in field.choices and value not in field.choices:
+            problems.append(f"{label}: {value!r} not one of {field.choices}")
+        return
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        if field.minimum is not None and value < field.minimum:
+            problems.append(f"{label}: {value} below minimum {field.minimum}")
+        if field.maximum is not None and value > field.maximum:
+            problems.append(f"{label}: {value} above maximum {field.maximum}")
+
+
+def validate_document(document: Dict[str, Any]) -> None:
+    """Validate a raw VDX document dict; raise on any problem.
+
+    Raises:
+        SpecificationError: carrying every problem found.
+    """
+    if not isinstance(document, dict):
+        raise SpecificationError(
+            f"VDX document must be a JSON object, got {type(document).__name__}"
+        )
+    problems: List[str] = []
+    known = {f.name: f for f in FIELDS}
+
+    for key in document:
+        if key not in known:
+            problems.append(f"unknown field {key!r}")
+
+    for field in FIELDS:
+        if field.name not in document:
+            if field.required:
+                problems.append(f"missing required field {field.name!r}")
+            continue
+        value = document[field.name]
+        if field.name == "params":
+            if value is None:
+                continue
+            if not isinstance(value, dict):
+                problems.append("params: expected an object")
+                continue
+            param_known = {p.name: p for p in PARAM_FIELDS}
+            for pkey, pvalue in value.items():
+                if pkey not in param_known:
+                    problems.append(f"params.{pkey}: unknown parameter")
+                    continue
+                _check_field(param_known[pkey], pvalue, problems, prefix="params.")
+            error = value.get("error")
+            if isinstance(error, (int, float)) and error <= 0:
+                problems.append("params.error: must be strictly positive")
+            continue
+        if field.name == "fault_policy":
+            if value is None:
+                continue
+            if not isinstance(value, dict):
+                problems.append("fault_policy: expected an object")
+                continue
+            policy_known = {p.name: p for p in FAULT_POLICY_FIELDS}
+            for pkey, pvalue in value.items():
+                if pkey not in policy_known:
+                    problems.append(f"fault_policy.{pkey}: unknown key")
+                    continue
+                _check_field(
+                    policy_known[pkey], pvalue, problems, prefix="fault_policy."
+                )
+            continue
+        _check_field(field, value, problems)
+
+    _cross_field_rules(document, problems)
+    if problems:
+        raise SpecificationError(problems)
+
+
+def _upper(document: Dict[str, Any], key: str, default: str) -> str:
+    value = document.get(key, default)
+    return value.upper() if isinstance(value, str) else default
+
+
+def _cross_field_rules(document: Dict[str, Any], problems: List[str]) -> None:
+    value_type = _upper(document, "value_type", "NUMERIC")
+    history = _upper(document, "history", "NONE")
+    collation = _upper(document, "collation", "MEAN")
+    exclusion = _upper(document, "exclusion", "NONE")
+    quorum = _upper(document, "quorum", "NONE")
+    bootstrapping = document.get("bootstrapping", False)
+
+    if value_type == "CATEGORICAL":
+        # §6: "several features are disabled" for categorical values.
+        if exclusion != "NONE":
+            problems.append(
+                "categorical values do not support value-based exclusion "
+                "(no mean/standard deviation exists)"
+            )
+        if history in ("HYBRID", "SDT"):
+            problems.append(
+                f"categorical values do not support the {history} history "
+                "algorithm (fine-grained agreement is undefined)"
+            )
+        if bootstrapping:
+            problems.append(
+                "clustering-based bootstrapping cannot be applied to "
+                "categorical values"
+            )
+        if collation != "WEIGHTED_MAJORITY":
+            problems.append(
+                "the only collation method for categorical values is "
+                "WEIGHTED_MAJORITY"
+            )
+    else:
+        if collation == "WEIGHTED_MAJORITY":
+            problems.append(
+                "WEIGHTED_MAJORITY collation is reserved for categorical "
+                "value types"
+            )
+
+    if quorum == "UNTIL":
+        pct = document.get("quorum_percentage", 100)
+        if isinstance(pct, (int, float)) and pct <= 0:
+            problems.append("quorum=UNTIL requires quorum_percentage > 0")
+
+    if exclusion != "NONE":
+        threshold = document.get("exclusion_threshold", 0)
+        if isinstance(threshold, (int, float)) and threshold <= 0:
+            problems.append(f"exclusion={exclusion} requires exclusion_threshold > 0")

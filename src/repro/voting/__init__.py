@@ -1,0 +1,75 @@
+"""Voting algorithms for redundant-sensor data fusion.
+
+This package implements the algorithm zoo surveyed and contributed by the
+paper (§4–§5):
+
+* stateless voters — plain mean, median, plurality (no history);
+* ``Standard`` — history-based weighted average [Latif-Shabgahi 2001];
+* ``Me`` — module-elimination weighted average;
+* ``Sdt`` — soft-dynamic-threshold weighted average [Das 2010];
+* ``Hybrid`` — Me + Sdt with agreement-based weights [Alahmadi 2012];
+* ``COV`` — clustering-only voting (the AVOC clustering step alone);
+* ``AVOC`` — Hybrid with clustering-based history bootstrapping (the
+  paper's contribution);
+* ``MLV`` — maximum-likelihood voting (extension, §6 limitations);
+* categorical weighted-majority voting (VDX categorical mode).
+
+All voters share the :class:`~repro.voting.base.Voter` interface: feed
+:class:`~repro.types.Round` objects to :meth:`vote` and receive
+:class:`~repro.types.VoteOutcome` objects back.
+"""
+
+from .base import Voter, VoterParams
+from .agreement import (
+    agreement_scores,
+    binary_agreement_matrix,
+    dynamic_margin,
+    pairwise_distances,
+    soft_agreement_matrix,
+)
+from .history import HistoryRecords
+from .collation import (
+    collate,
+    mean_nearest_neighbour,
+    weighted_mean,
+    weighted_median,
+)
+from .stateless import MeanVoter, MedianVoter, PluralityVoter
+from .standard import StandardVoter
+from .module_elimination import ModuleEliminationVoter
+from .soft_dynamic import SoftDynamicThresholdVoter
+from .hybrid import HybridVoter
+from .clustering_voter import ClusteringOnlyVoter
+from .avoc import AvocVoter
+from .mlv import MaximumLikelihoodVoter
+from .categorical import CategoricalMajorityVoter
+from .registry import available_algorithms, create_voter, register_voter
+
+__all__ = [
+    "Voter",
+    "VoterParams",
+    "agreement_scores",
+    "binary_agreement_matrix",
+    "dynamic_margin",
+    "pairwise_distances",
+    "soft_agreement_matrix",
+    "HistoryRecords",
+    "collate",
+    "mean_nearest_neighbour",
+    "weighted_mean",
+    "weighted_median",
+    "MeanVoter",
+    "MedianVoter",
+    "PluralityVoter",
+    "StandardVoter",
+    "ModuleEliminationVoter",
+    "SoftDynamicThresholdVoter",
+    "HybridVoter",
+    "ClusteringOnlyVoter",
+    "AvocVoter",
+    "MaximumLikelihoodVoter",
+    "CategoricalMajorityVoter",
+    "available_algorithms",
+    "create_voter",
+    "register_voter",
+]

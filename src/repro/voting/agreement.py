@@ -1,0 +1,129 @@
+"""Pairwise agreement computation for numeric voting.
+
+Agreement is the primitive every history-aware voter is built on.  Two
+values *agree* when their distance is within an error margin.  The paper
+uses a *soft dynamic* margin: rather than a fixed absolute tolerance, the
+margin scales with a per-round reference magnitude, so the same relative
+error setting works for 18'000-lumen light readings and -70 dBm RSSI
+readings alike.
+
+Two agreement flavours are provided:
+
+* **binary** — 1 when within the margin, else 0 (Standard, Me);
+* **soft** — 1 within the margin, linearly decaying to 0 at
+  ``soft_threshold`` times the margin (Sdt, Hybrid, AVOC) [Das 2010].
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+
+def dynamic_margin(
+    values: Sequence[float], error: float, min_margin: float = 1e-9
+) -> float:
+    """Compute the soft-dynamic error margin for one round.
+
+    The margin is ``error`` (a relative tolerance, e.g. 0.05 for 5 %)
+    times the magnitude of a reference value — the median of the round's
+    values, which is robust to single outliers.  A floor of
+    ``min_margin`` keeps the margin positive when readings hover around
+    zero.
+
+    Args:
+        values: the round's present (non-missing) candidate values.
+        error: relative agreement threshold ε, must be positive.
+        min_margin: absolute lower bound for the returned margin.
+
+    Returns:
+        The absolute agreement margin for this round.
+    """
+    if error <= 0:
+        raise ValueError(f"error threshold must be positive, got {error}")
+    if len(values) == 0:
+        return min_margin
+    reference = float(np.median(np.asarray(values, dtype=float)))
+    return max(abs(reference) * error, min_margin)
+
+
+def pairwise_distances(values: Sequence[float]) -> np.ndarray:
+    """Return the symmetric matrix of absolute pairwise distances."""
+    arr = np.asarray(values, dtype=float)
+    return np.abs(arr[:, None] - arr[None, :])
+
+
+def binary_agreement_matrix(values: Sequence[float], margin: float) -> np.ndarray:
+    """Binary agreement: 1 when two values are within ``margin``.
+
+    The diagonal is 1 by construction (every value agrees with itself).
+    """
+    if margin < 0:
+        raise ValueError(f"margin must be non-negative, got {margin}")
+    distances = pairwise_distances(values)
+    return (distances <= margin).astype(float)
+
+
+def soft_agreement_matrix(
+    values: Sequence[float], margin: float, soft_threshold: float
+) -> np.ndarray:
+    """Soft-dynamic-threshold agreement [Das 2010].
+
+    Agreement is 1 for distances up to ``margin``, decays linearly to 0
+    at ``soft_threshold * margin``, and is 0 beyond.  With
+    ``soft_threshold == 1`` this degenerates to binary agreement.
+
+    Args:
+        values: candidate values.
+        margin: absolute agreement margin (see :func:`dynamic_margin`).
+        soft_threshold: the multiple *k* of the margin at which agreement
+            reaches zero; must be >= 1.
+    """
+    if margin < 0:
+        raise ValueError(f"margin must be non-negative, got {margin}")
+    if soft_threshold < 1:
+        raise ValueError(f"soft_threshold must be >= 1, got {soft_threshold}")
+    distances = pairwise_distances(values)
+    if soft_threshold == 1 or margin == 0:
+        return (distances <= margin).astype(float)
+    ramp_width = (soft_threshold - 1.0) * margin
+    scores = (soft_threshold * margin - distances) / ramp_width
+    return np.clip(scores, 0.0, 1.0)
+
+
+def agreement_scores(matrix: np.ndarray) -> np.ndarray:
+    """Per-module agreement score: mean agreement with *other* modules.
+
+    For a single module the score is 1 (nothing to disagree with).
+    """
+    n = matrix.shape[0]
+    if n == 0:
+        return np.zeros(0)
+    if n == 1:
+        return np.ones(1)
+    # Exclude self-agreement on the diagonal.
+    return (matrix.sum(axis=1) - np.diag(matrix)) / (n - 1)
+
+
+def majority_cluster(matrix: np.ndarray) -> List[int]:
+    """Indices of the largest mutually-agreeing group.
+
+    Uses each row as a candidate group seed (all modules agreeing with
+    that module) and picks the largest; ties break toward the group whose
+    seed has the highest total agreement.  This mirrors the paper's
+    "group the values in agreement, select the largest group" clustering
+    logic (§5) without quadratic graph algorithms.
+    """
+    n = matrix.shape[0]
+    if n == 0:
+        return []
+    best: List[int] = []
+    best_key = (-1, -1.0)
+    for i in range(n):
+        group = [j for j in range(n) if matrix[i, j] > 0.5]
+        key = (len(group), float(matrix[i].sum()))
+        if key > best_key:
+            best_key = key
+            best = group
+    return best

@@ -1,0 +1,37 @@
+"""Agreement-weighted average without history (AWA).
+
+§7 of the paper compares clustering-only voting against "other
+stateless approach, i.e., weighted average without history" — each
+round's values weighted by their *instantaneous* agreement scores, with
+no records carried between rounds.  COV "significantly outperforms" it:
+soft weights only attenuate an outlier, while clustering removes it.
+
+Implemented as a parameterisation of the shared pipeline with
+instantaneous agreement weights; the voter resets its (unused) history
+records every round so it is genuinely stateless.
+"""
+
+from __future__ import annotations
+
+from ..types import Round, VoteOutcome
+from .base import HistoryAwareVoter, VoterParams
+
+
+class AgreementWeightedVoter(HistoryAwareVoter):
+    """Stateless weighted average: weights = current soft agreement."""
+
+    name = "awa"
+    agreement_kind = "soft"
+    weight_source = "agreement"
+    eliminates = False
+    stateful = False
+
+    @classmethod
+    def default_params(cls) -> VoterParams:
+        return VoterParams(elimination="none", collation="MEAN")
+
+    def vote(self, voting_round: Round) -> VoteOutcome:
+        outcome = super().vote(voting_round)
+        # Statelessness: drop the records the shared pipeline updated.
+        self.history.reset()
+        return outcome

@@ -1,0 +1,117 @@
+"""Categorical voting (VDX categorical mode, §6).
+
+VDX extends VDL by allowing votes on non-numeric values — character
+strings, JSON blobs, enum states.  Per the paper, several features are
+disabled in that mode: value-based exclusion (no mean/stddev exists),
+the Hybrid history algorithm (no fine-grained agreement), and clustering
+bootstrap; the only collation is the weighted majority vote.  The
+``standard`` and ``module-elimination`` history derivations remain
+available: a module "agrees" when its value equals the winning value
+(or is within a caller-supplied distance metric's tolerance, the
+re-introduction hook the paper mentions for implementers).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..exceptions import ConfigurationError
+from ..types import Round, VoteOutcome
+from .base import Voter
+from .collation import weighted_plurality
+from .history import HistoryRecords
+
+_HISTORY_MODES = ("none", "standard", "me")
+
+
+class CategoricalMajorityVoter(Voter):
+    """History-weighted majority voting over hashable values.
+
+    Args:
+        history_mode: ``"none"`` (stateless majority), ``"standard"``
+            (history-weighted majority) or ``"me"`` (additionally
+            zero-weights below-mean-record modules).
+        distance: optional ``f(a, b) -> float``; when given together
+            with ``tolerance``, values within tolerance of the winner
+            count as agreeing for the history update (custom-metric
+            hook).
+        tolerance: agreement tolerance used with ``distance``.
+        reward / penalty / policy: history update parameters, as in
+            :class:`~repro.voting.history.HistoryRecords`.
+    """
+
+    name = "categorical_majority"
+    stateful = True
+
+    def __init__(
+        self,
+        history_mode: str = "standard",
+        distance: Optional[Callable] = None,
+        tolerance: float = 0.0,
+        reward: float = 0.1,
+        penalty: float = 0.2,
+        policy: str = "additive",
+    ):
+        if history_mode not in _HISTORY_MODES:
+            raise ConfigurationError(
+                f"history_mode must be one of {_HISTORY_MODES}, got {history_mode!r}"
+            )
+        if distance is None and tolerance != 0.0:
+            raise ConfigurationError("tolerance requires a distance metric")
+        self.history_mode = history_mode
+        self.distance = distance
+        self.tolerance = tolerance
+        self.history = HistoryRecords(policy=policy, reward=reward, penalty=penalty)
+        self._last_output = None
+
+    def _agrees(self, value, winner) -> bool:
+        if value == winner:
+            return True
+        if self.distance is not None:
+            return self.distance(value, winner) <= self.tolerance
+        return False
+
+    def vote(self, voting_round: Round) -> VoteOutcome:
+        voting_round.require_nonempty()
+        present = voting_round.present
+        modules = [r.module for r in present]
+        values = [r.value for r in present]
+        self.history.ensure(voting_round.modules)
+
+        if self.history_mode == "none":
+            weights = {m: 1.0 for m in modules}
+            eliminated = ()
+        else:
+            weights = self.history.weights(modules)
+            eliminated = (
+                self.history.below_mean(modules) if self.history_mode == "me" else ()
+            )
+            for module in eliminated:
+                weights[module] = 0.0
+
+        winner, tallies = weighted_plurality(
+            values,
+            [weights[m] for m in modules],
+            tie_break=self._last_output,
+        )
+        self._last_output = winner
+
+        if self.history_mode != "none":
+            scores = {
+                m: (1.0 if self._agrees(v, winner) else 0.0)
+                for m, v in zip(modules, values)
+            }
+            self.history.update(scores)
+
+        return VoteOutcome(
+            round_number=voting_round.number,
+            value=winner,
+            weights=weights,
+            history=self.history.snapshot(),
+            eliminated=eliminated,
+            diagnostics={"tallies": tallies},
+        )
+
+    def reset(self) -> None:
+        self.history.reset()
+        self._last_output = None

@@ -1,0 +1,56 @@
+"""Clustering-Only Voting (COV): the AVOC clustering step, every round.
+
+§7 of the paper evaluates the clustering step standalone: it excludes
+the faulty module immediately (from round 1 — no history warm-up
+needed), significantly outperforms the stateless weighted average, and
+fits scenarios "where maintaining historical result records is
+impractical: short-lived sensor measurements, one-time comparisons of
+datasets".  The trade-off is higher output variance, since without
+history a borderline module flips in and out of the winning cluster.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..clustering.agreement_clustering import cluster_by_agreement
+from ..types import Round, VoteOutcome
+from .base import Voter, VoterParams
+from .collation import collate
+
+
+class ClusteringOnlyVoter(Voter):
+    """Stateless voter that collates the largest agreement cluster."""
+
+    name = "clustering"
+    stateful = False
+
+    def __init__(self, params: Optional[VoterParams] = None):
+        self.params = params or VoterParams(collation="MEAN")
+
+    def vote(self, voting_round: Round) -> VoteOutcome:
+        voting_round.require_nonempty()
+        present = voting_round.present
+        modules = [r.module for r in present]
+        values = [float(r.value) for r in present]
+        clustering = cluster_by_agreement(
+            values,
+            error=self.params.error,
+            soft_threshold=self.params.soft_threshold,
+            min_margin=self.params.min_margin,
+        )
+        winners = set(clustering.largest)
+        weights = {m: (1.0 if i in winners else 0.0) for i, m in enumerate(modules)}
+        winning_values = [values[i] for i in clustering.largest]
+        output = collate(self.params.collation, winning_values)
+        return VoteOutcome(
+            round_number=voting_round.number,
+            value=output,
+            weights=weights,
+            eliminated=tuple(m for i, m in enumerate(modules) if i not in winners),
+            used_bootstrap=True,
+            diagnostics={
+                "cluster_sizes": [len(c) for c in clustering.clusters],
+                "margin": clustering.margin,
+            },
+        )

@@ -1,0 +1,169 @@
+"""Collation: turning weighted candidate values into one output value.
+
+The paper distinguishes *amalgamation* (weighted averaging) from *result
+selection* (picking one of the submitted values) [Latif-Shabgahi 2004].
+Both families matter for the evaluation: UC-2 shows the collation method,
+not the history method, dominates output quality on noisy data (§7).
+
+Provided methods (VDX ``collation`` values in parentheses):
+
+* :func:`weighted_mean` (``MEAN``) — amalgamation.
+* :func:`mean_nearest_neighbour` (``MEAN_NEAREST_NEIGHBOR``) — selection:
+  the candidate value closest to the weighted mean, used by Hybrid/AVOC.
+* :func:`weighted_median` (``MEDIAN``) — robust amalgamation/selection.
+* :func:`weighted_plurality` (``WEIGHTED_MAJORITY``) — categorical values.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, NoMajorityError
+
+#: VDX collation keyword -> implementation selector.
+COLLATION_METHODS = (
+    "MEAN",
+    "MEAN_NEAREST_NEIGHBOR",
+    "MEDIAN",
+    "WEIGHTED_MAJORITY",
+)
+
+
+def _as_arrays(values: Sequence[float], weights: Optional[Sequence[float]]):
+    vals = np.asarray(values, dtype=float)
+    if weights is None:
+        wts = np.ones_like(vals)
+    else:
+        wts = np.asarray(weights, dtype=float)
+    if wts.shape != vals.shape:
+        raise ValueError(
+            f"weights shape {wts.shape} does not match values shape {vals.shape}"
+        )
+    if np.any(wts < 0):
+        raise ValueError("weights must be non-negative")
+    return vals, wts
+
+
+def weighted_mean(
+    values: Sequence[float], weights: Optional[Sequence[float]] = None
+) -> float:
+    """Weighted average of the candidate values.
+
+    When all weights are zero (every module eliminated or distrusted),
+    falls back to the unweighted mean — the paper's voters fall back to
+    standard average in that degenerate case (§5).
+    """
+    vals, wts = _as_arrays(values, weights)
+    if vals.size == 0:
+        raise ValueError("cannot collate an empty candidate set")
+    total = wts.sum()
+    if total == 0:
+        return float(vals.mean())
+    return float((vals * wts).sum() / total)
+
+
+def mean_nearest_neighbour(
+    values: Sequence[float], weights: Optional[Sequence[float]] = None
+) -> float:
+    """Select the candidate value closest to the weighted mean.
+
+    This is the Hybrid algorithm's result-selection step: "choose a
+    winning value rather than assigning the resulting average" (§4).
+    Candidates with zero weight still qualify as neighbours only if every
+    weight is zero (fallback); otherwise selection is restricted to
+    positively weighted candidates.
+    """
+    vals, wts = _as_arrays(values, weights)
+    if vals.size == 0:
+        raise ValueError("cannot collate an empty candidate set")
+    centre = weighted_mean(vals, wts)
+    eligible = np.flatnonzero(wts > 0)
+    if eligible.size == 0:
+        eligible = np.arange(vals.size)
+    best = eligible[np.argmin(np.abs(vals[eligible] - centre))]
+    return float(vals[best])
+
+
+def weighted_median(
+    values: Sequence[float], weights: Optional[Sequence[float]] = None
+) -> float:
+    """Weighted median: smallest value with cumulative weight >= half.
+
+    With all-equal weights this is the lower median of the candidates,
+    which is always one of the submitted values (a selection voter).
+    Zero total weight falls back to the unweighted case.
+    """
+    vals, wts = _as_arrays(values, weights)
+    if vals.size == 0:
+        raise ValueError("cannot collate an empty candidate set")
+    if wts.sum() == 0:
+        wts = np.ones_like(vals)
+    order = np.argsort(vals, kind="stable")
+    sorted_vals = vals[order]
+    cumulative = np.cumsum(wts[order])
+    cutoff = cumulative[-1] / 2.0
+    idx = int(np.searchsorted(cumulative, cutoff))
+    idx = min(idx, sorted_vals.size - 1)
+    return float(sorted_vals[idx])
+
+
+def weighted_plurality(
+    values: Sequence[Hashable],
+    weights: Optional[Sequence[float]] = None,
+    tie_break: Optional[Hashable] = None,
+) -> Tuple[Hashable, Dict[Hashable, float]]:
+    """Weighted plurality over categorical candidate values.
+
+    Returns the winning value and the per-value tallies.  On an exact
+    tie, ``tie_break`` wins if it is one of the tied values (the paper's
+    "proximity to the previous output" tie-breaker, §7); otherwise
+    :class:`~repro.exceptions.NoMajorityError` is raised so the caller's
+    fault policy can decide.
+    """
+    if len(values) == 0:
+        raise ValueError("cannot collate an empty candidate set")
+    if weights is None:
+        weights = [1.0] * len(values)
+    if len(weights) != len(values):
+        raise ValueError("weights length does not match values length")
+    tallies: Dict[Hashable, float] = {}
+    for value, weight in zip(values, weights):
+        if weight < 0:
+            raise ValueError("weights must be non-negative")
+        tallies[value] = tallies.get(value, 0.0) + float(weight)
+    if all(t == 0 for t in tallies.values()):
+        # Degenerate all-zero weights: fall back to unweighted counts.
+        tallies = {}
+        for value in values:
+            tallies[value] = tallies.get(value, 0.0) + 1.0
+    top = max(tallies.values())
+    winners = [v for v, t in tallies.items() if t == top]
+    if len(winners) == 1:
+        return winners[0], tallies
+    if tie_break is not None and tie_break in winners:
+        return tie_break, tallies
+    raise NoMajorityError(f"tie between {sorted(map(repr, winners))}")
+
+
+def collate(
+    method: str,
+    values: Sequence[Any],
+    weights: Optional[Sequence[float]] = None,
+    tie_break: Optional[Any] = None,
+) -> Any:
+    """Dispatch to a collation method by its VDX keyword."""
+    method = method.upper()
+    if method == "MEAN":
+        return weighted_mean(values, weights)
+    if method == "MEAN_NEAREST_NEIGHBOR":
+        return mean_nearest_neighbour(values, weights)
+    if method == "MEDIAN":
+        return weighted_median(values, weights)
+    if method == "WEIGHTED_MAJORITY":
+        winner, _ = weighted_plurality(values, weights, tie_break=tie_break)
+        return winner
+    raise ConfigurationError(
+        f"unknown collation method {method!r}; expected one of {COLLATION_METHODS}"
+    )

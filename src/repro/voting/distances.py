@@ -1,0 +1,109 @@
+"""Distance metrics for categorical candidate values.
+
+§6 of the paper disables fine-grained agreement for categorical values
+but notes that "software voting implementers may re-introduce some of
+these features by supplying a custom distance metric for categorical
+values".  This module supplies the common metrics so a
+:class:`~repro.voting.categorical.CategoricalMajorityVoter` can treat
+*near-identical* strings or JSON blobs as agreeing:
+
+* :func:`exact` — 0/1 equality (the default behaviour);
+* :func:`levenshtein` — edit distance between strings;
+* :func:`normalized_levenshtein` — edit distance scaled to [0, 1];
+* :func:`token_jaccard` — 1 − Jaccard similarity of whitespace tokens;
+* :func:`json_blob_distance` — structural distance between parsed JSON
+  documents (fraction of differing leaves).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+
+def exact(a: Any, b: Any) -> float:
+    """0.0 when equal, 1.0 otherwise."""
+    return 0.0 if a == b else 1.0
+
+
+def levenshtein(a: str, b: str) -> float:
+    """Classic edit distance (insert/delete/substitute, all cost 1)."""
+    if a == b:
+        return 0.0
+    if not a:
+        return float(len(b))
+    if not b:
+        return float(len(a))
+    previous = list(range(len(b) + 1))
+    for i, char_a in enumerate(a, start=1):
+        current = [i]
+        for j, char_b in enumerate(b, start=1):
+            cost = 0 if char_a == char_b else 1
+            current.append(
+                min(
+                    previous[j] + 1,  # deletion
+                    current[j - 1] + 1,  # insertion
+                    previous[j - 1] + cost,  # substitution
+                )
+            )
+        previous = current
+    return float(previous[-1])
+
+
+def normalized_levenshtein(a: str, b: str) -> float:
+    """Edit distance divided by the longer string's length, in [0, 1]."""
+    longest = max(len(a), len(b))
+    if longest == 0:
+        return 0.0
+    return levenshtein(a, b) / longest
+
+
+def token_jaccard(a: str, b: str) -> float:
+    """1 − |tokens(a) ∩ tokens(b)| / |tokens(a) ∪ tokens(b)|."""
+    tokens_a = set(a.split())
+    tokens_b = set(b.split())
+    if not tokens_a and not tokens_b:
+        return 0.0
+    union = tokens_a | tokens_b
+    return 1.0 - len(tokens_a & tokens_b) / len(union)
+
+
+def _leaves(value: Any, path: tuple = ()):
+    """Yield (path, leaf) pairs of a parsed JSON document."""
+    if isinstance(value, dict):
+        if not value:
+            yield path, {}
+        for key in sorted(value):
+            yield from _leaves(value[key], path + (str(key),))
+    elif isinstance(value, list):
+        if not value:
+            yield path, []
+        for i, item in enumerate(value):
+            yield from _leaves(item, path + (i,))
+    else:
+        yield path, value
+
+
+def json_blob_distance(a: str, b: str) -> float:
+    """Structural distance between two JSON documents, in [0, 1].
+
+    The fraction of leaf paths (union of both documents) whose values
+    differ or exist on only one side.  Non-JSON inputs fall back to the
+    normalised edit distance, so the metric is total over strings.
+    """
+    try:
+        doc_a = json.loads(a)
+        doc_b = json.loads(b)
+    except (json.JSONDecodeError, TypeError):
+        return normalized_levenshtein(str(a), str(b))
+    leaves_a = dict(_leaves(doc_a))
+    leaves_b = dict(_leaves(doc_b))
+    paths = set(leaves_a) | set(leaves_b)
+    if not paths:
+        return 0.0
+    differing = sum(
+        1
+        for p in paths
+        if p not in leaves_a or p not in leaves_b or leaves_a[p] != leaves_b[p]
+    )
+    return differing / len(paths)

@@ -1,0 +1,174 @@
+"""Per-module historical reliability records.
+
+History-based voters keep one record ``h ∈ [0, 1]`` per module,
+initialised to 1 for a fresh set (the paper's bootstrap trigger relies on
+that convention: *all records 1* means "new set", *all records 0* means
+"system failure or extreme data spike", §5).
+
+Two update policies are provided:
+
+* ``additive`` (default) — reward/penalty increments, as in the original
+  history-based weighted average voter [Latif-Shabgahi 2001].  Records
+  can genuinely reach 0 and 1, which the AVOC trigger depends on.
+* ``ema`` — exponential moving average of the agreement score; smoother
+  but asymptotic (never exactly reaches the extremes).
+
+Records can be attached to a :class:`~repro.history.store.HistoryStore`
+so every update is persisted, mirroring the paper's datastore-backed
+deployment (its stated latency bottleneck).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping
+
+from ..exceptions import ConfigurationError
+
+_POLICIES = ("additive", "ema")
+
+
+class HistoryRecords:
+    """Mutable per-module reliability records with a pluggable policy.
+
+    Args:
+        policy: ``"additive"`` or ``"ema"``.
+        reward: additive increment applied scaled by the agreement score.
+        penalty: additive decrement applied scaled by the disagreement.
+        learning_rate: EMA smoothing factor in (0, 1].
+        initial: starting record value for unseen modules (1.0 = trusted).
+        store: optional persistent backend; written through on updates.
+    """
+
+    def __init__(
+        self,
+        policy: str = "additive",
+        reward: float = 0.1,
+        penalty: float = 0.2,
+        learning_rate: float = 0.3,
+        initial: float = 1.0,
+        store=None,
+    ):
+        if policy not in _POLICIES:
+            raise ConfigurationError(
+                f"unknown history policy {policy!r}; expected one of {_POLICIES}"
+            )
+        if not 0.0 <= initial <= 1.0:
+            raise ConfigurationError(f"initial record must be in [0, 1], got {initial}")
+        if reward < 0 or penalty < 0:
+            raise ConfigurationError("reward and penalty must be non-negative")
+        if not 0.0 < learning_rate <= 1.0:
+            raise ConfigurationError(
+                f"learning_rate must be in (0, 1], got {learning_rate}"
+            )
+        self.policy = policy
+        self.reward = reward
+        self.penalty = penalty
+        self.learning_rate = learning_rate
+        self.initial = initial
+        self._records: Dict[str, float] = {}
+        self._updates = 0
+        self._store = store
+        if store is not None:
+            self._records.update(store.load())
+
+    # -- access ---------------------------------------------------------
+
+    def get(self, module: str) -> float:
+        """Current record for ``module`` (the initial value if unseen)."""
+        return self._records.get(module, self.initial)
+
+    def ensure(self, modules: Iterable[str]) -> None:
+        """Materialise records for ``modules`` without changing values."""
+        for module in modules:
+            self._records.setdefault(module, self.initial)
+
+    def snapshot(self) -> Dict[str, float]:
+        """A copy of all materialised records."""
+        return dict(self._records)
+
+    @property
+    def update_count(self) -> int:
+        """How many update rounds have been applied."""
+        return self._updates
+
+    @property
+    def modules(self):
+        return tuple(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, module: str) -> bool:
+        return module in self._records
+
+    # -- predicates used by the AVOC bootstrap trigger -------------------
+
+    def all_fresh(self, modules: Iterable[str], tolerance: float = 1e-12) -> bool:
+        """True when every record equals the pristine initial value of 1."""
+        return all(abs(self.get(m) - 1.0) <= tolerance for m in modules)
+
+    def all_failed(self, modules: Iterable[str], tolerance: float = 1e-12) -> bool:
+        """True when every record has collapsed to 0."""
+        mods = list(modules)
+        return bool(mods) and all(self.get(m) <= tolerance for m in mods)
+
+    # -- updates ----------------------------------------------------------
+
+    def update(self, scores: Mapping[str, float]) -> Dict[str, float]:
+        """Apply one round of agreement scores and return the new records.
+
+        ``scores`` maps module name to its agreement score in [0, 1].
+        Modules absent from ``scores`` (e.g. missing values this round)
+        keep their record untouched.
+        """
+        for module, score in scores.items():
+            score = min(max(float(score), 0.0), 1.0)
+            current = self.get(module)
+            if self.policy == "additive":
+                delta = self.reward * score - self.penalty * (1.0 - score)
+                updated = current + delta
+            else:  # ema
+                updated = (
+                    1.0 - self.learning_rate
+                ) * current + self.learning_rate * score
+            self._records[module] = min(max(updated, 0.0), 1.0)
+        self._updates += 1
+        if self._store is not None:
+            self._store.save(self._records)
+        return self.snapshot()
+
+    def seed(self, records: Mapping[str, float], count_as_update: bool = True) -> None:
+        """Overwrite records directly (used by the AVOC bootstrap)."""
+        for module, value in records.items():
+            self._records[module] = min(max(float(value), 0.0), 1.0)
+        if count_as_update:
+            self._updates += 1
+        if self._store is not None:
+            self._store.save(self._records)
+
+    def reset(self) -> None:
+        """Forget everything; records return to the initial value."""
+        self._records.clear()
+        self._updates = 0
+        if self._store is not None:
+            self._store.clear()
+
+    # -- weights ----------------------------------------------------------
+
+    def weights(self, modules: Iterable[str]) -> Dict[str, float]:
+        """History-based voting weights (the records themselves)."""
+        return {m: self.get(m) for m in modules}
+
+    def below_mean(self, modules: Iterable[str], slack: float = 1e-12):
+        """Modules whose record is strictly below the mean record.
+
+        This is the module-elimination criterion of Me/Hybrid/AVOC: the
+        returned modules are zero-weighted for the current round while
+        their history keeps updating.
+        """
+        mods = list(modules)
+        if not mods:
+            return ()
+        values = [self.get(m) for m in mods]
+        mean = sum(values) / len(values)
+        return tuple(m for m, v in zip(mods, values) if v < mean - slack)

@@ -1,0 +1,45 @@
+"""Hybrid history-based weighted average voter [Alahmadi & Soh 2012].
+
+Combines Me and Sdt (§4): the *soft-dynamic* agreement scores are
+accumulated into the per-module records (a fast exponential moving
+average — "agreement-based and not history-based weights" in the
+paper's wording, i.e. weights track accumulated agreement rather than
+the reward/penalty ladder of the Standard voter), history drives module
+elimination, and the output is selected with the mean-nearest-neighbour
+method: the candidate value closest to the weighted mean wins, rather
+than an amalgamated average.
+
+Elimination uses a fixed record cutoff (0.5) instead of Me's
+below-the-mean rule: with fine-grained agreement the records of healthy
+modules spread out, and a relative rule would arbitrarily eliminate the
+weakest healthy module every round.  The fixed cutoff gives the paper's
+observed behaviour — a short startup spike while the faulty module's
+record decays across the cutoff, then a clean recovery (Fig. 6-e/f).
+
+In the paper's UC-1 fault experiment this is the "best of both worlds":
+the faulty module is eliminated aggressively while fine-grained
+agreement keeps borderline modules contributing proportionally.
+"""
+
+from __future__ import annotations
+
+from .base import HistoryAwareVoter, VoterParams
+
+
+class HybridVoter(HistoryAwareVoter):
+    """Me + Sdt with accumulated-agreement weights and MNN selection."""
+
+    name = "hybrid"
+    agreement_kind = "soft"
+    weight_source = "history"
+    eliminates = True
+
+    @classmethod
+    def default_params(cls) -> VoterParams:
+        return VoterParams(
+            elimination="fixed",
+            elimination_threshold=0.5,
+            collation="MEAN_NEAREST_NEIGHBOR",
+            history_policy="ema",
+            learning_rate=0.25,
+        )

@@ -1,0 +1,87 @@
+"""M-out-of-N (MooN) exact-agreement voter.
+
+The safety-critical literature the paper builds on (Latif-Shabgahi's
+taxonomy; Torres-Echeverría's MooN architectures) includes voters that
+produce an output *only* when at least M of the N modules agree — a
+2oo3 aircraft sensor trio being the canonical example.  Unlike the
+amalgamating voters, MooN prefers saying nothing over saying something
+unsupported: availability is traded for integrity.
+
+Implementation: agreement clustering at the (binary) margin; if the
+largest cluster has at least M members, its collated value is the
+output, otherwise the round yields no value and the fusion engine's
+conflict policy decides (hold last value / raise / skip).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..clustering.agreement_clustering import cluster_by_agreement
+from ..exceptions import ConfigurationError, NoMajorityError
+from ..types import Round, VoteOutcome
+from .base import Voter, VoterParams
+from .collation import collate
+
+
+class MooNVoter(Voter):
+    """Output only when at least M modules agree.
+
+    Args:
+        m: required agreeing-module count (e.g. 2 for 2oo3).
+        params: agreement/collation parameters; clustering uses the
+            binary margin (soft_threshold is ignored — MooN agreement
+            is exact by definition).
+    """
+
+    name = "moon"
+    stateful = False
+
+    def __init__(self, m: int = 2, params: Optional[VoterParams] = None):
+        if m < 1:
+            raise ConfigurationError(f"m must be >= 1, got {m}")
+        self.m = m
+        self.params = params or VoterParams(collation="MEAN")
+        self.name = f"{m}ooN"
+        self.rounds_without_output = 0
+
+    def vote(self, voting_round: Round) -> VoteOutcome:
+        voting_round.require_nonempty()
+        present = voting_round.present
+        modules = [r.module for r in present]
+        values = [float(r.value) for r in present]
+        clustering = cluster_by_agreement(
+            values,
+            error=self.params.error,
+            soft_threshold=1.0,  # exact agreement: binary margin only
+            min_margin=self.params.min_margin,
+        )
+        winners = clustering.largest
+        if len(winners) < self.m:
+            self.rounds_without_output += 1
+            raise NoMajorityError(
+                f"only {len(winners)} of {len(modules)} modules agree; "
+                f"{self.m} required"
+            )
+        winner_set = set(winners)
+        weights = {
+            module: (1.0 if i in winner_set else 0.0)
+            for i, module in enumerate(modules)
+        }
+        output = collate(self.params.collation, [values[i] for i in winners])
+        return VoteOutcome(
+            round_number=voting_round.number,
+            value=output,
+            weights=weights,
+            eliminated=tuple(
+                m for i, m in enumerate(modules) if i not in winner_set
+            ),
+            diagnostics={
+                "agreeing": len(winners),
+                "required": self.m,
+                "margin": clustering.margin,
+            },
+        )
+
+    def reset(self) -> None:
+        self.rounds_without_output = 0

@@ -1,0 +1,103 @@
+"""Name-based voter registry.
+
+Maps the canonical algorithm names used throughout the paper's figures
+(``avg.``/``average``, ``standard``, ``me``, ``sdt``, ``hybrid``,
+``clustering``, ``avoc``, ...) to factories, so experiments, the VDX
+factory and the CLI can instantiate voters uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from ..exceptions import ConfigurationError
+from .agreement_weighted import AgreementWeightedVoter
+from .avoc import AvocVoter
+from .base import Voter, VoterParams
+from .categorical import CategoricalMajorityVoter
+from .clustering_voter import ClusteringOnlyVoter
+from .hybrid import HybridVoter
+from .mlv import MaximumLikelihoodVoter
+from .module_elimination import ModuleEliminationVoter
+from .soft_dynamic import SoftDynamicThresholdVoter
+from .standard import StandardVoter
+from .stateless import MeanVoter, MedianVoter, PluralityVoter
+
+_REGISTRY: Dict[str, Callable[..., Voter]] = {}
+_ALIASES: Dict[str, str] = {}
+
+
+def register_voter(name: str, factory: Callable[..., Voter], aliases=()) -> None:
+    """Register a voter factory under ``name`` (and optional aliases)."""
+    key = name.lower()
+    if key in _REGISTRY:
+        raise ConfigurationError(f"voter {name!r} is already registered")
+    _REGISTRY[key] = factory
+    for alias in aliases:
+        _ALIASES[alias.lower()] = key
+
+
+def available_algorithms() -> Tuple[str, ...]:
+    """Canonical names of all registered algorithms, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def create_voter(name: str, params: Optional[VoterParams] = None, **kwargs) -> Voter:
+    """Instantiate a voter by (case-insensitive) name or alias.
+
+    ``params`` is forwarded to voters that accept
+    :class:`~repro.voting.base.VoterParams`; other keyword arguments are
+    passed straight to the factory.
+    """
+    key = name.lower()
+    key = _ALIASES.get(key, key)
+    factory = _REGISTRY.get(key)
+    if factory is None:
+        raise ConfigurationError(
+            f"unknown voting algorithm {name!r}; available: {available_algorithms()}"
+        )
+    if params is not None:
+        return factory(params=params, **kwargs)
+    return factory(**kwargs)
+
+
+def _stateless(cls):
+    """Adapt a no-params voter class to the (params=...) factory shape."""
+
+    def factory(params=None, **kwargs):
+        return cls(**kwargs)
+
+    return factory
+
+
+register_voter("average", _stateless(MeanVoter), aliases=("avg", "avg.", "mean"))
+register_voter("median", _stateless(MedianVoter))
+register_voter("plurality", _stateless(PluralityVoter), aliases=("majority",))
+register_voter("standard", StandardVoter, aliases=("strd.", "strd", "hwa"))
+register_voter("me", ModuleEliminationVoter, aliases=("module-elimination",))
+register_voter("sdt", SoftDynamicThresholdVoter, aliases=("soft-dynamic",))
+register_voter("hybrid", HybridVoter)
+register_voter("clustering", ClusteringOnlyVoter, aliases=("cov", "clustering-only"))
+register_voter("avoc", AvocVoter)
+register_voter("mlv", MaximumLikelihoodVoter, aliases=("maximum-likelihood",))
+register_voter("awa", AgreementWeightedVoter, aliases=("agreement-weighted",))
+
+
+def _moon_factory(params=None, m=2, **kwargs):
+    from .moon import MooNVoter
+
+    return MooNVoter(m=m, params=params, **kwargs)
+
+
+register_voter("moon", _moon_factory, aliases=("m-out-of-n", "2oon"))
+
+
+def _categorical_factory(params=None, **kwargs):
+    return CategoricalMajorityVoter(**kwargs)
+
+
+register_voter(
+    "categorical_majority",
+    _categorical_factory,
+    aliases=("categorical", "weighted_majority"),
+)

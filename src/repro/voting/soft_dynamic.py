@@ -1,0 +1,30 @@
+"""Soft Dynamic Threshold history-based weighted average (Sdt) [Das 2010].
+
+Refines the binary agreement definition: values that miss the accepted
+error threshold but fall within ``soft_threshold`` times it receive a
+partial agreement score between 1 and 0 (§4).  This gives the history
+records finer granularity — a sensor that is *slightly* off is penalised
+less than one that is wildly off — at the cost of slower hard decisions.
+"""
+
+from __future__ import annotations
+
+from .base import HistoryAwareVoter, VoterParams
+
+
+class SoftDynamicThresholdVoter(HistoryAwareVoter):
+    """History-weighted average with soft-dynamic-threshold agreement."""
+
+    name = "sdt"
+    agreement_kind = "soft"
+    weight_source = "history"
+    eliminates = False
+
+    @classmethod
+    def default_params(cls) -> VoterParams:
+        return VoterParams(
+            elimination="none",
+            collation="MEAN",
+            history_policy="ema",
+            learning_rate=0.0003,
+        )

@@ -1,0 +1,34 @@
+"""Standard history-based weighted average voter [Latif-Shabgahi 2001].
+
+The baseline history-aware algorithm (the paper's "Standard", §4):
+binary agreement against the dynamic margin, history-based weights, and
+weighted-mean amalgamation.  No module elimination — a notorious
+disagreer's influence decays only as fast as its record does, which is
+why Fig. 6-e shows the Standard voter's skew surviving thousands of
+rounds after the fault injection.
+"""
+
+from __future__ import annotations
+
+from .base import HistoryAwareVoter, VoterParams
+
+
+class StandardVoter(HistoryAwareVoter):
+    """History-based weighted average with binary agreement."""
+
+    name = "standard"
+    agreement_kind = "binary"
+    weight_source = "history"
+    eliminates = False
+
+    @classmethod
+    def default_params(cls) -> VoterParams:
+        # The slow EMA reproduces the paper's observation that Standard
+        # de-emphasises a faulty module very gradually: the injected skew
+        # is "not eliminated completely" even after 10'000 rounds.
+        return VoterParams(
+            elimination="none",
+            collation="MEAN",
+            history_policy="ema",
+            learning_rate=0.0003,
+        )

@@ -1,0 +1,84 @@
+"""Stateless voters: no history, no agreement weighting.
+
+These are the baselines the paper compares against ("avg." in Fig. 6,
+the per-stack average in Fig. 7-b) and the 50-microsecond "stateless
+vote" of the latency claim in §7.
+"""
+
+from __future__ import annotations
+
+from ..types import Round, VoteOutcome
+from .base import Voter
+from .collation import collate, weighted_plurality
+
+
+class CollationVoter(Voter):
+    """Generic stateless voter: apply one collation method, unweighted.
+
+    This is the 50-microsecond "stateless vote" of the paper's latency
+    claim: no agreement matrix, no history, just a collation over the
+    present values.
+    """
+
+    name = "collation"
+    stateful = False
+
+    def __init__(self, collation: str = "MEAN"):
+        self.collation = collation.upper()
+        self.name = f"stateless_{self.collation.lower()}"
+
+    def vote(self, voting_round: Round) -> VoteOutcome:
+        voting_round.require_nonempty()
+        values = [float(r.value) for r in voting_round.present]
+        return VoteOutcome(
+            round_number=voting_round.number,
+            value=collate(self.collation, values),
+            weights={r.module: 1.0 for r in voting_round.present},
+        )
+
+
+class MeanVoter(CollationVoter):
+    """Plain unweighted average of the present values."""
+
+    def __init__(self):
+        super().__init__("MEAN")
+        self.name = "average"
+
+
+class MedianVoter(CollationVoter):
+    """Median of the present values — robust to a minority of outliers."""
+
+    def __init__(self):
+        super().__init__("MEDIAN")
+        self.name = "median"
+
+
+class PluralityVoter(Voter):
+    """Unweighted plurality over (hashable) candidate values.
+
+    Primarily useful for categorical data; numeric values work too when
+    exact repetition is expected.  Ties break toward the previous output
+    when one exists (the paper's tie-breaking example in §7), otherwise
+    :class:`~repro.exceptions.NoMajorityError` propagates.
+    """
+
+    name = "plurality"
+    stateful = True  # remembers the last output for tie-breaking
+
+    def __init__(self):
+        self._last_output = None
+
+    def vote(self, voting_round: Round) -> VoteOutcome:
+        voting_round.require_nonempty()
+        values = [r.value for r in voting_round.present]
+        winner, tallies = weighted_plurality(values, tie_break=self._last_output)
+        self._last_output = winner
+        return VoteOutcome(
+            round_number=voting_round.number,
+            value=winner,
+            weights={r.module: 1.0 for r in voting_round.present},
+            diagnostics={"tallies": tallies},
+        )
+
+    def reset(self) -> None:
+        self._last_output = None

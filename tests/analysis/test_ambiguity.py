@@ -1,0 +1,95 @@
+"""Tests for the UC-2 ambiguity metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.ambiguity import (
+    ambiguous_rounds,
+    classification_accuracy,
+    closest_stack_series,
+    unstable_rounds,
+)
+
+
+class TestAmbiguousRounds:
+    def test_clearly_separated_counts_zero(self):
+        a = [-50.0, -50.0]
+        b = [-90.0, -90.0]
+        assert ambiguous_rounds(a, b, margin_db=5.0) == 0
+
+    def test_close_values_count(self):
+        a = [-70.0, -70.0, -50.0]
+        b = [-72.0, -68.0, -90.0]
+        assert ambiguous_rounds(a, b, margin_db=5.0) == 2
+
+    def test_missing_outputs_count_as_ambiguous(self):
+        a = [np.nan, -50.0]
+        b = [-90.0, np.nan]
+        assert ambiguous_rounds(a, b, margin_db=5.0) == 2
+
+    def test_margin_boundary_exclusive(self):
+        assert ambiguous_rounds([-70.0], [-75.0], margin_db=5.0) == 0
+        assert ambiguous_rounds([-70.0], [-74.9], margin_db=5.0) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ambiguous_rounds([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            ambiguous_rounds([1.0], [1.0], margin_db=-1.0)
+
+
+class TestClosestStack:
+    def test_higher_rssi_wins(self):
+        calls = closest_stack_series([-50.0, -90.0], [-90.0, -50.0])
+        assert list(calls) == ["A", "B"]
+
+    def test_missing_marked_unknown(self):
+        calls = closest_stack_series([np.nan], [-50.0])
+        assert list(calls) == ["?"]
+
+
+class TestUnstableRounds:
+    def test_steady_call_has_no_instability(self):
+        a = [-50.0] * 20
+        b = [-90.0] * 20
+        assert unstable_rounds(a, b, window=5) == 0
+
+    def test_single_crossover_is_localised(self):
+        a = [-50.0] * 10 + [-90.0] * 10
+        b = [-90.0] * 10 + [-50.0] * 10
+        count = unstable_rounds(a, b, window=5)
+        assert 0 < count <= 5
+
+    def test_flapping_calls_all_unstable(self):
+        a = [-50.0, -90.0] * 10
+        b = [-90.0, -50.0] * 10
+        assert unstable_rounds(a, b, window=5) == 20
+
+    def test_missing_values_destabilise_neighbourhood(self):
+        a = [-50.0] * 10
+        b = [-90.0] * 9 + [np.nan]
+        assert unstable_rounds(a, b, window=5) == 3
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            unstable_rounds([-50.0], [-90.0], window=4)
+        with pytest.raises(ValueError):
+            unstable_rounds([-50.0], [-90.0], window=0)
+
+
+class TestAccuracy:
+    def test_perfect_calls(self):
+        a = [-50.0, -90.0]
+        b = [-90.0, -50.0]
+        assert classification_accuracy(a, b, ["A", "B"]) == 1.0
+
+    def test_missing_counts_as_wrong(self):
+        a = [np.nan, -50.0]
+        b = [-90.0, -90.0]
+        assert classification_accuracy(a, b, ["A", "A"]) == 0.5
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            classification_accuracy([-50.0], [-60.0], ["A", "B"])

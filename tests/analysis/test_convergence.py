@@ -1,0 +1,94 @@
+"""Tests for convergence metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.convergence import (
+    convergence_boost,
+    convergence_round,
+    rounds_above_tolerance,
+    stable_value_distance,
+)
+
+
+class TestConvergenceRound:
+    def test_immediately_converged(self):
+        assert convergence_round([0.0, 0.01, 0.02], tolerance=0.1) == 0
+
+    def test_transient_then_settled(self):
+        diff = [1.2, 0.9, 0.4, 0.05, 0.02, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]
+        assert convergence_round(diff, tolerance=0.1) == 3
+
+    def test_never_settles(self):
+        assert convergence_round([1.0] * 20, tolerance=0.1) == 20
+
+    def test_isolated_late_spike_ignored(self):
+        # A settling window, then one spike much later: the settling
+        # round is still the early one (the paper's Fig. 6-e shows
+        # exactly such residual spikes).
+        diff = [1.0] + [0.0] * 15 + [0.9] + [0.0] * 15
+        assert convergence_round(diff, tolerance=0.1, window=10) == 1
+
+    def test_window_requires_persistence(self):
+        # In-tolerance runs shorter than the window don't count.
+        diff = [1.0, 0.0, 0.0, 1.0, 0.0, 0.0, 1.0] + [0.0] * 10
+        assert convergence_round(diff, tolerance=0.1, window=5) == 7
+
+    def test_short_tail_settles(self):
+        # Series ends in tolerance with fewer rounds than the window.
+        assert convergence_round([1.0, 0.0, 0.0], tolerance=0.1, window=10) == 1
+
+    def test_nan_counts_as_violation(self):
+        diff = [0.0, float("nan")] + [0.0] * 12
+        assert convergence_round(diff, tolerance=0.1) == 2
+
+    def test_negative_diffs_use_magnitude(self):
+        assert convergence_round([-2.0, -0.01, 0.01] + [0.0] * 10, 0.1) == 1
+
+    def test_empty(self):
+        assert convergence_round([], tolerance=0.1) == 0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            convergence_round([1.0], tolerance=0.0)
+        with pytest.raises(ValueError):
+            convergence_round([1.0], tolerance=0.1, window=0)
+
+
+class TestBoostAndCounts:
+    def test_boost_ratio(self):
+        baseline = [1.0, 1.0, 1.0] + [0.0] * 10  # settles at round 3
+        improved = [0.0] * 13  # settles at round 0
+        assert convergence_boost(baseline, improved, 0.1) == pytest.approx(4.0)
+
+    def test_equal_series_boost_one(self):
+        series = [1.0] + [0.0] * 10
+        assert convergence_boost(series, series, 0.1) == 1.0
+
+    def test_rounds_above_tolerance(self):
+        assert rounds_above_tolerance([1.0, 0.05, 0.9, 0.0], 0.1) == 2
+
+    def test_rounds_above_tolerance_counts_nan(self):
+        assert rounds_above_tolerance([float("nan"), 0.0], 0.1) == 1
+
+
+class TestStableValueDistance:
+    def test_tail_only(self):
+        outputs = np.concatenate([np.full(80, 99.0), np.full(20, 5.0)])
+        baseline = np.concatenate([np.full(80, 0.0), np.full(20, 4.0)])
+        assert stable_value_distance(outputs, baseline, 0.2) == pytest.approx(1.0)
+
+    def test_nan_entries_skipped(self):
+        outputs = np.array([1.0, np.nan, 1.0, 1.0])
+        baseline = np.zeros(4)
+        assert stable_value_distance(outputs, baseline, 1.0) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stable_value_distance([1.0], [1.0], tail_fraction=0.0)
+        with pytest.raises(ValueError):
+            stable_value_distance([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            stable_value_distance([], [])

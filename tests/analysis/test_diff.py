@@ -1,0 +1,51 @@
+"""Tests for error-injection differential computation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.diff import error_injection_diff, run_voter_series
+from repro.voting.avoc import AvocVoter
+from repro.voting.stateless import MeanVoter
+
+
+class TestRunVoterSeries:
+    def test_series_length_matches_dataset(self, uc1_small):
+        series = run_voter_series(MeanVoter(), uc1_small)
+        assert series.shape == (uc1_small.n_rounds,)
+
+    def test_voter_is_reset_before_running(self, uc1_small):
+        voter = AvocVoter()
+        voter.vote_values([1.0, 1.0, 99.0])  # dirty history
+        run_voter_series(voter, uc1_small)
+        # The run must have started from fresh records (bootstrap fired).
+        assert voter.bootstraps_used == 1
+
+    def test_custom_engine_factory(self, uc1_small):
+        from repro.fusion.engine import FusionEngine
+
+        captured = []
+
+        def factory(voter):
+            engine = FusionEngine(voter, roster=list(uc1_small.modules))
+            captured.append(engine)
+            return engine
+
+        run_voter_series(MeanVoter(), uc1_small, engine_factory=factory)
+        assert captured[0].rounds_processed == uc1_small.n_rounds
+
+
+class TestErrorInjectionDiff:
+    def test_mean_voter_diff_equals_delta_over_n(self, uc1_small, uc1_small_faulty):
+        diff = error_injection_diff(MeanVoter, uc1_small, uc1_small_faulty)
+        assert np.allclose(diff, 6.0 / 5.0)
+
+    def test_avoc_diff_near_zero(self, uc1_small, uc1_small_faulty):
+        diff = error_injection_diff(AvocVoter, uc1_small, uc1_small_faulty)
+        assert abs(diff[0]) < 0.15
+        assert np.nanmean(np.abs(diff)) < 0.2
+
+    def test_length_mismatch_rejected(self, uc1_small):
+        with pytest.raises(ValueError):
+            error_injection_diff(MeanVoter, uc1_small, uc1_small.slice(0, 10))

@@ -1,0 +1,96 @@
+"""Tests for per-module reliability diagnosis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.reliability import FAULT_CLASSES, diagnose, worst_module
+from repro.datasets.injection import drop_values, offset_fault
+from repro.fusion.engine import FusionEngine
+from repro.voting.registry import create_voter
+
+
+def run_outcomes(dataset, algorithm="avoc"):
+    voter = create_voter(algorithm)
+    outcomes = []
+    for voting_round in dataset.rounds():
+        outcomes.append(voter.vote(voting_round))
+    return outcomes
+
+
+class TestHealthyRun:
+    def test_all_modules_healthy(self, uc1_small):
+        dataset = uc1_small.slice(0, 150)
+        reports = diagnose(dataset, run_outcomes(dataset))
+        assert set(reports) == set(dataset.modules)
+        for report in reports.values():
+            assert report.classification == "healthy"
+            assert report.rounds_missing == 0
+            assert report.exclusion_fraction < 0.2
+        assert worst_module(reports) is None
+
+    def test_report_fields_sane(self, uc1_small):
+        dataset = uc1_small.slice(0, 100)
+        reports = diagnose(dataset, run_outcomes(dataset))
+        report = reports["E1"]
+        assert report.rounds_total == 100
+        assert 0.0 <= report.mean_agreement <= 1.0
+        assert 0.0 <= report.final_record <= 1.0
+        assert abs(report.residual_bias) < 0.5
+
+
+class TestFaultClassification:
+    def test_offset_fault_detected(self, uc1_small):
+        dataset = offset_fault(uc1_small.slice(0, 150), "E4", 6.0)
+        reports = diagnose(dataset, run_outcomes(dataset))
+        assert reports["E4"].classification == "offset"
+        assert reports["E4"].residual_bias > 5.0
+        assert reports["E4"].exclusion_fraction > 0.9
+        assert worst_module(reports) == "E4"
+
+    def test_silent_module_detected(self, uc1_small):
+        dataset = drop_values(uc1_small.slice(0, 150), "E2", probability=0.8,
+                              seed=3)
+        reports = diagnose(dataset, run_outcomes(dataset))
+        assert reports["E2"].classification == "silent"
+        assert reports["E2"].rounds_missing > 90
+
+    def test_drift_fault_detected(self, uc1_small):
+        dataset = uc1_small.slice(0, 200)
+        matrix = dataset.matrix.copy()
+        matrix[:, 2] += np.linspace(0.0, 8.0, 200)  # E3 drifts away
+        drifting = dataset.with_matrix(matrix, suffix="drift")
+        reports = diagnose(drifting, run_outcomes(drifting))
+        assert reports["E3"].classification == "drift"
+        assert reports["E3"].residual_trend > 1.0
+
+    def test_erratic_module_detected(self, uc1_small):
+        dataset = uc1_small.slice(0, 200)
+        rng = np.random.default_rng(0)
+        matrix = dataset.matrix.copy()
+        matrix[:, 4] += rng.normal(0.0, 4.0, 200)  # E5 goes noisy, no bias
+        noisy = dataset.with_matrix(matrix, suffix="noisy")
+        reports = diagnose(noisy, run_outcomes(noisy))
+        assert reports["E5"].classification == "erratic"
+
+    def test_all_classes_are_known(self, uc1_small):
+        dataset = offset_fault(uc1_small.slice(0, 60), "E1", 6.0)
+        reports = diagnose(dataset, run_outcomes(dataset))
+        for report in reports.values():
+            assert report.classification in FAULT_CLASSES
+
+
+class TestValidation:
+    def test_misaligned_outcomes_rejected(self, uc1_small):
+        dataset = uc1_small.slice(0, 50)
+        with pytest.raises(ValueError, match="does not match"):
+            diagnose(dataset, run_outcomes(dataset.slice(0, 30)))
+
+
+class TestWorstModulePriorities:
+    def test_silent_outranks_offset(self, uc1_small):
+        dataset = offset_fault(uc1_small.slice(0, 150), "E4", 6.0)
+        dataset = drop_values(dataset, "E2", probability=0.9, seed=5)
+        reports = diagnose(dataset, run_outcomes(dataset))
+        assert worst_module(reports) == "E2"

@@ -1,0 +1,110 @@
+"""Tests for text rendering of tables and series."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.report import render_series, render_table, sparkline
+
+
+class TestRenderTable:
+    def test_alignment_and_separator(self):
+        text = render_table(["name", "value"], [["a", 1.0], ["longer", 2.5]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_float_formatting(self):
+        text = render_table(["v"], [[0.123456789]])
+        assert "0.1235" in text
+
+    def test_nan_rendering(self):
+        assert "nan" in render_table(["v"], [[float("nan")]])
+
+    def test_non_numeric_cells(self):
+        text = render_table(["a", "b"], [[True, "xyz"]])
+        assert "True" in text and "xyz" in text
+
+
+class TestSparkline:
+    def test_length_capped_at_width(self):
+        line = sparkline(list(range(1000)), width=40)
+        assert len(line) == 40
+
+    def test_short_series_uncompressed(self):
+        assert len(sparkline([1.0, 2.0, 3.0], width=40)) == 3
+
+    def test_monotone_series_monotone_blocks(self):
+        line = sparkline([0.0, 1.0, 2.0, 3.0])
+        assert line == "".join(sorted(line))
+
+    def test_nan_rendered_as_space(self):
+        line = sparkline([1.0, float("nan"), 2.0])
+        assert line[1] == " "
+
+    def test_all_nan(self):
+        assert sparkline([float("nan")] * 3).strip() == ""
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series_no_crash(self):
+        line = sparkline([5.0, 5.0, 5.0])
+        assert len(line) == 3
+
+
+class TestSaveSeriesCsv:
+    def test_round_trip_columns(self, tmp_path):
+        from repro.analysis.report import save_series_csv
+
+        path = tmp_path / "series.csv"
+        save_series_csv(path, {"a": [1.0, 2.0], "b": [3.0, 4.0]})
+        lines = path.read_text().splitlines()
+        assert lines[0] == "round,a,b"
+        assert lines[1] == "0,1.0,3.0"
+        assert len(lines) == 3
+
+    def test_nan_becomes_empty_cell(self, tmp_path):
+        from repro.analysis.report import save_series_csv
+
+        path = tmp_path / "series.csv"
+        save_series_csv(path, {"a": [1.0, float("nan")]})
+        assert path.read_text().splitlines()[2] == "1,"
+
+    def test_unequal_lengths_padded(self, tmp_path):
+        from repro.analysis.report import save_series_csv
+
+        path = tmp_path / "series.csv"
+        save_series_csv(path, {"long": [1.0, 2.0, 3.0], "short": [9.0]})
+        lines = path.read_text().splitlines()
+        assert len(lines) == 4
+        assert lines[1] == "0,1.0,9.0"
+        assert lines[3] == "2,3.0,"  # short series padded with empty cell
+
+    def test_creates_parent_directories(self, tmp_path):
+        from repro.analysis.report import save_series_csv
+
+        path = tmp_path / "deep" / "series.csv"
+        save_series_csv(path, {"a": [1.0]})
+        assert path.exists()
+
+
+class TestRenderSeries:
+    def test_labels_aligned_and_ranges_shown(self):
+        text = render_series({"a": [1.0, 2.0], "longer": [3.0, 4.0]})
+        lines = text.splitlines()
+        assert lines[0].startswith("a     ")
+        assert "[1, 2]" in lines[0]
+        assert "[3, 4]" in lines[1]
+
+    def test_all_missing_annotated(self):
+        text = render_series({"x": [np.nan, np.nan]})
+        assert "all missing" in text
+
+    def test_empty_mapping(self):
+        assert render_series({}) == ""
+
+    def test_range_suppressible(self):
+        text = render_series({"a": [1.0, 2.0]}, show_range=False)
+        assert "[" not in text

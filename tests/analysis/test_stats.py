@@ -1,0 +1,54 @@
+"""Tests for series statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import mae, max_abs, rmse, summarize
+
+
+class TestErrors:
+    def test_rmse(self):
+        assert rmse([1.0, 2.0], [0.0, 0.0]) == pytest.approx(np.sqrt(2.5))
+
+    def test_mae(self):
+        assert mae([1.0, -3.0], [0.0, 0.0]) == pytest.approx(2.0)
+
+    def test_nan_pairs_skipped(self):
+        assert mae([1.0, np.nan], [0.0, 0.0]) == pytest.approx(1.0)
+
+    def test_all_nan_returns_nan(self):
+        assert np.isnan(rmse([np.nan], [0.0]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            rmse([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            mae([1.0], [1.0, 2.0])
+
+
+class TestMaxAbs:
+    def test_magnitude(self):
+        assert max_abs([1.0, -5.0, 3.0]) == 5.0
+
+    def test_empty_is_nan(self):
+        assert np.isnan(max_abs([]))
+
+
+class TestSummarize:
+    def test_summary_fields(self):
+        s = summarize([1.0, 2.0, 3.0, np.nan])
+        assert s.count == 3
+        assert s.minimum == 1.0
+        assert s.maximum == 3.0
+        assert s.mean == pytest.approx(2.0)
+        assert s.std == pytest.approx(np.std([1.0, 2.0, 3.0]))
+
+    def test_as_dict(self):
+        assert set(summarize([1.0]).as_dict()) == {"count", "min", "max", "mean", "std"}
+
+    def test_empty_series(self):
+        s = summarize([])
+        assert s.count == 0
+        assert np.isnan(s.mean)

@@ -1,0 +1,82 @@
+"""Tests for the AVOC agreement-clustering step."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clustering.agreement_clustering import (
+    cluster_by_agreement,
+    largest_cluster,
+)
+
+
+class TestBasicGrouping:
+    def test_single_tight_group(self):
+        result = cluster_by_agreement([18.0, 18.1, 17.9])
+        assert len(result.clusters) == 1
+        assert result.largest == (0, 1, 2)
+
+    def test_outlier_forms_own_cluster(self):
+        result = cluster_by_agreement([18.0, 18.1, 17.9, 24.0, 18.05])
+        assert result.largest == (0, 1, 2, 4)
+        assert (3,) in result.clusters
+
+    def test_clusters_sorted_largest_first(self):
+        result = cluster_by_agreement([1.0, 1.0, 1.0, 100.0, 100.0])
+        sizes = [len(c) for c in result.clusters]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_empty_input(self):
+        result = cluster_by_agreement([])
+        assert result.clusters == ()
+        assert result.largest == ()
+
+    def test_singleton(self):
+        result = cluster_by_agreement([5.0])
+        assert result.largest == (0,)
+
+
+class TestMarginBehaviour:
+    def test_margin_mirrors_voting_parameters(self):
+        # margin = error * |median| * soft_threshold
+        result = cluster_by_agreement([100.0, 100.0], error=0.05, soft_threshold=2.0)
+        assert result.margin == pytest.approx(10.0)
+
+    def test_self_calibration_on_negative_values(self):
+        # RSSI-style data: the margin derives from |median|.
+        result = cluster_by_agreement([-70.0, -71.0, -69.0, -100.0], error=0.05)
+        assert sorted(result.largest) == [0, 1, 2]
+
+    def test_chained_agreement_merges_transitively(self):
+        # 0 agrees with 1, 1 with 2, but 0 not directly with 2:
+        # connected components still group them (DBSCAN-like chaining).
+        result = cluster_by_agreement(
+            [10.0, 10.9, 11.8], error=0.05, soft_threshold=2.0
+        )
+        # margin = 0.05 * 10.9 * 2 = 1.09: 0-1 and 1-2 within, 0-2 not.
+        assert result.largest == (0, 1, 2)
+
+    def test_rejects_multidimensional_input(self):
+        with pytest.raises(ValueError):
+            cluster_by_agreement([[1.0, 2.0], [3.0, 4.0]])
+
+
+class TestResultAccessors:
+    def test_outliers_complement_largest(self):
+        result = cluster_by_agreement([18.0, 18.1, 24.0])
+        assert result.outliers == (2,)
+
+    def test_membership_labels(self):
+        result = cluster_by_agreement([18.0, 18.1, 24.0])
+        labels = result.membership()
+        assert labels[0] == labels[1] == 0
+        assert labels[2] == 1
+
+    def test_largest_cluster_helper(self):
+        assert largest_cluster([18.0, 18.1, 24.0]) == (0, 1)
+
+
+class TestTieBreaking:
+    def test_equal_sized_groups_pick_lowest_first_index(self):
+        result = cluster_by_agreement([1.0, 1.0, 50.0, 50.0])
+        assert result.largest == (0, 1)

@@ -1,0 +1,51 @@
+"""Tests for cluster quality metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering.metrics import inertia, silhouette_score
+
+
+class TestInertia:
+    def test_perfect_clusters_zero_inertia(self):
+        assert inertia([1.0, 1.0, 9.0, 9.0], [0, 0, 1, 1]) == 0.0
+
+    def test_spread_increases_inertia(self):
+        tight = inertia([1.0, 1.1, 9.0, 9.1], [0, 0, 1, 1])
+        loose = inertia([1.0, 2.0, 9.0, 10.0], [0, 0, 1, 1])
+        assert loose > tight
+
+    def test_noise_labels_ignored(self):
+        with_noise = inertia([1.0, 1.0, 100.0], [0, 0, -1])
+        assert with_noise == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            inertia([1.0, 2.0], [0])
+
+
+class TestSilhouette:
+    def test_well_separated_near_one(self):
+        data = [0.0, 0.1, 10.0, 10.1]
+        score = silhouette_score(data, [0, 0, 1, 1])
+        assert score > 0.9
+
+    def test_bad_clustering_scores_low(self):
+        data = [0.0, 10.0, 0.1, 10.1]
+        good = silhouette_score(data, [0, 1, 0, 1])
+        bad = silhouette_score(data, [0, 0, 1, 1])
+        assert bad < good
+
+    def test_single_cluster_returns_zero(self):
+        assert silhouette_score([1.0, 2.0, 3.0], [0, 0, 0]) == 0.0
+
+    def test_noise_points_excluded(self):
+        data = [0.0, 0.1, 10.0, 10.1, 500.0]
+        score = silhouette_score(data, [0, 0, 1, 1, -1])
+        assert score > 0.9
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            silhouette_score([1.0], [0, 1])

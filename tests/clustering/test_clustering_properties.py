@@ -1,0 +1,71 @@
+"""Property-based tests for the clustering substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering.agreement_clustering import cluster_by_agreement
+from repro.clustering.dbscan import dbscan
+from repro.clustering.kmeans import kmeans
+
+values_strategy = st.lists(
+    st.floats(min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=15,
+)
+
+
+class TestAgreementClusteringProperties:
+    @given(values=values_strategy)
+    def test_clusters_partition_the_indices(self, values):
+        result = cluster_by_agreement(values)
+        seen = sorted(i for cluster in result.clusters for i in cluster)
+        assert seen == list(range(len(values)))
+
+    @given(values=values_strategy)
+    def test_largest_is_genuinely_largest(self, values):
+        result = cluster_by_agreement(values)
+        assert all(len(result.largest) >= len(c) for c in result.clusters)
+
+    @given(values=values_strategy, error=st.floats(min_value=0.01, max_value=0.5))
+    def test_wider_error_never_splits_clusters_finer(self, values, error):
+        narrow = cluster_by_agreement(values, error=error)
+        wide = cluster_by_agreement(values, error=error * 2)
+        assert len(wide.clusters) <= len(narrow.clusters)
+
+
+class TestDbscanProperties:
+    @given(
+        values=values_strategy,
+        eps=st.floats(min_value=0.01, max_value=100.0),
+        min_samples=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=50)
+    def test_labels_complete_and_noise_only_noncore(self, values, eps, min_samples):
+        result = dbscan(values, eps=eps, min_samples=min_samples)
+        assert len(result.labels) == len(values)
+        if min_samples == 1:
+            assert -1 not in result.labels
+
+
+class TestKMeansProperties:
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_every_point_assigned_to_nearest_centroid(self, data):
+        values = data.draw(
+            st.lists(
+                st.floats(min_value=-100, max_value=100, allow_nan=False),
+                min_size=3,
+                max_size=12,
+            )
+        )
+        k = data.draw(st.integers(min_value=1, max_value=len(values)))
+        result = kmeans(values, k=k, seed=0)
+        points = np.asarray(values)[:, None]
+        for i, label in enumerate(result.labels):
+            own = float(((points[i] - result.centroids[label]) ** 2).sum())
+            for j in range(result.k):
+                other = float(((points[i] - result.centroids[j]) ** 2).sum())
+                assert own <= other + 1e-9

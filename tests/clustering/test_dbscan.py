@@ -1,0 +1,76 @@
+"""Tests for the from-scratch DBSCAN implementation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering.dbscan import NOISE, dbscan
+
+
+class TestOneDimensional:
+    def test_two_blobs(self):
+        data = [1.0, 1.1, 1.2, 9.0, 9.1, 9.2]
+        result = dbscan(data, eps=0.5, min_samples=2)
+        assert result.n_clusters == 2
+        assert result.labels[0] == result.labels[1] == result.labels[2]
+        assert result.labels[3] == result.labels[4] == result.labels[5]
+        assert result.labels[0] != result.labels[3]
+
+    def test_isolated_point_is_noise(self):
+        data = [1.0, 1.1, 1.2, 50.0]
+        result = dbscan(data, eps=0.5, min_samples=2)
+        assert result.labels[3] == NOISE
+
+    def test_min_samples_one_makes_everything_core(self):
+        result = dbscan([1.0, 100.0], eps=0.5, min_samples=1)
+        assert result.n_clusters == 2
+        assert NOISE not in result.labels
+
+
+class TestTwoDimensional:
+    def test_euclidean_blobs(self):
+        rng = np.random.default_rng(0)
+        blob_a = rng.normal([0, 0], 0.1, size=(20, 2))
+        blob_b = rng.normal([5, 5], 0.1, size=(20, 2))
+        data = np.vstack([blob_a, blob_b])
+        result = dbscan(data, eps=0.5, min_samples=3)
+        assert result.n_clusters == 2
+
+    def test_border_points_join_cluster(self):
+        # A chain: dense core plus one border point within eps of a core.
+        data = [[0.0, 0.0], [0.1, 0.0], [0.2, 0.0], [0.55, 0.0]]
+        result = dbscan(data, eps=0.4, min_samples=3)
+        assert result.labels[3] == result.labels[0]
+        assert not result.core_mask[3]
+
+
+class TestValidationAndAccessors:
+    def test_empty_input(self):
+        result = dbscan([], eps=1.0)
+        assert result.labels == ()
+        assert result.n_clusters == 0
+
+    def test_invalid_eps(self):
+        with pytest.raises(ValueError):
+            dbscan([1.0], eps=0.0)
+
+    def test_invalid_min_samples(self):
+        with pytest.raises(ValueError):
+            dbscan([1.0], eps=1.0, min_samples=0)
+
+    def test_clusters_accessor_sorted_by_size(self):
+        data = [1.0, 1.1, 1.2, 9.0, 9.1]
+        result = dbscan(data, eps=0.5, min_samples=2)
+        groups = result.clusters()
+        assert len(groups[0]) >= len(groups[1])
+
+    def test_matches_agreement_clustering_on_voting_data(self):
+        # AVOC's grouping is "similar to DBSCAN": with the equivalent
+        # eps the two agree on the winning group.
+        from repro.clustering.agreement_clustering import cluster_by_agreement
+
+        values = [18.0, 18.1, 17.9, 24.0, 18.05]
+        agreement = cluster_by_agreement(values, error=0.05, soft_threshold=2.0)
+        db = dbscan(values, eps=agreement.margin, min_samples=1)
+        assert set(db.clusters()[0]) == set(agreement.largest)

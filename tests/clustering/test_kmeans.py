@@ -1,0 +1,63 @@
+"""Tests for the from-scratch k-means implementation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering.kmeans import kmeans
+
+
+class TestBasics:
+    def test_two_clear_blobs(self):
+        data = [0.0, 0.1, 0.2, 10.0, 10.1, 10.2]
+        result = kmeans(data, k=2, seed=0)
+        assert result.k == 2
+        labels = np.asarray(result.labels)
+        assert len(set(labels[:3])) == 1
+        assert len(set(labels[3:])) == 1
+        assert labels[0] != labels[3]
+        centroids = sorted(float(c) for c in result.centroids[:, 0])
+        assert centroids[0] == pytest.approx(0.1, abs=0.01)
+        assert centroids[1] == pytest.approx(10.1, abs=0.01)
+
+    def test_k_equals_n_gives_zero_inertia(self):
+        result = kmeans([1.0, 5.0, 9.0], k=3, seed=0)
+        assert result.inertia == pytest.approx(0.0)
+
+    def test_k_one_centroid_is_mean(self):
+        result = kmeans([1.0, 2.0, 3.0], k=1)
+        assert float(result.centroids[0, 0]) == pytest.approx(2.0)
+
+    def test_two_dimensional(self):
+        rng = np.random.default_rng(1)
+        data = np.vstack(
+            [rng.normal([0, 0], 0.2, (30, 2)), rng.normal([4, 4], 0.2, (30, 2))]
+        )
+        result = kmeans(data, k=2, seed=1)
+        assert result.inertia < 20.0
+
+
+class TestDeterminismAndValidation:
+    def test_deterministic_given_seed(self):
+        data = list(np.random.default_rng(3).normal(0, 1, 50))
+        a = kmeans(data, k=3, seed=42)
+        b = kmeans(data, k=3, seed=42)
+        assert a.labels == b.labels
+        assert a.inertia == b.inertia
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            kmeans([1.0, 2.0], k=3)
+        with pytest.raises(ValueError):
+            kmeans([1.0, 2.0], k=0)
+
+    def test_labels_cover_all_points(self):
+        data = list(range(10))
+        result = kmeans(data, k=2, seed=0)
+        assert len(result.labels) == 10
+
+    def test_inertia_decreases_with_more_clusters(self):
+        data = list(np.random.default_rng(7).normal(0, 1, 60))
+        inertias = [kmeans(data, k=k, seed=0).inertia for k in (1, 2, 4, 8)]
+        assert all(a >= b - 1e-9 for a, b in zip(inertias, inertias[1:]))

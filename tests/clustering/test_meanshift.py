@@ -1,0 +1,55 @@
+"""Tests for the mean-shift implementation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering.meanshift import mean_shift
+
+
+class TestModeSeeking:
+    def test_two_modes(self):
+        rng = np.random.default_rng(0)
+        data = np.concatenate([rng.normal(0.0, 0.2, 40), rng.normal(8.0, 0.2, 40)])
+        result = mean_shift(data, bandwidth=1.0)
+        assert result.n_clusters == 2
+        modes = sorted(float(m) for m in result.modes[:, 0])
+        assert modes[0] == pytest.approx(0.0, abs=0.3)
+        assert modes[1] == pytest.approx(8.0, abs=0.3)
+
+    def test_labels_consistent_with_modes(self):
+        data = [0.0, 0.1, 8.0, 8.1]
+        result = mean_shift(data, bandwidth=0.5)
+        assert result.labels[0] == result.labels[1]
+        assert result.labels[2] == result.labels[3]
+        assert result.labels[0] != result.labels[2]
+
+    def test_modes_sorted_by_cluster_size(self):
+        data = [0.0, 0.1, 0.2, 9.0]
+        result = mean_shift(data, bandwidth=0.5)
+        groups = result.clusters()
+        assert len(groups[0]) >= len(groups[-1])
+        assert result.labels[0] == 0  # biggest cluster gets label 0
+
+    def test_two_dimensional(self):
+        rng = np.random.default_rng(1)
+        data = np.vstack(
+            [rng.normal([0, 0], 0.2, (30, 2)), rng.normal([5, 5], 0.2, (30, 2))]
+        )
+        result = mean_shift(data, bandwidth=1.0)
+        assert result.n_clusters == 2
+
+    def test_empty_input(self):
+        result = mean_shift([], bandwidth=1.0)
+        assert result.n_clusters == 0
+        assert result.labels == ()
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            mean_shift([1.0], bandwidth=0.0)
+
+    def test_wide_bandwidth_merges_everything(self):
+        data = [0.0, 1.0, 2.0, 3.0]
+        result = mean_shift(data, bandwidth=50.0)
+        assert result.n_clusters == 1

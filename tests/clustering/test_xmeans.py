@@ -1,0 +1,46 @@
+"""Tests for X-means (BIC-driven cluster count estimation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering.xmeans import xmeans
+
+
+class TestClusterCountEstimation:
+    def test_finds_two_blobs(self):
+        rng = np.random.default_rng(0)
+        data = np.concatenate(
+            [rng.normal(0.0, 0.3, 60), rng.normal(10.0, 0.3, 60)]
+        )
+        result = xmeans(data, k_min=1, k_max=6, seed=0)
+        assert result.k == 2
+
+    def test_single_blob_stays_single(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(5.0, 0.5, 80)
+        result = xmeans(data, k_min=1, k_max=6, seed=0)
+        assert result.k <= 2  # BIC may allow one split on heavy tails
+
+    def test_three_blobs_two_dimensional(self):
+        rng = np.random.default_rng(2)
+        data = np.vstack(
+            [
+                rng.normal([0, 0], 0.2, (40, 2)),
+                rng.normal([6, 0], 0.2, (40, 2)),
+                rng.normal([3, 6], 0.2, (40, 2)),
+            ]
+        )
+        result = xmeans(data, k_min=1, k_max=8, seed=0)
+        assert result.k == 3
+
+    def test_k_max_caps_growth(self):
+        rng = np.random.default_rng(3)
+        data = np.concatenate([rng.normal(c, 0.1, 20) for c in range(8)])
+        result = xmeans(data, k_min=1, k_max=3, seed=0)
+        assert result.k <= 3
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            xmeans([1.0, 2.0], k_min=3, k_max=2)

@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.ble_uc2 import UC2Config, generate_uc2_dataset
+from repro.datasets.injection import offset_fault
+from repro.datasets.light_uc1 import UC1Config, generate_uc1_dataset
+from repro.types import Round
+
+
+@pytest.fixture(scope="session")
+def uc1_small():
+    """A 400-round UC-1 dataset (fast enough for unit tests)."""
+    return generate_uc1_dataset(UC1Config(n_rounds=400))
+
+
+@pytest.fixture(scope="session")
+def uc1_small_faulty(uc1_small):
+    """UC-1 small dataset with the paper's +6 kilolumen fault on E4."""
+    return offset_fault(uc1_small, "E4", 6.0)
+
+
+@pytest.fixture(scope="session")
+def uc2_dataset():
+    """The full 297-round UC-2 BLE dataset."""
+    return generate_uc2_dataset(UC2Config())
+
+
+@pytest.fixture
+def clean_round():
+    """One agreeing 5-sensor round around 18 kilolumen."""
+    return Round.from_values(0, [18.0, 18.1, 17.9, 18.15, 18.05])
+
+
+@pytest.fixture
+def outlier_round():
+    """One round where E4 carries the +6 fault."""
+    return Round.from_values(0, [18.0, 18.1, 17.9, 24.1, 18.05])

@@ -1,0 +1,73 @@
+"""Tests for the Dataset container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.dataset import Dataset
+from repro.exceptions import DatasetError
+
+
+def make_dataset():
+    return Dataset(
+        name="d",
+        modules=["a", "b"],
+        matrix=np.array([[1.0, 2.0], [3.0, np.nan], [5.0, 6.0]]),
+        times=np.array([0.0, 0.5, 1.0]),
+        metadata={"unit": "x"},
+    )
+
+
+class TestConstruction:
+    def test_shapes_validated(self):
+        with pytest.raises(DatasetError):
+            Dataset("d", ["a"], np.ones((2, 2)))
+        with pytest.raises(DatasetError):
+            Dataset("d", ["a"], np.ones(3))
+        with pytest.raises(DatasetError):
+            Dataset("d", ["a"], np.ones((2, 1)), times=np.zeros(3))
+
+    def test_properties(self):
+        ds = make_dataset()
+        assert ds.n_rounds == 3
+        assert ds.n_modules == 2
+
+
+class TestAccess:
+    def test_column(self):
+        assert np.allclose(make_dataset().column("a"), [1.0, 3.0, 5.0])
+
+    def test_column_unknown_module(self):
+        with pytest.raises(DatasetError):
+            make_dataset().column("z")
+
+    def test_rounds_iteration(self):
+        rounds = list(make_dataset().rounds())
+        assert len(rounds) == 3
+        assert rounds[1].value_of("b") is None
+        assert rounds[1].readings[0].timestamp == 0.5
+
+    def test_missing_fraction(self):
+        assert make_dataset().missing_fraction() == pytest.approx(1 / 6)
+
+
+class TestDerivation:
+    def test_slice(self):
+        ds = make_dataset().slice(1, 3)
+        assert ds.n_rounds == 2
+        assert np.allclose(ds.times, [0.5, 1.0])
+
+    def test_slice_is_a_copy(self):
+        original = make_dataset()
+        sliced = original.slice(0, 1)
+        sliced.matrix[0, 0] = 99.0
+        assert original.matrix[0, 0] == 1.0
+
+    def test_with_matrix(self):
+        ds = make_dataset()
+        derived = ds.with_matrix(ds.matrix * 2, suffix="x2", note="doubled")
+        assert derived.name == "d-x2"
+        assert derived.metadata["unit"] == "x"
+        assert derived.metadata["note"] == "doubled"
+        assert derived.matrix[0, 0] == 2.0

@@ -1,0 +1,72 @@
+"""Tests for dataset error injection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.injection import drop_values, offset_fault, spike_fault, stuck_fault
+from repro.exceptions import DatasetError
+
+
+class TestOffsetFault:
+    def test_paper_fault_adds_six(self, uc1_small):
+        faulty = offset_fault(uc1_small, "E4", 6.0)
+        delta = faulty.column("E4") - uc1_small.column("E4")
+        assert np.allclose(delta, 6.0)
+
+    def test_other_modules_untouched(self, uc1_small):
+        faulty = offset_fault(uc1_small, "E4", 6.0)
+        for module in ("E1", "E2", "E3", "E5"):
+            assert np.array_equal(faulty.column(module), uc1_small.column(module))
+
+    def test_original_not_mutated(self, uc1_small):
+        before = uc1_small.matrix.copy()
+        offset_fault(uc1_small, "E4", 6.0)
+        assert np.array_equal(uc1_small.matrix, before)
+
+    def test_windowed_fault(self, uc1_small):
+        faulty = offset_fault(uc1_small, "E4", 6.0, start_round=100, end_round=200)
+        delta = faulty.column("E4") - uc1_small.column("E4")
+        assert np.allclose(delta[:100], 0.0)
+        assert np.allclose(delta[100:200], 6.0)
+        assert np.allclose(delta[200:], 0.0)
+
+    def test_metadata_records_fault(self, uc1_small):
+        faulty = offset_fault(uc1_small, "E4", 6.0)
+        assert faulty.metadata["fault"]["type"] == "offset"
+        assert faulty.metadata["fault"]["module"] == "E4"
+        assert faulty.name.endswith("fault-E4")
+
+    def test_unknown_module_rejected(self, uc1_small):
+        with pytest.raises(DatasetError):
+            offset_fault(uc1_small, "E9", 6.0)
+
+    def test_bad_window_rejected(self, uc1_small):
+        with pytest.raises(DatasetError):
+            offset_fault(uc1_small, "E4", 6.0, start_round=10, end_round=5)
+
+
+class TestOtherInjectors:
+    def test_stuck(self, uc1_small):
+        stuck = stuck_fault(uc1_small, "E1", 0.0)
+        assert np.allclose(stuck.column("E1"), 0.0)
+
+    def test_spikes_hit_expected_fraction(self, uc1_small):
+        spiked = spike_fault(uc1_small, "E2", magnitude=50.0, probability=0.2, seed=1)
+        hit = np.abs(spiked.column("E2") - uc1_small.column("E2")) > 1.0
+        assert 0.1 < hit.mean() < 0.3
+
+    def test_spike_probability_validated(self, uc1_small):
+        with pytest.raises(DatasetError):
+            spike_fault(uc1_small, "E2", magnitude=1.0, probability=1.5)
+
+    def test_drop_values(self, uc1_small):
+        dropped = drop_values(uc1_small, "E3", probability=0.5, seed=2)
+        frac = np.isnan(dropped.column("E3")).mean()
+        assert 0.4 < frac < 0.6
+        assert not np.isnan(dropped.column("E1")).any()
+
+    def test_drop_everything(self, uc1_small):
+        dropped = drop_values(uc1_small, "E3", probability=1.0)
+        assert np.isnan(dropped.column("E3")).all()

@@ -1,0 +1,95 @@
+"""Tests for dataset CSV/JSON persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.dataset import Dataset
+from repro.datasets.loader import load_csv, load_json, save_csv, save_json
+from repro.exceptions import DatasetError
+
+
+def sample_dataset():
+    return Dataset(
+        name="sample",
+        modules=["a", "b"],
+        matrix=np.array([[1.0, 2.0], [np.nan, 4.0]]),
+        times=np.array([0.0, 0.125]),
+        metadata={"unit": "klm", "seed": 7},
+    )
+
+
+class TestCsv:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "d.csv"
+        original = sample_dataset()
+        save_csv(original, path)
+        loaded = load_csv(path)
+        assert loaded.modules == original.modules
+        assert np.array_equal(loaded.matrix, original.matrix, equal_nan=True)
+        assert np.allclose(loaded.times, original.times)
+
+    def test_round_trip_without_times(self, tmp_path):
+        ds = Dataset("x", ["m"], np.array([[1.5]]))
+        path = tmp_path / "d.csv"
+        save_csv(ds, path)
+        loaded = load_csv(path)
+        assert loaded.times is None
+        assert loaded.matrix[0, 0] == 1.5
+
+    def test_name_defaults_to_stem(self, tmp_path):
+        path = tmp_path / "mydata.csv"
+        save_csv(sample_dataset(), path)
+        assert load_csv(path).name == "mydata"
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_csv(tmp_path / "nope.csv")
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(DatasetError):
+            load_csv(path)
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1.0\n")
+        with pytest.raises(DatasetError, match="expected 2 cells"):
+            load_csv(path)
+
+    def test_values_survive_exactly(self, tmp_path):
+        ds = Dataset("x", ["m"], np.array([[0.1234567890123]]))
+        path = tmp_path / "precise.csv"
+        save_csv(ds, path)
+        assert load_csv(path).matrix[0, 0] == ds.matrix[0, 0]
+
+
+class TestJson:
+    def test_round_trip_with_metadata(self, tmp_path):
+        path = tmp_path / "d.json"
+        original = sample_dataset()
+        save_json(original, path)
+        loaded = load_json(path)
+        assert loaded.name == "sample"
+        assert loaded.metadata == {"unit": "klm", "seed": 7}
+        assert np.array_equal(loaded.matrix, original.matrix, equal_nan=True)
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{broken")
+        with pytest.raises(DatasetError, match="invalid dataset JSON"):
+            load_json(path)
+
+    def test_missing_keys(self, tmp_path):
+        path = tmp_path / "partial.json"
+        path.write_text('{"name": "x"}')
+        with pytest.raises(DatasetError, match="missing key"):
+            load_json(path)
+
+    def test_uc1_round_trip(self, tmp_path, uc1_small):
+        path = tmp_path / "uc1.json"
+        save_json(uc1_small, path)
+        loaded = load_json(path)
+        assert np.allclose(loaded.matrix, uc1_small.matrix)

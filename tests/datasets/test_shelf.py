@@ -1,0 +1,104 @@
+"""Tests for the smart-shelf categorical scenario."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.shelf import (
+    STATES,
+    ShelfConfig,
+    generate_shelf_dataset,
+)
+from repro.exceptions import DatasetError
+from repro.types import Round
+from repro.voting.categorical import CategoricalMajorityVoter
+
+
+class TestGenerator:
+    def test_shapes(self):
+        ds = generate_shelf_dataset(ShelfConfig(n_rounds=100, n_sensors=12))
+        assert ds.n_rounds == 100
+        assert len(ds.modules) == 12
+        assert len(ds.readings[0]) == 12
+        assert len(ds.truth) == 100
+
+    def test_values_are_known_states_or_missing(self):
+        ds = generate_shelf_dataset(ShelfConfig(n_rounds=50))
+        for row in ds.readings:
+            for value in row:
+                assert value is None or value in STATES
+
+    def test_deterministic_per_seed(self):
+        a = generate_shelf_dataset(ShelfConfig(n_rounds=50))
+        b = generate_shelf_dataset(ShelfConfig(n_rounds=50))
+        assert a.readings == b.readings
+        assert a.truth == b.truth
+
+    def test_truth_flips_occasionally(self):
+        ds = generate_shelf_dataset(ShelfConfig(n_rounds=500))
+        flips = sum(1 for a, b in zip(ds.truth, ds.truth[1:]) if a != b)
+        assert flips > 0
+
+    def test_defective_sensors_are_less_accurate(self):
+        config = ShelfConfig(n_rounds=500)
+        ds = generate_shelf_dataset(config)
+        defective = set(config.defective_modules())
+
+        def accuracy(module):
+            idx = ds.modules.index(module)
+            pairs = [
+                (row[idx], true)
+                for row, true in zip(ds.readings, ds.truth)
+                if row[idx] is not None
+            ]
+            return sum(1 for r, t in pairs if r == t) / len(pairs)
+
+        worst_healthy = min(
+            accuracy(m) for m in ds.modules if m not in defective
+        )
+        best_defective = max(accuracy(m) for m in defective)
+        assert best_defective < worst_healthy
+
+    def test_defective_majority_rejected(self):
+        with pytest.raises(DatasetError, match="minority"):
+            ShelfConfig(n_sensors=6, n_defective=3)
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(DatasetError):
+            ShelfConfig(healthy_accuracy=1.5)
+
+    def test_accuracy_of_validates_length(self):
+        ds = generate_shelf_dataset(ShelfConfig(n_rounds=10))
+        with pytest.raises(DatasetError):
+            ds.accuracy_of(["present"] * 5)
+
+
+class TestCategoricalVotingOnShelf:
+    def run_voter(self, ds, voter):
+        outputs = []
+        for number in range(ds.n_rounds):
+            voting_round = Round.from_mapping(number, ds.round_values(number))
+            outputs.append(voter.vote(voting_round).value)
+        return outputs
+
+    def test_majority_voting_beats_single_sensor(self):
+        config = ShelfConfig(n_rounds=400)
+        ds = generate_shelf_dataset(config)
+        voter = CategoricalMajorityVoter(history_mode="standard")
+        fused_accuracy = ds.accuracy_of(self.run_voter(ds, voter))
+        # A single healthy sensor is right ~95 % of the time; 24-way
+        # majority should be essentially always right.
+        assert fused_accuracy > 0.99
+
+    def test_me_mode_eliminates_defective_sensors(self):
+        config = ShelfConfig(n_rounds=400)
+        ds = generate_shelf_dataset(config)
+        voter = CategoricalMajorityVoter(history_mode="me")
+        self.run_voter(ds, voter)
+        defective = set(config.defective_modules())
+        records = voter.history.snapshot()
+        worst_healthy = min(
+            v for m, v in records.items() if m not in defective
+        )
+        best_defective = max(records[m] for m in defective)
+        assert best_defective < worst_healthy

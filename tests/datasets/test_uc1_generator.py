@@ -1,0 +1,94 @@
+"""Tests for the UC-1 light dataset generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.light_uc1 import (
+    DEFAULT_BIASES,
+    UC1Config,
+    build_uc1_array,
+    generate_uc1_dataset,
+)
+
+
+class TestPaperParameters:
+    def test_default_config_matches_section3(self):
+        config = UC1Config()
+        assert config.n_rounds == 10_000
+        assert config.sample_rate_hz == 8.0
+        assert config.n_sensors == 5
+        assert config.duration_seconds == pytest.approx(1250.0)
+
+    def test_module_names(self):
+        assert UC1Config().module_names() == ("E1", "E2", "E3", "E4", "E5")
+
+
+class TestGeneratedData:
+    def test_shape(self, uc1_small):
+        assert uc1_small.matrix.shape == (400, 5)
+        assert uc1_small.times[1] - uc1_small.times[0] == pytest.approx(1 / 8)
+
+    def test_values_in_figure_band(self, uc1_small):
+        # Fig. 6-a: roughly the 17-20 kilolumen band.
+        assert uc1_small.matrix.min() > 16.0
+        assert uc1_small.matrix.max() < 21.0
+
+    def test_sensors_share_the_signal(self):
+        # All sensors track the same ground truth: over a window long
+        # enough for the sunlight level to actually move, deviations
+        # from each sensor's mean must correlate strongly.
+        ds = generate_uc1_dataset(UC1Config(n_rounds=4000))
+        a = ds.column("E1") - ds.column("E1").mean()
+        b = ds.column("E5") - ds.column("E5").mean()
+        corr = float(np.corrcoef(a, b)[0, 1])
+        assert corr > 0.5
+
+    def test_biases_visible_in_column_means(self, uc1_small):
+        means = [uc1_small.column(m).mean() for m in uc1_small.modules]
+        # E3 carries the lowest bias by construction.
+        assert np.argmin(means) == 2
+        spreads = np.asarray(means) - np.mean(means)
+        expected = np.asarray(DEFAULT_BIASES) - np.mean(DEFAULT_BIASES)
+        assert np.allclose(spreads, expected, atol=0.05)
+
+    def test_deterministic_per_seed(self):
+        a = generate_uc1_dataset(UC1Config(n_rounds=50))
+        b = generate_uc1_dataset(UC1Config(n_rounds=50))
+        assert np.array_equal(a.matrix, b.matrix)
+
+    def test_different_seeds_differ(self):
+        a = generate_uc1_dataset(UC1Config(n_rounds=50, seed=1))
+        b = generate_uc1_dataset(UC1Config(n_rounds=50, seed=2))
+        assert not np.array_equal(a.matrix, b.matrix)
+
+    def test_no_missing_values(self, uc1_small):
+        assert uc1_small.missing_fraction() == 0.0
+
+    def test_metadata_provenance(self, uc1_small):
+        assert uc1_small.metadata["unit"] == "kilolumen"
+        assert uc1_small.metadata["seed"] == 1202
+
+    def test_agreement_within_voting_margin(self, uc1_small):
+        # The paper's Fig. 6-b requires healthy sensors to agree at the
+        # 5 % threshold nearly always: count pairwise agreements.
+        margin = 0.05 * np.median(uc1_small.matrix)
+        matrix = uc1_small.matrix
+        agreements = []
+        for i in range(matrix.shape[1]):
+            for j in range(i + 1, matrix.shape[1]):
+                agreements.append(np.abs(matrix[:, i] - matrix[:, j]) <= margin)
+        assert np.mean(agreements) > 0.9
+
+
+class TestArrayBuilder:
+    def test_array_names(self):
+        array = build_uc1_array(UC1Config())
+        assert array.module_names == ["E1", "E2", "E3", "E4", "E5"]
+
+    def test_too_few_sensors_rejected(self):
+        from repro.exceptions import DatasetError
+
+        with pytest.raises(DatasetError):
+            build_uc1_array(UC1Config(biases=(0.0,)))

@@ -1,0 +1,84 @@
+"""Tests for the UC-2 BLE dataset generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.ble_uc2 import UC2Config, build_uc2_stack, generate_uc2_dataset
+from repro.exceptions import DatasetError
+
+
+class TestPaperParameters:
+    def test_defaults_match_section3(self):
+        config = UC2Config()
+        assert config.n_rounds == 297
+        assert config.track_length_m == 15.0
+        assert config.robot_speed_mps == 0.09
+        assert config.beacons_per_stack == 9
+        assert config.duration_seconds == pytest.approx(166.67, abs=0.1)
+
+    def test_module_names(self):
+        config = UC2Config()
+        assert config.module_names("A")[0] == "A1"
+        assert config.module_names("B")[-1] == "B9"
+
+
+class TestGeneratedData:
+    def test_shapes(self, uc2_dataset):
+        assert uc2_dataset.stack_a.matrix.shape == (297, 9)
+        assert uc2_dataset.stack_b.matrix.shape == (297, 9)
+        assert uc2_dataset.positions_m.shape == (297,)
+
+    def test_missing_values_present(self, uc2_dataset):
+        # §7: "The resulting data lacks several values" — the missing-
+        # value fault scenario must actually occur.
+        assert uc2_dataset.stack_a.missing_fraction() > 0.02
+        assert uc2_dataset.stack_b.missing_fraction() > 0.02
+
+    def test_rssi_crossover_along_track(self, uc2_dataset):
+        # Stack A starts strong and fades; stack B the reverse.
+        a = uc2_dataset.stack_a.matrix
+        b = uc2_dataset.stack_b.matrix
+        a_start, a_end = np.nanmean(a[:30]), np.nanmean(a[-30:])
+        b_start, b_end = np.nanmean(b[:30]), np.nanmean(b[-30:])
+        assert a_start > a_end
+        assert b_end > b_start
+        assert a_start > b_start
+        assert b_end > a_end
+
+    def test_rssi_within_physical_range(self, uc2_dataset):
+        for ds in (uc2_dataset.stack_a, uc2_dataset.stack_b):
+            values = ds.matrix[~np.isnan(ds.matrix)]
+            assert values.min() >= -110.0
+            assert values.max() <= -20.0
+
+    def test_true_closest_flips_mid_track(self, uc2_dataset):
+        truth = uc2_dataset.true_closest()
+        assert truth[0] == "A"
+        assert truth[-1] == "B"
+        flips = (truth[:-1] != truth[1:]).sum()
+        assert flips == 1
+
+    def test_deterministic_per_seed(self):
+        a = generate_uc2_dataset(UC2Config())
+        b = generate_uc2_dataset(UC2Config())
+        assert np.array_equal(a.stack_a.matrix, b.stack_a.matrix, equal_nan=True)
+
+    def test_per_beacon_bias_spread(self, uc2_dataset):
+        # "mismatched readings in each stack": beacon means must differ.
+        means = np.nanmean(uc2_dataset.stack_a.matrix, axis=0)
+        assert means.std() > 0.5
+
+
+class TestStackBuilder:
+    def test_unknown_stack_rejected(self):
+        with pytest.raises(DatasetError):
+            build_uc2_stack(UC2Config(), "C")
+
+    def test_stack_b_beacons_near_far_end(self):
+        config = UC2Config()
+        array = build_uc2_stack(config, "B")
+        # At t=0 the robot is 15 m from stack B.
+        values = [b.signal.value(0.0) for b in array.sensors]
+        assert np.mean(values) < -75.0

@@ -1,0 +1,95 @@
+"""Tests for the UC-1 (Fig. 6) experiment driver.
+
+These assert the *shape* of the paper's published results on a reduced
+round count (the benchmarks run the full 10'000 rounds).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.light_uc1 import UC1Config
+from repro.experiments import FIG6_ALGORITHMS, run_fig6
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    return run_fig6(UC1Config(n_rounds=400))
+
+
+class TestStructure:
+    def test_all_six_variants_present(self, fig6):
+        assert set(fig6.diffs) == set(FIG6_ALGORITHMS)
+        assert len(FIG6_ALGORITHMS) == 6
+
+    def test_series_lengths(self, fig6):
+        for alg in FIG6_ALGORITHMS:
+            assert fig6.clean_outputs[alg].shape == (400,)
+            assert fig6.diffs[alg].shape == (400,)
+
+    def test_fault_dataset_metadata(self, fig6):
+        assert fig6.faulty.metadata["fault"]["module"] == "E4"
+        assert fig6.faulty.metadata["fault"]["delta"] == 6.0
+
+
+class TestFig6bAllVariantsAgreeOnCleanData:
+    def test_outputs_match_almost_completely(self, fig6):
+        # "all 6 variants performed equally well, with outputs matching
+        # almost completely" — cross-variant spread well under the
+        # sensor spread itself.
+        outputs = np.array([fig6.clean_outputs[a] for a in FIG6_ALGORITHMS])
+        spread = outputs.max(axis=0) - outputs.min(axis=0)
+        assert float(spread.mean()) < 0.3
+
+    def test_outputs_in_18_19_band(self, fig6):
+        for alg in FIG6_ALGORITHMS:
+            mean = float(np.nanmean(fig6.clean_outputs[alg]))
+            assert 17.5 < mean < 19.5
+
+
+class TestFig6eShapes:
+    def test_average_keeps_full_skew(self, fig6):
+        assert np.allclose(fig6.diffs["average"], 1.2, atol=0.01)
+
+    def test_standard_decays_slowly_without_recovering(self, fig6):
+        diff = fig6.diffs["standard"]
+        assert diff[0] == pytest.approx(1.2, abs=0.05)
+        assert diff[-1] < diff[0]
+        assert diff[-1] > 0.5  # nowhere near recovered in 400 rounds
+
+    def test_me_recovers_at_round_two(self, fig6):
+        assert fig6.exclusion_rounds["me"] == 1
+        assert abs(fig6.diffs["me"][0]) > 1.0  # startup spike
+        assert np.mean(np.abs(fig6.diffs["me"][2:])) < 0.2
+
+    def test_hybrid_diff_near_zero_after_transient(self, fig6):
+        tail = fig6.diffs["hybrid"][10:]
+        assert np.mean(np.abs(tail)) < 0.2
+
+    def test_clustering_excludes_fault_from_round_one(self, fig6):
+        assert fig6.exclusion_rounds["clustering"] == 0
+        assert abs(fig6.diffs["clustering"][0]) < 0.2
+
+    def test_history_voters_spike_at_startup_avoc_does_not(self, fig6):
+        # "history-based algorithms experience a spike on startup ...
+        # [AVOC's] initial spike is quickly pruned".
+        assert abs(fig6.diffs["standard"][0]) > 1.0
+        assert abs(fig6.diffs["me"][0]) > 1.0
+        assert abs(fig6.diffs["avoc"][0]) < 0.2
+
+
+class TestHeadlineBoost:
+    def test_avoc_bootstraps_exclusion_to_round_zero(self, fig6):
+        assert fig6.exclusion_rounds["avoc"] == 0
+
+    def test_hybrid_needs_several_rounds(self, fig6):
+        assert 2 <= fig6.exclusion_rounds["hybrid"] <= 5
+
+    def test_boost_about_four_x(self, fig6):
+        # Abstract: "boosts the convergence of the measurements by 4×".
+        assert 3.0 <= fig6.boost <= 6.0
+
+    def test_stateless_never_excludes(self, fig6):
+        assert fig6.exclusion_rounds["average"] == 400
+        assert fig6.exclusion_rounds["standard"] == 400

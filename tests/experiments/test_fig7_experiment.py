@@ -1,0 +1,69 @@
+"""Tests for the UC-2 (Fig. 7) experiment driver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.ble_uc2 import UC2Config
+from repro.experiments import FIG7_COLLATION_GROUPS, run_fig7
+
+
+@pytest.fixture(scope="module")
+def fig7():
+    return run_fig7(UC2Config())
+
+
+class TestStructure:
+    def test_panels_cover_both_stacks(self, fig7):
+        for panel in (fig7.single_beacon, fig7.nine_average, fig7.avoc_voting):
+            assert set(panel) == {"A", "B"}
+            assert panel["A"].shape == (297,)
+
+    def test_collation_groups_cover_all_algorithms(self, fig7):
+        grouped = [a for group in FIG7_COLLATION_GROUPS.values() for a in group]
+        assert set(grouped) == set(fig7.per_algorithm)
+
+
+class TestPaperShapes:
+    def test_redundancy_reduces_ambiguity(self, fig7):
+        # Fig. 7-a vs 7-b: averaging 9 beacons is visibly less
+        # ambiguous than a single beacon per stack (both metrics).
+        assert fig7.ambiguity("nine_average") < fig7.ambiguity("single_beacon")
+        assert fig7.instability("nine_average") < fig7.instability("single_beacon") / 2
+
+    def test_averaging_beats_mnn_selection(self, fig7):
+        # §7: "with averaging being the better option in our experiment".
+        assert fig7.instability("nine_average") < fig7.instability("avoc_voting")
+
+    def test_redundancy_improves_accuracy(self, fig7):
+        assert fig7.accuracy("nine_average") > fig7.accuracy("single_beacon")
+        assert fig7.accuracy("nine_average") > 0.8
+
+    def test_history_method_has_no_effect(self, fig7):
+        # "The output of all history-based algorithms overlaps
+        # completely" within a collation group.
+        averaging = FIG7_COLLATION_GROUPS["averaging"]
+        reference = fig7.per_algorithm[averaging[0]]
+        for algorithm in averaging[1:]:
+            series = fig7.per_algorithm[algorithm]
+            for stack in ("A", "B"):
+                delta = np.nanmean(np.abs(series[stack] - reference[stack]))
+                assert delta < 1.5, algorithm
+
+    def test_collation_method_does_have_effect(self, fig7):
+        # The two groups differ visibly ("2 algorithm groups").
+        avg = fig7.per_algorithm["average"]["A"]
+        mnn = fig7.per_algorithm["avoc"]["A"]
+        assert np.nanmean(np.abs(avg - mnn)) > 0.5
+
+    def test_instability_by_algorithm_groups(self, fig7):
+        # "2 algorithm groups ... with every algorithm in each group
+        # performing identically to each other" and averaging winning.
+        instability = fig7.algorithm_instability()
+        averaging = [instability[a] for a in FIG7_COLLATION_GROUPS["averaging"]]
+        selection = [instability[a] for a in FIG7_COLLATION_GROUPS["selection"]]
+        assert max(averaging) < min(selection)
+        # Within-group spread is small relative to the between-group gap.
+        assert max(averaging) - min(averaging) <= 5
+        assert max(selection) - min(selection) <= 5

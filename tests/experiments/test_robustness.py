@@ -1,0 +1,49 @@
+"""Tests for the fault-magnitude robustness sweep."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.robustness import (
+    DEFAULT_ALGORITHMS,
+    run_robustness_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def sweep(uc1_small):
+    return run_robustness_sweep(
+        uc1_small.slice(0, 150), deltas=(0.25, 1.0, 6.0)
+    )
+
+
+class TestStructure:
+    def test_all_algorithms_and_deltas_present(self, sweep):
+        assert sweep.algorithms == DEFAULT_ALGORITHMS
+        for algorithm in sweep.algorithms:
+            assert len(sweep.residual[algorithm]) == 3
+
+    def test_series_accessor(self, sweep):
+        series = sweep.series("avoc")
+        assert series.shape == (3,)
+        assert np.all(series >= 0)
+
+
+class TestRegimes:
+    def test_sub_margin_faults_undetectable_by_all(self, sweep):
+        # 0.25 klm is deep inside the 0.9 klm margin: residual ≈ Δ/5.
+        for algorithm in sweep.algorithms:
+            assert sweep.residual[algorithm][0] == pytest.approx(0.05, abs=0.03)
+
+    def test_super_margin_faults_masked_by_robust_voters(self, sweep):
+        for algorithm in ("me", "hybrid", "clustering", "avoc"):
+            assert sweep.residual[algorithm][2] < 0.15
+
+    def test_average_error_grows_linearly(self, sweep):
+        avg = sweep.series("average")
+        assert avg[2] == pytest.approx(6.0 / 5.0, abs=0.05)
+
+    def test_breakdown_delta(self, sweep):
+        assert sweep.breakdown_delta("average") == 6.0  # never recovers
+        assert sweep.breakdown_delta("me") <= 1.0

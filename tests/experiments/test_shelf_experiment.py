@@ -1,0 +1,41 @@
+"""Tests for the smart-shelf experiment driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.shelf import ShelfConfig
+from repro.experiments.shelf import HISTORY_MODES, run_shelf_experiment
+
+
+@pytest.fixture(scope="module")
+def shelf():
+    return run_shelf_experiment(ShelfConfig(n_rounds=300))
+
+
+class TestStructure:
+    def test_all_modes_evaluated(self, shelf):
+        assert set(shelf.fused_accuracy) == set(HISTORY_MODES)
+
+    def test_sensor_accuracies_cover_roster(self, shelf):
+        assert len(shelf.sensor_accuracy) == 24
+        assert all(0.0 <= a <= 1.0 for a in shelf.sensor_accuracy.values())
+
+
+class TestClaims:
+    def test_fusion_beats_best_single_sensor(self, shelf):
+        for mode in HISTORY_MODES:
+            assert shelf.fused_accuracy[mode] > shelf.best_single
+
+    def test_history_modes_at_least_match_stateless(self, shelf):
+        # With a defective minority, record-weighted modes must not be
+        # worse than plain majority.
+        assert shelf.fused_accuracy["me"] >= shelf.fused_accuracy["none"] - 0.01
+        assert shelf.fused_accuracy["standard"] >= shelf.fused_accuracy["none"] - 0.01
+
+    def test_defective_sensors_are_the_worst(self, shelf):
+        defective = set(shelf.dataset.config.defective_modules())
+        worst_three = sorted(
+            shelf.sensor_accuracy, key=shelf.sensor_accuracy.get
+        )[:3]
+        assert set(worst_three) == defective

@@ -1,0 +1,70 @@
+"""Tests for pre-vote value exclusion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.fusion.exclusion import exclude_values
+from repro.types import Round
+
+
+class TestNone:
+    def test_none_mode_passthrough(self):
+        r = Round.from_values(0, [1.0, 2.0, 100.0])
+        filtered, excluded = exclude_values(r, "NONE", 0)
+        assert filtered is r
+        assert excluded == ()
+
+
+class TestDeviation:
+    def test_far_outlier_excluded(self):
+        r = Round.from_values(0, [10.0, 10.1, 9.9, 10.05, 30.0])
+        filtered, excluded = exclude_values(r, "DEVIATION", 1.5)
+        assert excluded == ("E5",)
+        assert "E5" not in filtered.modules
+
+    def test_agreeing_values_all_kept(self):
+        r = Round.from_values(0, [10.0, 10.1, 9.9])
+        filtered, excluded = exclude_values(r, "DEVIATION", 2.0)
+        assert excluded == ()
+
+    def test_identical_values_no_division_by_zero(self):
+        r = Round.from_values(0, [5.0, 5.0, 5.0])
+        filtered, excluded = exclude_values(r, "DEVIATION", 1.0)
+        assert excluded == ()
+
+    def test_never_empties_the_round(self):
+        # Two diffuse values: any threshold that would cut both leaves
+        # the round untouched instead.
+        r = Round.from_values(0, [0.0, 100.0, 50.0])
+        filtered, excluded = exclude_values(r, "DEVIATION", 0.1)
+        assert filtered.submitted_count >= 1
+
+
+class TestRange:
+    def test_median_referenced_window(self):
+        r = Round.from_values(0, [10.0, 10.5, 9.5, 40.0])
+        filtered, excluded = exclude_values(r, "RANGE", 5.0)
+        assert excluded == ("E4",)
+
+    def test_small_rounds_not_filtered(self):
+        r = Round.from_values(0, [1.0, 100.0])
+        filtered, excluded = exclude_values(r, "RANGE", 1.0)
+        assert excluded == ()
+
+
+class TestValidation:
+    def test_unknown_mode(self):
+        with pytest.raises(ConfigurationError):
+            exclude_values(Round.from_values(0, [1.0]), "FANCY", 1.0)
+
+    def test_nonpositive_threshold(self):
+        with pytest.raises(ConfigurationError):
+            exclude_values(Round.from_values(0, [1.0, 2.0, 3.0]), "RANGE", 0.0)
+
+    def test_missing_readings_preserved(self):
+        r = Round.from_mapping(0, {"a": 10.0, "b": None, "c": 10.1, "d": 10.2, "e": 30.0})
+        filtered, excluded = exclude_values(r, "DEVIATION", 1.5)
+        assert "b" in filtered.modules  # missing reading survives the filter
+        assert excluded == ("e",)

@@ -1,0 +1,51 @@
+"""Tests for fault policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.fusion.faults import HOLD_LAST, LENIENT, STRICT, FaultPolicy
+
+
+class TestValidation:
+    def test_defaults(self):
+        policy = FaultPolicy()
+        assert policy.on_missing_majority == "last_value"
+        assert policy.missing_tolerance == 0.5
+
+    def test_bad_action_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPolicy(on_conflict="retry")
+
+    def test_bad_tolerance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPolicy(missing_tolerance=1.0)
+
+
+class TestMajorityMissing:
+    def test_exact_half_missing_is_tolerated(self):
+        policy = FaultPolicy(missing_tolerance=0.5)
+        assert not policy.majority_missing(submitted=5, roster_size=10)
+
+    def test_majority_missing_detected(self):
+        policy = FaultPolicy(missing_tolerance=0.5)
+        assert policy.majority_missing(submitted=4, roster_size=10)
+
+    def test_all_missing(self):
+        assert FaultPolicy().majority_missing(submitted=0, roster_size=9)
+
+    def test_zero_roster_counts_as_missing(self):
+        assert FaultPolicy().majority_missing(submitted=0, roster_size=0)
+
+    def test_stricter_tolerance(self):
+        policy = FaultPolicy(missing_tolerance=0.1)
+        assert policy.majority_missing(submitted=8, roster_size=10)
+        assert not policy.majority_missing(submitted=9, roster_size=10)
+
+
+class TestPresets:
+    def test_presets_are_distinct(self):
+        assert STRICT.on_conflict == "raise"
+        assert LENIENT.on_conflict == "skip"
+        assert HOLD_LAST.on_conflict == "last_value"

@@ -1,0 +1,94 @@
+"""Tests for the multi-dimensional voting pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.fusion.pipeline import MultiDimensionalPipeline
+from repro.voting.avoc import AvocVoter
+from repro.voting.stateless import MeanVoter
+
+
+class TestConstruction:
+    def test_integer_dimensions(self):
+        pipeline = MultiDimensionalPipeline(MeanVoter, 3)
+        assert pipeline.n_dimensions == 3
+        assert pipeline.dimension_names == ("dim0", "dim1", "dim2")
+
+    def test_named_dimensions(self):
+        pipeline = MultiDimensionalPipeline(MeanVoter, ["x", "y"])
+        assert pipeline.dimension_names == ("x", "y")
+
+    def test_each_dimension_gets_its_own_voter(self):
+        pipeline = MultiDimensionalPipeline(AvocVoter, 2)
+        voters = list(pipeline.voters.values())
+        assert voters[0] is not voters[1]
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ConfigurationError):
+            MultiDimensionalPipeline(MeanVoter, 0)
+        with pytest.raises(ConfigurationError):
+            MultiDimensionalPipeline(MeanVoter, [])
+
+
+class TestVoting:
+    def test_per_dimension_fusion(self):
+        pipeline = MultiDimensionalPipeline(MeanVoter, ["x", "y"])
+        fused, outcomes = pipeline.vote(
+            0,
+            {"s1": [1.0, 10.0], "s2": [3.0, 20.0]},
+        )
+        assert fused[0] == pytest.approx(2.0)
+        assert fused[1] == pytest.approx(15.0)
+        assert set(outcomes) == {"x", "y"}
+
+    def test_outlier_masked_per_axis(self):
+        # A sensor can be faulty on one axis only; per-dimension voting
+        # keeps its healthy axis (the §5 generalisation rationale).
+        pipeline = MultiDimensionalPipeline(AvocVoter, ["x", "y"])
+        vectors = {
+            "s1": [10.0, 5.0],
+            "s2": [10.1, 5.1],
+            "s3": [9.9, 4.9],
+            "s4": [10.05, 50.0],  # y axis broken
+        }
+        fused, outcomes = pipeline.vote(0, vectors)
+        assert fused[0] == pytest.approx(10.0, abs=0.2)
+        assert fused[1] == pytest.approx(5.0, abs=0.2)
+        assert "s4" in outcomes["y"].eliminated
+        assert "s4" not in outcomes["x"].eliminated
+
+    def test_histories_independent_across_dimensions(self):
+        pipeline = MultiDimensionalPipeline(AvocVoter, ["x", "y"])
+        vectors = {
+            "s1": [10.0, 5.0],
+            "s2": [10.1, 5.1],
+            "s3": [9.9, 4.9],
+            "s4": [10.05, 50.0],
+        }
+        pipeline.vote(0, vectors)
+        assert pipeline.voters["y"].history.get("s4") == 0.0
+        assert pipeline.voters["x"].history.get("s4") == 1.0
+
+    def test_wrong_vector_length_rejected(self):
+        pipeline = MultiDimensionalPipeline(MeanVoter, 2)
+        with pytest.raises(ConfigurationError):
+            pipeline.vote(0, {"s1": [1.0, 2.0, 3.0]})
+
+    def test_run_sequence(self):
+        pipeline = MultiDimensionalPipeline(MeanVoter, 2)
+        rounds = [
+            {"s1": [1.0, 2.0], "s2": [3.0, 4.0]},
+            {"s1": [5.0, 6.0], "s2": [7.0, 8.0]},
+        ]
+        fused = pipeline.run(rounds)
+        assert np.allclose(fused[0], [2.0, 3.0])
+        assert np.allclose(fused[1], [6.0, 7.0])
+
+    def test_reset(self):
+        pipeline = MultiDimensionalPipeline(AvocVoter, 1)
+        pipeline.vote(0, {"s1": [1.0], "s2": [1.0], "s3": [9.0]})
+        pipeline.reset()
+        assert pipeline.voters["dim0"].history.update_count == 0

@@ -1,0 +1,59 @@
+"""Tests for quorum rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.fusion.quorum import QuorumRule
+from repro.types import Round
+
+
+class TestRequiredCount:
+    def test_none_requires_nothing(self):
+        assert QuorumRule("NONE").required_count(5) == 0
+
+    def test_any_requires_one(self):
+        assert QuorumRule("ANY").required_count(5) == 1
+
+    def test_until_percentage_rounds_up(self):
+        assert QuorumRule("UNTIL", 50.0).required_count(5) == 3
+        assert QuorumRule("UNTIL", 100.0).required_count(5) == 5
+        assert QuorumRule("UNTIL", 34.0).required_count(3) == 2
+
+    def test_case_insensitive_mode(self):
+        assert QuorumRule("until", 100.0).mode == "UNTIL"
+
+
+class TestSatisfied:
+    def test_full_round_satisfies_until_100(self):
+        rule = QuorumRule("UNTIL", 100.0)
+        full = Round.from_values(0, [1.0, 2.0, 3.0])
+        assert rule.satisfied(full, roster_size=3)
+
+    def test_partial_round_fails_until_100(self):
+        rule = QuorumRule("UNTIL", 100.0)
+        partial = Round.from_mapping(0, {"a": 1.0, "b": None, "c": 2.0})
+        assert not rule.satisfied(partial, roster_size=3)
+
+    def test_roster_wider_than_round_counts(self):
+        # A silent module that did not even send a reading still counts
+        # toward the quorum denominator.
+        rule = QuorumRule("UNTIL", 100.0)
+        partial = Round.from_values(0, [1.0, 2.0])
+        assert not rule.satisfied(partial, roster_size=3)
+
+    def test_any_with_empty_round_fails(self):
+        rule = QuorumRule("ANY")
+        empty = Round.from_mapping(0, {"a": None})
+        assert not rule.satisfied(empty, roster_size=1)
+
+
+class TestValidation:
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QuorumRule("SOMETIMES")
+
+    def test_bad_percentage_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QuorumRule("UNTIL", 120.0)

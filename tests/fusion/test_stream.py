@@ -1,0 +1,143 @@
+"""Tests for the streaming tumbling-window ingest."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.fusion.engine import FusionEngine
+from repro.fusion.stream import SensorEvent, StreamingFusion
+from repro.voting.stateless import MeanVoter
+
+
+def make_stream(window=1.0, lateness=0.0, roster=("E1", "E2")):
+    engine = FusionEngine(MeanVoter(), roster=list(roster))
+    return StreamingFusion(engine, window=window, allowed_lateness=lateness)
+
+
+class TestWindowAssembly:
+    def test_events_grouped_into_windows(self):
+        stream = make_stream()
+        stream.push(SensorEvent("E1", 10.0, 0.1))
+        stream.push(SensorEvent("E2", 20.0, 0.9))
+        voted = stream.push(SensorEvent("E1", 30.0, 1.5))  # watermark passes w0
+        assert len(voted) == 1
+        assert voted[0].round_number == 0
+        assert voted[0].value == pytest.approx(15.0)
+
+    def test_window_of(self):
+        stream = make_stream(window=0.5)
+        assert stream.window_of(0.0) == 0
+        assert stream.window_of(0.49) == 0
+        assert stream.window_of(0.5) == 1
+
+    def test_latest_event_per_module_wins(self):
+        stream = make_stream()
+        stream.push(SensorEvent("E1", 10.0, 0.1))
+        stream.push(SensorEvent("E1", 12.0, 0.8))  # later reading, same window
+        stream.push(SensorEvent("E2", 20.0, 0.9))
+        voted = stream.push(SensorEvent("E1", 0.0, 2.5))
+        assert voted[0].value == pytest.approx(16.0)
+
+    def test_missing_module_becomes_missing_value(self):
+        stream = make_stream()
+        stream.push(SensorEvent("E1", 10.0, 0.5))
+        voted = stream.push(SensorEvent("E1", 11.0, 1.5))
+        assert voted[0].value == pytest.approx(10.0)  # E2 missing, E1 alone
+
+    def test_each_push_closes_passed_windows(self):
+        stream = make_stream()
+        assert stream.push(SensorEvent("E1", 1.0, 0.5)) == []
+        second = stream.push(SensorEvent("E1", 2.0, 1.5))
+        assert [v.round_number for v in second] == [0]
+        third = stream.push(SensorEvent("E1", 3.0, 2.5))
+        assert [v.round_number for v in third] == [1]
+
+    def test_watermark_jump_closes_several_windows_at_once(self):
+        stream = make_stream()
+        stream.push(SensorEvent("E1", 1.0, 0.5))
+        voted = stream.push(SensorEvent("E1", 9.0, 3.5))
+        assert [v.round_number for v in voted] == [0, 1, 2]
+
+
+class TestLateness:
+    def test_late_event_within_lateness_accepted(self):
+        stream = make_stream(lateness=0.5)
+        stream.push(SensorEvent("E1", 10.0, 0.2))
+        # Watermark at 1.3 < window0 end (1.0) + lateness (0.5): not closed.
+        assert stream.push(SensorEvent("E2", 99.0, 1.3)) == []
+        voted = stream.push(SensorEvent("E2", 20.0, 0.9))  # late but allowed
+        assert voted == []
+        voted = stream.push(SensorEvent("E1", 0.0, 2.0))
+        assert voted[0].value == pytest.approx(15.0)
+
+    def test_too_late_event_dropped(self):
+        stream = make_stream()
+        stream.push(SensorEvent("E1", 10.0, 0.5))
+        stream.push(SensorEvent("E1", 11.0, 1.5))  # closes window 0
+        result = stream.push(SensorEvent("E2", 99.0, 0.7))  # window 0 gone
+        assert result == []
+        assert stream.events_late == 1
+
+    def test_counters(self):
+        stream = make_stream()
+        stream.push(SensorEvent("E1", 1.0, 0.5))
+        assert stream.events_accepted == 1
+
+
+class TestFlush:
+    def test_flush_votes_open_windows(self):
+        stream = make_stream()
+        stream.push(SensorEvent("E1", 10.0, 0.5))
+        stream.push(SensorEvent("E2", 20.0, 0.6))
+        voted = stream.flush()
+        assert len(voted) == 1
+        assert voted[0].value == pytest.approx(15.0)
+
+    def test_empty_gap_windows_become_degraded_rounds(self):
+        stream = make_stream()
+        stream.push(SensorEvent("E1", 10.0, 0.5))
+        stream.push(SensorEvent("E1", 50.0, 5.5))  # windows 1-4 empty
+        stream.flush()
+        numbers = [r.round_number for r in stream.results]
+        assert numbers == [0, 1, 2, 3, 4, 5]
+        # The all-missing gap windows went through the fault policy
+        # (hold last value by default).
+        for result in stream.results[1:5]:
+            assert result.status in ("held", "skipped")
+
+
+class TestValidation:
+    def test_bad_window(self):
+        with pytest.raises(ConfigurationError):
+            StreamingFusion(FusionEngine(MeanVoter()), window=0.0)
+
+    def test_bad_lateness(self):
+        with pytest.raises(ConfigurationError):
+            StreamingFusion(FusionEngine(MeanVoter()), window=1.0,
+                            allowed_lateness=-1.0)
+
+    def test_event_before_start_rejected(self):
+        stream = make_stream()
+        with pytest.raises(ConfigurationError, match="precedes start_time"):
+            stream.push(SensorEvent("E1", 1.0, -0.5))
+
+
+class TestEndToEndWithAvoc:
+    def test_streamed_uc1_matches_round_voting(self, uc1_small):
+        """Feeding dataset rounds as interleaved events must reproduce
+        the round-based outputs exactly (no loss, in-window order)."""
+        from repro.analysis.diff import run_voter_series
+        from repro.voting.registry import create_voter
+
+        dataset = uc1_small.slice(0, 60)
+        engine = FusionEngine(create_voter("avoc"), roster=list(dataset.modules))
+        stream = StreamingFusion(engine, window=1.0 / 8.0)
+        for number, row in enumerate(dataset.matrix):
+            base = number / 8.0
+            for offset, (module, value) in enumerate(zip(dataset.modules, row)):
+                stream.push(SensorEvent(module, float(value), base + offset * 0.001))
+        stream.flush()
+        streamed = [r.value for r in stream.results]
+        offline = run_voter_series(create_voter("avoc"), dataset)
+        assert streamed == pytest.approx(list(offline))

@@ -1,0 +1,74 @@
+"""Property-based tests for streaming window assembly."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fusion.engine import FusionEngine
+from repro.fusion.stream import SensorEvent, StreamingFusion
+from repro.voting.stateless import MeanVoter
+
+
+@st.composite
+def event_streams(draw):
+    """A list of events with bounded timestamps and few modules."""
+    n = draw(st.integers(min_value=1, max_value=40))
+    events = []
+    for _ in range(n):
+        events.append(
+            SensorEvent(
+                module=draw(st.sampled_from(["E1", "E2", "E3"])),
+                value=draw(st.floats(min_value=0.0, max_value=100.0,
+                                     allow_nan=False)),
+                timestamp=draw(st.floats(min_value=0.0, max_value=20.0,
+                                         allow_nan=False)),
+            )
+        )
+    return events
+
+
+def run_stream(events, lateness=0.0):
+    engine = FusionEngine(MeanVoter(), roster=["E1", "E2", "E3"])
+    stream = StreamingFusion(engine, window=1.0, allowed_lateness=lateness)
+    for event in sorted(events, key=lambda e: e.timestamp):
+        stream.push(event)
+    stream.flush()
+    return stream
+
+
+class TestStreamProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(events=event_streams())
+    def test_round_numbers_strictly_increasing(self, events):
+        stream = run_stream(events)
+        numbers = [r.round_number for r in stream.results]
+        assert numbers == sorted(numbers)
+        assert len(numbers) == len(set(numbers))
+
+    @settings(max_examples=50, deadline=None)
+    @given(events=event_streams())
+    def test_every_event_accounted_for(self, events):
+        stream = run_stream(events)
+        assert stream.events_accepted + stream.events_late == len(events)
+        # Fed in timestamp order with zero lateness, nothing can be
+        # late for an already-voted window except same-timestamp races;
+        # with sorted input there are none.
+        assert stream.events_late == 0
+
+    @settings(max_examples=50, deadline=None)
+    @given(events=event_streams())
+    def test_ok_outputs_within_global_value_range(self, events):
+        stream = run_stream(events)
+        values = [e.value for e in events]
+        for result in stream.results:
+            if result.status == "ok":
+                assert min(values) - 1e-9 <= result.value <= max(values) + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(events=event_streams())
+    def test_last_window_covers_last_event(self, events):
+        stream = run_stream(events)
+        last_event_window = max(int(e.timestamp // 1.0) for e in events)
+        assert stream.results[-1].round_number == last_event_window

@@ -1,0 +1,132 @@
+"""Tests for the multi-dimensional vector fusion (§5 generalisation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.fusion.vector import VectorFusion
+from repro.voting.avoc import AvocVoter
+from repro.voting.stateless import MeanVoter
+
+
+def healthy_vectors(n=5, base=(10.0, -70.0), spread=(0.05, 0.5), seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        f"S{i+1}": [
+            base[0] + float(rng.normal(0, spread[0])),
+            base[1] + float(rng.normal(0, spread[1])),
+        ]
+        for i in range(n)
+    }
+
+
+class TestConstruction:
+    def test_invalid_clustering_method(self):
+        with pytest.raises(ConfigurationError):
+            VectorFusion(MeanVoter, 2, clustering="kmedoids")
+
+    def test_invalid_error(self):
+        with pytest.raises(ConfigurationError):
+            VectorFusion(MeanVoter, 2, error=0.0)
+
+    def test_wrong_vector_shape_rejected(self):
+        fusion = VectorFusion(MeanVoter, 3)
+        with pytest.raises(ConfigurationError):
+            fusion.vote(0, {"a": [1.0, 2.0]})
+
+    def test_empty_round_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VectorFusion(MeanVoter, 2).vote(0, {})
+
+
+class TestHealthyFusion:
+    @pytest.mark.parametrize("method", ["none", "agreement", "meanshift", "xmeans"])
+    def test_output_near_truth(self, method):
+        fusion = VectorFusion(MeanVoter, 2, clustering=method)
+        result = fusion.vote(0, healthy_vectors())
+        assert result.value[0] == pytest.approx(10.0, abs=0.2)
+        assert result.value[1] == pytest.approx(-70.0, abs=1.0)
+        assert result.pruned == ()
+
+
+class TestCorrelatedOutlier:
+    """A module slightly high on EVERY axis: each axis individually is
+    within (or near) the per-axis agreement margin, but the joint vector
+    is far from the pack — only vector-level clustering catches it."""
+
+    def vectors(self):
+        vectors = healthy_vectors(n=6, spread=(0.02, 0.2))
+        # Offsets ~1.7x the per-axis margin in whitened space per axis,
+        # i.e. ~2.4 margins jointly — beyond the soft_threshold=2 cutoff.
+        vectors["S6"] = [10.0 + 0.85, -70.0 - 6.0]
+        return vectors
+
+    def far_vectors(self):
+        vectors = healthy_vectors(n=6, spread=(0.02, 0.2))
+        # ~5 margins per axis: separable even by density methods.
+        vectors["S6"] = [10.0 + 2.5, -70.0 - 18.0]
+        return vectors
+
+    def test_agreement_clustering_prunes_joint_outlier(self):
+        fusion = VectorFusion(MeanVoter, 2, clustering="agreement")
+        result = fusion.vote(0, self.vectors())
+        assert result.pruned == ("S6",)
+        assert result.value[0] == pytest.approx(10.0, abs=0.2)
+
+    def test_meanshift_prunes_far_outlier(self):
+        fusion = VectorFusion(MeanVoter, 2, clustering="meanshift")
+        result = fusion.vote(0, self.far_vectors())
+        assert result.pruned == ("S6",)
+
+    def test_xmeans_prunes_joint_outlier(self):
+        fusion = VectorFusion(MeanVoter, 2, clustering="xmeans")
+        result = fusion.vote(0, self.vectors())
+        assert result.pruned == ("S6",)
+
+    def test_without_clustering_outlier_leaks_into_average(self):
+        fusion = VectorFusion(MeanVoter, 2, clustering="none")
+        result = fusion.vote(0, self.vectors())
+        assert result.pruned == ()
+        # The mean collation absorbs the skew instead of pruning it.
+        assert result.value[1] < -70.5
+
+
+class TestGuards:
+    def test_never_prunes_below_min_modules(self):
+        fusion = VectorFusion(MeanVoter, 1, clustering="agreement", min_modules=2)
+        result = fusion.vote(0, {"a": [0.0], "b": [100.0]})
+        assert result.pruned == ()
+
+    def test_pruned_counter(self):
+        fusion = VectorFusion(MeanVoter, 2, clustering="agreement")
+        vectors = healthy_vectors(n=6, spread=(0.02, 0.2))
+        vectors["S6"] = [12.0, -85.0]
+        fusion.vote(0, vectors)
+        assert fusion.modules_pruned == 1
+
+    def test_reset(self):
+        fusion = VectorFusion(AvocVoter, 2)
+        fusion.vote(0, healthy_vectors())
+        fusion.reset()
+        assert fusion.rounds_voted == 0
+        assert fusion.pipeline.voters["dim0"].history.update_count == 0
+
+
+class TestPerDimensionLayer:
+    def test_avoc_per_dimension_still_applies(self):
+        # With the vector prefilter off, per-dimension AVOC still
+        # handles per-axis faults on its own (§5: AVOC itself votes on
+        # each dimension separately without the clustering).
+        fusion = VectorFusion(AvocVoter, 2, clustering="none")
+        vectors = healthy_vectors(n=5, spread=(0.02, 0.2))
+        vectors["S5"] = [vectors["S5"][0], -40.0]  # axis-1 fault only
+        result = fusion.vote(0, vectors)
+        assert "S5" in result.outcomes["dim1"].eliminated
+        assert result.value[1] == pytest.approx(-70.0, abs=1.0)
+
+    def test_run_sequence(self):
+        fusion = VectorFusion(MeanVoter, 2)
+        results = fusion.run([healthy_vectors(seed=s) for s in range(3)])
+        assert [r.round_number for r in results] == [0, 1, 2]

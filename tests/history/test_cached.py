@@ -1,0 +1,109 @@
+"""Tests for the write-behind caching store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import HistoryStoreError
+from repro.history.cached import WriteBehindStore
+from repro.history.file import JsonlHistoryStore
+from repro.history.memory import MemoryHistoryStore
+
+
+class TestCaching:
+    def test_reads_come_from_cache(self):
+        backing = MemoryHistoryStore()
+        backing.save({"E1": 0.5})
+        store = WriteBehindStore(backing, flush_every=100)
+        store.load()
+        loads_before = backing.load_count
+        for _ in range(10):
+            store.load()
+        assert backing.load_count == loads_before  # no further backend reads
+
+    def test_saves_deferred_until_flush_every(self):
+        backing = MemoryHistoryStore()
+        store = WriteBehindStore(backing, flush_every=4)
+        for i in range(3):
+            store.save({"E1": i / 10})
+        assert backing.save_count == 0
+        assert store.pending_saves == 3
+        store.save({"E1": 0.9})
+        assert backing.save_count == 1
+        assert store.pending_saves == 0
+        assert backing.load() == {"E1": 0.9}
+
+    def test_flush_every_one_is_write_through(self):
+        backing = MemoryHistoryStore()
+        store = WriteBehindStore(backing, flush_every=1)
+        store.save({"E1": 0.3})
+        assert backing.save_count == 1
+
+    def test_explicit_flush(self):
+        backing = MemoryHistoryStore()
+        store = WriteBehindStore(backing, flush_every=100)
+        store.save({"E1": 0.2})
+        store.flush()
+        assert backing.load() == {"E1": 0.2}
+        assert store.flushes == 1
+
+    def test_flush_without_dirty_state_is_noop(self):
+        backing = MemoryHistoryStore()
+        store = WriteBehindStore(backing)
+        store.flush()
+        assert backing.save_count == 0
+
+    def test_context_manager_flushes_on_exit(self, tmp_path):
+        backing = JsonlHistoryStore(tmp_path / "h.jsonl")
+        with WriteBehindStore(backing, flush_every=100) as store:
+            store.save({"E1": 0.7})
+        assert JsonlHistoryStore(tmp_path / "h.jsonl").load() == {"E1": 0.7}
+
+    def test_clear_propagates(self):
+        backing = MemoryHistoryStore()
+        backing.save({"E1": 1.0})
+        store = WriteBehindStore(backing)
+        store.clear()
+        assert backing.load() == {}
+        assert store.load() == {}
+
+    def test_invalid_flush_every(self):
+        with pytest.raises(HistoryStoreError):
+            WriteBehindStore(MemoryHistoryStore(), flush_every=0)
+
+
+class TestVoterIntegration:
+    def test_reduces_backend_writes_per_round(self, tmp_path):
+        from repro.types import Round
+        from repro.voting.hybrid import HybridVoter
+
+        backing = JsonlHistoryStore(tmp_path / "h.jsonl", compact_after=None)
+        store = WriteBehindStore(backing, flush_every=10)
+        voter = HybridVoter(history_store=store)
+        for i in range(40):
+            voter.vote(Round.from_values(i, [18.0, 18.1, 17.9]))
+        # 40 rounds, flushed every 10 -> exactly 4 backend writes.
+        assert backing.snapshot_count() == 4
+        store.flush()
+        # State is still the latest record set.
+        revived = HybridVoter(
+            history_store=WriteBehindStore(
+                JsonlHistoryStore(tmp_path / "h.jsonl", compact_after=None)
+            )
+        )
+        assert revived.history.snapshot() == voter.history.snapshot()
+
+    def test_bounded_staleness_on_crash(self, tmp_path):
+        from repro.types import Round
+        from repro.voting.hybrid import HybridVoter
+
+        backing = JsonlHistoryStore(tmp_path / "h.jsonl")
+        store = WriteBehindStore(backing, flush_every=10)
+        voter = HybridVoter(history_store=store)
+        for i in range(15):
+            voter.vote(Round.from_values(i, [18.0, 18.1, 17.9, 24.0]))
+        # Simulated crash: no flush.  The backing store holds the
+        # round-10 snapshot, not round-15 — staleness is bounded.
+        persisted = JsonlHistoryStore(tmp_path / "h.jsonl").load()
+        assert persisted  # the flush at round 10 happened
+        assert store.pending_saves == 5

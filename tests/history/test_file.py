@@ -1,0 +1,100 @@
+"""Tests for the JSONL history store."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import HistoryStoreError
+from repro.history.file import JsonlHistoryStore
+
+
+class TestRoundTrip:
+    def test_missing_file_loads_empty(self, tmp_path):
+        store = JsonlHistoryStore(tmp_path / "h.jsonl")
+        assert store.load() == {}
+
+    def test_save_then_load(self, tmp_path):
+        store = JsonlHistoryStore(tmp_path / "h.jsonl")
+        store.save({"E1": 0.5})
+        assert store.load() == {"E1": 0.5}
+
+    def test_last_snapshot_wins(self, tmp_path):
+        store = JsonlHistoryStore(tmp_path / "h.jsonl")
+        store.save({"E1": 0.5})
+        store.save({"E1": 0.25})
+        assert store.load() == {"E1": 0.25}
+        assert store.snapshot_count() == 2
+
+    def test_survives_process_restart(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        JsonlHistoryStore(path).save({"E1": 0.3})
+        assert JsonlHistoryStore(path).load() == {"E1": 0.3}
+
+    def test_creates_parent_directories(self, tmp_path):
+        store = JsonlHistoryStore(tmp_path / "deep" / "nested" / "h.jsonl")
+        store.save({"a": 1.0})
+        assert store.load() == {"a": 1.0}
+
+
+class TestCrashSafety:
+    def test_torn_trailing_line_ignored(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        store = JsonlHistoryStore(path)
+        store.save({"E1": 0.5})
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"E1": 0.2')  # simulated crash mid-write
+        assert store.load() == {"E1": 0.5}
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        path.write_text('\n{"E1": 0.4}\n\n')
+        assert JsonlHistoryStore(path).load() == {"E1": 0.4}
+
+
+class TestCompaction:
+    def test_manual_compact_keeps_latest(self, tmp_path):
+        store = JsonlHistoryStore(tmp_path / "h.jsonl", compact_after=None)
+        for i in range(5):
+            store.save({"E1": i / 10})
+        store.compact()
+        assert store.snapshot_count() == 1
+        assert store.load() == {"E1": 0.4}
+
+    def test_auto_compaction_bounds_log_size(self, tmp_path):
+        store = JsonlHistoryStore(tmp_path / "h.jsonl", compact_after=10)
+        for i in range(25):
+            store.save({"E1": i / 100})
+        assert store.snapshot_count() <= 10
+        assert store.load() == {"E1": 0.24}
+
+    def test_invalid_compact_after(self, tmp_path):
+        with pytest.raises(HistoryStoreError):
+            JsonlHistoryStore(tmp_path / "h.jsonl", compact_after=0)
+
+
+class TestClear:
+    def test_clear_removes_file(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        store = JsonlHistoryStore(path)
+        store.save({"a": 1.0})
+        store.clear()
+        assert not path.exists()
+        assert store.load() == {}
+
+    def test_clear_missing_file_is_noop(self, tmp_path):
+        JsonlHistoryStore(tmp_path / "h.jsonl").clear()
+
+
+class TestVoterIntegration:
+    def test_voter_history_survives_restart(self, tmp_path):
+        from repro.voting.standard import StandardVoter
+
+        path = tmp_path / "h.jsonl"
+        voter = StandardVoter(history_store=JsonlHistoryStore(path))
+        for i in range(5):
+            voter.vote_values([1.0, 1.0, 9.0], round_number=i)
+        record = voter.history.get("E3")
+        revived = StandardVoter(history_store=JsonlHistoryStore(path))
+        assert revived.history.get("E3") == pytest.approx(record)

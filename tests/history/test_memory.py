@@ -1,0 +1,42 @@
+"""Tests for the in-memory history store."""
+
+from __future__ import annotations
+
+from repro.history.memory import MemoryHistoryStore
+
+
+class TestMemoryStore:
+    def test_empty_load(self):
+        assert MemoryHistoryStore().load() == {}
+
+    def test_save_then_load(self):
+        store = MemoryHistoryStore()
+        store.save({"E1": 0.5, "E2": 1.0})
+        assert store.load() == {"E1": 0.5, "E2": 1.0}
+
+    def test_save_replaces_snapshot(self):
+        store = MemoryHistoryStore()
+        store.save({"E1": 0.5})
+        store.save({"E2": 0.7})
+        assert store.load() == {"E2": 0.7}
+
+    def test_load_returns_copy(self):
+        store = MemoryHistoryStore()
+        store.save({"E1": 0.5})
+        snapshot = store.load()
+        snapshot["E1"] = 99.0
+        assert store.load()["E1"] == 0.5
+
+    def test_clear(self):
+        store = MemoryHistoryStore()
+        store.save({"E1": 0.5})
+        store.clear()
+        assert store.load() == {}
+
+    def test_counters(self):
+        store = MemoryHistoryStore()
+        store.save({})
+        store.load()
+        store.load()
+        assert store.save_count == 1
+        assert store.load_count == 2

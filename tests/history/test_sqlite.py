@@ -1,0 +1,83 @@
+"""Tests for the SQLite history store."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.exceptions import HistoryStoreError
+from repro.history.sqlite import SqliteHistoryStore
+
+
+class TestRoundTrip:
+    def test_empty_load(self):
+        with SqliteHistoryStore() as store:
+            assert store.load() == {}
+
+    def test_save_then_load(self):
+        with SqliteHistoryStore() as store:
+            store.save({"E1": 0.5, "E2": 1.0})
+            assert store.load() == {"E1": 0.5, "E2": 1.0}
+
+    def test_upsert_updates_existing(self):
+        with SqliteHistoryStore() as store:
+            store.save({"E1": 0.5})
+            store.save({"E1": 0.25, "E2": 0.75})
+            assert store.load() == {"E1": 0.25, "E2": 0.75}
+
+    def test_clear(self):
+        with SqliteHistoryStore() as store:
+            store.save({"E1": 0.5})
+            store.clear()
+            assert store.load() == {}
+
+    def test_survives_process_restart(self, tmp_path):
+        path = tmp_path / "history.db"
+        first = SqliteHistoryStore(path)
+        first.save({"E1": 0.3})
+        first.close()
+        second = SqliteHistoryStore(path)
+        assert second.load() == {"E1": 0.3}
+        second.close()
+
+    def test_invalid_synchronous_rejected(self):
+        with pytest.raises(HistoryStoreError):
+            SqliteHistoryStore(synchronous="SOMETIMES")
+
+
+class TestConcurrency:
+    def test_threaded_saves_do_not_corrupt(self, tmp_path):
+        store = SqliteHistoryStore(tmp_path / "h.db")
+        errors = []
+
+        def writer(module):
+            try:
+                for i in range(50):
+                    store.save({module: i / 50})
+            except Exception as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(f"E{i}",)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        records = store.load()
+        assert set(records) == {"E0", "E1", "E2", "E3"}
+        store.close()
+
+
+class TestVoterIntegration:
+    def test_voter_records_persist_and_reload(self, tmp_path):
+        from repro.voting.avoc import AvocVoter
+
+        path = tmp_path / "avoc.db"
+        voter = AvocVoter(history_store=SqliteHistoryStore(path))
+        voter.vote_values([18.0, 18.1, 17.9, 24.0, 18.05])
+        revived = AvocVoter(history_store=SqliteHistoryStore(path))
+        assert revived.history.get("E4") == 0.0
+        assert not revived.history.all_fresh(["E1", "E2", "E3", "E4", "E5"])

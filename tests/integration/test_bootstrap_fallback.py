@@ -1,0 +1,82 @@
+"""AVOC's second bootstrap trigger — total record collapse — on data.
+
+§5: the clustering step runs "when all records are 1 (indicating a new
+set) or 0 (indicating a failure of the system or an extreme data
+spike)".  The first trigger is exercised everywhere; this module drives
+the second one with a recorded scenario: mid-run, the sensors stop
+agreeing with each other entirely (pathological interference), every
+record decays toward zero, and the voter falls back to clustering
+instead of limping on with dead weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.types import Round
+from repro.voting.avoc import AvocVoter
+from repro.voting.hybrid import HybridVoter
+
+
+def chaos_round(number: int, rng) -> Round:
+    """Five sensors that agree with nobody (spread >> margin)."""
+    # Widely log-spread values make accidental pairwise agreement rare.
+    values = list(np.exp(rng.uniform(0.0, 8.0, size=5)))
+    return Round.from_values(number, values)
+
+
+def healthy_round(number: int, rng) -> Round:
+    values = list(18.0 + rng.normal(0.0, 0.1, size=5))
+    return Round.from_values(number, values)
+
+
+class TestFailureTrigger:
+    def test_records_collapse_then_bootstrap_fires(self):
+        rng = np.random.default_rng(3)
+        voter = AvocVoter()
+        # Healthy warm-up: first-round bootstrap, records settle high.
+        for i in range(5):
+            voter.vote(healthy_round(i, rng))
+        assert voter.bootstraps_used == 1
+        # Chaos: total disagreement collapses every record.
+        fired_again = False
+        for i in range(5, 40):
+            outcome = voter.vote(chaos_round(i, rng))
+            if outcome.used_bootstrap:
+                fired_again = True
+                break
+        assert fired_again
+        assert voter.bootstraps_used == 2
+
+    def test_recovery_after_chaos(self):
+        rng = np.random.default_rng(4)
+        voter = AvocVoter()
+        for i in range(5):
+            voter.vote(healthy_round(i, rng))
+        for i in range(5, 40):
+            voter.vote(chaos_round(i, rng))
+        # Sensors heal: the voter must converge back to consensus.
+        outcome = None
+        for i in range(40, 60):
+            outcome = voter.vote(healthy_round(i, rng))
+        assert outcome.value == pytest.approx(18.0, abs=0.3)
+        records = voter.history.snapshot()
+        assert all(r > 0.5 for r in records.values())
+
+    def test_hybrid_without_bootstrap_limps_through_chaos(self):
+        # The contrast AVOC §5 motivates: plain Hybrid's weights all go
+        # to ~0 and stay there until agreement slowly rebuilds them;
+        # it never re-clusters.
+        rng = np.random.default_rng(5)
+        avoc, hybrid = AvocVoter(), HybridVoter()
+        for i in range(5):
+            avoc.vote(healthy_round(i, rng))
+            hybrid.vote(healthy_round(i, rng))
+        for i in range(5, 40):
+            r = chaos_round(i, rng)
+            avoc.vote(r)
+            hybrid_outcome = hybrid.vote(r)
+            assert not hybrid_outcome.used_bootstrap
+        hybrid_records = hybrid.history.snapshot()
+        assert all(r < 0.2 for r in hybrid_records.values())

@@ -1,0 +1,105 @@
+"""Fault-tolerance matrix: every robust algorithm vs every fault type.
+
+Each test injects one fault family into the UC-1 dataset and asserts
+the masking behaviour each algorithm class should exhibit — the
+system-level contract behind the paper's Fig. 6 narrative.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.diff import run_voter_series
+from repro.datasets.injection import (
+    drop_values,
+    offset_fault,
+    spike_fault,
+    stuck_fault,
+)
+from repro.voting.registry import create_voter
+
+ROBUST = ("me", "hybrid", "clustering", "avoc")
+N = 240
+
+
+@pytest.fixture(scope="module")
+def clean(uc1_small):
+    return uc1_small.slice(0, N)
+
+
+def masked_error(algorithm, clean, faulty, skip_rounds=10):
+    """Mean |fault output − clean output| after the warm-up rounds."""
+    clean_out = run_voter_series(create_voter(algorithm), clean)
+    fault_out = run_voter_series(create_voter(algorithm), faulty)
+    diff = np.abs(fault_out - clean_out)[skip_rounds:]
+    return float(np.nanmean(diff))
+
+
+class TestOffsetFault:
+    @pytest.mark.parametrize("algorithm", ROBUST)
+    def test_masked(self, algorithm, clean):
+        faulty = offset_fault(clean, "E4", 6.0)
+        assert masked_error(algorithm, clean, faulty) < 0.25
+
+    def test_average_not_masked(self, clean):
+        faulty = offset_fault(clean, "E4", 6.0)
+        assert masked_error("average", clean, faulty) > 1.0
+
+
+class TestStuckAtFault:
+    @pytest.mark.parametrize("algorithm", ROBUST)
+    def test_masked(self, algorithm, clean):
+        faulty = stuck_fault(clean, "E2", 3.0)  # frozen far below the band
+        assert masked_error(algorithm, clean, faulty) < 0.25
+
+
+class TestSpikeStorm:
+    @pytest.mark.parametrize("algorithm", ("clustering", "avoc", "median"))
+    def test_frequent_spikes_masked(self, algorithm, clean):
+        faulty = spike_fault(clean, "E1", magnitude=20.0, probability=0.3,
+                             seed=4)
+        assert masked_error(algorithm, clean, faulty) < 0.3
+
+    def test_average_leaks_spikes(self, clean):
+        faulty = spike_fault(clean, "E1", magnitude=20.0, probability=0.3,
+                             seed=4)
+        assert masked_error("average", clean, faulty) > 0.5
+
+
+class TestDroppedModule:
+    @pytest.mark.parametrize("algorithm", ROBUST + ("average",))
+    def test_minority_dropout_tolerated(self, algorithm, clean):
+        faulty = drop_values(clean, "E5", probability=0.6, seed=6)
+        # Losing one of five sensors moves the consensus only slightly.
+        assert masked_error(algorithm, clean, faulty) < 0.3
+
+
+class TestTwoSimultaneousFaults:
+    @pytest.mark.parametrize("algorithm", ("clustering", "avoc"))
+    def test_two_disjoint_outliers_still_minority(self, algorithm, clean):
+        faulty = offset_fault(clean, "E4", 6.0)
+        faulty = offset_fault(faulty, "E1", -6.0)
+        # Three healthy sensors still form the largest agreeing group.
+        assert masked_error(algorithm, clean, faulty) < 0.35
+
+    def test_colluding_majority_defeats_voting(self, clean):
+        # Internal ground truth is majority-defined: when three of five
+        # sensors share the same fault, the voter follows them.  This is
+        # the fundamental limit of redundancy-based fusion.
+        faulty = clean
+        for module in ("E1", "E2", "E3"):
+            faulty = offset_fault(faulty, module, 6.0)
+        assert masked_error("avoc", clean, faulty) > 4.0
+
+
+class TestIntermittentFault:
+    @pytest.mark.parametrize("algorithm", ("me", "avoc"))
+    def test_recovery_after_fault_window(self, algorithm, clean):
+        # Fault present only for rounds [50, 120): output must return to
+        # the clean trajectory afterwards.
+        faulty = offset_fault(clean, "E4", 6.0, start_round=50, end_round=120)
+        clean_out = run_voter_series(create_voter(algorithm), clean)
+        fault_out = run_voter_series(create_voter(algorithm), faulty)
+        tail = np.abs(fault_out - clean_out)[160:]
+        assert float(np.nanmean(tail)) < 0.1

@@ -1,0 +1,124 @@
+"""The §7 fault scenarios, exercised on the actual UC-2 data.
+
+The paper walks through two fault families it met in the BLE
+experiment; these tests reproduce each decision point with the
+generated dataset and the engine's policies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import availability
+from repro.datasets.injection import drop_values
+from repro.exceptions import FusionError
+from repro.fusion.engine import FusionEngine
+from repro.fusion.faults import FaultPolicy
+from repro.types import Round
+from repro.voting.registry import create_voter
+
+
+class TestMissingValues:
+    """'Due to some beacons not being reachable from the BLE receiver.'"""
+
+    def test_dataset_contains_natural_gaps(self, uc2_dataset):
+        assert uc2_dataset.stack_a.missing_fraction() > 0.02
+
+    def test_minority_gaps_do_not_degrade_rounds(self, uc2_dataset):
+        # "A small amount of missing values ... does not prevent the
+        # system from converging to a common result."
+        engine = FusionEngine(
+            create_voter("average"),
+            roster=list(uc2_dataset.stack_a.modules),
+            fault_policy=FaultPolicy(),
+        )
+        results = engine.run(uc2_dataset.stack_a.rounds())
+        assert availability([r.status for r in results]) > 0.95
+
+    def test_majority_missing_reverts_to_last_accepted(self, uc2_dataset):
+        # "the system should either revert to the last accepted result,
+        # or raise an error."
+        dataset = uc2_dataset.stack_a.slice(0, 40)
+        for module in dataset.modules[:7]:  # 7 of 9 beacons go dark
+            dataset = drop_values(dataset, module, 1.0, start_round=20,
+                                  end_round=30, seed=hash(module) % 97)
+        engine = FusionEngine(
+            create_voter("average"),
+            roster=list(dataset.modules),
+            fault_policy=FaultPolicy(on_missing_majority="last_value"),
+        )
+        results = engine.run(dataset.rounds())
+        held = results[20:30]
+        assert all(r.status == "held" for r in held)
+        assert all(r.value == results[19].value for r in held)
+
+    def test_majority_missing_raise_policy(self, uc2_dataset):
+        dataset = uc2_dataset.stack_a.slice(0, 25)
+        for module in dataset.modules:
+            dataset = drop_values(dataset, module, 1.0, start_round=20,
+                                  seed=hash(module) % 97)
+        engine = FusionEngine(
+            create_voter("average"),
+            roster=list(dataset.modules),
+            fault_policy=FaultPolicy(on_missing_majority="raise"),
+        )
+        with pytest.raises(FusionError, match="missing"):
+            engine.run(dataset.rounds())
+
+    def test_fewer_candidates_reduce_trustworthiness_not_output(self, uc2_dataset):
+        # Voting over 4 of 9 beacons still yields a value near the
+        # 9-beacon one — redundancy lost, consensus kept.
+        full = uc2_dataset.stack_a.slice(0, 50)
+        partial_matrix = full.matrix.copy()
+        partial_matrix[:, 4:] = np.nan
+        partial = full.with_matrix(partial_matrix, suffix="partial")
+        engine_full = FusionEngine(create_voter("average"),
+                                   roster=list(full.modules))
+        engine_partial = FusionEngine(
+            create_voter("average"),
+            roster=list(partial.modules),
+            fault_policy=FaultPolicy(missing_tolerance=0.7),
+        )
+        out_full = engine_full.output_series(engine_full.run(full.rounds()))
+        out_partial = engine_partial.output_series(
+            engine_partial.run(partial.rounds())
+        )
+        assert float(np.nanmean(np.abs(out_full - out_partial))) < 5.0
+
+
+class TestConflictingResults:
+    """'A relative majority agrees ... but they are an overall minority.'"""
+
+    def test_relative_majority_wins_under_clustering(self):
+        # 3 groups: {A,B} agree, {C,D} agree, {E} alone.  No absolute
+        # majority; the clustering voter takes the (first) largest
+        # relative group.
+        voter = create_voter("clustering")
+        outcome = voter.vote(
+            Round.from_values(0, [-60.0, -60.5, -80.0, -80.5, -100.0])
+        )
+        assert outcome.value == pytest.approx(-60.25)
+        assert set(outcome.eliminated) == {"E3", "E4", "E5"}
+
+    def test_moon_refuses_relative_majority(self):
+        # A 2-of-5 relative majority is not enough for a 3oo5 voter:
+        # the conflict escalates to the policy.
+        from repro.voting.moon import MooNVoter
+
+        engine = FusionEngine(
+            MooNVoter(m=3),
+            fault_policy=FaultPolicy(on_conflict="skip"),
+        )
+        result = engine.process(
+            Round.from_values(0, [-60.0, -60.5, -80.0, -80.5, -100.0])
+        )
+        assert result.status == "skipped"
+
+    def test_tie_breaks_toward_previous_output_categorical(self):
+        # "ties might occur more easily and tie-breaking mechanisms kick
+        # in, such as proximity to the previous output."
+        voter = create_voter("categorical_majority", history_mode="none")
+        voter.vote_values(["near", "near", "far"])
+        outcome = voter.vote_values(["near", "far"])
+        assert outcome.value == "near"

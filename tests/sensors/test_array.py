@@ -1,0 +1,70 @@
+"""Tests for sensor arrays."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sensors.array import SensorArray
+from repro.sensors.base import Sensor
+from repro.sensors.faults import OffsetFault
+from repro.sensors.signal import ConstantSignal
+
+
+def make_array(n=3):
+    sensors = [Sensor(f"E{i+1}", ConstantSignal(10.0 + i)) for i in range(n)]
+    return SensorArray(sensors, name="test")
+
+
+class TestConstruction:
+    def test_module_names(self):
+        assert make_array().module_names == ["E1", "E2", "E3"]
+
+    def test_duplicate_names_rejected(self):
+        s = Sensor("X", ConstantSignal(1.0))
+        with pytest.raises(ConfigurationError):
+            SensorArray([s, Sensor("X", ConstantSignal(2.0))])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SensorArray([])
+
+    def test_len(self):
+        assert len(make_array(4)) == 4
+
+
+class TestSampling:
+    def test_sample_round(self):
+        array = make_array()
+        r = array.sample_round(7, t=0.0)
+        assert r.number == 7
+        assert r.value_of("E1") == 10.0
+        assert r.value_of("E3") == 12.0
+
+    def test_sample_round_missing_becomes_none(self):
+        dead = Sensor("E1", ConstantSignal(1.0), dropout_probability=1.0)
+        array = SensorArray([dead, Sensor("E2", ConstantSignal(2.0))])
+        r = array.sample_round(0, 0.0)
+        assert r.value_of("E1") is None
+        assert r.submitted_count == 1
+
+    def test_sample_matrix_shape(self):
+        matrix = make_array().sample_matrix([0.0, 1.0, 2.0])
+        assert matrix.shape == (3, 3)
+        assert np.allclose(matrix[:, 0], 10.0)
+
+
+class TestReplace:
+    def test_replace_injects_fault(self):
+        array = make_array()
+        faulty = array.replace("E2", OffsetFault(array.sensors[1].__class__(
+            "E2", ConstantSignal(11.0)), offset=6.0))
+        r = faulty.sample_round(0, 0.0)
+        assert r.value_of("E2") == 17.0
+        # Original array untouched.
+        assert array.sample_round(0, 0.0).value_of("E2") == 11.0
+
+    def test_replace_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_array().replace("E9", Sensor("E9", ConstantSignal(0.0)))

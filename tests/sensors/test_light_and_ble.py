@@ -1,0 +1,90 @@
+"""Tests for the light-sensor and BLE beacon models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sensors.ble import BleBeacon, rssi_at_distance
+from repro.sensors.light import LightSensor
+from repro.sensors.signal import ConstantSignal
+
+
+class TestLightSensor:
+    def test_reads_in_kilolumen_band(self):
+        sensor = LightSensor("E1", ConstantSignal(18.3), seed=1)
+        samples = sensor.sample_many(np.zeros(100))
+        assert 17.5 < np.nanmean(samples) < 19.0
+
+    def test_never_negative(self):
+        sensor = LightSensor("E1", ConstantSignal(0.01), noise_std=1.0, seed=2)
+        samples = sensor.sample_many(np.zeros(500))
+        assert np.nanmin(samples) >= 0.0
+
+    def test_bias_shifts_mean(self):
+        biased = LightSensor("E1", ConstantSignal(18.0), bias=0.5, noise_std=0.0)
+        assert biased.sample(0.0) == pytest.approx(18.5)
+
+
+class TestRssiModel:
+    def test_reference_distance_value(self):
+        assert rssi_at_distance(1.0, tx_power=-59.0) == -59.0
+
+    def test_ten_meters_with_exponent_two(self):
+        # 10 * 2 * log10(10) = 20 dB of path loss.
+        assert rssi_at_distance(10.0, tx_power=-59.0, path_loss_exponent=2.0) == -79.0
+
+    def test_monotonically_decreasing(self):
+        values = [rssi_at_distance(d) for d in (1.0, 2.0, 5.0, 10.0, 15.0)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_distances_below_reference_clamped(self):
+        assert rssi_at_distance(0.1) == rssi_at_distance(1.0)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            rssi_at_distance(-1.0)
+
+
+class TestBleBeacon:
+    def test_noise_free_matches_model(self):
+        beacon = BleBeacon(
+            "A1",
+            distance_fn=lambda t: 10.0,
+            noise_std=0.0,
+            dropout_probability=0.0,
+        )
+        assert beacon.sample(0.0) == pytest.approx(-79.0)
+
+    def test_rssi_is_whole_dbm(self):
+        beacon = BleBeacon("A1", distance_fn=lambda t: 5.0, seed=4)
+        for t in range(20):
+            value = beacon.sample(float(t))
+            if not np.isnan(value):
+                assert value == int(value)
+
+    def test_moving_receiver_weakens_signal(self):
+        beacon = BleBeacon(
+            "A1",
+            distance_fn=lambda t: 1.0 + t,
+            noise_std=0.0,
+            dropout_probability=0.0,
+        )
+        assert beacon.sample(0.0) > beacon.sample(14.0)
+
+    def test_dropouts_occur(self):
+        beacon = BleBeacon(
+            "A1", distance_fn=lambda t: 5.0, dropout_probability=0.3, seed=5
+        )
+        samples = beacon.sample_many(np.zeros(1000))
+        assert 0.2 < np.isnan(samples).mean() < 0.4
+
+    def test_saturation_floor(self):
+        beacon = BleBeacon(
+            "A1",
+            distance_fn=lambda t: 10_000.0,
+            noise_std=0.0,
+            dropout_probability=0.0,
+        )
+        assert beacon.sample(0.0) == -110.0

@@ -1,0 +1,77 @@
+"""Tests for the sensor model base class."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sensors.base import Sensor
+from repro.sensors.signal import ConstantSignal, RampSignal
+from repro.types import is_missing
+
+
+class TestTransduction:
+    def test_perfect_sensor_reports_truth(self):
+        sensor = Sensor("s", ConstantSignal(18.0))
+        assert sensor.sample(0.0) == 18.0
+
+    def test_gain_and_bias(self):
+        sensor = Sensor("s", ConstantSignal(10.0), gain=1.1, bias=-0.5)
+        assert sensor.sample(0.0) == pytest.approx(10.5)
+
+    def test_noise_is_seeded(self):
+        a = Sensor("s", ConstantSignal(10.0), noise_std=1.0, seed=9)
+        b = Sensor("s", ConstantSignal(10.0), noise_std=1.0, seed=9)
+        assert a.sample(0.0) == b.sample(0.0)
+
+    def test_noise_spread_matches_std(self):
+        sensor = Sensor("s", ConstantSignal(0.0), noise_std=2.0, seed=0)
+        samples = sensor.sample_many(np.zeros(4000))
+        assert np.std(samples) == pytest.approx(2.0, rel=0.1)
+
+    def test_quantisation(self):
+        sensor = Sensor("s", ConstantSignal(10.123456), resolution=0.01)
+        assert sensor.sample(0.0) == pytest.approx(10.12)
+
+    def test_saturation(self):
+        sensor = Sensor("s", RampSignal(0.0, 10.0), saturation=(0.0, 50.0))
+        assert sensor.sample(100.0) == 50.0
+
+    def test_follows_time_varying_signal(self):
+        sensor = Sensor("s", RampSignal(0.0, 1.0))
+        assert sensor.sample(3.0) == 3.0
+
+
+class TestDropout:
+    def test_dropout_produces_missing(self):
+        sensor = Sensor("s", ConstantSignal(1.0), dropout_probability=1.0)
+        assert is_missing(sensor.sample(0.0))
+
+    def test_dropout_rate_approximates_probability(self):
+        sensor = Sensor("s", ConstantSignal(1.0), dropout_probability=0.25, seed=3)
+        samples = sensor.sample_many(np.zeros(4000))
+        rate = np.isnan(samples).mean()
+        assert rate == pytest.approx(0.25, abs=0.03)
+        assert sensor.samples_dropped > 0
+
+    def test_counters(self):
+        sensor = Sensor("s", ConstantSignal(1.0))
+        sensor.sample_many(np.zeros(10))
+        assert sensor.samples_taken == 10
+        assert sensor.samples_dropped == 0
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"noise_std": -1.0},
+            {"resolution": -0.1},
+            {"dropout_probability": 1.5},
+            {"saturation": (5.0, 1.0)},
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            Sensor("s", ConstantSignal(0.0), **kwargs)

@@ -1,0 +1,85 @@
+"""Tests for sensor fault injectors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sensors.base import Sensor
+from repro.sensors.faults import (
+    DriftFault,
+    DropoutFault,
+    FaultySensor,
+    NoiseFault,
+    OffsetFault,
+    SpikeFault,
+    StuckAtFault,
+)
+from repro.sensors.signal import ConstantSignal
+from repro.types import is_missing
+
+
+def healthy(name="s", level=18.0):
+    return Sensor(name, ConstantSignal(level))
+
+
+class TestWindowing:
+    def test_inactive_before_start(self):
+        fault = OffsetFault(healthy(), offset=6.0, start=10.0)
+        assert fault.sample(5.0) == 18.0
+        assert fault.sample(10.0) == 24.0
+
+    def test_inactive_after_end(self):
+        fault = OffsetFault(healthy(), offset=6.0, start=0.0, end=10.0)
+        assert fault.sample(9.9) == 24.0
+        assert fault.sample(10.0) == 18.0
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OffsetFault(healthy(), offset=1.0, start=10.0, end=5.0)
+
+    def test_name_delegates(self):
+        assert OffsetFault(healthy("E4"), 6.0).name == "E4"
+
+    def test_missing_values_not_corrupted(self):
+        base = Sensor("s", ConstantSignal(1.0), dropout_probability=1.0)
+        fault = OffsetFault(base, offset=6.0)
+        assert is_missing(fault.sample(0.0))
+
+
+class TestFaultTypes:
+    def test_offset(self):
+        assert OffsetFault(healthy(), 6.0).sample(0.0) == 24.0
+
+    def test_stuck_at(self):
+        fault = StuckAtFault(healthy(), stuck_value=-1.0)
+        assert fault.sample(0.0) == -1.0
+        assert fault.sample(99.0) == -1.0
+
+    def test_drift_grows_linearly(self):
+        fault = DriftFault(healthy(), rate=0.1, start=10.0)
+        assert fault.sample(10.0) == pytest.approx(18.0)
+        assert fault.sample(20.0) == pytest.approx(19.0)
+
+    def test_spikes_at_given_rate(self):
+        fault = SpikeFault(healthy(), magnitude=50.0, probability=0.5, seed=1)
+        samples = fault.sample_many(np.zeros(1000))
+        spike_rate = (np.abs(samples - 18.0) > 10).mean()
+        assert 0.4 < spike_rate < 0.6
+
+    def test_spike_probability_validated(self):
+        with pytest.raises(ConfigurationError):
+            SpikeFault(healthy(), magnitude=1.0, probability=2.0)
+
+    def test_noise_fault_adds_spread(self):
+        fault = NoiseFault(healthy(), noise_std=3.0, seed=2)
+        samples = fault.sample_many(np.zeros(2000))
+        assert np.std(samples) == pytest.approx(3.0, rel=0.15)
+
+    def test_dropout_fault(self):
+        fault = DropoutFault(healthy(), probability=1.0)
+        assert is_missing(fault.sample(0.0))
+
+    def test_base_wrapper_is_identity(self):
+        assert FaultySensor(healthy()).sample(0.0) == 18.0

@@ -1,0 +1,83 @@
+"""Property-based tests for sensors and fault wrappers."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sensors.base import Sensor
+from repro.sensors.faults import DriftFault, OffsetFault, StuckAtFault
+from repro.sensors.signal import ConstantSignal, RampSignal
+from repro.types import is_missing
+
+levels = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False)
+times = st.floats(min_value=0.0, max_value=1e4, allow_nan=False)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+class TestSensorProperties:
+    @settings(max_examples=50)
+    @given(level=levels, seed=seeds, t=times)
+    def test_same_seed_same_sample_sequence(self, level, seed, t):
+        a = Sensor("s", ConstantSignal(level), noise_std=1.0, seed=seed)
+        b = Sensor("s", ConstantSignal(level), noise_std=1.0, seed=seed)
+        assert a.sample(t) == b.sample(t)
+        assert a.sample(t) == b.sample(t)  # second draw matches too
+
+    @settings(max_examples=50)
+    @given(level=levels, gain=st.floats(min_value=0.5, max_value=2.0),
+           bias=st.floats(min_value=-10, max_value=10))
+    def test_noiseless_sensor_is_affine(self, level, gain, bias):
+        sensor = Sensor("s", ConstantSignal(level), gain=gain, bias=bias)
+        assert sensor.sample(0.0) == gain * level + bias
+
+    @settings(max_examples=50)
+    @given(level=levels, resolution=st.floats(min_value=0.001, max_value=10.0))
+    def test_quantised_output_on_grid(self, level, resolution):
+        sensor = Sensor("s", ConstantSignal(level), resolution=resolution)
+        value = sensor.sample(0.0)
+        steps = value / resolution
+        assert abs(steps - round(steps)) < 1e-6
+
+
+class TestFaultWindowProperties:
+    @settings(max_examples=50)
+    @given(
+        start=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        width=st.floats(min_value=0.1, max_value=100.0, allow_nan=False),
+        offset=st.floats(min_value=-50.0, max_value=50.0, allow_nan=False),
+        t=st.floats(min_value=0.0, max_value=300.0, allow_nan=False),
+    )
+    def test_offset_applied_exactly_inside_window(self, start, width, offset, t):
+        base = Sensor("s", ConstantSignal(10.0))
+        fault = OffsetFault(base, offset=offset, start=start, end=start + width)
+        value = fault.sample(t)
+        if start <= t < start + width:
+            assert value == 10.0 + offset
+        else:
+            assert value == 10.0
+
+    @settings(max_examples=50)
+    @given(stuck=levels, t=times)
+    def test_stuck_value_ignores_signal(self, stuck, t):
+        base = Sensor("s", RampSignal(0.0, 3.0))
+        fault = StuckAtFault(base, stuck_value=stuck)
+        assert fault.sample(t) == stuck
+
+    @settings(max_examples=50)
+    @given(rate=st.floats(min_value=-5.0, max_value=5.0, allow_nan=False),
+           t=st.floats(min_value=0.0, max_value=100.0, allow_nan=False))
+    def test_drift_grows_linearly_from_start(self, rate, t):
+        base = Sensor("s", ConstantSignal(0.0))
+        fault = DriftFault(base, rate=rate, start=0.0)
+        assert fault.sample(t) == rate * t
+
+    @settings(max_examples=30)
+    @given(seed=seeds)
+    def test_dropouts_never_leak_values(self, seed):
+        sensor = Sensor("s", ConstantSignal(1.0), dropout_probability=0.5,
+                        seed=seed)
+        samples = sensor.sample_many(np.zeros(100))
+        for v in samples:
+            assert is_missing(v) or v == 1.0

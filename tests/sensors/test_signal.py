@@ -1,0 +1,94 @@
+"""Tests for ground-truth signal generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sensors.signal import (
+    CompositeSignal,
+    ConstantSignal,
+    DiurnalSignal,
+    PiecewiseSignal,
+    RampSignal,
+    RandomWalkSignal,
+)
+
+
+class TestSimpleSignals:
+    def test_constant(self):
+        assert ConstantSignal(18.0).value(123.4) == 18.0
+
+    def test_ramp(self):
+        ramp = RampSignal(start=10.0, rate=0.5)
+        assert ramp.value(0.0) == 10.0
+        assert ramp.value(4.0) == 12.0
+
+    def test_diurnal_period_and_amplitude(self):
+        sig = DiurnalSignal(base=18.0, amplitude=2.0, period=100.0)
+        assert sig.value(0.0) == pytest.approx(18.0)
+        assert sig.value(25.0) == pytest.approx(20.0)
+        assert sig.value(75.0) == pytest.approx(16.0)
+        assert sig.value(100.0) == pytest.approx(18.0, abs=1e-9)
+
+    def test_diurnal_invalid_period(self):
+        with pytest.raises(ConfigurationError):
+            DiurnalSignal(18.0, 1.0, period=0.0)
+
+    def test_sample_vectorised(self):
+        sig = RampSignal(0.0, 1.0)
+        assert np.allclose(sig.sample([0.0, 1.0, 2.0]), [0.0, 1.0, 2.0])
+
+
+class TestRandomWalk:
+    def test_deterministic_per_seed(self):
+        a = RandomWalkSignal(step_std=1.0, seed=5)
+        b = RandomWalkSignal(step_std=1.0, seed=5)
+        times = [0.0, 0.5, 3.7, 10.0]
+        assert [a.value(t) for t in times] == [b.value(t) for t in times]
+
+    def test_repeated_queries_stable(self):
+        sig = RandomWalkSignal(step_std=1.0, seed=1)
+        first = sig.value(7.3)
+        sig.value(100.0)  # extend the walk
+        assert sig.value(7.3) == first
+
+    def test_starts_at_zero(self):
+        assert RandomWalkSignal(step_std=1.0, seed=0).value(0.0) == 0.0
+
+    def test_clamp_respected(self):
+        sig = RandomWalkSignal(step_std=10.0, seed=2, clamp=(-1.0, 1.0))
+        values = [sig.value(t) for t in np.linspace(0, 50, 200)]
+        assert min(values) >= -1.0
+        assert max(values) <= 1.0
+
+    def test_interpolation_between_grid_points(self):
+        sig = RandomWalkSignal(step_std=1.0, step_interval=1.0, seed=3)
+        v0, v1 = sig.value(4.0), sig.value(5.0)
+        mid = sig.value(4.5)
+        assert min(v0, v1) - 1e-9 <= mid <= max(v0, v1) + 1e-9
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RandomWalkSignal(step_std=1.0).value(-1.0)
+
+
+class TestCompositeAndPiecewise:
+    def test_composite_sums(self):
+        sig = CompositeSignal([ConstantSignal(10.0), RampSignal(0.0, 1.0)])
+        assert sig.value(5.0) == 15.0
+
+    def test_composite_requires_components(self):
+        with pytest.raises(ConfigurationError):
+            CompositeSignal([])
+
+    def test_piecewise_switches(self):
+        sig = PiecewiseSignal({0.0: ConstantSignal(1.0), 10.0: ConstantSignal(2.0)})
+        assert sig.value(5.0) == 1.0
+        assert sig.value(10.0) == 2.0
+        assert sig.value(50.0) == 2.0
+
+    def test_piecewise_must_start_at_zero(self):
+        with pytest.raises(ConfigurationError):
+            PiecewiseSignal({5.0: ConstantSignal(1.0)})

@@ -1,0 +1,82 @@
+"""Tests for the voter-service wire protocol."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    decode_message,
+    encode_message,
+    error_response,
+    ok_response,
+    validate_request,
+)
+
+
+class TestEncodeDecode:
+    def test_round_trip(self):
+        message = {"op": "vote", "round": 1, "values": {"E1": 18.0}}
+        assert decode_message(encode_message(message).strip()) == message
+
+    def test_nan_becomes_null(self):
+        data = encode_message({"value": float("nan")})
+        assert json.loads(data)["value"] is None
+
+    def test_newline_terminated(self):
+        assert encode_message({"op": "ping"}).endswith(b"\n")
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ProtocolError, match="invalid JSON"):
+            decode_message(b"{nope")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode_message(b"[1, 2]")
+
+    def test_oversized_line_rejected(self):
+        with pytest.raises(ProtocolError, match="exceeds"):
+            decode_message(b"x" * (MAX_LINE_BYTES + 1))
+
+
+class TestValidateRequest:
+    def test_known_ops_pass(self):
+        assert validate_request({"op": "ping"}) == "ping"
+        assert validate_request({"op": "stats"}) == "stats"
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown or missing op"):
+            validate_request({"op": "explode"})
+
+    def test_missing_op_rejected(self):
+        with pytest.raises(ProtocolError):
+            validate_request({})
+
+    def test_vote_shape(self):
+        validate_request({"op": "vote", "round": 0, "values": {"E1": 1.0, "E2": None}})
+        with pytest.raises(ProtocolError, match="integer 'round'"):
+            validate_request({"op": "vote", "round": "0", "values": {"E1": 1.0}})
+        with pytest.raises(ProtocolError, match="non-empty 'values'"):
+            validate_request({"op": "vote", "round": 0, "values": {}})
+        with pytest.raises(ProtocolError, match="numeric or null"):
+            validate_request({"op": "vote", "round": 0, "values": {"E1": "x"}})
+
+    def test_submit_shape(self):
+        validate_request({"op": "submit", "round": 0, "module": "E1", "value": 1.0})
+        with pytest.raises(ProtocolError, match="string 'module'"):
+            validate_request({"op": "submit", "round": 0, "module": 3, "value": 1.0})
+
+    def test_close_round_shape(self):
+        with pytest.raises(ProtocolError):
+            validate_request({"op": "close_round"})
+
+
+class TestResponses:
+    def test_error_response(self):
+        assert error_response("boom") == {"ok": False, "error": "boom"}
+
+    def test_ok_response(self):
+        assert ok_response(x=1) == {"ok": True, "x": 1}

@@ -1,0 +1,217 @@
+"""End-to-end tests for the voter service over real sockets."""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+
+from repro.service.client import ServiceError, VoterClient
+from repro.service.server import VoterServer
+from repro.vdx.examples import AVOC_SPEC, STANDARD_SPEC
+
+FAULTY = {"E1": 18.0, "E2": 18.1, "E3": 17.9, "E4": 24.0, "E5": 18.05}
+
+
+@pytest.fixture()
+def server():
+    with VoterServer(AVOC_SPEC) as srv:
+        yield srv
+
+
+@pytest.fixture()
+def client(server):
+    host, port = server.address
+    with VoterClient(host, port) as cli:
+        yield cli
+
+
+class TestBasicOperations:
+    def test_ping(self, client):
+        assert client.ping()
+
+    def test_spec_round_trips(self, client):
+        spec = client.spec()
+        assert spec["algorithm_name"] == "AVOC"
+        assert spec["collation"] == "MEAN_NEAREST_NEIGHBOR"
+
+    def test_vote_full_round(self, client):
+        result = client.vote(0, FAULTY)
+        assert result["status"] == "ok"
+        assert result["eliminated"] == ["E4"]
+        assert result["used_bootstrap"] is True
+        assert result["value"] != 24.0
+
+    def test_history_visible_after_vote(self, client):
+        client.vote(0, FAULTY)
+        records = client.history()
+        assert records["E4"] == 0.0
+        assert records["E1"] == 1.0
+
+    def test_stats(self, client):
+        client.vote(0, FAULTY)
+        stats = client.stats()
+        assert stats["rounds_processed"] == 1
+        assert stats["algorithm"] == "AVOC"
+        assert stats["last_value"] == pytest.approx(18.0, abs=0.2)
+
+    def test_reset(self, client):
+        client.vote(0, FAULTY)
+        assert client.reset()
+        assert client.stats()["rounds_processed"] == 0
+        # After reset the records are fresh, so round 0 can vote again.
+        result = client.vote(0, FAULTY)
+        assert result["used_bootstrap"] is True
+
+
+class TestIncrementalSubmission:
+    def test_submit_completes_roster_and_votes(self, client):
+        client.vote(0, FAULTY)  # establishes the roster
+        for i, (module, value) in enumerate(FAULTY.items()):
+            ack = client.submit(1, module, value)
+            if i < len(FAULTY) - 1:
+                assert ack["voted"] is False
+                assert ack["pending"] == i + 1
+            else:
+                assert ack["voted"] is True
+                assert ack["result"]["round"] == 1
+
+    def test_close_round_respects_spec_quorum(self, client):
+        # Listing 1 demands 100 % quorum: closing a 3-of-5 round is a
+        # quorum failure, which the default policy turns into a skip.
+        client.vote(0, FAULTY)
+        client.submit(1, "E1", 18.0)
+        client.submit(1, "E2", 18.1)
+        client.submit(1, "E3", 17.9)
+        result = client.close_round(1)
+        assert result["status"] == "skipped"
+
+    def test_close_round_votes_partial_set_without_quorum(self):
+        spec = AVOC_SPEC.with_overrides(quorum="NONE")
+        with VoterServer(spec) as srv:
+            with VoterClient(*srv.address) as cli:
+                cli.vote(0, FAULTY)
+                cli.submit(1, "E1", 18.0)
+                cli.submit(1, "E2", 18.1)
+                cli.submit(1, "E3", 17.9)
+                result = cli.close_round(1)
+                assert result["status"] == "ok"
+                assert result["value"] == pytest.approx(18.0, abs=0.2)
+
+    def test_close_unknown_round_errors(self, client):
+        with pytest.raises(ServiceError, match="no pending submissions"):
+            client.close_round(99)
+
+    def test_double_vote_rejected(self, client):
+        client.vote(0, FAULTY)
+        with pytest.raises(ServiceError, match="already voted"):
+            client.vote(0, FAULTY)
+
+    def test_submit_to_voted_round_rejected(self, client):
+        client.vote(0, FAULTY)
+        with pytest.raises(ServiceError, match="already voted"):
+            client.submit(0, "E1", 18.0)
+
+
+class TestFaultPolicyOverTheWire:
+    def test_document_fault_policy_applies_to_service_rounds(self):
+        # A VDX 1.1 document with hold-last-value semantics: degraded
+        # rounds answered over the network carry the held value.
+        spec = AVOC_SPEC.with_overrides(
+            quorum="NONE",
+            fault_policy={"on_missing_majority": "last_value",
+                          "missing_tolerance": 0.4},
+        )
+        with VoterServer(spec) as server:
+            with VoterClient(*server.address) as client:
+                first = client.vote(0, FAULTY)
+                assert first["status"] == "ok"
+                degraded = client.vote(
+                    1, {"E1": 18.0, "E2": None, "E3": None, "E4": None,
+                        "E5": None}
+                )
+                assert degraded["status"] == "held"
+                assert degraded["value"] == first["value"]
+
+
+class TestHotReconfiguration:
+    def test_configure_swaps_scheme(self, client):
+        client.vote(0, FAULTY)
+        from repro.vdx.examples import LISTING_1
+
+        document = dict(LISTING_1)
+        document.update({"algorithm_name": "Standard-live",
+                         "history": "STANDARD", "collation": "MEAN",
+                         "bootstrapping": False})
+        assert client.configure(document) == "Standard-live"
+        assert client.spec()["algorithm_name"] == "Standard-live"
+        # State was discarded: round 0 can vote again, fresh records.
+        result = client.vote(0, FAULTY)
+        assert result["status"] == "ok"
+        assert result["value"] == pytest.approx(19.21, abs=0.01)  # plain mean
+
+    def test_invalid_document_rejected_and_scheme_kept(self, client):
+        with pytest.raises(ServiceError, match="categorical"):
+            client.configure(
+                {
+                    "algorithm_name": "broken",
+                    "value_type": "CATEGORICAL",
+                    "history": "HYBRID",
+                    "collation": "MEAN",
+                }
+            )
+        assert client.spec()["algorithm_name"] == "AVOC"
+
+    def test_configure_requires_object(self, client):
+        with pytest.raises(ServiceError, match="'spec' object"):
+            client.request({"op": "configure", "spec": "AVOC"})
+
+
+class TestRobustness:
+    def test_malformed_line_gets_error_response(self, server):
+        host, port = server.address
+        with socket.create_connection((host, port), timeout=5.0) as sock:
+            sock.sendall(b"this is not json\n")
+            response = sock.makefile("rb").readline()
+            assert b'"ok": false' in response
+
+    def test_connection_survives_bad_request(self, client):
+        with pytest.raises(ServiceError):
+            client.request({"op": "explode"})
+        assert client.ping()  # same connection still usable
+
+    def test_concurrent_clients_share_one_engine(self, server):
+        host, port = server.address
+        with VoterClient(host, port) as warmup:
+            warmup.vote(0, FAULTY)  # roster + round 0
+
+        errors = []
+
+        def submit_module(module, value):
+            try:
+                with VoterClient(host, port) as cli:
+                    cli.submit(1, module, value)
+            except Exception as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=submit_module, args=(m, v))
+            for m, v in FAULTY.items()
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        with VoterClient(host, port) as cli:
+            stats = cli.stats()
+            # All five submissions landed in one engine: round 1 voted.
+            assert stats["rounds_processed"] == 2
+            assert stats["pending_rounds"] == []
+
+    def test_two_servers_do_not_interfere(self):
+        with VoterServer(AVOC_SPEC) as a, VoterServer(STANDARD_SPEC) as b:
+            with VoterClient(*a.address) as ca, VoterClient(*b.address) as cb:
+                assert ca.spec()["algorithm_name"] == "AVOC"
+                assert cb.spec()["algorithm_name"] == "Standard"

@@ -1,0 +1,104 @@
+"""Tests for the discrete-event simulation core."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulation.events import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(2.0, lambda: log.append("late"))
+        sim.schedule(1.0, lambda: log.append("early"))
+        sim.run()
+        assert log == ["early", "late"]
+
+    def test_equal_times_fire_in_scheduling_order(self):
+        sim = Simulator()
+        log = []
+        for i in range(5):
+            sim.schedule(1.0, lambda i=i: log.append(i))
+        sim.run()
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_now_advances(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [1.5]
+        assert sim.now == 1.5
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(3.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [3.0]
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        log = []
+
+        def first():
+            log.append(("first", sim.now))
+            sim.schedule(1.0, lambda: log.append(("second", sim.now)))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert log == [("first", 1.0), ("second", 2.0)]
+
+
+class TestRunControl:
+    def test_until_stops_and_advances_clock(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: log.append(1))
+        sim.schedule(10.0, lambda: log.append(10))
+        sim.run(until=5.0)
+        assert log == [1]
+        assert sim.now == 5.0
+        sim.run()  # remaining event still fires later
+        assert log == [1, 10]
+
+    def test_cancellation(self):
+        sim = Simulator()
+        log = []
+        handle = sim.schedule(1.0, lambda: log.append("cancelled"))
+        sim.schedule(2.0, lambda: log.append("kept"))
+        handle.cancel()
+        sim.run()
+        assert log == ["kept"]
+        assert handle.cancelled
+
+    def test_pending_counts_uncancelled(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        handle = sim.schedule(2.0, lambda: None)
+        handle.cancel()
+        assert sim.pending() == 1
+
+    def test_runaway_loop_guard(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(0.1, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(SimulationError, match="max_events"):
+            sim.run(max_events=100)
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for _ in range(3):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 3

@@ -1,0 +1,82 @@
+"""Tests for simulated network links."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.simulation.events import Simulator
+from repro.simulation.messages import Message
+from repro.simulation.network import Link
+
+
+class Receiver:
+    def __init__(self, sim):
+        self.sim = sim
+        self.received = []
+
+    def receive(self, message):
+        self.received.append((self.sim.now, message))
+
+
+def msg(payload="x"):
+    return Message(sender="a", recipient="b", kind="reading", payload=payload)
+
+
+class TestDelivery:
+    def test_latency_applied(self):
+        sim = Simulator()
+        dst = Receiver(sim)
+        link = Link(sim, latency=0.25)
+        link.transmit(msg(), dst)
+        sim.run()
+        assert dst.received[0][0] == pytest.approx(0.25)
+
+    def test_jitter_bounded(self):
+        sim = Simulator()
+        dst = Receiver(sim)
+        link = Link(sim, latency=0.1, jitter=0.05, seed=3)
+        for _ in range(50):
+            link.transmit(msg(), dst)
+        sim.run()
+        times = [t for t, _ in dst.received]
+        assert min(times) >= 0.1
+        assert max(times) <= 0.15 + 1e-9
+
+    def test_lossless_by_default(self):
+        sim = Simulator()
+        dst = Receiver(sim)
+        link = Link(sim)
+        for _ in range(20):
+            assert link.transmit(msg(), dst)
+        sim.run()
+        assert len(dst.received) == 20
+        assert link.loss_rate == 0.0
+
+    def test_loss_rate_approximates_probability(self):
+        sim = Simulator()
+        dst = Receiver(sim)
+        link = Link(sim, loss_probability=0.3, seed=5)
+        for _ in range(2000):
+            link.transmit(msg(), dst)
+        sim.run()
+        assert 0.25 < link.loss_rate < 0.35
+        assert len(dst.received) == link.delivered
+
+    def test_total_loss(self):
+        sim = Simulator()
+        dst = Receiver(sim)
+        link = Link(sim, loss_probability=1.0)
+        assert not link.transmit(msg(), dst)
+        sim.run()
+        assert dst.received == []
+
+
+class TestValidation:
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Link(Simulator(), latency=-1.0)
+
+    def test_bad_loss_probability_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Link(Simulator(), loss_probability=2.0)

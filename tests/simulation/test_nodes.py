@@ -1,0 +1,137 @@
+"""Tests for sensor, hub and voting-sink nodes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.fusion.engine import FusionEngine
+from repro.fusion.faults import FaultPolicy
+from repro.sensors.base import Sensor
+from repro.sensors.signal import ConstantSignal
+from repro.simulation.events import Simulator
+from repro.simulation.network import Link
+from repro.simulation.node import Node
+from repro.simulation.nodes import HubNode, SensorNode, VotingSinkNode
+from repro.voting.stateless import MeanVoter
+
+
+def wire(sim, src, dst, **link_kwargs):
+    link = Link(sim, **link_kwargs)
+    src.connect(dst, link)
+    return link
+
+
+def build_pipeline(sim, n_sensors=3, rounds=5, loss=0.0, deadline=0.05,
+                   interval=0.125, level=18.0):
+    engine = FusionEngine(
+        MeanVoter(),
+        roster=[f"E{i+1}" for i in range(n_sensors)],
+        fault_policy=FaultPolicy(),
+    )
+    sink = VotingSinkNode(
+        sim, "sink", engine, roster=engine.roster, deadline=deadline
+    )
+    nodes = []
+    for i in range(n_sensors):
+        sensor = Sensor(f"E{i+1}", ConstantSignal(level + i))
+        node = SensorNode(sim, sensor, collector="sink", interval=interval,
+                          rounds=rounds)
+        wire(sim, node, sink, latency=0.001, loss_probability=loss, seed=i)
+        nodes.append(node)
+    return nodes, sink, engine
+
+
+class TestNodeBasics:
+    def test_send_without_link_raises(self):
+        sim = Simulator()
+        node = Node(sim, "lonely")
+        with pytest.raises(SimulationError, match="no link"):
+            node.send("nowhere", "reading", None)
+
+    def test_received_count(self):
+        sim = Simulator()
+        a, b = Node(sim, "a"), Node(sim, "b")
+        wire(sim, a, b)
+        a.send("b", "x", 1)
+        sim.run()
+        assert b.received_count == 1
+
+
+class TestSensorToSink:
+    def test_all_rounds_voted(self):
+        sim = Simulator()
+        nodes, sink, _ = build_pipeline(sim, rounds=5)
+        for node in nodes:
+            node.start()
+        sim.run(until=10.0)
+        sink.flush()
+        assert len(sink.results) == 5
+        assert all(r.ok for r in sink.results)
+        # Mean of 18, 19, 20.
+        assert sink.results[0].value == pytest.approx(19.0)
+
+    def test_round_voted_when_all_arrive_before_deadline(self):
+        sim = Simulator()
+        nodes, sink, _ = build_pipeline(sim, rounds=1, deadline=10.0)
+        for node in nodes:
+            node.start()
+        sim.run(until=0.5)
+        # Vote happened long before the 10 s deadline.
+        assert len(sink.results) == 1
+
+    def test_lost_reading_becomes_missing_value(self):
+        sim = Simulator()
+        engine = FusionEngine(
+            MeanVoter(), roster=["E1", "E2", "E3"], fault_policy=FaultPolicy()
+        )
+        sink = VotingSinkNode(sim, "sink", engine, roster=engine.roster,
+                              deadline=0.05)
+        sensors = [Sensor(f"E{i+1}", ConstantSignal(10.0)) for i in range(3)]
+        for i, sensor in enumerate(sensors):
+            node = SensorNode(sim, sensor, "sink", interval=1.0, rounds=1)
+            # E3's link drops everything.
+            loss = 1.0 if i == 2 else 0.0
+            wire(sim, node, sink, loss_probability=loss)
+            node.start()
+        sim.run(until=2.0)
+        sink.flush()
+        assert len(sink.results) == 1
+        outcome = sink.results[0].outcome
+        assert "E3" not in outcome.agreement  # voted with 2 of 3 values
+        assert sink.results[0].value == pytest.approx(10.0)
+
+    def test_late_reading_for_voted_round_ignored(self):
+        sim = Simulator()
+        engine = FusionEngine(MeanVoter(), roster=["E1", "E2"])
+        sink = VotingSinkNode(sim, "sink", engine, roster=["E1", "E2"],
+                              deadline=0.01)
+        fast = SensorNode(sim, Sensor("E1", ConstantSignal(1.0)), "sink",
+                          interval=1.0, rounds=1)
+        slow = SensorNode(sim, Sensor("E2", ConstantSignal(3.0)), "sink",
+                          interval=1.0, rounds=1)
+        wire(sim, fast, sink, latency=0.001)
+        wire(sim, slow, sink, latency=0.5)  # arrives after the deadline
+        fast.start()
+        slow.start()
+        sim.run(until=2.0)
+        assert len(sink.results) == 1
+        # Voted on E1 alone at the deadline; E2's late packet ignored.
+        assert sink.results[0].value == 1.0
+
+
+class TestHub:
+    def test_hub_forwards(self):
+        sim = Simulator()
+        engine = FusionEngine(MeanVoter(), roster=["E1"])
+        sink = VotingSinkNode(sim, "sink", engine, roster=["E1"], deadline=0.05)
+        hub = HubNode(sim, "hub", sink="sink")
+        wire(sim, hub, sink)
+        node = SensorNode(sim, Sensor("E1", ConstantSignal(7.0)), "hub",
+                          interval=1.0, rounds=2)
+        wire(sim, node, hub)
+        node.start()
+        sim.run(until=3.0)
+        sink.flush()
+        assert hub.forwarded == 2
+        assert [r.value for r in sink.results] == [7.0, 7.0]

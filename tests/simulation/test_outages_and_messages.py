@@ -1,0 +1,87 @@
+"""Tests for node outages and message types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.fusion.engine import FusionEngine
+from repro.fusion.faults import FaultPolicy
+from repro.sensors.base import Sensor
+from repro.sensors.signal import ConstantSignal
+from repro.simulation.events import Simulator
+from repro.simulation.messages import Message, ReadingPayload
+from repro.simulation.network import Link
+from repro.simulation.nodes import SensorNode, VotingSinkNode
+from repro.voting.stateless import MeanVoter
+
+
+class TestMessages:
+    def test_reading_payload_fields(self):
+        payload = ReadingPayload(module="E1", round_id=3, value=18.0,
+                                 sampled_at=0.375)
+        assert payload.module == "E1"
+        assert payload.round_id == 3
+
+    def test_message_defaults(self):
+        message = Message(sender="a", recipient="b", kind="reading", payload=None)
+        assert message.headers == {}
+        assert message.sent_at == 0.0
+
+    def test_messages_are_immutable(self):
+        message = Message(sender="a", recipient="b", kind="x", payload=1)
+        with pytest.raises(AttributeError):
+            message.kind = "y"
+
+
+class TestSensorOutages:
+    def _build(self, outages):
+        sim = Simulator()
+        engine = FusionEngine(
+            MeanVoter(), roster=["E1", "E2"],
+            fault_policy=FaultPolicy(on_missing_majority="skip",
+                                     missing_tolerance=0.6),
+        )
+        sink = VotingSinkNode(sim, "sink", engine, roster=["E1", "E2"],
+                              deadline=0.05)
+        steady = SensorNode(sim, Sensor("E1", ConstantSignal(10.0)), "sink",
+                            interval=1.0, rounds=6)
+        flaky = SensorNode(sim, Sensor("E2", ConstantSignal(20.0)), "sink",
+                           interval=1.0, rounds=6, outages=outages)
+        for node in (steady, flaky):
+            link = Link(sim, latency=0.001)
+            node.connect(sink, link)
+            node.start()
+        sim.run(until=10.0)
+        sink.flush()
+        return sink, flaky
+
+    def test_outage_window_suppresses_readings(self):
+        sink, flaky = self._build(outages=[(2.0, 4.0)])
+        assert flaky.rounds_skipped == 2  # ticks at t=2 and t=3
+        values = [r.value for r in sink.results]
+        # During the outage only E1 reports: fused value is 10, not 15.
+        assert values[0] == pytest.approx(15.0)
+        assert values[2] == pytest.approx(10.0)
+        assert values[3] == pytest.approx(10.0)
+        assert values[5] == pytest.approx(15.0)
+
+    def test_no_outage_by_default(self):
+        sink, flaky = self._build(outages=[])
+        assert flaky.rounds_skipped == 0
+        assert all(r.value == pytest.approx(15.0) for r in sink.results)
+
+    def test_inverted_window_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError, match="inverted"):
+            SensorNode(sim, Sensor("E1", ConstantSignal(1.0)), "sink",
+                       interval=1.0, outages=[(5.0, 2.0)])
+
+    def test_in_outage_boundaries(self):
+        sim = Simulator()
+        node = SensorNode(sim, Sensor("E1", ConstantSignal(1.0)), "sink",
+                          interval=1.0, outages=[(1.0, 2.0)])
+        assert not node.in_outage(0.99)
+        assert node.in_outage(1.0)
+        assert node.in_outage(1.99)
+        assert not node.in_outage(2.0)

@@ -1,0 +1,101 @@
+"""Tests for the end-to-end simulation runners and topologies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.ble_uc2 import UC2Config
+from repro.datasets.light_uc1 import UC1Config, build_uc1_array
+from repro.fusion.engine import FusionEngine
+from repro.simulation.runner import run_uc1_simulation, run_uc2_simulation
+from repro.simulation.topology import build_uc1_topology, build_uc2_topology
+from repro.voting.stateless import MeanVoter
+
+
+class TestUc1Topology:
+    def test_fig1_wiring(self):
+        array = build_uc1_array(UC1Config(n_rounds=10))
+        engine = FusionEngine(MeanVoter(), roster=array.module_names)
+        topology = build_uc1_topology(array, engine, rounds=10)
+        assert topology.hub is not None
+        assert "wifi" in topology.links
+        assert sum(1 for name in topology.links if name.startswith("eth-")) == 5
+        assert len(topology.sensor_nodes) == 5
+
+
+class TestUc1Simulation:
+    def test_outputs_match_round_count(self):
+        report = run_uc1_simulation(algorithm="average", rounds=50)
+        assert report.n_rounds == 50
+        assert report.outputs.shape == (50,)
+
+    def test_outputs_in_light_band(self):
+        report = run_uc1_simulation(algorithm="avoc", rounds=50)
+        finite = report.outputs[~np.isnan(report.outputs)]
+        assert np.all(finite > 16.0) and np.all(finite < 21.0)
+
+    def test_wifi_loss_observed(self):
+        report = run_uc1_simulation(algorithm="average", rounds=300,
+                                    wifi_loss=0.05)
+        assert 0.02 < report.link_stats["wifi"]["loss_rate"] < 0.09
+
+    def test_lossless_run_has_no_degraded_rounds(self):
+        report = run_uc1_simulation(algorithm="average", rounds=50,
+                                    wifi_loss=0.0)
+        assert report.rounds_degraded == 0
+
+    def test_heavy_loss_degrades_rounds(self):
+        report = run_uc1_simulation(algorithm="average", rounds=100,
+                                    wifi_loss=0.6)
+        assert report.rounds_degraded > 0
+
+
+class TestUc2PositioningSimulation:
+    def test_end_to_end_positioning(self):
+        from repro.simulation.runner import run_uc2_positioning_simulation
+
+        report = run_uc2_positioning_simulation(algorithm="average")
+        assert report.calls.shape == report.truth.shape
+        assert report.accuracy > 0.85
+        assert report.unstable_calls < 297 / 2
+        # The trajectory starts at stack A and ends at stack B.
+        assert report.calls[0] == "A"
+        assert report.calls[-1] == "B"
+
+    def test_transport_loss_degrades_accuracy_gracefully(self):
+        from repro.simulation.runner import run_uc2_positioning_simulation
+
+        lossless = run_uc2_positioning_simulation("average", ble_loss=0.0)
+        lossy = run_uc2_positioning_simulation("average", ble_loss=0.4)
+        # Heavy transport loss costs a little accuracy but does not
+        # break the application (redundancy absorbs it).
+        assert lossy.accuracy > 0.75
+        assert lossless.accuracy >= lossy.accuracy - 0.05
+
+
+class TestUc2Simulation:
+    def test_full_traverse(self):
+        report = run_uc2_simulation(algorithm="average", stack="A")
+        assert report.n_rounds == 297
+
+    def test_stack_a_weakens_along_track(self):
+        report = run_uc2_simulation(algorithm="average", stack="A")
+        start = np.nanmean(report.outputs[:30])
+        end = np.nanmean(report.outputs[-30:])
+        assert start > end
+
+    def test_stack_b_strengthens_along_track(self):
+        report = run_uc2_simulation(algorithm="average", stack="B")
+        assert np.nanmean(report.outputs[-30:]) > np.nanmean(report.outputs[:30])
+
+    def test_uc2_topology_is_hubless(self):
+        config = UC2Config()
+        from repro.datasets.ble_uc2 import build_uc2_stack
+
+        array = build_uc2_stack(config, "A")
+        engine = FusionEngine(MeanVoter(), roster=array.module_names)
+        topology = build_uc2_topology(array, engine, sample_interval=0.5,
+                                      rounds=5)
+        assert topology.hub is None
+        assert len(topology.links) == 9

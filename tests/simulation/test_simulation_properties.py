@@ -1,0 +1,71 @@
+"""Property-based tests for the discrete-event core."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation.events import Simulator
+
+
+class TestEventOrderingProperties:
+    @settings(max_examples=60)
+    @given(
+        delays=st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_events_fire_in_nondecreasing_time_order(self, delays):
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, lambda d=delay: fired.append(sim.now))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    @settings(max_examples=60)
+    @given(
+        delays=st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            min_size=1,
+            max_size=30,
+        ),
+        until=st.floats(min_value=0.0, max_value=120.0, allow_nan=False),
+    )
+    def test_run_until_is_a_clean_cut(self, delays, until):
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, lambda d=delay: fired.append(d))
+        sim.run(until=until)
+        assert all(d <= until for d in fired)
+        remaining = [d for d in delays if d > until]
+        assert sim.pending() == len(remaining)
+        # Running to completion picks up exactly the rest.
+        sim.run()
+        assert sorted(fired) == sorted(delays)
+
+    @settings(max_examples=40)
+    @given(
+        delays=st.lists(
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+            min_size=2,
+            max_size=20,
+        ),
+        cancel_index=st.integers(min_value=0, max_value=19),
+    )
+    def test_cancelled_events_never_fire(self, delays, cancel_index):
+        sim = Simulator()
+        fired = []
+        handles = [
+            sim.schedule(delay, lambda i=i: fired.append(i))
+            for i, delay in enumerate(delays)
+        ]
+        victim = cancel_index % len(handles)
+        handles[victim].cancel()
+        sim.run()
+        assert victim not in fired
+        assert len(fired) == len(delays) - 1

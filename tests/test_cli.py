@@ -1,0 +1,194 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.vdx.examples import LISTING_1
+
+
+class TestAlgorithms:
+    def test_lists_all(self, capsys):
+        assert main(["algorithms"]) == 0
+        out = capsys.readouterr().out
+        for name in ("avoc", "hybrid", "standard", "clustering"):
+            assert name in out
+
+
+class TestCompare:
+    def test_default_algorithms(self, capsys):
+        assert main(["compare", "--values", "18.0,18.1,17.9,24.0,18.05"]) == 0
+        out = capsys.readouterr().out
+        assert "avoc" in out
+        assert "E4" in out  # eliminated column
+
+    def test_algorithm_subset(self, capsys):
+        assert main(
+            ["compare", "--values", "1,2,3", "--algorithms", "average,median"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "average" in out and "avoc" not in out
+
+
+class TestFig6:
+    def test_small_run(self, capsys):
+        assert main(["fig6", "--rounds", "120"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 6-a" in out
+        assert "Fig. 6-f" in out
+        assert "convergence boost" in out.lower()
+
+    def test_export_writes_csvs(self, tmp_path, capsys):
+        assert main(
+            ["fig6", "--rounds", "80", "--export", str(tmp_path / "out")]
+        ) == 0
+        written = sorted(p.name for p in (tmp_path / "out").glob("*.csv"))
+        assert "fig6a_raw.csv" in written
+        assert "fig6e_diffs.csv" in written
+        header = (tmp_path / "out" / "fig6e_diffs.csv").read_text().splitlines()[0]
+        assert header.startswith("round,")
+        assert "avoc" in header
+
+
+class TestFig7:
+    def test_full_run(self, capsys):
+        assert main(["fig7"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 7-a" in out
+        assert "unstable calls" in out
+
+    def test_export_writes_csvs(self, tmp_path, capsys):
+        assert main(["fig7", "--export", str(tmp_path / "out")]) == 0
+        written = sorted(p.name for p in (tmp_path / "out").glob("*.csv"))
+        assert "fig7_single_beacon.csv" in written
+        assert "fig7_avoc_voting.csv" in written
+
+
+class TestDiagnose:
+    def test_flags_faulty_sensor(self, tmp_path, uc1_small_faulty, capsys):
+        from repro.datasets.loader import save_csv
+
+        path = tmp_path / "faulty.csv"
+        save_csv(uc1_small_faulty.slice(0, 80), path)
+        assert main(["diagnose", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "offset" in out
+        assert "attention: E4" in out
+
+    def test_healthy_dataset(self, tmp_path, uc1_small, capsys):
+        from repro.datasets.loader import save_csv
+
+        path = tmp_path / "healthy.csv"
+        save_csv(uc1_small.slice(0, 80), path)
+        assert main(["diagnose", str(path)]) == 0
+        assert "all modules healthy" in capsys.readouterr().out
+
+
+class TestVdx:
+    def test_describe(self, capsys):
+        assert main(["vdx", "--describe"]) == 0
+        assert "algorithm_name" in capsys.readouterr().out
+
+    def test_validate_good_file(self, tmp_path, capsys):
+        path = tmp_path / "avoc.json"
+        path.write_text(json.dumps(LISTING_1))
+        assert main(["vdx", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "VALID" in out
+        assert "AvocVoter" in out
+
+    def test_validate_bad_file(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"algorithm_name": "x", "history": "WRONG"}))
+        assert main(["vdx", str(path)]) == 1
+        assert "INVALID" in capsys.readouterr().err
+
+    def test_no_file_no_describe_errors(self, capsys):
+        assert main(["vdx"]) == 2
+
+
+class TestSimulate:
+    def test_uc1(self, capsys):
+        assert main(["simulate", "uc1", "--rounds", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "wifi" in out
+        assert "rounds: 40" in out
+
+
+class TestLatency:
+    def test_reports_microseconds(self, capsys):
+        assert main(["latency", "--iterations", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "µs / round" in out
+        assert "avoc" in out
+
+
+class TestServe:
+    def test_once_binds_and_exits(self, capsys):
+        assert main(["serve", "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "listening on 127.0.0.1:" in out
+        assert "AVOC" in out
+
+    def test_custom_spec(self, tmp_path, capsys):
+        from repro.vdx.examples import STANDARD_SPEC
+
+        path = tmp_path / "standard.json"
+        STANDARD_SPEC.save(path)
+        assert main(["serve", "--once", "--spec", str(path)]) == 0
+        assert "Standard" in capsys.readouterr().out
+
+
+class TestFuse:
+    @pytest.fixture()
+    def csv_path(self, tmp_path, uc1_small):
+        from repro.datasets.loader import save_csv
+
+        path = tmp_path / "uc1.csv"
+        save_csv(uc1_small.slice(0, 20), path)
+        return path
+
+    def test_fuse_to_stdout(self, csv_path, capsys):
+        assert main(["fuse", str(csv_path)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("round,value,status,excluded")
+        assert out.count("\n") == 21  # header + 20 rounds
+
+    def test_fuse_to_file(self, csv_path, tmp_path, capsys):
+        out_path = tmp_path / "fused.csv"
+        assert main(["fuse", str(csv_path), "--output", str(out_path)]) == 0
+        assert out_path.exists()
+        lines = out_path.read_text().splitlines()
+        assert len(lines) == 21
+
+    def test_fuse_with_spec(self, csv_path, tmp_path, capsys):
+        from repro.vdx.examples import STANDARD_SPEC
+
+        spec_path = tmp_path / "standard.json"
+        STANDARD_SPEC.save(spec_path)
+        assert main(["fuse", str(csv_path), "--spec", str(spec_path)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+
+class TestShelf:
+    def test_default_run(self, capsys):
+        assert main(["shelf", "--rounds", "150"]) == 0
+        out = capsys.readouterr().out
+        assert "fused occupancy accuracy" in out
+        assert "DEFECTIVE" in out
+
+    def test_stateless_history_mode(self, capsys):
+        assert main(["shelf", "--rounds", "80", "--history", "none"]) == 0
+        out = capsys.readouterr().out
+        assert "history=none" in out
+
+
+class TestTune:
+    def test_grid_tune_prints_leaderboard(self, capsys):
+        assert main(["tune", "--rounds", "80", "--points", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "evaluated" in out
+        assert "best:" in out

@@ -1,0 +1,104 @@
+"""Release-quality checks on the public API surface."""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+
+import pytest
+
+PUBLIC_MODULES = (
+    "repro",
+    "repro.voting",
+    "repro.clustering",
+    "repro.vdx",
+    "repro.history",
+    "repro.fusion",
+    "repro.sensors",
+    "repro.datasets",
+    "repro.simulation",
+    "repro.analysis",
+    "repro.experiments",
+    "repro.service",
+    "repro.tuning",
+)
+
+
+class TestAllExportsResolve:
+    @pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+    def test_every_all_entry_importable(self, module_name):
+        module = importlib.import_module(module_name)
+        assert hasattr(module, "__all__"), f"{module_name} has no __all__"
+        for name in module.__all__:
+            assert hasattr(module, name), f"{module_name}.{name} missing"
+
+    @pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+    def test_module_docstrings_present(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__ and len(module.__doc__.strip()) > 20
+
+
+class TestPublicCallablesDocumented:
+    @pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+    def test_exported_callables_have_docstrings(self, module_name):
+        module = importlib.import_module(module_name)
+        undocumented = []
+        for name in module.__all__:
+            obj = getattr(module, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                if not (obj.__doc__ and obj.__doc__.strip()):
+                    undocumented.append(name)
+        assert undocumented == [], (
+            f"{module_name}: undocumented exports {undocumented}"
+        )
+
+
+class TestVersionConsistency:
+    def test_dunder_version(self):
+        import repro
+
+        assert repro.__version__.count(".") == 2
+
+    def test_cli_version_flag(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert "avoc" in capsys.readouterr().out
+
+
+class TestRegistryCoverage:
+    def test_every_registered_algorithm_instantiates_and_votes(self):
+        from repro.exceptions import NoMajorityError
+        from repro.types import Round
+        from repro.voting.registry import available_algorithms, create_voter
+
+        for name in available_algorithms():
+            if name.startswith("constant42"):
+                continue  # registered by another test module
+            voter = create_voter(name)
+            voting_round = Round.from_values(0, ["a", "a", "b"]) if (
+                "categorical" in name or name == "plurality"
+            ) else Round.from_values(0, [10.0, 10.05, 10.1])
+            try:
+                outcome = voter.vote(voting_round)
+            except NoMajorityError:
+                continue  # legitimate for strict voters on tiny rounds
+            assert outcome.value is not None, name
+
+
+class TestEngineStatistics:
+    def test_statistics_summary(self):
+        from repro.fusion.engine import FusionEngine
+        from repro.types import Round
+        from repro.voting.stateless import MeanVoter
+
+        engine = FusionEngine(MeanVoter())
+        engine.process(Round.from_values(0, [1.0, 1.0]))
+        engine.process(Round.from_mapping(1, {"E1": None, "E2": None}))
+        stats = engine.statistics()
+        assert stats["rounds_processed"] == 2
+        assert stats["rounds_degraded"] == 1
+        assert stats["availability"] == 0.5
+        assert stats["algorithm"] == "average"

@@ -1,0 +1,171 @@
+"""Tests for grid and genetic search."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.tuning.genetic import genetic_search
+from repro.tuning.search import grid_search
+from repro.tuning.space import Choice, Continuous, ParameterSpace
+
+
+def quadratic_objective(target_error=0.1, preferred="MEDIAN"):
+    """Synthetic bowl: minimum at error=target, collation=preferred."""
+
+    def evaluate(params):
+        penalty = 0.0 if params.collation == preferred else 1.0
+        return (params.error - target_error) ** 2 * 100 + penalty
+
+    return evaluate
+
+
+def space():
+    return ParameterSpace(
+        {
+            "error": Continuous(0.01, 0.3),
+            "collation": Choice(["MEAN", "MEDIAN", "MEAN_NEAREST_NEIGHBOR"]),
+        }
+    )
+
+
+class TestGridSearch:
+    def test_finds_grid_optimum(self):
+        result = grid_search(quadratic_objective(), space(), points_per_dimension=30)
+        assert result.best_assignment["collation"] == "MEDIAN"
+        assert result.best_assignment["error"] == pytest.approx(0.1, abs=0.01)
+        assert result.n_trials == 30 * 3
+
+    def test_best_params_are_valid_voterparams(self):
+        result = grid_search(quadratic_objective(), space(), points_per_dimension=5)
+        assert result.best_params.error == result.best_assignment["error"]
+
+    def test_max_trials_truncates(self):
+        result = grid_search(
+            quadratic_objective(), space(), points_per_dimension=30, max_trials=10
+        )
+        assert result.n_trials == 10
+
+    def test_top_sorted(self):
+        result = grid_search(quadratic_objective(), space(), points_per_dimension=5)
+        top = result.top(3)
+        assert top[0].score <= top[1].score <= top[2].score
+        assert top[0].score == result.best_score
+
+    def test_nan_scores_treated_as_infinite(self):
+        def nan_objective(params):
+            return float("nan") if params.collation == "MEAN" else params.error
+
+        result = grid_search(nan_objective, space(), points_per_dimension=3)
+        assert result.best_assignment["collation"] != "MEAN"
+
+    def test_invalid_grid_corners_skipped(self):
+        # learning_rate=0 is invalid; the grid must skip it, not crash.
+        bad_space = ParameterSpace({"learning_rate": Continuous(0.0, 1.0)})
+        result = grid_search(lambda p: p.learning_rate, bad_space, 5)
+        assert result.best_assignment["learning_rate"] > 0.0
+
+
+class TestGeneticSearch:
+    def test_converges_to_optimum_region(self):
+        result = genetic_search(
+            quadratic_objective(),
+            space(),
+            population_size=20,
+            generations=15,
+            seed=3,
+        )
+        assert result.best_assignment["collation"] == "MEDIAN"
+        assert result.best_assignment["error"] == pytest.approx(0.1, abs=0.03)
+
+    def test_deterministic_per_seed(self):
+        a = genetic_search(quadratic_objective(), space(), seed=7)
+        b = genetic_search(quadratic_objective(), space(), seed=7)
+        assert a.best_assignment == b.best_assignment
+        assert a.best_score == b.best_score
+
+    def test_beats_random_first_generation(self):
+        result = genetic_search(
+            quadratic_objective(), space(), population_size=12, generations=10,
+            seed=1,
+        )
+        first_generation = result.trials[:12]
+        assert result.best_score <= min(t.score for t in first_generation)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            genetic_search(quadratic_objective(), space(), population_size=2)
+        with pytest.raises(ConfigurationError):
+            genetic_search(quadratic_objective(), space(), generations=0)
+
+    def test_trials_count(self):
+        result = genetic_search(
+            quadratic_objective(), space(), population_size=8, generations=4,
+        )
+        assert result.n_trials == 8 * 4
+
+
+class TestRandomSearch:
+    def test_finds_optimum_region(self):
+        from repro.tuning.random_search import random_search
+
+        result = random_search(quadratic_objective(), space(), n_trials=200,
+                               seed=11)
+        assert result.best_assignment["collation"] == "MEDIAN"
+        assert result.best_assignment["error"] == pytest.approx(0.1, abs=0.03)
+
+    def test_deterministic_per_seed(self):
+        from repro.tuning.random_search import random_search
+
+        a = random_search(quadratic_objective(), space(), n_trials=30, seed=5)
+        b = random_search(quadratic_objective(), space(), n_trials=30, seed=5)
+        assert a.best_assignment == b.best_assignment
+
+    def test_trial_budget_respected(self):
+        from repro.tuning.random_search import random_search
+
+        result = random_search(quadratic_objective(), space(), n_trials=17)
+        assert result.n_trials == 17
+
+    def test_validation(self):
+        from repro.tuning.random_search import random_search
+
+        with pytest.raises(ConfigurationError):
+            random_search(quadratic_objective(), space(), n_trials=0)
+
+    def test_genetic_beats_random_at_equal_budget(self):
+        from repro.tuning.genetic import genetic_search
+        from repro.tuning.random_search import random_search
+
+        budget = 80  # 8 individuals x 10 generations
+        genetic = genetic_search(
+            quadratic_objective(), space(), population_size=8,
+            generations=10, seed=2,
+        )
+        random = random_search(quadratic_objective(), space(),
+                               n_trials=budget, seed=2)
+        assert genetic.n_trials == budget
+        assert genetic.best_score <= random.best_score + 0.05
+
+
+class TestRealObjectives:
+    def test_uc1_objective_prefers_working_configuration(self, uc1_small,
+                                                          uc1_small_faulty):
+        from repro.tuning.objective import uc1_fault_recovery_objective
+
+        objective = uc1_fault_recovery_objective(
+            uc1_small.slice(0, 120), uc1_small_faulty.slice(0, 120)
+        )
+        sane = space().to_params({"error": 0.05, "collation": "MEAN"})
+        # A 1 % threshold cannot even see the sensors agree: everything
+        # disagrees, output quality collapses.
+        absurd = space().to_params({"error": 0.01, "collation": "MEAN"})
+        assert objective(sane) < objective(absurd)
+
+    def test_uc2_objective_scores_instability(self, uc2_dataset):
+        from repro.tuning.objective import uc2_stability_objective
+
+        objective = uc2_stability_objective(uc2_dataset, algorithm="avoc")
+        mean_params = space().to_params({"error": 0.10, "collation": "MEAN"})
+        score = objective(mean_params)
+        assert 0 <= score <= 297

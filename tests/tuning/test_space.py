@@ -1,0 +1,90 @@
+"""Tests for parameter search spaces."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.tuning.space import Choice, Continuous, ParameterSpace
+from repro.voting.base import VoterParams
+
+
+class TestDimensions:
+    def test_continuous_sample_in_range(self):
+        dim = Continuous(0.01, 0.2)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            assert 0.01 <= dim.sample(rng) <= 0.2
+
+    def test_continuous_clip(self):
+        dim = Continuous(0.0, 1.0)
+        assert dim.clip(-5.0) == 0.0
+        assert dim.clip(5.0) == 1.0
+        assert dim.clip(0.5) == 0.5
+
+    def test_continuous_grid(self):
+        assert Continuous(0.0, 1.0).grid(3) == [0.0, 0.5, 1.0]
+        assert Continuous(0.0, 1.0).grid(1) == [0.5]
+
+    def test_continuous_validation(self):
+        with pytest.raises(ConfigurationError):
+            Continuous(1.0, 1.0)
+
+    def test_choice_sample_and_grid(self):
+        dim = Choice(["a", "b"])
+        rng = np.random.default_rng(0)
+        assert dim.sample(rng) in ("a", "b")
+        assert dim.grid(99) == ["a", "b"]
+
+    def test_choice_validation(self):
+        with pytest.raises(ConfigurationError):
+            Choice([])
+
+
+class TestParameterSpace:
+    def space(self):
+        return ParameterSpace(
+            {
+                "error": Continuous(0.01, 0.2),
+                "collation": Choice(["MEAN", "MEDIAN"]),
+            }
+        )
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown VoterParams field"):
+            ParameterSpace({"errror": Continuous(0.0, 1.0)})
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ParameterSpace({})
+
+    def test_non_dimension_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ParameterSpace({"error": [0.01, 0.05]})
+
+    def test_grid_is_cartesian(self):
+        assignments = list(self.space().grid(points_per_dimension=3))
+        assert len(assignments) == 3 * 2
+        assert {a["collation"] for a in assignments} == {"MEAN", "MEDIAN"}
+
+    def test_sample_covers_dimensions(self):
+        assignment = self.space().sample(np.random.default_rng(1))
+        assert set(assignment) == {"error", "collation"}
+
+    def test_to_params_layers_over_base(self):
+        base = VoterParams(soft_threshold=4.0)
+        space = ParameterSpace({"error": Continuous(0.01, 0.2)}, base=base)
+        params = space.to_params({"error": 0.1})
+        assert params.error == 0.1
+        assert params.soft_threshold == 4.0
+
+    def test_to_params_validates(self):
+        space = ParameterSpace({"learning_rate": Continuous(0.0, 2.0)})
+        with pytest.raises(ConfigurationError):
+            space.to_params({"learning_rate": 1.5})
+
+    def test_clip_only_touches_continuous(self):
+        clipped = self.space().clip({"error": 9.0, "collation": "MEAN"})
+        assert clipped["error"] == 0.2
+        assert clipped["collation"] == "MEAN"

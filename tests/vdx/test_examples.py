@@ -1,0 +1,37 @@
+"""Tests for the canned VDX example specs."""
+
+from __future__ import annotations
+
+from repro.vdx.examples import LISTING_1, all_example_specs
+from repro.vdx.factory import build_voter
+from repro.vdx.spec import VotingSpec
+
+
+class TestListing1:
+    def test_matches_paper_text(self):
+        # Every key/value pair printed in the paper's Listing 1.
+        assert LISTING_1["algorithm_name"] == "AVOC"
+        assert LISTING_1["quorum"] == "UNTIL"
+        assert LISTING_1["quorum_percentage"] == 100
+        assert LISTING_1["exclusion"] == "NONE"
+        assert LISTING_1["exclusion_threshold"] == 0
+        assert LISTING_1["history"] == "HYBRID"
+        assert LISTING_1["params"] == {"error": 0.05, "soft_threshold": 2}
+        assert LISTING_1["collation"] == "MEAN_NEAREST_NEIGHBOR"
+        assert LISTING_1["bootstrapping"] is True
+
+    def test_parses(self):
+        assert VotingSpec.from_dict(LISTING_1).algorithm_name == "AVOC"
+
+
+class TestAllExamples:
+    def test_every_example_is_valid_and_buildable(self):
+        specs = all_example_specs()
+        assert len(specs) >= 8
+        for name, spec in specs.items():
+            voter = build_voter(spec)
+            assert voter is not None, name
+
+    def test_examples_cover_all_history_modes(self):
+        histories = {spec.history for spec in all_example_specs().values()}
+        assert histories == {"NONE", "STANDARD", "ME", "SDT", "HYBRID"}

@@ -1,0 +1,95 @@
+"""Tests for the VDX 1.1 fault-policy extension.
+
+§7 of the paper: "It is also possible to extend VDX in a future
+revision to support high-level descriptions of the desired fault
+handling policy." — this is that revision.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import FusionError, SpecificationError
+from repro.fusion.faults import FaultPolicy
+from repro.types import Round
+from repro.vdx.factory import build_engine
+from repro.vdx.spec import VotingSpec
+
+
+def doc(**fault_policy):
+    return {
+        "algorithm_name": "guarded",
+        "history": "STANDARD",
+        "collation": "MEAN",
+        "fault_policy": fault_policy,
+    }
+
+
+class TestValidation:
+    def test_valid_policy_accepted(self):
+        spec = VotingSpec.from_dict(
+            doc(on_missing_majority="raise", missing_tolerance=0.25)
+        )
+        assert spec.fault_policy["on_missing_majority"] == "raise"
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(SpecificationError, match="fault_policy.retry"):
+            VotingSpec.from_dict(doc(retry=3))
+
+    def test_bad_action_rejected(self):
+        with pytest.raises(SpecificationError, match="on_conflict"):
+            VotingSpec.from_dict(doc(on_conflict="panic"))
+
+    def test_bad_tolerance_rejected(self):
+        with pytest.raises(SpecificationError, match="missing_tolerance"):
+            VotingSpec.from_dict(doc(missing_tolerance=1.5))
+
+    def test_non_object_rejected(self):
+        raw = doc()
+        raw["fault_policy"] = "strict"
+        with pytest.raises(SpecificationError, match="expected an object"):
+            VotingSpec.from_dict(raw)
+
+    def test_absent_policy_is_none(self):
+        spec = VotingSpec.from_dict({"algorithm_name": "x"})
+        assert spec.fault_policy is None
+        assert spec.build_fault_policy() is None
+
+
+class TestBuildFaultPolicy:
+    def test_defaults_merged(self):
+        spec = VotingSpec.from_dict(doc(on_conflict="skip"))
+        policy = spec.build_fault_policy()
+        assert isinstance(policy, FaultPolicy)
+        assert policy.on_conflict == "skip"
+        assert policy.on_missing_majority == "last_value"  # schema default
+        assert policy.missing_tolerance == 0.5
+
+    def test_round_trips_through_json(self):
+        spec = VotingSpec.from_dict(doc(on_quorum_failure="raise"))
+        again = VotingSpec.from_json(spec.to_json())
+        assert again.fault_policy == spec.fault_policy
+
+
+class TestEngineWiring:
+    def test_spec_policy_drives_engine(self):
+        spec = VotingSpec.from_dict(
+            doc(on_missing_majority="raise", missing_tolerance=0.4)
+        )
+        engine = build_engine(spec)
+        engine.process(Round.from_values(0, [1.0, 1.0, 1.0]))
+        with pytest.raises(FusionError):
+            engine.process(
+                Round.from_mapping(1, {"E1": 1.0, "E2": None, "E3": None})
+            )
+
+    def test_explicit_argument_wins_over_document(self):
+        spec = VotingSpec.from_dict(doc(on_missing_majority="raise"))
+        engine = build_engine(
+            spec, fault_policy=FaultPolicy(on_missing_majority="skip")
+        )
+        engine.process(Round.from_values(0, [1.0, 1.0, 1.0]))
+        result = engine.process(
+            Round.from_mapping(1, {"E1": 1.0, "E2": None, "E3": None})
+        )
+        assert result.status == "skipped"

@@ -1,0 +1,59 @@
+"""Tests for the declarative VDX schema."""
+
+from __future__ import annotations
+
+from repro.vdx.schema import (
+    COLLATION_MODES,
+    EXCLUSION_MODES,
+    FIELDS,
+    HISTORY_MODES,
+    PARAM_FIELDS,
+    QUORUM_MODES,
+    defaults,
+    describe,
+    field_names,
+)
+
+
+class TestSchemaContents:
+    def test_listing1_fields_all_present(self):
+        names = field_names()
+        for key in (
+            "algorithm_name",
+            "quorum",
+            "quorum_percentage",
+            "exclusion",
+            "exclusion_threshold",
+            "history",
+            "params",
+            "collation",
+            "bootstrapping",
+        ):
+            assert key in names
+
+    def test_history_modes_cover_paper_algorithms(self):
+        assert set(HISTORY_MODES) == {"NONE", "STANDARD", "ME", "SDT", "HYBRID"}
+
+    def test_collation_modes(self):
+        assert "MEAN_NEAREST_NEIGHBOR" in COLLATION_MODES
+        assert "WEIGHTED_MAJORITY" in COLLATION_MODES
+
+    def test_only_algorithm_name_required(self):
+        required = [f.name for f in FIELDS if f.required]
+        assert required == ["algorithm_name"]
+
+    def test_defaults_complete(self):
+        doc = defaults()
+        assert doc["quorum"] == "NONE"
+        assert doc["params"]["error"] == 0.05
+        assert doc["params"]["soft_threshold"] == 2
+
+    def test_param_fields_have_docs(self):
+        assert all(p.doc for p in PARAM_FIELDS)
+
+    def test_describe_mentions_every_field(self):
+        text = describe()
+        for f in FIELDS:
+            assert f.name in text
+        for mode in QUORUM_MODES + EXCLUSION_MODES:
+            assert mode in text

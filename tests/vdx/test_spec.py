@@ -1,0 +1,89 @@
+"""Tests for VotingSpec parsing and serialisation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import SpecificationError
+from repro.vdx.examples import LISTING_1
+from repro.vdx.spec import VotingSpec
+
+
+class TestParsing:
+    def test_listing1_round_trip(self):
+        spec = VotingSpec.from_dict(LISTING_1)
+        assert spec.algorithm_name == "AVOC"
+        assert spec.quorum == "UNTIL"
+        assert spec.history == "HYBRID"
+        assert spec.collation == "MEAN_NEAREST_NEIGHBOR"
+        assert spec.bootstrapping is True
+        assert spec.error == 0.05
+        assert spec.soft_threshold == 2
+
+    def test_enums_normalised_to_upper(self):
+        spec = VotingSpec.from_dict(
+            {"algorithm_name": "x", "history": "hybrid", "collation": "mean"}
+        )
+        assert spec.history == "HYBRID"
+        assert spec.collation == "MEAN"
+
+    def test_explicit_params_preserved_defaults_not_injected(self):
+        spec = VotingSpec.from_dict({"algorithm_name": "x"})
+        assert spec.params == {}
+        assert spec.effective_params["error"] == 0.05
+
+    def test_from_json(self):
+        spec = VotingSpec.from_json(json.dumps(LISTING_1))
+        assert spec.algorithm_name == "AVOC"
+
+    def test_invalid_json_raises_specification_error(self):
+        with pytest.raises(SpecificationError, match="invalid JSON"):
+            VotingSpec.from_json("{not json")
+
+    def test_invalid_document_raises(self):
+        with pytest.raises(SpecificationError):
+            VotingSpec.from_dict({"algorithm_name": "x", "history": "WRONG"})
+
+
+class TestSerialisation:
+    def test_dict_round_trip(self):
+        spec = VotingSpec.from_dict(LISTING_1)
+        again = VotingSpec.from_dict(spec.to_dict())
+        assert again == spec
+
+    def test_json_round_trip(self):
+        spec = VotingSpec.from_dict(LISTING_1)
+        again = VotingSpec.from_json(spec.to_json())
+        assert again == spec
+
+    def test_file_round_trip(self, tmp_path):
+        spec = VotingSpec.from_dict(LISTING_1)
+        path = tmp_path / "avoc.vdx.json"
+        spec.save(path)
+        assert VotingSpec.from_file(path) == spec
+
+
+class TestOverrides:
+    def test_with_overrides_replaces_field(self):
+        spec = VotingSpec.from_dict(LISTING_1)
+        derived = spec.with_overrides(bootstrapping=False)
+        assert derived.bootstrapping is False
+        assert spec.bootstrapping is True
+
+    def test_with_overrides_merges_params(self):
+        spec = VotingSpec.from_dict(LISTING_1)
+        derived = spec.with_overrides(params={"error": 0.1})
+        assert derived.error == 0.1
+        assert derived.soft_threshold == 2  # kept from original
+
+    def test_with_overrides_revalidates(self):
+        spec = VotingSpec.from_dict(LISTING_1)
+        with pytest.raises(SpecificationError):
+            spec.with_overrides(collation="WEIGHTED_MAJORITY")
+
+    def test_immutability(self):
+        spec = VotingSpec.from_dict(LISTING_1)
+        with pytest.raises(AttributeError):
+            spec.history = "NONE"

@@ -1,0 +1,124 @@
+"""Tests for VDX document validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SpecificationError
+from repro.vdx.validation import validate_document
+
+
+def valid_doc(**overrides):
+    doc = {
+        "algorithm_name": "AVOC",
+        "quorum": "UNTIL",
+        "quorum_percentage": 100,
+        "exclusion": "NONE",
+        "exclusion_threshold": 0,
+        "history": "HYBRID",
+        "params": {"error": 0.05, "soft_threshold": 2},
+        "collation": "MEAN_NEAREST_NEIGHBOR",
+        "bootstrapping": True,
+    }
+    doc.update(overrides)
+    return doc
+
+
+class TestFieldValidation:
+    def test_listing1_validates(self):
+        validate_document(valid_doc())
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(SpecificationError):
+            validate_document(["not", "a", "dict"])
+
+    def test_missing_algorithm_name(self):
+        doc = valid_doc()
+        del doc["algorithm_name"]
+        with pytest.raises(SpecificationError, match="algorithm_name"):
+            validate_document(doc)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(SpecificationError, match="unknown field"):
+            validate_document(valid_doc(extra_field=1))
+
+    def test_bad_enum_value(self):
+        with pytest.raises(SpecificationError, match="quorum"):
+            validate_document(valid_doc(quorum="WHENEVER"))
+
+    def test_bad_type(self):
+        with pytest.raises(SpecificationError, match="quorum_percentage"):
+            validate_document(valid_doc(quorum_percentage="all"))
+
+    def test_out_of_range_percentage(self):
+        with pytest.raises(SpecificationError, match="maximum"):
+            validate_document(valid_doc(quorum_percentage=150))
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(SpecificationError, match="params.magic"):
+            validate_document(valid_doc(params={"magic": 1}))
+
+    def test_nonpositive_error_rejected(self):
+        with pytest.raises(SpecificationError, match="params.error"):
+            validate_document(valid_doc(params={"error": 0}))
+
+    def test_params_must_be_object(self):
+        with pytest.raises(SpecificationError, match="params"):
+            validate_document(valid_doc(params=[1, 2]))
+
+    def test_all_problems_reported_together(self):
+        doc = valid_doc(quorum="WHENEVER", collation="MODE")
+        with pytest.raises(SpecificationError) as excinfo:
+            validate_document(doc)
+        assert len(excinfo.value.problems) >= 2
+
+
+class TestCategoricalRules:
+    def categorical_doc(self, **overrides):
+        doc = valid_doc(
+            value_type="CATEGORICAL",
+            history="STANDARD",
+            collation="WEIGHTED_MAJORITY",
+            bootstrapping=False,
+        )
+        doc.update(overrides)
+        return doc
+
+    def test_valid_categorical(self):
+        validate_document(self.categorical_doc())
+
+    def test_hybrid_history_rejected(self):
+        with pytest.raises(SpecificationError, match="HYBRID"):
+            validate_document(self.categorical_doc(history="HYBRID"))
+
+    def test_sdt_history_rejected(self):
+        with pytest.raises(SpecificationError, match="SDT"):
+            validate_document(self.categorical_doc(history="SDT"))
+
+    def test_bootstrap_rejected(self):
+        with pytest.raises(SpecificationError, match="bootstrapping"):
+            validate_document(self.categorical_doc(bootstrapping=True))
+
+    def test_value_exclusion_rejected(self):
+        with pytest.raises(SpecificationError, match="exclusion"):
+            validate_document(
+                self.categorical_doc(exclusion="DEVIATION", exclusion_threshold=2)
+            )
+
+    def test_non_majority_collation_rejected(self):
+        with pytest.raises(SpecificationError, match="WEIGHTED_MAJORITY"):
+            validate_document(self.categorical_doc(collation="MEAN"))
+
+    def test_numeric_cannot_use_weighted_majority(self):
+        with pytest.raises(SpecificationError, match="reserved"):
+            validate_document(valid_doc(collation="WEIGHTED_MAJORITY"))
+
+
+class TestCrossFieldRules:
+    def test_until_quorum_requires_positive_percentage(self):
+        with pytest.raises(SpecificationError, match="quorum_percentage"):
+            validate_document(valid_doc(quorum="UNTIL", quorum_percentage=0))
+
+    def test_exclusion_requires_positive_threshold(self):
+        with pytest.raises(SpecificationError, match="exclusion_threshold"):
+            validate_document(valid_doc(exclusion="DEVIATION", exclusion_threshold=0))

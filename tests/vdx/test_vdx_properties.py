@@ -1,0 +1,96 @@
+"""Property-based tests for VDX: any valid document survives the
+parse → serialise → parse → build pipeline."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.types import Round
+from repro.vdx.factory import build_voter
+from repro.vdx.spec import VotingSpec
+
+_names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-_ ",
+    min_size=1,
+    max_size=30,
+)
+
+
+@st.composite
+def numeric_documents(draw):
+    """Valid NUMERIC VDX documents covering the whole feature space."""
+    quorum = draw(st.sampled_from(["NONE", "ANY", "UNTIL"]))
+    exclusion = draw(st.sampled_from(["NONE", "DEVIATION", "RANGE"]))
+    doc = {
+        "algorithm_name": draw(_names),
+        "quorum": quorum,
+        "exclusion": exclusion,
+        "history": draw(st.sampled_from(["NONE", "STANDARD", "ME", "SDT",
+                                         "HYBRID"])),
+        "collation": draw(
+            st.sampled_from(["MEAN", "MEDIAN", "MEAN_NEAREST_NEIGHBOR"])
+        ),
+        "bootstrapping": draw(st.booleans()),
+        "params": {
+            "error": draw(
+                st.floats(min_value=0.001, max_value=0.5, allow_nan=False)
+            ),
+            "soft_threshold": draw(
+                st.floats(min_value=1.0, max_value=10.0, allow_nan=False)
+            ),
+        },
+    }
+    if quorum == "UNTIL":
+        doc["quorum_percentage"] = draw(
+            st.floats(min_value=1.0, max_value=100.0, allow_nan=False)
+        )
+    if exclusion != "NONE":
+        doc["exclusion_threshold"] = draw(
+            st.floats(min_value=0.1, max_value=10.0, allow_nan=False)
+        )
+    return doc
+
+
+@st.composite
+def categorical_documents(draw):
+    """Valid CATEGORICAL documents (the §6 restrictions baked in)."""
+    return {
+        "algorithm_name": draw(_names),
+        "history": draw(st.sampled_from(["NONE", "STANDARD", "ME"])),
+        "collation": "WEIGHTED_MAJORITY",
+        "value_type": "CATEGORICAL",
+    }
+
+
+class TestRoundTripProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(doc=numeric_documents())
+    def test_parse_serialise_parse_is_identity(self, doc):
+        spec = VotingSpec.from_dict(doc)
+        assert VotingSpec.from_json(spec.to_json()) == spec
+
+    @settings(max_examples=60, deadline=None)
+    @given(doc=numeric_documents())
+    def test_every_valid_numeric_document_builds_a_working_voter(self, doc):
+        voter = build_voter(VotingSpec.from_dict(doc))
+        outcome = voter.vote(Round.from_values(0, [18.0, 18.1, 17.9, 18.05]))
+        # Full submission: quorum is always satisfiable, so a value must
+        # come out and lie within the candidate range.
+        assert outcome.value is not None
+        assert 17.9 - 1e-9 <= outcome.value <= 18.1 + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(doc=categorical_documents())
+    def test_every_valid_categorical_document_builds_a_voter(self, doc):
+        voter = build_voter(VotingSpec.from_dict(doc))
+        outcome = voter.vote(Round.from_values(0, ["up", "up", "down"]))
+        assert outcome.value == "up"
+
+    @settings(max_examples=40, deadline=None)
+    @given(doc=numeric_documents())
+    def test_with_overrides_preserves_validity(self, doc):
+        spec = VotingSpec.from_dict(doc)
+        derived = spec.with_overrides(algorithm_name="derived")
+        assert derived.algorithm_name == "derived"
+        assert derived.history == spec.history

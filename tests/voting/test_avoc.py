@@ -1,0 +1,102 @@
+"""Tests for the AVOC voter (the paper's contribution)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.types import Round
+from repro.voting.avoc import AvocVoter
+from repro.voting.hybrid import HybridVoter
+
+FAULTY = [18.0, 18.1, 17.9, 24.0, 18.05]
+HEALTHY = [18.0, 18.1, 17.9, 18.02, 18.05]
+
+
+class TestBootstrapTrigger:
+    def test_bootstraps_on_fresh_records(self):
+        outcome = AvocVoter().vote(Round.from_values(0, FAULTY))
+        assert outcome.used_bootstrap
+
+    def test_does_not_bootstrap_after_first_round(self):
+        voter = AvocVoter()
+        voter.vote(Round.from_values(0, FAULTY))
+        second = voter.vote(Round.from_values(1, FAULTY))
+        assert not second.used_bootstrap
+
+    def test_bootstraps_again_on_total_record_collapse(self):
+        voter = AvocVoter()
+        voter.vote(Round.from_values(0, HEALTHY))
+        # Drive every record to (near) zero: all modules disagree with
+        # each other for many rounds.
+        spread = [10.0, 30.0, 50.0, 70.0, 90.0]
+        bootstrap_seen = False
+        for i in range(1, 40):
+            outcome = voter.vote(Round.from_values(i, spread))
+            if outcome.used_bootstrap:
+                bootstrap_seen = True
+                break
+        assert bootstrap_seen
+
+    def test_mode_never_disables_bootstrap(self):
+        params = AvocVoter.default_params().with_overrides(bootstrap_mode="never")
+        outcome = AvocVoter(params).vote(Round.from_values(0, FAULTY))
+        assert not outcome.used_bootstrap
+
+    def test_mode_always_bootstraps_every_round(self):
+        params = AvocVoter.default_params().with_overrides(bootstrap_mode="always")
+        voter = AvocVoter(params)
+        for i in range(3):
+            assert voter.vote(Round.from_values(i, FAULTY)).used_bootstrap
+
+
+class TestBootstrapEffect:
+    def test_first_round_output_excludes_outlier(self):
+        # The whole point of AVOC: no startup spike (§5, Fig. 6-f).
+        avoc_out = AvocVoter().vote(Round.from_values(0, FAULTY)).value
+        hybrid_out = HybridVoter().vote(Round.from_values(0, FAULTY)).value
+        healthy_mean = sum(v for i, v in enumerate(FAULTY) if i != 3) / 4
+        assert abs(avoc_out - healthy_mean) < abs(hybrid_out - healthy_mean) + 1e-9
+        assert avoc_out != 24.0
+
+    def test_history_seeded_from_cluster_membership(self):
+        voter = AvocVoter()
+        voter.vote(Round.from_values(0, FAULTY))
+        records = voter.history.snapshot()
+        assert records["E4"] == 0.0
+        assert all(records[m] == 1.0 for m in ("E1", "E2", "E3", "E5"))
+
+    def test_outlier_eliminated_from_round_two(self):
+        # "the voter already learns to exclude [the outlier] from round
+        # 2, returning to its pre-error output almost instantly".
+        voter = AvocVoter()
+        voter.vote(Round.from_values(0, FAULTY))
+        second = voter.vote(Round.from_values(1, FAULTY))
+        assert "E4" in second.eliminated
+        assert not second.used_bootstrap
+
+    def test_excludes_outlier_strictly_earlier_than_hybrid(self):
+        avoc, hybrid = AvocVoter(), HybridVoter()
+
+        def first_exclusion(voter):
+            for i in range(10):
+                outcome = voter.vote(Round.from_values(i, FAULTY))
+                if outcome.weights.get("E4", 1.0) == 0.0:
+                    return i
+            return 10
+
+        assert first_exclusion(avoc) == 0
+        assert first_exclusion(hybrid) >= 3
+
+    def test_bootstraps_used_counter(self):
+        voter = AvocVoter()
+        assert voter.bootstraps_used == 0
+        voter.vote(Round.from_values(0, FAULTY))
+        assert voter.bootstraps_used == 1
+        voter.reset()
+        assert voter.bootstraps_used == 0
+
+    def test_clean_data_bootstrap_matches_consensus(self):
+        outcome = AvocVoter().vote(Round.from_values(0, HEALTHY))
+        assert outcome.used_bootstrap
+        assert outcome.eliminated == ()
+        assert outcome.value == pytest.approx(18.02, abs=0.05)

@@ -1,0 +1,86 @@
+"""Tests for categorical weighted-majority voting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError, NoMajorityError
+from repro.types import Round
+from repro.voting.categorical import CategoricalMajorityVoter
+
+
+class TestBasics:
+    def test_simple_majority(self):
+        voter = CategoricalMajorityVoter()
+        outcome = voter.vote_values(["open", "open", "closed"])
+        assert outcome.value == "open"
+
+    def test_history_weights_reduce_liar_influence(self):
+        voter = CategoricalMajorityVoter(history_mode="standard")
+        # E3 lies consistently; its record decays.
+        for i in range(20):
+            voter.vote(Round.from_values(i, ["open", "open", "closed"]))
+        assert voter.history.get("E3") < voter.history.get("E1")
+
+    def test_me_mode_eliminates_liar(self):
+        voter = CategoricalMajorityVoter(history_mode="me")
+        voter.vote_values(["open", "open", "closed"])
+        outcome = voter.vote_values(["open", "open", "closed"])
+        assert "E3" in outcome.eliminated
+        assert outcome.weights["E3"] == 0.0
+
+    def test_none_mode_is_stateless(self):
+        voter = CategoricalMajorityVoter(history_mode="none")
+        for i in range(5):
+            voter.vote(Round.from_values(i, ["a", "a", "b"]))
+        assert voter.history.update_count == 0
+
+    def test_unknown_history_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CategoricalMajorityVoter(history_mode="hybrid")
+
+
+class TestTieHandling:
+    def test_tie_breaks_toward_previous_output(self):
+        voter = CategoricalMajorityVoter(history_mode="none")
+        voter.vote_values(["b", "b", "a"])
+        outcome = voter.vote_values(["a", "b"])
+        assert outcome.value == "b"
+
+    def test_unresolvable_tie_raises(self):
+        voter = CategoricalMajorityVoter(history_mode="none")
+        with pytest.raises(NoMajorityError):
+            voter.vote_values(["a", "b"])
+
+
+class TestCustomDistance:
+    def test_distance_metric_extends_agreement(self):
+        # §6: implementers "may re-introduce some of these features by
+        # supplying a custom distance metric for categorical values".
+        def edit0(a, b):
+            return 0.0 if a.lower() == b.lower() else 1.0
+
+        voter = CategoricalMajorityVoter(distance=edit0, tolerance=0.5)
+        voter.vote_values(["OPEN", "open", "open", "closed"])
+        # "OPEN" equals the winner "open" under the metric, so its
+        # record must not have been penalised.
+        assert voter.history.get("E1") == 1.0
+        assert voter.history.get("E4") < 1.0
+
+    def test_tolerance_without_distance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CategoricalMajorityVoter(tolerance=0.5)
+
+
+class TestJsonBlobValues:
+    def test_votes_on_hashable_blobs(self):
+        blob_a = '{"state": "ok"}'
+        blob_b = '{"state": "fail"}'
+        outcome = CategoricalMajorityVoter().vote_values([blob_a, blob_a, blob_b])
+        assert outcome.value == blob_a
+
+    def test_reset(self):
+        voter = CategoricalMajorityVoter()
+        voter.vote_values(["x", "x", "y"])
+        voter.reset()
+        assert voter.history.update_count == 0

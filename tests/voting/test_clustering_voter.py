@@ -1,0 +1,60 @@
+"""Tests for Clustering-Only Voting (COV)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.types import Round
+from repro.voting.base import VoterParams
+from repro.voting.clustering_voter import ClusteringOnlyVoter
+
+FAULTY = [18.0, 18.1, 17.9, 24.0, 18.05]
+
+
+class TestOutlierExclusion:
+    def test_outlier_excluded_from_round_one(self):
+        # §7: unlike Me, the clustering voter excludes the faulty module
+        # "also from the first round" — no history warm-up needed.
+        outcome = ClusteringOnlyVoter().vote(Round.from_values(0, FAULTY))
+        assert "E4" in outcome.eliminated
+        assert outcome.weights["E4"] == 0.0
+
+    def test_output_is_healthy_mean(self):
+        outcome = ClusteringOnlyVoter().vote(Round.from_values(0, FAULTY))
+        healthy_mean = sum(v for i, v in enumerate(FAULTY) if i != 3) / 4
+        assert outcome.value == pytest.approx(healthy_mean)
+
+    def test_statelessness(self):
+        voter = ClusteringOnlyVoter()
+        first = voter.vote(Round.from_values(0, FAULTY)).value
+        second = voter.vote(Round.from_values(1, FAULTY)).value
+        assert first == second
+
+    def test_all_agreeing_keeps_everyone(self):
+        outcome = ClusteringOnlyVoter().vote_values([5.0, 5.01, 5.02])
+        assert outcome.eliminated == ()
+        assert outcome.value == pytest.approx(5.01)
+
+    def test_used_bootstrap_flag_set(self):
+        outcome = ClusteringOnlyVoter().vote(Round.from_values(0, FAULTY))
+        assert outcome.used_bootstrap
+
+
+class TestCollationOptions:
+    def test_mnn_collation_picks_member_value(self):
+        params = VoterParams(collation="MEAN_NEAREST_NEIGHBOR")
+        outcome = ClusteringOnlyVoter(params).vote(Round.from_values(0, FAULTY))
+        assert outcome.value in FAULTY
+        assert outcome.value != 24.0
+
+
+class TestDiagnostics:
+    def test_reports_cluster_sizes_and_margin(self):
+        outcome = ClusteringOnlyVoter().vote(Round.from_values(0, FAULTY))
+        assert outcome.diagnostics["cluster_sizes"][0] == 4
+        assert outcome.diagnostics["margin"] > 0
+
+    def test_split_vote_prefers_larger_group(self):
+        # 3 values near 10, 2 near 20: the 10-group wins.
+        outcome = ClusteringOnlyVoter().vote_values([10.0, 10.1, 9.9, 20.0, 20.1])
+        assert outcome.value == pytest.approx(10.0, abs=0.2)

@@ -1,0 +1,132 @@
+"""Tests for collation methods."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError, NoMajorityError
+from repro.voting.collation import (
+    collate,
+    mean_nearest_neighbour,
+    weighted_mean,
+    weighted_median,
+    weighted_plurality,
+)
+
+
+class TestWeightedMean:
+    def test_unweighted(self):
+        assert weighted_mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_weighted(self):
+        assert weighted_mean([1.0, 3.0], [3.0, 1.0]) == pytest.approx(1.5)
+
+    def test_zero_weights_fall_back_to_plain_mean(self):
+        assert weighted_mean([1.0, 5.0], [0.0, 0.0]) == pytest.approx(3.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_mean([])
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_mean([1.0], [-1.0])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_mean([1.0, 2.0], [1.0])
+
+
+class TestMeanNearestNeighbour:
+    def test_returns_a_candidate_value(self):
+        values = [1.0, 2.0, 10.0]
+        result = mean_nearest_neighbour(values)
+        assert result in values
+
+    def test_picks_value_closest_to_weighted_mean(self):
+        # Weighted mean of [0, 10] with weights [1, 3] is 7.5 -> picks 10.
+        assert mean_nearest_neighbour([0.0, 10.0], [1.0, 3.0]) == 10.0
+
+    def test_zero_weight_candidates_excluded(self):
+        # Weighted mean of [0, 1.2] with weights [1, 2] is 0.8; the
+        # zero-weighted 0.7 is closest but ineligible, so 1.2 wins.
+        result = mean_nearest_neighbour([0.0, 1.2, 0.7], [1.0, 2.0, 0.0])
+        assert result == 1.2
+
+    def test_all_zero_weights_fall_back_to_all_candidates(self):
+        result = mean_nearest_neighbour([0.0, 1.0, 4.0], [0.0, 0.0, 0.0])
+        # Fallback mean is 5/3; nearest candidate is 1.0.
+        assert result == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_nearest_neighbour([])
+
+
+class TestWeightedMedian:
+    def test_odd_unweighted(self):
+        assert weighted_median([3.0, 1.0, 2.0]) == 2.0
+
+    def test_is_a_candidate_value(self):
+        values = [5.0, 1.0, 9.0, 2.0]
+        assert weighted_median(values) in values
+
+    def test_weights_shift_median(self):
+        assert weighted_median([1.0, 2.0, 3.0], [5.0, 1.0, 1.0]) == 1.0
+
+    def test_zero_weights_fall_back(self):
+        assert weighted_median([1.0, 2.0, 3.0], [0.0, 0.0, 0.0]) == 2.0
+
+
+class TestWeightedPlurality:
+    def test_majority_wins(self):
+        winner, tallies = weighted_plurality(["open", "open", "closed"])
+        assert winner == "open"
+        assert tallies == {"open": 2.0, "closed": 1.0}
+
+    def test_weights_can_flip_result(self):
+        winner, _ = weighted_plurality(
+            ["open", "open", "closed"], [0.1, 0.1, 1.0]
+        )
+        assert winner == "closed"
+
+    def test_tie_without_break_raises(self):
+        with pytest.raises(NoMajorityError):
+            weighted_plurality(["a", "b"])
+
+    def test_tie_break_resolves(self):
+        winner, _ = weighted_plurality(["a", "b"], tie_break="b")
+        assert winner == "b"
+
+    def test_tie_break_must_be_among_winners(self):
+        with pytest.raises(NoMajorityError):
+            weighted_plurality(["a", "b"], tie_break="c")
+
+    def test_all_zero_weights_fall_back_to_counts(self):
+        winner, _ = weighted_plurality(["a", "a", "b"], [0.0, 0.0, 0.0])
+        assert winner == "a"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_plurality([])
+
+
+class TestCollateDispatch:
+    def test_mean(self):
+        assert collate("MEAN", [1.0, 3.0]) == 2.0
+
+    def test_case_insensitive(self):
+        assert collate("mean", [1.0, 3.0]) == 2.0
+
+    def test_median(self):
+        assert collate("MEDIAN", [1.0, 2.0, 9.0]) == 2.0
+
+    def test_mnn(self):
+        assert collate("MEAN_NEAREST_NEIGHBOR", [1.0, 2.0, 9.0]) == 2.0
+
+    def test_weighted_majority(self):
+        assert collate("WEIGHTED_MAJORITY", ["x", "x", "y"]) == "x"
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ConfigurationError):
+            collate("MODE", [1.0])

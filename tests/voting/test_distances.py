@@ -1,0 +1,135 @@
+"""Tests for categorical distance metrics."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.voting.categorical import CategoricalMajorityVoter
+from repro.voting.distances import (
+    exact,
+    json_blob_distance,
+    levenshtein,
+    normalized_levenshtein,
+    token_jaccard,
+)
+
+
+class TestExact:
+    def test_equal(self):
+        assert exact("a", "a") == 0.0
+        assert exact(1, 1.0) == 0.0
+
+    def test_unequal(self):
+        assert exact("a", "b") == 1.0
+
+
+class TestLevenshtein:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            ("", "", 0),
+            ("abc", "abc", 0),
+            ("abc", "", 3),
+            ("", "xy", 2),
+            ("kitten", "sitting", 3),
+            ("flaw", "lawn", 2),
+            ("open", "opened", 2),
+        ],
+    )
+    def test_known_distances(self, a, b, expected):
+        assert levenshtein(a, b) == expected
+
+    @given(st.text(max_size=15), st.text(max_size=15))
+    def test_symmetry(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(st.text(max_size=15))
+    def test_identity(self, a):
+        assert levenshtein(a, a) == 0.0
+
+    @settings(max_examples=40)
+    @given(st.text(max_size=10), st.text(max_size=10), st.text(max_size=10))
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+
+class TestNormalizedLevenshtein:
+    def test_in_unit_interval(self):
+        assert normalized_levenshtein("abc", "xyz") == 1.0
+        assert normalized_levenshtein("", "") == 0.0
+        assert 0.0 < normalized_levenshtein("open", "opened") < 1.0
+
+    @given(st.text(max_size=15), st.text(max_size=15))
+    def test_bounded(self, a, b):
+        assert 0.0 <= normalized_levenshtein(a, b) <= 1.0
+
+
+class TestTokenJaccard:
+    def test_identical_token_sets(self):
+        assert token_jaccard("door open now", "now open door") == 0.0
+
+    def test_disjoint(self):
+        assert token_jaccard("a b", "c d") == 1.0
+
+    def test_partial_overlap(self):
+        assert token_jaccard("a b c", "b c d") == pytest.approx(0.5)
+
+    def test_empty_strings(self):
+        assert token_jaccard("", "") == 0.0
+
+
+class TestJsonBlobDistance:
+    def test_identical_documents(self):
+        assert json_blob_distance('{"a": 1}', '{"a":1}') == 0.0
+
+    def test_key_order_irrelevant(self):
+        assert json_blob_distance('{"a":1,"b":2}', '{"b":2,"a":1}') == 0.0
+
+    def test_one_leaf_of_two_differs(self):
+        d = json_blob_distance('{"a":1,"b":2}', '{"a":1,"b":3}')
+        assert d == pytest.approx(0.5)
+
+    def test_missing_key_counts(self):
+        d = json_blob_distance('{"a":1}', '{"a":1,"b":2}')
+        assert d == pytest.approx(0.5)
+
+    def test_nested_structures(self):
+        a = '{"state": {"door": "open", "lock": true}}'
+        b = '{"state": {"door": "open", "lock": false}}'
+        assert json_blob_distance(a, b) == pytest.approx(0.5)
+
+    def test_lists_compared_positionally(self):
+        assert json_blob_distance("[1, 2, 3]", "[1, 2, 4]") == pytest.approx(1 / 3)
+
+    def test_non_json_falls_back_to_edit_distance(self):
+        assert json_blob_distance("not json", "not json") == 0.0
+        assert 0.0 < json_blob_distance("not json{", "also not [") <= 1.0
+
+
+class TestVoterIntegration:
+    def test_fuzzy_string_voting(self):
+        voter = CategoricalMajorityVoter(
+            distance=normalized_levenshtein, tolerance=0.25
+        )
+        voter.vote_values(["opened", "opend", "opened", "closed"])
+        # "opend" (typo) is within tolerance of the winner "opened":
+        # its record is not penalised; "closed" is.
+        assert voter.history.get("E2") == 1.0
+        assert voter.history.get("E4") < 1.0
+
+    def test_json_blob_voting(self):
+        blob = '{"door": "open", "battery": %d}'
+        voter = CategoricalMajorityVoter(
+            distance=json_blob_distance, tolerance=0.6
+        )
+        values = [blob % 97, blob % 97, blob % 96, '{"door": "closed"}']
+        outcome = voter.vote_values(values)
+        assert json.loads(outcome.value)["door"] == "open"
+        # The near-identical blob agrees under the metric; the
+        # contradictory one does not.
+        assert voter.history.get("E3") == 1.0
+        assert voter.history.get("E4") < 1.0

@@ -1,0 +1,90 @@
+"""Edge-case battery: every numeric algorithm against degenerate rounds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.types import Round
+from repro.voting.registry import create_voter
+
+NUMERIC_ALGORITHMS = (
+    "average",
+    "median",
+    "awa",
+    "standard",
+    "me",
+    "sdt",
+    "hybrid",
+    "clustering",
+    "avoc",
+    "mlv",
+)
+
+
+@pytest.mark.parametrize("algorithm", NUMERIC_ALGORITHMS)
+class TestDegenerateRounds:
+    def test_single_module(self, algorithm):
+        outcome = create_voter(algorithm).vote_values([42.0])
+        assert outcome.value == 42.0
+
+    def test_two_disagreeing_modules(self, algorithm):
+        # No majority exists; the output must still be defined and lie
+        # within the candidate range.
+        outcome = create_voter(algorithm).vote_values([10.0, 30.0])
+        assert 10.0 <= outcome.value <= 30.0
+
+    def test_all_identical_values(self, algorithm):
+        voter = create_voter(algorithm)
+        for i in range(3):
+            outcome = voter.vote(Round.from_values(i, [5.5, 5.5, 5.5]))
+            assert outcome.value == 5.5
+
+    def test_all_zero_values(self, algorithm):
+        # Median-based margin is zero here; the min_margin floor must
+        # keep agreement defined.
+        outcome = create_voter(algorithm).vote_values([0.0, 0.0, 0.0])
+        assert outcome.value == 0.0
+
+    def test_negative_values(self, algorithm):
+        # RSSI-style data.
+        outcome = create_voter(algorithm).vote_values([-70.0, -71.0, -69.0])
+        assert outcome.value == pytest.approx(-70.0, abs=1.0)
+
+    def test_huge_magnitudes(self, algorithm):
+        values = [1e9, 1.001e9, 0.999e9]
+        outcome = create_voter(algorithm).vote_values(values)
+        assert outcome.value == pytest.approx(1e9, rel=0.01)
+
+    def test_tiny_magnitudes(self, algorithm):
+        values = [1e-9, 1.1e-9, 0.9e-9]
+        outcome = create_voter(algorithm).vote_values(values)
+        assert 0.0 < outcome.value < 2e-9
+
+    def test_integer_inputs_accepted(self, algorithm):
+        outcome = create_voter(algorithm).vote_values([18, 18, 19])
+        assert isinstance(outcome.value, float)
+
+    def test_long_run_history_stays_bounded(self, algorithm):
+        voter = create_voter(algorithm)
+        rng = np.random.default_rng(0)
+        for i in range(200):
+            values = list(18.0 + rng.normal(0, 0.5, 4))
+            voter.vote(Round.from_values(i, values))
+        if getattr(voter, "stateful", False) and hasattr(voter, "history"):
+            for record in voter.history.snapshot().values():
+                assert 0.0 <= record <= 1.0
+
+
+class TestMixedSignRounds:
+    @pytest.mark.parametrize("algorithm", ("avoc", "clustering", "me"))
+    def test_values_straddling_zero(self, algorithm):
+        # Median near zero: the dynamic margin collapses to the floor,
+        # so nothing agrees — but the vote must still produce a value.
+        outcome = create_voter(algorithm).vote_values([-1.0, 0.0, 1.0])
+        assert -1.0 <= outcome.value <= 1.0
+
+    def test_outlier_among_negatives(self):
+        outcome = create_voter("avoc").vote_values([-70.0, -71.0, -69.0, -20.0])
+        assert "E4" in outcome.eliminated
+        assert outcome.value == pytest.approx(-70.0, abs=1.5)

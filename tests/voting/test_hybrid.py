@@ -1,0 +1,73 @@
+"""Tests for the Hybrid voter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.types import Round
+from repro.voting.hybrid import HybridVoter
+
+FAULTY = [18.0, 18.1, 17.9, 24.0, 18.05]
+
+
+class TestCollation:
+    def test_output_is_a_submitted_value(self):
+        # Hybrid selects (mean nearest neighbour), never amalgamates.
+        voter = HybridVoter()
+        for i in range(10):
+            outcome = voter.vote(Round.from_values(i, FAULTY))
+            assert outcome.value in FAULTY
+
+    def test_clean_data_picks_central_value(self):
+        outcome = HybridVoter().vote_values([18.0, 18.1, 17.9, 18.15, 18.05])
+        assert outcome.value == pytest.approx(18.05)
+
+
+class TestEliminationDynamics:
+    def test_faulty_record_decays_across_cutoff(self):
+        voter = HybridVoter()
+        eliminated_at = None
+        for i in range(10):
+            outcome = voter.vote(Round.from_values(i, FAULTY))
+            if "E4" in outcome.eliminated and eliminated_at is None:
+                eliminated_at = i
+        # lr=0.25 decays 1 -> 0.75 -> 0.5625 -> 0.42: crosses the 0.5
+        # cutoff on the third update, eliminated from round 3.
+        assert eliminated_at == 3
+
+    def test_output_matches_healthy_consensus_after_elimination(self):
+        voter = HybridVoter()
+        outcome = None
+        for i in range(10):
+            outcome = voter.vote(Round.from_values(i, FAULTY))
+        assert outcome.value != 24.0
+        assert abs(outcome.value - 18.0) < 0.3
+
+    def test_healthy_modules_never_eliminated_on_clean_data(self):
+        voter = HybridVoter()
+        for i in range(50):
+            outcome = voter.vote(Round.from_values(i, [5.0, 5.01, 4.99, 5.02]))
+            assert outcome.eliminated == ()
+
+    def test_eliminated_module_recovers_when_healed(self):
+        voter = HybridVoter()
+        for i in range(6):
+            voter.vote(Round.from_values(i, FAULTY))
+        healed = [18.0, 18.1, 17.9, 18.02, 18.05]
+        reinstated = False
+        for i in range(6, 30):
+            outcome = voter.vote(Round.from_values(i, healed))
+            if "E4" not in outcome.eliminated:
+                reinstated = True
+                break
+        assert reinstated
+
+
+class TestStartupSpike:
+    def test_first_round_uses_uniform_weights(self):
+        # §5: history voters fall back to a standard (unweighted)
+        # approach until a record exists — with fresh records all equal
+        # to 1 the weighted mean IS the plain mean, so the MNN pick is
+        # referenced to the skewed mean.
+        outcome = HybridVoter().vote_values(FAULTY)
+        assert all(w == 1.0 for w in outcome.weights.values())

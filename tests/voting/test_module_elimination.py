@@ -1,0 +1,61 @@
+"""Tests for the Module Elimination (Me) voter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.types import Round
+from repro.voting.module_elimination import ModuleEliminationVoter
+
+FAULTY = [18.0, 18.1, 17.9, 24.0, 18.05]
+
+
+class TestElimination:
+    def test_faulty_module_eliminated_in_round_two(self):
+        # The paper: "the faulty sensor is quickly eliminated in round 2,
+        # as performing below average compared to the rest" (1-indexed;
+        # our round index 1).
+        voter = ModuleEliminationVoter()
+        first = voter.vote(Round.from_values(0, FAULTY))
+        assert "E4" not in first.eliminated  # fresh records: no baseline yet
+        second = voter.vote(Round.from_values(1, FAULTY))
+        assert "E4" in second.eliminated
+        assert second.weights["E4"] == 0.0
+
+    def test_output_recovers_after_elimination(self):
+        voter = ModuleEliminationVoter()
+        voter.vote(Round.from_values(0, FAULTY))
+        outcome = voter.vote(Round.from_values(1, FAULTY))
+        healthy_mean = sum(v for i, v in enumerate(FAULTY) if i != 3) / 4
+        assert outcome.value == pytest.approx(healthy_mean, abs=0.01)
+
+    def test_eliminated_module_history_keeps_updating(self):
+        # §4: zero-weighted modules still update their records "by
+        # submitting better values, even if discarded in the voting".
+        voter = ModuleEliminationVoter()
+        voter.vote(Round.from_values(0, FAULTY))
+        voter.vote(Round.from_values(1, FAULTY))
+        record_while_bad = voter.history.get("E4")
+        # E4 heals: submits agreeing values from now on.
+        healed = [18.0, 18.1, 17.9, 18.02, 18.05]
+        for i in range(2, 30):
+            voter.vote(Round.from_values(i, healed))
+        assert voter.history.get("E4") > record_while_bad
+
+    def test_healed_module_eventually_reinstated(self):
+        voter = ModuleEliminationVoter()
+        for i in range(5):
+            voter.vote(Round.from_values(i, FAULTY))
+        healed = [18.0, 18.1, 17.9, 18.02, 18.05]
+        outcome = None
+        for i in range(5, 4000):
+            outcome = voter.vote(Round.from_values(i, healed))
+            if "E4" not in outcome.eliminated:
+                break
+        assert "E4" not in outcome.eliminated
+
+    def test_no_elimination_on_clean_data(self):
+        voter = ModuleEliminationVoter()
+        for i in range(10):
+            outcome = voter.vote(Round.from_values(i, [5.0, 5.0, 5.0, 5.0]))
+        assert outcome.eliminated == ()

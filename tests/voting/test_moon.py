@@ -1,0 +1,115 @@
+"""Tests for the M-out-of-N exact-agreement voter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.stats import availability
+from repro.exceptions import ConfigurationError, NoMajorityError
+from repro.fusion.engine import FusionEngine
+from repro.fusion.faults import FaultPolicy
+from repro.types import Round
+from repro.voting.base import VoterParams
+from repro.voting.moon import MooNVoter
+from repro.voting.registry import create_voter
+
+
+class TestBasics:
+    def test_2oo3_with_agreement(self):
+        voter = MooNVoter(m=2)
+        outcome = voter.vote_values([10.0, 10.1, 99.0])
+        assert outcome.value == pytest.approx(10.05)
+        assert outcome.eliminated == ("E3",)
+        assert outcome.diagnostics["agreeing"] == 2
+
+    def test_no_agreement_raises(self):
+        voter = MooNVoter(m=2)
+        with pytest.raises(NoMajorityError, match="2 required"):
+            voter.vote_values([10.0, 50.0, 99.0])
+        assert voter.rounds_without_output == 1
+
+    def test_m_of_one_always_answers(self):
+        voter = MooNVoter(m=1)
+        assert voter.vote_values([42.0]).value == 42.0
+
+    def test_higher_m_is_stricter(self):
+        values = [10.0, 10.05, 10.1, 50.0]
+        assert MooNVoter(m=3).vote_values(values).value is not None
+        with pytest.raises(NoMajorityError):
+            MooNVoter(m=4).vote_values(values)
+
+    def test_exact_agreement_ignores_soft_zone(self):
+        # A value 1.5 margins away agrees softly but NOT exactly.
+        params = VoterParams(error=0.05, soft_threshold=4.0)
+        voter = MooNVoter(m=3, params=params)
+        with pytest.raises(NoMajorityError):
+            voter.vote_values([10.0, 10.1, 10.75])
+
+    def test_invalid_m(self):
+        with pytest.raises(ConfigurationError):
+            MooNVoter(m=0)
+
+    def test_registered(self):
+        voter = create_voter("moon", m=3)
+        assert voter.m == 3
+        assert voter.name == "3ooN"
+
+    def test_reset(self):
+        voter = MooNVoter(m=3)
+        with pytest.raises(NoMajorityError):
+            voter.vote_values([1.0, 50.0, 99.0])
+        voter.reset()
+        assert voter.rounds_without_output == 0
+
+
+class TestEngineIntegration:
+    def test_no_quorum_round_held_by_policy(self):
+        engine = FusionEngine(
+            MooNVoter(m=3),
+            fault_policy=FaultPolicy(on_conflict="last_value"),
+        )
+        good = engine.process(Round.from_values(0, [5.0, 5.0, 5.0]))
+        assert good.ok
+        degraded = engine.process(Round.from_values(1, [1.0, 50.0, 99.0]))
+        assert degraded.status == "held"
+        assert degraded.value == 5.0
+
+    def test_availability_metric(self):
+        engine = FusionEngine(
+            MooNVoter(m=3), fault_policy=FaultPolicy(on_conflict="skip")
+        )
+        rounds = [
+            [5.0, 5.0, 5.0],
+            [1.0, 50.0, 99.0],  # no 3-way agreement
+            [5.0, 5.0, 5.1],
+            [1.0, 2.0, 99.0],  # no 3-way agreement
+        ]
+        results = [engine.process(Round.from_values(i, v)) for i, v in enumerate(rounds)]
+        assert availability([r.status for r in results]) == 0.5
+
+    def test_integrity_vs_availability_tradeoff(self):
+        # Stricter M answers less often but is never wrong about
+        # which group it answers from.
+        noisy_rounds = [
+            [10.0, 10.05, 40.0, 70.0],
+            [10.0, 45.0, 45.2, 80.0],
+            [10.0, 10.02, 10.04, 70.0],
+        ]
+        loose = FusionEngine(MooNVoter(m=2), fault_policy=FaultPolicy(on_conflict="skip"))
+        strict = FusionEngine(MooNVoter(m=3), fault_policy=FaultPolicy(on_conflict="skip"))
+        loose_results = [loose.process(Round.from_values(i, v)) for i, v in enumerate(noisy_rounds)]
+        strict_results = [strict.process(Round.from_values(i, v)) for i, v in enumerate(noisy_rounds)]
+        loose_avail = availability([r.status for r in loose_results])
+        strict_avail = availability([r.status for r in strict_results])
+        assert strict_avail < loose_avail
+
+
+class TestAvailabilityHelper:
+    def test_empty(self):
+        assert availability([]) == 0.0
+
+    def test_all_ok(self):
+        assert availability(["ok", "ok"]) == 1.0
+
+    def test_held_counts_as_unavailable(self):
+        assert availability(["ok", "held", "skipped", "ok"]) == 0.5

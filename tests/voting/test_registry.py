@@ -1,0 +1,70 @@
+"""Tests for the voter registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.voting.avoc import AvocVoter
+from repro.voting.base import Voter, VoterParams
+from repro.voting.registry import available_algorithms, create_voter, register_voter
+
+
+class TestLookup:
+    def test_all_paper_algorithms_registered(self):
+        names = available_algorithms()
+        for expected in (
+            "average",
+            "standard",
+            "me",
+            "sdt",
+            "hybrid",
+            "clustering",
+            "avoc",
+            "mlv",
+            "median",
+            "plurality",
+            "categorical_majority",
+        ):
+            assert expected in names
+
+    def test_case_insensitive(self):
+        assert isinstance(create_voter("AVOC"), AvocVoter)
+
+    def test_aliases(self):
+        assert create_voter("avg.").name == "average"
+        assert create_voter("cov").name == "clustering"
+        assert create_voter("strd.").name == "standard"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown voting algorithm"):
+            create_voter("quantum")
+
+    def test_params_forwarded(self):
+        params = AvocVoter.default_params().with_overrides(error=0.2)
+        voter = create_voter("avoc", params=params)
+        assert voter.params.error == 0.2
+
+    def test_instances_are_fresh(self):
+        a = create_voter("avoc")
+        b = create_voter("avoc")
+        assert a is not b
+
+
+class TestRegistration:
+    def test_register_and_create_custom(self):
+        class Constant(Voter):
+            name = "constant42"
+
+            def vote(self, voting_round):
+                from repro.types import VoteOutcome
+
+                return VoteOutcome(round_number=voting_round.number, value=42.0)
+
+        register_voter("constant42-test", lambda params=None: Constant())
+        voter = create_voter("constant42-test")
+        assert voter.vote_values([1.0]).value == 42.0
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_voter("avoc", lambda params=None: None)

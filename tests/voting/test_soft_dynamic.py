@@ -1,0 +1,51 @@
+"""Tests for the Soft Dynamic Threshold (Sdt) voter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.types import Round
+from repro.voting.soft_dynamic import SoftDynamicThresholdVoter
+from repro.voting.standard import StandardVoter
+
+
+class TestSoftAgreementGranularity:
+    def test_borderline_value_gets_partial_agreement(self):
+        # margin = 5 % of median(10) = 0.5; k = 2 -> soft zone (0.5, 1.0].
+        voter = SoftDynamicThresholdVoter()
+        outcome = voter.vote_values([10.0, 10.0, 10.75])
+        assert 0.0 < outcome.agreement["E3"] < 1.0
+
+    def test_binary_voter_fully_rejects_same_value(self):
+        standard = StandardVoter()
+        outcome = standard.vote_values([10.0, 10.0, 10.75])
+        assert outcome.agreement["E3"] == 0.0
+
+    def test_far_value_still_scores_zero(self):
+        voter = SoftDynamicThresholdVoter()
+        outcome = voter.vote_values([10.0, 10.0, 15.0])
+        assert outcome.agreement["E3"] == 0.0
+
+    def test_soft_threshold_parameter_widens_zone(self):
+        wide = SoftDynamicThresholdVoter(
+            SoftDynamicThresholdVoter.default_params().with_overrides(
+                soft_threshold=4.0
+            )
+        )
+        outcome = wide.vote_values([10.0, 10.0, 11.5])
+        assert outcome.agreement["E3"] > 0.0
+
+
+class TestRecordGranularity:
+    def test_borderline_module_penalised_less_than_outlier(self):
+        voter = SoftDynamicThresholdVoter()
+        for i in range(20):
+            voter.vote(Round.from_values(i, [10.0, 10.0, 10.7, 20.0]))
+        records = voter.history.snapshot()
+        assert records["E4"] < records["E3"] < records["E1"]
+
+    def test_output_is_weighted_mean(self):
+        voter = SoftDynamicThresholdVoter()
+        outcome = voter.vote_values([10.0, 10.0, 12.0])
+        # Fresh records are all 1 -> plain mean on the first round.
+        assert outcome.value == pytest.approx((10.0 + 10.0 + 12.0) / 3)

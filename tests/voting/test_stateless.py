@@ -1,0 +1,85 @@
+"""Tests for the stateless voters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import EmptyRoundError
+from repro.types import Round
+from repro.voting.stateless import (
+    CollationVoter,
+    MeanVoter,
+    MedianVoter,
+    PluralityVoter,
+)
+
+
+class TestMeanVoter:
+    def test_plain_average(self):
+        outcome = MeanVoter().vote_values([1.0, 2.0, 3.0])
+        assert outcome.value == pytest.approx(2.0)
+
+    def test_outlier_fully_skews_output(self):
+        # The paper's motivation: plain averaging cannot mask a fault.
+        clean = MeanVoter().vote_values([18.0, 18.0, 18.0, 18.0, 18.0]).value
+        faulty = MeanVoter().vote_values([18.0, 18.0, 18.0, 24.0, 18.0]).value
+        assert faulty - clean == pytest.approx(1.2)
+
+    def test_ignores_missing(self):
+        outcome = MeanVoter().vote(Round.from_mapping(0, {"a": 2.0, "b": None}))
+        assert outcome.value == 2.0
+
+    def test_empty_round_raises(self):
+        with pytest.raises(EmptyRoundError):
+            MeanVoter().vote(Round.from_mapping(0, {}))
+
+    def test_is_stateless(self):
+        voter = MeanVoter()
+        assert not voter.stateful
+        first = voter.vote_values([5.0, 7.0]).value
+        second = voter.vote_values([5.0, 7.0]).value
+        assert first == second
+
+
+class TestMedianVoter:
+    def test_median_masks_minority_outlier(self):
+        outcome = MedianVoter().vote_values([18.0, 18.1, 17.9, 24.0, 18.05])
+        assert outcome.value == pytest.approx(18.05)
+
+    def test_name(self):
+        assert MedianVoter().name == "median"
+
+
+class TestCollationVoter:
+    def test_generic_mnn(self):
+        voter = CollationVoter("MEAN_NEAREST_NEIGHBOR")
+        outcome = voter.vote_values([1.0, 2.0, 9.0])
+        assert outcome.value == 2.0
+
+    def test_name_reflects_collation(self):
+        assert CollationVoter("MEDIAN").name == "stateless_median"
+
+
+class TestPluralityVoter:
+    def test_majority(self):
+        outcome = PluralityVoter().vote_values(["up", "up", "down"])
+        assert outcome.value == "up"
+
+    def test_tie_breaks_toward_previous_output(self):
+        voter = PluralityVoter()
+        voter.vote_values(["b", "b", "a"])  # previous output: b
+        outcome = voter.vote_values(["a", "b"])  # tie
+        assert outcome.value == "b"
+
+    def test_reset_clears_tie_break(self):
+        voter = PluralityVoter()
+        voter.vote_values(["b", "b"])
+        voter.reset()
+        from repro.exceptions import NoMajorityError
+
+        with pytest.raises(NoMajorityError):
+            voter.vote_values(["a", "b"])
+
+    def test_tallies_in_diagnostics(self):
+        outcome = PluralityVoter().vote_values(["x", "x", "y"])
+        assert outcome.diagnostics["tallies"] == {"x": 2.0, "y": 1.0}

@@ -1,0 +1,141 @@
+"""Property-based tests (hypothesis) for the voting primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.types import Round
+from repro.voting.agreement import (
+    agreement_scores,
+    binary_agreement_matrix,
+    dynamic_margin,
+    soft_agreement_matrix,
+)
+from repro.voting.collation import (
+    mean_nearest_neighbour,
+    weighted_mean,
+    weighted_median,
+)
+from repro.voting.history import HistoryRecords
+from repro.voting.registry import create_voter
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+value_lists = st.lists(finite_floats, min_size=1, max_size=12)
+weight_lists = st.lists(
+    st.floats(min_value=0.0, max_value=1e3, allow_nan=False), min_size=1, max_size=12
+)
+
+
+class TestAgreementProperties:
+    @given(values=value_lists, error=st.floats(min_value=1e-6, max_value=1.0))
+    def test_binary_matrix_symmetric_unit_diagonal(self, values, error):
+        margin = dynamic_margin(values, error)
+        m = binary_agreement_matrix(values, margin)
+        assert np.allclose(m, m.T)
+        assert np.allclose(np.diag(m), 1.0)
+
+    @given(
+        values=value_lists,
+        error=st.floats(min_value=1e-6, max_value=1.0),
+        k=st.floats(min_value=1.0, max_value=10.0),
+    )
+    def test_soft_matrix_bounded_and_dominates_binary(self, values, error, k):
+        margin = dynamic_margin(values, error)
+        soft = soft_agreement_matrix(values, margin, k)
+        binary = binary_agreement_matrix(values, margin)
+        assert np.all(soft >= binary - 1e-12)
+        assert np.all(soft <= 1.0) and np.all(soft >= 0.0)
+
+    @given(values=value_lists)
+    def test_scores_in_unit_interval(self, values):
+        margin = dynamic_margin(values, 0.05)
+        scores = agreement_scores(binary_agreement_matrix(values, margin))
+        assert np.all(scores >= 0.0) and np.all(scores <= 1.0)
+
+
+class TestCollationProperties:
+    @given(values=value_lists)
+    def test_weighted_mean_within_value_range(self, values):
+        result = weighted_mean(values)
+        assert min(values) - 1e-9 <= result <= max(values) + 1e-9
+
+    @given(st.data())
+    def test_mnn_returns_a_candidate(self, data):
+        values = data.draw(value_lists)
+        weights = data.draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+                min_size=len(values),
+                max_size=len(values),
+            )
+        )
+        result = mean_nearest_neighbour(values, weights)
+        assert result in values
+
+    @given(values=value_lists)
+    def test_median_is_a_candidate(self, values):
+        assert weighted_median(values) in values
+
+
+class TestHistoryProperties:
+    @given(
+        scores=st.lists(
+            st.dictionaries(
+                st.sampled_from(["a", "b", "c"]),
+                st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+                min_size=1,
+            ),
+            min_size=1,
+            max_size=20,
+        ),
+        policy=st.sampled_from(["additive", "ema"]),
+    )
+    def test_records_stay_in_unit_interval(self, scores, policy):
+        records = HistoryRecords(policy=policy)
+        for round_scores in scores:
+            records.update(round_scores)
+        for value in records.snapshot().values():
+            assert 0.0 <= value <= 1.0
+
+
+class TestVoterProperties:
+    @settings(deadline=None, max_examples=40)
+    @given(
+        values=st.lists(
+            st.floats(min_value=1.0, max_value=1e4, allow_nan=False),
+            min_size=2,
+            max_size=9,
+        ),
+        algorithm=st.sampled_from(
+            ["average", "median", "standard", "me", "sdt", "hybrid",
+             "clustering", "avoc", "mlv"]
+        ),
+    )
+    def test_output_within_candidate_range(self, values, algorithm):
+        voter = create_voter(algorithm)
+        outcome = voter.vote(Round.from_values(0, values))
+        assert min(values) - 1e-9 <= outcome.value <= max(values) + 1e-9
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        rounds=st.lists(
+            st.lists(
+                st.floats(min_value=-100.0, max_value=100.0, allow_nan=False),
+                min_size=3,
+                max_size=3,
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    def test_avoc_never_crashes_and_history_bounded(self, rounds):
+        voter = create_voter("avoc")
+        for i, values in enumerate(rounds):
+            outcome = voter.vote(Round.from_values(i, values))
+            assert outcome.value is not None
+        for record in voter.history.snapshot().values():
+            assert 0.0 <= record <= 1.0
