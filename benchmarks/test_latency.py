@@ -146,3 +146,84 @@ def test_latency_ordering_matches_paper(benchmark, tmp_path):
         f"store-backed: {backed*1e6:.1f} µs"
     )
     assert stateless < history < backed
+
+
+def test_batch_fusion_throughput_meets_speedup_floor(benchmark, capsys):
+    """The vectorized batch core's recorded perf baseline.
+
+    Feeds a 10'000-round, 8-module matrix through the legacy per-round
+    loop and through :meth:`FusionEngine.process_batch`, asserts
+    bit-identical outputs, and enforces the speedup floor: >=5x for the
+    stateless kernels, >=2x for the sequential-with-preallocation
+    history/clustering kernels.  The measured numbers are written to
+    ``BENCH_latency.json`` in the repo root as the recorded baseline.
+    """
+    import json
+    import pathlib
+    import time
+
+    import numpy as np
+
+    from repro.fusion.engine import FusionEngine
+    from repro.types import Round as _Round
+    from repro.voting.registry import create_voter
+
+    rng = np.random.default_rng(42)
+    matrix = 18.0 + 0.1 * rng.standard_normal((10_000, 8))
+    modules = [f"E{i+1}" for i in range(8)]
+
+    def legacy(algorithm):
+        engine = FusionEngine(create_voter(algorithm), roster=modules)
+        start = time.perf_counter()
+        values = [
+            engine.process(
+                _Round.from_mapping(
+                    number, dict(zip(modules, row.tolist()))
+                )
+            ).value
+            for number, row in enumerate(matrix)
+        ]
+        return time.perf_counter() - start, np.asarray(values, dtype=float)
+
+    def batched(algorithm):
+        engine = FusionEngine(create_voter(algorithm), roster=modules)
+        start = time.perf_counter()
+        batch = engine.process_batch(matrix, modules)
+        return time.perf_counter() - start, batch.values
+
+    floors = {"average": 5.0, "median": 5.0, "clustering": 2.0, "avoc": 2.0}
+
+    def measure():
+        report = {}
+        for algorithm, floor in floors.items():
+            loop_s, loop_values = legacy(algorithm)
+            batch_s, batch_values = batched(algorithm)
+            np.testing.assert_array_equal(loop_values, batch_values)
+            report[algorithm] = {
+                "rounds": int(matrix.shape[0]),
+                "modules": int(matrix.shape[1]),
+                "loop_seconds": round(loop_s, 4),
+                "batch_seconds": round(batch_s, 4),
+                "speedup": round(loop_s / batch_s, 2),
+                "floor": floor,
+                "batch_rounds_per_second": round(
+                    matrix.shape[0] / batch_s, 1
+                ),
+            }
+        return report
+
+    report = benchmark.pedantic(measure, iterations=1, rounds=1)
+    out = pathlib.Path(__file__).resolve().parent.parent / "BENCH_latency.json"
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    with capsys.disabled():
+        for algorithm, row in report.items():
+            print(
+                f"\n{algorithm}: loop {row['loop_seconds']*1e3:.0f} ms, "
+                f"batch {row['batch_seconds']*1e3:.0f} ms, "
+                f"{row['speedup']:.1f}x (floor {row['floor']:.0f}x)"
+            )
+    for algorithm, row in report.items():
+        assert row["speedup"] >= row["floor"], (
+            f"{algorithm}: {row['speedup']:.2f}x below the "
+            f"{row['floor']:.0f}x floor"
+        )

@@ -97,3 +97,34 @@ def test_quadratic_agreement_matrix_is_the_dominant_term(benchmark):
     value = benchmark.pedantic(ratio, iterations=1, rounds=1)
     print(f"\nlatency ratio 50 vs 5 modules: {value:.1f}x")
     assert 1.0 < value < 100.0
+
+
+def test_batch_throughput_vs_module_count(benchmark):
+    """Batch-path throughput sweep over the redundancy degrees.
+
+    The dense stateless kernel is O(rounds x modules) flat NumPy; even
+    at 100 modules the batch path must process a 2'000-round matrix in
+    a small fraction of the paper's 125 ms-per-round budget *total*.
+    """
+    from repro.fusion.engine import FusionEngine
+
+    def sweep():
+        rng = np.random.default_rng(7)
+        rows = []
+        for n in MODULE_COUNTS:
+            matrix = 18.0 + 0.1 * rng.standard_normal((2_000, n))
+            cells = []
+            for algorithm in ("average", "avoc"):
+                engine = FusionEngine(
+                    create_voter(algorithm),
+                    roster=[f"E{i+1}" for i in range(n)],
+                )
+                start = time.perf_counter()
+                engine.process_batch(matrix)
+                cells.append(2_000 / (time.perf_counter() - start))
+            rows.append([n] + [f"{c:,.0f}" for c in cells])
+        return rows
+
+    rows = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    print("\nBatch throughput (rounds/s) vs module count:")
+    print(render_table(["modules", "average", "avoc"], rows))

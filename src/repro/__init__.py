@@ -3,6 +3,9 @@ IoT Analytics (Middleware 2022).
 
 Public API highlights:
 
+* :func:`repro.fuse` — one-call batched fusion of a rounds × modules
+  value matrix through any registered algorithm (the vectorized fast
+  path; see :meth:`FusionEngine.process_batch`).
 * :mod:`repro.voting` — the voting algorithm zoo (AVOC, Hybrid, Me, Sdt,
   Standard, clustering-only, stateless baselines, MLV, categorical).
 * :mod:`repro.vdx` — the VDX voting-definition specification: parse,
@@ -19,12 +22,14 @@ Public API highlights:
 """
 
 from .fusion import (
+    BatchResult,
     FaultPolicy,
     FusionEngine,
     FusionResult,
     MultiDimensionalPipeline,
     QuorumRule,
     VectorFusion,
+    fuse,
 )
 from .types import MISSING, Reading, Round, Series, VoteOutcome, is_missing
 from .voting import (
@@ -54,6 +59,8 @@ __all__ = [
     "Series",
     "VoteOutcome",
     "is_missing",
+    "fuse",
+    "BatchResult",
     "FaultPolicy",
     "FusionEngine",
     "FusionResult",

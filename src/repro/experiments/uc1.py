@@ -26,6 +26,7 @@ from ..analysis.diff import run_voter_series
 from ..datasets.dataset import Dataset
 from ..datasets.injection import offset_fault
 from ..datasets.light_uc1 import UC1Config, generate_uc1_dataset
+from ..fusion.engine import FusionEngine
 from ..voting.base import Voter
 from ..voting.registry import create_voter
 
@@ -98,11 +99,13 @@ def exclusion_round(voter: Voter, faulty: Dataset, module: str) -> int:
     excluded — e.g. for stateless averaging or the Standard voter.
     """
     voter.reset()
-    last_included = -1
-    for number, voting_round in enumerate(faulty.rounds()):
-        outcome = voter.vote(voting_round)
-        if outcome.weights.get(module, 0.0) != 0.0:
-            last_included = number
+    engine = FusionEngine(voter, roster=list(faulty.modules))
+    batch = engine.process_batch(
+        faulty.matrix, list(faulty.modules), diagnostics=True
+    )
+    weights = batch.module_weight(module)
+    included = np.flatnonzero(~np.isnan(weights) & (weights != 0.0))
+    last_included = int(included[-1]) if included.size else -1
     return min(last_included + 1, faulty.n_rounds)
 
 

@@ -13,16 +13,20 @@ from .quorum import QuorumRule
 from .faults import FaultPolicy
 from .exclusion import exclude_values
 from .engine import FusionEngine, FusionResult
+from .batch import BatchResult, fuse, process_matrix
 from .pipeline import MultiDimensionalPipeline
 from .vector import VectorFusion, VectorRoundResult
 from .stream import SensorEvent, StreamingFusion
 
 __all__ = [
+    "BatchResult",
     "SensorEvent",
     "StreamingFusion",
     "QuorumRule",
     "FaultPolicy",
     "exclude_values",
+    "fuse",
+    "process_matrix",
     "FusionEngine",
     "FusionResult",
     "MultiDimensionalPipeline",

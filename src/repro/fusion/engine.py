@@ -19,7 +19,7 @@ from ..exceptions import (
     NoMajorityError,
     QuorumNotReachedError,
 )
-from ..types import Round, VoteOutcome, is_missing
+from ..types import Round, VoteOutcome
 from ..voting.base import Voter
 from .exclusion import exclude_values
 from .faults import FaultPolicy
@@ -53,7 +53,11 @@ class FusionEngine:
         voter: the voting algorithm instance.
         roster: known module names.  When None, the roster is learned
             from the first round and extended as new modules appear.
-        quorum: quorum rule (default: no quorum requirement).
+        quorum: quorum rule (default: no quorum requirement).  When no
+            rule is given and the voter carries a non-zero (deprecated)
+            ``quorum_percentage``, that percentage is adopted as an
+            ``UNTIL`` rule so the engine stays the single enforcement
+            point.
         exclusion: VDX exclusion mode.
         exclusion_threshold: threshold for the exclusion mode.
         fault_policy: behaviour on degraded rounds.
@@ -70,6 +74,12 @@ class FusionEngine:
     ):
         self.voter = voter
         self.roster: List[str] = list(roster) if roster else []
+        if quorum is None:
+            deprecated_pct = getattr(
+                getattr(voter, "params", None), "quorum_percentage", 0.0
+            )
+            if deprecated_pct > 0:
+                quorum = QuorumRule(mode="UNTIL", percentage=deprecated_pct)
         self.quorum = quorum or QuorumRule()
         self.exclusion = exclusion.upper()
         self.exclusion_threshold = exclusion_threshold
@@ -153,26 +163,44 @@ class FusionEngine:
         """Process an iterable of rounds in order."""
         return [self.process(r) for r in rounds]
 
+    def process_batch(
+        self,
+        matrix: np.ndarray,
+        modules: Optional[Sequence[str]] = None,
+        diagnostics: bool = False,
+    ):
+        """Process a recorded rounds × modules matrix in one batch.
+
+        NaN (or None) entries are treated as missing values.  The fused
+        series comes back as a :class:`~repro.fusion.batch.BatchResult`
+        whose arrays are bit-identical to running :meth:`process` row by
+        row — including engine statistics, ``last_accepted`` carry-over,
+        voter history state and ``raise`` fault-policy exceptions — but
+        computed through the vectorized kernels in
+        :mod:`repro.voting.kernels` where the voter supports them.
+
+        Args:
+            matrix: rounds × modules array-like of readings.
+            modules: optional column names (default ``E1..En``).
+            diagnostics: also record the per-round weight matrix and
+                full :class:`FusionResult` objects (slower; needed by
+                :meth:`run_matrix` compatibility callers).
+        """
+        from .batch import process_matrix
+
+        return process_matrix(self, matrix, modules, diagnostics=diagnostics)
+
     def run_matrix(
         self, matrix: np.ndarray, modules: Optional[Sequence[str]] = None
     ) -> List[FusionResult]:
         """Process a recorded dataset matrix (rounds × modules).
 
         NaN entries are treated as missing values, matching the UC-2
-        dataset's unreachable-beacon gaps.
+        dataset's unreachable-beacon gaps.  Compatibility wrapper over
+        :meth:`process_batch` — outputs are bit-identical to the
+        original per-round loop.
         """
-        matrix = np.asarray(matrix, dtype=float)
-        if matrix.ndim != 2:
-            raise FusionError(f"expected a 2-D matrix, got shape {matrix.shape}")
-        if modules is None:
-            modules = [f"E{i + 1}" for i in range(matrix.shape[1])]
-        if len(modules) != matrix.shape[1]:
-            raise FusionError("module name count does not match matrix columns")
-        results = []
-        for number, row in enumerate(matrix):
-            mapping = {m: (None if is_missing(v) else float(v)) for m, v in zip(modules, row)}
-            results.append(self.process(Round.from_mapping(number, mapping)))
-        return results
+        return self.process_batch(matrix, modules, diagnostics=True).to_results()
 
     def output_series(self, results: Sequence[FusionResult]) -> np.ndarray:
         """Extract the output values as a float array (NaN for skips)."""

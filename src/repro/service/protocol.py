@@ -83,6 +83,22 @@ def decode_message(line: bytes) -> Dict[str, Any]:
     return message
 
 
+def _check_value(value: Any, label: str) -> None:
+    """Reject anything but null or a finite non-bool number.
+
+    Booleans pass ``isinstance(value, int)`` and JSON ``Infinity`` /
+    ``NaN`` literals parse as floats — both would survive a naive
+    numeric check only to blow up (or be unserialisable,
+    ``allow_nan=False``) deeper in the server.
+    """
+    if value is None:
+        return
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ProtocolError(f"{label} must be numeric or null")
+    if not math.isfinite(value):
+        raise ProtocolError(f"{label} must be finite")
+
+
 def validate_request(message: Dict[str, Any]) -> str:
     """Check a request's shape; returns the operation name."""
     op = message.get("op")
@@ -95,18 +111,13 @@ def validate_request(message: Dict[str, Any]) -> str:
         if not isinstance(values, dict) or not values:
             raise ProtocolError("vote requires a non-empty 'values' object")
         for module, value in values.items():
-            if value is not None and not isinstance(value, (int, float)):
-                raise ProtocolError(
-                    f"value for module {module!r} must be numeric or null"
-                )
+            _check_value(value, f"value for module {module!r}")
     elif op == "submit":
         if not isinstance(message.get("round"), int):
             raise ProtocolError("submit requires an integer 'round'")
         if not isinstance(message.get("module"), str):
             raise ProtocolError("submit requires a string 'module'")
-        value = message.get("value")
-        if value is not None and not isinstance(value, (int, float)):
-            raise ProtocolError("submit 'value' must be numeric or null")
+        _check_value(message.get("value"), "submit 'value'")
     elif op == "close_round":
         if not isinstance(message.get("round"), int):
             raise ProtocolError("close_round requires an integer 'round'")

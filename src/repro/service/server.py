@@ -8,6 +8,7 @@ connection closes them.
 
 from __future__ import annotations
 
+import math
 import socketserver
 import threading
 from typing import Any, Dict, Optional
@@ -26,6 +27,27 @@ from .protocol import (
     ok_response,
     validate_request,
 )
+
+
+def _numeric(module: Any, value: Any) -> Optional[float]:
+    """Coerce one submitted value to a finite float (or None).
+
+    Raises ProtocolError instead of letting ValueError/TypeError escape
+    and kill the connection handler; also rejects non-finite floats,
+    which the JSON encoder (``allow_nan=False``) could not serialise
+    back to the client anyway.
+    """
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        raise ProtocolError(f"value for module {module!r} must be numeric or null")
+    try:
+        result = float(value)
+    except (TypeError, ValueError):
+        raise ProtocolError(f"value for module {module!r} must be numeric or null")
+    if not math.isfinite(result):
+        raise ProtocolError(f"value for module {module!r} must be finite")
+    return result
 
 
 def _result_payload(result: FusionResult) -> Dict[str, Any]:
@@ -60,6 +82,10 @@ class _Handler(socketserver.StreamRequestHandler):
                 response = error_response(str(exc))
             except ReproError as exc:
                 response = error_response(f"{type(exc).__name__}: {exc}")
+            except (TypeError, ValueError) as exc:
+                # Last-resort guard: a malformed payload must produce an
+                # error response, never a dead connection.
+                response = error_response(f"invalid request: {exc}")
             try:
                 self.wfile.write(encode_message(response))
             except (BrokenPipeError, ConnectionResetError):
@@ -91,6 +117,7 @@ class VoterServer:
         history_store=None,
     ):
         self.spec = spec
+        self._history_store = history_store
         self.engine: FusionEngine = build_engine(spec, history_store=history_store)
         self._lock = threading.Lock()
         self._pending: Dict[int, Dict[str, Optional[float]]] = {}
@@ -161,8 +188,7 @@ class VoterServer:
 
     def _op_vote(self, request) -> Dict[str, Any]:
         values = {
-            str(m): (None if v is None else float(v))
-            for m, v in request["values"].items()
+            str(m): _numeric(m, v) for m, v in request["values"].items()
         }
         result = self._vote_round(request["round"], values)
         return ok_response(result=_result_payload(result))
@@ -171,9 +197,9 @@ class VoterServer:
         number = request["round"]
         if number in self._voted:
             raise ProtocolError(f"round {number} was already voted")
+        value = _numeric(request["module"], request["value"])
         bucket = self._pending.setdefault(number, {})
-        value = request["value"]
-        bucket[request["module"]] = None if value is None else float(value)
+        bucket[request["module"]] = value
         roster = self.engine.roster
         complete = bool(roster) and set(bucket) >= set(roster)
         if complete:
@@ -219,11 +245,16 @@ class VoterServer:
         The new document is validated before anything changes; an
         invalid document leaves the running scheme untouched.  A swap
         discards all voting state — records earned under one scheme
-        mean nothing under another.
+        mean nothing under another — but keeps the history store
+        attached so the new scheme persists its records too.
         """
         spec = VotingSpec.from_dict(request["spec"])
         self.spec = spec
-        self.engine = build_engine(spec)
+        if self._history_store is not None:
+            # Stale records from the old scheme must not leak into the
+            # rebuilt engine via the store's load-on-attach.
+            self._history_store.clear()
+        self.engine = build_engine(spec, history_store=self._history_store)
         self._pending.clear()
         self._voted.clear()
         self._last_result = None

@@ -77,6 +77,29 @@ class Round:
         return cls(number=number, readings=readings)
 
     @classmethod
+    def from_row(
+        cls,
+        number: int,
+        modules: Sequence[str],
+        row: Sequence[Any],
+        timestamp: float = 0.0,
+    ) -> "Round":
+        """Build a round from parallel module names and values.
+
+        NaN and None entries become missing readings — the dataset-
+        matrix convention used by :meth:`FusionEngine.process_batch`.
+        """
+        readings = tuple(
+            Reading(
+                module=m,
+                value=None if is_missing(v) else float(v),
+                timestamp=timestamp,
+            )
+            for m, v in zip(modules, row)
+        )
+        return cls(number=number, readings=readings)
+
+    @classmethod
     def from_values(
         cls, number: int, values: Sequence[Any], prefix: str = "E", start: int = 1
     ) -> "Round":

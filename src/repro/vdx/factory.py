@@ -34,13 +34,13 @@ def _voter_params(
     policy and learning rate fall back to the target algorithm's
     defaults (e.g. the Standard voter's slow EMA) unless the document
     pins them explicitly.
+
+    The spec's quorum is *not* baked into the voter: the engine-level
+    :class:`~repro.fusion.quorum.QuorumRule` built by
+    :meth:`FusionEngine.from_spec` is the single enforcement point
+    (``VoterParams.quorum_percentage`` is deprecated).
     """
     base = base or VoterParams()
-    quorum_percentage = 0.0
-    if spec.quorum == "UNTIL":
-        quorum_percentage = spec.quorum_percentage
-    elif spec.quorum == "ANY":
-        quorum_percentage = 1e-9  # any single submission suffices
     explicit = spec.params
     return VoterParams(
         error=spec.error,
@@ -54,7 +54,6 @@ def _voter_params(
         elimination=elimination,
         elimination_threshold=base.elimination_threshold,
         collation=spec.collation,
-        quorum_percentage=quorum_percentage,
         bootstrap_mode="auto" if spec.bootstrapping else "never",
     )
 

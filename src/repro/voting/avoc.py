@@ -22,9 +22,11 @@ Hybrid.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..clustering.agreement_clustering import cluster_by_agreement
 from ..types import Round, VoteOutcome
-from .base import VoterParams
+from .base import HistoryAwareVoter, VoterParams
 from .collation import collate
 from .hybrid import HybridVoter
 
@@ -100,6 +102,30 @@ class AvocVoter(HybridVoter):
                 "margin": clustering.margin,
             },
         )
+
+    def batch_kernel(self) -> Optional[str]:
+        """``"history"`` — the batch kernel natively replays the AVOC
+        bootstrap (sorted-runs clustering + history seeding), so AVOC's
+        own hook overrides are expected; further subclassing disables
+        the kernel just like in the base class."""
+        from .kernels import BATCHABLE_COLLATIONS
+
+        cls = type(self)
+        if (
+            cls.vote is not HistoryAwareVoter.vote
+            or cls._agreement_matrix is not HistoryAwareVoter._agreement_matrix
+            or cls._weights is not HistoryAwareVoter._weights
+            or cls._eliminated is not HistoryAwareVoter._eliminated
+            or cls._quorum_reached is not HistoryAwareVoter._quorum_reached
+            or cls._should_bootstrap is not AvocVoter._should_bootstrap
+            or cls._bootstrap_vote is not AvocVoter._bootstrap_vote
+        ):
+            return None
+        if self.history.store is not None:
+            return None
+        if self.params.collation.upper() not in BATCHABLE_COLLATIONS:
+            return None
+        return "history"
 
     def reset(self) -> None:
         super().reset()

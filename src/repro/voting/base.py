@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import abc
 import math
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
@@ -55,8 +56,11 @@ class VoterParams:
             ``"fixed"`` (record below ``elimination_threshold``).
         elimination_threshold: cutoff for ``"fixed"`` elimination.
         collation: VDX collation keyword.
-        quorum_percentage: percentage of known modules that must submit a
-            value for the round to be voted on (0 disables the check).
+        quorum_percentage: **deprecated** — quorum is now enforced once,
+            by the engine-level :class:`~repro.fusion.quorum.QuorumRule`.
+            A non-zero value still works (and is adopted as the engine
+            rule by :class:`~repro.fusion.engine.FusionEngine`) but
+            emits a :class:`DeprecationWarning`.
         bootstrap_mode: when the AVOC clustering step runs — ``"auto"``
             (fresh or failed records, per the paper), ``"always"``
             (clustering-only voting) or ``"never"``.
@@ -102,6 +106,14 @@ class VoterParams:
             raise ConfigurationError(f"collation must be one of {_COLLATIONS}")
         if not 0.0 <= self.quorum_percentage <= 100.0:
             raise ConfigurationError("quorum_percentage must be in [0, 100]")
+        if self.quorum_percentage > 0:
+            warnings.warn(
+                "VoterParams.quorum_percentage is deprecated; configure a "
+                "QuorumRule on the FusionEngine instead (FusionEngine "
+                "adopts a non-zero voter percentage automatically)",
+                DeprecationWarning,
+                stacklevel=3,
+            )
         if self.bootstrap_mode not in _BOOTSTRAP_MODES:
             raise ConfigurationError(
                 f"bootstrap_mode must be one of {_BOOTSTRAP_MODES}"
@@ -134,6 +146,17 @@ class Voter(abc.ABC):
     def run(self, rounds) -> List[VoteOutcome]:
         """Vote on an iterable of rounds, in order."""
         return [self.vote(r) for r in rounds]
+
+    def batch_kernel(self) -> Optional[str]:
+        """Name of the vectorized kernel that reproduces this voter.
+
+        :meth:`FusionEngine.process_batch` uses the returned name to
+        select a kernel in :mod:`repro.fusion.batch` whose outputs are
+        bit-identical to calling :meth:`vote` round by round.  ``None``
+        (the default) means no such kernel exists and the batch falls
+        back to the exact per-round loop.
+        """
+        return None
 
 
 class HistoryAwareVoter(Voter):
@@ -220,6 +243,37 @@ class HistoryAwareVoter(Voter):
 
     def _bootstrap_vote(self, voting_round: Round) -> VoteOutcome:
         raise NotImplementedError
+
+    # -- batch support -----------------------------------------------------
+
+    def batch_kernel(self) -> Optional[str]:
+        """``"history"`` when the shared pipeline is unmodified.
+
+        The batch kernel replays exactly the :meth:`vote` implementation
+        below, so any subclass override of the pipeline (or the AVOC
+        hooks — see :meth:`AvocVoter.batch_kernel`) disables it, as do a
+        write-through history store (persisted per round) and the
+        WEIGHTED_MAJORITY collation (hash-based, not vectorizable
+        bit-identically).
+        """
+        from .kernels import BATCHABLE_COLLATIONS
+
+        cls = type(self)
+        if (
+            cls.vote is not HistoryAwareVoter.vote
+            or cls._agreement_matrix is not HistoryAwareVoter._agreement_matrix
+            or cls._weights is not HistoryAwareVoter._weights
+            or cls._eliminated is not HistoryAwareVoter._eliminated
+            or cls._quorum_reached is not HistoryAwareVoter._quorum_reached
+            or cls._should_bootstrap is not HistoryAwareVoter._should_bootstrap
+            or cls._bootstrap_vote is not HistoryAwareVoter._bootstrap_vote
+        ):
+            return None
+        if self.history.store is not None:
+            return None
+        if self.params.collation.upper() not in BATCHABLE_COLLATIONS:
+            return None
+        return "history"
 
     # -- main entry ---------------------------------------------------------
 

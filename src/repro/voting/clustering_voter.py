@@ -54,3 +54,14 @@ class ClusteringOnlyVoter(Voter):
                 "margin": clustering.margin,
             },
         )
+
+    def batch_kernel(self) -> Optional[str]:
+        """``"clustering"`` for the numeric collations (sorted-runs
+        clustering with vectorized per-round margins)."""
+        from .kernels import BATCHABLE_COLLATIONS
+
+        if type(self).vote is not ClusteringOnlyVoter.vote:
+            return None
+        if self.params.collation.upper() not in BATCHABLE_COLLATIONS:
+            return None
+        return "clustering"

@@ -95,6 +95,11 @@ class HistoryRecords:
     def modules(self):
         return tuple(self._records)
 
+    @property
+    def store(self):
+        """The attached persistent backend (None for in-memory records)."""
+        return self._store
+
     def __len__(self) -> int:
         return len(self._records)
 
@@ -145,6 +150,21 @@ class HistoryRecords:
             self._updates += 1
         if self._store is not None:
             self._store.save(self._records)
+
+    def absorb(self, records: Mapping[str, float], update_count: int) -> None:
+        """Overwrite all records and the update counter in one step.
+
+        Write-back hook for the vectorized batch kernel
+        (:mod:`repro.fusion.batch`): the kernel evolves the records in a
+        float array and deposits the final state here.  Values are
+        clamped like :meth:`seed`.  The attached store is not written —
+        the batch kernel only engages for store-less records.
+        """
+        self._records = {
+            module: min(max(float(value), 0.0), 1.0)
+            for module, value in records.items()
+        }
+        self._updates = int(update_count)
 
     def reset(self) -> None:
         """Forget everything; records return to the initial value."""

@@ -1,0 +1,254 @@
+"""Vectorized voting kernels for batched fusion.
+
+These functions operate on a whole rounds × modules float matrix at
+once (NaN marks a missing reading) and back
+:meth:`repro.fusion.engine.FusionEngine.process_batch`.
+
+Bit-identity contract
+---------------------
+Every kernel reproduces the scalar pipeline in :mod:`repro.voting`
+*bit for bit*, not merely to within tolerance:
+
+* dense rows (no NaN) are evaluated with the same IEEE expression
+  trees as the per-round functions, vectorized across rounds;
+* ragged rows (with NaN) are compacted and routed through the exact
+  per-round helpers (:func:`binary_agreement_matrix`,
+  :func:`agreement_scores`, ...) because NumPy's pairwise summation
+  groups operands by array length — summing a compacted row and a
+  NaN-masked full row can differ in the last ulp for >= 8 modules.
+
+`collate_fast` mirrors :func:`repro.voting.collation.collate` for the
+numeric methods while skipping input re-validation (batch callers
+guarantee non-negative weights).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .agreement import (
+    agreement_scores,
+    binary_agreement_matrix,
+    soft_agreement_matrix,
+)
+
+__all__ = [
+    "BATCHABLE_COLLATIONS",
+    "batch_agreement_scores",
+    "batch_collate",
+    "batch_dynamic_margins",
+    "collate_fast",
+    "sorted_runs",
+]
+
+#: Collation methods with a bit-identical fast path (WEIGHTED_MAJORITY
+#: tallies hashable values and is handled by the plurality kernel).
+BATCHABLE_COLLATIONS = ("MEAN", "MEAN_NEAREST_NEIGHBOR", "MEDIAN")
+
+# Cap the transient (chunk, M, M) distance tensor at ~32 MB of floats.
+_CHUNK_ELEMENTS = 4_000_000
+
+
+def batch_dynamic_margins(
+    matrix: np.ndarray,
+    error: float,
+    min_margin: float,
+    counts: np.ndarray,
+) -> np.ndarray:
+    """Per-round dynamic margins, identical to :func:`dynamic_margin`.
+
+    Rounds with zero present values get ``min_margin`` (the scalar
+    helper's empty-input convention).
+    """
+    n_rounds = matrix.shape[0]
+    margins = np.full(n_rounds, float(min_margin))
+    populated = counts > 0
+    if np.any(populated):
+        with np.errstate(all="ignore"):
+            refs = np.nanmedian(matrix[populated], axis=1)
+        margins[populated] = np.maximum(np.abs(refs) * error, min_margin)
+    return margins
+
+
+def batch_agreement_scores(
+    matrix: np.ndarray,
+    margins: np.ndarray,
+    kind: str,
+    soft_threshold: float,
+    mask: np.ndarray,
+    counts: np.ndarray,
+    rows: np.ndarray,
+) -> np.ndarray:
+    """Per-module agreement scores for the selected ``rows``.
+
+    Returns a rounds × modules array holding each present module's
+    agreement score (NaN where the module is absent or the row was not
+    selected).  Dense rows are computed through a chunked 3-D distance
+    tensor with the same expression tree as
+    :func:`binary_agreement_matrix` / :func:`soft_agreement_matrix` +
+    :func:`agreement_scores`; ragged rows fall back to those helpers on
+    the compacted values.
+    """
+    n_rounds, n_modules = matrix.shape
+    scores = np.full((n_rounds, n_modules), np.nan)
+
+    singles = rows & (counts == 1)
+    if np.any(singles):
+        scores[singles[:, None] & mask] = 1.0
+
+    if n_modules >= 2:
+        dense = np.flatnonzero(rows & (counts == n_modules))
+        step = max(1, _CHUNK_ELEMENTS // (n_modules * n_modules))
+        diag = np.arange(n_modules)
+        for start in range(0, dense.size, step):
+            sel = dense[start : start + step]
+            values = matrix[sel]
+            margin = margins[sel]
+            distances = np.abs(values[:, :, None] - values[:, None, :])
+            if kind == "binary" or soft_threshold == 1:
+                agreement = (distances <= margin[:, None, None]).astype(float)
+            else:
+                ramp = (soft_threshold - 1.0) * margin
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    agreement = np.clip(
+                        (soft_threshold * margin[:, None, None] - distances)
+                        / ramp[:, None, None],
+                        0.0,
+                        1.0,
+                    )
+                degenerate = margin == 0
+                if np.any(degenerate):
+                    agreement[degenerate] = (
+                        distances[degenerate] <= 0.0
+                    ).astype(float)
+            scores[sel] = (
+                agreement.sum(axis=2) - agreement[:, diag, diag]
+            ) / (n_modules - 1)
+
+        ragged = rows & (counts >= 2) & (counts < n_modules)
+        for row in np.flatnonzero(ragged):
+            present = mask[row]
+            values = matrix[row, present]
+            margin = float(margins[row])
+            if kind == "binary":
+                agreement = binary_agreement_matrix(values, margin)
+            else:
+                agreement = soft_agreement_matrix(
+                    values, margin, soft_threshold
+                )
+            scores[row, present] = agreement_scores(agreement)
+    return scores
+
+
+def batch_collate(
+    method: str,
+    matrix: np.ndarray,
+    mask: np.ndarray,
+    counts: np.ndarray,
+    rows: np.ndarray,
+) -> np.ndarray:
+    """Unweighted collation of each selected row (NaN elsewhere).
+
+    Matches ``collate(method, present_values)`` exactly: MEAN divides
+    by the count, MEDIAN takes the *lower* median (the element
+    ``weighted_median`` selects with equal weights), and
+    MEAN_NEAREST_NEIGHBOR returns the first value closest to the mean.
+    """
+    n_rounds, n_modules = matrix.shape
+    out = np.full(n_rounds, np.nan)
+    dense = rows & (counts == n_modules) & (n_modules > 0)
+    ragged = rows & (counts > 0) & ~dense
+    sel = np.flatnonzero(dense)
+    if sel.size:
+        sub = matrix[sel]
+        if method == "MEAN":
+            out[sel] = sub.sum(axis=1) / float(n_modules)
+        elif method == "MEDIAN":
+            k = (n_modules + 1) // 2 - 1  # lower median: ceil(M/2)-1
+            out[sel] = np.partition(sub, k, axis=1)[:, k]
+        else:  # MEAN_NEAREST_NEIGHBOR
+            centres = sub.sum(axis=1) / float(n_modules)
+            nearest = np.argmin(np.abs(sub - centres[:, None]), axis=1)
+            out[sel] = sub[np.arange(sel.size), nearest]
+    for row in np.flatnonzero(ragged):
+        out[row] = collate_fast(method, matrix[row, mask[row]])
+    return out
+
+
+def sorted_runs(values: np.ndarray, margin: float) -> List[np.ndarray]:
+    """Agreement clusters of 1-D ``values``, as arrays of indices.
+
+    Exactly equivalent to the connected components of the binary
+    agreement graph used by :func:`cluster_by_agreement`: in sorted
+    order an edge can only join consecutive values, so each component
+    is a maximal run whose consecutive gaps are all <= ``margin``.
+    Runs are ordered largest-first with ties broken by the smallest
+    original index, matching the scalar clustering helper.
+    """
+    order = np.argsort(values, kind="stable")
+    if order.size == 0:
+        return []
+    sorted_values = values[order]
+    splits = np.flatnonzero(np.diff(sorted_values) > margin) + 1
+    runs = np.split(order, splits)
+    runs.sort(key=lambda run: (-run.size, int(run.min())))
+    return runs
+
+
+def _weighted_mean(values: np.ndarray, weights: Optional[np.ndarray]) -> float:
+    if weights is None:
+        # x * 1.0 == x bitwise and sum(ones) is the exact count, so the
+        # unweighted mean reduces to sum/len with identical rounding.
+        return float(values.sum() / float(values.size))
+    total = weights.sum()
+    if total == 0:
+        return float(values.mean())
+    return float((values * weights).sum() / total)
+
+
+def _mean_nearest_neighbour(
+    values: np.ndarray, weights: Optional[np.ndarray]
+) -> float:
+    centre = _weighted_mean(values, weights)
+    if weights is None:
+        return float(values[np.argmin(np.abs(values - centre))])
+    eligible = np.flatnonzero(weights > 0)
+    if eligible.size == 0:
+        eligible = np.arange(values.size)
+    best = eligible[np.argmin(np.abs(values[eligible] - centre))]
+    return float(values[best])
+
+
+def _weighted_median(
+    values: np.ndarray, weights: Optional[np.ndarray]
+) -> float:
+    if weights is None or weights.sum() == 0:
+        weights = np.ones_like(values)
+    order = np.argsort(values, kind="stable")
+    ranked = values[order]
+    cumulative = np.cumsum(weights[order])
+    cutoff = cumulative[-1] / 2.0
+    idx = min(int(np.searchsorted(cumulative, cutoff)), ranked.size - 1)
+    return float(ranked[idx])
+
+
+def collate_fast(
+    method: str,
+    values: np.ndarray,
+    weights: Optional[np.ndarray] = None,
+) -> float:
+    """Collate one round's values, bit-identical to :func:`collate`.
+
+    ``weights=None`` means uniform weights.  Skips the defensive
+    re-validation in ``collation._as_arrays``; callers must pass
+    finite values and non-negative weights.
+    """
+    if method == "MEAN":
+        return _weighted_mean(values, weights)
+    if method == "MEAN_NEAREST_NEIGHBOR":
+        return _mean_nearest_neighbour(values, weights)
+    if method == "MEDIAN":
+        return _weighted_median(values, weights)
+    raise ValueError(f"no fast collation for method {method!r}")

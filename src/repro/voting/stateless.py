@@ -7,6 +7,8 @@ vote" of the latency claim in §7.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..types import Round, VoteOutcome
 from .base import Voter
 from .collation import collate, weighted_plurality
@@ -35,6 +37,16 @@ class CollationVoter(Voter):
             value=collate(self.collation, values),
             weights={r.module: 1.0 for r in voting_round.present},
         )
+
+    def batch_kernel(self) -> Optional[str]:
+        """``"stateless"`` for the numeric collations (fully vectorized)."""
+        from .kernels import BATCHABLE_COLLATIONS
+
+        if type(self).vote is not CollationVoter.vote:
+            return None
+        if self.collation not in BATCHABLE_COLLATIONS:
+            return None
+        return "stateless"
 
 
 class MeanVoter(CollationVoter):
@@ -79,6 +91,13 @@ class PluralityVoter(Voter):
             weights={r.module: 1.0 for r in voting_round.present},
             diagnostics={"tallies": tallies},
         )
+
+    def batch_kernel(self) -> Optional[str]:
+        """``"plurality"`` — a sequential tally loop (the tie-break is a
+        genuine cross-round dependency) without Round allocation."""
+        if type(self).vote is not PluralityVoter.vote:
+            return None
+        return "plurality"
 
     def reset(self) -> None:
         self._last_output = None

@@ -56,9 +56,14 @@ class TestVoterMapping:
         voter = build_voter(AVOC_SPEC)
         assert voter.params.learning_rate == AvocVoter.default_params().learning_rate
 
-    def test_quorum_translated(self):
+    def test_quorum_left_to_engine(self):
+        # The spec's quorum is no longer baked into the voter params —
+        # the engine-level QuorumRule is the single enforcement point.
         voter = build_voter(AVOC_SPEC)
-        assert voter.params.quorum_percentage == 100.0
+        assert voter.params.quorum_percentage == 0.0
+        engine = build_engine(AVOC_SPEC)
+        assert engine.quorum.mode == AVOC_SPEC.quorum
+        assert engine.quorum.percentage == AVOC_SPEC.quorum_percentage
 
     def test_history_store_forwarded(self):
         store = MemoryHistoryStore()
