@@ -1,0 +1,180 @@
+"""Parallel runtime perf baseline.
+
+Two recorded numbers, written to ``BENCH_parallel.json``:
+
+* **sweep speedup** — wall-clock of a 64-trial seeded random search
+  (each trial fuses a 2000 × 8 matrix through AVOC) at ``workers=1``
+  vs ``workers=4``.  Floor: >= 2.5x — enforced only on hosts with at
+  least 4 CPUs (single-core containers record honest numbers with
+  ``enforced: false``; CI runners enforce).
+* **ragged kernel speedup** — the count-bucketed ragged-row kernels
+  vs the per-round loop on a heavily gap-ridden matrix.  Floor: >= 2x,
+  always enforced (it is a single-core property).
+
+Both measurements double as determinism checks: the parallel runs must
+return results bit-identical to the sequential ones.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+import pytest
+
+from repro.fusion.engine import FusionEngine
+from repro.runtime.pool import fork_available
+from repro.tuning.random_search import random_search
+from repro.tuning.space import Continuous, ParameterSpace
+from repro.types import Round, is_missing
+from repro.voting.registry import create_voter
+
+_OUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
+
+SWEEP_FLOOR = 2.5
+RAGGED_FLOOR = 2.0
+
+
+def _merge_report(key, payload):
+    report = {}
+    if _OUT.exists():
+        report = json.loads(_OUT.read_text())
+    report["cpu_count"] = os.cpu_count()
+    report[key] = payload
+    _OUT.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+
+def test_sweep_speedup_at_4_workers(benchmark, capsys):
+    """64-trial random search wall-clock, workers=1 vs workers=4."""
+    if not fork_available():
+        pytest.skip("needs the fork start method")
+
+    rng = np.random.default_rng(7)
+    matrix = 18.0 + 0.1 * rng.standard_normal((2_000, 8))
+    modules = [f"E{i+1}" for i in range(8)]
+    space = ParameterSpace(
+        {
+            "error": Continuous(0.01, 0.2),
+            "soft_threshold": Continuous(1.0, 3.0),
+        }
+    )
+
+    def objective(params):
+        voter = create_voter("avoc", params=params)
+        engine = FusionEngine(voter, roster=modules)
+        values = engine.process_batch(matrix, modules).values
+        return float(np.nanvar(values))
+
+    def sweep(workers):
+        start = time.perf_counter()
+        result = random_search(
+            objective, space, n_trials=64, seed=11, workers=workers
+        )
+        return time.perf_counter() - start, result
+
+    def measure():
+        seq_s, seq = sweep(1)
+        par_s, par = sweep(4)
+        assert seq.trials == par.trials, "parallel sweep changed the trace"
+        assert seq.best_assignment == par.best_assignment
+        return seq_s, par_s
+
+    seq_s, par_s = benchmark.pedantic(measure, iterations=1, rounds=1)
+    speedup = seq_s / par_s
+    enforced = (os.cpu_count() or 1) >= 4
+    _merge_report(
+        "sweep_random_search_64",
+        {
+            "trials": 64,
+            "rounds_per_trial": int(matrix.shape[0]),
+            "workers_1_seconds": round(seq_s, 3),
+            "workers_4_seconds": round(par_s, 3),
+            "speedup": round(speedup, 2),
+            "floor": SWEEP_FLOOR,
+            "enforced": enforced,
+        },
+    )
+    mode = (
+        "enforced"
+        if enforced
+        else f"recorded only: {os.cpu_count()} CPU(s)"
+    )
+    with capsys.disabled():
+        print(
+            f"\nsweep: workers=1 {seq_s:.2f}s, workers=4 {par_s:.2f}s, "
+            f"{speedup:.2f}x (floor {SWEEP_FLOOR}x, {mode})"
+        )
+    if enforced:
+        assert speedup >= SWEEP_FLOOR, (
+            f"sweep speedup {speedup:.2f}x below the {SWEEP_FLOOR}x floor"
+        )
+
+
+def test_ragged_kernel_speedup(benchmark, capsys):
+    """Bucketed ragged kernels vs the per-round loop (single-core)."""
+    rng = np.random.default_rng(42)
+    matrix = 18.0 + 0.1 * rng.standard_normal((10_000, 8))
+    # Heavy raggedness: ~55 % of rows lose at least one module.
+    matrix[rng.random(matrix.shape) < 0.1] = np.nan
+    modules = [f"E{i+1}" for i in range(8)]
+    ragged_fraction = float(np.mean(np.isnan(matrix).any(axis=1)))
+
+    def legacy(algorithm):
+        engine = FusionEngine(create_voter(algorithm), roster=modules)
+        start = time.perf_counter()
+        values = []
+        for number, row in enumerate(matrix):
+            mapping = {
+                m: (None if is_missing(v) else float(v))
+                for m, v in zip(modules, row)
+            }
+            result = engine.process(Round.from_mapping(number, mapping))
+            values.append(np.nan if result.value is None else result.value)
+        return time.perf_counter() - start, np.asarray(values, dtype=float)
+
+    def batched(algorithm):
+        engine = FusionEngine(create_voter(algorithm), roster=modules)
+        start = time.perf_counter()
+        batch = engine.process_batch(matrix, modules)
+        return time.perf_counter() - start, batch.values
+
+    def measure():
+        report = {}
+        for algorithm in ("average", "avoc"):
+            loop_s, loop_values = legacy(algorithm)
+            batch_s, batch_values = batched(algorithm)
+            np.testing.assert_array_equal(loop_values, batch_values)
+            report[algorithm] = {
+                "loop_seconds": round(loop_s, 4),
+                "batch_seconds": round(batch_s, 4),
+                "speedup": round(loop_s / batch_s, 2),
+            }
+        return report
+
+    report = benchmark.pedantic(measure, iterations=1, rounds=1)
+    _merge_report(
+        "ragged_kernel",
+        {
+            "rounds": int(matrix.shape[0]),
+            "modules": int(matrix.shape[1]),
+            "ragged_row_fraction": round(ragged_fraction, 3),
+            "floor": RAGGED_FLOOR,
+            "enforced": True,
+            "algorithms": report,
+        },
+    )
+    with capsys.disabled():
+        for algorithm, row in report.items():
+            print(
+                f"\nragged {algorithm}: loop {row['loop_seconds']*1e3:.0f} ms, "
+                f"batch {row['batch_seconds']*1e3:.0f} ms, "
+                f"{row['speedup']:.1f}x (floor {RAGGED_FLOOR}x)"
+            )
+    for algorithm, row in report.items():
+        assert row["speedup"] >= RAGGED_FLOOR, (
+            f"ragged {algorithm}: {row['speedup']:.2f}x below the "
+            f"{RAGGED_FLOOR}x floor"
+        )

@@ -6,6 +6,9 @@ Public API highlights:
 * :func:`repro.fuse` — one-call batched fusion of a rounds × modules
   value matrix through any registered algorithm (the vectorized fast
   path; see :meth:`FusionEngine.process_batch`).
+* :func:`repro.fuse_many` — the same over *many* matrices at once,
+  fanned out across worker processes with shared-memory input transfer
+  (:mod:`repro.runtime`; results are worker-count invariant).
 * :mod:`repro.voting` — the voting algorithm zoo (AVOC, Hybrid, Me, Sdt,
   Standard, clustering-only, stateless baselines, MLV, categorical).
 * :mod:`repro.vdx` — the VDX voting-definition specification: parse,
@@ -31,6 +34,7 @@ from .fusion import (
     VectorFusion,
     fuse,
 )
+from .runtime import fuse_many
 from .types import MISSING, Reading, Round, Series, VoteOutcome, is_missing
 from .voting import (
     AvocVoter,
@@ -60,6 +64,7 @@ __all__ = [
     "VoteOutcome",
     "is_missing",
     "fuse",
+    "fuse_many",
     "BatchResult",
     "FaultPolicy",
     "FusionEngine",

@@ -1,0 +1,72 @@
+"""Fan experiment cells over the runtime worker pool.
+
+The experiment drivers all share one shape: a grid of independent
+(algorithm, dataset-variant) cells, each running one voter over one
+rounds × modules matrix.  :func:`dataset_payload` prepares the datasets
+for the pool — each matrix is copied **once** into a
+:class:`~repro.runtime.sharedmem.SharedMatrix` segment that every
+worker maps, while the cheap skeleton (names, modules, metadata)
+travels by fork inheritance.  :func:`materialise` rebuilds a
+:class:`Dataset` view on the worker side without copying the floats.
+
+When the driver runs in-process (``workers=1`` or no ``fork``), the
+datasets pass through untouched and no segment is ever created.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator, List, Sequence, Tuple, Union
+
+from ..datasets.dataset import Dataset
+from ..runtime.pool import fork_available, resolve_workers
+from ..runtime.sharedmem import SharedMatrix
+
+__all__ = ["DatasetHandle", "dataset_payload", "materialise"]
+
+#: Either a plain dataset (in-process) or a (segment, skeleton) pair.
+DatasetHandle = Union[Dataset, Tuple[SharedMatrix, dict]]
+
+
+@contextmanager
+def dataset_payload(
+    datasets: Sequence[Dataset], workers: Any
+) -> Iterator[List[DatasetHandle]]:
+    """Yield worker-ready handles for ``datasets``; owns the segments.
+
+    The segments live exactly as long as the ``with`` block, so run the
+    parallel map inside it.
+    """
+    if resolve_workers(workers) == 1 or not fork_available():
+        yield list(datasets)
+        return
+    segments: List[SharedMatrix] = []
+    try:
+        handles: List[DatasetHandle] = []
+        for dataset in datasets:
+            segment = SharedMatrix.from_array(dataset.matrix)
+            segments.append(segment)
+            handles.append(
+                (
+                    segment,
+                    {
+                        "name": dataset.name,
+                        "modules": list(dataset.modules),
+                        "times": dataset.times,
+                        "metadata": dataset.metadata,
+                    },
+                )
+            )
+        yield handles
+    finally:
+        for segment in segments:
+            segment.unlink()
+            segment.close()
+
+
+def materialise(handle: DatasetHandle) -> Dataset:
+    """The dataset behind a handle (zero-copy for shared segments)."""
+    if isinstance(handle, Dataset):
+        return handle
+    segment, skeleton = handle
+    return Dataset(matrix=segment.asarray(), **skeleton)

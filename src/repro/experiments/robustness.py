@@ -19,7 +19,7 @@ each algorithm's residual error, reveals three regimes —
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -27,7 +27,9 @@ from ..analysis.diff import run_voter_series
 from ..datasets.dataset import Dataset
 from ..datasets.injection import offset_fault
 from ..datasets.light_uc1 import UC1Config, generate_uc1_dataset
+from ..runtime.pool import parallel_map
 from ..voting.registry import create_voter
+from ._parallel import dataset_payload, materialise
 
 #: Offsets to sweep, in kilolumen (the margin sits around 0.9).
 DEFAULT_DELTAS: Tuple[float, ...] = (0.25, 0.5, 1.0, 1.5, 2.0, 3.0, 6.0, 12.0)
@@ -65,12 +67,22 @@ class RobustnessResult:
         return max(bad) if bad else None
 
 
+def _sweep_cell(payload, cell):
+    handle, fault_module = payload
+    algorithm, delta = cell
+    dataset = materialise(handle)
+    if delta is not None:
+        dataset = offset_fault(dataset, fault_module, delta)
+    return run_voter_series(create_voter(algorithm), dataset)
+
+
 def run_robustness_sweep(
     clean: Dataset = None,
     deltas: Sequence[float] = DEFAULT_DELTAS,
     algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
     fault_module: str = "E4",
     warmup: int = 10,
+    workers: Optional[int] = 1,
 ) -> RobustnessResult:
     """Sweep fault magnitudes over every algorithm.
 
@@ -81,22 +93,34 @@ def run_robustness_sweep(
         fault_module: which module carries the fault.
         warmup: rounds skipped before measuring the residual, so the
             metric reflects the settled behaviour rather than the spike.
+        workers: the (algorithm, delta) grid cells run on this many
+            worker processes; the clean matrix travels once through
+            shared memory and each worker injects its own fault copy.
+            The result is identical for any value.
     """
     if clean is None:
         clean = generate_uc1_dataset(UC1Config(n_rounds=400))
     result = RobustnessResult(
         deltas=tuple(deltas), algorithms=tuple(algorithms)
     )
-    clean_outputs = {
-        algorithm: run_voter_series(create_voter(algorithm), clean)
-        for algorithm in algorithms
-    }
+    cells = [(algorithm, None) for algorithm in algorithms]
+    cells += [
+        (algorithm, delta) for algorithm in algorithms for delta in deltas
+    ]
+    with dataset_payload((clean,), workers) as (handle,):
+        outputs = parallel_map(
+            _sweep_cell,
+            cells,
+            workers=workers,
+            payload=(handle, fault_module),
+        )
+    clean_outputs = dict(zip(algorithms, outputs))
+    pos = len(algorithms)
     for algorithm in algorithms:
         residuals = []
-        for delta in deltas:
-            faulty = offset_fault(clean, fault_module, delta)
-            fault_out = run_voter_series(create_voter(algorithm), faulty)
-            diff = np.abs(fault_out - clean_outputs[algorithm])[warmup:]
+        for _ in deltas:
+            diff = np.abs(outputs[pos] - clean_outputs[algorithm])[warmup:]
             residuals.append(float(np.nanmean(diff)))
+            pos += 1
         result.residual[algorithm] = residuals
     return result

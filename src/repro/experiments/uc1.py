@@ -17,7 +17,7 @@ convergence boost (the abstract's 4×).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -27,8 +27,10 @@ from ..datasets.dataset import Dataset
 from ..datasets.injection import offset_fault
 from ..datasets.light_uc1 import UC1Config, generate_uc1_dataset
 from ..fusion.engine import FusionEngine
+from ..runtime.pool import parallel_map
 from ..voting.base import Voter
 from ..voting.registry import create_voter
+from ._parallel import dataset_payload, materialise
 
 #: The six variants compared in Fig. 6 (paper labels:
 #: avg. / standard / ME / Hybrid / Clustering / AVOC).
@@ -109,27 +111,57 @@ def exclusion_round(voter: Voter, faulty: Dataset, module: str) -> int:
     return min(last_included + 1, faulty.n_rounds)
 
 
+def _fig6_cell(payload, cell):
+    clean, faulty, fault_module = payload
+    algorithm, kind = cell
+    if kind == "clean":
+        return run_voter_series(make_uc1_voter(algorithm), materialise(clean))
+    if kind == "fault":
+        return run_voter_series(make_uc1_voter(algorithm), materialise(faulty))
+    return exclusion_round(
+        make_uc1_voter(algorithm), materialise(faulty), fault_module
+    )
+
+
 def run_fig6(
     config: UC1Config = UC1Config(),
     fault_module: str = FAULT_MODULE,
     fault_delta: float = FAULT_DELTA,
     tolerance: float = 0.3,
+    workers: Optional[int] = 1,
 ) -> Fig6Result:
-    """Run the full UC-1 comparison on a freshly generated dataset."""
+    """Run the full UC-1 comparison on a freshly generated dataset.
+
+    The 6 algorithms × {clean, fault, exclusion} cells are independent
+    and fan out over ``workers`` processes; the clean and faulty
+    matrices travel once through shared memory.  The result is
+    identical for any ``workers`` value.
+    """
     clean = generate_uc1_dataset(config)
     faulty = offset_fault(clean, fault_module, fault_delta)
     result = Fig6Result(
         clean=clean, faulty=faulty, fault_module=fault_module, tolerance=tolerance
     )
+    cells = [
+        (algorithm, kind)
+        for algorithm in FIG6_ALGORITHMS
+        for kind in ("clean", "fault", "exclusion")
+    ]
+    with dataset_payload((clean, faulty), workers) as (clean_h, faulty_h):
+        outputs = parallel_map(
+            _fig6_cell,
+            cells,
+            workers=workers,
+            payload=(clean_h, faulty_h, fault_module),
+        )
+    by_cell = dict(zip(cells, outputs))
     for algorithm in FIG6_ALGORITHMS:
-        clean_out = run_voter_series(make_uc1_voter(algorithm), clean)
-        fault_out = run_voter_series(make_uc1_voter(algorithm), faulty)
+        clean_out = by_cell[(algorithm, "clean")]
+        fault_out = by_cell[(algorithm, "fault")]
         diff = fault_out - clean_out
         result.clean_outputs[algorithm] = clean_out
         result.fault_outputs[algorithm] = fault_out
         result.diffs[algorithm] = diff
         result.convergence_rounds[algorithm] = convergence_round(diff, tolerance)
-        result.exclusion_rounds[algorithm] = exclusion_round(
-            make_uc1_voter(algorithm), faulty, fault_module
-        )
+        result.exclusion_rounds[algorithm] = by_cell[(algorithm, "exclusion")]
     return result

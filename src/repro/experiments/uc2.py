@@ -16,7 +16,7 @@ rounds.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -27,8 +27,10 @@ from ..analysis.ambiguity import (
 )
 from ..analysis.diff import run_voter_series
 from ..datasets.ble_uc2 import UC2Config, UC2Dataset, generate_uc2_dataset
+from ..runtime.pool import parallel_map
 from ..voting.base import Voter
 from ..voting.registry import create_voter
+from ._parallel import dataset_payload, materialise
 
 #: The two behavioural groups the paper observes on UC-2: algorithms
 #: that average the (weighted) values, and algorithms that select the
@@ -108,6 +110,11 @@ class Fig7Result:
         }
 
 
+def _fig7_cell(payload, cell):
+    stack, algorithm = cell
+    return run_voter_series(make_uc2_voter(algorithm), materialise(payload[stack]))
+
+
 def run_fig7(
     config: UC2Config = UC2Config(),
     margin_db: float = DEFAULT_MARGIN_DB,
@@ -119,24 +126,48 @@ def run_fig7(
         "hybrid",
         "avoc",
     ),
+    workers: Optional[int] = 1,
 ) -> Fig7Result:
-    """Run the full UC-2 comparison on a freshly generated dataset."""
+    """Run the full UC-2 comparison on a freshly generated dataset.
+
+    Every (stack, algorithm) series is an independent cell and fans out
+    over ``workers`` processes; each stack's matrix travels once
+    through shared memory.  The result is identical for any ``workers``
+    value.
+    """
     dataset = generate_uc2_dataset(config)
     result = Fig7Result(dataset=dataset, margin_db=margin_db)
 
-    for stack, ds in dataset.stacks().items():
+    stacks = dataset.stacks()
+    cells = [
+        (stack, algorithm)
+        for stack in stacks
+        for algorithm in ("average", "avoc")
+    ]
+    cells += [
+        (stack, algorithm) for algorithm in algorithms for stack in stacks
+    ]
+    with dataset_payload(list(stacks.values()), workers) as handles:
+        outputs = parallel_map(
+            _fig7_cell,
+            cells,
+            workers=workers,
+            payload=dict(zip(stacks.keys(), handles)),
+        )
+
+    pos = 0
+    for stack, ds in stacks.items():
         # Fig. 7-a: only the first beacon of the stack.
         result.single_beacon[stack] = ds.column(ds.modules[0])
         # Fig. 7-b: plain average over all nine beacons.
-        result.nine_average[stack] = run_voter_series(
-            make_uc2_voter("average"), ds
-        )
+        result.nine_average[stack] = outputs[pos]
         # Fig. 7-c: AVOC per stack.
-        result.avoc_voting[stack] = run_voter_series(make_uc2_voter("avoc"), ds)
-
+        result.avoc_voting[stack] = outputs[pos + 1]
+        pos += 2
     for algorithm in algorithms:
         series = {}
-        for stack, ds in dataset.stacks().items():
-            series[stack] = run_voter_series(make_uc2_voter(algorithm), ds)
+        for stack in stacks:
+            series[stack] = outputs[pos]
+            pos += 1
         result.per_algorithm[algorithm] = series
     return result

@@ -592,15 +592,32 @@ def _run_history(ctx: _BatchContext) -> None:
         ctx.votable,
     )
 
+    collate = kernels.collation_function(collation)
+    # The clamp and the state-independent half of the record update are
+    # the same expression for every round — hoist them out of the loop.
+    clamped_all = np.minimum(np.maximum(scores_all, 0.0), 1.0)
+    if additive:
+        step_all = reward * clamped_all - penalty * (1.0 - clamped_all)
+    else:
+        step_all = learning_rate * clamped_all
+        one_minus_lr = 1.0 - learning_rate
+
     dense = ctx.counts == ctx.n_modules
     all_columns = np.arange(ctx.n_modules)
+    # When the history columns line up with the matrix columns (the
+    # common case: history starts empty, or same module order), dense
+    # rows can slice ``state`` directly instead of fancy-indexing.
+    identity = len(universe) == ctx.n_modules and bool(
+        np.array_equal(cols, all_columns)
+    )
+    dense_slots = slice(None) if identity else cols
     any_vote = False
 
-    for number in np.flatnonzero(ctx.votable):
+    for number in np.flatnonzero(ctx.votable).tolist():
         any_vote = True
         if dense[number]:
             present = all_columns
-            slots = cols
+            slots = dense_slots
             values = ctx.matrix[number]
         else:
             present = np.flatnonzero(ctx.mask[number])
@@ -624,7 +641,7 @@ def _run_history(ctx: _BatchContext) -> None:
             margin = float(margins[number] * params.soft_threshold)
             runs = kernels.sorted_runs(values, margin)
             winners = np.sort(runs[0])
-            value = kernels.collate_fast(collation, values[winners])
+            value = collate(values[winners], None)
             seeded = np.zeros(values.size)
             seeded[winners] = 1.0
             state[slots] = seeded
@@ -652,7 +669,12 @@ def _run_history(ctx: _BatchContext) -> None:
                 )
             continue
 
-        scores = scores_all[number, present]
+        if dense[number]:
+            scores = scores_all[number]
+            step = step_all[number]
+        else:
+            scores = scores_all[number, present]
+            step = step_all[number, present]
         if source == "history":
             weights = records.copy()
         elif source == "agreement":
@@ -663,16 +685,14 @@ def _run_history(ctx: _BatchContext) -> None:
             if fixed_elimination:
                 eliminated = records < elimination_cutoff
             else:
-                mean_record = sum(records.tolist()) / values.size
-                eliminated = records < (mean_record - 1e-12)
+                eliminated = records < (records.mean() - 1e-12)
             weights[eliminated] = 0.0
-        value = kernels.collate_fast(collation, values, weights)
+        value = collate(values, weights)
 
-        clamped = np.minimum(np.maximum(scores, 0.0), 1.0)
         if additive:
-            updated = records + (reward * clamped - penalty * (1.0 - clamped))
+            updated = records + step
         else:
-            updated = (1.0 - learning_rate) * records + learning_rate * clamped
+            updated = one_minus_lr * records + step
         state[slots] = np.minimum(np.maximum(updated, 0.0), 1.0)
         update_count += 1
         rounds_voted += 1

@@ -1,0 +1,36 @@
+"""Parallel execution runtime: process-pool fan-out for sweeps.
+
+Everything above a single :meth:`FusionEngine.process_batch` call —
+parameter searches, the Fig. 6/Fig. 7 experiment drivers, robustness
+sweeps, multi-series fusion — is embarrassingly parallel.  This package
+provides the one worker-pool abstraction they all share:
+
+* :class:`WorkerPool` / :func:`parallel_map` — chunked process-pool
+  scheduling with deterministic result ordering, fork-inherited
+  payloads (closures and datasets reach workers without pickling) and
+  graceful in-process fallback when ``workers=1`` or the platform has
+  no ``fork``.
+* :class:`SharedMatrix` — zero-copy distribution of rounds × modules
+  float matrices through ``multiprocessing.shared_memory``.
+* :func:`fuse_many` — fuse many independent series at once, one fresh
+  engine per series, packed into a single shared segment.
+
+The determinism guarantee is global: every parallel entry point returns
+results bit-identical to its sequential path regardless of worker
+count.  Seeded searches sample trial assignments from the sequential
+RNG stream in the parent (seed-per-trial, never seed-per-worker), so a
+sweep's trace is reproducible on any machine at any parallelism.
+"""
+
+from .fuse_many import fuse_many
+from .pool import WorkerPool, fork_available, parallel_map, resolve_workers
+from .sharedmem import SharedMatrix
+
+__all__ = [
+    "SharedMatrix",
+    "WorkerPool",
+    "fork_available",
+    "fuse_many",
+    "parallel_map",
+    "resolve_workers",
+]

@@ -1,0 +1,155 @@
+"""Fuse many independent series at once: the batch-of-batches API.
+
+:func:`fuse_many` is the parallel companion of :func:`repro.fuse`: it
+takes *many* rounds × modules matrices (different stacks, shelves,
+tenants, replay windows ...) and fuses each through its own fresh
+engine, fanning the work out over a :class:`~repro.runtime.pool.WorkerPool`.
+
+All input matrices are packed into **one** shared-memory segment
+(:class:`~repro.runtime.sharedmem.SharedMatrix`), so workers map the
+float data instead of receiving pickled copies; only the per-series
+:class:`~repro.fusion.batch.BatchResult` objects travel back.
+
+Determinism: every series is fused through an independent engine (a
+stateful :class:`Voter` instance is deep-copied per series), results
+come back in input order, and the output is bit-identical for any
+worker count — including ``workers=1``, which runs fully in-process.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import FusionError
+from ..fusion.batch import BatchResult, fuse
+from ..voting.base import Voter
+from .pool import WorkerPool, fork_available, resolve_workers
+from .sharedmem import SharedMatrix
+
+__all__ = ["fuse_many"]
+
+
+def _normalise(matrices: Sequence[Any]) -> List[np.ndarray]:
+    out: List[np.ndarray] = []
+    for i, values in enumerate(matrices):
+        matrix = np.asarray(values, dtype=float)
+        if matrix.ndim == 1:
+            matrix = matrix[None, :]
+        if matrix.ndim != 2:
+            raise FusionError(
+                f"matrix {i}: expected 2-D (or 1-D single round), "
+                f"got shape {matrix.shape}"
+            )
+        out.append(matrix)
+    return out
+
+
+def _fuse_one(spec: dict, matrix: np.ndarray) -> BatchResult:
+    voter = spec["voter"]
+    if isinstance(voter, Voter):
+        # Each series gets an independent engine: never mutate the
+        # caller's instance, and never leak history across series.
+        voter = copy.deepcopy(voter)
+    return fuse(
+        matrix,
+        voter,
+        spec["modules"],
+        params=spec["params"],
+        quorum=spec["quorum"],
+        fault_policy=spec["fault_policy"],
+        roster=spec["roster"],
+        diagnostics=spec["diagnostics"],
+    )
+
+
+def _fuse_entry(payload, index: int) -> BatchResult:
+    shared, entries, spec = payload
+    offset, shape = entries[index]
+    flat = shared.asarray()
+    matrix = flat[offset : offset + shape[0] * shape[1]].reshape(shape)
+    return _fuse_one(spec, matrix)
+
+
+def fuse_many(
+    matrices: Sequence[Any],
+    voter: Any = "avoc",
+    modules: Optional[Sequence[str]] = None,
+    *,
+    params: Optional[Any] = None,
+    quorum: Optional[Any] = None,
+    fault_policy: Optional[Any] = None,
+    roster: Optional[Sequence[str]] = None,
+    diagnostics: bool = False,
+    workers: Optional[int] = 1,
+    chunk_size: Optional[int] = None,
+) -> List[BatchResult]:
+    """Fuse every matrix in ``matrices`` through its own fresh engine.
+
+    Args:
+        matrices: a sequence of rounds × modules array-likes (a 1-D
+            entry is one round).  Shapes may differ; when ``modules`` is
+            given, every matrix must have ``len(modules)`` columns.
+        voter: algorithm name, :class:`Voter` instance (deep-copied per
+            series) or VDX ``VotingSpec`` — same contract as
+            :func:`repro.fuse`.
+        modules / params / quorum / fault_policy / roster / diagnostics:
+            forwarded to :func:`repro.fuse` for every series.
+        workers: worker processes (``1`` = in-process, ``None`` = one
+            per CPU).  The result is identical for any value.
+        chunk_size: series per scheduled task (default: auto).
+
+    Returns:
+        One :class:`BatchResult` per input matrix, in input order.
+
+    Example:
+        >>> from repro.runtime import fuse_many
+        >>> a, b = [[1.0, 1.1, 0.9]], [[2.0, 2.2, 2.1], [2.0, 2.0, 1.9]]
+        >>> [r.values.round(2).tolist() for r in fuse_many([a, b], "average")]
+        [[1.0], [2.1, 1.97]]
+    """
+    mats = _normalise(matrices)
+    if modules is not None:
+        for i, matrix in enumerate(mats):
+            if matrix.shape[1] != len(modules):
+                raise FusionError(
+                    f"matrix {i} has {matrix.shape[1]} columns but "
+                    f"{len(modules)} module names were given"
+                )
+    if not mats:
+        return []
+    spec = {
+        "voter": voter,
+        "modules": None if modules is None else list(modules),
+        "params": params,
+        "quorum": quorum,
+        "fault_policy": fault_policy,
+        "roster": None if roster is None else list(roster),
+        "diagnostics": diagnostics,
+    }
+
+    if resolve_workers(workers) == 1 or not fork_available():
+        return [_fuse_one(spec, matrix) for matrix in mats]
+
+    # Pack every matrix into one shared segment: workers slice views.
+    offsets: List[Tuple[int, Tuple[int, int]]] = []
+    total = 0
+    for matrix in mats:
+        offsets.append((total, matrix.shape))
+        total += matrix.size
+    flat = np.empty(total, dtype=float)
+    for (offset, shape), matrix in zip(offsets, mats):
+        flat[offset : offset + matrix.size] = matrix.ravel()
+
+    shared = SharedMatrix.from_array(flat)
+    try:
+        payload = (shared, offsets, spec)
+        with WorkerPool(
+            workers=workers, payload=payload, chunk_size=chunk_size
+        ) as pool:
+            return pool.map(_fuse_entry, range(len(mats)))
+    finally:
+        shared.unlink()
+        shared.close()

@@ -1,0 +1,190 @@
+"""The worker-pool abstraction behind every parallel sweep.
+
+:class:`WorkerPool` wraps :class:`concurrent.futures.ProcessPoolExecutor`
+with the three properties the sweeps and searches need:
+
+* **zero-copy payload distribution** — the pool is created *after* a
+  per-pool payload (datasets, objectives, shared-memory handles) is
+  parked in a module-level table; the ``fork`` start method makes every
+  worker inherit that table, so closures and large arrays reach the
+  workers without pickling.  Combined with
+  :class:`~repro.runtime.sharedmem.SharedMatrix` payload entries, the
+  rounds × modules matrices are never copied at all.
+* **chunked scheduling with deterministic ordering** — :meth:`map`
+  splits the items into index-tagged chunks, hands them to whichever
+  worker is free, and reassembles results by index.  The output order
+  (and therefore every downstream reduction) is identical regardless of
+  worker count or completion order.
+* **graceful degradation** — ``workers=1``, a platform without the
+  ``fork`` start method, or an unavailable executor all fall back to
+  plain in-process execution with the exact same calling convention, so
+  callers never branch.
+
+A crashed task (an exception, or a worker killed hard) cancels the
+remaining work, shuts the pool down, and re-raises in the caller — no
+hang, no orphaned processes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+__all__ = ["WorkerPool", "fork_available", "parallel_map", "resolve_workers"]
+
+#: Per-pool payloads, inherited by workers through fork.  Keyed by a
+#: process-unique token so nested / concurrent pools cannot collide.
+_PAYLOADS: Dict[str, Any] = {}
+_TOKENS = itertools.count()
+
+
+def fork_available() -> bool:
+    """True when the platform supports the ``fork`` start method."""
+    try:
+        return "fork" in multiprocessing.get_all_start_methods()
+    except Exception:  # pragma: no cover - exotic platforms
+        return False
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalise a ``workers`` argument: None means one per CPU."""
+    if workers is None:
+        workers = os.cpu_count() or 1
+    workers = int(workers)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def _run_chunk(fn: Callable, token: Optional[str], chunk: List[Any]) -> List[Any]:
+    """Execute one chunk of items in a worker (or in-process)."""
+    if token is None:
+        return [fn(item) for item in chunk]
+    payload = _PAYLOADS[token]
+    return [fn(payload, item) for item in chunk]
+
+
+class WorkerPool:
+    """A process pool with payload inheritance and ordered chunked map.
+
+    Args:
+        workers: worker-process count; ``None`` means one per CPU and
+            ``1`` selects in-process execution (no processes at all).
+        payload: optional per-pool context (datasets, objectives,
+            :class:`SharedMatrix` handles).  When given, task functions
+            are called as ``fn(payload, item)``; without it, ``fn(item)``.
+            The payload travels to workers by fork inheritance, never by
+            pickling, so closures are fine.
+        chunk_size: default items per scheduled task (None: item count
+            split into ~4 chunks per worker, a balance between
+            scheduling overhead and load balancing).
+
+    The pool is reusable across :meth:`map` calls (a genetic search
+    scores every generation on one pool) and must be closed — use it as
+    a context manager.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        payload: Any = None,
+        chunk_size: Optional[int] = None,
+    ):
+        self.workers = resolve_workers(workers)
+        self.chunk_size = chunk_size
+        self._payload = payload
+        self._has_payload = payload is not None
+        self._token: Optional[str] = None
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self.in_process = self.workers == 1 or not fork_available()
+        if not self.in_process:
+            if self._has_payload:
+                self._token = f"pool-{os.getpid()}-{next(_TOKENS)}"
+                _PAYLOADS[self._token] = payload
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=multiprocessing.get_context("fork"),
+            )
+
+    # -- scheduling --------------------------------------------------------
+
+    def _chunks(self, items: Sequence[Any], chunk_size: Optional[int]):
+        size = chunk_size or self.chunk_size
+        if size is None:
+            size = max(1, -(-len(items) // (self.workers * 4)))
+        size = max(1, int(size))
+        for start in range(0, len(items), size):
+            yield start, list(items[start : start + size])
+
+    def map(
+        self,
+        fn: Callable,
+        items: Iterable[Any],
+        chunk_size: Optional[int] = None,
+    ) -> List[Any]:
+        """Apply ``fn`` to every item; results come back in input order.
+
+        ``fn`` must be a module-level (picklable-by-reference) callable.
+        With a pool payload it is called as ``fn(payload, item)``.  Any
+        task exception cancels the remaining chunks, shuts the executor
+        down, and re-raises here.
+        """
+        items = list(items)
+        if not items:
+            return []
+        if self._executor is None:
+            if self._has_payload:
+                return [fn(self._payload, item) for item in items]
+            return [fn(item) for item in items]
+
+        results: List[Any] = [None] * len(items)
+        futures = {}
+        try:
+            for start, chunk in self._chunks(items, chunk_size):
+                future = self._executor.submit(_run_chunk, fn, self._token, chunk)
+                futures[future] = start
+            for future, start in futures.items():
+                chunk_results = future.result()
+                results[start : start + len(chunk_results)] = chunk_results
+        except BaseException:
+            # A worker raised (or died): stop scheduling, reap the rest,
+            # and surface the original exception to the caller.
+            self.close(cancel=True)
+            raise
+        return results
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self, cancel: bool = False) -> None:
+        """Shut the executor down and release the payload (idempotent)."""
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=cancel)
+        if self._token is not None:
+            _PAYLOADS.pop(self._token, None)
+            self._token = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close(cancel=exc[0] is not None)
+
+
+def parallel_map(
+    fn: Callable,
+    items: Iterable[Any],
+    *,
+    workers: Optional[int] = 1,
+    payload: Any = None,
+    chunk_size: Optional[int] = None,
+    pool: Optional[WorkerPool] = None,
+) -> List[Any]:
+    """One-shot ordered map; ``pool`` reuses an existing WorkerPool."""
+    if pool is not None:
+        return pool.map(fn, items, chunk_size)
+    with WorkerPool(workers=workers, payload=payload, chunk_size=chunk_size) as p:
+        return p.map(fn, items)

@@ -1,0 +1,131 @@
+"""Zero-copy matrix transfer via POSIX shared memory.
+
+:class:`SharedMatrix` places a rounds × modules float matrix (or any
+ndarray) in a :class:`multiprocessing.shared_memory.SharedMemory`
+segment so worker processes can map the same physical pages instead of
+receiving a pickled copy.  Pickling a :class:`SharedMatrix` serialises
+only the segment *name*, shape and dtype — a few dozen bytes — and the
+unpickled handle lazily re-attaches on first :meth:`asarray` call.
+
+Lifecycle contract
+------------------
+The process that calls :meth:`from_array` owns the segment and must
+eventually call :meth:`unlink` (or use the handle as a context manager).
+Attached handles (workers, unpickled copies) only :meth:`close`.  The
+runtime always forks its workers, so every process shares the parent's
+resource tracker and the owner's single unlink keeps the tracker's
+books balanced.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["SharedMatrix"]
+
+
+class SharedMatrix:
+    """A picklable handle to an ndarray living in shared memory."""
+
+    __slots__ = ("name", "shape", "dtype", "_shm", "_owner")
+
+    def __init__(self, name: str, shape: Tuple[int, ...], dtype: str):
+        self.name = name
+        self.shape = tuple(int(s) for s in shape)
+        self.dtype = str(dtype)
+        self._shm: Optional[shared_memory.SharedMemory] = None
+        self._owner = False
+
+    @classmethod
+    def from_array(cls, array: np.ndarray) -> "SharedMatrix":
+        """Copy ``array`` into a fresh shared segment (owner handle)."""
+        array = np.ascontiguousarray(array)
+        shm = shared_memory.SharedMemory(create=True, size=max(1, array.nbytes))
+        handle = cls(shm.name, array.shape, array.dtype.str)
+        handle._shm = shm
+        handle._owner = True
+        if array.nbytes:
+            view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
+            view[...] = array
+        return handle
+
+    # -- pickling: ship the name, not the bytes ---------------------------
+
+    def __getstate__(self):
+        return (self.name, self.shape, self.dtype)
+
+    def __setstate__(self, state):
+        self.name, self.shape, self.dtype = state
+        self._shm = None
+        self._owner = False
+
+    # -- access -----------------------------------------------------------
+
+    def _attach(self) -> shared_memory.SharedMemory:
+        # Attaching re-registers the segment with the resource tracker
+        # on CPython < 3.13 (bpo-39959).  Under the fork start method —
+        # the only one the runtime uses — every process shares the
+        # parent's tracker, where registration is idempotent and the
+        # owner's unlink unregisters exactly once, so no compensation
+        # is needed (and unregistering here would corrupt the owner's
+        # accounting).
+        if self._shm is None:
+            self._shm = shared_memory.SharedMemory(name=self.name)
+        return self._shm
+
+    def asarray(self) -> np.ndarray:
+        """The shared ndarray (attaches on first call).
+
+        The returned array aliases the segment: it stays valid only
+        while this handle is open, and writes are visible to every
+        process.  Callers that need a private copy must copy explicitly.
+        """
+        shm = self._attach()
+        return np.ndarray(self.shape, dtype=np.dtype(self.dtype), buffer=shm.buf)
+
+    @property
+    def nbytes(self) -> int:
+        count = 1
+        for dim in self.shape:
+            count *= dim
+        return count * np.dtype(self.dtype).itemsize
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Unmap the segment from this process (idempotent)."""
+        if self._shm is not None:
+            self._shm.close()
+            self._shm = None
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner only; idempotent)."""
+        if not self._owner:
+            return
+        try:
+            shm = self._shm or shared_memory.SharedMemory(name=self.name)
+        except FileNotFoundError:  # already unlinked
+            self._owner = False
+            return
+        self._shm = shm
+        shm.unlink()
+        self._owner = False
+
+    def __enter__(self) -> "SharedMatrix":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        owner = self._owner
+        if owner:
+            self.unlink()
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        role = "owner" if self._owner else "handle"
+        return (
+            f"SharedMatrix({self.name!r}, shape={self.shape}, "
+            f"dtype={self.dtype!r}, {role})"
+        )

@@ -9,11 +9,12 @@ Deterministic per seed.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..exceptions import ConfigurationError
+from ..runtime.pool import WorkerPool
 from .objective import Objective
 from .search import Trial, TuningResult, _evaluate
 from .space import Choice, Continuous, ParameterSpace
@@ -58,6 +59,10 @@ def _tournament(population, scores, rng, k: int = 3) -> Dict[str, Any]:
     return population[int(winner)]
 
 
+def _freeze(assignment: Dict[str, Any]) -> Tuple:
+    return tuple(sorted(assignment.items()))
+
+
 def genetic_search(
     objective: Objective,
     space: ParameterSpace,
@@ -66,11 +71,23 @@ def genetic_search(
     mutation_rate: float = 0.25,
     mutation_scale: float = 0.15,
     seed: int = 0,
+    workers: Optional[int] = 1,
 ) -> TuningResult:
     """Evolve parameter assignments against the objective.
 
     Invalid assignments (rejected by VoterParams validation) score
     infinity and die out naturally.
+
+    Evaluations are memoized on the frozen assignment: elitism carries
+    the best individual verbatim into the next generation and crossover
+    regularly produces duplicate children, so each repeat costs a dict
+    lookup instead of an objective call.  The answered-from-cache count
+    is reported as :attr:`TuningResult.cache_hits`.
+
+    Every RNG draw (sampling, tournament, crossover, mutation) happens
+    in the parent; only the objective calls of one generation fan out
+    over ``workers`` processes.  The trial trace is therefore identical
+    for any ``workers`` value.
     """
     if population_size < 4:
         raise ConfigurationError("population_size must be >= 4")
@@ -78,32 +95,54 @@ def genetic_search(
         raise ConfigurationError("generations must be >= 1")
     rng = np.random.default_rng(seed)
 
-    def score_of(assignment: Dict[str, Any]) -> float:
-        try:
-            params = space.to_params(assignment)
-        except ConfigurationError:
-            return float("inf")
-        return _evaluate(objective, params)
+    cache: Dict[Tuple, float] = {}
+    cache_hits = 0
+
+    def score_population(
+        population: List[Dict[str, Any]], pool: WorkerPool
+    ) -> List[float]:
+        nonlocal cache_hits
+        keys = [_freeze(a) for a in population]
+        seen = set(cache)
+        for key in keys:
+            if key in seen:
+                cache_hits += 1
+            seen.add(key)
+        pending: Dict[Tuple, Any] = {}
+        for key, assignment in zip(keys, population):
+            if key in cache or key in pending:
+                continue
+            try:
+                pending[key] = space.to_params(assignment)
+            except ConfigurationError:
+                cache[key] = float("inf")
+        if pending:
+            fresh = pool.map(_evaluate, list(pending.values()))
+            cache.update(zip(pending.keys(), fresh))
+        return [cache[key] for key in keys]
 
     population: List[Dict[str, Any]] = [
         space.sample(rng) for _ in range(population_size)
     ]
     trials: List[Trial] = []
-    scores = [score_of(a) for a in population]
-    trials.extend(Trial(a, s) for a, s in zip(population, scores))
-
-    for _ in range(generations - 1):
-        elite_index = int(np.argmin(scores))
-        next_population = [dict(population[elite_index])]
-        while len(next_population) < population_size:
-            parent_a = _tournament(population, scores, rng)
-            parent_b = _tournament(population, scores, rng)
-            child = _crossover(parent_a, parent_b, space, rng)
-            child = _mutate(child, space, rng, mutation_rate, mutation_scale)
-            next_population.append(space.clip(child))
-        population = next_population
-        scores = [score_of(a) for a in population]
+    with WorkerPool(workers=workers, payload=objective) as pool:
+        scores = score_population(population, pool)
         trials.extend(Trial(a, s) for a, s in zip(population, scores))
+
+        for _ in range(generations - 1):
+            elite_index = int(np.argmin(scores))
+            next_population = [dict(population[elite_index])]
+            while len(next_population) < population_size:
+                parent_a = _tournament(population, scores, rng)
+                parent_b = _tournament(population, scores, rng)
+                child = _crossover(parent_a, parent_b, space, rng)
+                child = _mutate(
+                    child, space, rng, mutation_rate, mutation_scale
+                )
+                next_population.append(space.clip(child))
+            population = next_population
+            scores = score_population(population, pool)
+            trials.extend(Trial(a, s) for a, s in zip(population, scores))
 
     best_trial = min(trials, key=lambda t: t.score)
     if best_trial.score == float("inf"):
@@ -113,4 +152,5 @@ def genetic_search(
         best_score=best_trial.score,
         best_params=space.to_params(best_trial.assignment),
         trials=trials,
+        cache_hits=cache_hits,
     )

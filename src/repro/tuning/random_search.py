@@ -12,6 +12,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..exceptions import ConfigurationError
+from ..runtime.pool import parallel_map
 from .objective import Objective
 from .search import Trial, TuningResult, _evaluate
 from .space import ParameterSpace
@@ -22,36 +23,46 @@ def random_search(
     space: ParameterSpace,
     n_trials: int = 50,
     seed: int = 0,
+    workers: Optional[int] = 1,
 ) -> TuningResult:
     """Evaluate ``n_trials`` uniform samples of the space.
 
     Invalid assignments (rejected by parameter validation) count as a
     used trial with an infinite score, so budgets stay comparable
     across spaces.
+
+    All assignments are drawn from the sequential RNG stream in the
+    parent before any evaluation starts (seed-per-trial, never
+    seed-per-worker), so the trial trace is identical for any
+    ``workers`` value.
     """
     if n_trials < 1:
         raise ConfigurationError("n_trials must be >= 1")
     rng = np.random.default_rng(seed)
-    trials: List[Trial] = []
-    best: Optional[Trial] = None
-    best_params = None
-    for _ in range(n_trials):
-        assignment = space.sample(rng)
+    assignments = [space.sample(rng) for _ in range(n_trials)]
+    valid_indices: List[int] = []
+    valid_params = []
+    for i, assignment in enumerate(assignments):
         try:
-            params = space.to_params(assignment)
+            valid_params.append(space.to_params(assignment))
+            valid_indices.append(i)
         except ConfigurationError:
-            trials.append(Trial(assignment=assignment, score=float("inf")))
-            continue
-        trial = Trial(assignment=assignment, score=_evaluate(objective, params))
-        trials.append(trial)
-        if best is None or trial.score < best.score:
-            best = trial
-            best_params = params
-    if best is None or best_params is None:
+            pass
+    if not valid_indices:
         raise ConfigurationError("no valid assignment sampled")
+    scores = [float("inf")] * n_trials
+    for i, score in zip(
+        valid_indices,
+        parallel_map(_evaluate, valid_params, workers=workers, payload=objective),
+    ):
+        scores[i] = score
+    trials = [Trial(a, s) for a, s in zip(assignments, scores)]
+    # The best trial is the earliest *valid* minimum: invalid samples
+    # never win even when every valid score is infinite.
+    pos = min(range(len(valid_indices)), key=lambda j: scores[valid_indices[j]])
     return TuningResult(
-        best_assignment=best.assignment,
-        best_score=best.score,
-        best_params=best_params,
+        best_assignment=trials[valid_indices[pos]].assignment,
+        best_score=trials[valid_indices[pos]].score,
+        best_params=valid_params[pos],
         trials=trials,
     )

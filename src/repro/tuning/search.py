@@ -1,4 +1,12 @@
-"""Exhaustive grid search over a parameter space."""
+"""Exhaustive grid search over a parameter space.
+
+All searches in this package accept a ``workers`` argument and fan
+objective evaluations out over :class:`repro.runtime.WorkerPool`.
+Assignments are always generated in the parent from the sequential
+stream (grid order / seeded RNG), and results are reassembled in input
+order, so every search returns results identical to ``workers=1`` at
+any parallelism.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from ..exceptions import ConfigurationError
+from ..runtime.pool import parallel_map
 from ..voting.base import VoterParams
 from .objective import Objective
 from .space import ParameterSpace
@@ -28,6 +37,9 @@ class TuningResult:
     best_score: float
     best_params: VoterParams
     trials: List[Trial] = field(default_factory=list)
+    #: Objective evaluations answered from the memo cache (genetic
+    #: search re-scores elitism survivors and duplicate children).
+    cache_hits: int = 0
 
     @property
     def n_trials(self) -> int:
@@ -50,6 +62,7 @@ def grid_search(
     space: ParameterSpace,
     points_per_dimension: int = 5,
     max_trials: Optional[int] = None,
+    workers: Optional[int] = 1,
 ) -> TuningResult:
     """Evaluate the full cartesian grid (optionally truncated).
 
@@ -58,30 +71,34 @@ def grid_search(
         space: the dimensions to sweep.
         points_per_dimension: grid resolution for continuous dimensions.
         max_trials: optional hard cap on evaluations.
+        workers: objective evaluations run on this many worker
+            processes (``1`` = in-process, ``None`` = one per CPU);
+            the result is identical for any value.
 
     Raises:
         ConfigurationError: when every assignment fails to validate.
     """
-    trials: List[Trial] = []
-    best: Optional[Trial] = None
-    best_params: Optional[VoterParams] = None
+    assignments: List[Dict[str, Any]] = []
+    params_list: List[VoterParams] = []
     for assignment in space.grid(points_per_dimension):
-        if max_trials is not None and len(trials) >= max_trials:
+        if max_trials is not None and len(assignments) >= max_trials:
             break
         try:
             params = space.to_params(assignment)
         except ConfigurationError:
             continue  # invalid corner of the grid (e.g. k < 1)
-        trial = Trial(assignment=assignment, score=_evaluate(objective, params))
-        trials.append(trial)
-        if best is None or trial.score < best.score:
-            best = trial
-            best_params = params
-    if best is None:
+        assignments.append(assignment)
+        params_list.append(params)
+    if not assignments:
         raise ConfigurationError("no valid assignment in the search space")
+    scores = parallel_map(
+        _evaluate, params_list, workers=workers, payload=objective
+    )
+    trials = [Trial(a, s) for a, s in zip(assignments, scores)]
+    best_index = min(range(len(trials)), key=lambda i: trials[i].score)
     return TuningResult(
-        best_assignment=best.assignment,
-        best_score=best.score,
-        best_params=best_params,
+        best_assignment=trials[best_index].assignment,
+        best_score=trials[best_index].score,
+        best_params=params_list[best_index],
         trials=trials,
     )

@@ -11,11 +11,15 @@ Every kernel reproduces the scalar pipeline in :mod:`repro.voting`
 
 * dense rows (no NaN) are evaluated with the same IEEE expression
   trees as the per-round functions, vectorized across rounds;
-* ragged rows (with NaN) are compacted and routed through the exact
-  per-round helpers (:func:`binary_agreement_matrix`,
-  :func:`agreement_scores`, ...) because NumPy's pairwise summation
-  groups operands by array length — summing a compacted row and a
-  NaN-masked full row can differ in the last ulp for >= 8 modules.
+* ragged rows (with NaN) are **count-bucketed**: rows with the same
+  present-count ``c`` are compacted into one dense ``buckets × c``
+  submatrix and run through the same vectorized expression trees.
+  Bit-identity survives the compaction because NumPy's pairwise
+  summation groups operands by *axis length* — reducing a ``(B, c)``
+  or ``(B, c, c)`` block along its last axis walks exactly the
+  summation tree the per-round helpers walk on a length-``c`` row,
+  whereas summing a NaN-masked full-width row would not (the grouping
+  changes at >= 8 modules).
 
 `collate_fast` mirrors :func:`repro.voting.collation.collate` for the
 numeric methods while skipping input re-validation (batch callers
@@ -40,6 +44,7 @@ __all__ = [
     "batch_collate",
     "batch_dynamic_margins",
     "collate_fast",
+    "collation_function",
     "sorted_runs",
 ]
 
@@ -72,6 +77,56 @@ def batch_dynamic_margins(
     return margins
 
 
+def _count_buckets(counts: np.ndarray, selected: np.ndarray):
+    """Group the ``selected`` row indices by their present-count."""
+    bucket_counts = counts[selected]
+    for count in np.unique(bucket_counts):
+        yield int(count), selected[bucket_counts == count]
+
+
+def _dense_agreement_scores(
+    values: np.ndarray,
+    margins: np.ndarray,
+    kind: str,
+    soft_threshold: float,
+) -> np.ndarray:
+    """Agreement scores for a dense ``rows × c`` block (c >= 2).
+
+    Chunked so the transient ``(chunk, c, c)`` distance tensor stays
+    bounded; walks the exact expression trees of
+    :func:`binary_agreement_matrix` / :func:`soft_agreement_matrix` +
+    :func:`agreement_scores`.
+    """
+    n_rows, c = values.shape
+    out = np.empty((n_rows, c))
+    step = max(1, _CHUNK_ELEMENTS // (c * c))
+    diag = np.arange(c)
+    for start in range(0, n_rows, step):
+        sub = values[start : start + step]
+        margin = margins[start : start + step]
+        distances = np.abs(sub[:, :, None] - sub[:, None, :])
+        if kind == "binary" or soft_threshold == 1:
+            agreement = (distances <= margin[:, None, None]).astype(float)
+        else:
+            ramp = (soft_threshold - 1.0) * margin
+            with np.errstate(divide="ignore", invalid="ignore"):
+                agreement = np.clip(
+                    (soft_threshold * margin[:, None, None] - distances)
+                    / ramp[:, None, None],
+                    0.0,
+                    1.0,
+                )
+            degenerate = margin == 0
+            if np.any(degenerate):
+                agreement[degenerate] = (
+                    distances[degenerate] <= 0.0
+                ).astype(float)
+        out[start : start + step] = (
+            agreement.sum(axis=2) - agreement[:, diag, diag]
+        ) / (c - 1)
+    return out
+
+
 def batch_agreement_scores(
     matrix: np.ndarray,
     margins: np.ndarray,
@@ -85,11 +140,11 @@ def batch_agreement_scores(
 
     Returns a rounds × modules array holding each present module's
     agreement score (NaN where the module is absent or the row was not
-    selected).  Dense rows are computed through a chunked 3-D distance
-    tensor with the same expression tree as
-    :func:`binary_agreement_matrix` / :func:`soft_agreement_matrix` +
-    :func:`agreement_scores`; ragged rows fall back to those helpers on
-    the compacted values.
+    selected).  Dense rows run through a chunked 3-D distance tensor;
+    ragged rows are count-bucketed, compacted into dense ``buckets × c``
+    submatrices and run through the *same* expression trees — see the
+    module docstring for why that preserves bit-identity with the
+    per-round helpers.
     """
     n_rounds, n_modules = matrix.shape
     scores = np.full((n_rounds, n_modules), np.nan)
@@ -100,45 +155,21 @@ def batch_agreement_scores(
 
     if n_modules >= 2:
         dense = np.flatnonzero(rows & (counts == n_modules))
-        step = max(1, _CHUNK_ELEMENTS // (n_modules * n_modules))
-        diag = np.arange(n_modules)
-        for start in range(0, dense.size, step):
-            sel = dense[start : start + step]
-            values = matrix[sel]
-            margin = margins[sel]
-            distances = np.abs(values[:, :, None] - values[:, None, :])
-            if kind == "binary" or soft_threshold == 1:
-                agreement = (distances <= margin[:, None, None]).astype(float)
-            else:
-                ramp = (soft_threshold - 1.0) * margin
-                with np.errstate(divide="ignore", invalid="ignore"):
-                    agreement = np.clip(
-                        (soft_threshold * margin[:, None, None] - distances)
-                        / ramp[:, None, None],
-                        0.0,
-                        1.0,
-                    )
-                degenerate = margin == 0
-                if np.any(degenerate):
-                    agreement[degenerate] = (
-                        distances[degenerate] <= 0.0
-                    ).astype(float)
-            scores[sel] = (
-                agreement.sum(axis=2) - agreement[:, diag, diag]
-            ) / (n_modules - 1)
+        if dense.size:
+            scores[dense] = _dense_agreement_scores(
+                matrix[dense], margins[dense], kind, soft_threshold
+            )
 
-        ragged = rows & (counts >= 2) & (counts < n_modules)
-        for row in np.flatnonzero(ragged):
-            present = mask[row]
-            values = matrix[row, present]
-            margin = float(margins[row])
-            if kind == "binary":
-                agreement = binary_agreement_matrix(values, margin)
-            else:
-                agreement = soft_agreement_matrix(
-                    values, margin, soft_threshold
-                )
-            scores[row, present] = agreement_scores(agreement)
+        ragged = np.flatnonzero(rows & (counts >= 2) & (counts < n_modules))
+        for count, sel in _count_buckets(counts, ragged):
+            sub_mask = mask[sel]
+            compact = matrix[sel][sub_mask].reshape(sel.size, count)
+            compact_scores = _dense_agreement_scores(
+                compact, margins[sel], kind, soft_threshold
+            )
+            scatter = np.full((sel.size, n_modules), np.nan)
+            scatter[sub_mask] = compact_scores.ravel()
+            scores[sel] = scatter
     return scores
 
 
@@ -162,19 +193,48 @@ def batch_collate(
     ragged = rows & (counts > 0) & ~dense
     sel = np.flatnonzero(dense)
     if sel.size:
-        sub = matrix[sel]
-        if method == "MEAN":
-            out[sel] = sub.sum(axis=1) / float(n_modules)
-        elif method == "MEDIAN":
-            k = (n_modules + 1) // 2 - 1  # lower median: ceil(M/2)-1
-            out[sel] = np.partition(sub, k, axis=1)[:, k]
-        else:  # MEAN_NEAREST_NEIGHBOR
-            centres = sub.sum(axis=1) / float(n_modules)
-            nearest = np.argmin(np.abs(sub - centres[:, None]), axis=1)
-            out[sel] = sub[np.arange(sel.size), nearest]
-    for row in np.flatnonzero(ragged):
-        out[row] = collate_fast(method, matrix[row, mask[row]])
+        out[sel] = _dense_collate(method, matrix[sel])
+    ragged_idx = np.flatnonzero(ragged)
+    for count, sel in _count_buckets(counts, ragged_idx):
+        compact = matrix[sel][mask[sel]].reshape(sel.size, count)
+        out[sel] = _dense_collate(method, compact)
     return out
+
+
+def _dense_collate(method: str, sub: np.ndarray) -> np.ndarray:
+    """Collate each row of a dense ``rows × c`` block.
+
+    Row-parallel twins of the scalar helpers: MEAN divides by the count,
+    MEDIAN partitions to the lower-median element (the one
+    ``weighted_median`` selects with equal weights), and
+    MEAN_NEAREST_NEIGHBOR takes the first value closest to the mean
+    (``np.argmin`` returns the first minimum, like the scalar path).
+    """
+    c = sub.shape[1]
+    if method == "MEAN":
+        return sub.sum(axis=1) / float(c)
+    if method == "MEDIAN":
+        k = (c + 1) // 2 - 1  # lower median: ceil(c/2)-1
+        return np.partition(sub, k, axis=1)[:, k]
+    # MEAN_NEAREST_NEIGHBOR
+    centres = sub.sum(axis=1) / float(c)
+    nearest = np.argmin(np.abs(sub - centres[:, None]), axis=1)
+    return sub[np.arange(sub.shape[0]), nearest]
+
+
+def collation_function(method: str):
+    """The per-round fast collation callable for ``method``.
+
+    Returns a ``(values, weights) -> float`` callable so hot loops can
+    hoist the method dispatch out of the per-round body.
+    """
+    if method == "MEAN":
+        return _weighted_mean
+    if method == "MEAN_NEAREST_NEIGHBOR":
+        return _mean_nearest_neighbour
+    if method == "MEDIAN":
+        return _weighted_median
+    raise ValueError(f"no fast collation for method {method!r}")
 
 
 def sorted_runs(values: np.ndarray, margin: float) -> List[np.ndarray]:

@@ -1,0 +1,80 @@
+"""Randomized NaN-pattern fuzz for the count-bucketed ragged kernels.
+
+The batch kernels compact ragged rows (rows with missing readings) into
+dense per-count buckets before vectorizing.  These tests hammer that
+path with seeded random raggedness — every present-count from 1 to M in
+one matrix, including rows where only a single module survives — and
+assert full bit-identity of :meth:`FusionEngine.process_batch` against
+the per-round loop for every registered algorithm.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fusion.engine import FusionEngine
+from repro.voting.registry import create_voter
+
+from .test_batch import ALGORITHMS, check_equivalence
+
+N_MODULES = 7
+
+
+def ragged_matrix(seed: int, n_rounds: int = 80, n_modules: int = N_MODULES):
+    """A matrix whose per-round present-count spans the full 1..M range.
+
+    The first rounds pin the corner cases (a single survivor, a dense
+    row, a two-survivor row); the rest draw the count uniformly so every
+    bucket size occurs.  A slow drifting outlier keeps the
+    history/elimination machinery busy.
+    """
+    rng = np.random.default_rng(seed)
+    matrix = rng.normal(18.0, 0.4, size=(n_rounds, n_modules))
+    # One module drifts away so elimination decisions actually trigger.
+    matrix[:, n_modules - 1] += np.linspace(0.0, 6.0, n_rounds)
+
+    counts = rng.integers(1, n_modules + 1, size=n_rounds)
+    counts[0] = 1  # only 1 of M modules present
+    counts[1] = n_modules  # fully dense
+    counts[2] = 2  # smallest real agreement bucket
+    counts[3] = 1  # a second single-survivor row, different module
+    for number in range(n_rounds):
+        absent = rng.choice(
+            n_modules, size=n_modules - counts[number], replace=False
+        )
+        matrix[number, absent] = np.nan
+    return matrix
+
+
+MODULES = [f"S{i}" for i in range(N_MODULES)]
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("seed", (11, 23, 47))
+def test_ragged_fuzz_bit_identity(algorithm, seed):
+    matrix = ragged_matrix(seed)
+    check_equivalence(
+        lambda: FusionEngine(create_voter(algorithm), roster=MODULES),
+        matrix,
+        MODULES,
+    )
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_every_bucket_size_in_one_matrix(algorithm):
+    """Deterministic ladder: round i has exactly (i % M) + 1 survivors."""
+    rng = np.random.default_rng(7)
+    n_rounds = 4 * N_MODULES
+    matrix = rng.normal(-70.0, 2.5, size=(n_rounds, N_MODULES))
+    for number in range(n_rounds):
+        count = (number % N_MODULES) + 1
+        absent = rng.choice(
+            N_MODULES, size=N_MODULES - count, replace=False
+        )
+        matrix[number, absent] = np.nan
+    check_equivalence(
+        lambda: FusionEngine(create_voter(algorithm), roster=MODULES),
+        matrix,
+        MODULES,
+    )

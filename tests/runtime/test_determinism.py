@@ -1,0 +1,110 @@
+"""Worker-count invariance of every parallel entry point.
+
+The runtime's contract: ``workers=4`` returns results bit-identical to
+``workers=1`` — trial values, trial *ordering*, best assignment, fused
+series, statuses — because assignments are drawn from the sequential
+RNG stream in the parent and results are reassembled in input order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.runtime.pool import fork_available
+from repro.tuning.genetic import genetic_search
+from repro.tuning.random_search import random_search
+from repro.tuning.search import grid_search
+from repro.tuning.space import Choice, Continuous, ParameterSpace
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="needs fork start method"
+)
+
+
+def make_space():
+    return ParameterSpace(
+        {
+            "error": Continuous(0.01, 0.2),
+            "soft_threshold": Continuous(1.0, 3.0),
+            "collation": Choice(("MEAN", "MEDIAN")),
+        }
+    )
+
+
+def objective(params):
+    # Deterministic, cheap, with a unique optimum.
+    return abs(params.error - 0.07) + abs(params.soft_threshold - 1.8)
+
+
+def crashing_objective(params):
+    if params.error > 0.15:
+        raise RuntimeError("objective exploded on purpose")
+    return params.error
+
+
+def assert_results_equal(a, b):
+    assert a.trials == b.trials  # values AND ordering
+    assert a.best_assignment == b.best_assignment
+    assert a.best_score == b.best_score
+    assert a.best_params == b.best_params
+    assert a.cache_hits == b.cache_hits
+
+
+class TestRandomSearch:
+    def test_workers_1_vs_4(self):
+        space = make_space()
+        assert_results_equal(
+            random_search(objective, space, n_trials=24, seed=9, workers=1),
+            random_search(objective, space, n_trials=24, seed=9, workers=4),
+        )
+
+    def test_different_seeds_still_differ(self):
+        space = make_space()
+        a = random_search(objective, space, n_trials=10, seed=1, workers=4)
+        b = random_search(objective, space, n_trials=10, seed=2, workers=4)
+        assert a.trials != b.trials
+
+
+class TestGeneticSearch:
+    def test_workers_1_vs_4(self):
+        space = make_space()
+        kwargs = dict(population_size=8, generations=5, seed=4)
+        assert_results_equal(
+            genetic_search(objective, space, workers=1, **kwargs),
+            genetic_search(objective, space, workers=4, **kwargs),
+        )
+
+    def test_memoization_counts_elitism_rescoring(self):
+        space = make_space()
+        result = genetic_search(
+            objective, space, population_size=8, generations=5, seed=4
+        )
+        # Elitism copies the best survivor verbatim into each of the 4
+        # follow-up generations, so at least those are cache hits.
+        assert result.cache_hits >= 4
+        assert result.n_trials == 8 * 5
+
+
+class TestGridSearch:
+    def test_workers_1_vs_4(self):
+        space = make_space()
+        assert_results_equal(
+            grid_search(objective, space, points_per_dimension=3, workers=1),
+            grid_search(objective, space, points_per_dimension=3, workers=4),
+        )
+
+
+class TestCrashPropagation:
+    def test_objective_crash_surfaces_cleanly(self):
+        space = make_space()
+        with pytest.raises(RuntimeError, match="objective exploded"):
+            random_search(
+                crashing_objective, space, n_trials=30, seed=0, workers=4
+            )
+
+    def test_invalid_space_still_raises_configuration_error(self):
+        space = ParameterSpace({"learning_rate": Continuous(-0.9, -0.1)})
+        with pytest.raises(ConfigurationError):
+            random_search(objective, space, n_trials=5, seed=0, workers=4)

@@ -1,0 +1,80 @@
+"""fuse_many: the batch-of-batches API over shared memory."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FusionError
+from repro.fusion.batch import fuse
+from repro.runtime import fuse_many
+from repro.runtime.pool import fork_available
+from repro.voting.registry import create_voter
+
+
+def matrices(seed=0, n=6):
+    rng = np.random.default_rng(seed)
+    out = []
+    for i in range(n):
+        matrix = rng.normal(18.0, 0.5, size=(30 + 5 * i, 5))
+        matrix[rng.random(matrix.shape) < 0.1] = np.nan
+        out.append(matrix)
+    return out
+
+
+def test_matches_per_matrix_fuse():
+    mats = matrices()
+    together = fuse_many(mats, "avoc")
+    for matrix, result in zip(mats, together):
+        alone = fuse(matrix, "avoc")
+        np.testing.assert_array_equal(alone.values, result.values)
+        np.testing.assert_array_equal(alone.statuses, result.statuses)
+
+
+@pytest.mark.skipif(not fork_available(), reason="needs fork start method")
+def test_workers_do_not_change_results():
+    mats = matrices(seed=3)
+    sequential = fuse_many(mats, "avoc", workers=1)
+    parallel = fuse_many(mats, "avoc", workers=4)
+    for a, b in zip(sequential, parallel):
+        np.testing.assert_array_equal(a.values, b.values)
+        np.testing.assert_array_equal(a.statuses, b.statuses)
+        assert a.modules == b.modules
+
+
+def test_voter_instance_is_not_mutated():
+    voter = create_voter("avoc")
+    fuse_many(matrices(n=3), voter, workers=1)
+    # Each series must fuse through a deep copy: the caller's instance
+    # keeps a pristine history.
+    assert voter.history.update_count == 0
+
+
+def test_one_dimensional_entry_is_one_round():
+    out = fuse_many([[1.0, 1.1, 0.9]], "average")
+    assert out[0].values.shape == (1,)
+    assert out[0].values[0] == pytest.approx(1.0)
+
+
+def test_empty_input():
+    assert fuse_many([], "average") == []
+
+
+def test_column_count_validated_against_modules():
+    with pytest.raises(FusionError, match="columns"):
+        fuse_many([np.ones((3, 4))], "average", modules=["a", "b", "c"])
+
+
+def test_rejects_higher_dimensional_input():
+    with pytest.raises(FusionError, match="2-D"):
+        fuse_many([np.ones((2, 2, 2))], "average")
+
+
+@pytest.mark.skipif(not fork_available(), reason="needs fork start method")
+def test_diagnostics_survive_the_pool():
+    mats = matrices(n=3)
+    results = fuse_many(mats, "avoc", diagnostics=True, workers=2)
+    for matrix, result in zip(mats, results):
+        assert result.weights is not None
+        assert result.weights.shape == matrix.shape
+        assert result.results is not None

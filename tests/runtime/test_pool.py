@@ -1,0 +1,121 @@
+"""WorkerPool: ordering, payload convention, fallback, crash handling."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.runtime.pool import (
+    WorkerPool,
+    fork_available,
+    parallel_map,
+    resolve_workers,
+)
+from repro.runtime import pool as pool_module
+
+
+def square(x):
+    return x * x
+
+
+def scaled(payload, x):
+    return payload["scale"] * x
+
+
+def boom(x):
+    if x == 13:
+        raise ValueError("worker exploded on purpose")
+    return x
+
+
+def boom_with_payload(payload, x):
+    return boom(x)
+
+
+def whoami(x):
+    return os.getpid()
+
+
+class TestResolveWorkers:
+    def test_none_means_cpu_count(self):
+        assert resolve_workers(None) == (os.cpu_count() or 1)
+
+    def test_passthrough_and_floor(self):
+        assert resolve_workers(3) == 3
+        with pytest.raises(ValueError):
+            resolve_workers(0)
+
+
+class TestInProcess:
+    def test_workers_1_runs_without_executor(self):
+        with WorkerPool(workers=1) as pool:
+            assert pool.in_process
+            assert pool._executor is None
+            assert pool.map(square, range(6)) == [0, 1, 4, 9, 16, 25]
+
+    def test_payload_convention(self):
+        with WorkerPool(workers=1, payload={"scale": 3}) as pool:
+            assert pool.map(scaled, [1, 2, 3]) == [3, 6, 9]
+
+    def test_empty_items(self):
+        with WorkerPool(workers=1) as pool:
+            assert pool.map(square, []) == []
+
+
+@pytest.mark.skipif(not fork_available(), reason="needs fork start method")
+class TestProcessPool:
+    def test_ordered_results_any_chunking(self):
+        items = list(range(37))
+        expected = [x * x for x in items]
+        for chunk_size in (1, 3, 50, None):
+            with WorkerPool(workers=3, chunk_size=chunk_size) as pool:
+                assert pool.map(square, items) == expected
+
+    def test_payload_reaches_workers_by_inheritance(self):
+        # A lambda in the payload would not survive pickling; fork
+        # inheritance must carry it anyway.
+        payload = {"scale": 7, "fn": lambda: None}
+        with WorkerPool(workers=2, payload=payload) as pool:
+            assert pool.map(scaled, [1, 2]) == [7, 14]
+        assert pool._token not in pool_module._PAYLOADS
+
+    def test_work_actually_leaves_the_parent(self):
+        with WorkerPool(workers=2, chunk_size=1) as pool:
+            pids = set(pool.map(whoami, range(8)))
+        assert os.getpid() not in pids
+
+    def test_pool_is_reusable_across_maps(self):
+        with WorkerPool(workers=2) as pool:
+            first = pool.map(square, range(5))
+            second = pool.map(square, range(5, 10))
+        assert first == [0, 1, 4, 9, 16]
+        assert second == [25, 36, 49, 64, 81]
+
+    def test_crash_in_worker_raises_cleanly(self):
+        # The pool must surface the task's exception (not hang) and
+        # shut its executor down.
+        pool = WorkerPool(workers=2, chunk_size=1)
+        with pytest.raises(ValueError, match="worker exploded"):
+            pool.map(boom, range(20))
+        assert pool._executor is None
+        pool.close()  # idempotent after a crash
+
+    def test_payload_table_cleared_after_crash(self):
+        pool = WorkerPool(workers=2, payload={"scale": 1}, chunk_size=1)
+        token = pool._token
+        with pytest.raises(ValueError):
+            pool.map(boom_with_payload, range(20))
+        assert token not in pool_module._PAYLOADS
+
+
+def test_parallel_map_one_shot():
+    assert parallel_map(square, range(4), workers=1) == [0, 1, 4, 9]
+    if fork_available():
+        assert parallel_map(square, range(4), workers=2) == [0, 1, 4, 9]
+
+
+def test_parallel_map_reuses_given_pool():
+    with WorkerPool(workers=1) as pool:
+        out = parallel_map(square, range(3), pool=pool)
+    assert out == [0, 1, 4]

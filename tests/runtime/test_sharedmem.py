@@ -1,0 +1,63 @@
+"""SharedMatrix: zero-copy transfer, pickling, and lifecycle."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.runtime.sharedmem import SharedMatrix
+
+
+def test_roundtrip_preserves_bits():
+    matrix = np.random.default_rng(0).normal(size=(17, 5))
+    matrix[3, 2] = np.nan
+    with SharedMatrix.from_array(matrix) as shared:
+        np.testing.assert_array_equal(shared.asarray(), matrix)
+        assert shared.asarray().dtype == matrix.dtype
+        assert shared.nbytes == matrix.nbytes
+
+
+def test_pickle_ships_name_not_bytes():
+    matrix = np.arange(12.0).reshape(3, 4)
+    with SharedMatrix.from_array(matrix) as shared:
+        blob = pickle.dumps(shared)
+        assert len(blob) < 500  # the handle, not the data
+        clone = pickle.loads(blob)
+        try:
+            assert clone.name == shared.name
+            np.testing.assert_array_equal(clone.asarray(), matrix)
+            # The clone maps the same pages: writes are visible.
+            clone.asarray()[0, 0] = 99.0
+            assert shared.asarray()[0, 0] == 99.0
+        finally:
+            clone.close()
+
+
+def test_unlink_is_owner_only_and_idempotent():
+    shared = SharedMatrix.from_array(np.ones((2, 2)))
+    clone = pickle.loads(pickle.dumps(shared))
+    clone.close()
+    clone.unlink()  # non-owner: a no-op
+    shared.unlink()
+    shared.unlink()  # idempotent
+    shared.close()
+    with pytest.raises(FileNotFoundError):
+        SharedMatrix(shared.name, (2, 2), "<f8").asarray()
+
+
+def test_context_manager_unlinks_owner():
+    with SharedMatrix.from_array(np.zeros((4, 3))) as shared:
+        name = shared.name
+        shared.asarray()
+    with pytest.raises(FileNotFoundError):
+        SharedMatrix(name, (4, 3), "<f8").asarray()
+
+
+def test_non_contiguous_and_int_inputs():
+    base = np.arange(24.0).reshape(4, 6)
+    with SharedMatrix.from_array(base[:, ::2]) as shared:
+        np.testing.assert_array_equal(shared.asarray(), base[:, ::2])
+    with SharedMatrix.from_array(np.arange(6).reshape(2, 3)) as shared:
+        assert shared.asarray().dtype == np.dtype(int)
