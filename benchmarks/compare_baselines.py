@@ -1,0 +1,208 @@
+"""Bench-regression gate: diff fresh benchmark baselines against committed.
+
+CI runs the benchmark smoke jobs, which rewrite ``BENCH_latency.json``
+and ``BENCH_parallel.json`` in place.  This script compares those fresh
+numbers against the copies committed in git (stashed to a separate
+directory before the run) and fails when performance moved the wrong
+way:
+
+* a ``speedup`` falls below its recorded ``floor``, or
+* a ``speedup`` regresses more than :data:`REGRESSION_TOLERANCE`
+  (30%) against the committed number.
+
+Sections marked ``"enforced": false`` (e.g. the process-pool sweep on a
+single-CPU runner) are reported but never fail the gate.  A genuine
+baseline shift — new hardware, an intentional trade-off — is landed by
+putting ``[bench-reset]`` in the commit message, which makes CI skip
+this gate for that push, and committing the regenerated JSON files.
+
+Usage::
+
+    python benchmarks/compare_baselines.py \
+        --committed-dir /tmp/committed --fresh-dir .
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "REGRESSION_TOLERANCE",
+    "compare_dirs",
+    "compare_latency",
+    "compare_parallel",
+    "main",
+]
+
+#: A fresh speedup below ``committed * (1 - tolerance)`` fails the gate.
+REGRESSION_TOLERANCE = 0.30
+
+LATENCY_FILE = "BENCH_latency.json"
+PARALLEL_FILE = "BENCH_parallel.json"
+
+
+def _check_speedup(
+    label: str,
+    fresh: Optional[float],
+    committed: Optional[float],
+    floor: Optional[float],
+    enforced: bool,
+    failures: List[str],
+) -> None:
+    """Apply the two gate rules to one (committed, fresh) speedup pair."""
+    if fresh is None:
+        failures.append(f"{label}: missing from the fresh baseline")
+        return
+    prefix = "" if enforced else "[not enforced] "
+    if floor is not None and fresh < floor:
+        message = (
+            f"{prefix}{label}: fresh speedup {fresh:.2f}x is below the "
+            f"recorded floor {floor:.2f}x"
+        )
+        if enforced:
+            failures.append(message)
+        else:
+            print(message)
+    if committed is not None:
+        allowed = committed * (1.0 - REGRESSION_TOLERANCE)
+        if fresh < allowed:
+            message = (
+                f"{prefix}{label}: fresh speedup {fresh:.2f}x regressed "
+                f">{REGRESSION_TOLERANCE:.0%} vs committed "
+                f"{committed:.2f}x (allowed >= {allowed:.2f}x)"
+            )
+            if enforced:
+                failures.append(message)
+            else:
+                print(message)
+
+
+def compare_latency(
+    committed: Dict[str, Any], fresh: Dict[str, Any]
+) -> List[str]:
+    """Gate ``BENCH_latency.json``: one entry per batch-kernel algorithm."""
+    failures: List[str] = []
+    for algorithm in sorted(committed):
+        entry = committed[algorithm]
+        fresh_entry = fresh.get(algorithm, {})
+        _check_speedup(
+            f"latency/{algorithm}",
+            fresh_entry.get("speedup"),
+            entry.get("speedup"),
+            entry.get("floor"),
+            enforced=True,
+            failures=failures,
+        )
+    return failures
+
+
+def compare_parallel(
+    committed: Dict[str, Any], fresh: Dict[str, Any]
+) -> List[str]:
+    """Gate ``BENCH_parallel.json``: ragged-kernel + sweep sections."""
+    failures: List[str] = []
+    for section in sorted(committed):
+        entry = committed[section]
+        if not isinstance(entry, dict):
+            continue  # scalar metadata such as cpu_count
+        fresh_entry = fresh.get(section)
+        if not isinstance(fresh_entry, dict):
+            failures.append(f"parallel/{section}: missing from fresh baseline")
+            continue
+        enforced = bool(entry.get("enforced", True))
+        floor = entry.get("floor")
+        algorithms = entry.get("algorithms")
+        if isinstance(algorithms, dict):
+            fresh_algorithms = fresh_entry.get("algorithms", {})
+            for algorithm in sorted(algorithms):
+                _check_speedup(
+                    f"parallel/{section}/{algorithm}",
+                    fresh_algorithms.get(algorithm, {}).get("speedup"),
+                    algorithms[algorithm].get("speedup"),
+                    floor,
+                    enforced,
+                    failures,
+                )
+        elif "speedup" in entry:
+            _check_speedup(
+                f"parallel/{section}",
+                fresh_entry.get("speedup"),
+                entry.get("speedup"),
+                floor,
+                enforced,
+                failures,
+            )
+    return failures
+
+
+def _load(path: Path) -> Optional[Dict[str, Any]]:
+    if not path.is_file():
+        return None
+    with path.open() as handle:
+        return json.load(handle)
+
+
+def compare_dirs(committed_dir: Path, fresh_dir: Path) -> List[str]:
+    """Compare every known baseline file present in ``committed_dir``."""
+    failures: List[str] = []
+    compared = 0
+    for filename, comparator in (
+        (LATENCY_FILE, compare_latency),
+        (PARALLEL_FILE, compare_parallel),
+    ):
+        committed = _load(committed_dir / filename)
+        if committed is None:
+            print(f"{filename}: no committed baseline, skipping")
+            continue
+        fresh = _load(fresh_dir / filename)
+        if fresh is None:
+            failures.append(
+                f"{filename}: committed baseline exists but the benchmark "
+                f"run produced no fresh copy in {fresh_dir}"
+            )
+            continue
+        compared += 1
+        failures.extend(comparator(committed, fresh))
+    if compared == 0 and not failures:
+        failures.append(
+            f"no baseline files found under {committed_dir} — nothing gated"
+        )
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--committed-dir",
+        type=Path,
+        required=True,
+        help="directory holding the committed BENCH_*.json copies",
+    )
+    parser.add_argument(
+        "--fresh-dir",
+        type=Path,
+        default=Path("."),
+        help="directory the benchmark run wrote fresh BENCH_*.json to",
+    )
+    args = parser.parse_args(argv)
+    failures = compare_dirs(args.committed_dir, args.fresh_dir)
+    if failures:
+        print("bench-regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        print(
+            "intentional baseline shift? commit the regenerated JSON with "
+            "[bench-reset] in the commit message (see docs/observability.md)",
+            file=sys.stderr,
+        )
+        return 1
+    print("bench-regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

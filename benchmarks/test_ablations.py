@@ -17,7 +17,6 @@ from repro.datasets.injection import offset_fault
 from repro.datasets.light_uc1 import UC1Config, generate_uc1_dataset
 from repro.experiments.uc1 import exclusion_round
 from repro.voting.avoc import AvocVoter
-from repro.voting.base import VoterParams
 from repro.voting.hybrid import HybridVoter
 from repro.voting.module_elimination import ModuleEliminationVoter
 from repro.voting.soft_dynamic import SoftDynamicThresholdVoter

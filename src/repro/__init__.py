@@ -22,8 +22,12 @@ Public API highlights:
   by the paper's figures.
 * :mod:`repro.service` — the networked voter-service prototype.
 * :mod:`repro.tuning` — parameter search (grid + genetic) per scenario.
+* :mod:`repro.obs` — dependency-free metrics (counters, gauges,
+  histograms) instrumenting the engine, service and runtime layers,
+  with a Prometheus-style text exposition.
 """
 
+from . import obs
 from .fusion import (
     BatchResult,
     FaultPolicy,
@@ -87,5 +91,6 @@ __all__ = [
     "StandardVoter",
     "available_algorithms",
     "create_voter",
+    "obs",
     "__version__",
 ]

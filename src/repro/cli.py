@@ -409,6 +409,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--version", action="version", version=f"%(prog)s {__version__}"
     )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="print the collected metrics (Prometheus text format) after "
+             "the command finishes",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("algorithms", help="list available voting algorithms")
@@ -502,7 +507,14 @@ _COMMANDS = {
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    status = _COMMANDS[args.command](args)
+    if args.metrics:
+        from .obs import get_default_registry
+
+        rendered = get_default_registry().render()
+        print("\n== metrics ==")
+        print(rendered if rendered else "(no metrics collected)")
+    return status
 
 
 if __name__ == "__main__":

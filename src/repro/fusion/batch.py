@@ -52,6 +52,15 @@ _QUORUM_VOTER = 3  # deprecated voter-level quorum_percentage
 _CONFLICT = 4  # no majority (plurality tie)
 _EMPTY = 5  # no values at all (EmptyRoundError from the voter)
 
+#: Reason code → degraded-round metric label (matches engine._degraded).
+_REASON_LABELS_BY_CODE = {
+    _MISSING: "majority_missing",
+    _QUORUM_ENGINE: "quorum",
+    _QUORUM_VOTER: "quorum",
+    _CONFLICT: "conflict",
+    _EMPTY: "empty",
+}
+
 
 @dataclass
 class BatchResult:
@@ -359,6 +368,31 @@ class _BatchContext:
         )
         self.writebacks: List[Any] = []
 
+    def _observe(self, cutoff: int) -> None:
+        """Mirror the engine-stat mutations into the metrics registry.
+
+        Runs before the ``raise``-policy exception, so a rejected batch
+        still records the rounds it consumed — exactly like the
+        per-round loop, where ``_degraded`` counts before raising.
+        """
+        obs = self.engine._obs
+        if not obs.enabled:
+            return
+        processed = cutoff + (1 if cutoff < self.n_rounds else 0)
+        obs.rounds.inc(processed)
+        obs.batch_rounds.inc(processed)
+        codes = self.reasons[:processed]
+        if not codes.any():
+            return
+        counts = np.bincount(codes, minlength=6)
+        for code, label in _REASON_LABELS_BY_CODE.items():
+            hits = int(counts[code])
+            if hits:
+                obs.degraded[label].inc(hits)
+        quorum = int(counts[_QUORUM_ENGINE] + counts[_QUORUM_VOTER])
+        if quorum:
+            obs.quorum_failures.inc(quorum)
+
     def mark_conflict(self, round_number: int) -> bool:
         """Record a NoMajorityError; False means the kernel must stop
         (the conflict policy is ``raise``)."""
@@ -424,6 +458,7 @@ class _BatchContext:
         engine.rounds_processed += cutoff
         engine.rounds_degraded += degraded
         engine.last_accepted = last
+        self._observe(cutoff)
         for writeback in self.writebacks:
             writeback()
         if cutoff < self.n_rounds:

@@ -8,6 +8,7 @@ matrices, as the paper's reproducible evaluation does) into
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -19,11 +20,20 @@ from ..exceptions import (
     NoMajorityError,
     QuorumNotReachedError,
 )
+from ..obs import EngineInstruments, get_default_registry
 from ..types import Round, VoteOutcome
 from ..voting.base import Voter
 from .exclusion import exclude_values
 from .faults import FaultPolicy
 from .quorum import QuorumRule
+
+#: Engine degraded-round reason → metric label.
+_REASON_LABELS = {
+    "majority of values missing": "majority_missing",
+    "quorum": "quorum",
+    "no majority": "conflict",
+    "no values present": "empty",
+}
 
 
 @dataclass(frozen=True)
@@ -61,6 +71,10 @@ class FusionEngine:
         exclusion: VDX exclusion mode.
         exclusion_threshold: threshold for the exclusion mode.
         fault_policy: behaviour on degraded rounds.
+        registry: metrics registry to instrument against (default: the
+            process-global registry from :mod:`repro.obs`; instruments
+            are resolved once, here, so a registry swap only affects
+            engines constructed afterwards).
     """
 
     def __init__(
@@ -71,6 +85,7 @@ class FusionEngine:
         exclusion: str = "NONE",
         exclusion_threshold: float = 0.0,
         fault_policy: Optional[FaultPolicy] = None,
+        registry=None,
     ):
         self.voter = voter
         self.roster: List[str] = list(roster) if roster else []
@@ -87,9 +102,16 @@ class FusionEngine:
         self.last_accepted: Optional[Any] = None
         self.rounds_processed = 0
         self.rounds_degraded = 0
+        self._obs = EngineInstruments(
+            registry if registry is not None else get_default_registry(),
+            getattr(voter, "name", type(voter).__name__),
+            voter,
+        )
 
     @classmethod
-    def from_spec(cls, spec, voter: Voter, fault_policy=None) -> "FusionEngine":
+    def from_spec(
+        cls, spec, voter: Voter, fault_policy=None, registry=None
+    ) -> "FusionEngine":
         """Build an engine configured by a VDX specification."""
         return cls(
             voter=voter,
@@ -97,12 +119,16 @@ class FusionEngine:
             exclusion=spec.exclusion,
             exclusion_threshold=spec.exclusion_threshold,
             fault_policy=fault_policy,
+            registry=registry,
         )
 
     # -- degraded-round handling -----------------------------------------
 
     def _degraded(self, voting_round: Round, action: str, reason: str) -> FusionResult:
         self.rounds_degraded += 1
+        self._obs.degraded[_REASON_LABELS[reason]].inc()
+        if reason == "quorum":
+            self._obs.quorum_failures.inc()
         if action == "raise":
             if reason == "quorum":
                 raise QuorumNotReachedError(
@@ -124,7 +150,19 @@ class FusionEngine:
 
     def process(self, voting_round: Round) -> FusionResult:
         """Run one round through exclusion, quorum, fault policy and vote."""
+        if not self._obs.enabled:
+            return self._process(voting_round)
+        # Timestamps bracket the call only — no clock value ever feeds
+        # the fused output, so determinism is untouched.
+        start = time.perf_counter()
+        try:
+            return self._process(voting_round)
+        finally:
+            self._obs.round_seconds.observe(time.perf_counter() - start)
+
+    def _process(self, voting_round: Round) -> FusionResult:
         self.rounds_processed += 1
+        self._obs.rounds.inc()
         for module in voting_round.modules:
             if module not in self.roster:
                 self.roster.append(module)
@@ -188,7 +226,13 @@ class FusionEngine:
         """
         from .batch import process_matrix
 
-        return process_matrix(self, matrix, modules, diagnostics=diagnostics)
+        if not self._obs.enabled:
+            return process_matrix(self, matrix, modules, diagnostics=diagnostics)
+        start = time.perf_counter()
+        try:
+            return process_matrix(self, matrix, modules, diagnostics=diagnostics)
+        finally:
+            self._obs.batch_seconds.observe(time.perf_counter() - start)
 
     def run_matrix(
         self, matrix: np.ndarray, modules: Optional[Sequence[str]] = None

@@ -1,0 +1,62 @@
+"""repro.obs — dependency-free observability for the fusion system.
+
+A small Prometheus-style metrics layer: :class:`Counter`,
+:class:`Gauge` and :class:`Histogram` instruments collected in a
+:class:`MetricsRegistry` with a text exposition
+(:meth:`MetricsRegistry.render`).  The fusion engine, the voter
+service and the parallel runtime all instrument themselves against the
+process-global default registry unless a registry is injected
+explicitly; :func:`disable` swaps the default for a shared no-op
+registry, making instrumentation in components constructed afterwards
+literally free.
+
+Quick use::
+
+    import repro
+    from repro.obs import get_default_registry
+
+    repro.fuse([[1.0, 1.1, 0.9]], "avoc")
+    print(get_default_registry().render())
+"""
+
+from .instruments import (
+    EngineInstruments,
+    RuntimeInstruments,
+    ServiceInstruments,
+)
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    exponential_buckets,
+)
+from .registry import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    NullRegistry,
+    disable,
+    enable,
+    get_default_registry,
+    set_default_registry,
+    use_registry,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "EngineInstruments",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "RuntimeInstruments",
+    "ServiceInstruments",
+    "disable",
+    "enable",
+    "exponential_buckets",
+    "get_default_registry",
+    "set_default_registry",
+    "use_registry",
+]

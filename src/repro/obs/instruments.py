@@ -1,0 +1,174 @@
+"""Pre-bound instrument bundles for the engine, service and runtime layers.
+
+Each bundle declares its metric families against a registry once, at
+component construction, and keeps direct references to the labelled
+children so the hot paths do a single attribute lookup and a no-lock
+branch on ``enabled`` before touching a clock.  Against
+:data:`~repro.obs.registry.NULL_REGISTRY` every child is the shared
+no-op instrument, which is what makes instrumentation free when
+observability is disabled.
+
+The metric catalogue these bundles implement is documented in
+``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List
+
+from .registry import MetricsRegistry
+
+__all__ = ["EngineInstruments", "RuntimeInstruments", "ServiceInstruments"]
+
+#: Degraded-round reason labels shared by the per-round and batch paths.
+DEGRADED_REASONS = ("majority_missing", "quorum", "conflict", "empty")
+
+
+def _history_summary(
+    history: Any, reduce: Callable[[List[float]], float]
+) -> Callable[[], float]:
+    def read() -> float:
+        records = list(history.snapshot().values())
+        return reduce(records) if records else 0.0
+
+    return read
+
+
+class EngineInstruments:
+    """Fusion-engine metrics: round counters, latency, history summaries."""
+
+    __slots__ = (
+        "enabled",
+        "rounds",
+        "degraded",
+        "quorum_failures",
+        "round_seconds",
+        "batch_seconds",
+        "batch_rounds",
+    )
+
+    def __init__(
+        self, registry: MetricsRegistry, algorithm: str, voter: Any = None
+    ):
+        self.enabled = registry.enabled
+        self.rounds = registry.counter(
+            "fusion_rounds_total",
+            "Rounds processed by the fusion engine.",
+            labels=("algorithm",),
+        ).labels(algorithm)
+        degraded = registry.counter(
+            "fusion_rounds_degraded_total",
+            "Rounds that did not produce a regular vote, by reason.",
+            labels=("algorithm", "reason"),
+        )
+        self.degraded = {
+            reason: degraded.labels(algorithm, reason)
+            for reason in DEGRADED_REASONS
+        }
+        self.quorum_failures = registry.counter(
+            "fusion_quorum_failures_total",
+            "Rounds rejected because the quorum rule was not satisfied.",
+            labels=("algorithm",),
+        ).labels(algorithm)
+        self.round_seconds = registry.histogram(
+            "fusion_round_seconds",
+            "Wall time of one FusionEngine.process call.",
+            labels=("algorithm",),
+        ).labels(algorithm)
+        self.batch_seconds = registry.histogram(
+            "fusion_batch_seconds",
+            "Wall time of one FusionEngine.process_batch call.",
+            labels=("algorithm",),
+        ).labels(algorithm)
+        self.batch_rounds = registry.counter(
+            "fusion_batch_rounds_total",
+            "Rounds fused through the vectorized batch kernels.",
+            labels=("algorithm",),
+        ).labels(algorithm)
+        history = getattr(voter, "history", None)
+        if history is not None and hasattr(history, "snapshot"):
+            summary = registry.gauge(
+                "fusion_history_record",
+                "Summary of the voter's per-module history records.",
+                labels=("algorithm", "stat"),
+            )
+            # Render-time callbacks: the voting hot path never pays for
+            # these, and the last engine constructed per algorithm wins.
+            summary.labels(algorithm, "min").set_function(
+                _history_summary(history, min)
+            )
+            summary.labels(algorithm, "max").set_function(
+                _history_summary(history, max)
+            )
+            summary.labels(algorithm, "mean").set_function(
+                _history_summary(history, lambda r: sum(r) / len(r))
+            )
+
+
+class ServiceInstruments:
+    """Voter-service metrics: per-op request counters, latency, errors."""
+
+    __slots__ = ("enabled", "requests", "errors", "request_seconds")
+
+    def __init__(self, registry: MetricsRegistry, operations: Iterable[str]):
+        self.enabled = registry.enabled
+        requests = registry.counter(
+            "service_requests_total",
+            "Requests dispatched by the voter service, by operation.",
+            labels=("op",),
+        )
+        errors = registry.counter(
+            "service_errors_total",
+            "Requests that raised a handled error, by operation.",
+            labels=("op",),
+        )
+        seconds = registry.histogram(
+            "service_request_seconds",
+            "Wall time spent dispatching one request, by operation.",
+            labels=("op",),
+        )
+        ops = list(operations)
+        self.requests: Dict[str, Any] = {op: requests.labels(op) for op in ops}
+        self.errors: Dict[str, Any] = {op: errors.labels(op) for op in ops}
+        self.request_seconds: Dict[str, Any] = {
+            op: seconds.labels(op) for op in ops
+        }
+
+
+class RuntimeInstruments:
+    """Worker-pool metrics: dispatch volume, crashes, wall vs worker time."""
+
+    __slots__ = (
+        "enabled",
+        "chunks",
+        "crashes",
+        "series",
+        "wall_seconds",
+        "worker_seconds",
+    )
+
+    def __init__(self, registry: MetricsRegistry):
+        self.enabled = registry.enabled
+        self.chunks = registry.counter(
+            "runtime_pool_chunks_total",
+            "Work chunks dispatched by WorkerPool.map (in-process runs "
+            "count as one chunk).",
+        )
+        self.crashes = registry.counter(
+            "runtime_pool_worker_crashes_total",
+            "WorkerPool.map calls aborted by a task exception or a "
+            "killed worker.",
+        )
+        self.series = registry.counter(
+            "runtime_fuse_many_series_total",
+            "Series fused through repro.fuse_many.",
+        )
+        self.wall_seconds = registry.gauge(
+            "runtime_pool_wall_seconds",
+            "Wall time of the most recent WorkerPool.map call.",
+        )
+        self.worker_seconds = registry.gauge(
+            "runtime_pool_worker_seconds",
+            "Aggregate in-task time of the most recent WorkerPool.map "
+            "call (ratio to wall time = effective parallelism).",
+        )

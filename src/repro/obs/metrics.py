@@ -1,0 +1,355 @@
+"""Dependency-free metric instruments: Counter, Gauge, Histogram.
+
+Each instrument is a *family*: a metric name plus a (possibly empty)
+tuple of label names.  ``family.labels(*values)`` returns the child
+bound to those label values, creating it on first use; a family with no
+labels acts as its own single child, so ``registry.counter(...).inc()``
+works directly.
+
+All mutation is thread-safe: children serialise updates behind a lock
+(a plain ``+=`` on a Python float attribute is a read-modify-write and
+is *not* atomic across threads).  Reads used by the text exposition
+take the same lock, so a rendered snapshot is internally consistent
+per child.
+
+Histograms use fixed buckets chosen at family creation; the default
+:data:`DEFAULT_LATENCY_BUCKETS` is an exponential ladder from 10 µs to
+~5 s, wide enough for a stateless vote and a datastore-backed round
+alike.
+"""
+
+from __future__ import annotations
+
+import bisect
+import re
+import threading
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "exponential_buckets",
+    "format_value",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def exponential_buckets(
+    start: float, factor: float, count: int
+) -> Tuple[float, ...]:
+    """``count`` upper bounds growing geometrically from ``start``."""
+    if start <= 0:
+        raise ValueError(f"bucket start must be positive, got {start}")
+    if factor <= 1.0:
+        raise ValueError(f"bucket factor must be > 1, got {factor}")
+    if count < 1:
+        raise ValueError(f"bucket count must be >= 1, got {count}")
+    bounds = []
+    bound = float(start)
+    for _ in range(count):
+        bounds.append(bound)
+        bound *= factor
+    return tuple(bounds)
+
+
+#: 10 µs .. ~5.2 s in powers of two — the fixed latency ladder shared by
+#: every duration histogram in the system.
+DEFAULT_LATENCY_BUCKETS = exponential_buckets(1e-5, 2.0, 20)
+
+
+def format_value(value: float) -> str:
+    """Render a sample value the way Prometheus text format expects."""
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _render_labels(names: Sequence[str], values: Sequence[str]) -> str:
+    if not names:
+        return ""
+    pairs = ",".join(
+        f'{n}="{_escape_label_value(v)}"' for n, v in zip(names, values)
+    )
+    return "{" + pairs + "}"
+
+
+class _CounterChild:
+    """One labelled counter series: a monotonically increasing float."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got inc({amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class _GaugeChild:
+    """One labelled gauge series: a settable value or a read callback."""
+
+    __slots__ = ("_lock", "_value", "_function")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+        self._function: Optional[Callable[[], float]] = None
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._function = None
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._function = None
+            self._value += amount
+
+    def set_function(self, function: Callable[[], float]) -> None:
+        """Evaluate ``function`` at render time instead of storing a value.
+
+        This keeps hot paths clock- and bookkeeping-free: the gauge costs
+        nothing until someone actually renders or reads it.
+        """
+        with self._lock:
+            self._function = function
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            function = self._function
+            if function is None:
+                return self._value
+        try:
+            return float(function())
+        except Exception:
+            return float("nan")
+
+
+class _HistogramChild:
+    """One labelled histogram series with fixed upper bounds."""
+
+    __slots__ = ("_lock", "_bounds", "_counts", "_sum", "_count")
+
+    def __init__(self, bounds: Tuple[float, ...]) -> None:
+        self._lock = threading.Lock()
+        self._bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # +1 for the +Inf bucket
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        index = bisect.bisect_left(self._bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def bucket_counts(self) -> Dict[float, int]:
+        """Cumulative count per upper bound (``inf`` key = total)."""
+        with self._lock:
+            counts = list(self._counts)
+        cumulative: Dict[float, int] = {}
+        running = 0
+        for bound, count in zip(self._bounds, counts):
+            running += count
+            cumulative[bound] = running
+        cumulative[float("inf")] = running + counts[-1]
+        return cumulative
+
+
+class _Family:
+    """Shared family machinery: label management and text exposition."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, labels: Sequence[str] = ()):
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        for label in labels:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r}")
+        self.name = name
+        self.help = help
+        self.labelnames: Tuple[str, ...] = tuple(labels)
+        self._lock = threading.Lock()
+        self._children: Dict[Tuple[str, ...], Any] = {}
+        if not self.labelnames:
+            # A label-less family is its own single series.
+            self._children[()] = self._make_child()
+
+    def _make_child(self) -> Any:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def labels(self, *values: Any) -> Any:
+        """The child bound to these label values (created on first use)."""
+        if len(values) != len(self.labelnames):
+            raise ValueError(
+                f"{self.name} expects {len(self.labelnames)} label values "
+                f"({', '.join(self.labelnames)}), got {len(values)}"
+            )
+        key = tuple(str(v) for v in values)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._children[key] = self._make_child()
+            return child
+
+    def _items(self) -> List[Tuple[Tuple[str, ...], Any]]:
+        with self._lock:
+            return sorted(self._children.items())
+
+    @property
+    def _default(self) -> Any:
+        if self.labelnames:
+            raise ValueError(
+                f"{self.name} is labelled by ({', '.join(self.labelnames)}); "
+                "use .labels(...)"
+            )
+        return self._children[()]
+
+    # -- text exposition ---------------------------------------------------
+
+    def render_lines(self) -> List[str]:
+        lines = [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+        for key, child in self._items():
+            lines.extend(self._render_child(key, child))
+        return lines
+
+    def _render_child(
+        self, key: Tuple[str, ...], child: Any
+    ) -> List[str]:
+        label_text = _render_labels(self.labelnames, key)
+        return [f"{self.name}{label_text} {format_value(child.value)}"]
+
+
+class Counter(_Family):
+    """A monotonically increasing count (name should end in ``_total``)."""
+
+    kind = "counter"
+
+    def _make_child(self) -> _CounterChild:
+        return _CounterChild()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default.inc(amount)
+
+    @property
+    def value(self) -> float:
+        return self._default.value
+
+
+class Gauge(_Family):
+    """A value that can go up and down (or be computed at render time)."""
+
+    kind = "gauge"
+
+    def _make_child(self) -> _GaugeChild:
+        return _GaugeChild()
+
+    def set(self, value: float) -> None:
+        self._default.set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default.inc(amount)
+
+    def set_function(self, function: Callable[[], float]) -> None:
+        self._default.set_function(function)
+
+    @property
+    def value(self) -> float:
+        return self._default.value
+
+
+class Histogram(_Family):
+    """A distribution over fixed buckets (defaults to the latency ladder)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labels: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ):
+        bounds = tuple(
+            sorted(float(b) for b in (buckets or DEFAULT_LATENCY_BUCKETS))
+        )
+        if not bounds:
+            raise ValueError("a histogram needs at least one bucket")
+        if len(set(bounds)) != len(bounds):
+            raise ValueError("histogram buckets must be distinct")
+        self.buckets = bounds
+        super().__init__(name, help, labels)
+
+    def _make_child(self) -> _HistogramChild:
+        return _HistogramChild(self.buckets)
+
+    def observe(self, value: float) -> None:
+        self._default.observe(value)
+
+    @property
+    def sum(self) -> float:
+        return self._default.sum
+
+    @property
+    def count(self) -> int:
+        return self._default.count
+
+    def bucket_counts(self) -> Dict[float, int]:
+        return self._default.bucket_counts()
+
+    def _render_child(
+        self, key: Tuple[str, ...], child: Any
+    ) -> List[str]:
+        lines = []
+        for bound, count in child.bucket_counts().items():
+            le = "+Inf" if bound == float("inf") else format_value(bound)
+            label_text = _render_labels(
+                self.labelnames + ("le",), key + (le,)
+            )
+            lines.append(f"{self.name}_bucket{label_text} {count}")
+        label_text = _render_labels(self.labelnames, key)
+        lines.append(f"{self.name}_sum{label_text} {format_value(child.sum)}")
+        lines.append(f"{self.name}_count{label_text} {child.count}")
+        return lines

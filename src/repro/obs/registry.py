@@ -1,0 +1,234 @@
+"""Metric registries: the process-global default, and injectable ones.
+
+A :class:`MetricsRegistry` owns metric families keyed by name; asking
+for an existing name returns the existing family (so every component
+layer can declare its instruments idempotently against the same
+registry).  ``registry.render()`` produces the Prometheus text format.
+
+Disabling observability is a *registry swap*, not a flag checked on
+every increment: :func:`disable` points the module-level default at
+:data:`NULL_REGISTRY`, whose instruments are shared do-nothing objects.
+Components resolve their registry once, at construction, so an engine
+built while observability is disabled carries pure no-op instruments —
+the property the zero-overhead benchmark assertion in
+``benchmarks/test_latency.py`` pins down.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional, Sequence
+
+from .metrics import Counter, Gauge, Histogram, _Family
+
+__all__ = [
+    "NULL_REGISTRY",
+    "MetricsRegistry",
+    "NullRegistry",
+    "disable",
+    "enable",
+    "get_default_registry",
+    "set_default_registry",
+    "use_registry",
+]
+
+
+class MetricsRegistry:
+    """A named collection of metric families with text exposition."""
+
+    #: Instrument sites may consult this to skip clock reads entirely.
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: Dict[str, _Family] = {}
+
+    # -- family factories -------------------------------------------------
+
+    def _get_or_create(
+        self, cls: type, name: str, help: str, labels: Sequence[str], **kwargs: Any
+    ) -> Any:
+        with self._lock:
+            family = self._families.get(name)
+            if family is not None:
+                if not isinstance(family, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{family.kind}, not {cls.kind}"  # type: ignore[attr-defined]
+                    )
+                if family.labelnames != tuple(labels):
+                    raise ValueError(
+                        f"metric {name!r} already registered with labels "
+                        f"{family.labelnames}, not {tuple(labels)}"
+                    )
+                return family
+            family = cls(name, help, labels, **kwargs)
+            self._families[name] = family
+            return family
+
+    def counter(
+        self, name: str, help: str, labels: Sequence[str] = ()
+    ) -> Counter:
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str, labels: Sequence[str] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str,
+        labels: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help, labels, buckets=buckets
+        )
+
+    # -- introspection -----------------------------------------------------
+
+    def families(self) -> Dict[str, _Family]:
+        """Name → family snapshot (insertion-independent, sorted)."""
+        with self._lock:
+            return dict(sorted(self._families.items()))
+
+    def render(self) -> str:
+        """The Prometheus text exposition of every family, sorted by name.
+
+        Every line is ``# HELP``/``# TYPE`` metadata or a
+        ``name{labels} value`` sample.
+        """
+        lines = []
+        for family in self.families().values():
+            lines.extend(family.render_lines())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """A structured (JSON-safe) snapshot of every family."""
+        out: Dict[str, Dict[str, Any]] = {}
+        for name, family in self.families().items():
+            samples: Dict[str, Any] = {}
+            for key, child in family._items():
+                label = ",".join(
+                    f"{n}={v}" for n, v in zip(family.labelnames, key)
+                )
+                if isinstance(family, Histogram):
+                    samples[label] = {
+                        "count": child.count,
+                        "sum": child.sum,
+                    }
+                else:
+                    samples[label] = child.value
+            out[name] = {"type": family.kind, "samples": samples}
+        return out
+
+
+class _NullInstrument:
+    """One shared object that satisfies every instrument interface."""
+
+    __slots__ = ()
+
+    def labels(self, *values: Any) -> "_NullInstrument":
+        return self
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def set_function(self, function: Any) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    @property
+    def value(self) -> float:
+        return 0.0
+
+    @property
+    def sum(self) -> float:
+        return 0.0
+
+    @property
+    def count(self) -> int:
+        return 0
+
+    def bucket_counts(self) -> Dict[float, int]:
+        return {}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry(MetricsRegistry):
+    """A registry whose instruments do nothing and render to nothing."""
+
+    enabled = False
+
+    def counter(self, name: str, help: str, labels: Sequence[str] = ()) -> Any:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, help: str, labels: Sequence[str] = ()) -> Any:
+        return _NULL_INSTRUMENT
+
+    def histogram(
+        self,
+        name: str,
+        help: str,
+        labels: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ) -> Any:
+        return _NULL_INSTRUMENT
+
+    def families(self) -> Dict[str, _Family]:
+        return {}
+
+
+#: The shared do-nothing registry :func:`disable` swaps in.
+NULL_REGISTRY = NullRegistry()
+
+_DEFAULT = MetricsRegistry()
+_active = _DEFAULT
+_swap_lock = threading.Lock()
+
+
+def get_default_registry() -> MetricsRegistry:
+    """The registry components fall back to when none is injected."""
+    return _active
+
+
+def set_default_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process default; returns the previous registry."""
+    global _active
+    with _swap_lock:
+        previous = _active
+        _active = registry
+    return previous
+
+
+def disable() -> None:
+    """Turn observability off: the default becomes :data:`NULL_REGISTRY`.
+
+    Only affects components constructed *after* the call — instruments
+    are resolved at construction time, which is exactly what makes the
+    enabled path branch-free.
+    """
+    set_default_registry(NULL_REGISTRY)
+
+
+def enable() -> None:
+    """Re-point the default at the process-global registry."""
+    set_default_registry(_DEFAULT)
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Temporarily install ``registry`` as the process default."""
+    previous = set_default_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_default_registry(previous)

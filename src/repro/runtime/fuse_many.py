@@ -25,6 +25,7 @@ import numpy as np
 
 from ..exceptions import FusionError
 from ..fusion.batch import BatchResult, fuse
+from ..obs import RuntimeInstruments, get_default_registry
 from ..voting.base import Voter
 from .pool import WorkerPool, fork_available, resolve_workers
 from .sharedmem import SharedMatrix
@@ -85,6 +86,7 @@ def fuse_many(
     diagnostics: bool = False,
     workers: Optional[int] = 1,
     chunk_size: Optional[int] = None,
+    registry=None,
 ) -> List[BatchResult]:
     """Fuse every matrix in ``matrices`` through its own fresh engine.
 
@@ -100,6 +102,8 @@ def fuse_many(
         workers: worker processes (``1`` = in-process, ``None`` = one
             per CPU).  The result is identical for any value.
         chunk_size: series per scheduled task (default: auto).
+        registry: metrics registry for the runtime instruments
+            (default: the process-global registry from :mod:`repro.obs`).
 
     Returns:
         One :class:`BatchResult` per input matrix, in input order.
@@ -120,6 +124,9 @@ def fuse_many(
                 )
     if not mats:
         return []
+    if registry is None:
+        registry = get_default_registry()
+    RuntimeInstruments(registry).series.inc(len(mats))
     spec = {
         "voter": voter,
         "modules": None if modules is None else list(modules),
@@ -147,7 +154,8 @@ def fuse_many(
     try:
         payload = (shared, offsets, spec)
         with WorkerPool(
-            workers=workers, payload=payload, chunk_size=chunk_size
+            workers=workers, payload=payload, chunk_size=chunk_size,
+            registry=registry,
         ) as pool:
             return pool.map(_fuse_entry, range(len(mats)))
     finally:

@@ -30,8 +30,11 @@ from __future__ import annotations
 import itertools
 import multiprocessing
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..obs import RuntimeInstruments, get_default_registry
 
 __all__ = ["WorkerPool", "fork_available", "parallel_map", "resolve_workers"]
 
@@ -59,12 +62,20 @@ def resolve_workers(workers: Optional[int]) -> int:
     return workers
 
 
-def _run_chunk(fn: Callable, token: Optional[str], chunk: List[Any]) -> List[Any]:
-    """Execute one chunk of items in a worker (or in-process)."""
+def _run_chunk(fn: Callable, token: Optional[str], chunk: List[Any]):
+    """Execute one chunk of items in a worker (or in-process).
+
+    Returns ``(elapsed_seconds, results)`` — worker processes cannot
+    update the parent's metrics registry, so in-task time travels back
+    with the results and is aggregated parent-side.
+    """
+    start = time.perf_counter()
     if token is None:
-        return [fn(item) for item in chunk]
-    payload = _PAYLOADS[token]
-    return [fn(payload, item) for item in chunk]
+        results = [fn(item) for item in chunk]
+    else:
+        payload = _PAYLOADS[token]
+        results = [fn(payload, item) for item in chunk]
+    return time.perf_counter() - start, results
 
 
 class WorkerPool:
@@ -81,6 +92,8 @@ class WorkerPool:
         chunk_size: default items per scheduled task (None: item count
             split into ~4 chunks per worker, a balance between
             scheduling overhead and load balancing).
+        registry: metrics registry for the pool's runtime instruments
+            (default: the process-global registry from :mod:`repro.obs`).
 
     The pool is reusable across :meth:`map` calls (a genetic search
     scores every generation on one pool) and must be closed — use it as
@@ -92,9 +105,13 @@ class WorkerPool:
         workers: Optional[int] = None,
         payload: Any = None,
         chunk_size: Optional[int] = None,
+        registry=None,
     ):
         self.workers = resolve_workers(workers)
         self.chunk_size = chunk_size
+        self._obs = RuntimeInstruments(
+            registry if registry is not None else get_default_registry()
+        )
         self._payload = payload
         self._has_payload = payload is not None
         self._token: Optional[str] = None
@@ -135,25 +152,41 @@ class WorkerPool:
         items = list(items)
         if not items:
             return []
+        obs = self._obs
+        wall_start = time.perf_counter() if obs.enabled else 0.0
         if self._executor is None:
             if self._has_payload:
-                return [fn(self._payload, item) for item in items]
-            return [fn(item) for item in items]
+                results = [fn(self._payload, item) for item in items]
+            else:
+                results = [fn(item) for item in items]
+            if obs.enabled:
+                elapsed = time.perf_counter() - wall_start
+                obs.chunks.inc()
+                obs.wall_seconds.set(elapsed)
+                obs.worker_seconds.set(elapsed)
+            return results
 
         results: List[Any] = [None] * len(items)
+        worker_seconds = 0.0
         futures = {}
         try:
-            for start, chunk in self._chunks(items, chunk_size):
+            for offset, chunk in self._chunks(items, chunk_size):
                 future = self._executor.submit(_run_chunk, fn, self._token, chunk)
-                futures[future] = start
-            for future, start in futures.items():
-                chunk_results = future.result()
-                results[start : start + len(chunk_results)] = chunk_results
+                futures[future] = offset
+            obs.chunks.inc(len(futures))
+            for future, offset in futures.items():
+                elapsed, chunk_results = future.result()
+                worker_seconds += elapsed
+                results[offset : offset + len(chunk_results)] = chunk_results
         except BaseException:
             # A worker raised (or died): stop scheduling, reap the rest,
             # and surface the original exception to the caller.
+            obs.crashes.inc()
             self.close(cancel=True)
             raise
+        if obs.enabled:
+            obs.wall_seconds.set(time.perf_counter() - wall_start)
+            obs.worker_seconds.set(worker_seconds)
         return results
 
     # -- lifecycle ---------------------------------------------------------

@@ -56,6 +56,7 @@ class VoterClient:
     # -- wire -------------------------------------------------------------
 
     def _read_line(self) -> bytes:
+        assert self._sock is not None
         while b"\n" not in self._buffer:
             if len(self._buffer) > MAX_LINE_BYTES:
                 raise ProtocolError("server line exceeds protocol maximum")
@@ -75,6 +76,7 @@ class VoterClient:
         """
         if self._sock is None:
             self.connect()
+        assert self._sock is not None
         self._sock.sendall(encode_message(message))
         response = decode_message(self._read_line())
         if not response.get("ok"):
@@ -115,6 +117,10 @@ class VoterClient:
 
     def stats(self) -> Dict[str, Any]:
         return self.request({"op": "stats"})
+
+    def metrics(self) -> str:
+        """The service's metrics in Prometheus text exposition format."""
+        return self.request({"op": "metrics"})["metrics"]
 
     def reset(self) -> bool:
         return bool(self.request({"op": "reset"}).get("reset"))

@@ -17,7 +17,10 @@ Operations:
                       "value": 18.0}``
 ``close_round``       vote whatever has been submitted for a round
 ``history``           current per-module history records
-``stats``             rounds processed/degraded, last output
+``stats``             rounds processed/degraded, last output, plus a
+                      structured ``snapshot`` of engine/service metrics
+``metrics``           Prometheus text exposition of the service's
+                      metrics registry (see :mod:`repro.obs`)
 ``reset``             reset voter history and engine state
 ====================  =====================================================
 """
@@ -39,6 +42,7 @@ OPERATIONS = (
     "close_round",
     "history",
     "stats",
+    "metrics",
     "reset",
     "configure",
 )

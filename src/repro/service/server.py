@@ -11,15 +11,18 @@ from __future__ import annotations
 import math
 import socketserver
 import threading
+import time
 from typing import Any, Dict, Optional
 
 from ..exceptions import ReproError
 from ..fusion.engine import FusionEngine, FusionResult
+from ..obs import MetricsRegistry, ServiceInstruments, get_default_registry
 from ..types import Round
 from ..vdx.factory import build_engine
 from ..vdx.spec import VotingSpec
 from .protocol import (
     MAX_LINE_BYTES,
+    OPERATIONS,
     ProtocolError,
     decode_message,
     encode_message,
@@ -77,7 +80,8 @@ class _Handler(socketserver.StreamRequestHandler):
                 continue
             try:
                 request = decode_message(stripped)
-                response = self.server.service.dispatch(request)
+                service = self.server.service  # type: ignore[attr-defined]
+                response = service.dispatch(request)
             except ProtocolError as exc:
                 response = error_response(str(exc))
             except ReproError as exc:
@@ -105,6 +109,8 @@ class VoterServer:
         host: bind address (default loopback).
         port: bind port; 0 picks a free port (see :attr:`address`).
         history_store: optional persistent record backend.
+        registry: metrics registry for the service *and* its engine
+            (default: the process-global registry from :mod:`repro.obs`).
 
     Use as a context manager, or call :meth:`start` / :meth:`stop`.
     """
@@ -115,27 +121,37 @@ class VoterServer:
         host: str = "127.0.0.1",
         port: int = 0,
         history_store=None,
+        registry: Optional[MetricsRegistry] = None,
     ):
         self.spec = spec
         self._history_store = history_store
-        self.engine: FusionEngine = build_engine(spec, history_store=history_store)
+        self.registry = registry if registry is not None else get_default_registry()
+        self._obs = ServiceInstruments(self.registry, OPERATIONS)
+        self.engine: FusionEngine = build_engine(
+            spec, history_store=history_store, registry=self.registry
+        )
         self._lock = threading.Lock()
         self._pending: Dict[int, Dict[str, Optional[float]]] = {}
         self._voted = set()
         self._last_result: Optional[FusionResult] = None
         self.requests_served = 0
-        self._tcp = _ThreadingServer((host, port), _Handler)
-        self._tcp.service = self
+        self._tcp: Optional[_ThreadingServer] = _ThreadingServer(
+            (host, port), _Handler
+        )
+        self._tcp.service = self  # type: ignore[attr-defined]
+        self._address = self._tcp.server_address
         self._thread: Optional[threading.Thread] = None
 
     # -- lifecycle --------------------------------------------------------
 
     @property
     def address(self):
-        """(host, port) the server is bound to."""
-        return self._tcp.server_address
+        """(host, port) the server is (or was) bound to."""
+        return self._address
 
     def start(self) -> "VoterServer":
+        if self._tcp is None:
+            raise ReproError("server already stopped")
         if self._thread is not None:
             raise ReproError("server already started")
         self._thread = threading.Thread(
@@ -146,12 +162,21 @@ class VoterServer:
         return self
 
     def stop(self) -> None:
-        if self._thread is None:
-            return
-        self._tcp.shutdown()
-        self._tcp.server_close()
-        self._thread.join(timeout=5.0)
-        self._thread = None
+        """Shut down and release the socket (idempotent).
+
+        Safe to call whether or not :meth:`start` ever ran — ``__exit__``
+        after a failed start must still close the bound socket — and
+        safe to call repeatedly: the first call nulls out ``_tcp``, so a
+        second one can never touch a closed socket.
+        """
+        thread, self._thread = self._thread, None
+        tcp, self._tcp = self._tcp, None
+        if tcp is not None:
+            if thread is not None:
+                tcp.shutdown()
+            tcp.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
 
     def __enter__(self) -> "VoterServer":
         return self.start()
@@ -164,10 +189,20 @@ class VoterServer:
     def dispatch(self, request: Dict[str, Any]) -> Dict[str, Any]:
         """Handle one validated request (thread-safe)."""
         op = validate_request(request)
-        with self._lock:
-            self.requests_served += 1
-            handler = getattr(self, f"_op_{op}")
-            return handler(request)
+        obs = self._obs
+        start = time.perf_counter() if obs.enabled else 0.0
+        try:
+            with self._lock:
+                self.requests_served += 1
+                handler = getattr(self, f"_op_{op}")
+                return handler(request)
+        except Exception:
+            obs.errors[op].inc()
+            raise
+        finally:
+            obs.requests[op].inc()
+            if obs.enabled:
+                obs.request_seconds[op].observe(time.perf_counter() - start)
 
     # -- operations ---------------------------------------------------------
 
@@ -223,14 +258,41 @@ class VoterServer:
         return ok_response(records=records)
 
     def _op_stats(self, request) -> Dict[str, Any]:
+        processed = self.engine.rounds_processed
+        degraded = self.engine.rounds_degraded
+        snapshot = {
+            "engine": {
+                "rounds_processed": processed,
+                "rounds_degraded": degraded,
+                "availability": (
+                    (processed - degraded) / processed if processed else 0.0
+                ),
+                "roster_size": len(self.engine.roster),
+                "algorithm": self.spec.algorithm_name,
+            },
+            "service": {
+                "requests": {
+                    op: child.value
+                    for op, child in self._obs.requests.items()
+                },
+                "errors": {
+                    op: child.value for op, child in self._obs.errors.items()
+                },
+            },
+        }
         return ok_response(
-            rounds_processed=self.engine.rounds_processed,
-            rounds_degraded=self.engine.rounds_degraded,
+            rounds_processed=processed,
+            rounds_degraded=degraded,
             pending_rounds=sorted(self._pending),
             requests_served=self.requests_served,
             last_value=self._last_result.value if self._last_result else None,
             algorithm=self.spec.algorithm_name,
+            snapshot=snapshot,
         )
+
+    def _op_metrics(self, request) -> Dict[str, Any]:
+        """Prometheus text exposition of the service's registry."""
+        return ok_response(metrics=self.registry.render())
 
     def _op_reset(self, request) -> Dict[str, Any]:
         self.engine.reset()
@@ -254,7 +316,9 @@ class VoterServer:
             # Stale records from the old scheme must not leak into the
             # rebuilt engine via the store's load-on-attach.
             self._history_store.clear()
-        self.engine = build_engine(spec, history_store=self._history_store)
+        self.engine = build_engine(
+            spec, history_store=self._history_store, registry=self.registry
+        )
         self._pending.clear()
         self._voted.clear()
         self._last_result = None

@@ -104,18 +104,22 @@ def build_voter(spec: VotingSpec, history_store=None) -> Voter:
     return cls(params=params, history_store=history_store)
 
 
-def build_engine(spec: VotingSpec, history_store=None, fault_policy=None):
+def build_engine(spec: VotingSpec, history_store=None, fault_policy=None,
+                 registry=None):
     """Build a :class:`~repro.fusion.engine.FusionEngine` from a spec.
 
     The engine layers VDX's pre-vote value exclusion and the fault
     policies of §7 (missing values, conflicts) around the voter.  An
     explicit ``fault_policy`` argument wins; otherwise the document's
     ``fault_policy`` object (the VDX 1.1 extension) applies, falling
-    back to engine defaults when neither is given.
+    back to engine defaults when neither is given.  ``registry``
+    selects the metrics registry the engine instruments against.
     """
     from ..fusion.engine import FusionEngine  # local import: fusion uses voting
 
     voter = build_voter(spec, history_store=history_store)
     if fault_policy is None:
         fault_policy = spec.build_fault_policy()
-    return FusionEngine.from_spec(spec, voter, fault_policy=fault_policy)
+    return FusionEngine.from_spec(
+        spec, voter, fault_policy=fault_policy, registry=registry
+    )

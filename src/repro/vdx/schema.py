@@ -8,7 +8,7 @@ categorical extension described in §6.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
 SCHEMA_VERSION = "1.1"

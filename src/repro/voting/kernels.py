@@ -32,12 +32,6 @@ from typing import List, Optional
 
 import numpy as np
 
-from .agreement import (
-    agreement_scores,
-    binary_agreement_matrix,
-    soft_agreement_matrix,
-)
-
 __all__ = [
     "BATCHABLE_COLLATIONS",
     "batch_agreement_scores",

@@ -7,7 +7,6 @@ import pytest
 
 from repro.analysis.reliability import FAULT_CLASSES, diagnose, worst_module
 from repro.datasets.injection import drop_values, offset_fault
-from repro.fusion.engine import FusionEngine
 from repro.voting.registry import create_voter
 
 

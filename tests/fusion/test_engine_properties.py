@@ -8,7 +8,7 @@ from hypothesis import strategies as st
 
 from repro.fusion.engine import FusionEngine
 from repro.fusion.faults import FaultPolicy
-from repro.types import Round
+
 from repro.voting.registry import create_voter
 
 

@@ -2,13 +2,11 @@
 
 from __future__ import annotations
 
-import json
 
 import numpy as np
-import pytest
 
 from repro.analysis.diff import run_voter_series
-from repro.datasets.injection import drop_values, offset_fault
+from repro.datasets.injection import drop_values
 from repro.datasets.loader import load_csv, save_csv
 from repro.fusion.engine import FusionEngine
 from repro.fusion.faults import FaultPolicy

@@ -1,0 +1,180 @@
+"""Instrument semantics: counters, gauges, histograms, registries."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    exponential_buckets,
+    get_default_registry,
+    use_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = MetricsRegistry().counter("c_total", "help")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("c_total", "help")
+        with pytest.raises(ValueError):
+            counter.inc(-1.0)
+
+    def test_labelled_children_are_independent(self):
+        family = MetricsRegistry().counter("c_total", "help", labels=("op",))
+        family.labels("vote").inc(3)
+        family.labels("ping").inc()
+        assert family.labels("vote").value == 3.0
+        assert family.labels("ping").value == 1.0
+
+    def test_direct_use_of_labelled_family_rejected(self):
+        family = MetricsRegistry().counter("c_total", "help", labels=("op",))
+        with pytest.raises(ValueError):
+            family.inc()
+
+    def test_wrong_label_arity_rejected(self):
+        family = MetricsRegistry().counter(
+            "c_total", "help", labels=("a", "b")
+        )
+        with pytest.raises(ValueError):
+            family.labels("only-one")
+
+    def test_thread_safety_under_hammering(self):
+        """8 threads x 10'000 increments: no lost update, exactly 80'000."""
+        counter = MetricsRegistry().counter("hammer_total", "help")
+        n_threads, n_incs = 8, 10_000
+
+        def hammer():
+            for _ in range(n_incs):
+                counter.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == n_threads * n_incs
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        gauge = MetricsRegistry().gauge("g", "help")
+        gauge.set(4.0)
+        gauge.inc(-1.5)
+        assert gauge.value == 2.5
+
+    def test_set_function_is_read_at_access_time(self):
+        gauge = MetricsRegistry().gauge("g", "help")
+        box = {"v": 1.0}
+        gauge.set_function(lambda: box["v"])
+        assert gauge.value == 1.0
+        box["v"] = 7.0
+        assert gauge.value == 7.0
+
+    def test_set_function_errors_render_as_nan(self):
+        gauge = MetricsRegistry().gauge("g", "help")
+        gauge.set_function(lambda: 1 / 0)
+        assert gauge.value != gauge.value  # NaN
+
+
+class TestHistogram:
+    def test_bucket_edges_are_inclusive_upper_bounds(self):
+        """A value equal to a bound lands in that bound's bucket (le=)."""
+        histogram = MetricsRegistry().histogram(
+            "h", "help", buckets=(1.0, 2.0, 4.0)
+        )
+        histogram.observe(1.0)   # == first bound: belongs to le="1"
+        histogram.observe(1.5)   # inside le="2"
+        histogram.observe(4.0)   # == last bound: belongs to le="4"
+        histogram.observe(99.0)  # overflow: +Inf only
+        counts = histogram.bucket_counts()
+        assert counts[1.0] == 1
+        assert counts[2.0] == 2  # cumulative
+        assert counts[4.0] == 3
+        assert counts[float("inf")] == 4
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(105.5)
+
+    def test_default_buckets_are_the_fixed_latency_ladder(self):
+        histogram = MetricsRegistry().histogram("h", "help")
+        assert histogram.buckets == DEFAULT_LATENCY_BUCKETS
+        assert histogram.buckets[0] == pytest.approx(1e-5)
+        assert histogram.buckets[-1] == pytest.approx(1e-5 * 2 ** 19)
+
+    def test_exponential_buckets_shape(self):
+        assert exponential_buckets(1.0, 2.0, 4) == (1.0, 2.0, 4.0, 8.0)
+        with pytest.raises(ValueError):
+            exponential_buckets(0.0, 2.0, 4)
+        with pytest.raises(ValueError):
+            exponential_buckets(1.0, 1.0, 4)
+        with pytest.raises(ValueError):
+            exponential_buckets(1.0, 2.0, 0)
+
+
+class TestRegistry:
+    def test_same_name_returns_same_family(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x_total", "help")
+        b = registry.counter("x_total", "help")
+        assert a is b
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", "help")
+        with pytest.raises(ValueError):
+            registry.gauge("x_total", "help")
+
+    def test_label_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", "help", labels=("a",))
+        with pytest.raises(ValueError):
+            registry.counter("x_total", "help", labels=("b",))
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("0bad", "help")
+        with pytest.raises(ValueError):
+            registry.counter("ok_total", "help", labels=("bad-label",))
+
+    def test_snapshot_is_structured(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "help", labels=("op",)).labels("x").inc(2)
+        registry.histogram("h", "help").observe(0.5)
+        snapshot = registry.snapshot()
+        assert snapshot["c_total"]["type"] == "counter"
+        assert snapshot["c_total"]["samples"]["op=x"] == 2.0
+        assert snapshot["h"]["samples"][""]["count"] == 1
+
+
+class TestNullRegistry:
+    def test_null_instruments_accept_everything_and_report_nothing(self):
+        counter = NULL_REGISTRY.counter("c_total", "help", labels=("op",))
+        counter.labels("vote").inc(5)
+        counter.inc()
+        gauge = NULL_REGISTRY.gauge("g", "help")
+        gauge.set(3.0)
+        gauge.set_function(lambda: 9.9)
+        histogram = NULL_REGISTRY.histogram("h", "help")
+        histogram.observe(1.0)
+        assert counter.value == 0.0
+        assert gauge.value == 0.0
+        assert histogram.count == 0
+        assert NULL_REGISTRY.render() == ""
+        assert NULL_REGISTRY.enabled is False
+
+    def test_use_registry_swaps_and_restores_the_default(self):
+        original = get_default_registry()
+        replacement = MetricsRegistry()
+        with use_registry(replacement):
+            assert get_default_registry() is replacement
+        assert get_default_registry() is original

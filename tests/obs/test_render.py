@@ -1,0 +1,84 @@
+"""Text exposition format: golden output and line-grammar checks."""
+
+from __future__ import annotations
+
+import re
+
+from repro.obs import MetricsRegistry
+
+#: One exposition line: HELP/TYPE metadata or `name{labels} value`.
+LINE_RE = re.compile(
+    r"^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .*"
+    r"|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\""
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})? "
+    r"(-?[0-9.e+-]+|NaN|\+Inf|-Inf))$"
+)
+
+
+def parseable(text: str) -> bool:
+    return all(LINE_RE.match(line) for line in text.splitlines())
+
+
+def test_render_golden():
+    """The exact text a populated registry exposes (sorted, stable)."""
+    registry = MetricsRegistry()
+    requests = registry.counter(
+        "demo_requests_total", "Requests served.", labels=("op",)
+    )
+    requests.labels("vote").inc(3)
+    requests.labels("ping").inc()
+    registry.gauge("demo_temperature", "Last fused value.").set(18.25)
+    histogram = registry.histogram(
+        "demo_seconds", "Request latency.", buckets=(0.01, 0.1)
+    )
+    histogram.observe(0.005)
+    histogram.observe(0.05)
+
+    assert registry.render() == (
+        "# HELP demo_requests_total Requests served.\n"
+        "# TYPE demo_requests_total counter\n"
+        'demo_requests_total{op="ping"} 1\n'
+        'demo_requests_total{op="vote"} 3\n'
+        "# HELP demo_seconds Request latency.\n"
+        "# TYPE demo_seconds histogram\n"
+        'demo_seconds_bucket{le="0.01"} 1\n'
+        'demo_seconds_bucket{le="0.1"} 2\n'
+        'demo_seconds_bucket{le="+Inf"} 2\n'
+        "demo_seconds_sum 0.055\n"
+        "demo_seconds_count 2\n"
+        "# HELP demo_temperature Last fused value.\n"
+        "# TYPE demo_temperature gauge\n"
+        "demo_temperature 18.25\n"
+    )
+
+
+def test_every_line_matches_the_exposition_grammar():
+    registry = MetricsRegistry()
+    registry.counter("a_total", "A.", labels=("x", "y")).labels("1", "2").inc()
+    registry.gauge("b", "B.").set(-3.5)
+    registry.histogram("c_seconds", "C.").observe(1e-4)
+    text = registry.render()
+    assert text.endswith("\n")
+    assert parseable(text)
+
+
+def test_label_values_are_escaped():
+    registry = MetricsRegistry()
+    registry.counter("e_total", "E.", labels=("path",)).labels(
+        'with"quote\nand\\slash'
+    ).inc()
+    rendered = registry.render()
+    assert 'path="with\\"quote\\nand\\\\slash"' in rendered
+
+
+def test_empty_registry_renders_empty():
+    assert MetricsRegistry().render() == ""
+
+
+def test_integer_and_float_formatting():
+    registry = MetricsRegistry()
+    registry.gauge("g_int", "G.").set(4.0)
+    registry.gauge("g_float", "G.").set(4.125)
+    rendered = registry.render()
+    assert "g_int 4\n" in rendered
+    assert "g_float 4.125\n" in rendered

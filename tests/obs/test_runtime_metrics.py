@@ -1,0 +1,108 @@
+"""Runtime-layer instrumentation: pool chunks, crashes, wall vs worker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import NULL_REGISTRY, MetricsRegistry
+from repro.runtime import fuse_many
+from repro.runtime.pool import WorkerPool, fork_available
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="fork start method unavailable"
+)
+
+
+def square(x):
+    return x * x
+
+
+def boom(x):
+    raise ValueError(f"task {x} exploded")
+
+
+def _counter(registry, name):
+    return registry.families()[name]._default.value
+
+
+class TestInProcessPool:
+    def test_single_chunk_and_equal_wall_worker_time(self):
+        registry = MetricsRegistry()
+        with WorkerPool(workers=1, registry=registry) as pool:
+            assert pool.map(square, range(8)) == [x * x for x in range(8)]
+        assert _counter(registry, "runtime_pool_chunks_total") == 1
+        assert _counter(registry, "runtime_pool_worker_crashes_total") == 0
+        wall = registry.families()["runtime_pool_wall_seconds"]._default.value
+        worker = registry.families()[
+            "runtime_pool_worker_seconds"
+        ]._default.value
+        assert wall == worker > 0.0
+
+    def test_empty_map_records_nothing(self):
+        registry = MetricsRegistry()
+        with WorkerPool(workers=1, registry=registry) as pool:
+            assert pool.map(square, []) == []
+        assert _counter(registry, "runtime_pool_chunks_total") == 0
+
+
+@needs_fork
+class TestProcessPool:
+    def test_chunks_counter_matches_scheduled_chunks(self):
+        registry = MetricsRegistry()
+        with WorkerPool(workers=2, chunk_size=1, registry=registry) as pool:
+            assert pool.map(square, range(6)) == [x * x for x in range(6)]
+        assert _counter(registry, "runtime_pool_chunks_total") == 6
+
+    def test_worker_seconds_aggregates_across_chunks(self):
+        registry = MetricsRegistry()
+        with WorkerPool(workers=2, chunk_size=2, registry=registry) as pool:
+            pool.map(square, range(8))
+        wall = registry.families()["runtime_pool_wall_seconds"]._default.value
+        worker = registry.families()[
+            "runtime_pool_worker_seconds"
+        ]._default.value
+        assert wall > 0.0
+        assert worker > 0.0
+
+    def test_crash_counter_increments_and_reraises(self):
+        registry = MetricsRegistry()
+        pool = WorkerPool(workers=2, chunk_size=1, registry=registry)
+        with pytest.raises(ValueError, match="exploded"):
+            pool.map(boom, range(4))
+        assert _counter(registry, "runtime_pool_worker_crashes_total") == 1
+
+
+class TestFuseMany:
+    def test_series_counter_counts_input_matrices(self):
+        registry = MetricsRegistry()
+        results = fuse_many(
+            [[[1.0, 1.1, 0.9]], [[2.0, 2.1, 1.9]], [[3.0, 3.1, 2.9]]],
+            "average",
+            workers=1,
+            registry=registry,
+        )
+        assert len(results) == 3
+        assert (
+            _counter(registry, "runtime_fuse_many_series_total") == 3
+        )
+
+    def test_all_runtime_families_registered_even_in_process(self):
+        """workers=1 skips the pool, yet every family still renders."""
+        registry = MetricsRegistry()
+        fuse_many([[[1.0, 1.1, 0.9]]], "average", workers=1, registry=registry)
+        rendered = registry.render()
+        for family in (
+            "runtime_fuse_many_series_total",
+            "runtime_pool_chunks_total",
+            "runtime_pool_worker_crashes_total",
+            "runtime_pool_wall_seconds",
+            "runtime_pool_worker_seconds",
+        ):
+            assert family in rendered
+
+
+class TestDisabled:
+    def test_null_registry_pool_still_maps_correctly(self):
+        with WorkerPool(workers=1, registry=NULL_REGISTRY) as pool:
+            assert pool.map(square, range(4)) == [0, 1, 4, 9]
+        assert NULL_REGISTRY.render() == ""

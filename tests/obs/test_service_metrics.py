@@ -1,0 +1,149 @@
+"""Service-layer instrumentation and the ``metrics`` protocol op."""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.runtime import fuse_many
+from repro.service.client import ServiceError, VoterClient
+from repro.service.server import VoterServer
+from repro.vdx.examples import AVOC_SPEC, HYBRID_SPEC
+
+from .test_render import parseable
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+def test_metrics_op_round_trip_through_client(registry):
+    with VoterServer(AVOC_SPEC, registry=registry) as server:
+        with VoterClient(*server.address) as client:
+            client.ping()
+            client.vote(0, {"E1": 18.0, "E2": 18.1, "E3": 17.9})
+            text = client.metrics()
+    assert parseable(text)
+    assert 'service_requests_total{op="vote"} 1' in text
+    assert 'service_requests_total{op="ping"} 1' in text
+    # The metrics op counts itself as a request too (visible from a
+    # second fetch, not its own — it renders before dispatch returns).
+    assert 'service_requests_total{op="metrics"} 0' in text
+    assert 'fusion_rounds_total{algorithm="avoc"} 1' in text
+
+
+def test_end_to_end_fuse_and_round_trip_exposes_all_three_layers(registry):
+    """Acceptance: engine, service and runtime families all render."""
+    fuse_many(
+        [[[1.0, 1.1, 0.9]], [[2.0, 2.1, 1.9]]],
+        "average",
+        workers=1,
+        registry=registry,
+    )
+    with VoterServer(AVOC_SPEC, registry=registry) as server:
+        with VoterClient(*server.address) as client:
+            client.vote(0, {"E1": 18.0, "E2": 18.1, "E3": 17.9})
+            text = client.metrics()
+    assert parseable(text)
+    families = {
+        re.split(r"[{ ]", line)[0]
+        for line in text.splitlines()
+        if line and not line.startswith("#")
+    }
+    assert "fusion_rounds_total" in families  # engine layer
+    assert "service_requests_total" in families  # service layer
+    assert "runtime_fuse_many_series_total" in families  # runtime layer
+    assert "runtime_pool_chunks_total" in families
+
+
+def test_request_latency_histogram_observes_every_dispatch(registry):
+    with VoterServer(AVOC_SPEC, registry=registry) as server:
+        with VoterClient(*server.address) as client:
+            client.ping()
+            client.ping()
+    child = registry.families()["service_request_seconds"].labels("ping")
+    assert child.count == 2
+    assert child.sum > 0.0
+
+
+def test_error_counter_increments_on_handled_errors(registry):
+    with VoterServer(AVOC_SPEC, registry=registry) as server:
+        with VoterClient(*server.address) as client:
+            client.vote(0, {"E1": 18.0, "E2": 18.1, "E3": 17.9})
+            with pytest.raises(ServiceError):
+                client.vote(0, {"E1": 18.0, "E2": 18.1, "E3": 17.9})
+    errors = registry.families()["service_errors_total"]
+    assert errors.labels("vote").value == 1
+    requests = registry.families()["service_requests_total"]
+    assert requests.labels("vote").value == 2  # failed dispatches count too
+
+
+def test_stats_op_carries_structured_snapshot(registry):
+    with VoterServer(AVOC_SPEC, registry=registry) as server:
+        with VoterClient(*server.address) as client:
+            client.vote(0, {"E1": 18.0, "E2": 18.1, "E3": 17.9})
+            stats = client.stats()
+    snapshot = stats["snapshot"]
+    assert snapshot["engine"]["rounds_processed"] == 1
+    assert snapshot["engine"]["rounds_degraded"] == 0
+    assert snapshot["engine"]["availability"] == 1.0
+    assert snapshot["engine"]["algorithm"] == "AVOC"
+    assert snapshot["service"]["requests"]["vote"] == 1
+    assert snapshot["service"]["errors"]["vote"] == 0
+
+
+def test_configure_rebinds_engine_metrics_to_the_same_registry(registry):
+    with VoterServer(AVOC_SPEC, registry=registry) as server:
+        with VoterClient(*server.address) as client:
+            client.vote(0, {"E1": 18.0, "E2": 18.1, "E3": 17.9})
+            client.configure(HYBRID_SPEC.to_dict())
+            client.vote(0, {"E1": 18.0, "E2": 18.1, "E3": 17.9})
+            text = client.metrics()
+    assert 'fusion_rounds_total{algorithm="avoc"} 1' in text
+    assert 'fusion_rounds_total{algorithm="hybrid"} 1' in text
+
+
+class TestStopIdempotency:
+    """The satellite bugfix: stop() is safe to repeat and after failure."""
+
+    def test_double_stop_after_start(self):
+        server = VoterServer(AVOC_SPEC)
+        server.start()
+        server.stop()
+        server.stop()  # must not touch the closed socket
+
+    def test_stop_without_start_releases_the_socket(self):
+        server = VoterServer(AVOC_SPEC)
+        host, port = server.address
+        server.stop()
+        server.stop()
+        # The port is free again: a new server can bind it immediately.
+        rebound = VoterServer(AVOC_SPEC, host=host, port=port)
+        assert rebound.address[1] == port
+        rebound.stop()
+
+    def test_exit_after_failed_start_is_safe(self):
+        from repro.exceptions import ReproError
+
+        server = VoterServer(AVOC_SPEC)
+        with server:
+            with pytest.raises(ReproError):
+                server.start()  # second start fails...
+        server.stop()  # ...and cleanup stays idempotent afterwards
+
+    def test_start_after_stop_is_rejected_cleanly(self):
+        from repro.exceptions import ReproError
+
+        server = VoterServer(AVOC_SPEC)
+        server.stop()
+        with pytest.raises(ReproError):
+            server.start()
+
+    def test_address_survives_stop(self):
+        server = VoterServer(AVOC_SPEC)
+        address = server.address
+        server.stop()
+        assert server.address == address

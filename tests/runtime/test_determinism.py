@@ -8,7 +8,6 @@ RNG stream in the parent and results are reassembled in input order.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.exceptions import ConfigurationError

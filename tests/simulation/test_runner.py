@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.datasets.ble_uc2 import UC2Config
 from repro.datasets.light_uc1 import UC1Config, build_uc1_array

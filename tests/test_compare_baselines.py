@@ -1,0 +1,151 @@
+"""The bench-regression gate fails on regressions and passes clean runs."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from benchmarks.compare_baselines import (
+    compare_dirs,
+    compare_latency,
+    compare_parallel,
+    main,
+)
+
+COMMITTED_LATENCY = {
+    "average": {"speedup": 28.87, "floor": 5.0},
+    "avoc": {"speedup": 5.44, "floor": 2.0},
+}
+
+COMMITTED_PARALLEL = {
+    "cpu_count": 1,
+    "ragged_kernel": {
+        "enforced": True,
+        "floor": 2.0,
+        "algorithms": {
+            "average": {"speedup": 110.19},
+            "avoc": {"speedup": 3.97},
+        },
+    },
+    "sweep_random_search_64": {
+        "enforced": False,
+        "floor": 2.5,
+        "speedup": 1.5,
+    },
+}
+
+
+def _write(directory, latency, parallel=None):
+    directory.mkdir(exist_ok=True)
+    (directory / "BENCH_latency.json").write_text(json.dumps(latency))
+    if parallel is not None:
+        (directory / "BENCH_parallel.json").write_text(json.dumps(parallel))
+
+
+class TestCompareLatency:
+    def test_clean_run_has_no_failures(self):
+        assert compare_latency(COMMITTED_LATENCY, COMMITTED_LATENCY) == []
+
+    def test_small_wobble_is_tolerated(self):
+        fresh = {
+            "average": {"speedup": 24.0, "floor": 5.0},  # -17%: fine
+            "avoc": {"speedup": 5.0, "floor": 2.0},
+        }
+        assert compare_latency(COMMITTED_LATENCY, fresh) == []
+
+    def test_speedup_below_floor_fails(self):
+        fresh = {
+            "average": {"speedup": 28.9, "floor": 5.0},
+            "avoc": {"speedup": 1.5, "floor": 2.0},
+        }
+        failures = compare_latency(COMMITTED_LATENCY, fresh)
+        # 1.5x trips both rules: below the 2x floor and >30% off 5.44x.
+        assert len(failures) == 2
+        assert any("below the recorded floor" in f for f in failures)
+        assert all("avoc" in f for f in failures)
+
+    def test_regression_over_30_percent_fails(self):
+        fresh = {
+            "average": {"speedup": 12.0, "floor": 5.0},  # -58% vs 28.87
+            "avoc": {"speedup": 5.4, "floor": 2.0},
+        }
+        failures = compare_latency(COMMITTED_LATENCY, fresh)
+        assert len(failures) == 1
+        assert "regressed" in failures[0]
+
+    def test_missing_algorithm_fails(self):
+        fresh = {"average": {"speedup": 28.9, "floor": 5.0}}
+        failures = compare_latency(COMMITTED_LATENCY, fresh)
+        assert failures and "missing" in failures[0]
+
+
+class TestCompareParallel:
+    def test_clean_run_has_no_failures(self):
+        assert compare_parallel(COMMITTED_PARALLEL, COMMITTED_PARALLEL) == []
+
+    def test_ragged_algorithm_regression_fails(self):
+        fresh = json.loads(json.dumps(COMMITTED_PARALLEL))
+        fresh["ragged_kernel"]["algorithms"]["avoc"]["speedup"] = 1.0
+        failures = compare_parallel(COMMITTED_PARALLEL, fresh)
+        assert len(failures) == 2  # below floor AND >30% regression
+        assert all("avoc" in f for f in failures)
+
+    def test_unenforced_section_never_fails(self):
+        fresh = json.loads(json.dumps(COMMITTED_PARALLEL))
+        fresh["sweep_random_search_64"]["speedup"] = 0.1
+        assert compare_parallel(COMMITTED_PARALLEL, fresh) == []
+
+
+class TestCli:
+    def test_exits_zero_on_clean_baseline(self, tmp_path, capsys):
+        committed, fresh = tmp_path / "committed", tmp_path / "fresh"
+        _write(committed, COMMITTED_LATENCY, COMMITTED_PARALLEL)
+        _write(fresh, COMMITTED_LATENCY, COMMITTED_PARALLEL)
+        assert (
+            main(["--committed-dir", str(committed), "--fresh-dir", str(fresh)])
+            == 0
+        )
+        assert "passed" in capsys.readouterr().out
+
+    def test_exits_nonzero_on_synthetic_regression(self, tmp_path, capsys):
+        """The acceptance case: a regressed baseline must fail the gate."""
+        committed, fresh = tmp_path / "committed", tmp_path / "fresh"
+        _write(committed, COMMITTED_LATENCY)
+        regressed = {
+            "average": {"speedup": 3.0, "floor": 5.0},
+            "avoc": {"speedup": 5.4, "floor": 2.0},
+        }
+        _write(fresh, regressed)
+        assert (
+            main(["--committed-dir", str(committed), "--fresh-dir", str(fresh)])
+            == 1
+        )
+        err = capsys.readouterr().err
+        assert "FAILED" in err
+        assert "[bench-reset]" in err
+
+    def test_exits_nonzero_when_fresh_file_missing(self, tmp_path):
+        committed, fresh = tmp_path / "committed", tmp_path / "fresh"
+        _write(committed, COMMITTED_LATENCY)
+        fresh.mkdir()
+        assert (
+            main(["--committed-dir", str(committed), "--fresh-dir", str(fresh)])
+            == 1
+        )
+
+    def test_nothing_gated_is_a_failure(self, tmp_path):
+        committed, fresh = tmp_path / "committed", tmp_path / "fresh"
+        committed.mkdir()
+        fresh.mkdir()
+        failures = compare_dirs(committed, fresh)
+        assert failures and "nothing gated" in failures[0]
+
+    def test_gate_accepts_the_repo_committed_baselines(self, capsys):
+        """Sanity: the real committed files gate against themselves."""
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parent.parent
+        if not (root / "BENCH_latency.json").is_file():
+            pytest.skip("no committed baselines in this checkout")
+        assert compare_dirs(root, root) == []

@@ -6,7 +6,7 @@ import pytest
 
 from repro.exceptions import ConfigurationError
 from repro.voting.avoc import AvocVoter
-from repro.voting.base import Voter, VoterParams
+from repro.voting.base import Voter
 from repro.voting.registry import available_algorithms, create_voter, register_voter
 
 
