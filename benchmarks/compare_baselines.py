@@ -32,6 +32,7 @@ from typing import Any, Dict, List, Optional
 
 __all__ = [
     "REGRESSION_TOLERANCE",
+    "compare_cluster",
     "compare_dirs",
     "compare_latency",
     "compare_parallel",
@@ -43,6 +44,7 @@ REGRESSION_TOLERANCE = 0.30
 
 LATENCY_FILE = "BENCH_latency.json"
 PARALLEL_FILE = "BENCH_parallel.json"
+CLUSTER_FILE = "BENCH_cluster.json"
 
 
 def _check_speedup(
@@ -139,6 +141,44 @@ def compare_parallel(
     return failures
 
 
+def compare_cluster(
+    committed: Dict[str, Any], fresh: Dict[str, Any]
+) -> List[str]:
+    """Gate ``BENCH_cluster.json``: shard throughput + failover identity."""
+    failures: List[str] = []
+    throughput = committed.get("throughput")
+    if isinstance(throughput, dict):
+        fresh_throughput = fresh.get("throughput")
+        if not isinstance(fresh_throughput, dict):
+            failures.append("cluster/throughput: missing from fresh baseline")
+        else:
+            _check_speedup(
+                "cluster/throughput",
+                fresh_throughput.get("speedup"),
+                throughput.get("speedup"),
+                throughput.get("floor"),
+                bool(throughput.get("enforced", True)),
+                failures,
+            )
+    if isinstance(committed.get("failover"), dict):
+        fresh_failover = fresh.get("failover")
+        if not isinstance(fresh_failover, dict):
+            failures.append("cluster/failover: missing from fresh baseline")
+        else:
+            if fresh_failover.get("answered") != fresh_failover.get("rounds"):
+                failures.append(
+                    "cluster/failover: rounds were lost "
+                    f"({fresh_failover.get('answered')} of "
+                    f"{fresh_failover.get('rounds')} answered)"
+                )
+            if fresh_failover.get("bit_identical") is not True:
+                failures.append(
+                    "cluster/failover: outputs diverged from the "
+                    "single-engine reference"
+                )
+    return failures
+
+
 def _load(path: Path) -> Optional[Dict[str, Any]]:
     if not path.is_file():
         return None
@@ -153,6 +193,7 @@ def compare_dirs(committed_dir: Path, fresh_dir: Path) -> List[str]:
     for filename, comparator in (
         (LATENCY_FILE, compare_latency),
         (PARALLEL_FILE, compare_parallel),
+        (CLUSTER_FILE, compare_cluster),
     ):
         committed = _load(committed_dir / filename)
         if committed is None:

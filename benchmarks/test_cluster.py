@@ -1,0 +1,184 @@
+"""Cluster perf baseline.
+
+Two recorded numbers, written to ``BENCH_cluster.json``:
+
+* **round throughput** — wall-clock to fuse the same 16-series workload
+  through a 1-shard vs a 4-shard cluster (``replicas=1``, process-mode
+  backends, micro-batched ``vote_batch`` traffic).  Floor: >= 2x at
+  4 shards — enforced only on hosts with at least 4 CPUs (single-core
+  containers record honest numbers with ``enforced: false``).
+* **failover bit-identity** — a 500-round run against a 3-shard,
+  2-replica cluster with one backend SIGKILLed at round 250.  Every
+  round must be answered and every value must be bit-identical to a
+  single uninterrupted engine.  Always enforced.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.cluster.supervisor import FusionCluster
+from repro.runtime.pool import fork_available
+from repro.vdx.examples import AVOC_SPEC
+from repro.vdx.factory import build_engine
+
+_OUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_cluster.json"
+
+THROUGHPUT_FLOOR = 2.0
+
+MODULES = ["E1", "E2", "E3", "E4", "E5"]
+N_SERIES = 16
+ROUNDS_PER_SERIES = 400
+CHUNK = 100
+
+
+def _merge_report(key, payload):
+    report = {}
+    if _OUT.exists():
+        report = json.loads(_OUT.read_text())
+    report["cpu_count"] = os.cpu_count()
+    report[key] = payload
+    _OUT.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+
+def _workload(seed=17):
+    rng = np.random.default_rng(seed)
+    return {
+        f"series-{k}": (
+            18.0 + 0.1 * rng.standard_normal((ROUNDS_PER_SERIES, len(MODULES)))
+        ).tolist()
+        for k in range(N_SERIES)
+    }
+
+
+def _drive(cluster, workload):
+    """Push the workload through the gateway in vote_batch chunks."""
+    with cluster.client() as client:
+        start = time.perf_counter()
+        for lo in range(0, ROUNDS_PER_SERIES, CHUNK):
+            rounds = list(range(lo, lo + CHUNK))
+            batches = [
+                {"series": series, "rounds": rounds, "modules": MODULES,
+                 "rows": rows[lo:lo + CHUNK]}
+                for series, rows in workload.items()
+            ]
+            results = client.vote_batch(batches)
+            assert len(results) == N_SERIES
+        return time.perf_counter() - start
+
+
+def test_throughput_at_4_shards(benchmark, capsys):
+    """The same 16-series workload on 1 shard vs 4 shards."""
+    if not fork_available():
+        pytest.skip("needs the fork start method")
+    workload = _workload()
+
+    def run(shards):
+        with FusionCluster(
+            AVOC_SPEC, n_shards=shards, replicas=1, mode="process",
+            auto_restart=False,
+        ) as cluster:
+            return _drive(cluster, workload)
+
+    def measure():
+        return run(1), run(4)
+
+    one_s, four_s = benchmark.pedantic(measure, iterations=1, rounds=1)
+    speedup = one_s / four_s
+    enforced = (os.cpu_count() or 1) >= 4
+    total_rounds = N_SERIES * ROUNDS_PER_SERIES
+    _merge_report(
+        "throughput",
+        {
+            "series": N_SERIES,
+            "rounds_per_series": ROUNDS_PER_SERIES,
+            "total_rounds": total_rounds,
+            "shards_1_seconds": round(one_s, 3),
+            "shards_4_seconds": round(four_s, 3),
+            "rounds_per_second_at_4_shards": round(total_rounds / four_s),
+            "speedup": round(speedup, 2),
+            "floor": THROUGHPUT_FLOOR,
+            "enforced": enforced,
+        },
+    )
+    mode = (
+        "enforced" if enforced else f"recorded only: {os.cpu_count()} CPU(s)"
+    )
+    with capsys.disabled():
+        print(
+            f"\ncluster throughput: 1 shard {one_s:.2f}s, 4 shards "
+            f"{four_s:.2f}s, {speedup:.2f}x (floor {THROUGHPUT_FLOOR}x, {mode})"
+        )
+    if enforced:
+        assert speedup >= THROUGHPUT_FLOOR, (
+            f"4-shard speedup {speedup:.2f}x below the "
+            f"{THROUGHPUT_FLOOR}x floor"
+        )
+
+
+def test_failover_bit_identity(benchmark, capsys):
+    """SIGKILL a replica mid-run: no lost rounds, identical outputs."""
+    if not fork_available():
+        pytest.skip("needs the fork start method")
+    n_rounds, kill_at = 500, 250
+    rng = np.random.default_rng(29)
+    matrix = 18.0 + 0.1 * rng.standard_normal((n_rounds, len(MODULES)))
+    reference = build_engine(AVOC_SPEC)
+    expected = reference.process_batch(matrix, MODULES).values
+
+    def measure():
+        answered = 0
+        identical = True
+        with FusionCluster(
+            AVOC_SPEC, n_shards=3, replicas=2, mode="process",
+            auto_restart=False,
+        ) as cluster:
+            with cluster.client() as client:
+                victim = client.route("bench")["replicas"][0]
+                start = time.perf_counter()
+                for i in range(n_rounds):
+                    if i == kill_at:
+                        os.kill(
+                            cluster.backends[victim].pid, signal.SIGKILL
+                        )
+                    result = client.vote(
+                        i, dict(zip(MODULES, matrix[i].tolist())),
+                        series="bench",
+                    )
+                    answered += 1
+                    want = expected[i]
+                    want = None if np.isnan(want) else float(want)
+                    if result["value"] != want:
+                        identical = False
+                elapsed = time.perf_counter() - start
+        return answered, identical, elapsed
+
+    answered, identical, elapsed = benchmark.pedantic(
+        measure, iterations=1, rounds=1
+    )
+    _merge_report(
+        "failover",
+        {
+            "rounds": n_rounds,
+            "killed_at": kill_at,
+            "answered": answered,
+            "bit_identical": identical,
+            "run_seconds": round(elapsed, 3),
+            "enforced": True,
+        },
+    )
+    with capsys.disabled():
+        print(
+            f"\nfailover: {answered}/{n_rounds} rounds answered across a "
+            f"SIGKILL at {kill_at}, bit-identical={identical}, "
+            f"{elapsed:.2f}s"
+        )
+    assert answered == n_rounds, "rounds were lost across the failover"
+    assert identical, "failover changed fused values"

@@ -301,6 +301,44 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_cluster(args) -> int:
+    import json
+
+    from .cluster.supervisor import FusionCluster
+    from .vdx.examples import AVOC_SPEC
+    from .vdx.spec import VotingSpec
+
+    spec = VotingSpec.from_file(args.spec) if args.spec else AVOC_SPEC
+    cluster = FusionCluster(
+        spec,
+        n_shards=args.shards,
+        replicas=args.replicas,
+        host=args.host,
+        port=args.port,
+        history_root=args.history_root,
+        mode=args.mode,
+    )
+    cluster.start()
+    host, port = cluster.address
+    print(
+        f"fusion cluster '{spec.algorithm_name}' listening on {host}:{port} "
+        f"({args.shards} shards, {args.replicas} replicas)"
+    )
+    print(json.dumps(cluster.describe(), indent=2))
+    if args.once:
+        cluster.stop()
+        return 0
+    try:
+        import threading
+
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        cluster.stop()
+    return 0
+
+
 def _cmd_fuse(args) -> int:
     from .datasets.loader import load_csv
     from .fusion.engine import FusionEngine
@@ -465,6 +503,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="bind, print the address, and exit (for scripting/tests)",
     )
 
+    cluster = sub.add_parser(
+        "cluster", help="run a sharded fusion cluster behind one gateway"
+    )
+    cluster.add_argument("--spec", default=None, help="VDX document (default: AVOC)")
+    cluster.add_argument("--shards", type=int, default=3)
+    cluster.add_argument("--replicas", type=int, default=2)
+    cluster.add_argument("--host", default="127.0.0.1")
+    cluster.add_argument("--port", type=int, default=0)
+    cluster.add_argument(
+        "--history-root", default=None,
+        help="directory for per-shard history logs (default: temporary)",
+    )
+    cluster.add_argument(
+        "--mode", choices=("process", "thread"), default=None,
+        help="backend isolation (default: process where fork exists)",
+    )
+    cluster.add_argument(
+        "--once", action="store_true",
+        help="start, print the topology, and exit (for scripting/tests)",
+    )
+
     fuse = sub.add_parser("fuse", help="fuse a recorded CSV dataset")
     fuse.add_argument("csv", help="rounds x modules CSV (empty cell = missing)")
     fuse.add_argument("--spec", default=None, help="VDX document to vote with")
@@ -499,6 +558,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "latency": _cmd_latency,
     "serve": _cmd_serve,
+    "cluster": _cmd_cluster,
     "fuse": _cmd_fuse,
     "tune": _cmd_tune,
     "diagnose": _cmd_diagnose,

@@ -1,0 +1,461 @@
+"""Shard backends: a multi-series voter server under process supervision.
+
+:class:`ShardServer` extends the single-engine
+:class:`~repro.service.server.VoterServer` to host one
+:class:`~repro.fusion.engine.FusionEngine` per *series* key, each with
+its own durable history log, and adds the cluster operations:
+``vote_batch`` (micro-batched rounds through
+:meth:`~repro.fusion.engine.FusionEngine.process_batch`, the PR-1
+vectorized hot path) and ``sync_history`` (the rebalance handoff
+write).  Voted rounds are cached per series, so a gateway replaying a
+round after a transport failure gets the original result back instead
+of an ``already voted`` error — the property that makes failover
+retries safe.
+
+:class:`ManagedBackend` runs a shard server in a forked subprocess
+(falling back to an in-process thread where ``fork`` is unavailable)
+with liveness probes and restart-on-crash; the per-series history logs
+live on disk, so a restarted shard resumes voting with its reliability
+records intact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import re
+import threading
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import ReproError
+from ..history.file import JsonlHistoryStore
+from ..runtime.pool import fork_available
+from ..service.client import VoterClient
+from ..service.protocol import ProtocolError, ok_response
+from ..service.server import VoterServer, _numeric, _result_payload
+from ..vdx.factory import build_engine
+from ..vdx.spec import VotingSpec
+
+__all__ = ["ManagedBackend", "ShardServer"]
+
+
+def _series_filename(series: str) -> str:
+    """A filesystem-safe, collision-free log name for a series key."""
+    slug = re.sub(r"[^A-Za-z0-9_.-]", "_", series)[:48]
+    digest = hashlib.blake2b(series.encode("utf-8"), digest_size=6).hexdigest()
+    return f"{slug}-{digest}.jsonl"
+
+
+class ShardServer(VoterServer):
+    """A voter server hosting many series, one engine per series key.
+
+    Requests without a ``series`` field behave exactly like the plain
+    :class:`VoterServer` (single shared engine); requests carrying one
+    are routed to that series' engine, created lazily from the same
+    VDX spec.  With ``history_dir`` set, each series persists its
+    records to its own JSONL log under that directory.
+    """
+
+    def __init__(
+        self,
+        spec: VotingSpec,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        history_dir=None,
+        registry=None,
+    ):
+        super().__init__(spec, host=host, port=port, registry=registry)
+        self._history_dir = Path(history_dir) if history_dir is not None else None
+        self._engines: Dict[str, Any] = {}
+        self._series_pending: Dict[str, Dict[int, Dict[str, Optional[float]]]] = {}
+        self._series_voted: Dict[str, Dict[int, Dict[str, Any]]] = {}
+        # Rehydrate series hosted before a restart: engines are created
+        # lazily, so without the index a freshly restarted shard would
+        # answer "unknown series" for history it still holds on disk.
+        for series in self._load_series_index():
+            self._engine_for(series)
+
+    def _series_index_path(self) -> Optional[Path]:
+        if self._history_dir is None:
+            return None
+        return self._history_dir / "series-index.json"
+
+    def _load_series_index(self) -> List[str]:
+        path = self._series_index_path()
+        if path is None or not path.exists():
+            return []
+        try:
+            return list(json.loads(path.read_text(encoding="utf-8")))
+        except (OSError, ValueError):  # pragma: no cover - corrupt index
+            return []
+
+    def _record_series(self, series: str) -> None:
+        path = self._series_index_path()
+        if path is None:
+            return
+        known = set(self._load_series_index())
+        if series in known:
+            return
+        known.add(series)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(sorted(known)), encoding="utf-8")
+
+    # -- per-series engines ------------------------------------------------
+
+    def _engine_for(self, series: str, create: bool = True):
+        engine = self._engines.get(series)
+        if engine is None:
+            if not create:
+                raise ProtocolError(f"unknown series {series!r}")
+            store = None
+            if self._history_dir is not None:
+                store = JsonlHistoryStore(
+                    self._history_dir / _series_filename(series)
+                )
+            engine = build_engine(
+                self.spec, history_store=store, registry=self.registry
+            )
+            self._engines[series] = engine
+            self._record_series(series)
+        return engine
+
+    @property
+    def series_hosted(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._engines))
+
+    # -- series-routed voting ----------------------------------------------
+
+    def _series_vote(
+        self, series: str, number: int, values: Dict[str, Optional[float]]
+    ) -> Dict[str, Any]:
+        from ..types import Round
+
+        voted = self._series_voted.setdefault(series, {})
+        cached = voted.get(number)
+        if cached is not None:
+            return cached  # replayed write: answer with the original result
+        engine = self._engine_for(series)
+        result = engine.process(Round.from_mapping(number, values))
+        payload = _result_payload(result)
+        voted[number] = payload
+        return payload
+
+    def _op_vote(self, request) -> Dict[str, Any]:
+        series = request.get("series")
+        if series is None:
+            return super()._op_vote(request)
+        values = {str(m): _numeric(m, v) for m, v in request["values"].items()}
+        return ok_response(result=self._series_vote(series, request["round"], values))
+
+    def _op_vote_batch(self, request) -> Dict[str, Any]:
+        # Two passes: assemble and validate every matrix first so a
+        # malformed later batch cannot leave earlier ones half-applied.
+        prepared: List[Tuple[Dict[str, Any], np.ndarray, List[str], List[int]]] = []
+        for batch in request["batches"]:
+            series = batch["series"]
+            try:
+                matrix = np.asarray(batch["rows"], dtype=float)
+            except (TypeError, ValueError):
+                raise ProtocolError(
+                    f"batch for series {series!r} has non-numeric values"
+                )
+            if matrix.size and np.isinf(matrix).any():
+                raise ProtocolError(
+                    f"batch for series {series!r} contains non-finite values"
+                )
+            modules = [str(m) for m in batch["modules"]]
+            prepared.append((batch, matrix, modules, list(batch["rounds"])))
+
+        results = []
+        for batch, matrix, modules, rounds in prepared:
+            series = batch["series"]
+            voted = self._series_voted.setdefault(series, {})
+            fresh: List[int] = []
+            seen = set()
+            for i, number in enumerate(rounds):
+                if number not in voted and number not in seen:
+                    seen.add(number)
+                    fresh.append(i)
+            if fresh:
+                engine = self._engine_for(series)
+                outcome = engine.process_batch(matrix[fresh], modules)
+                for k, i in enumerate(fresh):
+                    value = float(outcome.values[k])
+                    voted[rounds[i]] = {
+                        "round": rounds[i],
+                        "value": None if np.isnan(value) else value,
+                        "status": str(outcome.statuses[k]),
+                    }
+            results.append(
+                {"series": series, "results": [voted[n] for n in rounds]}
+            )
+        return ok_response(results=results)
+
+    # -- incremental submission, per series --------------------------------
+
+    def _op_submit(self, request) -> Dict[str, Any]:
+        series = request.get("series")
+        if series is None:
+            return super()._op_submit(request)
+        number = request["round"]
+        if number in self._series_voted.get(series, {}):
+            raise ProtocolError(f"round {number} was already voted")
+        value = _numeric(request["module"], request["value"])
+        pending = self._series_pending.setdefault(series, {})
+        bucket = pending.setdefault(number, {})
+        bucket[request["module"]] = value
+        roster = self._engine_for(series).roster
+        complete = bool(roster) and set(bucket) >= set(roster)
+        if complete:
+            payload = self._series_vote(series, number, pending.pop(number))
+            return ok_response(accepted=True, voted=True, result=payload)
+        return ok_response(accepted=True, voted=False, pending=len(bucket))
+
+    def _op_close_round(self, request) -> Dict[str, Any]:
+        series = request.get("series")
+        if series is None:
+            return super()._op_close_round(request)
+        number = request["round"]
+        bucket = self._series_pending.get(series, {}).pop(number, None)
+        if bucket is None:
+            raise ProtocolError(f"no pending submissions for round {number}")
+        return ok_response(result=self._series_vote(series, number, bucket))
+
+    # -- inspection ---------------------------------------------------------
+
+    def _op_history(self, request) -> Dict[str, Any]:
+        series = request.get("series")
+        if series is None:
+            return super()._op_history(request)
+        engine = self._engine_for(series, create=False)
+        history = getattr(engine.voter, "history", None)
+        records = history.snapshot() if history is not None else {}
+        return ok_response(records=records)
+
+    def _op_stats(self, request) -> Dict[str, Any]:
+        series = request.get("series")
+        if series is None:
+            response = super()._op_stats(request)
+            response["series"] = list(self.series_hosted)
+            response["series_rounds"] = {
+                s: self._engines[s].rounds_processed for s in self.series_hosted
+            }
+            return response
+        engine = self._engine_for(series, create=False)
+        return ok_response(series=series, **engine.statistics())
+
+    def _op_reset(self, request) -> Dict[str, Any]:
+        series = request.get("series")
+        if series is None:
+            for engine in self._engines.values():
+                engine.reset()
+            self._engines.clear()
+            self._series_pending.clear()
+            self._series_voted.clear()
+            return super()._op_reset(request)
+        engine = self._engines.pop(series, None)
+        if engine is not None:
+            history = getattr(engine.voter, "history", None)
+            store = getattr(history, "store", None)
+            if store is not None:
+                store.clear()
+        self._series_pending.pop(series, None)
+        self._series_voted.pop(series, None)
+        path = self._series_index_path()
+        if path is not None:
+            known = [s for s in self._load_series_index() if s != series]
+            path.write_text(json.dumps(known), encoding="utf-8")
+        return ok_response(reset=True, series=series)
+
+    def _op_configure(self, request) -> Dict[str, Any]:
+        # A scheme swap invalidates every hosted series, records included.
+        for engine in self._engines.values():
+            history = getattr(engine.voter, "history", None)
+            store = getattr(history, "store", None)
+            if store is not None:
+                store.clear()
+        self._engines.clear()
+        self._series_pending.clear()
+        self._series_voted.clear()
+        path = self._series_index_path()
+        if path is not None and path.exists():
+            path.unlink()
+        return super()._op_configure(request)
+
+    # -- rebalance handoff --------------------------------------------------
+
+    def _op_sync_history(self, request) -> Dict[str, Any]:
+        series = request["series"]
+        engine = self._engine_for(series)
+        history = getattr(engine.voter, "history", None)
+        if history is None:
+            raise ProtocolError(
+                f"series {series!r} voter keeps no history records"
+            )
+        records = {str(m): float(v) for m, v in request["records"].items()}
+        history.seed(records, count_as_update=False)
+        return ok_response(synced=len(records), series=series)
+
+
+def _backend_main(spec: VotingSpec, host: str, history_dir, conn) -> None:
+    """Subprocess entry: serve one shard until the process is killed."""
+    from ..obs import disable
+
+    # The child serves over the wire; its metrics die with it anyway,
+    # and a forked copy of the parent registry would only skew labels.
+    disable()
+    server = ShardServer(spec, host=host, port=0, history_dir=history_dir)
+    server.start()
+    conn.send(server.address)
+    conn.close()
+    threading.Event().wait()
+
+
+class ManagedBackend:
+    """One shard backend under supervision.
+
+    Runs a :class:`ShardServer` in a forked subprocess (``mode="process"``,
+    the default where ``fork`` exists) or an in-process thread
+    (``mode="thread"``, also the no-fork fallback).  Exposes liveness
+    probes, SIGKILL for fault injection, and :meth:`restart`, which
+    brings a fresh process up over the same history directory so every
+    series resumes with its persisted records.
+    """
+
+    def __init__(
+        self,
+        backend_id: str,
+        spec: VotingSpec,
+        history_dir=None,
+        host: str = "127.0.0.1",
+        mode: Optional[str] = None,
+        probe_timeout: float = 2.0,
+    ):
+        if mode is None:
+            mode = "process" if fork_available() else "thread"
+        if mode not in ("process", "thread"):
+            raise ReproError(f"unknown backend mode {mode!r}")
+        if mode == "process" and not fork_available():
+            raise ReproError("process-mode backends need the fork start method")
+        self.backend_id = backend_id
+        self.spec = spec
+        self.host = host
+        self.mode = mode
+        self.probe_timeout = probe_timeout
+        self.history_dir = Path(history_dir) if history_dir is not None else None
+        self.restarts = 0
+        self._process: Optional[multiprocessing.process.BaseProcess] = None
+        self._server: Optional[ShardServer] = None
+        self._address: Optional[Tuple[str, int]] = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        if self._address is None:
+            raise ReproError(f"backend {self.backend_id!r} is not started")
+        return self._address
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self._process.pid if self._process is not None else None
+
+    def start(self) -> Tuple[str, int]:
+        if self._address is not None:
+            raise ReproError(f"backend {self.backend_id!r} already started")
+        if self.history_dir is not None:
+            self.history_dir.mkdir(parents=True, exist_ok=True)
+        if self.mode == "thread":
+            self._server = ShardServer(
+                self.spec, host=self.host, port=0, history_dir=self.history_dir
+            )
+            self._server.start()
+            self._address = self._server.address
+        else:
+            ctx = multiprocessing.get_context("fork")
+            parent_conn, child_conn = ctx.Pipe()
+            self._process = ctx.Process(
+                target=_backend_main,
+                args=(self.spec, self.host, self.history_dir, child_conn),
+                daemon=True,
+                name=f"shard-{self.backend_id}",
+            )
+            self._process.start()
+            child_conn.close()
+            if not parent_conn.poll(timeout=10.0):
+                self._process.kill()
+                raise ReproError(
+                    f"backend {self.backend_id!r} did not report its address"
+                )
+            self._address = tuple(parent_conn.recv())
+            parent_conn.close()
+        return self._address
+
+    def is_alive(self) -> bool:
+        """Cheap process/thread liveness (no network round-trip)."""
+        if self.mode == "thread":
+            return self._server is not None and self._server._tcp is not None
+        return self._process is not None and self._process.is_alive()
+
+    def ping(self) -> bool:
+        """Network liveness: can the shard answer a ping right now?"""
+        if self._address is None:
+            return False
+        try:
+            with VoterClient(*self._address, timeout=self.probe_timeout) as client:
+                return client.ping()
+        except (OSError, ReproError):
+            return False
+
+    def kill(self) -> None:
+        """Fault injection: SIGKILL the shard (thread mode: hard stop)."""
+        if self.mode == "thread":
+            if self._server is not None:
+                tcp = self._server._tcp
+                self._server.stop()
+                if tcp is not None:
+                    # A killed process drops every connection; a stopped
+                    # listener alone would leave peers' sockets healthy.
+                    tcp.close_all_connections()
+        elif self._process is not None:
+            self._process.kill()
+            self._process.join(timeout=5.0)
+
+    def stop(self) -> None:
+        """Graceful shutdown (idempotent)."""
+        if self.mode == "thread":
+            server, self._server = self._server, None
+            if server is not None:
+                server.stop()
+        else:
+            process, self._process = self._process, None
+            if process is not None:
+                if process.is_alive():
+                    process.terminate()
+                process.join(timeout=5.0)
+                if process.is_alive():  # pragma: no cover - stuck child
+                    process.kill()
+                    process.join(timeout=5.0)
+        self._address = None
+
+    def restart(self) -> Tuple[str, int]:
+        """Replace a dead (or live) shard with a fresh one.
+
+        The new process binds a new port but reuses the history
+        directory, so every series it hosted resumes with the records
+        it had persisted before the crash.
+        """
+        self.stop()
+        self.restarts += 1
+        return self.start()
+
+    def __enter__(self) -> "ManagedBackend":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,665 @@
+"""The cluster gateway: one front door over many shard backends.
+
+The gateway speaks the same line-delimited JSON protocol as the plain
+voter service (plus ``route`` and ``cluster_stats``), hashes every
+series key onto the consistent-hash ring, fans writes to the full
+replica set and reads the majority answer back.  Each backend is
+served by a dedicated link thread that **micro-batches**: whatever
+vote jobs have queued up since the last flush travel as one
+``vote_batch`` request and are fused through
+:meth:`~repro.fusion.engine.FusionEngine.process_batch` on the shard —
+under concurrent load the PR-1 vectorized kernels are the hot path,
+not a per-round request loop.
+
+Failover is a property of the link, not the caller: every
+gateway→backend exchange runs under the shared
+:class:`~repro.cluster.retry.RetryPolicy` and a per-backend
+:class:`~repro.cluster.retry.CircuitBreaker`, so a dead shard fails
+fast after its first timeout and the majority read carries on with the
+surviving replicas.  A supervisor callback hears about the failure and
+can restart the shard (see :mod:`repro.cluster.supervisor`).
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import ReproError
+from ..obs import ClusterInstruments, MetricsRegistry, get_default_registry
+from ..service.client import VoterClient
+from ..service.protocol import (
+    PROTOCOL_VERSION,
+    ConnectionClosedError,
+    ProtocolError,
+    VersionMismatchError,
+    ok_response,
+    validate_request,
+)
+from ..service.server import _Handler, _numeric, _ThreadingServer
+from ..vdx.spec import VotingSpec
+from .retry import CircuitBreaker, RetryPolicy, call_with_retry
+from .ring import HashRing
+
+__all__ = ["ClusterGateway"]
+
+_STOP = object()
+
+
+class _Job:
+    """One unit of backend work a client handler thread waits on."""
+
+    __slots__ = ("kind", "payload", "event", "result", "error")
+
+    def __init__(self, kind: str, payload: Any):
+        self.kind = kind  # "vote" | "batch" | "forward"
+        self.payload = payload
+        self.event = threading.Event()
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+
+    def finish(self, result: Any) -> None:
+        self.result = result
+        self.event.set()
+
+    def fail(self, error: BaseException) -> None:
+        self.error = error
+        self.event.set()
+
+
+class _BackendLink:
+    """One backend's connection, queue, and micro-batching worker."""
+
+    def __init__(
+        self,
+        backend_id: str,
+        address: Tuple[str, int],
+        policy: RetryPolicy,
+        breaker: CircuitBreaker,
+        obs: ClusterInstruments,
+        on_failure: Callable[[str], None],
+        batch_max: int = 256,
+        timeout: float = 30.0,
+    ):
+        self.backend_id = backend_id
+        self.address = tuple(address)
+        self.policy = policy
+        self.breaker = breaker
+        self.obs = obs
+        self.on_failure = on_failure
+        self.batch_max = batch_max
+        self.timeout = timeout
+        self.alive = True
+        self.requests_sent = 0
+        self.failures = 0
+        self._queue: "queue.Queue[Any]" = queue.Queue()
+        self._client: Optional[VoterClient] = None
+        self._reconnect = False
+        self._thread = threading.Thread(
+            target=self._run, daemon=True, name=f"link-{backend_id}"
+        )
+        self._thread.start()
+
+    # -- control (gateway thread) -----------------------------------------
+
+    def enqueue(self, job: _Job) -> None:
+        self._queue.put(job)
+
+    def update_address(self, address: Tuple[str, int]) -> None:
+        """Point the link at a restarted backend and close the breaker."""
+        self.address = tuple(address)
+        self._reconnect = True
+        self.alive = True
+        self.breaker.record_success()
+
+    def stop(self) -> None:
+        self._queue.put(_STOP)
+        self._thread.join(timeout=5.0)
+
+    # -- worker ------------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            job = self._queue.get()
+            stopping = job is _STOP
+            jobs: List[_Job] = [] if stopping else [job]
+            while len(jobs) < self.batch_max:
+                try:
+                    extra = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if extra is _STOP:
+                    stopping = True
+                    break
+                jobs.append(extra)
+            if jobs:
+                self._flush(jobs)
+            if stopping:
+                if self._client is not None:
+                    self._client.close()
+                return
+
+    def _request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        def attempt() -> Dict[str, Any]:
+            if self._reconnect and self._client is not None:
+                self._client.close()
+                self._client = None
+                self._reconnect = False
+            if self._client is None:
+                client = VoterClient(*self.address, timeout=self.timeout)
+                client.connect()
+                client.hello()  # reject mismatched peers up front
+                self._client = client
+            try:
+                return self._client.request(message)
+            except (ConnectionClosedError, OSError):
+                self._client.close()
+                self._client = None
+                raise
+
+        self.requests_sent += 1
+        self.obs.shard_request(self.backend_id)
+        try:
+            response = call_with_retry(
+                attempt,
+                self.policy,
+                retry_on=(ConnectionClosedError, OSError),
+                breaker=self.breaker,
+            )
+        except Exception:
+            self.failures += 1
+            self.alive = False
+            self.obs.shard_error(self.backend_id)
+            self.on_failure(self.backend_id)
+            raise
+        self.alive = True
+        return response
+
+    def _flush(self, jobs: Sequence[_Job]) -> None:
+        votes = [j for j in jobs if j.kind == "vote"]
+        rest = [j for j in jobs if j.kind != "vote"]
+        if votes:
+            self._flush_votes(votes)
+        for job in rest:
+            try:
+                if job.kind == "batch":
+                    response = self._request(
+                        {"op": "vote_batch", "batches": job.payload}
+                    )
+                    job.finish(response["results"])
+                else:  # forward
+                    job.finish(self._request(job.payload))
+            except Exception as exc:  # noqa: BLE001 - delivered to the waiter
+                job.fail(exc)
+
+    def _flush_votes(self, votes: Sequence[_Job]) -> None:
+        """Coalesce queued single-round votes into one vote_batch."""
+        groups: Dict[Tuple[str, Tuple[str, ...]], List[_Job]] = {}
+        for job in votes:
+            series, _, _, modules = job.payload
+            groups.setdefault((series, modules), []).append(job)
+        batches = []
+        owners: List[List[_Job]] = []
+        for (series, modules), group in groups.items():
+            batches.append(
+                {
+                    "series": series,
+                    "rounds": [j.payload[1] for j in group],
+                    "modules": list(modules),
+                    "rows": [
+                        [j.payload[2][m] for m in modules] for j in group
+                    ],
+                }
+            )
+            owners.append(group)
+        self.obs.batch_rounds.observe(float(len(votes)))
+        try:
+            response = self._request({"op": "vote_batch", "batches": batches})
+        except Exception as exc:  # noqa: BLE001 - delivered to the waiters
+            for job in votes:
+                job.fail(exc)
+            return
+        for group, series_result in zip(owners, response["results"]):
+            for job, payload in zip(group, series_result["results"]):
+                job.finish(payload)
+
+
+class ClusterGateway:
+    """Failover-aware front door for a sharded fusion cluster.
+
+    Args:
+        spec: the voting scheme every shard hosts.
+        ring: consistent-hash ring over backend ids (owned by the
+            caller; a supervisor mutates it on join/leave).
+        host / port: bind address (port 0 picks a free port).
+        retry: backoff policy for gateway→backend calls.
+        breaker_threshold / breaker_reset: per-backend circuit breaker.
+        replica_timeout: how long a request waits for its replica set.
+        batch_max: cap on vote jobs coalesced into one shard flush.
+        default_series: series key used when a request carries none, so
+            a plain :class:`~repro.service.client.VoterClient` works
+            against the gateway unchanged.
+        registry: metrics registry (default: the process-global one).
+    """
+
+    def __init__(
+        self,
+        spec: VotingSpec,
+        ring: HashRing,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        retry: Optional[RetryPolicy] = None,
+        breaker_threshold: int = 3,
+        breaker_reset: float = 1.0,
+        replica_timeout: float = 30.0,
+        batch_max: int = 256,
+        default_series: str = "default",
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        self.spec = spec
+        self.ring = ring
+        self.retry = retry if retry is not None else RetryPolicy(
+            max_retries=2, base_delay=0.05, max_delay=0.5
+        )
+        self.breaker_threshold = breaker_threshold
+        self.breaker_reset = breaker_reset
+        self.replica_timeout = replica_timeout
+        self.batch_max = batch_max
+        self.default_series = default_series
+        self.registry = registry if registry is not None else get_default_registry()
+        self._obs = ClusterInstruments(self.registry)
+        self._links: Dict[str, _BackendLink] = {}
+        self._series: set = set()
+        self._lock = threading.Lock()
+        self._failure_callback: Optional[Callable[[str], None]] = None
+        self.requests_served = 0
+        self._obs.backends_alive.set_function(
+            lambda: float(sum(1 for link in self._links.values() if link.alive))
+        )
+        self._tcp: Optional[_ThreadingServer] = _ThreadingServer((host, port), _Handler)
+        self._tcp.service = self  # type: ignore[attr-defined]
+        self._address = self._tcp.server_address
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def address(self):
+        return self._address
+
+    def start(self) -> "ClusterGateway":
+        if self._tcp is None:
+            raise ReproError("gateway already stopped")
+        if self._thread is not None:
+            raise ReproError("gateway already started")
+        self._thread = threading.Thread(
+            target=self._tcp.serve_forever, kwargs={"poll_interval": 0.05},
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        thread, self._thread = self._thread, None
+        tcp, self._tcp = self._tcp, None
+        if tcp is not None:
+            if thread is not None:
+                tcp.shutdown()
+            tcp.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
+        with self._lock:
+            links, self._links = dict(self._links), {}
+        for link in links.values():
+            link.stop()
+
+    def __enter__(self) -> "ClusterGateway":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- backend membership --------------------------------------------------
+
+    def set_failure_callback(self, callback: Callable[[str], None]) -> None:
+        """Called (from a link thread) when a backend stops answering."""
+        self._failure_callback = callback
+
+    def _on_link_failure(self, backend_id: str) -> None:
+        callback = self._failure_callback
+        if callback is not None:
+            callback(backend_id)
+
+    def add_backend(self, backend_id: str, address: Tuple[str, int]) -> None:
+        with self._lock:
+            if backend_id in self._links:
+                raise ReproError(f"backend {backend_id!r} already attached")
+            self._links[backend_id] = _BackendLink(
+                backend_id,
+                address,
+                self.retry,
+                CircuitBreaker(self.breaker_threshold, self.breaker_reset),
+                self._obs,
+                self._on_link_failure,
+                batch_max=self.batch_max,
+                timeout=self.replica_timeout,
+            )
+
+    def remove_backend(self, backend_id: str) -> None:
+        with self._lock:
+            link = self._links.pop(backend_id, None)
+        if link is not None:
+            link.stop()
+
+    def update_backend(self, backend_id: str, address: Tuple[str, int]) -> None:
+        """Re-point a link after its backend restarted on a new port."""
+        with self._lock:
+            link = self._links.get(backend_id)
+        if link is None:
+            raise ReproError(f"no backend {backend_id!r} attached")
+        link.update_address(address)
+
+    @contextmanager
+    def membership(self):
+        """Hold the routing lock while mutating the shared ring.
+
+        The supervisor rebalances by changing ring membership; routing
+        reads the ring under the same lock, so mutations inside this
+        window are atomic with respect to in-flight requests.
+        """
+        with self._lock:
+            yield self.ring
+
+    def known_series(self) -> Tuple[str, ...]:
+        """Every series key the gateway has routed so far."""
+        with self._lock:
+            return tuple(sorted(self._series))
+
+    def _register_series(self, series: str) -> None:
+        with self._lock:
+            self._series.add(series)
+
+    def _replicas(self, series: str) -> List[str]:
+        with self._lock:
+            return self.ring.replica_set(series)
+
+    def _link(self, backend_id: str) -> Optional[_BackendLink]:
+        with self._lock:
+            return self._links.get(backend_id)
+
+    # -- fan-out machinery ---------------------------------------------------
+
+    def _await_jobs(
+        self, jobs: List[Tuple[str, _Job]]
+    ) -> List[Tuple[str, Any]]:
+        """Wait for enqueued jobs; returns (backend_id, result) successes."""
+        deadline = time.monotonic() + self.replica_timeout
+        successes: List[Tuple[str, Any]] = []
+        for backend_id, job in jobs:
+            remaining = max(0.0, deadline - time.monotonic())
+            if not job.event.wait(remaining):
+                job.fail(ProtocolError(f"backend {backend_id!r} timed out"))
+                continue
+            if job.error is None:
+                successes.append((backend_id, job.result))
+        return successes
+
+    def _fan_out(self, series: str, kind: str, payload: Any) -> List[Tuple[str, Any]]:
+        """Enqueue one job per replica of ``series`` and await answers."""
+        replicas = self._replicas(series)
+        jobs: List[Tuple[str, _Job]] = []
+        for backend_id in replicas:
+            link = self._link(backend_id)
+            if link is None:
+                continue
+            job = _Job(kind, payload)
+            link.enqueue(job)
+            jobs.append((backend_id, job))
+        if not jobs:
+            raise ProtocolError(f"no backends attached for series {series!r}")
+        successes = self._await_jobs(jobs)
+        if not successes:
+            raise ProtocolError(
+                f"no replica answered for series {series!r} "
+                f"(replica set: {replicas})"
+            )
+        return successes
+
+    def _majority(self, answers: List[Tuple[str, Any]]) -> Any:
+        """Majority value among replica answers (ties: replica order)."""
+        counts: Dict[str, List[Any]] = {}
+        for _, payload in answers:
+            key = json.dumps(payload, sort_keys=True, default=str)
+            counts.setdefault(key, [0, payload])[0] += 1
+        if len(counts) > 1:
+            self._obs.replica_disagreements.inc()
+        best_count = -1
+        best_payload = None
+        for count, payload in counts.values():
+            if count > best_count:
+                best_count, best_payload = count, payload
+        return best_payload
+
+    def _forward_first(self, series: str, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Send a read to the first replica that answers (primary first)."""
+        last_error: Optional[BaseException] = None
+        for backend_id in self._replicas(series):
+            link = self._link(backend_id)
+            if link is None:
+                continue
+            job = _Job("forward", request)
+            link.enqueue(job)
+            successes = self._await_jobs([(backend_id, job)])
+            if successes:
+                return successes[0][1]
+            last_error = job.error
+        if isinstance(last_error, ReproError):
+            raise last_error
+        raise ProtocolError(f"no replica answered for series {series!r}")
+
+    def _broadcast(self, request: Dict[str, Any]) -> Dict[str, int]:
+        """Send a request to every attached backend; returns ok counts."""
+        with self._lock:
+            backend_ids = list(self._links)
+        jobs = []
+        for backend_id in backend_ids:
+            link = self._link(backend_id)
+            if link is None:
+                continue
+            job = _Job("forward", request)
+            link.enqueue(job)
+            jobs.append((backend_id, job))
+        successes = self._await_jobs(jobs)
+        return {"sent": len(jobs), "acknowledged": len(successes)}
+
+    # -- dispatch ------------------------------------------------------------
+
+    def dispatch(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Handle one validated request (no global lock: fan-outs from
+        different client connections must interleave for micro-batching
+        to ever see more than one round per flush)."""
+        op = validate_request(request)
+        self.requests_served += 1
+        self._obs.requests.labels(op).inc()
+        handler = getattr(self, f"_op_{op}", None)
+        if handler is None:
+            raise ProtocolError(f"operation {op!r} is not supported by the gateway")
+        return handler(request)
+
+    # -- local operations ----------------------------------------------------
+
+    def _op_ping(self, request) -> Dict[str, Any]:
+        return ok_response(pong=True, role="gateway")
+
+    def _op_hello(self, request) -> Dict[str, Any]:
+        version = request["version"]
+        if version != PROTOCOL_VERSION:
+            raise VersionMismatchError(
+                f"protocol version mismatch: peer speaks {version}, "
+                f"this gateway speaks {PROTOCOL_VERSION}"
+            )
+        return ok_response(version=PROTOCOL_VERSION, server=type(self).__name__)
+
+    def _op_spec(self, request) -> Dict[str, Any]:
+        return ok_response(spec=self.spec.to_dict())
+
+    def _op_metrics(self, request) -> Dict[str, Any]:
+        return ok_response(metrics=self.registry.render())
+
+    def _op_route(self, request) -> Dict[str, Any]:
+        series = request["series"]
+        replicas = self._replicas(series)
+        addresses = []
+        for backend_id in replicas:
+            link = self._link(backend_id)
+            addresses.append(list(link.address) if link is not None else None)
+        return ok_response(series=series, replicas=replicas, addresses=addresses)
+
+    def _op_cluster_stats(self, request) -> Dict[str, Any]:
+        with self._lock:
+            links = dict(self._links)
+            ring_nodes = list(self.ring.nodes)
+            series_count = len(self._series)
+        backends = {
+            backend_id: {
+                "address": list(link.address),
+                "alive": link.alive,
+                "breaker": link.breaker.state,
+                "requests": link.requests_sent,
+                "failures": link.failures,
+            }
+            for backend_id, link in sorted(links.items())
+        }
+        return ok_response(
+            ring={
+                "backends": ring_nodes,
+                "replicas": self.ring.replicas,
+                "vnodes": self.ring.vnodes,
+            },
+            backends=backends,
+            series_routed=series_count,
+            requests_served=self.requests_served,
+        )
+
+    # -- routed operations ---------------------------------------------------
+
+    def _op_vote(self, request) -> Dict[str, Any]:
+        series = request.get("series", self.default_series)
+        self._register_series(series)
+        values = {str(m): _numeric(m, v) for m, v in request["values"].items()}
+        modules = tuple(values)
+        answers = self._fan_out(
+            series, "vote", (series, request["round"], values, modules)
+        )
+        return ok_response(
+            result=self._majority(answers), replicas_answered=len(answers)
+        )
+
+    def _op_vote_batch(self, request) -> Dict[str, Any]:
+        batches = request["batches"]
+        replica_map: List[List[str]] = []
+        per_backend: Dict[str, List[int]] = {}
+        for index, batch in enumerate(batches):
+            series = batch["series"]
+            self._register_series(series)
+            replicas = self._replicas(series)
+            replica_map.append(replicas)
+            for backend_id in replicas:
+                per_backend.setdefault(backend_id, []).append(index)
+        jobs: Dict[str, Tuple[_Job, List[int]]] = {}
+        for backend_id, indices in per_backend.items():
+            link = self._link(backend_id)
+            if link is None:
+                continue
+            job = _Job("batch", [batches[i] for i in indices])
+            link.enqueue(job)
+            jobs[backend_id] = (job, indices)
+        if not jobs:
+            raise ProtocolError("no backends attached")
+        self._await_jobs([(bid, job) for bid, (job, _) in jobs.items()])
+        collected: Dict[int, Dict[str, Any]] = {}
+        for backend_id, (job, indices) in jobs.items():
+            if job.error is not None:
+                continue
+            for slot, index in enumerate(indices):
+                collected.setdefault(index, {})[backend_id] = (
+                    job.result[slot]["results"]
+                )
+        results = []
+        for index, batch in enumerate(batches):
+            answers_by_backend = collected.get(index)
+            if not answers_by_backend:
+                raise ProtocolError(
+                    f"no replica answered for series {batch['series']!r}"
+                )
+            # Order answers primary-first so majority ties resolve the
+            # same way every time.
+            ordered = [
+                (bid, answers_by_backend[bid])
+                for bid in replica_map[index]
+                if bid in answers_by_backend
+            ]
+            merged = []
+            for k in range(len(batch["rounds"])):
+                merged.append(
+                    self._majority([(bid, rows[k]) for bid, rows in ordered])
+                )
+            results.append({"series": batch["series"], "results": merged})
+        return ok_response(results=results)
+
+    def _op_submit(self, request) -> Dict[str, Any]:
+        series = request.get("series", self.default_series)
+        self._register_series(series)
+        forwarded = dict(request)
+        forwarded["series"] = series
+        answers = self._fan_out(series, "forward", forwarded)
+        return self._majority(answers)
+
+    def _op_close_round(self, request) -> Dict[str, Any]:
+        series = request.get("series", self.default_series)
+        forwarded = dict(request)
+        forwarded["series"] = series
+        answers = self._fan_out(series, "forward", forwarded)
+        return self._majority(answers)
+
+    def _op_history(self, request) -> Dict[str, Any]:
+        series = request.get("series", self.default_series)
+        forwarded = dict(request)
+        forwarded["series"] = series
+        return self._forward_first(series, forwarded)
+
+    def _op_stats(self, request) -> Dict[str, Any]:
+        series = request.get("series", self.default_series)
+        forwarded = dict(request)
+        forwarded["series"] = series
+        return self._forward_first(series, forwarded)
+
+    def _op_reset(self, request) -> Dict[str, Any]:
+        series = request.get("series")
+        if series is not None:
+            forwarded = dict(request)
+            answers = self._fan_out(series, "forward", forwarded)
+            return self._majority(answers)
+        summary = self._broadcast({"op": "reset"})
+        with self._lock:
+            self._series.clear()
+        return ok_response(reset=True, **summary)
+
+    def _op_configure(self, request) -> Dict[str, Any]:
+        spec = VotingSpec.from_dict(request["spec"])
+        summary = self._broadcast(dict(request))
+        if summary["acknowledged"] < summary["sent"]:
+            raise ProtocolError(
+                f"configure reached only {summary['acknowledged']} of "
+                f"{summary['sent']} backends; cluster may be mixed — retry"
+            )
+        self.spec = spec
+        with self._lock:
+            self._series.clear()
+        return ok_response(
+            configured=True, algorithm_name=spec.algorithm_name, **summary
+        )

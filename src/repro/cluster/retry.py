@@ -1,0 +1,153 @@
+"""Bounded exponential backoff and a circuit breaker.
+
+Shared by every gateway→backend call in :mod:`repro.cluster.gateway`
+and, opt-in, by :meth:`repro.service.client.VoterClient.request`.  Both
+pieces are deliberately clock-injectable so tests never sleep.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional, Tuple, Type
+
+from ..exceptions import ConfigurationError, ReproError
+
+__all__ = ["CircuitBreaker", "CircuitOpenError", "RetryPolicy", "call_with_retry"]
+
+
+class CircuitOpenError(ReproError):
+    """The circuit breaker is open: the call was not attempted."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff schedule.
+
+    ``delay(attempt)`` for attempts 0, 1, 2… is
+    ``min(base_delay * multiplier**attempt, max_delay)``; a call is
+    tried at most ``1 + max_retries`` times.
+    """
+
+    max_retries: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ConfigurationError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ConfigurationError("multiplier must be >= 1")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (0-based)."""
+        return min(self.base_delay * self.multiplier**attempt, self.max_delay)
+
+    def delays(self) -> Iterator[float]:
+        """The full backoff schedule, one delay per allowed retry."""
+        for attempt in range(self.max_retries):
+            yield self.delay(attempt)
+
+
+class CircuitBreaker:
+    """Three-state (closed / open / half-open) failure guard.
+
+    ``failure_threshold`` consecutive failures open the circuit; while
+    open, :meth:`allow` refuses instantly (no network timeout paid per
+    request against a dead backend).  After ``reset_timeout`` seconds
+    one probe call is let through (half-open); its success closes the
+    circuit, its failure re-opens it for another timeout.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ConfigurationError("failure_threshold must be >= 1")
+        if reset_timeout < 0:
+            raise ConfigurationError("reset_timeout must be non-negative")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._failures = 0
+        self._state = "closed"
+        self._opened_at = 0.0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._probe_state()
+
+    def _probe_state(self) -> str:
+        if self._state == "open" and (
+            self._clock() - self._opened_at >= self.reset_timeout
+        ):
+            self._state = "half-open"
+        return self._state
+
+    def allow(self) -> bool:
+        """Whether a call may be attempted right now."""
+        with self._lock:
+            state = self._probe_state()
+            if state == "half-open":
+                # One probe at a time: re-open until it reports back.
+                self._state = "open"
+                self._opened_at = self._clock()
+                return True
+            return state == "closed"
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._state = "closed"
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            if self._failures >= self.failure_threshold or self._state != "closed":
+                self._state = "open"
+                self._opened_at = self._clock()
+
+
+def call_with_retry(
+    fn: Callable[[], object],
+    policy: RetryPolicy,
+    retry_on: Tuple[Type[BaseException], ...] = (OSError,),
+    breaker: Optional[CircuitBreaker] = None,
+    sleep: Callable[[float], None] = time.sleep,
+    on_retry: Optional[Callable[[int, BaseException], None]] = None,
+):
+    """Call ``fn`` under ``policy``, optionally guarded by ``breaker``.
+
+    Only exceptions in ``retry_on`` are retried; anything else
+    propagates immediately.  The breaker sees one success/failure per
+    *attempt*, so a flapping backend opens it even when retries
+    eventually succeed elsewhere.
+    """
+    attempt = 0
+    while True:
+        if breaker is not None and not breaker.allow():
+            raise CircuitOpenError("circuit breaker is open")
+        try:
+            result = fn()
+        except retry_on as exc:
+            if breaker is not None:
+                breaker.record_failure()
+            if attempt >= policy.max_retries:
+                raise
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            sleep(policy.delay(attempt))
+            attempt += 1
+        else:
+            if breaker is not None:
+                breaker.record_success()
+            return result

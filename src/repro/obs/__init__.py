@@ -20,6 +20,7 @@ Quick use::
 """
 
 from .instruments import (
+    ClusterInstruments,
     EngineInstruments,
     RuntimeInstruments,
     ServiceInstruments,
@@ -43,6 +44,7 @@ from .registry import (
 )
 
 __all__ = [
+    "ClusterInstruments",
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
     "EngineInstruments",

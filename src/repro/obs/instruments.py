@@ -18,7 +18,12 @@ from typing import Any, Callable, Dict, Iterable, List
 
 from .registry import MetricsRegistry
 
-__all__ = ["EngineInstruments", "RuntimeInstruments", "ServiceInstruments"]
+__all__ = [
+    "ClusterInstruments",
+    "EngineInstruments",
+    "RuntimeInstruments",
+    "ServiceInstruments",
+]
 
 #: Degraded-round reason labels shared by the per-round and batch paths.
 DEGRADED_REASONS = ("majority_missing", "quorum", "conflict", "empty")
@@ -133,6 +138,79 @@ class ServiceInstruments:
         self.request_seconds: Dict[str, Any] = {
             op: seconds.labels(op) for op in ops
         }
+
+
+class ClusterInstruments:
+    """Cluster metrics: per-shard traffic, rebalances, failover latency.
+
+    Backend ids are dynamic (shards join and leave), so the per-shard
+    counters are resolved through ``labels()`` per call rather than
+    pre-bound; every call site sits behind a network round-trip, so the
+    dict lookup is noise there.
+    """
+
+    __slots__ = (
+        "enabled",
+        "_shard_requests",
+        "_shard_errors",
+        "requests",
+        "rebalances",
+        "rebalanced_series",
+        "replica_disagreements",
+        "failover_seconds",
+        "batch_rounds",
+        "backends_alive",
+    )
+
+    def __init__(self, registry: MetricsRegistry):
+        self.enabled = registry.enabled
+        self._shard_requests = registry.counter(
+            "cluster_shard_requests_total",
+            "Requests the gateway dispatched to each backend shard.",
+            labels=("backend",),
+        )
+        self._shard_errors = registry.counter(
+            "cluster_shard_errors_total",
+            "Gateway->shard calls that ultimately failed, by backend.",
+            labels=("backend",),
+        )
+        self.requests = registry.counter(
+            "cluster_gateway_requests_total",
+            "Requests dispatched by the cluster gateway, by operation.",
+            labels=("op",),
+        )
+        self.rebalances = registry.counter(
+            "cluster_rebalance_total",
+            "Ring rebalances triggered by backend join/leave.",
+        )
+        self.rebalanced_series = registry.counter(
+            "cluster_rebalanced_series_total",
+            "Series handed off to a new replica set during rebalances.",
+        )
+        self.replica_disagreements = registry.counter(
+            "cluster_replica_disagreements_total",
+            "Rounds where the replica set answered with conflicting results.",
+        )
+        self.failover_seconds = registry.histogram(
+            "cluster_failover_seconds",
+            "Time from detecting a dead backend to its replacement "
+            "answering a ping.",
+        )
+        self.batch_rounds = registry.histogram(
+            "cluster_batch_rounds",
+            "Rounds per gateway->shard micro-batch flush.",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256, float("inf")),
+        )
+        self.backends_alive = registry.gauge(
+            "cluster_backends_alive",
+            "Backends currently believed alive by the gateway.",
+        )
+
+    def shard_request(self, backend: str) -> None:
+        self._shard_requests.labels(backend).inc()
+
+    def shard_error(self, backend: str) -> None:
+        self._shard_errors.labels(backend).inc()
 
 
 class RuntimeInstruments:

@@ -1,16 +1,55 @@
-"""Blocking client for the voter service."""
+"""Blocking client for the voter service.
+
+The client can opt into transparent reconnect-and-replay for transient
+transport failures (``retries=``/``backoff=``): a dropped connection
+mid-request is retried for *idempotent* operations only, reusing the
+cluster layer's :class:`~repro.cluster.retry.RetryPolicy` backoff
+schedule.  Mutating operations without replay protection (``submit``,
+``close_round``, ``configure``) are never retried — against a plain
+:class:`~repro.service.server.VoterServer` a replayed ``vote`` answers
+``already voted``, while cluster shard backends cache and replay the
+original result.
+"""
 
 from __future__ import annotations
 
 import socket
-from typing import Any, Dict, Optional
+import time
+from typing import Any, Dict, List, Optional
 
+from ..cluster.retry import RetryPolicy
 from ..exceptions import ReproError
-from .protocol import MAX_LINE_BYTES, ProtocolError, decode_message, encode_message
+from .protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    ConnectionClosedError,
+    ProtocolError,
+    decode_message,
+    encode_message,
+)
 
 
 class ServiceError(ReproError):
     """The service answered a request with ``ok: false``."""
+
+
+#: Operations safe to replay after a transport failure: reads, plus
+#: ``vote`` (whole-round writes are deduplicated server-side by round
+#: number) and the cluster read/handshake operations.
+IDEMPOTENT_OPS = frozenset(
+    {
+        "ping",
+        "hello",
+        "spec",
+        "stats",
+        "metrics",
+        "history",
+        "vote",
+        "vote_batch",
+        "route",
+        "cluster_stats",
+    }
+)
 
 
 class VoterClient:
@@ -20,12 +59,33 @@ class VoterClient:
 
         with VoterClient(host, port) as client:
             result = client.vote(0, {"E1": 18.0, "E2": 18.1})
+
+    Args:
+        host: server address.
+        port: server port.
+        timeout: socket timeout in seconds.
+        retries: how many times an idempotent request may be replayed
+            after a transport failure (0 = the historical fail-fast
+            behaviour).
+        backoff: backoff schedule between replays; defaults to a
+            50 ms-base exponential policy capped by ``retries``.
     """
 
-    def __init__(self, host: str, port: int, timeout: float = 5.0):
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 5.0,
+        retries: int = 0,
+        backoff: Optional[RetryPolicy] = None,
+    ):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff if backoff is not None else RetryPolicy(
+            max_retries=max(retries, 0)
+        )
         self._sock: Optional[socket.socket] = None
         self._buffer = b""
 
@@ -62,10 +122,17 @@ class VoterClient:
                 raise ProtocolError("server line exceeds protocol maximum")
             chunk = self._sock.recv(65536)
             if not chunk:
-                raise ProtocolError("server closed the connection")
+                raise ConnectionClosedError("server closed the connection")
             self._buffer += chunk
         line, self._buffer = self._buffer.split(b"\n", 1)
         return line
+
+    def _exchange(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        if self._sock is None:
+            self.connect()
+        assert self._sock is not None
+        self._sock.sendall(encode_message(message))
+        return decode_message(self._read_line())
 
     def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
         """Send one request and return the (ok) response payload.
@@ -74,58 +141,119 @@ class VoterClient:
             ServiceError: when the service reports a handled error.
             ProtocolError: on wire-level problems.
         """
-        if self._sock is None:
-            self.connect()
-        assert self._sock is not None
-        self._sock.sendall(encode_message(message))
-        response = decode_message(self._read_line())
-        if not response.get("ok"):
-            raise ServiceError(response.get("error", "unknown service error"))
-        return response
+        attempt = 0
+        replayable = self.retries > 0 and message.get("op") in IDEMPOTENT_OPS
+        while True:
+            try:
+                response = self._exchange(message)
+            except (ConnectionClosedError, OSError):
+                # Transport-level failure: the request may never have
+                # reached the server.  Reconnect and replay, idempotent
+                # operations only.
+                self.close()
+                if not replayable or attempt >= self.retries:
+                    raise
+                time.sleep(self.backoff.delay(attempt))
+                attempt += 1
+                continue
+            if not response.get("ok"):
+                raise ServiceError(response.get("error", "unknown service error"))
+            return response
 
     # -- operations ---------------------------------------------------------
+
+    @staticmethod
+    def _with_series(message: Dict[str, Any], series: Optional[str]):
+        if series is not None:
+            message["series"] = series
+        return message
 
     def ping(self) -> bool:
         return bool(self.request({"op": "ping"}).get("pong"))
 
+    def hello(self, version: int = PROTOCOL_VERSION) -> int:
+        """Version handshake; returns the server's protocol version."""
+        return int(self.request({"op": "hello", "version": version})["version"])
+
     def spec(self) -> Dict[str, Any]:
         return self.request({"op": "spec"})["spec"]
 
-    def vote(self, round_number: int, values: Dict[str, Optional[float]]):
+    def vote(
+        self,
+        round_number: int,
+        values: Dict[str, Optional[float]],
+        series: Optional[str] = None,
+    ):
         """Vote a complete round; returns the result payload."""
         return self.request(
-            {"op": "vote", "round": round_number, "values": values}
+            self._with_series(
+                {"op": "vote", "round": round_number, "values": values}, series
+            )
         )["result"]
 
-    def submit(self, round_number: int, module: str, value: Optional[float]):
+    def vote_batch(self, batches: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        """Vote many rounds across many series in one round-trip.
+
+        Each batch is ``{"series", "rounds", "modules", "rows"}``; the
+        response is one ``{"series", "results"}`` entry per batch with
+        minimal per-round payloads (``round``/``value``/``status``).
+        """
+        return self.request({"op": "vote_batch", "batches": batches})["results"]
+
+    def submit(
+        self,
+        round_number: int,
+        module: str,
+        value: Optional[float],
+        series: Optional[str] = None,
+    ):
         """Submit one module's reading; returns the submit payload.
 
         When the submission completes the roster, the service votes the
         round immediately and the payload contains ``result``.
         """
         return self.request(
-            {"op": "submit", "round": round_number, "module": module,
-             "value": value}
+            self._with_series(
+                {"op": "submit", "round": round_number, "module": module,
+                 "value": value},
+                series,
+            )
         )
 
-    def close_round(self, round_number: int):
+    def close_round(self, round_number: int, series: Optional[str] = None):
         """Vote a partially-submitted round now (deadline expiry)."""
-        return self.request({"op": "close_round", "round": round_number})["result"]
+        return self.request(
+            self._with_series({"op": "close_round", "round": round_number}, series)
+        )["result"]
 
-    def history(self) -> Dict[str, float]:
-        return self.request({"op": "history"})["records"]
+    def history(self, series: Optional[str] = None) -> Dict[str, float]:
+        return self.request(
+            self._with_series({"op": "history"}, series)
+        )["records"]
 
-    def stats(self) -> Dict[str, Any]:
-        return self.request({"op": "stats"})
+    def stats(self, series: Optional[str] = None) -> Dict[str, Any]:
+        return self.request(self._with_series({"op": "stats"}, series))
 
     def metrics(self) -> str:
         """The service's metrics in Prometheus text exposition format."""
         return self.request({"op": "metrics"})["metrics"]
 
-    def reset(self) -> bool:
-        return bool(self.request({"op": "reset"}).get("reset"))
+    def reset(self, series: Optional[str] = None) -> bool:
+        return bool(
+            self.request(self._with_series({"op": "reset"}, series)).get("reset")
+        )
 
     def configure(self, spec: Dict[str, Any]) -> str:
         """Replace the service's voting scheme; returns the new name."""
         response = self.request({"op": "configure", "spec": spec})
         return response["algorithm_name"]
+
+    # -- cluster operations -------------------------------------------------
+
+    def route(self, series: str) -> Dict[str, Any]:
+        """(Gateway) the replica set currently responsible for a series."""
+        return self.request({"op": "route", "series": series})
+
+    def cluster_stats(self) -> Dict[str, Any]:
+        """(Gateway) ring membership, backend liveness and counters."""
+        return self.request({"op": "cluster_stats"})

@@ -22,7 +22,25 @@ Operations:
 ``metrics``           Prometheus text exposition of the service's
                       metrics registry (see :mod:`repro.obs`)
 ``reset``             reset voter history and engine state
+``hello``             version handshake: ``{"op": "hello", "version": 2}``;
+                      a mismatched peer gets a clear error instead of a
+                      decode failure deeper in the exchange
+``vote_batch``        vote many rounds across many series in one
+                      round-trip (the cluster micro-batching hot path):
+                      ``{"op": "vote_batch", "batches": [{"series": "s",
+                      "rounds": [0, 1], "modules": ["E1"],
+                      "rows": [[18.0], [18.1]]}]}``
+``route``             (gateway) replica set for a series key
+``cluster_stats``     (gateway) ring membership, backend liveness and
+                      per-shard counters
+``sync_history``      (shard backend) install history records for one
+                      series — the rebalance handoff write
 ====================  =====================================================
+
+Sharded servers accept an optional ``series`` string on ``vote``,
+``submit``, ``close_round``, ``history``, ``stats`` and ``reset`` to
+select one of their hosted series; the plain single-engine
+:class:`~repro.service.server.VoterServer` ignores it.
 """
 
 from __future__ import annotations
@@ -32,6 +50,11 @@ import math
 from typing import Any, Dict
 
 from ..exceptions import ReproError
+
+#: Wire-protocol version.  Bumped to 2 when the cluster operations
+#: (``hello``/``vote_batch``/``route``/``cluster_stats``/``sync_history``)
+#: and the optional ``series`` field were added.
+PROTOCOL_VERSION = 2
 
 #: All operations the server understands.
 OPERATIONS = (
@@ -45,6 +68,11 @@ OPERATIONS = (
     "metrics",
     "reset",
     "configure",
+    "hello",
+    "vote_batch",
+    "route",
+    "cluster_stats",
+    "sync_history",
 )
 
 #: Cap on a single protocol line; longer lines are rejected (guards the
@@ -54,6 +82,14 @@ MAX_LINE_BYTES = 1_048_576
 
 class ProtocolError(ReproError):
     """A message violated the wire protocol."""
+
+
+class ConnectionClosedError(ProtocolError):
+    """The peer closed the connection mid-exchange (retryable)."""
+
+
+class VersionMismatchError(ProtocolError):
+    """The peers speak different protocol versions."""
 
 
 def _jsonable(value: Any) -> Any:
@@ -103,11 +139,62 @@ def _check_value(value: Any, label: str) -> None:
         raise ProtocolError(f"{label} must be finite")
 
 
+def _check_series(message: Dict[str, Any], op: str) -> None:
+    """An optional ``series`` field must be a non-empty string."""
+    series = message.get("series")
+    if series is not None and (not isinstance(series, str) or not series):
+        raise ProtocolError(f"{op} 'series' must be a non-empty string")
+
+
+def _check_batches(batches: Any) -> None:
+    """Shape-check a ``vote_batch`` payload.
+
+    Row *values* are validated vectorially by the server (a single
+    ``isfinite`` sweep over the assembled matrix), not per cell here —
+    this is the micro-batching hot path.
+    """
+    if not isinstance(batches, list) or not batches:
+        raise ProtocolError("vote_batch requires a non-empty 'batches' list")
+    for batch in batches:
+        if not isinstance(batch, dict):
+            raise ProtocolError("each vote_batch batch must be an object")
+        series = batch.get("series")
+        if not isinstance(series, str) or not series:
+            raise ProtocolError("each batch requires a non-empty string 'series'")
+        rounds = batch.get("rounds")
+        rows = batch.get("rows")
+        modules = batch.get("modules")
+        if not isinstance(rounds, list) or not rounds or not all(
+            isinstance(r, int) and not isinstance(r, bool) for r in rounds
+        ):
+            raise ProtocolError(
+                f"batch for series {series!r} requires a list of integer 'rounds'"
+            )
+        if not isinstance(modules, list) or not modules or not all(
+            isinstance(m, str) for m in modules
+        ):
+            raise ProtocolError(
+                f"batch for series {series!r} requires a list of string 'modules'"
+            )
+        if not isinstance(rows, list) or len(rows) != len(rounds):
+            raise ProtocolError(
+                f"batch for series {series!r} requires one row per round"
+            )
+        for row in rows:
+            if not isinstance(row, list) or len(row) != len(modules):
+                raise ProtocolError(
+                    f"batch for series {series!r} has a row that does not "
+                    f"match its module list"
+                )
+
+
 def validate_request(message: Dict[str, Any]) -> str:
     """Check a request's shape; returns the operation name."""
     op = message.get("op")
     if not isinstance(op, str) or op not in OPERATIONS:
         raise ProtocolError(f"unknown or missing op {op!r}")
+    if op in ("vote", "submit", "close_round", "history", "stats", "reset"):
+        _check_series(message, op)
     if op == "vote":
         if not isinstance(message.get("round"), int):
             raise ProtocolError("vote requires an integer 'round'")
@@ -128,6 +215,27 @@ def validate_request(message: Dict[str, Any]) -> str:
     elif op == "configure":
         if not isinstance(message.get("spec"), dict):
             raise ProtocolError("configure requires a 'spec' object")
+    elif op == "hello":
+        version = message.get("version")
+        if not isinstance(version, int) or isinstance(version, bool):
+            raise ProtocolError("hello requires an integer 'version'")
+    elif op == "vote_batch":
+        _check_batches(message.get("batches"))
+    elif op == "route":
+        series = message.get("series")
+        if not isinstance(series, str) or not series:
+            raise ProtocolError("route requires a non-empty string 'series'")
+    elif op == "sync_history":
+        series = message.get("series")
+        if not isinstance(series, str) or not series:
+            raise ProtocolError("sync_history requires a non-empty string 'series'")
+        records = message.get("records")
+        if not isinstance(records, dict):
+            raise ProtocolError("sync_history requires a 'records' object")
+        for module, value in records.items():
+            _check_value(value, f"record for module {module!r}")
+            if value is None:
+                raise ProtocolError(f"record for module {module!r} must be numeric")
     return op
 
 

@@ -9,6 +9,7 @@ connection closes them.
 from __future__ import annotations
 
 import math
+import socket
 import socketserver
 import threading
 import time
@@ -23,7 +24,9 @@ from ..vdx.spec import VotingSpec
 from .protocol import (
     MAX_LINE_BYTES,
     OPERATIONS,
+    PROTOCOL_VERSION,
     ProtocolError,
+    VersionMismatchError,
     decode_message,
     encode_message,
     error_response,
@@ -99,6 +102,40 @@ class _Handler(socketserver.StreamRequestHandler):
 class _ThreadingServer(socketserver.ThreadingTCPServer):
     allow_reuse_address = True
     daemon_threads = True
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self._open_requests: set = set()
+        self._open_requests_lock = threading.Lock()
+
+    def process_request(self, request, client_address) -> None:
+        with self._open_requests_lock:
+            self._open_requests.add(request)
+        super().process_request(request, client_address)
+
+    def shutdown_request(self, request) -> None:
+        with self._open_requests_lock:
+            self._open_requests.discard(request)
+        super().shutdown_request(request)
+
+    def close_all_connections(self) -> None:
+        """Sever established connections (abrupt-death fault injection).
+
+        A graceful :meth:`VoterServer.stop` leaves open connections to
+        drain naturally; killing a thread-mode shard must instead look
+        like a process death, where every peer sees its socket die.
+        """
+        with self._open_requests_lock:
+            requests = list(self._open_requests)
+        for request in requests:
+            try:
+                request.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                request.close()
+            except OSError:
+                pass
 
 
 class VoterServer:
@@ -194,7 +231,13 @@ class VoterServer:
         try:
             with self._lock:
                 self.requests_served += 1
-                handler = getattr(self, f"_op_{op}")
+                handler = getattr(self, f"_op_{op}", None)
+                if handler is None:
+                    # Cluster-only operations against a plain server must
+                    # answer with an error, not kill the handler thread.
+                    raise ProtocolError(
+                        f"operation {op!r} is not supported by this server"
+                    )
                 return handler(request)
         except Exception:
             obs.errors[op].inc()
@@ -208,6 +251,16 @@ class VoterServer:
 
     def _op_ping(self, request) -> Dict[str, Any]:
         return ok_response(pong=True)
+
+    def _op_hello(self, request) -> Dict[str, Any]:
+        """Version handshake: reject mismatched peers with a clear error."""
+        version = request["version"]
+        if version != PROTOCOL_VERSION:
+            raise VersionMismatchError(
+                f"protocol version mismatch: peer speaks {version}, "
+                f"this server speaks {PROTOCOL_VERSION}"
+            )
+        return ok_response(version=PROTOCOL_VERSION, server=type(self).__name__)
 
     def _op_spec(self, request) -> Dict[str, Any]:
         return ok_response(spec=self.spec.to_dict())

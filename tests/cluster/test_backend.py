@@ -1,0 +1,266 @@
+"""Tests for ShardServer (multi-series voting) and ManagedBackend."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.backend import ManagedBackend, ShardServer, _series_filename
+from repro.runtime.pool import fork_available
+from repro.service.client import ServiceError, VoterClient
+from repro.vdx.examples import AVOC_SPEC
+from repro.vdx.factory import build_engine
+
+MODULES = ["E1", "E2", "E3"]
+
+
+def rows_for(n, seed=7):
+    rng = np.random.default_rng(seed)
+    return (18.0 + rng.normal(0.0, 0.1, size=(n, len(MODULES)))).tolist()
+
+
+@pytest.fixture()
+def shard():
+    server = ShardServer(AVOC_SPEC)
+    server.start()
+    yield server
+    server.stop()
+
+
+@pytest.fixture()
+def client(shard):
+    with VoterClient(*shard.address) as c:
+        yield c
+
+
+class TestSeriesFilename:
+    def test_slug_is_filesystem_safe_and_collision_free(self):
+        assert _series_filename("room/1").endswith(".jsonl")
+        assert "/" not in _series_filename("room/1").rsplit(".", 1)[0]
+        assert _series_filename("room/1") != _series_filename("room_1")
+
+
+class TestShardServerSeries:
+    def test_series_are_isolated(self, client):
+        client.vote(0, dict(zip(MODULES, [18.0, 18.1, 17.9])), series="s1")
+        client.vote(0, dict(zip(MODULES, [21.0, 21.2, 20.9])), series="s2")
+        s1 = client.stats(series="s1")
+        s2 = client.stats(series="s2")
+        assert s1["rounds_processed"] == 1
+        assert s2["rounds_processed"] == 1
+
+    def test_plain_requests_hit_the_shared_engine(self, client):
+        client.vote(0, dict(zip(MODULES, [18.0, 18.1, 17.9])))
+        stats = client.stats()
+        assert stats["rounds_processed"] == 1
+        assert stats["series"] == []
+
+    def test_replayed_vote_returns_cached_result(self, client):
+        values = dict(zip(MODULES, [18.0, 18.1, 17.9]))
+        first = client.vote(0, values, series="s1")
+        replay = client.vote(0, values, series="s1")
+        assert replay == first
+        # Still only one round processed: the replay never hit the engine.
+        assert client.stats(series="s1")["rounds_processed"] == 1
+
+    def test_plain_server_still_rejects_double_votes(self, client):
+        values = dict(zip(MODULES, [18.0, 18.1, 17.9]))
+        client.vote(0, values)
+        with pytest.raises(ServiceError, match="already voted"):
+            client.vote(0, values)
+
+    def test_submit_and_close_round_per_series(self, client):
+        for module, value in zip(MODULES, [18.0, 18.1, 17.9]):
+            client.vote(0, dict(zip(MODULES, [18.0, 18.1, 17.9])), series="s1")
+            break  # seed the roster with one full round first
+        response = client.submit(1, "E1", 18.2, series="s1")
+        assert response["accepted"] and not response["voted"]
+        client.submit(1, "E2", 18.3, series="s1")
+        response = client.submit(1, "E3", 18.1, series="s1")
+        assert response["voted"]
+        assert response["result"]["round"] == 1
+        client.submit(2, "E1", 18.0, series="s1")
+        closed = client.close_round(2, series="s1")
+        assert closed["round"] == 2
+
+    def test_unknown_series_reads_fail_cleanly(self, client):
+        with pytest.raises(ServiceError, match="unknown series"):
+            client.stats(series="never-seen")
+
+
+class TestVoteBatch:
+    def test_bit_identical_to_direct_engine(self, client):
+        rows = rows_for(50)
+        reference = build_engine(AVOC_SPEC)
+        outcome = reference.process_batch(np.asarray(rows), MODULES)
+        results = client.vote_batch(
+            [{"series": "s1", "rounds": list(range(50)),
+              "modules": MODULES, "rows": rows}]
+        )
+        got = [r["value"] for r in results[0]["results"]]
+        want = [None if np.isnan(v) else float(v) for v in outcome.values]
+        assert got == want
+
+    def test_batch_matches_per_round_votes(self, client):
+        rows = rows_for(20, seed=3)
+        loop_values = [
+            client.vote(i, dict(zip(MODULES, row)), series="loop")["value"]
+            for i, row in enumerate(rows)
+        ]
+        results = client.vote_batch(
+            [{"series": "batch", "rounds": list(range(20)),
+              "modules": MODULES, "rows": rows}]
+        )
+        batch_values = [r["value"] for r in results[0]["results"]]
+        assert batch_values == loop_values
+
+    def test_replayed_rounds_are_served_from_cache(self, client):
+        rows = rows_for(10)
+        batch = {"series": "s", "rounds": list(range(10)),
+                 "modules": MODULES, "rows": rows}
+        first = client.vote_batch([batch])
+        again = client.vote_batch([batch])
+        assert again == first
+        assert client.stats(series="s")["rounds_processed"] == 10
+
+    def test_duplicate_rounds_within_one_batch(self, client):
+        rows = rows_for(3)
+        results = client.vote_batch(
+            [{"series": "s", "rounds": [0, 0, 1],
+              "modules": MODULES, "rows": [rows[0], rows[0], rows[1]]}]
+        )
+        payloads = results[0]["results"]
+        assert payloads[0] == payloads[1]
+        assert client.stats(series="s")["rounds_processed"] == 2
+
+    def test_non_numeric_rows_rejected_before_any_apply(self, client):
+        with pytest.raises(ServiceError, match="non-numeric"):
+            client.vote_batch(
+                [
+                    {"series": "good", "rounds": [0], "modules": MODULES,
+                     "rows": [[18.0, 18.1, 17.9]]},
+                    {"series": "bad", "rounds": [0], "modules": MODULES,
+                     "rows": [[18.0, "x", 17.9]]},
+                ]
+            )
+        # Two-pass validation: the earlier, valid batch was not applied.
+        with pytest.raises(ServiceError, match="unknown series"):
+            client.stats(series="good")
+
+    def test_none_cells_are_missing_values(self, client):
+        rows = [[18.0, 18.1, 17.9], [18.0, None, 17.9]]
+        results = client.vote_batch(
+            [{"series": "s", "rounds": [0, 1], "modules": MODULES,
+              "rows": rows}]
+        )
+        reference = build_engine(AVOC_SPEC)
+        matrix = np.asarray([[18.0, 18.1, 17.9], [18.0, np.nan, 17.9]])
+        outcome = reference.process_batch(matrix, MODULES)
+        got = [r["value"] for r in results[0]["results"]]
+        want = [None if np.isnan(v) else float(v) for v in outcome.values]
+        assert got == want
+
+
+class TestSyncHistory:
+    def test_seed_records_without_counting_updates(self, client):
+        records = {"E1": 0.9, "E2": 0.4, "E3": 0.7}
+        client.request({"op": "sync_history", "series": "s",
+                        "records": records})
+        assert client.history(series="s") == pytest.approx(records)
+
+
+class TestHistoryPersistence:
+    def test_series_logs_survive_a_restart(self, tmp_path):
+        rows = rows_for(30)
+        server = ShardServer(AVOC_SPEC, history_dir=tmp_path)
+        server.start()
+        with VoterClient(*server.address) as c:
+            c.vote_batch([{"series": "room", "rounds": list(range(30)),
+                           "modules": MODULES, "rows": rows}])
+            records = c.history(series="room")
+        server.stop()
+        assert records
+        reborn = ShardServer(AVOC_SPEC, history_dir=tmp_path)
+        reborn.start()
+        try:
+            with VoterClient(*reborn.address) as c:
+                assert c.history(series="room") == pytest.approx(records)
+        finally:
+            reborn.stop()
+
+    def test_restarted_series_votes_like_an_uninterrupted_engine(self, tmp_path):
+        rows = rows_for(40, seed=11)
+        server = ShardServer(AVOC_SPEC, history_dir=tmp_path)
+        server.start()
+        with VoterClient(*server.address) as c:
+            c.vote_batch([{"series": "s", "rounds": list(range(20)),
+                           "modules": MODULES, "rows": rows[:20]}])
+        server.stop()
+        reborn = ShardServer(AVOC_SPEC, history_dir=tmp_path)
+        reborn.start()
+        try:
+            with VoterClient(*reborn.address) as c:
+                resumed = c.vote_batch(
+                    [{"series": "s", "rounds": list(range(20, 40)),
+                      "modules": MODULES, "rows": rows[20:]}]
+                )[0]["results"]
+        finally:
+            reborn.stop()
+        # An engine that never crashed, fed the same 40 rounds.
+        store_free = build_engine(AVOC_SPEC)
+        outcome = store_free.process_batch(np.asarray(rows), MODULES)
+        got = [r["value"] for r in resumed]
+        want = [None if np.isnan(v) else float(v) for v in outcome.values[20:]]
+        assert got == pytest.approx(want)
+
+
+class TestManagedBackendThread:
+    def test_lifecycle_and_probes(self, tmp_path):
+        backend = ManagedBackend("b0", AVOC_SPEC, history_dir=tmp_path,
+                                 mode="thread")
+        with backend:
+            assert backend.is_alive()
+            assert backend.ping()
+            host, port = backend.address
+            assert port > 0
+        assert not backend.is_alive()
+
+    def test_kill_and_restart(self, tmp_path):
+        backend = ManagedBackend("b0", AVOC_SPEC, history_dir=tmp_path,
+                                 mode="thread")
+        backend.start()
+        try:
+            with VoterClient(*backend.address) as c:
+                c.vote(0, dict(zip(MODULES, [18.0, 18.1, 17.9])), series="s")
+            backend.kill()
+            assert not backend.ping()
+            backend.restart()
+            assert backend.restarts == 1
+            assert backend.ping()
+            with VoterClient(*backend.address) as c:
+                assert c.history(series="s")  # records reloaded from disk
+        finally:
+            backend.stop()
+
+
+@pytest.mark.skipif(not fork_available(), reason="needs the fork start method")
+class TestManagedBackendProcess:
+    def test_subprocess_lifecycle_and_sigkill(self, tmp_path):
+        backend = ManagedBackend("b0", AVOC_SPEC, history_dir=tmp_path,
+                                 mode="process")
+        backend.start()
+        try:
+            assert backend.pid is not None
+            assert backend.ping()
+            with VoterClient(*backend.address) as c:
+                c.vote(0, dict(zip(MODULES, [18.0, 18.1, 17.9])), series="s")
+                records = c.history(series="s")
+            backend.kill()
+            assert not backend.is_alive()
+            backend.restart()
+            assert backend.restarts == 1
+            assert backend.ping()
+            with VoterClient(*backend.address) as c:
+                assert c.history(series="s") == pytest.approx(records)
+        finally:
+            backend.stop()

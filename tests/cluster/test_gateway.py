@@ -1,0 +1,183 @@
+"""Tests for the cluster gateway: routing, majority reads, micro-batching.
+
+Thread-mode backends keep these fast; process-mode failover is covered
+in ``test_supervisor.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.supervisor import FusionCluster
+from repro.service.client import ServiceError, VoterClient
+from repro.service.protocol import PROTOCOL_VERSION
+from repro.vdx.examples import AVOC_SPEC
+from repro.vdx.factory import build_engine
+
+MODULES = ["E1", "E2", "E3"]
+
+
+def rows_for(n, seed=5):
+    rng = np.random.default_rng(seed)
+    return (18.0 + rng.normal(0.0, 0.1, size=(n, len(MODULES)))).tolist()
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    with FusionCluster(
+        AVOC_SPEC, n_shards=3, replicas=2, mode="thread", auto_restart=False
+    ) as running:
+        yield running
+
+
+@pytest.fixture()
+def client(cluster):
+    with cluster.client() as c:
+        c.reset()
+        yield c
+
+
+class TestHandshake:
+    def test_hello_roundtrip(self, client):
+        assert client.hello() == PROTOCOL_VERSION
+
+    def test_version_mismatch_rejected_with_clear_error(self, client):
+        with pytest.raises(ServiceError, match="protocol version mismatch"):
+            client.hello(version=PROTOCOL_VERSION + 1)
+
+
+class TestRoutedVoting:
+    def test_vote_matches_single_engine(self, client):
+        rows = rows_for(30)
+        reference = build_engine(AVOC_SPEC)
+        for i, row in enumerate(rows):
+            result = client.vote(i, dict(zip(MODULES, row)), series="room-1")
+            expected = reference.process_batch(
+                np.asarray([row]), MODULES
+            )
+            want = expected.values[0]
+            want = None if np.isnan(want) else float(want)
+            assert result["value"] == want
+
+    def test_vote_without_series_uses_default(self, client):
+        result = client.vote(0, dict(zip(MODULES, [18.0, 18.1, 17.9])))
+        assert result["round"] == 0
+        assert "default" in client.route("default")["series"]
+
+    def test_replicated_writes_land_on_the_full_replica_set(self, client):
+        client.vote(0, dict(zip(MODULES, [18.0, 18.1, 17.9])), series="rep")
+        route = client.route("rep")
+        assert len(route["replicas"]) == 2
+        for address in route["addresses"]:
+            with VoterClient(*address) as direct:
+                assert direct.stats(series="rep")["rounds_processed"] == 1
+
+    def test_vote_batch_matches_single_engine(self, client):
+        rows = rows_for(80, seed=9)
+        reference = build_engine(AVOC_SPEC)
+        outcome = reference.process_batch(np.asarray(rows), MODULES)
+        results = client.vote_batch(
+            [{"series": "batch-series", "rounds": list(range(80)),
+              "modules": MODULES, "rows": rows}]
+        )
+        got = [r["value"] for r in results[0]["results"]]
+        want = [None if np.isnan(v) else float(v) for v in outcome.values]
+        assert got == want
+
+    def test_vote_batch_fans_out_many_series(self, client):
+        batches = [
+            {"series": f"multi-{k}", "rounds": [0, 1], "modules": MODULES,
+             "rows": rows_for(2, seed=k)}
+            for k in range(6)
+        ]
+        results = client.vote_batch(batches)
+        assert [r["series"] for r in results] == [b["series"] for b in batches]
+        for entry in results:
+            assert [p["round"] for p in entry["results"]] == [0, 1]
+
+    def test_submit_and_close_round_through_gateway(self, client):
+        client.vote(0, dict(zip(MODULES, [18.0, 18.1, 17.9])), series="sub")
+        response = client.submit(1, "E1", 18.2, series="sub")
+        assert response["accepted"] and not response["voted"]
+        client.submit(1, "E2", 18.3, series="sub")
+        response = client.submit(1, "E3", 18.1, series="sub")
+        assert response["voted"]
+        client.submit(2, "E1", 18.0, series="sub")
+        assert client.close_round(2, series="sub")["round"] == 2
+
+    def test_replayed_vote_is_idempotent_across_the_cluster(self, client):
+        values = dict(zip(MODULES, [18.0, 18.1, 17.9]))
+        first = client.vote(0, values, series="replay")
+        again = client.vote(0, values, series="replay")
+        assert again == first
+
+
+class TestReadsAndStats:
+    def test_history_read_from_replica_set(self, client):
+        rows = rows_for(25)
+        client.vote_batch(
+            [{"series": "hist", "rounds": list(range(25)),
+              "modules": MODULES, "rows": rows}]
+        )
+        records = client.history(series="hist")
+        assert set(records) == set(MODULES)
+
+    def test_stats_routed_to_primary(self, client):
+        client.vote(0, dict(zip(MODULES, [18.0, 18.1, 17.9])), series="st")
+        stats = client.stats(series="st")
+        assert stats["rounds_processed"] == 1
+
+    def test_cluster_stats_shape(self, client):
+        client.vote(0, dict(zip(MODULES, [18.0, 18.1, 17.9])), series="cs")
+        stats = client.cluster_stats()
+        assert stats["ring"]["replicas"] == 2
+        assert sorted(stats["backends"]) == ["b0", "b1", "b2"]
+        for info in stats["backends"].values():
+            assert info["alive"] is True
+            assert info["breaker"] == "closed"
+        assert stats["series_routed"] >= 1
+
+    def test_route_lists_replicas_in_ring_order(self, client, cluster):
+        route = client.route("anything")
+        assert route["replicas"] == cluster.ring.replica_set("anything")
+
+    def test_unsupported_op_fails_cleanly(self, client):
+        with pytest.raises(ServiceError, match="not supported by the gateway"):
+            client.request(
+                {"op": "sync_history", "series": "s", "records": {"E1": 1.0}}
+            )
+
+    def test_reset_broadcasts_to_every_backend(self, client):
+        client.vote(0, dict(zip(MODULES, [18.0, 18.1, 17.9])), series="wipe")
+        assert client.reset()
+        assert client.cluster_stats()["series_routed"] == 0
+        with pytest.raises(ServiceError, match="unknown series"):
+            client.stats(series="wipe")
+
+
+class TestGatewayFailover:
+    def test_majority_read_survives_a_dead_replica(self):
+        # Separate cluster so killing a backend can't leak into the
+        # module-scoped fixture.
+        with FusionCluster(
+            AVOC_SPEC, n_shards=3, replicas=2, mode="thread",
+            auto_restart=False,
+        ) as cluster:
+            with cluster.client() as client:
+                rows = rows_for(40, seed=13)
+                reference = build_engine(AVOC_SPEC)
+                expected = reference.process_batch(np.asarray(rows), MODULES)
+                for i in range(20):
+                    client.vote(i, dict(zip(MODULES, rows[i])), series="ha")
+                victim = client.route("ha")["replicas"][0]
+                cluster.backends[victim].kill()
+                for i in range(20, 40):
+                    result = client.vote(
+                        i, dict(zip(MODULES, rows[i])), series="ha"
+                    )
+                    want = expected.values[i]
+                    want = None if np.isnan(want) else float(want)
+                    assert result["value"] == want
+                stats = client.cluster_stats()
+                assert stats["backends"][victim]["alive"] is False

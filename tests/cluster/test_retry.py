@@ -1,0 +1,179 @@
+"""Tests for backoff, circuit breaking, and call_with_retry.
+
+Every test injects a fake clock or sleep — nothing here waits on real
+time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.retry import (
+    CircuitBreaker,
+    CircuitOpenError,
+    RetryPolicy,
+    call_with_retry,
+)
+from repro.exceptions import ConfigurationError
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestRetryPolicy:
+    def test_schedule_is_bounded_exponential(self):
+        policy = RetryPolicy(max_retries=5, base_delay=0.1, multiplier=2.0,
+                             max_delay=0.5)
+        assert list(policy.delays()) == pytest.approx([0.1, 0.2, 0.4, 0.5, 0.5])
+
+    def test_zero_retries_yields_empty_schedule(self):
+        assert list(RetryPolicy(max_retries=0).delays()) == []
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(base_delay=-0.1)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(multiplier=0.5)
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3, clock=FakeClock())
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+
+    def test_success_resets_failure_count(self):
+        breaker = CircuitBreaker(failure_threshold=2, clock=FakeClock())
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_half_open_probe_then_close(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=10.0,
+                                 clock=clock)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(10.0)
+        assert breaker.state == "half-open"
+        assert breaker.allow()  # the single probe
+        assert not breaker.allow()  # second caller still refused
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_half_open_probe_failure_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=5.0,
+                                 clock=clock)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+
+
+class TestCallWithRetry:
+    def test_retries_then_succeeds(self):
+        calls = []
+        slept = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise OSError("boom")
+            return "ok"
+
+        policy = RetryPolicy(max_retries=3, base_delay=0.1)
+        result = call_with_retry(flaky, policy, sleep=slept.append)
+        assert result == "ok"
+        assert len(calls) == 3
+        assert slept == pytest.approx([0.1, 0.2])
+
+    def test_exhausted_retries_raise_original_error(self):
+        def always_down():
+            raise OSError("down")
+
+        with pytest.raises(OSError, match="down"):
+            call_with_retry(
+                always_down, RetryPolicy(max_retries=2), sleep=lambda _: None
+            )
+
+    def test_unlisted_exceptions_propagate_immediately(self):
+        calls = []
+
+        def broken():
+            calls.append(1)
+            raise ValueError("bug, not transport")
+
+        with pytest.raises(ValueError):
+            call_with_retry(
+                broken, RetryPolicy(max_retries=5), sleep=lambda _: None
+            )
+        assert len(calls) == 1
+
+    def test_on_retry_callback_sees_each_attempt(self):
+        seen = []
+
+        def flaky():
+            if len(seen) < 2:
+                raise OSError("boom")
+            return 42
+
+        call_with_retry(
+            flaky,
+            RetryPolicy(max_retries=5),
+            sleep=lambda _: None,
+            on_retry=lambda attempt, exc: seen.append((attempt, str(exc))),
+        )
+        assert seen == [(0, "boom"), (1, "boom")]
+
+    def test_open_breaker_refuses_without_calling(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=60.0,
+                                 clock=clock)
+        breaker.record_failure()
+        calls = []
+        with pytest.raises(CircuitOpenError):
+            call_with_retry(
+                lambda: calls.append(1),
+                RetryPolicy(max_retries=1),
+                breaker=breaker,
+                sleep=lambda _: None,
+            )
+        assert calls == []
+
+    def test_breaker_sees_every_attempt(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=2, reset_timeout=60.0,
+                                 clock=clock)
+
+        def always_down():
+            raise OSError("down")
+
+        with pytest.raises(OSError):
+            call_with_retry(
+                always_down,
+                RetryPolicy(max_retries=1),
+                breaker=breaker,
+                sleep=lambda _: None,
+            )
+        # Two attempts (1 + 1 retry) crossed the threshold of 2.
+        assert breaker.state == "open"

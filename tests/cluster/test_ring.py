@@ -1,0 +1,125 @@
+"""Tests for the consistent-hash ring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.ring import HashRing
+from repro.exceptions import ConfigurationError
+
+KEYS = [f"series-{i}" for i in range(200)]
+
+
+def make_ring(n=4, replicas=2, **kwargs):
+    ring = HashRing(replicas=replicas, **kwargs)
+    for i in range(n):
+        ring.add_node(f"b{i}")
+    return ring
+
+
+class TestMembership:
+    def test_nodes_in_join_order(self):
+        ring = make_ring(3)
+        assert ring.nodes == ("b0", "b1", "b2")
+        assert len(ring) == 3
+        assert "b1" in ring
+
+    def test_duplicate_add_rejected(self):
+        ring = make_ring(2)
+        with pytest.raises(ConfigurationError, match="already on the ring"):
+            ring.add_node("b0")
+
+    def test_remove_unknown_rejected(self):
+        ring = make_ring(2)
+        with pytest.raises(ConfigurationError, match="not on the ring"):
+            ring.remove_node("b9")
+
+    def test_empty_ring_routes_nothing(self):
+        ring = HashRing(replicas=2)
+        with pytest.raises(ConfigurationError, match="no backends"):
+            ring.replica_set("k")
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HashRing(replicas=0)
+        with pytest.raises(ConfigurationError):
+            HashRing(vnodes=0)
+
+
+class TestRouting:
+    def test_deterministic_across_instances(self):
+        # Placement must survive process restarts: two independent rings
+        # with the same seed and membership agree on every key.
+        a = make_ring(5, replicas=3)
+        b = make_ring(5, replicas=3)
+        for key in KEYS:
+            assert a.replica_set(key) == b.replica_set(key)
+
+    def test_join_order_does_not_matter(self):
+        a = HashRing(replicas=2)
+        b = HashRing(replicas=2)
+        for node in ("b0", "b1", "b2", "b3"):
+            a.add_node(node)
+        for node in ("b3", "b1", "b0", "b2"):
+            b.add_node(node)
+        for key in KEYS:
+            assert a.replica_set(key) == b.replica_set(key)
+
+    def test_replica_sets_are_distinct_backends(self):
+        ring = make_ring(4, replicas=3)
+        for key in KEYS:
+            replicas = ring.replica_set(key)
+            assert len(replicas) == 3
+            assert len(set(replicas)) == 3
+
+    def test_replica_count_clamped_to_live_backends(self):
+        ring = make_ring(2, replicas=3)
+        assert len(ring.replica_set("k")) == 2
+
+    def test_primary_is_first_replica(self):
+        ring = make_ring(4, replicas=3)
+        for key in KEYS[:20]:
+            assert ring.primary(key) == ring.replica_set(key)[0]
+
+    def test_seed_changes_placement(self):
+        a = make_ring(4, seed="one")
+        b = make_ring(4, seed="two")
+        assert any(
+            a.replica_set(key) != b.replica_set(key) for key in KEYS
+        )
+
+    def test_load_spread_is_reasonable(self):
+        # 64 vnodes keeps primaries within a loose factor of fair share.
+        ring = make_ring(4, replicas=1)
+        load = ring.load_by_node(KEYS)
+        assert sum(load.values()) == len(KEYS)
+        fair = len(KEYS) / 4
+        for count in load.values():
+            assert count > fair / 4
+
+
+class TestRebalance:
+    def test_minimal_movement_on_join(self):
+        # Consistent hashing's defining property: adding one backend
+        # moves roughly keys/n, never a full reshuffle.
+        ring = make_ring(4, replicas=2)
+        before = ring.assignments(KEYS)
+        ring.add_node("b4")
+        moved = ring.moved_keys(KEYS, before)
+        assert 0 < len(moved) < len(KEYS) / 2
+        for key, (old, new) in moved.items():
+            assert old != new
+            assert "b4" in new  # only arcs the newcomer claimed changed
+
+    def test_remove_then_readd_restores_placement(self):
+        ring = make_ring(4, replicas=2)
+        before = ring.assignments(KEYS)
+        ring.remove_node("b2")
+        assert all("b2" not in ring.replica_set(k) for k in KEYS)
+        ring.add_node("b2")
+        assert ring.assignments(KEYS) == before
+
+    def test_moved_keys_empty_without_membership_change(self):
+        ring = make_ring(3)
+        before = ring.assignments(KEYS)
+        assert ring.moved_keys(KEYS, before) == {}

@@ -1,0 +1,204 @@
+"""Tests for FusionCluster: topology, rebalance handoff, failover."""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.cluster.supervisor import FusionCluster
+from repro.exceptions import ReproError
+from repro.runtime.pool import fork_available
+from repro.service.client import VoterClient
+from repro.vdx.examples import AVOC_SPEC
+from repro.vdx.factory import build_engine
+
+MODULES = ["E1", "E2", "E3"]
+
+
+def rows_for(n, seed=21):
+    rng = np.random.default_rng(seed)
+    return (18.0 + rng.normal(0.0, 0.1, size=(n, len(MODULES)))).tolist()
+
+
+def wait_until(predicate, timeout=15.0, interval=0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+class TestTopology:
+    def test_describe_and_stats(self):
+        with FusionCluster(
+            AVOC_SPEC, n_shards=3, replicas=2, mode="thread",
+            auto_restart=False,
+        ) as cluster:
+            topology = cluster.describe()
+            assert topology["ring"]["backends"] == ["b0", "b1", "b2"]
+            assert topology["ring"]["replicas"] == 2
+            assert all(b["alive"] for b in topology["backends"].values())
+            host, port = cluster.address
+            assert port > 0
+
+    def test_replicas_clamped_to_shard_count(self):
+        with FusionCluster(
+            AVOC_SPEC, n_shards=2, replicas=3, mode="thread",
+            auto_restart=False,
+        ) as cluster:
+            assert cluster.ring.replicas == 2
+
+    def test_bad_shard_count_rejected(self):
+        with pytest.raises(ReproError, match="n_shards"):
+            FusionCluster(AVOC_SPEC, n_shards=0)
+
+    def test_known_series_tracks_routing(self):
+        with FusionCluster(
+            AVOC_SPEC, n_shards=2, replicas=1, mode="thread",
+            auto_restart=False,
+        ) as cluster:
+            with cluster.client() as client:
+                client.vote(0, dict(zip(MODULES, [18.0, 18.1, 17.9])),
+                            series="s1")
+                client.vote(0, dict(zip(MODULES, [18.0, 18.1, 17.9])),
+                            series="s2")
+            assert cluster.gateway.known_series() == ("s1", "s2")
+
+
+class TestRebalance:
+    def test_join_hands_off_history_to_new_owners(self):
+        with FusionCluster(
+            AVOC_SPEC, n_shards=3, replicas=2, mode="thread",
+            auto_restart=False, seed="join-test",
+        ) as cluster:
+            series = [f"room-{i}" for i in range(12)]
+            with cluster.client() as client:
+                for key in series:
+                    client.vote_batch(
+                        [{"series": key, "rounds": list(range(20)),
+                          "modules": MODULES, "rows": rows_for(20)}]
+                    )
+                histories = {
+                    key: client.history(series=key) for key in series
+                }
+                before = {
+                    key: cluster.ring.replica_set(key) for key in series
+                }
+                new_id = cluster.add_backend()
+                assert new_id == "b3"
+                moved = {
+                    key: (before[key], cluster.ring.replica_set(key))
+                    for key in series
+                    if before[key] != cluster.ring.replica_set(key)
+                }
+                assert moved, "expected at least one series to move"
+                for key, (_, new_set) in moved.items():
+                    assert new_id in new_set
+                    # The new owner answers history reads with the
+                    # records the old owners accumulated.
+                    backend = cluster.backends[new_id]
+                    with VoterClient(*backend.address) as direct:
+                        assert direct.history(series=key) == pytest.approx(
+                            histories[key]
+                        )
+                # The cluster keeps answering votes for every series
+                # (the handoff moves history records, not round counts,
+                # so a moved series' new primary starts at round 20).
+                row = dict(zip(MODULES, rows_for(1)[0]))
+                for key in series:
+                    assert client.vote(20, row, series=key)["round"] == 20
+
+    def test_leave_drains_series_before_stopping(self):
+        with FusionCluster(
+            AVOC_SPEC, n_shards=3, replicas=1, mode="thread",
+            auto_restart=False, seed="leave-test",
+        ) as cluster:
+            series = [f"rack-{i}" for i in range(9)]
+            with cluster.client() as client:
+                for key in series:
+                    client.vote_batch(
+                        [{"series": key, "rounds": list(range(15)),
+                          "modules": MODULES, "rows": rows_for(15)}]
+                    )
+                histories = {
+                    key: client.history(series=key) for key in series
+                }
+                owned = [
+                    key for key in series
+                    if cluster.ring.primary(key) == "b1"
+                ]
+                assert owned, "b1 should own at least one of nine series"
+                cluster.remove_backend("b1")
+                assert "b1" not in cluster.ring.nodes
+                assert "b1" not in cluster.backends
+                # With replicas=1, b1 was the only holder: its series
+                # histories must have been handed to the new owners.
+                for key in owned:
+                    assert client.history(series=key) == pytest.approx(
+                        histories[key]
+                    )
+
+    def test_cannot_remove_last_backend(self):
+        with FusionCluster(
+            AVOC_SPEC, n_shards=1, replicas=1, mode="thread",
+            auto_restart=False,
+        ) as cluster:
+            with pytest.raises(ReproError, match="last backend"):
+                cluster.remove_backend("b0")
+
+
+@pytest.mark.skipif(not fork_available(), reason="needs the fork start method")
+class TestProcessFailover:
+    def test_sigkill_mid_run_loses_no_rounds_and_restarts(self):
+        rows = rows_for(120, seed=33)
+        reference = build_engine(AVOC_SPEC)
+        expected = reference.process_batch(np.asarray(rows), MODULES)
+        with FusionCluster(
+            AVOC_SPEC, n_shards=3, replicas=2, mode="process",
+            probe_interval=0.1,
+        ) as cluster:
+            with cluster.client() as client:
+                for i in range(120):
+                    if i == 60:
+                        victim_id = client.route("ha")["replicas"][0]
+                        os.kill(cluster.backends[victim_id].pid, signal.SIGKILL)
+                    result = client.vote(
+                        i, dict(zip(MODULES, rows[i])), series="ha"
+                    )
+                    want = expected.values[i]
+                    want = None if np.isnan(want) else float(want)
+                    assert result["value"] == want, f"round {i} diverged"
+                assert wait_until(
+                    lambda: cluster.backends[victim_id].restarts >= 1
+                    and cluster.backends[victim_id].ping()
+                )
+                # The restarted shard resumed from its persisted
+                # history and serves reads again.
+                stats = client.cluster_stats()
+                assert stats["backends"][victim_id]["alive"] is True
+
+    def test_restarted_backend_resumes_history_from_disk(self):
+        with FusionCluster(
+            AVOC_SPEC, n_shards=2, replicas=2, mode="process",
+            probe_interval=0.1,
+        ) as cluster:
+            with cluster.client() as client:
+                client.vote_batch(
+                    [{"series": "persist", "rounds": list(range(30)),
+                      "modules": MODULES, "rows": rows_for(30, seed=4)}]
+                )
+                records = client.history(series="persist")
+                victim = cluster.backends["b0"]
+                os.kill(victim.pid, signal.SIGKILL)
+                assert wait_until(
+                    lambda: victim.restarts >= 1 and victim.ping()
+                )
+                with VoterClient(*victim.address) as direct:
+                    assert direct.history(series="persist") == pytest.approx(
+                        records
+                    )

@@ -107,6 +107,54 @@ class TestFlush:
             assert result.status in ("held", "skipped")
 
 
+class TestOutOfOrderEdges:
+    """Late-arrival boundary semantics (watermark = max timestamp seen)."""
+
+    def test_event_exactly_at_watermark_boundary_closes_window(self):
+        # Window 0 ends at 1.0 with lateness 0.5: a watermark of exactly
+        # 1.5 is the first instant the window may close (<=, not <).
+        stream = make_stream(lateness=0.5)
+        stream.push(SensorEvent("E1", 10.0, 0.2))
+        voted = stream.push(SensorEvent("E2", 20.0, 1.5))
+        assert [v.round_number for v in voted] == [0]
+        assert voted[0].value == pytest.approx(10.0)
+
+    def test_event_on_window_edge_belongs_to_next_window(self):
+        # t == window end is the first instant of the *next* window.
+        stream = make_stream()
+        assert stream.window_of(1.0) == 1
+        stream.push(SensorEvent("E1", 10.0, 0.5))
+        stream.push(SensorEvent("E1", 30.0, 1.0))  # window 1, closes window 0
+        voted = stream.flush()
+        assert stream.results[0].value == pytest.approx(10.0)
+        assert voted[-1].value == pytest.approx(30.0)
+
+    def test_event_older_than_allowed_lateness_dropped_and_counted(self):
+        stream = make_stream(lateness=0.5)
+        stream.push(SensorEvent("E1", 10.0, 0.2))
+        stream.push(SensorEvent("E1", 11.0, 2.0))  # closes window 0 only
+        accepted_before = stream.events_accepted
+        result = stream.push(SensorEvent("E2", 99.0, 0.9))  # older than lateness
+        assert result == []
+        assert stream.events_late == 1
+        assert stream.events_accepted == accepted_before
+        # The dropped event must not have leaked into a voted result.
+        assert stream.results[0].value == pytest.approx(10.0)
+
+    def test_module_never_reporting_votes_as_missing_without_stalling(self):
+        # E2 never produces an event: every window must still close on
+        # time, with E2 carried as None (missing), not awaited forever.
+        stream = make_stream()
+        for i in range(4):
+            stream.push(SensorEvent("E1", 10.0 + i, i + 0.5))
+        assert [r.round_number for r in stream.results] == [0, 1, 2]
+        for i, result in enumerate(stream.results):
+            assert result.value == pytest.approx(10.0 + i)  # E1 alone
+        voted = stream.flush()
+        assert voted[-1].round_number == 3
+        assert stream.events_late == 0
+
+
 class TestValidation:
     def test_bad_window(self):
         with pytest.raises(ConfigurationError):

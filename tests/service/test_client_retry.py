@@ -1,0 +1,117 @@
+"""Tests for VoterClient's opt-in reconnect-and-replay behaviour.
+
+A drop-prone front server consumes a request and hangs up without
+answering, then behaves normally — the transport failure a flaky
+network or a restarting backend produces.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.cluster.retry import RetryPolicy
+from repro.service.client import IDEMPOTENT_OPS, VoterClient
+from repro.service.protocol import ConnectionClosedError
+from repro.service.server import VoterServer, _Handler, _ThreadingServer
+from repro.vdx.examples import AVOC_SPEC
+
+MODULES = ["E1", "E2", "E3"]
+
+
+class _DropHandler(_Handler):
+    """Consume one request, then close the connection unanswered."""
+
+    def handle(self) -> None:
+        if self.server.drops_remaining > 0:  # type: ignore[attr-defined]
+            self.server.drops_remaining -= 1  # type: ignore[attr-defined]
+            self.rfile.readline()
+            return
+        super().handle()
+
+
+@pytest.fixture()
+def droppy():
+    """(address, server) for a voter service that drops the first
+    ``server.drops_remaining`` connections after reading the request."""
+    service = VoterServer(AVOC_SPEC)
+    front = _ThreadingServer(("127.0.0.1", 0), _DropHandler)
+    front.service = service
+    front.drops_remaining = 0
+    thread = threading.Thread(
+        target=front.serve_forever, kwargs={"poll_interval": 0.05}, daemon=True
+    )
+    thread.start()
+    try:
+        yield front
+    finally:
+        front.shutdown()
+        front.server_close()
+        thread.join(timeout=5.0)
+        service.stop()
+
+
+def make_client(front, **kwargs):
+    host, port = front.server_address
+    return VoterClient(host, port, **kwargs)
+
+
+class TestReplay:
+    def test_default_client_fails_fast(self, droppy):
+        droppy.drops_remaining = 1
+        with make_client(droppy) as client:
+            with pytest.raises(ConnectionClosedError):
+                client.ping()
+
+    def test_idempotent_request_replayed_after_drop(self, droppy):
+        droppy.drops_remaining = 2
+        with make_client(droppy, retries=3) as client:
+            assert client.ping()
+        assert droppy.drops_remaining == 0
+
+    def test_vote_replayed_transparently(self, droppy):
+        droppy.drops_remaining = 1
+        with make_client(droppy, retries=2) as client:
+            result = client.vote(0, dict(zip(MODULES, [18.0, 18.1, 17.9])))
+            assert result["round"] == 0
+
+    def test_retries_exhausted_raises_transport_error(self, droppy):
+        droppy.drops_remaining = 5
+        with make_client(droppy, retries=2) as client:
+            with pytest.raises(ConnectionClosedError):
+                client.ping()
+
+    def test_non_idempotent_ops_never_replayed(self, droppy):
+        droppy.drops_remaining = 1
+        with make_client(droppy, retries=3) as client:
+            with pytest.raises(ConnectionClosedError):
+                client.submit(0, "E1", 18.0)
+        # The drop was consumed exactly once: no replay happened.
+        assert droppy.drops_remaining == 0
+
+    def test_submit_not_in_idempotent_set(self):
+        assert "submit" not in IDEMPOTENT_OPS
+        assert "close_round" not in IDEMPOTENT_OPS
+        assert "configure" not in IDEMPOTENT_OPS
+        assert "vote" in IDEMPOTENT_OPS  # deduplicated server-side
+
+    def test_backoff_schedule_is_respected(self, droppy, monkeypatch):
+        delays = []
+        monkeypatch.setattr(
+            "repro.service.client.time.sleep", delays.append
+        )
+        droppy.drops_remaining = 2
+        policy = RetryPolicy(max_retries=4, base_delay=0.1, multiplier=3.0,
+                             max_delay=10.0)
+        with make_client(droppy, retries=4, backoff=policy) as client:
+            assert client.ping()
+        assert delays == pytest.approx([0.1, 0.3])
+
+    def test_reconnect_uses_a_fresh_connection(self, droppy):
+        droppy.drops_remaining = 0
+        with make_client(droppy, retries=1) as client:
+            assert client.ping()
+            # Simulate the server restarting under the client.
+            droppy.close_all_connections()
+            assert client.ping()  # replayed over a new connection

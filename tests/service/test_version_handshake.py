@@ -1,0 +1,70 @@
+"""Tests for the protocol-version handshake (``hello``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.client import ServiceError, VoterClient
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    validate_request,
+)
+from repro.service.server import VoterServer
+from repro.vdx.examples import AVOC_SPEC
+
+
+@pytest.fixture()
+def server():
+    with VoterServer(AVOC_SPEC) as running:
+        yield running
+
+
+@pytest.fixture()
+def client(server):
+    with VoterClient(*server.address) as c:
+        yield c
+
+
+class TestHello:
+    def test_matching_version_accepted(self, client):
+        assert client.hello() == PROTOCOL_VERSION
+
+    def test_response_names_the_server_class(self, client):
+        response = client.request(
+            {"op": "hello", "version": PROTOCOL_VERSION}
+        )
+        assert response["server"] == "VoterServer"
+
+    def test_older_peer_rejected_with_clear_error(self, client):
+        with pytest.raises(ServiceError, match="protocol version mismatch"):
+            client.hello(version=1)
+
+    def test_newer_peer_rejected_with_clear_error(self, client):
+        with pytest.raises(
+            ServiceError,
+            match=f"peer speaks {PROTOCOL_VERSION + 1}, this server speaks "
+                  f"{PROTOCOL_VERSION}",
+        ):
+            client.hello(version=PROTOCOL_VERSION + 1)
+
+    def test_connection_survives_a_rejected_handshake(self, client):
+        with pytest.raises(ServiceError):
+            client.hello(version=99)
+        assert client.ping()
+
+
+class TestValidation:
+    def test_version_field_required(self):
+        with pytest.raises(ProtocolError, match="version"):
+            validate_request({"op": "hello"})
+
+    def test_version_must_be_an_integer(self):
+        for bad in ("2", 2.5, True, None):
+            with pytest.raises(ProtocolError):
+                validate_request({"op": "hello", "version": bad})
+
+    def test_valid_hello_passes(self):
+        assert validate_request(
+            {"op": "hello", "version": PROTOCOL_VERSION}
+        ) == "hello"

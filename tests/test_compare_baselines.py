@@ -7,6 +7,7 @@ import json
 import pytest
 
 from benchmarks.compare_baselines import (
+    compare_cluster,
     compare_dirs,
     compare_latency,
     compare_parallel,
@@ -32,6 +33,18 @@ COMMITTED_PARALLEL = {
         "enforced": False,
         "floor": 2.5,
         "speedup": 1.5,
+    },
+}
+
+
+COMMITTED_CLUSTER = {
+    "cpu_count": 4,
+    "throughput": {"speedup": 2.4, "floor": 2.0, "enforced": True},
+    "failover": {
+        "rounds": 500,
+        "answered": 500,
+        "bit_identical": True,
+        "enforced": True,
     },
 }
 
@@ -95,6 +108,46 @@ class TestCompareParallel:
         fresh = json.loads(json.dumps(COMMITTED_PARALLEL))
         fresh["sweep_random_search_64"]["speedup"] = 0.1
         assert compare_parallel(COMMITTED_PARALLEL, fresh) == []
+
+
+class TestCompareCluster:
+    def test_clean_run_has_no_failures(self):
+        assert compare_cluster(COMMITTED_CLUSTER, COMMITTED_CLUSTER) == []
+
+    def test_enforced_throughput_below_floor_fails(self):
+        fresh = json.loads(json.dumps(COMMITTED_CLUSTER))
+        fresh["throughput"]["speedup"] = 1.1
+        failures = compare_cluster(COMMITTED_CLUSTER, fresh)
+        assert failures and "below the recorded floor" in failures[0]
+
+    def test_unenforced_throughput_is_reported_not_failed(self, capsys):
+        committed = json.loads(json.dumps(COMMITTED_CLUSTER))
+        committed["throughput"]["enforced"] = False
+        committed["throughput"]["speedup"] = 0.93  # single-CPU runner
+        fresh = json.loads(json.dumps(committed))
+        fresh["throughput"]["speedup"] = 0.5
+        assert compare_cluster(committed, fresh) == []
+        assert "[not enforced]" in capsys.readouterr().out
+
+    def test_lost_rounds_fail(self):
+        fresh = json.loads(json.dumps(COMMITTED_CLUSTER))
+        fresh["failover"]["answered"] = 499
+        failures = compare_cluster(COMMITTED_CLUSTER, fresh)
+        assert failures == [
+            "cluster/failover: rounds were lost (499 of 500 answered)"
+        ]
+
+    def test_diverged_outputs_fail(self):
+        fresh = json.loads(json.dumps(COMMITTED_CLUSTER))
+        fresh["failover"]["bit_identical"] = False
+        failures = compare_cluster(COMMITTED_CLUSTER, fresh)
+        assert failures and "diverged" in failures[0]
+
+    def test_missing_fresh_sections_fail(self):
+        failures = compare_cluster(COMMITTED_CLUSTER, {})
+        assert len(failures) == 2
+        assert any("throughput" in f for f in failures)
+        assert any("failover" in f for f in failures)
 
 
 class TestCli:
