@@ -8,9 +8,11 @@ Two recorded numbers, written to ``BENCH_cluster.json``:
   4 shards — enforced only on hosts with at least 4 CPUs (single-core
   containers record honest numbers with ``enforced: false``).
 * **failover bit-identity** — a 500-round run against a 3-shard,
-  2-replica cluster with one backend SIGKILLed at round 250.  Every
-  round must be answered and every value must be bit-identical to a
-  single uninterrupted engine.  Always enforced.
+  2-replica cluster with one backend SIGKILLed at round 250 and
+  ``auto_restart`` on, so the supervisor's restart + history-resync
+  path is exercised mid-run.  Every round must be answered and every
+  value must be bit-identical to a single uninterrupted engine.
+  Always enforced.
 """
 
 from __future__ import annotations
@@ -124,7 +126,8 @@ def test_throughput_at_4_shards(benchmark, capsys):
 
 
 def test_failover_bit_identity(benchmark, capsys):
-    """SIGKILL a replica mid-run: no lost rounds, identical outputs."""
+    """SIGKILL a replica mid-run (restarts on): no lost rounds,
+    identical outputs — including from the restarted, resynced shard."""
     if not fork_available():
         pytest.skip("needs the fork start method")
     n_rounds, kill_at = 500, 250
@@ -138,7 +141,7 @@ def test_failover_bit_identity(benchmark, capsys):
         identical = True
         with FusionCluster(
             AVOC_SPEC, n_shards=3, replicas=2, mode="process",
-            auto_restart=False,
+            auto_restart=True, probe_interval=0.1,
         ) as cluster:
             with cluster.client() as client:
                 victim = client.route("bench")["replicas"][0]

@@ -6,11 +6,16 @@
 its own durable history log, and adds the cluster operations:
 ``vote_batch`` (micro-batched rounds through
 :meth:`~repro.fusion.engine.FusionEngine.process_batch`, the PR-1
-vectorized hot path) and ``sync_history`` (the rebalance handoff
-write).  Voted rounds are cached per series, so a gateway replaying a
-round after a transport failure gets the original result back instead
-of an ``already voted`` error — the property that makes failover
-retries safe.
+vectorized hot path) and ``sync_history`` (the rebalance/failover
+seeding write).  Voted rounds are cached per series, so a gateway
+replaying a round after a transport failure gets the original result
+back instead of an ``already voted`` error — the property that makes
+failover retries safe.  The cache is bounded (gateway retries are
+short-lived); beyond it a persisted per-series *voted watermark* — the
+highest round number ever voted, appended to a log next to the history
+stores — guarantees a round is never applied to history twice, even
+across a crash: a replay that falls behind the cache is refused
+instead of re-applied, and the replica set's majority answers it.
 
 :class:`ManagedBackend` runs a shard server in a forked subprocess
 (falling back to an in-process thread where ``fork`` is unavailable)
@@ -42,6 +47,16 @@ from ..vdx.spec import VotingSpec
 
 __all__ = ["ManagedBackend", "ShardServer"]
 
+#: Replay-cache payloads kept per series.  Gateway retries are
+#: short-lived (bounded backoff), so a small window is plenty; rounds
+#: evicted from it are still protected against double-application by
+#: the persisted voted watermark.
+DEFAULT_REPLAY_CACHE_ROUNDS = 1024
+
+#: Watermark-log appends between compactions (the log is append-only
+#: per voted round; compaction rewrites it to one line per series).
+_WATERMARK_COMPACT_EVERY = 4096
+
 
 def _series_filename(series: str) -> str:
     """A filesystem-safe, collision-free log name for a series key."""
@@ -60,6 +75,11 @@ class ShardServer(VoterServer):
     records to its own JSONL log under that directory.
     """
 
+    #: Shards deduplicate rounds and replay cached results, so peers
+    #: (via ``hello``) may safely re-send a ``vote`` after a transport
+    #: failure.
+    _replays_votes = True
+
     def __init__(
         self,
         spec: VotingSpec,
@@ -67,12 +87,16 @@ class ShardServer(VoterServer):
         port: int = 0,
         history_dir=None,
         registry=None,
+        replay_cache_rounds: int = DEFAULT_REPLAY_CACHE_ROUNDS,
     ):
         super().__init__(spec, host=host, port=port, registry=registry)
         self._history_dir = Path(history_dir) if history_dir is not None else None
+        self.replay_cache_rounds = max(1, int(replay_cache_rounds))
         self._engines: Dict[str, Any] = {}
         self._series_pending: Dict[str, Dict[int, Dict[str, Optional[float]]]] = {}
         self._series_voted: Dict[str, Dict[int, Dict[str, Any]]] = {}
+        self._series_watermark: Dict[str, int] = self._load_watermarks()
+        self._watermark_appends = 0
         # Rehydrate series hosted before a restart: engines are created
         # lazily, so without the index a freshly restarted shard would
         # answer "unknown series" for history it still holds on disk.
@@ -104,6 +128,74 @@ class ShardServer(VoterServer):
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(json.dumps(sorted(known)), encoding="utf-8")
 
+    # -- voted watermarks ----------------------------------------------------
+
+    def _watermark_path(self) -> Optional[Path]:
+        if self._history_dir is None:
+            return None
+        return self._history_dir / "voted-rounds.jsonl"
+
+    def _load_watermarks(self) -> Dict[str, int]:
+        path = self._watermark_path()
+        watermarks: Dict[str, int] = {}
+        if path is None or not path.exists():
+            return watermarks
+        try:
+            for line in path.read_text(encoding="utf-8").splitlines():
+                if not line.strip():
+                    continue
+                entry = json.loads(line)
+                series, number = str(entry["series"]), int(entry["round"])
+                if number > watermarks.get(series, number - 1):
+                    watermarks[series] = number
+        except (OSError, ValueError, KeyError):  # pragma: no cover - corrupt log
+            return watermarks
+        return watermarks
+
+    def _write_watermarks(self) -> None:
+        path = self._watermark_path()
+        if path is None:
+            return
+        lines = [
+            json.dumps({"series": series, "round": number})
+            for series, number in sorted(self._series_watermark.items())
+        ]
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("".join(line + "\n" for line in lines), encoding="utf-8")
+        self._watermark_appends = 0
+
+    def _record_watermark(self, series: str, number: int) -> None:
+        """Advance (never rewind) the persisted voted watermark."""
+        current = self._series_watermark.get(series)
+        if current is not None and number <= current:
+            return
+        self._series_watermark[series] = number
+        path = self._watermark_path()
+        if path is None:
+            return
+        if self._watermark_appends >= _WATERMARK_COMPACT_EVERY:
+            self._write_watermarks()
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps({"series": series, "round": number}) + "\n")
+        self._watermark_appends += 1
+
+    def _already_voted(self, series: str, number: int) -> bool:
+        """Voted before but no cached payload left to replay?"""
+        if number in self._series_voted.get(series, {}):
+            return False
+        watermark = self._series_watermark.get(series)
+        return watermark is not None and number <= watermark
+
+    def _cache_result(
+        self, series: str, number: int, payload: Dict[str, Any]
+    ) -> None:
+        voted = self._series_voted.setdefault(series, {})
+        voted[number] = payload
+        while len(voted) > self.replay_cache_rounds:
+            voted.pop(next(iter(voted)))
+
     # -- per-series engines ------------------------------------------------
 
     def _engine_for(self, series: str, create: bool = True):
@@ -134,14 +226,18 @@ class ShardServer(VoterServer):
     ) -> Dict[str, Any]:
         from ..types import Round
 
-        voted = self._series_voted.setdefault(series, {})
-        cached = voted.get(number)
+        cached = self._series_voted.get(series, {}).get(number)
         if cached is not None:
             return cached  # replayed write: answer with the original result
+        if self._already_voted(series, number):
+            # Voted before this process (re)started, or evicted from the
+            # bounded cache: refuse rather than apply to history twice.
+            raise ProtocolError(f"round {number} was already voted")
         engine = self._engine_for(series)
         result = engine.process(Round.from_mapping(number, values))
         payload = _result_payload(result)
-        voted[number] = payload
+        self._cache_result(series, number, payload)
+        self._record_watermark(series, number)
         return payload
 
     def _op_vote(self, request) -> Dict[str, Any]:
@@ -168,16 +264,27 @@ class ShardServer(VoterServer):
                     f"batch for series {series!r} contains non-finite values"
                 )
             modules = [str(m) for m in batch["modules"]]
-            prepared.append((batch, matrix, modules, list(batch["rounds"])))
+            rounds = list(batch["rounds"])
+            for number in rounds:
+                if self._already_voted(series, number):
+                    raise ProtocolError(
+                        f"round {number} for series {series!r} was already voted"
+                    )
+            prepared.append((batch, matrix, modules, rounds))
 
         results = []
         for batch, matrix, modules, rounds in prepared:
             series = batch["series"]
-            voted = self._series_voted.setdefault(series, {})
+            voted = self._series_voted.get(series, {})
+            # Assemble into a batch-local map first: the shared cache may
+            # evict rounds of this very batch once they are inserted.
+            answers: Dict[int, Dict[str, Any]] = {
+                n: voted[n] for n in rounds if n in voted
+            }
             fresh: List[int] = []
             seen = set()
             for i, number in enumerate(rounds):
-                if number not in voted and number not in seen:
+                if number not in answers and number not in seen:
                     seen.add(number)
                     fresh.append(i)
             if fresh:
@@ -185,13 +292,17 @@ class ShardServer(VoterServer):
                 outcome = engine.process_batch(matrix[fresh], modules)
                 for k, i in enumerate(fresh):
                     value = float(outcome.values[k])
-                    voted[rounds[i]] = {
+                    answers[rounds[i]] = {
                         "round": rounds[i],
                         "value": None if np.isnan(value) else value,
                         "status": str(outcome.statuses[k]),
                     }
+                for i in fresh:
+                    self._cache_result(series, rounds[i], answers[rounds[i]])
+                # One watermark append per batch, not per round.
+                self._record_watermark(series, max(rounds[i] for i in fresh))
             results.append(
-                {"series": series, "results": [voted[n] for n in rounds]}
+                {"series": series, "results": [answers[n] for n in rounds]}
             )
         return ok_response(results=results)
 
@@ -202,7 +313,9 @@ class ShardServer(VoterServer):
         if series is None:
             return super()._op_submit(request)
         number = request["round"]
-        if number in self._series_voted.get(series, {}):
+        if number in self._series_voted.get(series, {}) or self._already_voted(
+            series, number
+        ):
             raise ProtocolError(f"round {number} was already voted")
         value = _numeric(request["module"], request["value"])
         pending = self._series_pending.setdefault(series, {})
@@ -234,7 +347,11 @@ class ShardServer(VoterServer):
         engine = self._engine_for(series, create=False)
         history = getattr(engine.voter, "history", None)
         records = history.snapshot() if history is not None else {}
-        return ok_response(records=records)
+        return ok_response(
+            records=records,
+            updates=history.update_count if history is not None else 0,
+            watermark=self._series_watermark.get(series),
+        )
 
     def _op_stats(self, request) -> Dict[str, Any]:
         series = request.get("series")
@@ -256,6 +373,11 @@ class ShardServer(VoterServer):
             self._engines.clear()
             self._series_pending.clear()
             self._series_voted.clear()
+            self._series_watermark.clear()
+            wm_path = self._watermark_path()
+            if wm_path is not None and wm_path.exists():
+                wm_path.unlink()
+            self._watermark_appends = 0
             return super()._op_reset(request)
         engine = self._engines.pop(series, None)
         if engine is not None:
@@ -265,6 +387,8 @@ class ShardServer(VoterServer):
                 store.clear()
         self._series_pending.pop(series, None)
         self._series_voted.pop(series, None)
+        if self._series_watermark.pop(series, None) is not None:
+            self._write_watermarks()
         path = self._series_index_path()
         if path is not None:
             known = [s for s in self._load_series_index() if s != series]
@@ -281,15 +405,27 @@ class ShardServer(VoterServer):
         self._engines.clear()
         self._series_pending.clear()
         self._series_voted.clear()
+        self._series_watermark.clear()
+        self._watermark_appends = 0
         path = self._series_index_path()
         if path is not None and path.exists():
             path.unlink()
+        wm_path = self._watermark_path()
+        if wm_path is not None and wm_path.exists():
+            wm_path.unlink()
         return super()._op_configure(request)
 
     # -- rebalance handoff --------------------------------------------------
 
     def _op_sync_history(self, request) -> Dict[str, Any]:
         series = request["series"]
+        watermark = request.get("watermark")
+        if watermark is not None:
+            current = self._series_watermark.get(series)
+            if current is not None and int(watermark) < current:
+                # The seed was snapshotted before rounds this shard has
+                # since voted — applying it would rewind history.
+                return ok_response(synced=0, series=series, ignored=True)
         engine = self._engine_for(series)
         history = getattr(engine.voter, "history", None)
         if history is None:
@@ -297,7 +433,19 @@ class ShardServer(VoterServer):
                 f"series {series!r} voter keeps no history records"
             )
         records = {str(m): float(v) for m, v in request["records"].items()}
-        history.seed(records, count_as_update=False)
+        updates = request.get("updates")
+        if updates is not None:
+            # Versioned seed (failover resync): adopt the survivor's
+            # records *and* its update counter, so the bootstrap trigger
+            # and EMA warm-up behave as if this shard never crashed.
+            history.absorb(records, int(updates))
+            store = getattr(history, "store", None)
+            if store is not None:  # absorb skips the store by design
+                store.save(history.snapshot())
+        else:
+            history.seed(records, count_as_update=False)
+        if watermark is not None:
+            self._record_watermark(series, int(watermark))
         return ok_response(synced=len(records), series=series)
 
 

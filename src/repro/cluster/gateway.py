@@ -94,6 +94,10 @@ class _BackendLink:
         self.batch_max = batch_max
         self.timeout = timeout
         self.alive = True
+        #: A fenced link is excluded from all routing (it missed a
+        #: cluster-wide state change, e.g. a partial ``configure``) until
+        #: the supervisor reconfigures or restarts its backend.
+        self.fenced = False
         self.requests_sent = 0
         self.failures = 0
         self._queue: "queue.Queue[Any]" = queue.Queue()
@@ -114,6 +118,7 @@ class _BackendLink:
         self.address = tuple(address)
         self._reconnect = True
         self.alive = True
+        self.fenced = False
         self.breaker.record_success()
 
     def stop(self) -> None:
@@ -274,6 +279,10 @@ class ClusterGateway:
         self._obs = ClusterInstruments(self.registry)
         self._links: Dict[str, _BackendLink] = {}
         self._series: set = set()
+        #: Backends mid-resync after a restart: their history may lag
+        #: the surviving replicas, so they are excluded from routing
+        #: (unless no fresh replica remains) until the catch-up lands.
+        self._stale: set = set()
         self._lock = threading.Lock()
         self._failure_callback: Optional[Callable[[str], None]] = None
         self.requests_served = 0
@@ -352,6 +361,7 @@ class ClusterGateway:
     def remove_backend(self, backend_id: str) -> None:
         with self._lock:
             link = self._links.pop(backend_id, None)
+            self._stale.discard(backend_id)
         if link is not None:
             link.stop()
 
@@ -362,6 +372,101 @@ class ClusterGateway:
         if link is None:
             raise ReproError(f"no backend {backend_id!r} attached")
         link.update_address(address)
+
+    def mark_stale(self, backend_id: str) -> None:
+        """Exclude a backend from routing until :meth:`resync_backend`.
+
+        Called by the supervisor *before* re-pointing the gateway at a
+        restarted backend, so a shard whose history lags the surviving
+        replicas never answers (and never wins a majority tie) while it
+        is catching up.
+        """
+        with self._lock:
+            self._stale.add(backend_id)
+
+    def clear_stale(self, backend_id: str) -> None:
+        with self._lock:
+            self._stale.discard(backend_id)
+
+    def _fence(self, backend_id: str) -> None:
+        link = self._link(backend_id)
+        if link is not None:
+            link.fenced = True
+
+    def fenced_backends(self) -> Tuple[str, ...]:
+        """Backends excluded from routing pending supervisor repair."""
+        with self._lock:
+            return tuple(
+                sorted(bid for bid, link in self._links.items() if link.fenced)
+            )
+
+    def resync_backend(self, backend_id: str) -> Dict[str, Any]:
+        """Catch a restarted (stale) backend up and re-enable it.
+
+        For every series the backend replicates, reads the history of a
+        fresh surviving replica and pushes it to the backend as a
+        *versioned* ``sync_history`` (records + update counter + voted
+        watermark), then clears the stale mark.  Runs under the routing
+        lock: no vote can be routed while the seed is in flight, and
+        link queues are FIFO, so the donor's snapshot observes every
+        vote routed before the lock was taken and the seed lands on the
+        victim before any vote routed after it — which is what makes
+        post-failover fused values bit-identical.
+
+        Series with no fresh survivor are skipped: nothing could have
+        been voted during the outage, so the backend's own on-disk
+        history is already canonical.
+        """
+        with self._lock:
+            victim = self._links.get(backend_id)
+            if victim is None:
+                raise ReproError(f"no backend {backend_id!r} attached")
+            plan: List[Tuple[str, List[_BackendLink]]] = []
+            for series in sorted(self._series):
+                replicas = self.ring.replica_set(series)
+                if backend_id not in replicas:
+                    continue
+                donors = [
+                    self._links[peer]
+                    for peer in replicas
+                    if peer != backend_id
+                    and peer not in self._stale
+                    and peer in self._links
+                    and not self._links[peer].fenced
+                ]
+                plan.append((series, donors))
+            synced, skipped = 0, 0
+            for series, donors in plan:
+                snapshot: Optional[Dict[str, Any]] = None
+                for donor in donors:
+                    job = _Job("forward", {"op": "history", "series": series})
+                    donor.enqueue(job)
+                    if not job.event.wait(self.replica_timeout):
+                        continue
+                    if job.error is not None or not job.result.get("records"):
+                        continue  # donor never hosted the series: next
+                    snapshot = job.result
+                    break
+                if snapshot is None:
+                    skipped += 1
+                    continue
+                message: Dict[str, Any] = {
+                    "op": "sync_history",
+                    "series": series,
+                    "records": snapshot["records"],
+                }
+                if snapshot.get("updates") is not None:
+                    message["updates"] = int(snapshot["updates"])
+                if snapshot.get("watermark") is not None:
+                    message["watermark"] = int(snapshot["watermark"])
+                job = _Job("forward", message)
+                victim.enqueue(job)
+                if job.event.wait(self.replica_timeout) and job.error is None:
+                    synced += 1
+                else:
+                    skipped += 1
+            self._stale.discard(backend_id)
+        return {"backend": backend_id, "synced": synced, "skipped": skipped}
 
     @contextmanager
     def membership(self):
@@ -391,6 +496,26 @@ class ClusterGateway:
         with self._lock:
             return self._links.get(backend_id)
 
+    def _route(self, series: str) -> List[Tuple[str, _BackendLink]]:
+        """The replica links eligible to serve a series, ring order.
+
+        Fenced links never serve.  Stale (mid-resync) links are skipped
+        while any fresh replica remains; when none does (replicas=1, or
+        every replica restarting at once) the stale set is the best
+        available answer and is used as a fallback.
+        """
+        with self._lock:
+            replicas = self.ring.replica_set(series)
+            fresh: List[Tuple[str, _BackendLink]] = []
+            stale: List[Tuple[str, _BackendLink]] = []
+            for backend_id in replicas:
+                link = self._links.get(backend_id)
+                if link is None or link.fenced:
+                    continue
+                bucket = stale if backend_id in self._stale else fresh
+                bucket.append((backend_id, link))
+            return fresh if fresh else stale
+
     # -- fan-out machinery ---------------------------------------------------
 
     def _await_jobs(
@@ -409,13 +534,10 @@ class ClusterGateway:
         return successes
 
     def _fan_out(self, series: str, kind: str, payload: Any) -> List[Tuple[str, Any]]:
-        """Enqueue one job per replica of ``series`` and await answers."""
-        replicas = self._replicas(series)
+        """Enqueue one job per eligible replica of ``series`` and await."""
+        routed = self._route(series)
         jobs: List[Tuple[str, _Job]] = []
-        for backend_id in replicas:
-            link = self._link(backend_id)
-            if link is None:
-                continue
+        for backend_id, link in routed:
             job = _Job(kind, payload)
             link.enqueue(job)
             jobs.append((backend_id, job))
@@ -425,7 +547,7 @@ class ClusterGateway:
         if not successes:
             raise ProtocolError(
                 f"no replica answered for series {series!r} "
-                f"(replica set: {replicas})"
+                f"(replica set: {self._replicas(series)})"
             )
         return successes
 
@@ -445,12 +567,10 @@ class ClusterGateway:
         return best_payload
 
     def _forward_first(self, series: str, request: Dict[str, Any]) -> Dict[str, Any]:
-        """Send a read to the first replica that answers (primary first)."""
+        """Send a read to the first eligible replica that answers
+        (primary first; stale replicas only as a last resort)."""
         last_error: Optional[BaseException] = None
-        for backend_id in self._replicas(series):
-            link = self._link(backend_id)
-            if link is None:
-                continue
+        for backend_id, link in self._route(series):
             job = _Job("forward", request)
             link.enqueue(job)
             successes = self._await_jobs([(backend_id, job)])
@@ -461,20 +581,26 @@ class ClusterGateway:
             raise last_error
         raise ProtocolError(f"no replica answered for series {series!r}")
 
-    def _broadcast(self, request: Dict[str, Any]) -> Dict[str, int]:
-        """Send a request to every attached backend; returns ok counts."""
+    def _broadcast(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Send a request to every unfenced backend; report per-id acks."""
         with self._lock:
-            backend_ids = list(self._links)
+            targets = [
+                (bid, link) for bid, link in self._links.items()
+                if not link.fenced
+            ]
         jobs = []
-        for backend_id in backend_ids:
-            link = self._link(backend_id)
-            if link is None:
-                continue
+        for backend_id, link in targets:
             job = _Job("forward", request)
             link.enqueue(job)
             jobs.append((backend_id, job))
         successes = self._await_jobs(jobs)
-        return {"sent": len(jobs), "acknowledged": len(successes)}
+        acked = {backend_id for backend_id, _ in successes}
+        failed = sorted(bid for bid, _ in jobs if bid not in acked)
+        return {
+            "sent": len(jobs),
+            "acknowledged": len(successes),
+            "failed": failed,
+        }
 
     # -- dispatch ------------------------------------------------------------
 
@@ -502,7 +628,13 @@ class ClusterGateway:
                 f"protocol version mismatch: peer speaks {version}, "
                 f"this gateway speaks {PROTOCOL_VERSION}"
             )
-        return ok_response(version=PROTOCOL_VERSION, server=type(self).__name__)
+        # The gateway replays safely: routed votes are deduplicated by
+        # the shard replay caches, so clients may re-send after a drop.
+        return ok_response(
+            version=PROTOCOL_VERSION,
+            server=type(self).__name__,
+            replays_votes=True,
+        )
 
     def _op_spec(self, request) -> Dict[str, Any]:
         return ok_response(spec=self.spec.to_dict())
@@ -522,12 +654,15 @@ class ClusterGateway:
     def _op_cluster_stats(self, request) -> Dict[str, Any]:
         with self._lock:
             links = dict(self._links)
+            stale = set(self._stale)
             ring_nodes = list(self.ring.nodes)
             series_count = len(self._series)
         backends = {
             backend_id: {
                 "address": list(link.address),
                 "alive": link.alive,
+                "fenced": link.fenced,
+                "stale": backend_id in stale,
                 "breaker": link.breaker.state,
                 "requests": link.requests_sent,
                 "failures": link.failures,
@@ -563,20 +698,19 @@ class ClusterGateway:
         batches = request["batches"]
         replica_map: List[List[str]] = []
         per_backend: Dict[str, List[int]] = {}
+        links: Dict[str, _BackendLink] = {}
         for index, batch in enumerate(batches):
             series = batch["series"]
             self._register_series(series)
-            replicas = self._replicas(series)
-            replica_map.append(replicas)
-            for backend_id in replicas:
+            routed = self._route(series)
+            replica_map.append([backend_id for backend_id, _ in routed])
+            for backend_id, link in routed:
+                links[backend_id] = link
                 per_backend.setdefault(backend_id, []).append(index)
         jobs: Dict[str, Tuple[_Job, List[int]]] = {}
         for backend_id, indices in per_backend.items():
-            link = self._link(backend_id)
-            if link is None:
-                continue
             job = _Job("batch", [batches[i] for i in indices])
-            link.enqueue(job)
+            links[backend_id].enqueue(job)
             jobs[backend_id] = (job, indices)
         if not jobs:
             raise ProtocolError("no backends attached")
@@ -650,16 +784,32 @@ class ClusterGateway:
         return ok_response(reset=True, **summary)
 
     def _op_configure(self, request) -> Dict[str, Any]:
+        """Two-phase scheme swap: probe all backends, then commit.
+
+        Phase 1 pings every unfenced backend; any miss aborts *before*
+        a single backend is reconfigured, so the cluster stays uniform
+        on the old spec.  Phase 2 commits; a backend that crashes in
+        the window between the phases is **fenced** — excluded from all
+        routing until the supervisor restarts it on the new spec — so
+        the cluster never serves mixed-spec majorities.
+        """
         spec = VotingSpec.from_dict(request["spec"])
-        summary = self._broadcast(dict(request))
-        if summary["acknowledged"] < summary["sent"]:
+        probe = self._broadcast({"op": "ping"})
+        if probe["failed"]:
             raise ProtocolError(
-                f"configure reached only {summary['acknowledged']} of "
-                f"{summary['sent']} backends; cluster may be mixed — retry"
+                "configure aborted: backends "
+                f"{probe['failed']} unreachable; no backend was "
+                "reconfigured — cluster keeps the current spec"
             )
+        summary = self._broadcast(dict(request))
+        for backend_id in summary["failed"]:
+            self._fence(backend_id)
         self.spec = spec
         with self._lock:
             self._series.clear()
         return ok_response(
-            configured=True, algorithm_name=spec.algorithm_name, **summary
+            configured=True,
+            algorithm_name=spec.algorithm_name,
+            fenced=summary["failed"],
+            **summary,
         )

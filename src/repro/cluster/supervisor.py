@@ -20,6 +20,7 @@ flight — the majority still comes from the old owners.
 from __future__ import annotations
 
 import queue
+import shutil
 import tempfile
 import threading
 import time
@@ -170,9 +171,12 @@ class FusionCluster:
         """Start one backend, attach it to the gateway and the ring."""
         backend_id = f"b{self._next_backend}"
         self._next_backend += 1
+        # The gateway's spec is authoritative once running: a backend
+        # spawned after a `configure` must host the current scheme.
+        spec = self.gateway.spec if self.gateway is not None else self.spec
         backend = ManagedBackend(
             backend_id,
-            self.spec,
+            spec,
             history_dir=self.history_root / backend_id,
             host=self.host,
             mode=self.mode,
@@ -227,17 +231,20 @@ class FusionCluster:
             return
         self._obs.rebalances.inc()
         for series, (old_set, new_set) in moved.items():
-            records = self._read_history(series, old_set)
-            if not records:
+            snapshot = self._read_history(series, old_set)
+            if not snapshot:
                 continue
             for target in new_set:
                 if target in old_set:
                     continue
-                self._sync_history(target, series, records)
+                self._sync_history(target, series, snapshot)
             self._obs.rebalanced_series.inc()
 
-    def _read_history(self, series: str, owners: List[str]) -> Dict[str, float]:
-        """The series' history records, from the first owner that answers."""
+    def _read_history(
+        self, series: str, owners: List[str]
+    ) -> Optional[Dict[str, object]]:
+        """The series' full history response (records, update counter,
+        voted watermark) from the first owner that answers with data."""
         for backend_id in owners:
             with self._lock:
                 backend = self._backends.get(backend_id)
@@ -245,23 +252,35 @@ class FusionCluster:
                 continue
             try:
                 with VoterClient(*backend.address, retries=1) as client:
-                    return client.history(series=series)
+                    response = client.request(
+                        {"op": "history", "series": series}
+                    )
             except (OSError, ReproError):
                 continue  # unknown series here, or the owner just died
-        return {}
+            if response.get("records"):
+                return response
+        return None
 
     def _sync_history(
-        self, backend_id: str, series: str, records: Dict[str, float]
+        self, backend_id: str, series: str, snapshot: Dict[str, object]
     ) -> None:
         with self._lock:
             backend = self._backends.get(backend_id)
         if backend is None:
             return
+        message: Dict[str, object] = {
+            "op": "sync_history",
+            "series": series,
+            "records": snapshot["records"],
+        }
+        # Version the seed so a stale snapshot cannot rewind the target.
+        if snapshot.get("updates") is not None:
+            message["updates"] = int(snapshot["updates"])  # type: ignore[arg-type]
+        if snapshot.get("watermark") is not None:
+            message["watermark"] = int(snapshot["watermark"])  # type: ignore[arg-type]
         try:
             with VoterClient(*backend.address, retries=1) as client:
-                client.request(
-                    {"op": "sync_history", "series": series, "records": records}
-                )
+                client.request(message)
         except (OSError, ReproError):
             pass  # the monitor will restart it; history reloads from disk
 
@@ -275,6 +294,9 @@ class FusionCluster:
                     suspects.add(self._failures.get_nowait())
                 except queue.Empty:
                     break
+            gateway = self.gateway
+            fenced = gateway.fenced_backends() if gateway is not None else ()
+            suspects.update(fenced)
             with self._lock:
                 backends = dict(self._backends)
             for backend_id, backend in backends.items():
@@ -284,29 +306,60 @@ class FusionCluster:
                 backend = backends.get(backend_id)
                 if backend is None:
                     continue
-                if backend.is_alive() and backend.ping():
+                if (
+                    backend_id not in fenced
+                    and backend.is_alive()
+                    and backend.ping()
+                ):
                     continue  # transient: the link's retries handled it
                 self._failover(backend_id, backend)
 
     def _failover(self, backend_id: str, backend: ManagedBackend) -> None:
-        """Restart a dead backend and re-point the gateway at it."""
+        """Restart a dead (or fenced) backend, catch it up, re-enable it.
+
+        The restart sequence is divergence-safe: the backend is marked
+        *stale* before the gateway is re-pointed at it, so it serves no
+        reads and wins no majority ties until
+        :meth:`ClusterGateway.resync_backend` has seeded it with the
+        history (records + update counter + voted watermark) of a fresh
+        surviving replica — covering every round voted during the
+        outage.
+        """
         started = time.monotonic()
+        gateway = self.gateway
+        if gateway is not None and backend.spec is not gateway.spec:
+            # The cluster was reconfigured while this backend was out
+            # (fenced partial `configure`): its on-disk state belongs to
+            # the old scheme and must not leak into the new one.
+            backend.spec = gateway.spec
+            if backend.history_dir is not None:
+                shutil.rmtree(backend.history_dir, ignore_errors=True)
+        if gateway is not None:
+            gateway.mark_stale(backend_id)
         try:
             address = backend.restart()
         except ReproError:
+            if gateway is not None:
+                gateway.clear_stale(backend_id)
             return  # spawn failed; the next sweep tries again
-        gateway = self.gateway
         if gateway is not None:
             try:
                 gateway.update_backend(backend_id, address)
             except ReproError:
+                gateway.clear_stale(backend_id)
                 return  # detached while restarting (remove_backend race)
-        # Count failover as detect -> replacement answering a ping.
+        # Wait for the replacement to answer before seeding it.
         deadline = time.monotonic() + 10.0
         while time.monotonic() < deadline:
             if backend.ping():
                 break
             time.sleep(0.02)
+        if gateway is not None:
+            try:
+                gateway.resync_backend(backend_id)
+            except ReproError:
+                gateway.clear_stale(backend_id)  # detached mid-resync
+        # Failover = detect -> replacement caught up and serving again.
         self._obs.failover_seconds.observe(time.monotonic() - started)
 
     # -- convenience ----------------------------------------------------------

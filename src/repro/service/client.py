@@ -5,10 +5,14 @@ transport failures (``retries=``/``backoff=``): a dropped connection
 mid-request is retried for *idempotent* operations only, reusing the
 cluster layer's :class:`~repro.cluster.retry.RetryPolicy` backoff
 schedule.  Mutating operations without replay protection (``submit``,
-``close_round``, ``configure``) are never retried — against a plain
-:class:`~repro.service.server.VoterServer` a replayed ``vote`` answers
-``already voted``, while cluster shard backends cache and replay the
-original result.
+``close_round``, ``configure``) are never retried.  ``vote`` and
+``vote_batch`` sit in between: cluster shard backends and gateways
+cache and replay the original result, so the client replays them only
+after a ``hello`` handshake in which the peer advertised
+``replays_votes`` — against a plain strict
+:class:`~repro.service.server.VoterServer` a replayed ``vote`` would
+answer ``already voted``, converting a succeeded write into a spurious
+error.
 """
 
 from __future__ import annotations
@@ -33,9 +37,9 @@ class ServiceError(ReproError):
     """The service answered a request with ``ok: false``."""
 
 
-#: Operations safe to replay after a transport failure: reads, plus
-#: ``vote`` (whole-round writes are deduplicated server-side by round
-#: number) and the cluster read/handshake operations.
+#: Operations safe to replay after a transport failure against *any*
+#: server: reads, the handshake, and ``sync_history`` (an overwrite-
+#: style seed — re-applying the same snapshot is a no-op).
 IDEMPOTENT_OPS = frozenset(
     {
         "ping",
@@ -44,12 +48,16 @@ IDEMPOTENT_OPS = frozenset(
         "stats",
         "metrics",
         "history",
-        "vote",
-        "vote_batch",
         "route",
         "cluster_stats",
+        "sync_history",
     }
 )
+
+#: Whole-round writes that are deduplicated server-side by round number
+#: — but only by servers with a replay cache.  Replayed only when the
+#: peer advertised ``replays_votes`` in the ``hello`` handshake.
+REPLAY_CACHED_OPS = frozenset({"vote", "vote_batch"})
 
 
 class VoterClient:
@@ -88,6 +96,7 @@ class VoterClient:
         )
         self._sock: Optional[socket.socket] = None
         self._buffer = b""
+        self._peer_replays_votes = False
 
     # -- lifecycle --------------------------------------------------------
 
@@ -142,7 +151,11 @@ class VoterClient:
             ProtocolError: on wire-level problems.
         """
         attempt = 0
-        replayable = self.retries > 0 and message.get("op") in IDEMPOTENT_OPS
+        op = message.get("op")
+        replayable = self.retries > 0 and (
+            op in IDEMPOTENT_OPS
+            or (op in REPLAY_CACHED_OPS and self._peer_replays_votes)
+        )
         while True:
             try:
                 response = self._exchange(message)
@@ -172,8 +185,15 @@ class VoterClient:
         return bool(self.request({"op": "ping"}).get("pong"))
 
     def hello(self, version: int = PROTOCOL_VERSION) -> int:
-        """Version handshake; returns the server's protocol version."""
-        return int(self.request({"op": "hello", "version": version})["version"])
+        """Version handshake; returns the server's protocol version.
+
+        Also learns the peer's capabilities: a server advertising
+        ``replays_votes`` unlocks transparent replay of ``vote`` /
+        ``vote_batch`` after a transport failure (with ``retries>0``).
+        """
+        response = self.request({"op": "hello", "version": version})
+        self._peer_replays_votes = bool(response.get("replays_votes", False))
+        return int(response["version"])
 
     def spec(self) -> Dict[str, Any]:
         return self.request({"op": "spec"})["spec"]

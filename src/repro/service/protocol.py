@@ -24,7 +24,8 @@ Operations:
 ``reset``             reset voter history and engine state
 ``hello``             version handshake: ``{"op": "hello", "version": 2}``;
                       a mismatched peer gets a clear error instead of a
-                      decode failure deeper in the exchange
+                      decode failure deeper in the exchange.  The reply
+                      advertises capabilities (``replays_votes``)
 ``vote_batch``        vote many rounds across many series in one
                       round-trip (the cluster micro-batching hot path):
                       ``{"op": "vote_batch", "batches": [{"series": "s",
@@ -34,7 +35,10 @@ Operations:
 ``cluster_stats``     (gateway) ring membership, backend liveness and
                       per-shard counters
 ``sync_history``      (shard backend) install history records for one
-                      series — the rebalance handoff write
+                      series — the rebalance/failover seeding write;
+                      optional ``updates`` (history update counter) and
+                      ``watermark`` (highest voted round) version the
+                      seed so a stale snapshot cannot rewind a shard
 ====================  =====================================================
 
 Sharded servers accept an optional ``series`` string on ``vote``,
@@ -236,6 +240,14 @@ def validate_request(message: Dict[str, Any]) -> str:
             _check_value(value, f"record for module {module!r}")
             if value is None:
                 raise ProtocolError(f"record for module {module!r} must be numeric")
+        for field in ("updates", "watermark"):
+            value = message.get(field)
+            if value is not None and (
+                not isinstance(value, int) or isinstance(value, bool)
+            ):
+                raise ProtocolError(
+                    f"sync_history {field!r} must be an integer when present"
+                )
     return op
 
 

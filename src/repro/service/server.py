@@ -152,6 +152,12 @@ class VoterServer:
     Use as a context manager, or call :meth:`start` / :meth:`stop`.
     """
 
+    #: Advertised in the ``hello`` handshake: does this server answer a
+    #: re-sent ``vote`` with the original result (replay cache) instead
+    #: of an ``already voted`` error?  The plain single-engine server is
+    #: strict; shard/cluster servers override this.
+    _replays_votes = False
+
     def __init__(
         self,
         spec: VotingSpec,
@@ -260,7 +266,11 @@ class VoterServer:
                 f"protocol version mismatch: peer speaks {version}, "
                 f"this server speaks {PROTOCOL_VERSION}"
             )
-        return ok_response(version=PROTOCOL_VERSION, server=type(self).__name__)
+        return ok_response(
+            version=PROTOCOL_VERSION,
+            server=type(self).__name__,
+            replays_votes=self._replays_votes,
+        )
 
     def _op_spec(self, request) -> Dict[str, Any]:
         return ok_response(spec=self.spec.to_dict())

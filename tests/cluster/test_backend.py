@@ -161,12 +161,112 @@ class TestVoteBatch:
         assert got == want
 
 
+class TestReplayCacheBounds:
+    def test_cache_is_bounded_per_series(self, tmp_path):
+        server = ShardServer(AVOC_SPEC, history_dir=tmp_path,
+                             replay_cache_rounds=5)
+        server.start()
+        try:
+            with VoterClient(*server.address) as c:
+                rows = rows_for(20)
+                c.vote_batch([{"series": "s", "rounds": list(range(20)),
+                               "modules": MODULES, "rows": rows}])
+                assert len(server._series_voted["s"]) == 5
+                # Recent rounds still replay from the cache...
+                replay = c.vote(19, dict(zip(MODULES, rows[19])), series="s")
+                assert replay["round"] == 19
+                # ...but an evicted round is refused, never re-applied.
+                with pytest.raises(ServiceError, match="already voted"):
+                    c.vote(0, dict(zip(MODULES, rows[0])), series="s")
+                assert c.stats(series="s")["rounds_processed"] == 20
+        finally:
+            server.stop()
+
+    def test_watermark_survives_a_restart(self, tmp_path):
+        rows = rows_for(10)
+        server = ShardServer(AVOC_SPEC, history_dir=tmp_path)
+        server.start()
+        with VoterClient(*server.address) as c:
+            c.vote_batch([{"series": "s", "rounds": list(range(10)),
+                           "modules": MODULES, "rows": rows}])
+        server.stop()
+        reborn = ShardServer(AVOC_SPEC, history_dir=tmp_path)
+        reborn.start()
+        try:
+            with VoterClient(*reborn.address) as c:
+                # The replay cache died with the process, but the voted
+                # watermark did not: a retried old round is refused
+                # instead of silently mutating history a second time.
+                with pytest.raises(ServiceError, match="already voted"):
+                    c.vote(9, dict(zip(MODULES, rows[9])), series="s")
+                assert c.stats(series="s")["rounds_processed"] == 0
+                # Fresh rounds keep flowing.
+                fresh = c.vote(10, dict(zip(MODULES, rows[0])), series="s")
+                assert fresh["round"] == 10
+        finally:
+            reborn.stop()
+
+    def test_batch_with_crash_lost_round_rejected_before_apply(self, tmp_path):
+        rows = rows_for(6)
+        server = ShardServer(AVOC_SPEC, history_dir=tmp_path)
+        server.start()
+        with VoterClient(*server.address) as c:
+            c.vote_batch([{"series": "s", "rounds": [0, 1, 2],
+                           "modules": MODULES, "rows": rows[:3]}])
+        server.stop()
+        reborn = ShardServer(AVOC_SPEC, history_dir=tmp_path)
+        reborn.start()
+        try:
+            with VoterClient(*reborn.address) as c:
+                with pytest.raises(ServiceError, match="already voted"):
+                    c.vote_batch([{"series": "s", "rounds": [2, 3, 4],
+                                   "modules": MODULES, "rows": rows[2:5]}])
+                # Screened in the validation pass: nothing was applied.
+                assert c.stats(series="s")["rounds_processed"] == 0
+        finally:
+            reborn.stop()
+
+    def test_reset_clears_the_watermark(self, client):
+        values = dict(zip(MODULES, [18.0, 18.1, 17.9]))
+        client.vote(0, values, series="s")
+        client.reset(series="s")
+        assert client.vote(0, values, series="s")["round"] == 0
+
+
 class TestSyncHistory:
     def test_seed_records_without_counting_updates(self, client):
         records = {"E1": 0.9, "E2": 0.4, "E3": 0.7}
         client.request({"op": "sync_history", "series": "s",
                         "records": records})
         assert client.history(series="s") == pytest.approx(records)
+
+    def test_versioned_seed_adopts_records_and_update_counter(self, client):
+        records = {"E1": 0.9, "E2": 0.4, "E3": 0.7}
+        client.request({"op": "sync_history", "series": "s",
+                        "records": records, "updates": 12, "watermark": 41})
+        response = client.request({"op": "history", "series": "s"})
+        assert response["records"] == pytest.approx(records)
+        assert response["updates"] == 12
+        assert response["watermark"] == 41
+        # The watermark guards the vote path too.
+        with pytest.raises(ServiceError, match="already voted"):
+            client.vote(41, dict(zip(MODULES, [18.0, 18.1, 17.9])),
+                        series="s")
+        assert client.vote(
+            42, dict(zip(MODULES, [18.0, 18.1, 17.9])), series="s"
+        )["round"] == 42
+
+    def test_stale_seed_is_ignored(self, client):
+        fresh = {"E1": 0.9, "E2": 0.4, "E3": 0.7}
+        client.request({"op": "sync_history", "series": "s",
+                        "records": fresh, "updates": 12, "watermark": 41})
+        stale = {"E1": 0.1, "E2": 0.1, "E3": 0.1}
+        response = client.request(
+            {"op": "sync_history", "series": "s", "records": stale,
+             "updates": 3, "watermark": 7}
+        )
+        assert response.get("ignored") is True
+        assert client.history(series="s") == pytest.approx(fresh)
 
 
 class TestHistoryPersistence:

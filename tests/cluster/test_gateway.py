@@ -12,7 +12,7 @@ import pytest
 from repro.cluster.supervisor import FusionCluster
 from repro.service.client import ServiceError, VoterClient
 from repro.service.protocol import PROTOCOL_VERSION
-from repro.vdx.examples import AVOC_SPEC
+from repro.vdx.examples import AVOC_SPEC, STANDARD_SPEC
 from repro.vdx.factory import build_engine
 
 MODULES = ["E1", "E2", "E3"]
@@ -45,6 +45,10 @@ class TestHandshake:
     def test_version_mismatch_rejected_with_clear_error(self, client):
         with pytest.raises(ServiceError, match="protocol version mismatch"):
             client.hello(version=PROTOCOL_VERSION + 1)
+
+    def test_gateway_advertises_vote_replay(self, client):
+        response = client.request({"op": "hello", "version": PROTOCOL_VERSION})
+        assert response["replays_votes"] is True
 
 
 class TestRoutedVoting:
@@ -154,6 +158,81 @@ class TestReadsAndStats:
         assert client.cluster_stats()["series_routed"] == 0
         with pytest.raises(ServiceError, match="unknown series"):
             client.stats(series="wipe")
+
+
+class TestConfigureTwoPhase:
+    def test_configure_aborts_before_touching_any_backend(self):
+        with FusionCluster(
+            AVOC_SPEC, n_shards=3, replicas=2, mode="thread",
+            auto_restart=False,
+        ) as cluster:
+            with cluster.client() as client:
+                client.vote(
+                    0, dict(zip(MODULES, [18.0, 18.1, 17.9])), series="cfg"
+                )
+                cluster.backends["b1"].kill()
+                with pytest.raises(ServiceError, match="configure aborted"):
+                    client.configure(STANDARD_SPEC.to_dict())
+                # The probe phase failed, so no survivor was reconfigured:
+                # the cluster is still uniformly on the old spec, state
+                # intact.
+                assert (
+                    client.spec()["algorithm_name"]
+                    == AVOC_SPEC.algorithm_name
+                )
+                for backend_id, backend in cluster.backends.items():
+                    if backend_id == "b1":
+                        continue
+                    with VoterClient(*backend.address) as direct:
+                        assert (
+                            direct.spec()["algorithm_name"]
+                            == AVOC_SPEC.algorithm_name
+                        )
+
+    def test_fenced_backend_is_excluded_from_routing(self):
+        with FusionCluster(
+            AVOC_SPEC, n_shards=3, replicas=2, mode="thread",
+            auto_restart=False,
+        ) as cluster:
+            with cluster.client() as client:
+                series = "fenced"
+                victim = client.route(series)["replicas"][0]
+                cluster.gateway._fence(victim)
+                stats = client.cluster_stats()
+                assert stats["backends"][victim]["fenced"] is True
+                result = client.vote(
+                    0, dict(zip(MODULES, [18.0, 18.1, 17.9])), series=series
+                )
+                assert result["round"] == 0
+                # The fenced primary never saw the round.
+                with VoterClient(*cluster.backends[victim].address) as direct:
+                    with pytest.raises(ServiceError, match="unknown series"):
+                        direct.stats(series=series)
+
+    def test_stale_backend_is_skipped_until_resynced(self):
+        with FusionCluster(
+            AVOC_SPEC, n_shards=3, replicas=2, mode="thread",
+            auto_restart=False,
+        ) as cluster:
+            with cluster.client() as client:
+                series = "stale"
+                victim = client.route(series)["replicas"][0]
+                cluster.gateway.mark_stale(victim)
+                assert client.cluster_stats()["backends"][victim]["stale"]
+                client.vote(
+                    0, dict(zip(MODULES, [18.0, 18.1, 17.9])), series=series
+                )
+                with VoterClient(*cluster.backends[victim].address) as direct:
+                    with pytest.raises(ServiceError, match="unknown series"):
+                        direct.stats(series=series)
+                # resync seeds the victim from the survivor and re-enables.
+                summary = cluster.gateway.resync_backend(victim)
+                assert summary["synced"] == 1
+                with VoterClient(*cluster.backends[victim].address) as direct:
+                    survivor_records = client.history(series=series)
+                    assert direct.history(series=series) == pytest.approx(
+                        survivor_records
+                    )
 
 
 class TestGatewayFailover:

@@ -13,7 +13,7 @@ from repro.cluster.supervisor import FusionCluster
 from repro.exceptions import ReproError
 from repro.runtime.pool import fork_available
 from repro.service.client import VoterClient
-from repro.vdx.examples import AVOC_SPEC
+from repro.vdx.examples import AVOC_SPEC, STANDARD_SPEC
 from repro.vdx.factory import build_engine
 
 MODULES = ["E1", "E2", "E3"]
@@ -150,6 +150,66 @@ class TestRebalance:
         ) as cluster:
             with pytest.raises(ReproError, match="last backend"):
                 cluster.remove_backend("b0")
+
+
+class TestFailoverCatchUp:
+    """A restarted replica must be caught up before it serves again.
+
+    Uses the Standard scheme (history-weighted mean): its fused value
+    depends directly on the per-module records, so a replica that
+    missed record updates during an outage would visibly diverge —
+    unlike AVOC, whose records saturate at 1.0 on agreeing data and
+    masked exactly this bug.
+    """
+
+    def test_restarted_primary_is_resynced_not_stale(self):
+        n_rounds = 60
+        rng = np.random.default_rng(77)
+        matrix = 18.0 + 0.05 * rng.standard_normal((n_rounds, len(MODULES)))
+        # E3 disagrees for the whole outage window: the survivors keep
+        # penalising its record while the victim is down.
+        matrix[20:40, 2] = 21.0
+        reference = build_engine(STANDARD_SPEC)
+        expected = reference.process_batch(matrix, MODULES).values
+
+        def check(client, i):
+            result = client.vote(
+                i, dict(zip(MODULES, matrix[i].tolist())), series="gh"
+            )
+            want = expected[i]
+            want = None if np.isnan(want) else float(want)
+            assert result["value"] == want, f"round {i} diverged"
+
+        # auto_restart off: the outage window is deterministic, and the
+        # supervisor's failover path is driven explicitly below.
+        with FusionCluster(
+            STANDARD_SPEC, n_shards=2, replicas=2, mode="thread",
+            auto_restart=False,
+        ) as cluster:
+            with cluster.client() as client:
+                victim = client.route("gh")["replicas"][0]  # the primary
+                for i in range(20):
+                    check(client, i)
+                cluster.backends[victim].kill()
+                for i in range(20, 40):
+                    check(client, i)  # the survivor carries the majority
+                # The supervisor's failover: restart, re-point, resync.
+                cluster._failover(victim, cluster.backends[victim])
+                assert cluster.backends[victim].restarts == 1
+                stats = client.cluster_stats()["backends"][victim]
+                assert stats["alive"] and not stats["stale"]
+                # The restarted primary answers again — and wins 1-1
+                # majority ties — so any missed catch-up shows up here.
+                for i in range(40, n_rounds):
+                    check(client, i)
+                ref_records = reference.voter.history.snapshot()
+                assert ref_records["E3"] < 1.0, (
+                    "records never drifted; the scenario lost its teeth"
+                )
+                # Bit-identical records: the catch-up seeded the exact
+                # survivor snapshot, not a re-derived approximation.
+                with VoterClient(*cluster.backends[victim].address) as direct:
+                    assert direct.history(series="gh") == ref_records
 
 
 @pytest.mark.skipif(not fork_available(), reason="needs the fork start method")

@@ -11,8 +11,9 @@ import threading
 
 import pytest
 
+from repro.cluster.backend import ShardServer
 from repro.cluster.retry import RetryPolicy
-from repro.service.client import IDEMPOTENT_OPS, VoterClient
+from repro.service.client import IDEMPOTENT_OPS, REPLAY_CACHED_OPS, VoterClient
 from repro.service.protocol import ConnectionClosedError
 from repro.service.server import VoterServer, _Handler, _ThreadingServer
 from repro.vdx.examples import AVOC_SPEC
@@ -31,11 +32,7 @@ class _DropHandler(_Handler):
         super().handle()
 
 
-@pytest.fixture()
-def droppy():
-    """(address, server) for a voter service that drops the first
-    ``server.drops_remaining`` connections after reading the request."""
-    service = VoterServer(AVOC_SPEC)
+def _droppy_front(service):
     front = _ThreadingServer(("127.0.0.1", 0), _DropHandler)
     front.service = service
     front.drops_remaining = 0
@@ -43,6 +40,30 @@ def droppy():
         target=front.serve_forever, kwargs={"poll_interval": 0.05}, daemon=True
     )
     thread.start()
+    return front, thread
+
+
+@pytest.fixture()
+def droppy():
+    """A front for a plain (strict, non-replaying) voter service that
+    drops the first ``drops_remaining`` connections after reading the
+    request."""
+    service = VoterServer(AVOC_SPEC)
+    front, thread = _droppy_front(service)
+    try:
+        yield front
+    finally:
+        front.shutdown()
+        front.server_close()
+        thread.join(timeout=5.0)
+        service.stop()
+
+
+@pytest.fixture()
+def droppy_shard():
+    """Same drop-prone front, but over a replay-caching shard server."""
+    service = ShardServer(AVOC_SPEC)
+    front, thread = _droppy_front(service)
     try:
         yield front
     finally:
@@ -70,11 +91,38 @@ class TestReplay:
             assert client.ping()
         assert droppy.drops_remaining == 0
 
-    def test_vote_replayed_transparently(self, droppy):
-        droppy.drops_remaining = 1
-        with make_client(droppy, retries=2) as client:
-            result = client.vote(0, dict(zip(MODULES, [18.0, 18.1, 17.9])))
+    def test_vote_replayed_against_replay_caching_peer(self, droppy_shard):
+        # The shard advertises ``replays_votes`` in the hello handshake,
+        # which unlocks transparent vote replay.
+        with make_client(droppy_shard, retries=2) as client:
+            client.hello()
+            droppy_shard.drops_remaining = 1
+            client.close()  # the next request opens a droppable connection
+            result = client.vote(
+                0, dict(zip(MODULES, [18.0, 18.1, 17.9])), series="s"
+            )
             assert result["round"] == 0
+        assert droppy_shard.drops_remaining == 0  # the drop really happened
+
+    def test_vote_not_replayed_against_strict_server(self, droppy):
+        # A plain VoterServer has no replay cache: a replayed vote would
+        # answer "already voted", so the client must fail fast instead.
+        with make_client(droppy, retries=2) as client:
+            client.hello()
+            droppy.drops_remaining = 1
+            client.close()  # the next request opens a droppable connection
+            with pytest.raises(ConnectionClosedError):
+                client.vote(0, dict(zip(MODULES, [18.0, 18.1, 17.9])))
+        assert droppy.drops_remaining == 0  # consumed once, no replay
+
+    def test_vote_not_replayed_without_handshake(self, droppy_shard):
+        # Without a hello the peer's capabilities are unknown: stay safe.
+        droppy_shard.drops_remaining = 1
+        with make_client(droppy_shard, retries=2) as client:
+            with pytest.raises(ConnectionClosedError):
+                client.vote(
+                    0, dict(zip(MODULES, [18.0, 18.1, 17.9])), series="s"
+                )
 
     def test_retries_exhausted_raises_transport_error(self, droppy):
         droppy.drops_remaining = 5
@@ -90,11 +138,13 @@ class TestReplay:
         # The drop was consumed exactly once: no replay happened.
         assert droppy.drops_remaining == 0
 
-    def test_submit_not_in_idempotent_set(self):
+    def test_replay_set_membership(self):
         assert "submit" not in IDEMPOTENT_OPS
         assert "close_round" not in IDEMPOTENT_OPS
         assert "configure" not in IDEMPOTENT_OPS
-        assert "vote" in IDEMPOTENT_OPS  # deduplicated server-side
+        # Votes replay only against peers that advertise a replay cache.
+        assert "vote" not in IDEMPOTENT_OPS
+        assert REPLAY_CACHED_OPS == {"vote", "vote_batch"}
 
     def test_backoff_schedule_is_respected(self, droppy, monkeypatch):
         delays = []
