@@ -34,6 +34,7 @@ __all__ = [
     "REGRESSION_TOLERANCE",
     "compare_cluster",
     "compare_dirs",
+    "compare_ingest",
     "compare_latency",
     "compare_parallel",
     "main",
@@ -45,6 +46,7 @@ REGRESSION_TOLERANCE = 0.30
 LATENCY_FILE = "BENCH_latency.json"
 PARALLEL_FILE = "BENCH_parallel.json"
 CLUSTER_FILE = "BENCH_cluster.json"
+INGEST_FILE = "BENCH_ingest.json"
 
 
 def _check_speedup(
@@ -179,6 +181,79 @@ def compare_cluster(
     return failures
 
 
+def compare_ingest(
+    committed: Dict[str, Any], fresh: Dict[str, Any]
+) -> List[str]:
+    """Gate ``BENCH_ingest.json``: v3 round-trip ratio + fan-in identity.
+
+    The ``roundtrip`` ratio is *lower-is-better* (v3 wall-clock over
+    v2-JSON), so the rules from :func:`_check_speedup` flip: the fresh
+    ratio must stay at or under the recorded ``ceiling`` and must not
+    climb more than :data:`REGRESSION_TOLERANCE` above the committed
+    number.  Single-CPU runners record ``"enforced": false`` and are
+    reported without failing, mirroring the cluster throughput gate.
+    Fan-in bit-identity is always enforced.
+    """
+    failures: List[str] = []
+    roundtrip = committed.get("roundtrip")
+    if isinstance(roundtrip, dict):
+        fresh_roundtrip = fresh.get("roundtrip")
+        if not isinstance(fresh_roundtrip, dict):
+            failures.append("ingest/roundtrip: missing from fresh baseline")
+        else:
+            ratio = fresh_roundtrip.get("ratio_v3_over_v2")
+            enforced = bool(fresh_roundtrip.get("enforced", True))
+            prefix = "" if enforced else "[not enforced] "
+            if ratio is None:
+                failures.append(
+                    "ingest/roundtrip: fresh baseline has no ratio"
+                )
+            else:
+                ceiling = fresh_roundtrip.get("ceiling")
+                if ceiling is not None and ratio > ceiling:
+                    message = (
+                        f"{prefix}ingest/roundtrip: fresh v3/v2 ratio "
+                        f"{ratio:.2f} is above the {ceiling:.2f} ceiling"
+                    )
+                    if enforced:
+                        failures.append(message)
+                    else:
+                        print(message)
+                old = roundtrip.get("ratio_v3_over_v2")
+                if old is not None:
+                    allowed = old * (1.0 + REGRESSION_TOLERANCE)
+                    if ratio > allowed:
+                        message = (
+                            f"{prefix}ingest/roundtrip: fresh v3/v2 ratio "
+                            f"{ratio:.2f} regressed "
+                            f">{REGRESSION_TOLERANCE:.0%} vs committed "
+                            f"{old:.2f} (allowed <= {allowed:.2f})"
+                        )
+                        if enforced:
+                            failures.append(message)
+                        else:
+                            print(message)
+    if isinstance(committed.get("fan_in"), dict):
+        fresh_fan_in = fresh.get("fan_in")
+        if not isinstance(fresh_fan_in, dict):
+            failures.append("ingest/fan_in: missing from fresh baseline")
+        else:
+            if fresh_fan_in.get("answered") != fresh_fan_in.get(
+                "total_rounds"
+            ):
+                failures.append(
+                    "ingest/fan_in: rounds were lost "
+                    f"({fresh_fan_in.get('answered')} of "
+                    f"{fresh_fan_in.get('total_rounds')} answered)"
+                )
+            if fresh_fan_in.get("bit_identical") is not True:
+                failures.append(
+                    "ingest/fan_in: outputs diverged from the direct "
+                    "fuse() reference"
+                )
+    return failures
+
+
 def _load(path: Path) -> Optional[Dict[str, Any]]:
     if not path.is_file():
         return None
@@ -194,6 +269,7 @@ def compare_dirs(committed_dir: Path, fresh_dir: Path) -> List[str]:
         (LATENCY_FILE, compare_latency),
         (PARALLEL_FILE, compare_parallel),
         (CLUSTER_FILE, compare_cluster),
+        (INGEST_FILE, compare_ingest),
     ):
         committed = _load(committed_dir / filename)
         if committed is None:

@@ -1,0 +1,220 @@
+"""Ingest-tier perf baseline.
+
+Two recorded numbers, written to ``BENCH_ingest.json``:
+
+* **roundtrip** — vote round-trip latency of the same ``vote_batch``
+  workload against one shard server, v2-JSON framing vs v3-binary
+  framing on the same connection pattern.  Ceiling: v3 <= 0.7x the
+  v2 wall-clock — enforced only on hosts with at least 4 CPUs
+  (single-core containers record honest numbers with
+  ``enforced: false``, mirroring ``BENCH_cluster.json``).
+* **fan_in** — concurrent sensor connections pushing single votes
+  through the async ingest tier into a 2-shard cluster; records
+  connection count, aggregate rounds/second, and whether every fused
+  value is bit-identical to a direct in-process
+  :func:`repro.fuse` run.  Bit-identity is always enforced.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import fuse
+from repro.cluster.backend import ShardServer
+from repro.cluster.supervisor import FusionCluster
+from repro.ingest import AsyncIngestServer
+from repro.runtime.pool import fork_available
+from repro.service.client import VoterClient
+from repro.service.facade import connect
+from repro.vdx.examples import AVOC_SPEC
+
+_OUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_ingest.json"
+
+ROUNDTRIP_CEILING = 0.7
+
+MODULES = ["E1", "E2", "E3", "E4", "E5"]
+N_SERIES = 16
+ROUNDS_PER_SERIES = 300
+CHUNK = 100
+
+FAN_IN_CONNECTIONS = 16
+FAN_IN_ROUNDS = 150
+
+
+def _merge_report(key, payload):
+    report = {}
+    if _OUT.exists():
+        report = json.loads(_OUT.read_text())
+    report["cpu_count"] = os.cpu_count()
+    report[key] = payload
+    _OUT.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+
+def _workload(seed=23):
+    rng = np.random.default_rng(seed)
+    return {
+        f"series-{k}": (
+            18.0 + 0.1 * rng.standard_normal((ROUNDS_PER_SERIES, len(MODULES)))
+        ).tolist()
+        for k in range(N_SERIES)
+    }
+
+
+def _drive(client, workload, offset):
+    """Push the workload through one connection in vote_batch chunks."""
+    start = time.perf_counter()
+    for lo in range(0, ROUNDS_PER_SERIES, CHUNK):
+        rounds = [offset + n for n in range(lo, lo + CHUNK)]
+        batches = [
+            {"series": series, "rounds": rounds, "modules": MODULES,
+             "rows": rows[lo:lo + CHUNK]}
+            for series, rows in workload.items()
+        ]
+        results = client.vote_batch(batches)
+        assert len(results) == N_SERIES
+    return time.perf_counter() - start
+
+
+def test_roundtrip_v3_vs_v2(benchmark, capsys):
+    """The same vote_batch workload over JSON lines vs binary frames."""
+    workload = _workload()
+    server = ShardServer(AVOC_SPEC)
+    server.start()
+    try:
+        host, port = server.address
+
+        def run(transport, offset):
+            with VoterClient(host, port) as client:
+                client.negotiate(transport)
+                return _drive(client, workload, offset)
+
+        def measure():
+            # Interleave a warmup pass per framing so both hit warm
+            # engines, then time each with distinct round offsets
+            # (shards deduplicate rounds; reuse would measure the
+            # replay cache, not the wire).
+            run("json", 0)
+            run("binary", 10_000)
+            json_s = run("json", 20_000)
+            binary_s = run("binary", 30_000)
+            return json_s, binary_s
+
+        json_s, binary_s = benchmark.pedantic(measure, iterations=1, rounds=1)
+    finally:
+        server.stop()
+    ratio = binary_s / json_s
+    enforced = (os.cpu_count() or 1) >= 4
+    total_rounds = N_SERIES * ROUNDS_PER_SERIES
+    _merge_report(
+        "roundtrip",
+        {
+            "series": N_SERIES,
+            "rounds_per_series": ROUNDS_PER_SERIES,
+            "total_rounds": total_rounds,
+            "v2_json_seconds": round(json_s, 3),
+            "v3_binary_seconds": round(binary_s, 3),
+            "rounds_per_second_v3": round(total_rounds / binary_s),
+            "ratio_v3_over_v2": round(ratio, 2),
+            "ceiling": ROUNDTRIP_CEILING,
+            "enforced": enforced,
+        },
+    )
+    mode = (
+        "enforced" if enforced else f"recorded only: {os.cpu_count()} CPU(s)"
+    )
+    with capsys.disabled():
+        print(
+            f"\ningest roundtrip: v2-JSON {json_s:.2f}s, v3-binary "
+            f"{binary_s:.2f}s, ratio {ratio:.2f} "
+            f"(ceiling {ROUNDTRIP_CEILING}, {mode})"
+        )
+    if enforced:
+        assert ratio <= ROUNDTRIP_CEILING, (
+            f"v3 round-trip ratio {ratio:.2f} above the "
+            f"{ROUNDTRIP_CEILING} ceiling"
+        )
+
+
+def test_fan_in_through_cluster(benchmark, capsys):
+    """Concurrent connections through the async tier into a cluster."""
+    if not fork_available():
+        pytest.skip("needs the fork start method")
+    rng = np.random.default_rng(31)
+    matrices = {
+        f"sensor-{k}": 18.0 + 0.1 * rng.standard_normal(
+            (FAN_IN_ROUNDS, len(MODULES))
+        )
+        for k in range(FAN_IN_CONNECTIONS)
+    }
+    expected = {
+        series: fuse(matrix, AVOC_SPEC, modules=MODULES).values
+        for series, matrix in matrices.items()
+    }
+
+    def measure():
+        mismatches = []
+        answered = [0]
+        with FusionCluster(
+            AVOC_SPEC, n_shards=2, replicas=2, mode="process",
+            auto_restart=False,
+        ) as cluster:
+            with AsyncIngestServer(cluster.gateway) as ingest:
+                def run(series, matrix):
+                    with connect(ingest.address) as client:
+                        for n in range(FAN_IN_ROUNDS):
+                            result = client.vote(
+                                n,
+                                dict(zip(MODULES, matrix[n].tolist())),
+                                series=series,
+                            )
+                            answered[0] += 1
+                            want = expected[series][n]
+                            want = None if np.isnan(want) else float(want)
+                            if result["value"] != want:
+                                mismatches.append((series, n))
+
+                start = time.perf_counter()
+                threads = [
+                    threading.Thread(target=run, args=(series, matrix))
+                    for series, matrix in matrices.items()
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                elapsed = time.perf_counter() - start
+        return answered[0], mismatches, elapsed
+
+    answered, mismatches, elapsed = benchmark.pedantic(
+        measure, iterations=1, rounds=1
+    )
+    total = FAN_IN_CONNECTIONS * FAN_IN_ROUNDS
+    _merge_report(
+        "fan_in",
+        {
+            "connections": FAN_IN_CONNECTIONS,
+            "rounds_per_connection": FAN_IN_ROUNDS,
+            "total_rounds": total,
+            "answered": answered,
+            "rounds_per_second": round(total / elapsed),
+            "bit_identical": not mismatches,
+            "run_seconds": round(elapsed, 3),
+            "enforced": True,
+        },
+    )
+    with capsys.disabled():
+        print(
+            f"\ningest fan-in: {FAN_IN_CONNECTIONS} connections, "
+            f"{answered}/{total} rounds answered, "
+            f"{round(total / elapsed)} rounds/s, "
+            f"bit-identical={not mismatches}, {elapsed:.2f}s"
+        )
+    assert answered == total, "rounds were lost through the ingest tier"
+    assert not mismatches, f"ingest tier changed fused values: {mismatches[:5]}"

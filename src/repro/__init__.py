@@ -20,7 +20,10 @@ Public API highlights:
 * :mod:`repro.simulation` — discrete-event IoT deployment simulator.
 * :mod:`repro.analysis` — convergence, ambiguity and diff metrics used
   by the paper's figures.
-* :mod:`repro.service` — the networked voter-service prototype.
+* :mod:`repro.service` — the networked voter-service prototype;
+  :func:`repro.connect` dials any endpoint (voter, shard, gateway or
+  async ingest tier) and returns the unified :class:`FusionClient`
+  facade with auto-negotiated v2-JSON / v3-binary framing.
 * :mod:`repro.tuning` — parameter search (grid + genetic) per scenario.
 * :mod:`repro.obs` — dependency-free metrics (counters, gauges,
   histograms) instrumenting the engine, service and runtime layers,
@@ -39,6 +42,7 @@ from .fusion import (
     fuse,
 )
 from .runtime import fuse_many
+from .service.facade import FusionClient, connect
 from .types import MISSING, Reading, Round, Series, VoteOutcome, is_missing
 from .voting import (
     AvocVoter,
@@ -76,6 +80,8 @@ __all__ = [
     "MultiDimensionalPipeline",
     "QuorumRule",
     "VectorFusion",
+    "FusionClient",
+    "connect",
     "Voter",
     "VoterParams",
     "AvocVoter",

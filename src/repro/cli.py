@@ -339,6 +339,51 @@ def _cmd_cluster(args) -> int:
     return 0
 
 
+def _cmd_ingest(args) -> int:
+    from .cluster.supervisor import FusionCluster
+    from .ingest import AsyncIngestServer
+    from .vdx.examples import AVOC_SPEC
+    from .vdx.spec import VotingSpec
+
+    spec = VotingSpec.from_file(args.spec) if args.spec else AVOC_SPEC
+    cluster = FusionCluster(
+        spec,
+        n_shards=args.shards,
+        replicas=args.replicas,
+        mode=args.mode,
+    )
+    cluster.start()
+    ingest = AsyncIngestServer(
+        cluster.gateway,
+        host=args.host,
+        port=args.port,
+        max_connections=args.max_connections,
+        coalesce_window=args.coalesce_window,
+    )
+    ingest.start()
+    host, port = ingest.address
+    print(
+        f"async ingest tier for '{spec.algorithm_name}' listening on "
+        f"{host}:{port} ({args.shards} shards, {args.replicas} replicas)"
+    )
+    print("protocol: dual-framed (v2 JSON lines / v3 binary frames); "
+          "connect with repro.connect()")
+    if args.once:
+        ingest.stop()
+        cluster.stop()
+        return 0
+    try:
+        import threading
+
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        ingest.stop()
+        cluster.stop()
+    return 0
+
+
 def _cmd_fuse(args) -> int:
     from .datasets.loader import load_csv
     from .fusion.engine import FusionEngine
@@ -351,7 +396,9 @@ def _cmd_fuse(args) -> int:
         engine = build_engine(VotingSpec.from_file(args.spec))
     else:
         engine = FusionEngine(create_voter(args.algorithm))
-    results = engine.run_matrix(dataset.matrix, modules=dataset.modules)
+    results = engine.process_batch(
+        dataset.matrix, modules=dataset.modules, diagnostics=True
+    ).to_results()
     writer = open(args.output, "w", encoding="utf-8") if args.output else sys.stdout
     try:
         writer.write("round,value,status,excluded\n")
@@ -524,6 +571,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="start, print the topology, and exit (for scripting/tests)",
     )
 
+    ingest = sub.add_parser(
+        "ingest",
+        help="run an async binary-framed ingest tier over a fusion cluster",
+    )
+    ingest.add_argument("--spec", default=None, help="VDX document (default: AVOC)")
+    ingest.add_argument("--shards", type=int, default=3)
+    ingest.add_argument("--replicas", type=int, default=2)
+    ingest.add_argument("--host", default="127.0.0.1")
+    ingest.add_argument("--port", type=int, default=0)
+    ingest.add_argument(
+        "--max-connections", type=int, default=10_000,
+        help="connection cap; extra peers are refused with BACKPRESSURE",
+    )
+    ingest.add_argument(
+        "--coalesce-window", type=float, default=0.002,
+        help="seconds to gather votes into one vote_batch flush",
+    )
+    ingest.add_argument(
+        "--mode", choices=("process", "thread"), default=None,
+        help="backend isolation (default: process where fork exists)",
+    )
+    ingest.add_argument(
+        "--once", action="store_true",
+        help="start, print the address, and exit (for scripting/tests)",
+    )
+
     fuse = sub.add_parser("fuse", help="fuse a recorded CSV dataset")
     fuse.add_argument("csv", help="rounds x modules CSV (empty cell = missing)")
     fuse.add_argument("--spec", default=None, help="VDX document to vote with")
@@ -559,6 +632,7 @@ _COMMANDS = {
     "latency": _cmd_latency,
     "serve": _cmd_serve,
     "cluster": _cmd_cluster,
+    "ingest": _cmd_ingest,
     "fuse": _cmd_fuse,
     "tune": _cmd_tune,
     "diagnose": _cmd_diagnose,

@@ -40,7 +40,7 @@ from ..exceptions import ReproError
 from ..history.file import JsonlHistoryStore
 from ..runtime.pool import fork_available
 from ..service.client import VoterClient
-from ..service.protocol import ProtocolError, ok_response
+from ..service.protocol import ErrorCode, ProtocolError, ok_response
 from ..service.server import VoterServer, _numeric, _result_payload
 from ..vdx.factory import build_engine
 from ..vdx.spec import VotingSpec
@@ -202,7 +202,9 @@ class ShardServer(VoterServer):
         engine = self._engines.get(series)
         if engine is None:
             if not create:
-                raise ProtocolError(f"unknown series {series!r}")
+                raise ProtocolError(
+                f"unknown series {series!r}", code=ErrorCode.UNKNOWN_SERIES
+            )
             store = None
             if self._history_dir is not None:
                 store = JsonlHistoryStore(
@@ -232,7 +234,10 @@ class ShardServer(VoterServer):
         if self._already_voted(series, number):
             # Voted before this process (re)started, or evicted from the
             # bounded cache: refuse rather than apply to history twice.
-            raise ProtocolError(f"round {number} was already voted")
+            raise ProtocolError(
+                f"round {number} was already voted",
+                code=ErrorCode.ALREADY_VOTED,
+            )
         engine = self._engine_for(series)
         result = engine.process(Round.from_mapping(number, values))
         payload = _result_payload(result)
@@ -257,18 +262,22 @@ class ShardServer(VoterServer):
                 matrix = np.asarray(batch["rows"], dtype=float)
             except (TypeError, ValueError):
                 raise ProtocolError(
-                    f"batch for series {series!r} has non-numeric values"
+                    f"batch for series {series!r} has non-numeric values",
+                    code=ErrorCode.INVALID_VALUE,
                 )
             if matrix.size and np.isinf(matrix).any():
                 raise ProtocolError(
-                    f"batch for series {series!r} contains non-finite values"
+                    f"batch for series {series!r} contains non-finite values",
+                    code=ErrorCode.INVALID_VALUE,
                 )
             modules = [str(m) for m in batch["modules"]]
             rounds = list(batch["rounds"])
             for number in rounds:
                 if self._already_voted(series, number):
                     raise ProtocolError(
-                        f"round {number} for series {series!r} was already voted"
+                        f"round {number} for series {series!r} was "
+                        "already voted",
+                        code=ErrorCode.ALREADY_VOTED,
                     )
             prepared.append((batch, matrix, modules, rounds))
 
@@ -316,7 +325,10 @@ class ShardServer(VoterServer):
         if number in self._series_voted.get(series, {}) or self._already_voted(
             series, number
         ):
-            raise ProtocolError(f"round {number} was already voted")
+            raise ProtocolError(
+                f"round {number} was already voted",
+                code=ErrorCode.ALREADY_VOTED,
+            )
         value = _numeric(request["module"], request["value"])
         pending = self._series_pending.setdefault(series, {})
         bucket = pending.setdefault(number, {})

@@ -34,7 +34,9 @@ from ..obs import ClusterInstruments, MetricsRegistry, get_default_registry
 from ..service.client import VoterClient
 from ..service.protocol import (
     PROTOCOL_VERSION,
+    SUPPORTED_VERSIONS,
     ConnectionClosedError,
+    ErrorCode,
     ProtocolError,
     VersionMismatchError,
     ok_response,
@@ -157,7 +159,9 @@ class _BackendLink:
             if self._client is None:
                 client = VoterClient(*self.address, timeout=self.timeout)
                 client.connect()
-                client.hello()  # reject mismatched peers up front
+                # Reject mismatched peers up front; upgrades the link
+                # to v3 binary framing when the shard supports it.
+                client.negotiate("auto")
                 self._client = client
             try:
                 return self._client.request(message)
@@ -542,12 +546,16 @@ class ClusterGateway:
             link.enqueue(job)
             jobs.append((backend_id, job))
         if not jobs:
-            raise ProtocolError(f"no backends attached for series {series!r}")
+            raise ProtocolError(
+                f"no backends attached for series {series!r}",
+                code=ErrorCode.NO_REPLICA,
+            )
         successes = self._await_jobs(jobs)
         if not successes:
             raise ProtocolError(
                 f"no replica answered for series {series!r} "
-                f"(replica set: {self._replicas(series)})"
+                f"(replica set: {self._replicas(series)})",
+                code=ErrorCode.NO_REPLICA,
             )
         return successes
 
@@ -579,7 +587,10 @@ class ClusterGateway:
             last_error = job.error
         if isinstance(last_error, ReproError):
             raise last_error
-        raise ProtocolError(f"no replica answered for series {series!r}")
+        raise ProtocolError(
+            f"no replica answered for series {series!r}",
+            code=ErrorCode.NO_REPLICA,
+        )
 
     def _broadcast(self, request: Dict[str, Any]) -> Dict[str, Any]:
         """Send a request to every unfenced backend; report per-id acks."""
@@ -613,7 +624,10 @@ class ClusterGateway:
         self._obs.requests.labels(op).inc()
         handler = getattr(self, f"_op_{op}", None)
         if handler is None:
-            raise ProtocolError(f"operation {op!r} is not supported by the gateway")
+            raise ProtocolError(
+                f"operation {op!r} is not supported by the gateway",
+                code=ErrorCode.UNSUPPORTED_OP,
+            )
         return handler(request)
 
     # -- local operations ----------------------------------------------------
@@ -623,7 +637,7 @@ class ClusterGateway:
 
     def _op_hello(self, request) -> Dict[str, Any]:
         version = request["version"]
-        if version != PROTOCOL_VERSION:
+        if version not in SUPPORTED_VERSIONS:
             raise VersionMismatchError(
                 f"protocol version mismatch: peer speaks {version}, "
                 f"this gateway speaks {PROTOCOL_VERSION}"
@@ -631,9 +645,11 @@ class ClusterGateway:
         # The gateway replays safely: routed votes are deduplicated by
         # the shard replay caches, so clients may re-send after a drop.
         return ok_response(
-            version=PROTOCOL_VERSION,
+            version=version,
             server=type(self).__name__,
             replays_votes=True,
+            binary_framing=True,
+            max_version=PROTOCOL_VERSION,
         )
 
     def _op_spec(self, request) -> Dict[str, Any]:
@@ -713,7 +729,9 @@ class ClusterGateway:
             links[backend_id].enqueue(job)
             jobs[backend_id] = (job, indices)
         if not jobs:
-            raise ProtocolError("no backends attached")
+            raise ProtocolError(
+                "no backends attached", code=ErrorCode.NO_REPLICA
+            )
         self._await_jobs([(bid, job) for bid, (job, _) in jobs.items()])
         collected: Dict[int, Dict[str, Any]] = {}
         for backend_id, (job, indices) in jobs.items():
@@ -728,7 +746,8 @@ class ClusterGateway:
             answers_by_backend = collected.get(index)
             if not answers_by_backend:
                 raise ProtocolError(
-                    f"no replica answered for series {batch['series']!r}"
+                    f"no replica answered for series {batch['series']!r}",
+                    code=ErrorCode.NO_REPLICA,
                 )
             # Order answers primary-first so majority ties resolve the
             # same way every time.

@@ -9,6 +9,7 @@ matrices, as the paper's reproducible evaluation does) into
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -239,11 +240,22 @@ class FusionEngine:
     ) -> List[FusionResult]:
         """Process a recorded dataset matrix (rounds × modules).
 
+        .. deprecated:: 1.0
+            Use :func:`repro.fuse` / :func:`repro.fuse_many` (or
+            :meth:`process_batch` directly); ``run_matrix`` is a thin
+            compatibility wrapper and will be removed in 2.0.
+
         NaN entries are treated as missing values, matching the UC-2
         dataset's unreachable-beacon gaps.  Compatibility wrapper over
         :meth:`process_batch` — outputs are bit-identical to the
         original per-round loop.
         """
+        warnings.warn(
+            "FusionEngine.run_matrix is deprecated; use repro.fuse() / "
+            "repro.fuse_many() (or FusionEngine.process_batch) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.process_batch(matrix, modules, diagnostics=True).to_results()
 
     def output_series(self, results: Sequence[FusionResult]) -> np.ndarray:

@@ -1,0 +1,21 @@
+"""The async ingestion tier: massive sensor fan-in for the fusion stack.
+
+"The Voting Farm" line of work argues for a distributed software-voting
+front tier decoupled from the voters themselves; this package is that
+tier.  :class:`AsyncIngestServer` holds tens of thousands of concurrent
+sensor connections on one asyncio event loop, applies per-connection
+and global backpressure, coalesces votes into the vectorised
+``vote_batch`` path of a synchronous fusion sink (a single voter, a
+shard, or a whole cluster gateway), and speaks the same dual-framed
+protocol (v2 JSON lines / v3 binary frames) as the sync servers — so
+every existing client works against it unchanged.
+
+The sync fusion core never learns asyncio exists:
+:class:`~repro.ingest.bridge.ThreadBridge` carries requests from the
+event loop to blocking ``dispatch`` calls and posts results back.
+"""
+
+from .bridge import ThreadBridge
+from .server import AsyncIngestServer
+
+__all__ = ["AsyncIngestServer", "ThreadBridge"]

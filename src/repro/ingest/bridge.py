@@ -1,0 +1,103 @@
+"""The thread bridge: sync ``dispatch`` calls off the event loop.
+
+The fusion core — :class:`~repro.service.server.VoterServer`,
+:class:`~repro.cluster.backend.ShardServer`,
+:class:`~repro.cluster.gateway.ClusterGateway` — is deliberately
+synchronous; all three expose the same blocking
+``dispatch(request) -> response`` entry point.  The async ingest tier
+must never run that on the event loop (a single slow fusion call would
+stall every connection), so requests cross this bridge: a small pool of
+worker threads drains a queue of ``(request, callback)`` pairs, calls
+``sink.dispatch``, and hands the result (or the exception) to the
+callback *in the worker thread*.  The async side wraps the callback
+with ``loop.call_soon_threadsafe`` to resolve a future.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = ["ThreadBridge"]
+
+#: ``callback(result, exception)`` — exactly one of the two is not None
+#: (a ``None`` result with ``None`` exception cannot occur: ``dispatch``
+#: always returns a response dict or raises).
+DoneCallback = Callable[[Optional[Dict[str, Any]], Optional[BaseException]], None]
+
+_STOP = object()
+
+
+class ThreadBridge:
+    """A worker pool running a sync sink's ``dispatch`` for async callers.
+
+    Args:
+        sink: any object with a blocking
+            ``dispatch(request: dict) -> dict`` method.
+        workers: pool size.  Fusion work is serialised by the engine
+            lock anyway; extra workers only help sinks that fan out
+            internally (the cluster gateway) or serve read ops
+            concurrently.
+    """
+
+    def __init__(self, sink: Any, workers: int = 4):
+        if workers < 1:
+            raise ValueError("ThreadBridge needs at least one worker")
+        self.sink = sink
+        self.workers = workers
+        self._queue: "queue.SimpleQueue[Any]" = queue.SimpleQueue()
+        self._threads: List[threading.Thread] = []
+        self._started = False
+        self._lock = threading.Lock()
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> "ThreadBridge":
+        with self._lock:
+            if self._started:
+                return self
+            self._started = True
+            for index in range(self.workers):
+                thread = threading.Thread(
+                    target=self._run,
+                    name=f"ingest-bridge-{index}",
+                    daemon=True,
+                )
+                thread.start()
+                self._threads.append(thread)
+        return self
+
+    def stop(self) -> None:
+        with self._lock:
+            if not self._started:
+                return
+            self._started = False
+            threads, self._threads = self._threads, []
+        for _ in threads:
+            self._queue.put(_STOP)
+        for thread in threads:
+            thread.join(timeout=5.0)
+
+    # -- submission -------------------------------------------------------
+
+    def submit(self, request: Dict[str, Any], on_done: DoneCallback) -> None:
+        """Queue one request; ``on_done`` fires in a worker thread."""
+        if not self._started:
+            raise RuntimeError("ThreadBridge is not running")
+        self._queue.put((request, on_done))
+
+    # -- worker loop ------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                return
+            request, on_done = item  # type: Tuple[Dict[str, Any], DoneCallback]
+            try:
+                result = self.sink.dispatch(request)
+            except BaseException as exc:  # handed to the caller, not lost
+                on_done(None, exc)
+            else:
+                on_done(result, None)

@@ -22,6 +22,7 @@ Quick use::
 from .instruments import (
     ClusterInstruments,
     EngineInstruments,
+    IngestInstruments,
     RuntimeInstruments,
     ServiceInstruments,
 )
@@ -48,6 +49,7 @@ __all__ = [
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
     "EngineInstruments",
+    "IngestInstruments",
     "Gauge",
     "Histogram",
     "MetricsRegistry",

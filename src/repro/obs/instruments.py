@@ -213,6 +213,60 @@ class ClusterInstruments:
         self._shard_errors.labels(backend).inc()
 
 
+class IngestInstruments:
+    """Async ingest-tier metrics: fan-in load, backpressure, framings.
+
+    The frame counter is pre-bound per wire framing (the two framings
+    are static), everything else is a plain gauge/counter — the async
+    loop touches these on every message, so lookups stay out of the
+    hot path.
+    """
+
+    __slots__ = (
+        "enabled",
+        "open_connections",
+        "queued_votes",
+        "backpressure_drops",
+        "slow_consumer_disconnects",
+        "coalesced_rounds",
+        "frames_v2_json",
+        "frames_v3_binary",
+    )
+
+    def __init__(self, registry: MetricsRegistry):
+        self.enabled = registry.enabled
+        self.open_connections = registry.gauge(
+            "ingest_open_connections",
+            "Sensor connections currently held by the async ingest tier.",
+        )
+        self.queued_votes = registry.gauge(
+            "ingest_queued_votes",
+            "Votes buffered in the ingest coalescer, not yet flushed.",
+        )
+        self.backpressure_drops = registry.counter(
+            "ingest_backpressure_drops_total",
+            "Votes refused because a per-connection or global queue "
+            "bound was hit.",
+        )
+        self.slow_consumer_disconnects = registry.counter(
+            "ingest_slow_consumer_disconnects_total",
+            "Connections dropped because the peer did not drain "
+            "responses within the grace period.",
+        )
+        self.coalesced_rounds = registry.histogram(
+            "ingest_coalesced_rounds",
+            "Rounds per coalesced vote_batch flush to the fusion sink.",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256, float("inf")),
+        )
+        frames = registry.counter(
+            "ingest_frames_total",
+            "Messages decoded by the ingest tier, by wire framing.",
+            labels=("version",),
+        )
+        self.frames_v2_json = frames.labels("2-json")
+        self.frames_v3_binary = frames.labels("3-binary")
+
+
 class RuntimeInstruments:
     """Worker-pool metrics: dispatch volume, crashes, wall vs worker time."""
 

@@ -7,21 +7,37 @@ gateways, analytics jobs — talk to it over the network instead of
 linking the voting code.
 
 This package is that prototype: a threaded TCP server speaking a
-line-delimited JSON protocol (:mod:`repro.service.protocol`), backed by
-a :class:`~repro.fusion.engine.FusionEngine`, plus a blocking client.
+dual-framed protocol — line-delimited JSON (v2) and length-prefixed
+binary frames (v3), see :mod:`repro.service.protocol` — backed by a
+:class:`~repro.fusion.engine.FusionEngine`, plus a blocking client.
 The protocol supports whole-round voting, incremental per-module
 submission with explicit round close, history inspection, and service
-statistics.
+statistics.  :func:`connect` returns the unified
+:class:`FusionClient` facade, auto-negotiating version and framing.
 """
 
-from .protocol import ProtocolError, decode_message, encode_message
+from .protocol import (
+    ErrorCode,
+    ProtocolError,
+    decode_frame,
+    decode_message,
+    encode_frame,
+    encode_message,
+)
 from .server import VoterServer
-from .client import VoterClient
+from .client import ServiceError, VoterClient
+from .facade import FusionClient, connect
 
 __all__ = [
+    "ErrorCode",
     "ProtocolError",
+    "ServiceError",
+    "decode_frame",
     "decode_message",
+    "encode_frame",
     "encode_message",
     "VoterServer",
     "VoterClient",
+    "FusionClient",
+    "connect",
 ]

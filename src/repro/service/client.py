@@ -24,17 +24,32 @@ from typing import Any, Dict, List, Optional
 from ..cluster.retry import RetryPolicy
 from ..exceptions import ReproError
 from .protocol import (
+    FRAME_HEADER,
+    FRAME_MAGIC,
     MAX_LINE_BYTES,
     PROTOCOL_VERSION,
     ConnectionClosedError,
     ProtocolError,
+    decode_frame_header,
+    decode_frame_payload,
     decode_message,
+    encode_frame,
     encode_message,
 )
 
 
 class ServiceError(ReproError):
-    """The service answered a request with ``ok: false``."""
+    """The service answered a request with ``ok: false``.
+
+    Attributes:
+        code: machine-readable error code from the envelope (one of the
+            :class:`~repro.service.protocol.ErrorCode` values as a
+            string), or ``None`` when the peer predates protocol v3.
+    """
+
+    def __init__(self, message: str, code: Optional[str] = None):
+        super().__init__(message)
+        self.code = code
 
 
 #: Operations safe to replay after a transport failure against *any*
@@ -62,6 +77,11 @@ REPLAY_CACHED_OPS = frozenset({"vote", "vote_batch"})
 
 class VoterClient:
     """A synchronous connection to a :class:`~repro.service.server.VoterServer`.
+
+    This is the low-level, operation-per-method layer.  Most callers
+    want the :class:`~repro.service.facade.FusionClient` facade instead
+    (``repro.connect(addr)``), which wraps a ``VoterClient`` and
+    auto-negotiates the protocol version and wire framing.
 
     Use as a context manager::
 
@@ -97,6 +117,13 @@ class VoterClient:
         self._sock: Optional[socket.socket] = None
         self._buffer = b""
         self._peer_replays_votes = False
+        #: Send requests as protocol-v3 binary frames?  Flipped by
+        #: :meth:`negotiate` once the peer has advertised the
+        #: ``binary_framing`` capability; persists across reconnects
+        #: (the peer that advertised it is the peer we reconnect to).
+        self._binary = False
+        self._peer_binary_framing = False
+        self._peer_max_version = 0
 
     # -- lifecycle --------------------------------------------------------
 
@@ -136,12 +163,39 @@ class VoterClient:
         line, self._buffer = self._buffer.split(b"\n", 1)
         return line
 
+    def _read_exact(self, count: int) -> bytes:
+        assert self._sock is not None
+        while len(self._buffer) < count:
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise ConnectionClosedError("server closed the connection")
+            self._buffer += chunk
+        data, self._buffer = self._buffer[:count], self._buffer[count:]
+        return data
+
+    def _read_response(self) -> Dict[str, Any]:
+        """Read one response, in whichever framing the server used.
+
+        A v3 server mirrors the request framing, but detecting by first
+        byte keeps the client correct against any compliant peer.
+        """
+        first = self._read_exact(1)
+        if first[0] == FRAME_MAGIC:
+            header = first + self._read_exact(FRAME_HEADER.size - 1)
+            length = decode_frame_header(header)
+            return decode_frame_payload(self._read_exact(length))
+        self._buffer = first + self._buffer
+        return decode_message(self._read_line())
+
     def _exchange(self, message: Dict[str, Any]) -> Dict[str, Any]:
         if self._sock is None:
             self.connect()
         assert self._sock is not None
-        self._sock.sendall(encode_message(message))
-        return decode_message(self._read_line())
+        encoded = (
+            encode_frame(message) if self._binary else encode_message(message)
+        )
+        self._sock.sendall(encoded)
+        return self._read_response()
 
     def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
         """Send one request and return the (ok) response payload.
@@ -170,7 +224,10 @@ class VoterClient:
                 attempt += 1
                 continue
             if not response.get("ok"):
-                raise ServiceError(response.get("error", "unknown service error"))
+                raise ServiceError(
+                    response.get("error", "unknown service error"),
+                    code=response.get("code"),
+                )
             return response
 
     # -- operations ---------------------------------------------------------
@@ -193,7 +250,44 @@ class VoterClient:
         """
         response = self.request({"op": "hello", "version": version})
         self._peer_replays_votes = bool(response.get("replays_votes", False))
+        self._peer_binary_framing = bool(response.get("binary_framing", False))
+        self._peer_max_version = int(response.get("max_version", version))
         return int(response["version"])
+
+    def negotiate(self, transport: str = "auto") -> int:
+        """Handshake and pick a wire framing; returns the agreed version.
+
+        Args:
+            transport: ``"auto"`` upgrades to v3 binary framing when the
+                peer advertises the ``binary_framing`` capability and
+                falls back to v2 JSON lines otherwise; ``"json"`` pins
+                v2 JSON lines; ``"binary"`` requires v3 framing and
+                raises :class:`~repro.service.protocol.ProtocolError`
+                against a peer that cannot speak it.
+        """
+        if transport not in ("auto", "json", "binary"):
+            raise ValueError(
+                f"transport must be 'auto', 'json' or 'binary', not {transport!r}"
+            )
+        if transport == "json":
+            self._binary = False
+            return self.hello(2)
+        try:
+            version = self.hello(PROTOCOL_VERSION)
+        except ServiceError:
+            if transport == "binary":
+                raise
+            # Peer predates v3; the connection survives a rejected
+            # handshake, so re-greet at the v2 floor.
+            self._binary = False
+            return self.hello(2)
+        if self._peer_binary_framing and version >= 3:
+            self._binary = True
+        elif transport == "binary":
+            raise ProtocolError(
+                "peer does not advertise the binary_framing capability"
+            )
+        return version
 
     def spec(self) -> Dict[str, Any]:
         return self.request({"op": "spec"})["spec"]

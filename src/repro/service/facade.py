@@ -1,0 +1,155 @@
+"""The unified client facade: one API for voters, shards and gateways.
+
+:func:`connect` is the front door of the client stack.  It dials any
+protocol-speaking endpoint — a plain
+:class:`~repro.service.server.VoterServer`, a cluster
+:class:`~repro.cluster.backend.ShardServer`, a
+:class:`~repro.cluster.gateway.ClusterGateway` or the async
+:class:`~repro.ingest.AsyncIngestServer` tier — negotiates the protocol
+version and wire framing, and returns a :class:`FusionClient` exposing
+one consistent operation surface (``vote``, ``vote_batch``,
+``history``, ``stats``, ``metrics``, ``configure``).
+
+The low-level :class:`~repro.service.client.VoterClient` remains
+available for callers that need per-operation control (``submit`` /
+``close_round`` incremental rounds, cluster introspection); it is
+reachable as :attr:`FusionClient.raw`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from .client import VoterClient
+from .protocol import ProtocolError
+
+Address = Union[str, Tuple[str, int]]
+
+
+def _split_address(addr: Address) -> Tuple[str, int]:
+    """Accept ``(host, port)`` tuples or ``"host:port"`` strings."""
+    if isinstance(addr, tuple):
+        host, port = addr
+        return str(host), int(port)
+    if not isinstance(addr, str) or ":" not in addr:
+        raise ProtocolError(
+            f"address must be (host, port) or 'host:port', not {addr!r}"
+        )
+    host, _, port_text = addr.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ProtocolError(f"invalid port in address {addr!r}")
+    return host, port
+
+
+class FusionClient:
+    """A negotiated connection to any fusion service endpoint.
+
+    Construct via :func:`connect`, which performs the version/framing
+    handshake; the resulting client exposes the common operation set
+    regardless of whether the peer is a single voter, a shard, a
+    cluster gateway or an async ingest tier.
+
+    Attributes:
+        raw: the underlying :class:`~repro.service.client.VoterClient`
+            for low-level or endpoint-specific operations.
+        version: protocol version agreed in the handshake (2 or 3).
+        transport: ``"binary"`` when v3 frames were negotiated,
+            ``"json"`` otherwise.
+    """
+
+    def __init__(self, raw: VoterClient, version: int):
+        self.raw = raw
+        self.version = version
+
+    @property
+    def transport(self) -> str:
+        """The negotiated wire framing (``"binary"`` or ``"json"``)."""
+        return "binary" if self.raw._binary else "json"
+
+    # -- lifecycle --------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the underlying connection."""
+        self.raw.close()
+
+    def __enter__(self) -> "FusionClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"FusionClient({self.raw.host}:{self.raw.port}, "
+            f"v{self.version}/{self.transport})"
+        )
+
+    # -- operations -------------------------------------------------------
+
+    def ping(self) -> bool:
+        """Liveness probe; ``True`` when the peer answers."""
+        return self.raw.ping()
+
+    def vote(
+        self,
+        round_number: int,
+        values: Dict[str, Optional[float]],
+        series: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Vote one complete round; returns the result payload."""
+        return self.raw.vote(round_number, values, series=series)
+
+    def vote_batch(self, batches: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        """Vote many rounds across many series in one round-trip."""
+        return self.raw.vote_batch(batches)
+
+    def history(self, series: Optional[str] = None) -> Dict[str, float]:
+        """Per-module history records for a series."""
+        return self.raw.history(series)
+
+    def stats(self, series: Optional[str] = None) -> Dict[str, Any]:
+        """Engine statistics for a series."""
+        return self.raw.stats(series)
+
+    def metrics(self) -> str:
+        """The peer's metrics in Prometheus text exposition format."""
+        return self.raw.metrics()
+
+    def configure(self, spec: Dict[str, Any]) -> str:
+        """Replace the peer's voting scheme; returns the new name."""
+        return self.raw.configure(spec)
+
+
+def connect(
+    addr: Address,
+    *,
+    transport: str = "auto",
+    timeout: float = 5.0,
+    retries: int = 0,
+) -> FusionClient:
+    """Dial a fusion endpoint and negotiate a session.
+
+    Args:
+        addr: ``(host, port)`` tuple or ``"host:port"`` string.
+        transport: ``"auto"`` (upgrade to v3 binary framing when the
+            peer supports it, v2 JSON otherwise), ``"json"`` (pin v2
+            JSON lines) or ``"binary"`` (require v3 frames; raises
+            against a v2-only peer).
+        timeout: socket timeout in seconds.
+        retries: transparent replays of idempotent requests after
+            transport failures (see :class:`VoterClient`).
+
+    Returns:
+        a connected, handshaken :class:`FusionClient`.
+    """
+    host, port = _split_address(addr)
+    raw = VoterClient(host, port, timeout=timeout, retries=retries)
+    raw.connect()
+    try:
+        version = raw.negotiate(transport)
+    except BaseException:
+        raw.close()
+        raise
+    return FusionClient(raw, version)

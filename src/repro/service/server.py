@@ -22,14 +22,21 @@ from ..types import Round
 from ..vdx.factory import build_engine
 from ..vdx.spec import VotingSpec
 from .protocol import (
+    FRAME_HEADER,
+    FRAME_MAGIC,
     MAX_LINE_BYTES,
     OPERATIONS,
     PROTOCOL_VERSION,
+    SUPPORTED_VERSIONS,
+    ErrorCode,
     ProtocolError,
     VersionMismatchError,
+    decode_frame_header,
+    decode_frame_payload,
     decode_message,
+    encode_frame,
     encode_message,
-    error_response,
+    error_response_for,
     ok_response,
     validate_request,
 )
@@ -46,13 +53,22 @@ def _numeric(module: Any, value: Any) -> Optional[float]:
     if value is None:
         return None
     if isinstance(value, bool):
-        raise ProtocolError(f"value for module {module!r} must be numeric or null")
+        raise ProtocolError(
+            f"value for module {module!r} must be numeric or null",
+            code=ErrorCode.INVALID_VALUE,
+        )
     try:
         result = float(value)
     except (TypeError, ValueError):
-        raise ProtocolError(f"value for module {module!r} must be numeric or null")
+        raise ProtocolError(
+            f"value for module {module!r} must be numeric or null",
+            code=ErrorCode.INVALID_VALUE,
+        )
     if not math.isfinite(result):
-        raise ProtocolError(f"value for module {module!r} must be finite")
+        raise ProtocolError(
+            f"value for module {module!r} must be finite",
+            code=ErrorCode.INVALID_VALUE,
+        )
     return result
 
 
@@ -71,31 +87,74 @@ def _result_payload(result: FusionResult) -> Dict[str, Any]:
 
 
 class _Handler(socketserver.StreamRequestHandler):
-    """One connection: read JSON lines, dispatch, write JSON lines."""
+    """One connection: read messages (JSON lines *or* binary frames),
+    dispatch, answer each in the framing it arrived in."""
+
+    #: Framing of the message currently being read; responses (error
+    #: envelopes included) mirror it.
+    _binary = False
+
+    def _read_request(self):
+        """Read one message (None at EOF), detecting its framing."""
+        while True:
+            first = self.rfile.read(1)
+            if not first:
+                return None
+            if first[0] == FRAME_MAGIC:
+                self._binary = True
+                header = first + self.rfile.read(FRAME_HEADER.size - 1)
+                length = decode_frame_header(header)  # may raise ProtocolError
+                payload = self.rfile.read(length)
+                if len(payload) < length:
+                    raise ProtocolError(
+                        "connection closed mid-frame",
+                        code=ErrorCode.MALFORMED_FRAME,
+                    )
+                return decode_frame_payload(payload)
+            self._binary = False
+            line = first + self.rfile.readline(MAX_LINE_BYTES + 1)
+            stripped = line.strip()
+            if stripped:
+                return decode_message(stripped)
 
     def handle(self) -> None:
         while True:
-            line = self.rfile.readline(MAX_LINE_BYTES + 1)
-            if not line:
+            fatal = False
+            try:
+                try:
+                    request = self._read_request()
+                    if request is None:
+                        return
+                    service = self.server.service  # type: ignore[attr-defined]
+                    response = service.dispatch(request)
+                except ProtocolError as exc:
+                    # A framing-level failure poisons the stream: after a
+                    # bad header or an oversized frame the next byte is
+                    # not a message boundary, so answer and hang up.
+                    fatal = exc.code in (
+                        ErrorCode.MALFORMED_FRAME, ErrorCode.FRAME_TOO_LARGE
+                    )
+                    response = error_response_for(exc)
+                except ReproError as exc:
+                    response = error_response_for(exc)
+                except (TypeError, ValueError) as exc:
+                    # Last-resort guard: a malformed payload must produce
+                    # an error response, never a dead connection.
+                    response = error_response_for(
+                        ProtocolError(f"invalid request: {exc}")
+                    )
+            except (ConnectionResetError, BrokenPipeError):
                 return
-            stripped = line.strip()
-            if not stripped:
-                continue
             try:
-                request = decode_message(stripped)
-                service = self.server.service  # type: ignore[attr-defined]
-                response = service.dispatch(request)
-            except ProtocolError as exc:
-                response = error_response(str(exc))
-            except ReproError as exc:
-                response = error_response(f"{type(exc).__name__}: {exc}")
-            except (TypeError, ValueError) as exc:
-                # Last-resort guard: a malformed payload must produce an
-                # error response, never a dead connection.
-                response = error_response(f"invalid request: {exc}")
-            try:
-                self.wfile.write(encode_message(response))
+                encoded = (
+                    encode_frame(response)
+                    if self._binary
+                    else encode_message(response)
+                )
+                self.wfile.write(encoded)
             except (BrokenPipeError, ConnectionResetError):
+                return
+            if fatal:
                 return
 
 
@@ -242,7 +301,8 @@ class VoterServer:
                     # Cluster-only operations against a plain server must
                     # answer with an error, not kill the handler thread.
                     raise ProtocolError(
-                        f"operation {op!r} is not supported by this server"
+                        f"operation {op!r} is not supported by this server",
+                        code=ErrorCode.UNSUPPORTED_OP,
                     )
                 return handler(request)
         except Exception:
@@ -259,17 +319,25 @@ class VoterServer:
         return ok_response(pong=True)
 
     def _op_hello(self, request) -> Dict[str, Any]:
-        """Version handshake: reject mismatched peers with a clear error."""
+        """Version handshake: reject mismatched peers with a clear error.
+
+        Every version in :data:`SUPPORTED_VERSIONS` is accepted and
+        echoed back, so a v2-era peer keeps its familiar reply while a
+        v3 peer additionally learns the capabilities it may use
+        (``binary_framing``, ``replays_votes``, ``max_version``).
+        """
         version = request["version"]
-        if version != PROTOCOL_VERSION:
+        if version not in SUPPORTED_VERSIONS:
             raise VersionMismatchError(
                 f"protocol version mismatch: peer speaks {version}, "
                 f"this server speaks {PROTOCOL_VERSION}"
             )
         return ok_response(
-            version=PROTOCOL_VERSION,
+            version=version,
             server=type(self).__name__,
             replays_votes=self._replays_votes,
+            binary_framing=True,
+            max_version=PROTOCOL_VERSION,
         )
 
     def _op_spec(self, request) -> Dict[str, Any]:
@@ -277,7 +345,10 @@ class VoterServer:
 
     def _vote_round(self, number: int, values: Dict[str, Optional[float]]):
         if number in self._voted:
-            raise ProtocolError(f"round {number} was already voted")
+            raise ProtocolError(
+                f"round {number} was already voted",
+                code=ErrorCode.ALREADY_VOTED,
+            )
         self._voted.add(number)
         voting_round = Round.from_mapping(number, values)
         result = self.engine.process(voting_round)
@@ -294,7 +365,10 @@ class VoterServer:
     def _op_submit(self, request) -> Dict[str, Any]:
         number = request["round"]
         if number in self._voted:
-            raise ProtocolError(f"round {number} was already voted")
+            raise ProtocolError(
+                f"round {number} was already voted",
+                code=ErrorCode.ALREADY_VOTED,
+            )
         value = _numeric(request["module"], request["value"])
         bucket = self._pending.setdefault(number, {})
         bucket[request["module"]] = value

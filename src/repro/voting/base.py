@@ -56,11 +56,12 @@ class VoterParams:
             ``"fixed"`` (record below ``elimination_threshold``).
         elimination_threshold: cutoff for ``"fixed"`` elimination.
         collation: VDX collation keyword.
-        quorum_percentage: **deprecated** — quorum is now enforced once,
-            by the engine-level :class:`~repro.fusion.quorum.QuorumRule`.
-            A non-zero value still works (and is adopted as the engine
-            rule by :class:`~repro.fusion.engine.FusionEngine`) but
-            emits a :class:`DeprecationWarning`.
+        quorum_percentage: **deprecated, removal scheduled for 2.0** —
+            quorum is now enforced once, by the engine-level
+            :class:`~repro.fusion.quorum.QuorumRule`.  A non-zero value
+            still works (and is adopted as the engine rule by
+            :class:`~repro.fusion.engine.FusionEngine`) but emits a
+            :class:`DeprecationWarning`.
         bootstrap_mode: when the AVOC clustering step runs — ``"auto"``
             (fresh or failed records, per the paper), ``"always"``
             (clustering-only voting) or ``"never"``.
@@ -108,9 +109,10 @@ class VoterParams:
             raise ConfigurationError("quorum_percentage must be in [0, 100]")
         if self.quorum_percentage > 0:
             warnings.warn(
-                "VoterParams.quorum_percentage is deprecated; configure a "
-                "QuorumRule on the FusionEngine instead (FusionEngine "
-                "adopts a non-zero voter percentage automatically)",
+                "VoterParams.quorum_percentage is deprecated and will be "
+                "removed in 2.0; configure a QuorumRule on the "
+                "FusionEngine instead (FusionEngine adopts a non-zero "
+                "voter percentage automatically)",
                 DeprecationWarning,
                 stacklevel=3,
             )

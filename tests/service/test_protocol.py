@@ -8,6 +8,7 @@ import pytest
 
 from repro.service.protocol import (
     MAX_LINE_BYTES,
+    ErrorCode,
     ProtocolError,
     decode_message,
     encode_message,
@@ -76,7 +77,15 @@ class TestValidateRequest:
 
 class TestResponses:
     def test_error_response(self):
-        assert error_response("boom") == {"ok": False, "error": "boom"}
+        assert error_response("boom") == {
+            "ok": False,
+            "error": "boom",
+            "code": "protocol",
+        }
+
+    def test_error_response_carries_code(self):
+        response = error_response("nope", code=ErrorCode.UNSUPPORTED_OP)
+        assert response["code"] == "unsupported_op"
 
     def test_ok_response(self):
         assert ok_response(x=1) == {"ok": True, "x": 1}

@@ -1,0 +1,367 @@
+"""Protocol v3: binary framing, negotiation, and mixed-version fleets."""
+
+from __future__ import annotations
+
+import math
+import socket
+import struct
+
+import pytest
+
+from repro.service.client import ServiceError, VoterClient
+from repro.service.facade import FusionClient, connect
+from repro.service.protocol import (
+    FRAME_HEADER,
+    FRAME_MAGIC,
+    MAX_FRAME_BYTES,
+    ErrorCode,
+    ProtocolError,
+    VersionMismatchError,
+    decode_frame,
+    decode_frame_header,
+    decode_frame_payload,
+    encode_frame,
+    encode_message,
+    ok_response,
+)
+from repro.service.server import VoterServer
+from repro.vdx.examples import AVOC_SPEC
+
+FAULTY = {"E1": 18.0, "E2": 18.1, "E3": 17.9, "E4": 24.0, "E5": 18.05}
+
+
+@pytest.fixture()
+def server():
+    with VoterServer(AVOC_SPEC) as srv:
+        yield srv
+
+
+class LegacyVoterServer(VoterServer):
+    """A frozen-in-time v2 peer: JSON only, no capability flags."""
+
+    def _op_hello(self, request):
+        version = request["version"]
+        if version != 2:
+            raise VersionMismatchError(
+                f"protocol version mismatch: peer speaks {version}, "
+                "this server speaks 2"
+            )
+        return ok_response(version=2, server=type(self).__name__)
+
+
+@pytest.fixture()
+def legacy_server():
+    with LegacyVoterServer(AVOC_SPEC) as srv:
+        yield srv
+
+
+class TestCodecRoundTrips:
+    def round_trip(self, message):
+        return decode_frame(encode_frame(message))
+
+    def test_flat_message(self):
+        message = {"op": "vote", "round": 1, "values": {"E1": 18.0, "E2": None}}
+        assert self.round_trip(message) == message
+
+    def test_nested_structures(self):
+        message = {
+            "a": [1, 2.5, "x", None, True, False],
+            "b": {"inner": {"deep": [[], {}]}},
+            "empty": "",
+        }
+        assert self.round_trip(message) == message
+
+    def test_scalar_nan_becomes_null(self):
+        # JSON parity: encode_message maps NaN to null, the frame
+        # codec must agree or the two framings diverge semantically.
+        assert self.round_trip({"value": float("nan")}) == {"value": None}
+
+    def test_f64_row_with_gaps(self):
+        message = {"rows": [[18.0, None, 17.9], [1.5, 2.5, 3.5]]}
+        assert self.round_trip(message) == message
+
+    def test_f64_row_nan_cell_becomes_null(self):
+        decoded = self.round_trip({"rows": [[1.0, float("nan")]]})
+        assert decoded == {"rows": [[1.0, None]]}
+
+    def test_int_lists_keep_int_type(self):
+        decoded = self.round_trip({"rounds": [0, 1, 2]})
+        assert decoded["rounds"] == [0, 1, 2]
+        assert all(type(n) is int for n in decoded["rounds"])
+
+    def test_float_rows_keep_float_type(self):
+        decoded = self.round_trip({"rows": [[1.0, 2.0]]})
+        assert all(type(v) is float for v in decoded["rows"][0])
+
+    def test_unicode_strings(self):
+        message = {"série": "température ✓", "s": "ß" * 100}
+        assert self.round_trip(message) == message
+
+    def test_large_batch_round_trips(self):
+        rows = [[float(i) + j / 10 for j in range(5)] for i in range(500)]
+        message = {
+            "op": "vote_batch",
+            "batches": [
+                {
+                    "series": "s0",
+                    "rounds": list(range(500)),
+                    "modules": ["E1", "E2", "E3", "E4", "E5"],
+                    "rows": rows,
+                }
+            ],
+        }
+        assert self.round_trip(message) == message
+
+    def test_binary_smaller_than_json_for_batches(self):
+        # Full-precision sensor floats cost ~18 JSON characters each
+        # but a fixed 8 bytes in a packed f64 row.
+        rows = [[i / 3.0 + j / 7.0 for j in range(5)] for i in range(200)]
+        message = {"rows": rows}
+        assert len(encode_frame(message)) < len(encode_message(message))
+
+
+class TestFrameRejection:
+    def test_truncated_header(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_frame_header(bytes([FRAME_MAGIC, 1]))
+        assert excinfo.value.code == ErrorCode.MALFORMED_FRAME
+
+    def test_bad_magic(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_frame_header(struct.pack("!BBHI", 0x00, 1, 0, 4))
+        assert excinfo.value.code == ErrorCode.MALFORMED_FRAME
+
+    def test_oversized_frame(self):
+        header = struct.pack("!BBHI", FRAME_MAGIC, 1, 0, MAX_FRAME_BYTES + 1)
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_frame_header(header)
+        assert excinfo.value.code == ErrorCode.FRAME_TOO_LARGE
+
+    def test_truncated_payload(self):
+        frame = encode_frame({"op": "ping"})
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_frame(frame[:-2])
+        assert excinfo.value.code == ErrorCode.MALFORMED_FRAME
+
+    def test_trailing_garbage(self):
+        frame = encode_frame({"op": "ping"})
+        header = FRAME_HEADER.pack(
+            FRAME_MAGIC, 1, 0, len(frame) - FRAME_HEADER.size + 3
+        )
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_frame(header + frame[FRAME_HEADER.size:] + b"\x00\x00\x00")
+        assert excinfo.value.code == ErrorCode.MALFORMED_FRAME
+
+    def test_unknown_type_tag(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_frame_payload(b"\xff")
+        assert excinfo.value.code == ErrorCode.MALFORMED_FRAME
+
+    def test_non_mapping_payload_rejected(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_frame_payload(b"\x00")  # a bare null, not a message
+        assert excinfo.value.code == ErrorCode.MALFORMED_FRAME
+
+    def test_depth_bomb_rejected(self):
+        nested: dict = {"x": None}
+        for _ in range(64):
+            nested = {"x": nested}
+        with pytest.raises(ProtocolError) as excinfo:
+            encode_frame(nested)
+        assert excinfo.value.code == ErrorCode.MALFORMED_FRAME
+
+
+class TestDualStackServer:
+    def test_binary_request_binary_response(self, server):
+        host, port = server.address
+        with socket.create_connection((host, port), timeout=5.0) as sock:
+            sock.sendall(encode_frame({"op": "ping"}))
+            header = sock.recv(FRAME_HEADER.size, socket.MSG_WAITALL)
+            length = decode_frame_header(header)
+            payload = sock.recv(length, socket.MSG_WAITALL)
+            assert decode_frame_payload(payload) == {
+                "ok": True, "pong": True
+            }
+
+    def test_json_request_json_response(self, server):
+        host, port = server.address
+        with socket.create_connection((host, port), timeout=5.0) as sock:
+            sock.sendall(encode_message({"op": "ping"}))
+            first = sock.recv(1)
+            assert first != bytes([FRAME_MAGIC])
+
+    def test_framings_interleave_on_one_connection(self, server):
+        host, port = server.address
+        with VoterClient(host, port) as client:
+            client.negotiate("binary")
+            assert client.vote(0, FAULTY)["status"] == "ok"
+            client._binary = False  # drop back to JSON mid-connection
+            assert client.vote(1, FAULTY)["status"] == "ok"
+            client._binary = True
+            assert client.stats()["rounds_processed"] == 2
+
+    def test_malformed_frame_answers_then_disconnects(self, server):
+        host, port = server.address
+        with socket.create_connection((host, port), timeout=5.0) as sock:
+            sock.sendall(struct.pack("!BBHI", FRAME_MAGIC, 9, 0, 0))
+            header = sock.recv(FRAME_HEADER.size, socket.MSG_WAITALL)
+            length = decode_frame_header(header)
+            response = decode_frame_payload(
+                sock.recv(length, socket.MSG_WAITALL)
+            )
+            assert response["ok"] is False
+            assert response["code"] == str(ErrorCode.MALFORMED_FRAME.value)
+            assert sock.recv(1) == b""  # server hung up
+
+    def test_oversized_frame_rejected_and_disconnected(self, server):
+        host, port = server.address
+        with socket.create_connection((host, port), timeout=5.0) as sock:
+            sock.sendall(
+                struct.pack("!BBHI", FRAME_MAGIC, 1, 0, MAX_FRAME_BYTES + 1)
+            )
+            header = sock.recv(FRAME_HEADER.size, socket.MSG_WAITALL)
+            length = decode_frame_header(header)
+            response = decode_frame_payload(
+                sock.recv(length, socket.MSG_WAITALL)
+            )
+            assert response["code"] == str(ErrorCode.FRAME_TOO_LARGE.value)
+            assert sock.recv(1) == b""
+
+    def test_binary_vote_matches_json_vote(self, server):
+        host, port = server.address
+        with VoterClient(host, port) as binary_client:
+            binary_client.negotiate("binary")
+            binary_result = binary_client.vote(0, FAULTY)
+        with VoterClient(host, port) as json_client:
+            json_client.negotiate("json")
+            json_result = json_client.vote(1, FAULTY)
+        assert binary_result["value"] == json_result["value"]
+        assert binary_result["status"] == json_result["status"]
+
+
+class TestNegotiation:
+    def test_auto_upgrades_to_binary(self, server):
+        host, port = server.address
+        with connect((host, port)) as client:
+            assert client.version == 3
+            assert client.transport == "binary"
+            assert client.ping()
+
+    def test_json_pin_stays_json(self, server):
+        host, port = server.address
+        with connect((host, port), transport="json") as client:
+            assert client.version == 2
+            assert client.transport == "json"
+            assert client.vote(0, FAULTY)["status"] == "ok"
+
+    def test_v2_hello_still_accepted(self, server):
+        host, port = server.address
+        with VoterClient(host, port) as client:
+            assert client.hello(2) == 2  # echo, not the server maximum
+
+    def test_v3_hello_advertises_capabilities(self, server):
+        host, port = server.address
+        with VoterClient(host, port) as client:
+            assert client.hello(3) == 3
+            assert client._peer_binary_framing
+            assert client._peer_max_version == 3
+
+    def test_bad_transport_rejected(self, server):
+        host, port = server.address
+        with VoterClient(host, port) as client:
+            with pytest.raises(ValueError):
+                client.negotiate("carrier-pigeon")
+
+
+class TestMixedVersionFleet:
+    def test_auto_downgrades_against_legacy_server(self, legacy_server):
+        host, port = legacy_server.address
+        with connect((host, port)) as client:
+            assert client.version == 2
+            assert client.transport == "json"
+            assert client.vote(0, FAULTY)["status"] == "ok"
+
+    def test_binary_pin_fails_against_legacy_server(self, legacy_server):
+        host, port = legacy_server.address
+        client = VoterClient(host, port)
+        client.connect()
+        try:
+            with pytest.raises((ServiceError, ProtocolError)):
+                client.negotiate("binary")
+        finally:
+            client.close()
+
+    def test_capability_downgrade_mid_fleet(self, server, legacy_server):
+        # One fleet, two server generations: the same connect() call
+        # lands on binary v3 against the new node and on JSON v2
+        # against the old one, and votes fuse identically.
+        results = {}
+        for name, srv in (("new", server), ("old", legacy_server)):
+            host, port = srv.address
+            with connect((host, port)) as client:
+                results[name] = (client.transport, client.vote(0, FAULTY))
+        assert results["new"][0] == "binary"
+        assert results["old"][0] == "json"
+        assert results["new"][1]["value"] == results["old"][1]["value"]
+
+    def test_future_version_rejected_with_code(self, server):
+        host, port = server.address
+        with VoterClient(host, port) as client:
+            with pytest.raises(ServiceError) as excinfo:
+                client.hello(4)
+            assert excinfo.value.code == str(ErrorCode.VERSION_MISMATCH.value)
+
+
+class TestErrorEnvelope:
+    def test_already_voted_code_over_binary(self, server):
+        host, port = server.address
+        with VoterClient(host, port) as client:
+            client.negotiate("binary")
+            client.vote(0, FAULTY)
+            with pytest.raises(ServiceError) as excinfo:
+                client.vote(0, FAULTY)
+            assert excinfo.value.code == str(ErrorCode.ALREADY_VOTED.value)
+
+    def test_invalid_value_code(self, server):
+        host, port = server.address
+        with VoterClient(host, port) as client:
+            with pytest.raises(ServiceError) as excinfo:
+                client.request(
+                    {"op": "vote", "round": 0, "values": {"E1": "wet"}}
+                )
+            assert excinfo.value.code == str(ErrorCode.INVALID_VALUE.value)
+
+    def test_legacy_envelope_leaves_code_none(self, legacy_server):
+        host, port = legacy_server.address
+        with VoterClient(host, port) as client:
+            with pytest.raises(ServiceError) as excinfo:
+                client.hello(3)
+            assert excinfo.value.code == str(ErrorCode.VERSION_MISMATCH.value)
+
+
+class TestFacade:
+    def test_facade_surface(self, server):
+        host, port = server.address
+        with connect((host, port)) as client:
+            assert isinstance(client, FusionClient)
+            assert client.ping()
+            result = client.vote(0, FAULTY)
+            assert math.isclose(result["value"], 18.0, abs_tol=0.2)
+            assert client.history()  # non-empty after a vote
+            assert client.stats()["rounds_processed"] == 1
+            assert "service_requests_total" in client.metrics()
+            assert "FusionClient" in repr(client)
+
+    def test_facade_accepts_host_port_string(self, server):
+        host, port = server.address
+        with connect(f"{host}:{port}") as client:
+            assert client.ping()
+
+    def test_facade_rejects_bad_address(self):
+        with pytest.raises(ProtocolError):
+            connect("no-port-here")
+
+    def test_raw_escape_hatch(self, server):
+        host, port = server.address
+        with connect((host, port)) as client:
+            assert client.raw.ping()

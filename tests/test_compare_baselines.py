@@ -9,6 +9,7 @@ import pytest
 from benchmarks.compare_baselines import (
     compare_cluster,
     compare_dirs,
+    compare_ingest,
     compare_latency,
     compare_parallel,
     main,
@@ -148,6 +149,71 @@ class TestCompareCluster:
         assert len(failures) == 2
         assert any("throughput" in f for f in failures)
         assert any("failover" in f for f in failures)
+
+
+COMMITTED_INGEST = {
+    "cpu_count": 4,
+    "roundtrip": {
+        "ratio_v3_over_v2": 0.6,
+        "ceiling": 0.7,
+        "enforced": True,
+    },
+    "fan_in": {
+        "total_rounds": 2400,
+        "answered": 2400,
+        "bit_identical": True,
+        "enforced": True,
+    },
+}
+
+
+class TestCompareIngest:
+    def test_clean_run_has_no_failures(self):
+        assert compare_ingest(COMMITTED_INGEST, COMMITTED_INGEST) == []
+
+    def test_enforced_ratio_above_ceiling_fails(self):
+        fresh = json.loads(json.dumps(COMMITTED_INGEST))
+        fresh["roundtrip"]["ratio_v3_over_v2"] = 0.9
+        failures = compare_ingest(COMMITTED_INGEST, fresh)
+        assert failures and "above the 0.70 ceiling" in failures[0]
+
+    def test_ratio_regression_over_tolerance_fails(self):
+        committed = json.loads(json.dumps(COMMITTED_INGEST))
+        committed["roundtrip"]["ratio_v3_over_v2"] = 0.4
+        committed["roundtrip"]["ceiling"] = None
+        fresh = json.loads(json.dumps(committed))
+        fresh["roundtrip"]["ratio_v3_over_v2"] = 0.65
+        failures = compare_ingest(committed, fresh)
+        assert failures and "regressed" in failures[0]
+
+    def test_unenforced_ratio_is_reported_not_failed(self, capsys):
+        committed = json.loads(json.dumps(COMMITTED_INGEST))
+        committed["roundtrip"]["enforced"] = False
+        committed["roundtrip"]["ratio_v3_over_v2"] = 0.9  # 1-CPU runner
+        fresh = json.loads(json.dumps(committed))
+        fresh["roundtrip"]["ratio_v3_over_v2"] = 1.4
+        assert compare_ingest(committed, fresh) == []
+        assert "[not enforced]" in capsys.readouterr().out
+
+    def test_lost_rounds_fail(self):
+        fresh = json.loads(json.dumps(COMMITTED_INGEST))
+        fresh["fan_in"]["answered"] = 2399
+        failures = compare_ingest(COMMITTED_INGEST, fresh)
+        assert failures == [
+            "ingest/fan_in: rounds were lost (2399 of 2400 answered)"
+        ]
+
+    def test_diverged_outputs_fail(self):
+        fresh = json.loads(json.dumps(COMMITTED_INGEST))
+        fresh["fan_in"]["bit_identical"] = False
+        failures = compare_ingest(COMMITTED_INGEST, fresh)
+        assert failures and "diverged" in failures[0]
+
+    def test_missing_fresh_sections_fail(self):
+        failures = compare_ingest(COMMITTED_INGEST, {})
+        assert len(failures) == 2
+        assert any("roundtrip" in f for f in failures)
+        assert any("fan_in" in f for f in failures)
 
 
 class TestCli:
