@@ -1,0 +1,60 @@
+"""Atomic writes for the recorded ``BENCH_*.json`` baselines.
+
+The benchmark jobs rewrite the committed baseline files in place and CI
+uploads them as artifacts.  A plain ``write_text`` can be interrupted
+mid-write (job timeout, runner eviction, SIGKILL), leaving a truncated
+JSON file that the artifact upload and the bench-regression gate would
+then consume.  Writing to a sibling temp file and ``os.replace``-ing it
+over the target makes the update all-or-nothing: readers only ever see
+the old complete baseline or the new complete baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict
+
+
+def write_baseline(path: Path, report: Dict[str, Any]) -> None:
+    """Atomically serialise ``report`` to ``path``.
+
+    The temp file lives in the target directory so the final
+    ``os.replace`` is a same-filesystem rename (atomic on POSIX and
+    Windows); on any failure the partial temp file is removed and the
+    previous baseline is left untouched.
+    """
+    path = Path(path)
+    payload = json.dumps(report, indent=2, sort_keys=True) + "\n"
+    handle, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(handle, "w") as tmp:
+            tmp.write(payload)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def merge_baseline(path: Path, key: str, payload: Dict[str, Any]) -> None:
+    """Merge one section into a baseline file, atomically.
+
+    Reads the existing report (if any), replaces section ``key``,
+    stamps ``cpu_count`` (the floors that depend on host parallelism
+    record it for the gate's context) and writes the result through
+    :func:`write_baseline`.
+    """
+    path = Path(path)
+    report: Dict[str, Any] = {}
+    if path.exists():
+        report = json.loads(path.read_text())
+    report["cpu_count"] = os.cpu_count()
+    report[key] = payload
+    write_baseline(path, report)

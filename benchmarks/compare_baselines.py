@@ -10,6 +10,12 @@ way:
 * a ``speedup`` regresses more than :data:`REGRESSION_TOLERANCE`
   (30%) against the committed number.
 
+The history-voter latency entries additionally carry a hardcoded
+minimum floor (:data:`HISTORY_FLOORS`): the segment-vectorized
+recurrence scan must keep ``avoc`` and ``clustering`` at >=20x over the
+per-round scalar loop, even if a committed baseline was regenerated
+with a lower recorded floor.
+
 Sections marked ``"enforced": false`` (e.g. the process-pool sweep on a
 single-CPU runner) are reported but never fail the gate.  A genuine
 baseline shift — new hardware, an intentional trade-off — is landed by
@@ -31,6 +37,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 __all__ = [
+    "HISTORY_FLOORS",
     "REGRESSION_TOLERANCE",
     "compare_cluster",
     "compare_dirs",
@@ -42,6 +49,13 @@ __all__ = [
 
 #: A fresh speedup below ``committed * (1 - tolerance)`` fails the gate.
 REGRESSION_TOLERANCE = 0.30
+
+#: Hardcoded minimum latency floors for the history voters.  The
+#: segmented recurrence scan is the whole point of those kernels, so the
+#: gate refuses to accept a baseline below these even when the recorded
+#: ``floor`` in the committed JSON is stale or was regenerated lower.
+#: (``[bench-reset]`` skips the gate entirely — it does not lower these.)
+HISTORY_FLOORS = {"avoc": 20.0, "clustering": 20.0}
 
 LATENCY_FILE = "BENCH_latency.json"
 PARALLEL_FILE = "BENCH_parallel.json"
@@ -93,11 +107,15 @@ def compare_latency(
     for algorithm in sorted(committed):
         entry = committed[algorithm]
         fresh_entry = fresh.get(algorithm, {})
+        floor = entry.get("floor")
+        hard_floor = HISTORY_FLOORS.get(algorithm)
+        if hard_floor is not None:
+            floor = hard_floor if floor is None else max(floor, hard_floor)
         _check_speedup(
             f"latency/{algorithm}",
             fresh_entry.get("speedup"),
             entry.get("speedup"),
-            entry.get("floor"),
+            floor,
             enforced=True,
             failures=failures,
         )

@@ -17,7 +17,6 @@ Two recorded numbers, written to ``BENCH_cluster.json``:
 
 from __future__ import annotations
 
-import json
 import os
 import pathlib
 import signal
@@ -26,6 +25,7 @@ import time
 import numpy as np
 import pytest
 
+from benchmarks.baseline_io import merge_baseline
 from repro.cluster.supervisor import FusionCluster
 from repro.runtime.pool import fork_available
 from repro.vdx.examples import AVOC_SPEC
@@ -42,12 +42,9 @@ CHUNK = 100
 
 
 def _merge_report(key, payload):
-    report = {}
-    if _OUT.exists():
-        report = json.loads(_OUT.read_text())
-    report["cpu_count"] = os.cpu_count()
-    report[key] = payload
-    _OUT.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    # Atomic temp-file + os.replace write: a killed job can never leave
+    # a truncated baseline for the artifact upload or the gate.
+    merge_baseline(_OUT, key, payload)
 
 
 def _workload(seed=17):

@@ -27,6 +27,7 @@ import numpy as np
 import pytest
 
 from repro import fuse
+from benchmarks.baseline_io import merge_baseline
 from repro.cluster.backend import ShardServer
 from repro.cluster.supervisor import FusionCluster
 from repro.ingest import AsyncIngestServer
@@ -49,12 +50,9 @@ FAN_IN_ROUNDS = 150
 
 
 def _merge_report(key, payload):
-    report = {}
-    if _OUT.exists():
-        report = json.loads(_OUT.read_text())
-    report["cpu_count"] = os.cpu_count()
-    report[key] = payload
-    _OUT.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    # Atomic temp-file + os.replace write: a killed job can never leave
+    # a truncated baseline for the artifact upload or the gate.
+    merge_baseline(_OUT, key, payload)
 
 
 def _workload(seed=23):

@@ -17,7 +17,6 @@ return results bit-identical to the sequential ones.
 
 from __future__ import annotations
 
-import json
 import os
 import pathlib
 import time
@@ -25,6 +24,7 @@ import time
 import numpy as np
 import pytest
 
+from benchmarks.baseline_io import merge_baseline
 from repro.fusion.engine import FusionEngine
 from repro.runtime.pool import fork_available
 from repro.tuning.random_search import random_search
@@ -39,12 +39,9 @@ RAGGED_FLOOR = 2.0
 
 
 def _merge_report(key, payload):
-    report = {}
-    if _OUT.exists():
-        report = json.loads(_OUT.read_text())
-    report["cpu_count"] = os.cpu_count()
-    report[key] = payload
-    _OUT.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    # Atomic temp-file + os.replace write: a killed job can never leave
+    # a truncated baseline for the artifact upload or the gate.
+    merge_baseline(_OUT, key, payload)
 
 
 def test_sweep_speedup_at_4_workers(benchmark, capsys):

@@ -10,8 +10,6 @@ fusion strategies of increasing quality.
 Run:  python examples/tunnel_positioning.py
 """
 
-import numpy as np
-
 from repro.analysis.ambiguity import closest_stack_series
 from repro.analysis.report import render_series, render_table
 from repro.datasets.ble_uc2 import UC2Config

@@ -516,23 +516,31 @@ def _run_clustering(ctx: _BatchContext) -> None:
     )
     cluster_margins = margins * params.soft_threshold
     collation = params.collation.upper()
-    for number in np.flatnonzero(ctx.votable):
-        present = np.flatnonzero(ctx.mask[number])
-        values = ctx.matrix[number, present]
-        margin = float(cluster_margins[number])
-        runs = kernels.sorted_runs(values, margin)
-        winners = np.sort(runs[0])
-        value = kernels.collate_fast(collation, values[winners])
-        ctx.outputs[number] = value
-        if ctx.diagnostics:
-            in_cluster = np.zeros(values.size)
-            in_cluster[winners] = 1.0
+    # Winner selection and collation are row-parallel: the winning-run
+    # membership mask doubles as a presence mask, so collating the
+    # winning values is just batch_collate over that mask.
+    winners = kernels.batch_cluster_runs(
+        ctx.matrix, cluster_margins, ctx.mask, ctx.counts, ctx.votable
+    )
+    winner_counts = winners.sum(axis=1)
+    out = kernels.batch_collate(
+        collation, ctx.matrix, winners, winner_counts, ctx.votable
+    )
+    ctx.outputs[ctx.votable] = out[ctx.votable]
+    if ctx.diagnostics:
+        for number in np.flatnonzero(ctx.votable):
+            present = np.flatnonzero(ctx.mask[number])
+            margin = float(cluster_margins[number])
+            # The full run-size list is diagnostic-only; the fused value
+            # and weights above come from the vectorized winner mask.
+            runs = kernels.sorted_runs(ctx.matrix[number, present], margin)
+            in_cluster = winners[number, present].astype(float)
             ctx.out_weights[number, present] = in_cluster
             names = _present_modules(ctx, present)
             weights = {m: float(w) for m, w in zip(names, in_cluster)}
             ctx.outcomes[number] = VoteOutcome(
                 round_number=int(number),
-                value=value,
+                value=float(out[number]),
                 weights=weights,
                 eliminated=tuple(
                     m for m, w in zip(names, in_cluster) if w == 0.0
@@ -583,6 +591,14 @@ def _run_plurality(ctx: _BatchContext) -> None:
     ctx.writebacks.append(writeback)
 
 
+#: Adaptive segment-scan block sizing: start small so event-dense
+#: stretches (repeated clips / reseeds) waste little speculative scan
+#: work, and double up while blocks commit cleanly so long event-free
+#: stretches amortise the per-block overhead.
+_SCAN_BLOCK_MIN = 16
+_SCAN_BLOCK_MAX = 1024
+
+
 def _run_history(ctx: _BatchContext) -> None:
     engine = ctx.engine
     voter = engine.voter
@@ -593,18 +609,18 @@ def _run_history(ctx: _BatchContext) -> None:
     existing = list(history.modules)
     known = set(existing)
     universe = existing + [m for m in ctx.modules if m not in known]
+    n_univ = len(universe)
     state = np.asarray([history.get(m) for m in universe], dtype=float)
     column_of = {m: i for i, m in enumerate(universe)}
     cols = np.asarray([column_of[m] for m in ctx.modules], dtype=np.intp)
 
-    update_count = history.update_count
-    rounds_voted = voter._rounds_voted
+    update_count0 = history.update_count
     avoc = isinstance(voter, AvocVoter)
     bootstraps = voter.bootstraps_used if avoc else 0
     bootstrap_mode = params.bootstrap_mode if avoc else "never"
+    auto_bootstrap = bootstrap_mode == "auto"
     failure_tolerance = getattr(voter, "FAILURE_TOLERANCE", 0.05)
 
-    kind = voter.agreement_kind
     source = voter.weight_source
     eliminates = voter.eliminates and params.elimination != "none"
     fixed_elimination = params.elimination == "fixed"
@@ -612,7 +628,9 @@ def _run_history(ctx: _BatchContext) -> None:
     additive = history.policy == "additive"
     reward, penalty = history.reward, history.penalty
     learning_rate = history.learning_rate
+    one_minus_lr = 1.0 - learning_rate
     collation = params.collation.upper()
+    collate = kernels.collation_function(collation)
 
     margins = kernels.batch_dynamic_margins(
         ctx.matrix, params.error, params.min_margin, ctx.counts
@@ -620,137 +638,208 @@ def _run_history(ctx: _BatchContext) -> None:
     scores_all = kernels.batch_agreement_scores(
         ctx.matrix,
         margins,
-        kind,
+        voter.agreement_kind,
         params.soft_threshold,
         ctx.mask,
         ctx.counts,
         ctx.votable,
     )
 
-    collate = kernels.collation_function(collation)
     # The clamp and the state-independent half of the record update are
-    # the same expression for every round — hoist them out of the loop.
+    # the same expression for every round — hoist them out of the scan.
     clamped_all = np.minimum(np.maximum(scores_all, 0.0), 1.0)
     if additive:
         step_all = reward * clamped_all - penalty * (1.0 - clamped_all)
     else:
         step_all = learning_rate * clamped_all
-        one_minus_lr = 1.0 - learning_rate
 
-    dense = ctx.counts == ctx.n_modules
-    all_columns = np.arange(ctx.n_modules)
-    # When the history columns line up with the matrix columns (the
-    # common case: history starts empty, or same module order), dense
-    # rows can slice ``state`` directly instead of fancy-indexing.
-    identity = len(universe) == ctx.n_modules and bool(
-        np.array_equal(cols, all_columns)
-    )
-    dense_slots = slice(None) if identity else cols
-    any_vote = False
+    votable_idx = np.flatnonzero(ctx.votable)
+    n_v = int(votable_idx.size)
+    if n_v:
+        mask_v = ctx.mask[votable_idx]
+        counts_v = ctx.counts[votable_idx]
+        # Steps and presence in record-universe column space: absent
+        # modules carry a 0.0 step (additive: x + 0.0 == x bitwise) and
+        # a False presence bit (EMA skips them entirely).
+        step_univ = np.zeros((n_v, n_univ))
+        step_univ[:, cols] = np.where(mask_v, step_all[votable_idx], 0.0)
+        present_univ = np.zeros((n_v, n_univ), dtype=bool)
+        present_univ[:, cols] = mask_v
 
-    for number in np.flatnonzero(ctx.votable).tolist():
-        any_vote = True
-        if dense[number]:
-            present = all_columns
-            slots = dense_slots
-            values = ctx.matrix[number]
-        else:
-            present = np.flatnonzero(ctx.mask[number])
+        before_univ = np.empty((n_v, n_univ))
+        is_bootstrap = np.zeros(n_v, dtype=bool)
+
+        def scalar_round(i: int) -> None:
+            """One segment-boundary round, exactly as the scalar loop.
+
+            Handles the rounds the vectorized scans cannot express:
+            AVOC bootstrap reseeds and additive updates the clamp
+            actually alters.
+            """
+            nonlocal bootstraps
+            before_univ[i] = state
+            number = int(votable_idx[i])
+            present = np.flatnonzero(mask_v[i])
             slots = cols[present]
             values = ctx.matrix[number, present]
-        records = state[slots]
+            records = state[slots]
 
-        bootstrap = False
-        if bootstrap_mode == "always":
-            bootstrap = values.size > 0
-        elif bootstrap_mode == "auto":
-            bootstrap = (
-                update_count == 0
-                and bool(np.all(np.abs(records - 1.0) <= 1e-12))
-            ) or (
-                values.size > 0
-                and bool(np.all(records <= failure_tolerance))
-            )
-
-        if bootstrap:
-            margin = float(margins[number] * params.soft_threshold)
-            runs = kernels.sorted_runs(values, margin)
-            winners = np.sort(runs[0])
-            value = collate(values[winners], None)
-            seeded = np.zeros(values.size)
-            seeded[winners] = 1.0
-            state[slots] = seeded
-            update_count += 1
-            bootstraps += 1
-            rounds_voted += 1
-            ctx.outputs[number] = value
-            if ctx.diagnostics:
-                ctx.out_weights[number, present] = seeded
-                names = _present_modules(ctx, present)
-                ctx.outcomes[number] = VoteOutcome(
-                    round_number=int(number),
-                    value=value,
-                    weights={m: float(w) for m, w in zip(names, seeded)},
-                    history=dict(zip(universe, state.tolist())),
-                    agreement={m: float(w) for m, w in zip(names, seeded)},
-                    eliminated=tuple(
-                        m for m, w in zip(names, seeded) if w == 0.0
-                    ),
-                    used_bootstrap=True,
-                    diagnostics={
-                        "cluster_sizes": [int(run.size) for run in runs],
-                        "margin": margin,
-                    },
+            bootstrap = False
+            if bootstrap_mode == "always":
+                bootstrap = values.size > 0
+            elif auto_bootstrap:
+                bootstrap = (
+                    update_count0 + i == 0
+                    and bool(np.all(np.abs(records - 1.0) <= 1e-12))
+                ) or (
+                    values.size > 0
+                    and bool(np.all(records <= failure_tolerance))
                 )
-            continue
-
-        if dense[number]:
-            scores = scores_all[number]
-            step = step_all[number]
-        else:
-            scores = scores_all[number, present]
-            step = step_all[number, present]
-        if source == "history":
-            weights = records.copy()
-        elif source == "agreement":
-            weights = scores.copy()
-        else:
-            weights = np.ones(values.size)
-        if eliminates:
-            if fixed_elimination:
-                eliminated = records < elimination_cutoff
+            if bootstrap:
+                is_bootstrap[i] = True
+                bootstraps += 1
+                margin = float(margins[number] * params.soft_threshold)
+                runs = kernels.sorted_runs(values, margin)
+                winners = np.sort(runs[0])
+                value = collate(values[winners], None)
+                seeded = np.zeros(values.size)
+                seeded[winners] = 1.0
+                state[slots] = seeded
+                ctx.outputs[number] = value
+                if ctx.diagnostics:
+                    ctx.out_weights[number, present] = seeded
+                    names = _present_modules(ctx, present)
+                    ctx.outcomes[number] = VoteOutcome(
+                        round_number=number,
+                        value=value,
+                        weights={m: float(w) for m, w in zip(names, seeded)},
+                        history=dict(zip(universe, state.tolist())),
+                        agreement={m: float(w) for m, w in zip(names, seeded)},
+                        eliminated=tuple(
+                            m for m, w in zip(names, seeded) if w == 0.0
+                        ),
+                        used_bootstrap=True,
+                        diagnostics={
+                            "cluster_sizes": [int(run.size) for run in runs],
+                            "margin": margin,
+                        },
+                    )
+                return
+            step = step_univ[i, slots]
+            if additive:
+                updated = records + step
             else:
-                eliminated = records < (records.mean() - 1e-12)
-            weights[eliminated] = 0.0
-        value = collate(values, weights)
+                updated = one_minus_lr * records + step
+            state[slots] = np.minimum(np.maximum(updated, 0.0), 1.0)
 
-        if additive:
-            updated = records + step
-        else:
-            updated = one_minus_lr * records + step
-        state[slots] = np.minimum(np.maximum(updated, 0.0), 1.0)
-        update_count += 1
-        rounds_voted += 1
-        ctx.outputs[number] = value
-        if ctx.diagnostics:
-            ctx.out_weights[number, present] = weights
-            names = _present_modules(ctx, present)
-            ctx.outcomes[number] = VoteOutcome(
-                round_number=int(number),
-                value=value,
-                weights={m: float(w) for m, w in zip(names, weights)},
-                history=dict(zip(universe, state.tolist())),
-                agreement={m: float(s) for m, s in zip(names, scores)},
-                eliminated=tuple(
-                    m for m, w in zip(names, weights) if w == 0.0
-                ),
+        i = 0
+        block = _SCAN_BLOCK_MIN
+        if auto_bootstrap and update_count0 == 0:
+            # The "fresh set" trigger needs update_count == 0, which
+            # only the very first voted round can satisfy — check it
+            # scalar, then the scans only watch the "failed" trigger.
+            scalar_round(0)
+            i = 1
+        while i < n_v:
+            if bootstrap_mode == "always":
+                scalar_round(i)
+                i += 1
+                continue
+            b = min(block, n_v - i)
+            steps_b = step_univ[i : i + b]
+            if additive:
+                befores_b, finals_b, events_b = kernels.additive_scan(
+                    state, steps_b
+                )
+            else:
+                befores_b, finals_b = kernels.ema_scan(
+                    state, steps_b, present_univ[i : i + b], one_minus_lr
+                )
+                events_b = None
+            if auto_bootstrap:
+                # "All present records failed" reseeds *before* the
+                # round's update, so it also ends the segment.
+                failed_b = np.all(
+                    (befores_b[:, cols] <= failure_tolerance)
+                    | ~mask_v[i : i + b],
+                    axis=1,
+                )
+                events_b = failed_b if events_b is None else events_b | failed_b
+            committed = b
+            if events_b is not None and events_b.any():
+                committed = int(np.argmax(events_b))
+            before_univ[i : i + committed] = befores_b[:committed]
+            if committed == b:
+                state = finals_b
+                block = min(block * 2, _SCAN_BLOCK_MAX)
+            else:
+                # befores row `committed` is the state after the last
+                # committed round — rolling back is free.
+                state = befores_b[committed].copy()
+                block = _SCAN_BLOCK_MIN
+            i += committed
+            if committed < b:
+                scalar_round(i)
+                i += 1
+
+        regular = ~is_bootstrap
+        if regular.any():
+            values_v = ctx.matrix[votable_idx]
+            scores_v = scores_all[votable_idx]
+            records_v = before_univ[:, cols]
+            if source == "history":
+                weights_v = records_v.copy()
+            elif source == "agreement":
+                weights_v = scores_v.copy()
+            else:
+                weights_v = np.ones((n_v, ctx.n_modules))
+            if eliminates:
+                if fixed_elimination:
+                    eliminated_v = records_v < elimination_cutoff
+                else:
+                    means = kernels.batch_masked_mean(
+                        records_v, mask_v, counts_v, regular
+                    )
+                    eliminated_v = records_v < (means[:, None] - 1e-12)
+                weights_v[eliminated_v] = 0.0
+            out_v = kernels.batch_weighted_collate(
+                collation, values_v, weights_v, mask_v, counts_v, regular
             )
+            sel = np.flatnonzero(regular)
+            ctx.outputs[votable_idx[sel]] = out_v[sel]
+            if ctx.diagnostics:
+                for i in sel.tolist():
+                    number = int(votable_idx[i])
+                    present = np.flatnonzero(mask_v[i])
+                    names = _present_modules(ctx, present)
+                    weights = weights_v[i, present]
+                    # The next round's before-state is this round's
+                    # after-state; the last round's is the final state.
+                    after = before_univ[i + 1] if i + 1 < n_v else state
+                    ctx.out_weights[number, present] = weights
+                    ctx.outcomes[number] = VoteOutcome(
+                        round_number=number,
+                        value=float(out_v[i]),
+                        weights={
+                            m: float(w) for m, w in zip(names, weights)
+                        },
+                        history=dict(zip(universe, after.tolist())),
+                        agreement={
+                            m: float(s)
+                            for m, s in zip(names, scores_v[i, present])
+                        },
+                        eliminated=tuple(
+                            m for m, w in zip(names, weights) if w == 0.0
+                        ),
+                    )
 
+    update_count = update_count0 + n_v
+    rounds_voted = voter._rounds_voted + n_v
     # HistoryAwareVoter.vote calls history.ensure() even when its own
     # (deprecated) quorum check then rejects the round — those rounds
     # materialise records without updating them.
     limit = min(ctx.cutoff + 1, ctx.n_rounds)
-    materialised = any_vote or bool(
+    materialised = bool(n_v) or bool(
         np.any(
             (ctx.reasons[:limit] == _QUORUM_VOTER)
             | (ctx.reasons[:limit] == _EMPTY)

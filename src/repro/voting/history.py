@@ -16,11 +16,26 @@ Two update policies are provided:
 Records can be attached to a :class:`~repro.history.store.HistoryStore`
 so every update is persisted, mirroring the paper's datastore-backed
 deployment (its stated latency bottleneck).
+
+Storage layout
+--------------
+Records live in one preallocated float64 array with a ``module → slot``
+interning map, not a per-module dict.  The streaming/serving hot loop
+(:meth:`FusionEngine.process` behind
+:class:`~repro.fusion.stream.StreamingFusion` and the cluster
+``ShardServer``) updates the same module set every round, so
+:meth:`slots_for` caches the slot-index array per module tuple and
+:meth:`update` applies the whole round as a handful of vectorized array
+operations instead of per-module dict reads and writes.  The array ops
+walk the exact same IEEE expression per element as the historical
+scalar loop, so outputs are bit-identical.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping
+from typing import Dict, Iterable, Mapping, Tuple
+
+import numpy as np
 
 from ..exceptions import ConfigurationError
 
@@ -65,26 +80,74 @@ class HistoryRecords:
         self.penalty = penalty
         self.learning_rate = learning_rate
         self.initial = initial
-        self._records: Dict[str, float] = {}
+        self._index: Dict[str, int] = {}
+        self._values = np.empty(8, dtype=float)
+        self._slot_cache: Dict[Tuple[str, ...], np.ndarray] = {}
         self._updates = 0
         self._store = store
         if store is not None:
-            self._records.update(store.load())
+            for module, value in store.load().items():
+                self._set(module, float(value))
+
+    # -- slot management --------------------------------------------------
+
+    def _slot(self, module: str) -> int:
+        """The slot index for ``module``, materialising it if unseen."""
+        slot = self._index.get(module)
+        if slot is None:
+            slot = len(self._index)
+            if slot >= self._values.shape[0]:
+                grown = np.empty(max(8, 2 * slot), dtype=float)
+                grown[:slot] = self._values[:slot]
+                self._values = grown
+            self._values[slot] = self.initial
+            self._index[module] = slot
+            self._slot_cache.clear()
+        return slot
+
+    def _set(self, module: str, value: float) -> None:
+        # Resolve the slot first: ``_slot`` may grow (rebind) ``_values``,
+        # and ``self._values[self._slot(m)] = v`` evaluates the indexed
+        # array before the call — writing into the discarded buffer.
+        slot = self._slot(module)
+        self._values[slot] = value
+
+    def slots_for(self, modules: Tuple[str, ...]) -> np.ndarray:
+        """Interned slot indices for a module tuple (materialises them).
+
+        The returned array is cached per exact module tuple, so a hot
+        loop voting the same roster every round pays the dict lookups
+        once and then reuses one index array.
+        """
+        slots = self._slot_cache.get(modules)
+        if slots is None:
+            slots = np.asarray([self._slot(m) for m in modules], dtype=np.intp)
+            self._slot_cache[modules] = slots
+        return slots
+
+    def values_at(self, slots: np.ndarray) -> np.ndarray:
+        """The current records at ``slots`` (a fresh array, safe to mutate)."""
+        return self._values[slots]
 
     # -- access ---------------------------------------------------------
 
     def get(self, module: str) -> float:
         """Current record for ``module`` (the initial value if unseen)."""
-        return self._records.get(module, self.initial)
+        slot = self._index.get(module)
+        if slot is None:
+            return self.initial
+        return float(self._values[slot])
 
     def ensure(self, modules: Iterable[str]) -> None:
         """Materialise records for ``modules`` without changing values."""
+        index = self._index
         for module in modules:
-            self._records.setdefault(module, self.initial)
+            if module not in index:
+                self._slot(module)
 
     def snapshot(self) -> Dict[str, float]:
         """A copy of all materialised records."""
-        return dict(self._records)
+        return dict(zip(self._index, self._values[: len(self._index)].tolist()))
 
     @property
     def update_count(self) -> int:
@@ -93,7 +156,7 @@ class HistoryRecords:
 
     @property
     def modules(self):
-        return tuple(self._records)
+        return tuple(self._index)
 
     @property
     def store(self):
@@ -101,10 +164,10 @@ class HistoryRecords:
         return self._store
 
     def __len__(self) -> int:
-        return len(self._records)
+        return len(self._index)
 
     def __contains__(self, module: str) -> bool:
-        return module in self._records
+        return module in self._index
 
     # -- predicates used by the AVOC bootstrap trigger -------------------
 
@@ -126,30 +189,46 @@ class HistoryRecords:
         Modules absent from ``scores`` (e.g. missing values this round)
         keep their record untouched.
         """
-        for module, score in scores.items():
-            score = min(max(float(score), 0.0), 1.0)
-            current = self.get(module)
-            if self.policy == "additive":
-                delta = self.reward * score - self.penalty * (1.0 - score)
-                updated = current + delta
-            else:  # ema
-                updated = (
-                    1.0 - self.learning_rate
-                ) * current + self.learning_rate * score
-            self._records[module] = min(max(updated, 0.0), 1.0)
+        if scores:
+            slots = self.slots_for(tuple(scores))
+            self.update_at(slots, np.fromiter(scores.values(), dtype=float))
+        else:
+            self._updates += 1
+            if self._store is not None:
+                self._store.save(self.snapshot())
+        return self.snapshot()
+
+    def update_at(self, slots: np.ndarray, scores: np.ndarray) -> None:
+        """Apply one round of scores at interned ``slots`` — the fast path.
+
+        Vectorized twin of the historical per-module loop: clamp the
+        score, apply the policy step, clamp the record back into
+        ``[0, 1]``.  Every operation is elementwise, so the results are
+        bit-identical to updating each module separately.
+        """
+        current = self._values[slots]
+        clamped = np.minimum(np.maximum(scores, 0.0), 1.0)
+        if self.policy == "additive":
+            updated = current + (
+                self.reward * clamped - self.penalty * (1.0 - clamped)
+            )
+        else:  # ema
+            updated = (1.0 - self.learning_rate) * current + (
+                self.learning_rate * clamped
+            )
+        self._values[slots] = np.minimum(np.maximum(updated, 0.0), 1.0)
         self._updates += 1
         if self._store is not None:
-            self._store.save(self._records)
-        return self.snapshot()
+            self._store.save(self.snapshot())
 
     def seed(self, records: Mapping[str, float], count_as_update: bool = True) -> None:
         """Overwrite records directly (used by the AVOC bootstrap)."""
         for module, value in records.items():
-            self._records[module] = min(max(float(value), 0.0), 1.0)
+            self._set(module, min(max(float(value), 0.0), 1.0))
         if count_as_update:
             self._updates += 1
         if self._store is not None:
-            self._store.save(self._records)
+            self._store.save(self.snapshot())
 
     def absorb(self, records: Mapping[str, float], update_count: int) -> None:
         """Overwrite all records and the update counter in one step.
@@ -160,15 +239,18 @@ class HistoryRecords:
         clamped like :meth:`seed`.  The attached store is not written —
         the batch kernel only engages for store-less records.
         """
-        self._records = {
-            module: min(max(float(value), 0.0), 1.0)
-            for module, value in records.items()
-        }
+        self._index = {}
+        self._values = np.empty(max(8, len(records)), dtype=float)
+        self._slot_cache.clear()
+        for module, value in records.items():
+            self._set(module, min(max(float(value), 0.0), 1.0))
         self._updates = int(update_count)
 
     def reset(self) -> None:
         """Forget everything; records return to the initial value."""
-        self._records.clear()
+        self._index = {}
+        self._values = np.empty(8, dtype=float)
+        self._slot_cache.clear()
         self._updates = 0
         if self._store is not None:
             self._store.clear()

@@ -24,21 +24,45 @@ Every kernel reproduces the scalar pipeline in :mod:`repro.voting`
 `collate_fast` mirrors :func:`repro.voting.collation.collate` for the
 numeric methods while skipping input re-validation (batch callers
 guarantee non-negative weights).
+
+History-recurrence scans
+------------------------
+The history voters evolve one record per module through the clamped
+recurrence ``h' = clip(step(h, s), 0, 1)``.  :func:`additive_scan`
+vectorizes the additive policy across rounds inside a *segment* — a
+stretch of rounds where the clamp provably never alters a value, so the
+recurrence degenerates to a plain prefix sum (``np.cumsum`` accumulates
+strictly sequentially, reproducing the scalar addition chain bit for
+bit).  Records saturated at exactly 0 or 1 are held constant instead of
+scanned, because ``clip(1 + d) == 1.0`` exactly for ``d >= 0`` (and
+symmetrically at 0); a segment ends at the first round where any free
+record would leave ``[0, 1]`` or any saturated record would re-enter
+it.  The EMA policy multiplies the carried state every round, so no
+clamp-free stretch reduces to a cumulative sum — :func:`ema_scan`
+instead runs a blockwise scalar scan (Python floats walk the same IEEE
+expression as the per-round NumPy update) that still amortises array
+slicing and clamp checks over whole blocks.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 __all__ = [
     "BATCHABLE_COLLATIONS",
+    "additive_scan",
     "batch_agreement_scores",
+    "batch_cluster_runs",
     "batch_collate",
     "batch_dynamic_margins",
+    "batch_largest_runs",
+    "batch_masked_mean",
+    "batch_weighted_collate",
     "collate_fast",
     "collation_function",
+    "ema_scan",
     "sorted_runs",
 ]
 
@@ -286,6 +310,267 @@ def _weighted_median(
     cutoff = cumulative[-1] / 2.0
     idx = min(int(np.searchsorted(cumulative, cutoff)), ranked.size - 1)
     return float(ranked[idx])
+
+
+def additive_scan(
+    state: np.ndarray, steps: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Clamped-affine scan of the additive history recurrence.
+
+    Args:
+        state: current records, shape ``(n,)``, all within ``[0, 1]``.
+        steps: per-round increments, shape ``(b, n)`` (0.0 for modules
+            absent that round — ``x + 0.0 == x`` bitwise).
+
+    Returns:
+        ``(befores, finals, events)`` — ``befores[i]`` is the record
+        state *before* round ``i`` (so ``befores[0] == state``),
+        ``finals`` the state after all ``b`` rounds, and ``events`` a
+        per-round bool marking rounds whose update the clamp would
+        alter.  Rows strictly before the first event are bit-identical
+        to the scalar ``clip(h + step)`` chain (the clip is the identity
+        there); the caller must stop committing at the first event and
+        handle that round scalar.
+
+    Records saturated at exactly 0.0 / 1.0 are held constant rather
+    than accumulated: ``clip(1.0 + d) == 1.0`` exactly while ``d >= 0``
+    (symmetrically at 0), so a pinned record only forces an event when
+    a step would pull it back inside the open interval.  This is what
+    keeps long saturated stretches — the common steady state of the
+    additive policy — fully vectorized instead of breaking the segment
+    every round.
+    """
+    b, n = steps.shape
+    pinned_hi = state == 1.0
+    pinned_lo = state == 0.0
+    free = ~(pinned_hi | pinned_lo)
+    events = np.zeros(b, dtype=bool)
+    befores = np.empty((b, n))
+    finals = state.copy()
+    if pinned_hi.any():
+        befores[:, pinned_hi] = 1.0
+        events |= (steps[:, pinned_hi] < 0.0).any(axis=1)
+    if pinned_lo.any():
+        befores[:, pinned_lo] = 0.0
+        events |= (steps[:, pinned_lo] > 0.0).any(axis=1)
+    if free.any():
+        # Prepending the start state makes cumsum walk the exact scalar
+        # addition chain: row k is ((state + d1) + d2) + ... + dk.
+        acc = np.cumsum(np.vstack([state[free], steps[:, free]]), axis=0)
+        befores[:, free] = acc[:-1]
+        finals[free] = acc[-1]
+        events |= (acc[1:] < 0.0).any(axis=1) | (acc[1:] > 1.0).any(axis=1)
+    return befores, finals, events
+
+
+def ema_scan(
+    state: np.ndarray,
+    steps: np.ndarray,
+    present: np.ndarray,
+    one_minus_lr: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Blockwise scalar scan of the EMA history recurrence.
+
+    Args:
+        state: current records, shape ``(n,)``.
+        steps: per-round ``learning_rate * clamped_score`` terms, shape
+            ``(b, n)``.
+        present: bool mask, shape ``(b, n)`` — absent modules keep
+            their record untouched (``(1-lr)*h + 0 != h`` bitwise, so
+            EMA genuinely skips them rather than applying a zero step).
+        one_minus_lr: the precomputed ``1.0 - learning_rate`` factor.
+
+    Returns:
+        ``(befores, finals)`` like :func:`additive_scan` (no event
+        column: the EMA step keeps every update inline-clamped, so all
+        ``b`` rows are always valid).
+
+    The multiplication by ``one_minus_lr`` makes the recurrence
+    genuinely sequential — no prefix-sum identity applies — so this
+    runs a per-module scalar loop over Python floats.  The Python
+    expression ``one_minus_lr * h + step`` with an if-clamp evaluates
+    the identical IEEE operations as the per-round NumPy update
+    ``clip((1-lr)*records + lr*score)``, so results are bit-identical;
+    the win over the per-round loop is amortising all array slicing,
+    bound checks and dispatch over a whole block per module.
+    """
+    b, n = steps.shape
+    befores = np.empty((b, n))
+    finals = np.empty(n)
+    for j in range(n):
+        h = float(state[j])
+        col_steps = steps[:, j].tolist()
+        col_present = present[:, j].tolist()
+        col_out = col_steps[:]  # reuse as the output scratch list
+        for i in range(b):
+            col_out[i] = h
+            if col_present[i]:
+                h = one_minus_lr * h + col_steps[i]
+                if h < 0.0:
+                    h = 0.0
+                elif h > 1.0:
+                    h = 1.0
+        befores[:, j] = col_out
+        finals[j] = h
+    return befores, finals
+
+
+def batch_largest_runs(values: np.ndarray, margins: np.ndarray) -> np.ndarray:
+    """Winning agreement cluster of each row, as a bool member mask.
+
+    Row-parallel twin of ``sorted_runs(values[i], margins[i])[0]``: for
+    every row of the dense ``(B, c)`` block, marks the members of the
+    largest run of margin-chained sorted values, ties broken by the
+    smallest original index — exactly the scalar ordering
+    ``(-run.size, run.min())``.
+    """
+    n_rows, c = values.shape
+    if c == 1:
+        return np.ones((n_rows, 1), dtype=bool)
+    order = np.argsort(values, axis=1, kind="stable")
+    ranked = np.take_along_axis(values, order, axis=1)
+    run_id = np.zeros((n_rows, c), dtype=np.int64)
+    np.cumsum(np.diff(ranked, axis=1) > margins[:, None], axis=1, out=run_id[:, 1:])
+    # Tag runs globally (row r's runs live in slots [r*c, (r+1)*c)), then
+    # rank each row's runs by (-size, min original index) with one
+    # integer key: sizes dominate because the index term stays < c+1.
+    flat_ids = (run_id + (np.arange(n_rows) * c)[:, None]).ravel()
+    sizes = np.bincount(flat_ids, minlength=n_rows * c)
+    min_orig = np.full(n_rows * c, c, dtype=np.int64)
+    np.minimum.at(min_orig, flat_ids, order.ravel())
+    keys = sizes * (c + 1) + (c - 1 - min_orig)
+    best = np.argmax(keys.reshape(n_rows, c), axis=1)
+    winners = np.zeros((n_rows, c), dtype=bool)
+    np.put_along_axis(winners, order, run_id == best[:, None], axis=1)
+    return winners
+
+
+def batch_cluster_runs(
+    matrix: np.ndarray,
+    margins: np.ndarray,
+    mask: np.ndarray,
+    counts: np.ndarray,
+    rows: np.ndarray,
+) -> np.ndarray:
+    """Full-width winning-cluster membership for each selected row.
+
+    Count-bucketed wrapper over :func:`batch_largest_runs`: returns a
+    rounds × modules bool matrix marking, for every selected row, the
+    present modules that belong to the largest agreement run (False
+    everywhere else).  The result doubles as a presence mask, so the
+    winning values can be collated with :func:`batch_collate` using the
+    winner mask in place of ``mask`` — the compaction then reproduces
+    ``values[np.sort(runs[0])]`` in original module order.
+    """
+    n_rounds, n_modules = matrix.shape
+    winners = np.zeros((n_rounds, n_modules), dtype=bool)
+    selected = np.flatnonzero(rows & (counts > 0))
+    for count, sel in _count_buckets(counts, selected):
+        sub_mask = mask[sel]
+        compact = matrix[sel][sub_mask].reshape(sel.size, count)
+        won = batch_largest_runs(compact, margins[sel])
+        scatter = np.zeros((sel.size, n_modules), dtype=bool)
+        scatter[sub_mask] = won.ravel()
+        winners[sel] = scatter
+    return winners
+
+
+def batch_masked_mean(
+    matrix: np.ndarray,
+    mask: np.ndarray,
+    counts: np.ndarray,
+    rows: np.ndarray,
+) -> np.ndarray:
+    """Mean of each selected row's present entries (NaN elsewhere).
+
+    Count-bucketed like :func:`batch_collate`, so each row reduces with
+    the same pairwise-summation grouping as ``present_values.mean()``
+    on the scalar path.
+    """
+    n_rounds, n_modules = matrix.shape
+    out = np.full(n_rounds, np.nan)
+    dense = rows & (counts == n_modules) & (n_modules > 0)
+    sel = np.flatnonzero(dense)
+    if sel.size:
+        out[sel] = matrix[sel].mean(axis=1)
+    ragged_idx = np.flatnonzero(rows & (counts > 0) & ~dense)
+    for count, sel in _count_buckets(counts, ragged_idx):
+        compact = matrix[sel][mask[sel]].reshape(sel.size, count)
+        out[sel] = compact.mean(axis=1)
+    return out
+
+
+def batch_weighted_collate(
+    method: str,
+    matrix: np.ndarray,
+    weights: np.ndarray,
+    mask: np.ndarray,
+    counts: np.ndarray,
+    rows: np.ndarray,
+) -> np.ndarray:
+    """Weighted collation of each selected row (NaN elsewhere).
+
+    Row-parallel twin of ``collate_fast(method, values, weights)`` over
+    the present entries of each selected row, including its degenerate
+    conventions (all-zero weights fall back to the plain mean / uniform
+    median / all-eligible nearest-neighbour).  Dense rows run as one
+    block; ragged rows are count-bucketed like :func:`batch_collate`.
+    """
+    n_rounds, n_modules = matrix.shape
+    out = np.full(n_rounds, np.nan)
+    dense = rows & (counts == n_modules) & (n_modules > 0)
+    sel = np.flatnonzero(dense)
+    if sel.size:
+        out[sel] = _dense_weighted_collate(method, matrix[sel], weights[sel])
+    ragged_idx = np.flatnonzero(rows & (counts > 0) & ~dense)
+    for count, sel in _count_buckets(counts, ragged_idx):
+        sub_mask = mask[sel]
+        compact = matrix[sel][sub_mask].reshape(sel.size, count)
+        compact_w = weights[sel][sub_mask].reshape(sel.size, count)
+        out[sel] = _dense_weighted_collate(method, compact, compact_w)
+    return out
+
+
+def _dense_weighted_collate(
+    method: str, values: np.ndarray, weights: np.ndarray
+) -> np.ndarray:
+    """Weighted collation of each row of a dense ``rows × c`` block.
+
+    Walks the exact expression trees of :func:`_weighted_mean`,
+    :func:`_mean_nearest_neighbour` and :func:`_weighted_median` row
+    by row (axis-1 reductions of the ``(B, c)`` block reproduce the
+    1-D operand grouping — see the module docstring).
+    """
+    n_rows, c = values.shape
+    totals = weights.sum(axis=1)
+    zero_total = totals == 0.0
+    if method == "MEDIAN":
+        # Zero-total rows vote with uniform weights, like the scalar path.
+        effective = np.where(zero_total[:, None], 1.0, weights)
+        order = np.argsort(values, axis=1, kind="stable")
+        ranked = np.take_along_axis(values, order, axis=1)
+        cumulative = np.cumsum(np.take_along_axis(effective, order, axis=1), axis=1)
+        cutoff = cumulative[:, -1] / 2.0
+        # Count-of-smaller equals np.searchsorted(cumulative, cutoff)
+        # with side="left" on each (non-decreasing) cumulative row.
+        idx = np.minimum((cumulative < cutoff[:, None]).sum(axis=1), c - 1)
+        return ranked[np.arange(n_rows), idx]
+    with np.errstate(invalid="ignore", divide="ignore"):
+        centres = (values * weights).sum(axis=1) / totals
+    if zero_total.any():
+        centres[zero_total] = values[zero_total].mean(axis=1)
+    if method == "MEAN":
+        return centres
+    # MEAN_NEAREST_NEIGHBOR: first positive-weight value closest to the
+    # centre; rows with no positive weight consider every value.
+    eligible = weights > 0.0
+    none_eligible = ~eligible.any(axis=1)
+    if none_eligible.any():
+        eligible[none_eligible] = True
+    distances = np.abs(values - centres[:, None])
+    distances[~eligible] = np.inf
+    best = np.argmin(distances, axis=1)
+    return values[np.arange(n_rows), best]
 
 
 def collate_fast(

@@ -1,0 +1,347 @@
+"""Seeded fuzz for the history fast paths introduced with the scan kernels.
+
+Two contracts are hammered here, both *bit*-identity (``==`` on floats,
+never ``allclose``):
+
+* The array-backed :class:`HistoryRecords` — module-index interning,
+  cached slot arrays, vectorized :meth:`update_at` — must reproduce the
+  historical dict-backed per-module scalar loop exactly, for both
+  update policies, across clamping at 0/1, unseen modules appearing
+  mid-stream, empty rounds, seeds and resets.
+* The segment-vectorized batch recurrence (``_run_history`` dispatching
+  additive/EMA scans between bootstrap and clip events) must reproduce
+  the per-round engine loop exactly through saturation stretches (records
+  pinned at 0 and 1), NaN gaps, whole missing rounds, AVOC bootstrap
+  reseeds and mid-stream ``configure``-style voter hot-swaps.
+
+The mean-elimination fuzz keeps the roster small on purpose: the scalar
+path means records with a Python ``sum`` while the batch kernel uses
+NumPy pairwise summation, which are only guaranteed to agree bitwise for
+small module counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fusion.engine import FusionEngine
+from repro.voting.history import HistoryRecords
+from repro.voting.registry import create_voter
+
+from .test_batch import (
+    assert_end_state_identical,
+    assert_results_identical,
+    check_equivalence,
+    run_per_round,
+)
+
+# --------------------------------------------------------------------------
+# Part 1: incremental fast path vs the historical scalar loop
+# --------------------------------------------------------------------------
+
+
+class ReferenceRecords:
+    """The pre-vectorization dict-backed implementation, verbatim.
+
+    Expression trees are copied from the historical ``update`` loop so
+    any bitwise divergence in the array fast path shows up as a plain
+    ``==`` failure.
+    """
+
+    def __init__(self, policy="additive", reward=0.1, penalty=0.2,
+                 learning_rate=0.3, initial=1.0):
+        self.policy = policy
+        self.reward = reward
+        self.penalty = penalty
+        self.learning_rate = learning_rate
+        self.initial = initial
+        self._records = {}
+        self._updates = 0
+
+    def get(self, module):
+        return self._records.get(module, self.initial)
+
+    def update(self, scores):
+        for module, score in scores.items():
+            score = min(max(float(score), 0.0), 1.0)
+            current = self.get(module)
+            if self.policy == "additive":
+                delta = self.reward * score - self.penalty * (1.0 - score)
+                updated = current + delta
+            else:  # ema
+                updated = (
+                    1.0 - self.learning_rate
+                ) * current + self.learning_rate * score
+            self._records[module] = min(max(updated, 0.0), 1.0)
+        self._updates += 1
+
+    def seed(self, records, count_as_update=True):
+        for module, value in records.items():
+            self._records[module] = min(max(float(value), 0.0), 1.0)
+        if count_as_update:
+            self._updates += 1
+
+    def reset(self):
+        self._records = {}
+        self._updates = 0
+
+    def snapshot(self):
+        return dict(self._records)
+
+
+POOL = tuple(f"M{i:02d}" for i in range(12))  # > 8: forces array growth
+
+
+def _random_scores(rng):
+    """A module→score mapping with clamp-exercising values."""
+    count = int(rng.integers(0, len(POOL) + 1))
+    modules = rng.choice(len(POOL), size=count, replace=False)
+    scores = {}
+    for index in modules:
+        kind = rng.random()
+        if kind < 0.15:
+            value = 0.0
+        elif kind < 0.30:
+            value = 1.0
+        elif kind < 0.40:
+            value = float(rng.uniform(-0.5, 0.0))  # clamped up to 0
+        elif kind < 0.50:
+            value = float(rng.uniform(1.0, 1.5))  # clamped down to 1
+        else:
+            value = float(rng.uniform(0.0, 1.0))
+        scores[POOL[index]] = value
+    return scores
+
+
+def _assert_same(fast: HistoryRecords, reference: ReferenceRecords):
+    assert fast.snapshot() == reference.snapshot()
+    assert fast.update_count == reference._updates
+    for module in POOL:
+        assert fast.get(module) == reference.get(module)
+
+
+@pytest.mark.parametrize("policy", ("additive", "ema"))
+@pytest.mark.parametrize("seed", (3, 17, 101))
+def test_incremental_fast_path_matches_scalar_loop(policy, seed):
+    rng = np.random.default_rng(seed)
+    fast = HistoryRecords(policy=policy)
+    reference = ReferenceRecords(policy=policy)
+    for step in range(300):
+        action = rng.random()
+        if action < 0.85:
+            scores = _random_scores(rng)
+            fast.update(scores)
+            reference.update(scores)
+        elif action < 0.93:
+            seeded = {
+                POOL[i]: float(rng.uniform(-0.2, 1.2))
+                for i in rng.choice(len(POOL), size=3, replace=False)
+            }
+            fast.seed(seeded)
+            reference.seed(seeded)
+        elif action < 0.97:
+            fast.update({})  # empty round still counts one update
+            reference.update({})
+        else:
+            fast.reset()
+            reference.reset()
+        _assert_same(fast, reference)
+
+
+@pytest.mark.parametrize("policy", ("additive", "ema"))
+def test_hot_roster_reuses_cached_slots(policy):
+    """The serving-loop shape: one fixed roster, hundreds of rounds."""
+    rng = np.random.default_rng(7)
+    fast = HistoryRecords(policy=policy)
+    reference = ReferenceRecords(policy=policy)
+    roster = POOL[:5]
+    slots_before = fast.slots_for(roster)
+    for _ in range(200):
+        scores = {m: float(rng.uniform(-0.1, 1.1)) for m in roster}
+        fast.update(scores)
+        reference.update(scores)
+    assert fast.slots_for(roster) is slots_before  # cache held
+    _assert_same(fast, reference)
+
+
+def test_update_at_is_update():
+    """The explicit fast-path entry equals the mapping entry bitwise."""
+    rng = np.random.default_rng(23)
+    via_update = HistoryRecords(policy="additive")
+    via_slots = HistoryRecords(policy="additive")
+    roster = POOL[:6]
+    slots = via_slots.slots_for(roster)
+    for _ in range(100):
+        scores = {m: float(rng.uniform(-0.2, 1.2)) for m in roster}
+        via_update.update(scores)
+        via_slots.update_at(slots, np.fromiter(scores.values(), dtype=float))
+    assert via_update.snapshot() == via_slots.snapshot()
+    assert via_update.update_count == via_slots.update_count
+
+
+def test_saturated_records_stay_exact():
+    """Pinned coordinates: a record at exactly 1.0 (or 0.0) must hold
+    the exact bound under steps that cannot move it — the invariant the
+    additive scan's pinning optimisation relies on."""
+    records = HistoryRecords(policy="additive")
+    for _ in range(30):
+        records.update({"A": 1.0, "B": 0.0})
+    assert records.get("A") == 1.0
+    assert records.get("B") == 0.0
+
+
+# --------------------------------------------------------------------------
+# Part 2: segmented batch recurrence vs the per-round engine loop
+# --------------------------------------------------------------------------
+
+MODULES = [f"S{i}" for i in range(6)]
+
+
+def _engine_factory(algorithm, modules=MODULES, **overrides):
+    def factory():
+        voter = create_voter(algorithm)
+        if overrides:
+            voter = create_voter(
+                algorithm, params=voter.params.with_overrides(**overrides)
+            )
+        return FusionEngine(voter, roster=modules)
+
+    return factory
+
+
+def saturating_matrix(seed, n_rounds=160, n_modules=len(MODULES)):
+    """Alternating agreement and dissent stretches with NaN gaps.
+
+    Long consensus stretches drive additive records to the pinned 1.0
+    steady state; dissent stretches (every module far from every other)
+    collapse all records towards 0, crossing AVOC's failure tolerance so
+    the failed-bootstrap reseed fires mid-stream.  Random NaN gaps and a
+    few whole missing rounds break the module-presence pattern between
+    scan blocks.
+    """
+    rng = np.random.default_rng(seed)
+    matrix = np.empty((n_rounds, n_modules))
+    mode_len = 0
+    consensus = True
+    for number in range(n_rounds):
+        if mode_len == 0:
+            consensus = not consensus
+            mode_len = int(rng.integers(8, 28))
+        mode_len -= 1
+        if consensus:
+            matrix[number] = 20.0 + rng.normal(0.0, 0.01, size=n_modules)
+        else:
+            # Spread far beyond any dynamic margin: everybody disagrees.
+            matrix[number] = rng.permutation(n_modules) * 1e3 + rng.normal(
+                0.0, 1.0, size=n_modules
+            )
+    matrix[rng.random(matrix.shape) < 0.08] = np.nan
+    for number in (5, 40, 41):
+        matrix[number] = np.nan
+    return matrix
+
+
+HISTORY_ALGORITHMS = ("me", "hybrid", "avoc")
+
+
+@pytest.mark.parametrize("policy", ("additive", "ema"))
+@pytest.mark.parametrize("algorithm", HISTORY_ALGORITHMS)
+@pytest.mark.parametrize("seed", (13, 29))
+def test_saturation_fuzz_bit_identity(algorithm, policy, seed):
+    check_equivalence(
+        _engine_factory(algorithm, history_policy=policy),
+        saturating_matrix(seed),
+        MODULES,
+    )
+
+
+@pytest.mark.parametrize("seed", (13, 61))
+def test_avoc_bootstrap_always_bit_identity(seed):
+    """bootstrap_mode="always" forces the scalar-dispatch path per round."""
+    check_equivalence(
+        _engine_factory("avoc", bootstrap_mode="always"),
+        saturating_matrix(seed, n_rounds=60),
+        MODULES,
+    )
+
+
+@pytest.mark.parametrize("policy", ("additive", "ema"))
+@pytest.mark.parametrize("seed", (5, 43))
+def test_mean_elimination_small_roster_bit_identity(policy, seed):
+    # <= 8 modules: Python-sum and pairwise-sum means agree bitwise.
+    modules = MODULES[:5]
+    check_equivalence(
+        _engine_factory(
+            "me", modules=modules, history_policy=policy, elimination="mean"
+        ),
+        saturating_matrix(seed, n_modules=len(modules)),
+        modules,
+    )
+
+
+@pytest.mark.parametrize("seed", (19, 71))
+def test_extreme_reward_penalty_clip_events(seed):
+    """Large steps clip somewhere every few rounds — worst case for the
+    scan (events force short segments and block-size resets)."""
+    check_equivalence(
+        _engine_factory(
+            "hybrid", history_policy="additive", reward=0.9, penalty=0.95
+        ),
+        saturating_matrix(seed),
+        MODULES,
+    )
+
+
+@pytest.mark.parametrize(
+    "swap",
+    (
+        # configure-style hot swaps mid-stream: (first params, second params)
+        (
+            {"algorithm": "avoc", "history_policy": "ema"},
+            {"algorithm": "avoc", "history_policy": "additive"},
+        ),
+        (
+            {"algorithm": "hybrid", "history_policy": "additive"},
+            {"algorithm": "me", "history_policy": "ema"},
+        ),
+        (
+            {"algorithm": "avoc", "reward": 0.1, "penalty": 0.2,
+             "history_policy": "additive"},
+            {"algorithm": "avoc", "reward": 0.7, "penalty": 0.8,
+             "history_policy": "additive"},
+        ),
+    ),
+)
+def test_mid_stream_configure_hot_swap(swap):
+    """A configure swap rebuilds the voter with fresh history mid-stream
+    (the server semantics); both halves must stay bit-identical and the
+    second half must start its scans from pristine records."""
+    first, second = (dict(s) for s in swap)
+    matrix = saturating_matrix(97)
+    cut = matrix.shape[0] // 2
+    for spec in (first, second):
+        spec["factory"] = _engine_factory(spec.pop("algorithm"), **spec)
+    for spec, segment in ((first, matrix[:cut]), (second, matrix[cut:])):
+        e_ref, e_batch = spec["factory"](), spec["factory"]()
+        reference = run_per_round(e_ref, segment, MODULES)
+        batch = e_batch.process_batch(segment, MODULES, diagnostics=True)
+        assert_results_identical(reference, batch.to_results())
+        assert_end_state_identical(e_ref, e_batch)
+
+
+@pytest.mark.parametrize("policy", ("additive", "ema"))
+def test_batch_resumes_saturated_history(policy):
+    """Second batch starts from absorbed, partially saturated records —
+    the scan must pick up pinned coordinates from the first batch."""
+    matrix = saturating_matrix(31)
+    cut = matrix.shape[0] // 2
+    factory = _engine_factory("avoc", history_policy=policy)
+    e_ref, e_batch = factory(), factory()
+    ref_a = run_per_round(e_ref, matrix[:cut], MODULES)
+    batch_a = e_batch.process_batch(matrix[:cut], MODULES, diagnostics=True)
+    assert_results_identical(ref_a, batch_a.to_results())
+    ref_b = run_per_round(e_ref, matrix[cut:], MODULES)
+    batch_b = e_batch.process_batch(matrix[cut:], MODULES, diagnostics=True)
+    assert_results_identical(ref_b, batch_b.to_results())
+    assert_end_state_identical(e_ref, e_batch)

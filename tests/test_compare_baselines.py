@@ -17,7 +17,7 @@ from benchmarks.compare_baselines import (
 
 COMMITTED_LATENCY = {
     "average": {"speedup": 28.87, "floor": 5.0},
-    "avoc": {"speedup": 5.44, "floor": 2.0},
+    "avoc": {"speedup": 30.72, "floor": 20.0},
 }
 
 COMMITTED_PARALLEL = {
@@ -64,17 +64,17 @@ class TestCompareLatency:
     def test_small_wobble_is_tolerated(self):
         fresh = {
             "average": {"speedup": 24.0, "floor": 5.0},  # -17%: fine
-            "avoc": {"speedup": 5.0, "floor": 2.0},
+            "avoc": {"speedup": 28.0, "floor": 20.0},
         }
         assert compare_latency(COMMITTED_LATENCY, fresh) == []
 
     def test_speedup_below_floor_fails(self):
         fresh = {
             "average": {"speedup": 28.9, "floor": 5.0},
-            "avoc": {"speedup": 1.5, "floor": 2.0},
+            "avoc": {"speedup": 15.0, "floor": 20.0},
         }
         failures = compare_latency(COMMITTED_LATENCY, fresh)
-        # 1.5x trips both rules: below the 2x floor and >30% off 5.44x.
+        # 15x trips both rules: below the 20x floor and >30% off 30.72x.
         assert len(failures) == 2
         assert any("below the recorded floor" in f for f in failures)
         assert all("avoc" in f for f in failures)
@@ -82,11 +82,18 @@ class TestCompareLatency:
     def test_regression_over_30_percent_fails(self):
         fresh = {
             "average": {"speedup": 12.0, "floor": 5.0},  # -58% vs 28.87
-            "avoc": {"speedup": 5.4, "floor": 2.0},
+            "avoc": {"speedup": 30.0, "floor": 20.0},
         }
         failures = compare_latency(COMMITTED_LATENCY, fresh)
         assert len(failures) == 1
         assert "regressed" in failures[0]
+
+    def test_hardcoded_history_floor_overrides_stale_committed_floor(self):
+        """A regenerated baseline cannot sneak the history floor back down."""
+        committed = {"avoc": {"speedup": 5.44, "floor": 2.0}}
+        fresh = {"avoc": {"speedup": 5.44, "floor": 2.0}}
+        failures = compare_latency(committed, fresh)
+        assert any("below the recorded floor 20.00x" in f for f in failures)
 
     def test_missing_algorithm_fails(self):
         fresh = {"average": {"speedup": 28.9, "floor": 5.0}}
@@ -233,7 +240,7 @@ class TestCli:
         _write(committed, COMMITTED_LATENCY)
         regressed = {
             "average": {"speedup": 3.0, "floor": 5.0},
-            "avoc": {"speedup": 5.4, "floor": 2.0},
+            "avoc": {"speedup": 30.0, "floor": 20.0},
         }
         _write(fresh, regressed)
         assert (
