@@ -13,34 +13,20 @@ from __future__ import annotations
 
 import json
 import os
-import tempfile
 from pathlib import Path
 from typing import Any, Dict
+
+from repro.util import atomic_write
 
 
 def write_baseline(path: Path, report: Dict[str, Any]) -> None:
     """Atomically serialise ``report`` to ``path``.
 
-    The temp file lives in the target directory so the final
-    ``os.replace`` is a same-filesystem rename (atomic on POSIX and
-    Windows); on any failure the partial temp file is removed and the
-    previous baseline is left untouched.
+    Delegates to :func:`repro.util.atomic_write` (sibling mkstemp +
+    ``os.replace``): on any failure the partial temp file is removed
+    and the previous baseline is left untouched.
     """
-    path = Path(path)
-    payload = json.dumps(report, indent=2, sort_keys=True) + "\n"
-    handle, tmp_name = tempfile.mkstemp(
-        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
-    )
-    try:
-        with os.fdopen(handle, "w") as tmp:
-            tmp.write(payload)
-        os.replace(tmp_name, path)
-    except BaseException:
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        raise
+    atomic_write(Path(path), json.dumps(report, indent=2, sort_keys=True) + "\n")
 
 
 def merge_baseline(path: Path, key: str, payload: Dict[str, Any]) -> None:

@@ -44,6 +44,7 @@ __all__ = [
     "compare_ingest",
     "compare_latency",
     "compare_parallel",
+    "compare_store",
     "main",
 ]
 
@@ -61,6 +62,7 @@ LATENCY_FILE = "BENCH_latency.json"
 PARALLEL_FILE = "BENCH_parallel.json"
 CLUSTER_FILE = "BENCH_cluster.json"
 INGEST_FILE = "BENCH_ingest.json"
+STORE_FILE = "BENCH_store.json"
 
 
 def _check_speedup(
@@ -272,6 +274,70 @@ def compare_ingest(
     return failures
 
 
+def compare_store(
+    committed: Dict[str, Any], fresh: Dict[str, Any]
+) -> List[str]:
+    """Gate ``BENCH_store.json``: cold-start speedup, residency, identity.
+
+    ``cold_start`` carries a packed-over-JSONL rehydration ``speedup``
+    gated like every other speedup (recorded ``floor`` + the 30%
+    regression rule); constrained hosts record ``"enforced": false``
+    and are reported without failing.  ``residency`` must show the
+    bounded hot set actually holding less heap than the unbounded run
+    (``bounded_under_unbounded``) and the hot set within its capacity.
+    ``identity`` — evict/rehydrate bit-identity against the always-
+    resident reference — is enforced unconditionally: there is no
+    hardware on which state corruption is acceptable.
+    """
+    failures: List[str] = []
+    cold = committed.get("cold_start")
+    if isinstance(cold, dict):
+        fresh_cold = fresh.get("cold_start")
+        if not isinstance(fresh_cold, dict):
+            failures.append("store/cold_start: missing from fresh baseline")
+        else:
+            _check_speedup(
+                "store/cold_start",
+                fresh_cold.get("speedup"),
+                cold.get("speedup"),
+                cold.get("floor"),
+                bool(fresh_cold.get("enforced", True)),
+                failures,
+            )
+    if isinstance(committed.get("residency"), dict):
+        fresh_res = fresh.get("residency")
+        if not isinstance(fresh_res, dict):
+            failures.append("store/residency: missing from fresh baseline")
+        else:
+            if fresh_res.get("hot_within_bound") is not True:
+                failures.append(
+                    "store/residency: hot set exceeded its configured bound "
+                    f"({fresh_res.get('hot_size')} resident, "
+                    f"bound {fresh_res.get('hot_bound')})"
+                )
+            enforced = bool(fresh_res.get("enforced", True))
+            if fresh_res.get("bounded_under_unbounded") is not True:
+                message = (
+                    ("" if enforced else "[not enforced] ")
+                    + "store/residency: bounded hot set did not hold less "
+                    "heap than the unbounded run"
+                )
+                if enforced:
+                    failures.append(message)
+                else:
+                    print(message)
+    if isinstance(committed.get("identity"), dict):
+        fresh_identity = fresh.get("identity")
+        if not isinstance(fresh_identity, dict):
+            failures.append("store/identity: missing from fresh baseline")
+        elif fresh_identity.get("bit_identical") is not True:
+            failures.append(
+                "store/identity: evict/rehydrate states diverged from the "
+                "always-resident reference"
+            )
+    return failures
+
+
 def _load(path: Path) -> Optional[Dict[str, Any]]:
     if not path.is_file():
         return None
@@ -288,6 +354,7 @@ def compare_dirs(committed_dir: Path, fresh_dir: Path) -> List[str]:
         (PARALLEL_FILE, compare_parallel),
         (CLUSTER_FILE, compare_cluster),
         (INGEST_FILE, compare_ingest),
+        (STORE_FILE, compare_store),
     ):
         committed = _load(committed_dir / filename)
         if committed is None:

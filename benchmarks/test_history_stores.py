@@ -15,7 +15,9 @@ from repro.analysis.report import render_table
 from repro.history.cached import WriteBehindStore
 from repro.history.file import JsonlHistoryStore
 from repro.history.memory import MemoryHistoryStore
+from repro.history.packed import PackedHistoryStore
 from repro.history.sqlite import SqliteHistoryStore
+from repro.history.tiered import TieredHistoryStore
 from repro.types import Round
 from repro.voting.hybrid import HybridVoter
 
@@ -53,6 +55,19 @@ def test_store_backend_comparison(benchmark, tmp_path):
                     SqliteHistoryStore(tmp_path / "b.db"), flush_every=16
                 )
             ),
+            "packed": _time_store(
+                PackedHistoryStore(tmp_path / "packed").store_for("s")
+            ),
+            "tiered(packed)": _time_store(
+                TieredHistoryStore(
+                    PackedHistoryStore(tmp_path / "tiered")
+                ).store_for("s")
+            ),
+            "tiered(packed)+flush16": _time_store(
+                TieredHistoryStore(
+                    PackedHistoryStore(tmp_path / "tiered16"), flush_every=16
+                ).store_for("s")
+            ),
         }
 
     timings = benchmark.pedantic(measure, iterations=1, rounds=1)
@@ -71,6 +86,11 @@ def test_store_backend_comparison(benchmark, tmp_path):
     # backing store (it only adds dict copies between flushes).
     assert timings["sqlite+write-behind"] <= timings["sqlite"] * 1.5
     assert timings["jsonl"] > timings["none (in-process)"] * 0.9
+    # Batching writes through the tiered hot set must not cost more
+    # than the write-through path (it skips 15 of 16 block appends).
+    assert (
+        timings["tiered(packed)+flush16"] <= timings["tiered(packed)"] * 1.1
+    )
 
 
 def test_jsonl_log_growth_is_bounded_by_compaction(benchmark, tmp_path):

@@ -301,6 +301,15 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _resident_bound(value):
+    """Map the CLI residency knob: None = default, 0 = unbounded."""
+    if value is None:
+        from .history import DEFAULT_HOT_SERIES
+
+        return DEFAULT_HOT_SERIES
+    return None if value == 0 else value
+
+
 def _cmd_cluster(args) -> int:
     import json
 
@@ -317,12 +326,16 @@ def _cmd_cluster(args) -> int:
         port=args.port,
         history_root=args.history_root,
         mode=args.mode,
+        store=args.store,
+        max_resident_series=_resident_bound(args.max_resident_series),
     )
     cluster.start()
     host, port = cluster.address
+    store_label = args.store or "jsonl"
     print(
         f"fusion cluster '{spec.algorithm_name}' listening on {host}:{port} "
-        f"({args.shards} shards, {args.replicas} replicas)"
+        f"({args.shards} shards, {args.replicas} replicas, "
+        f"{store_label} store)"
     )
     print(json.dumps(cluster.describe(), indent=2))
     if args.once:
@@ -351,6 +364,8 @@ def _cmd_ingest(args) -> int:
         n_shards=args.shards,
         replicas=args.replicas,
         mode=args.mode,
+        store=args.store,
+        max_resident_series=_resident_bound(args.max_resident_series),
     )
     cluster.start()
     ingest = AsyncIngestServer(
@@ -567,6 +582,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="backend isolation (default: process where fork exists)",
     )
     cluster.add_argument(
+        "--store", choices=("packed", "jsonl", "sqlite", "memory"),
+        default=None,
+        help="per-shard history storage tier (default: per-series JSONL "
+        "logs; 'packed' scales to millions of series)",
+    )
+    cluster.add_argument(
+        "--max-resident-series", type=int, default=None, metavar="N",
+        help="LRU bound on live engines per shard (default: 10000; "
+        "0 = unbounded)",
+    )
+    cluster.add_argument(
         "--once", action="store_true",
         help="start, print the topology, and exit (for scripting/tests)",
     )
@@ -591,6 +617,17 @@ def build_parser() -> argparse.ArgumentParser:
     ingest.add_argument(
         "--mode", choices=("process", "thread"), default=None,
         help="backend isolation (default: process where fork exists)",
+    )
+    ingest.add_argument(
+        "--store", choices=("packed", "jsonl", "sqlite", "memory"),
+        default=None,
+        help="per-shard history storage tier (default: per-series JSONL "
+        "logs; 'packed' scales to millions of series)",
+    )
+    ingest.add_argument(
+        "--max-resident-series", type=int, default=None, metavar="N",
+        help="LRU bound on live engines per shard (default: 10000; "
+        "0 = unbounded)",
     )
     ingest.add_argument(
         "--once", action="store_true",

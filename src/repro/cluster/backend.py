@@ -26,26 +26,37 @@ records intact.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import multiprocessing
-import re
 import threading
+from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..exceptions import ReproError
-from ..history.file import JsonlHistoryStore
+from ..history import (
+    DEFAULT_HOT_SERIES,
+    JsonlStateStore,
+    MemoryStateStore,
+    PackedHistoryStore,
+    SqliteStateStore,
+    TieredHistoryStore,
+    series_filename,
+)
 from ..runtime.pool import fork_available
 from ..service.client import VoterClient
 from ..service.protocol import ErrorCode, ProtocolError, ok_response
 from ..service.server import VoterServer, _numeric, _result_payload
+from ..util import atomic_write
 from ..vdx.factory import build_engine
 from ..vdx.spec import VotingSpec
 
-__all__ = ["ManagedBackend", "ShardServer"]
+__all__ = ["ManagedBackend", "ShardServer", "STORE_KINDS"]
+
+#: Storage tiers selectable per shard (the ``--store`` knob).
+STORE_KINDS = ("packed", "jsonl", "sqlite", "memory")
 
 #: Replay-cache payloads kept per series.  Gateway retries are
 #: short-lived (bounded backoff), so a small window is plenty; rounds
@@ -58,11 +69,9 @@ DEFAULT_REPLAY_CACHE_ROUNDS = 1024
 _WATERMARK_COMPACT_EVERY = 4096
 
 
-def _series_filename(series: str) -> str:
-    """A filesystem-safe, collision-free log name for a series key."""
-    slug = re.sub(r"[^A-Za-z0-9_.-]", "_", series)[:48]
-    digest = hashlib.blake2b(series.encode("utf-8"), digest_size=6).hexdigest()
-    return f"{slug}-{digest}.jsonl"
+# Kept as an alias: the naming scheme moved to repro.history.bulk so the
+# JSONL bulk store shares it, and existing imports keep working.
+_series_filename = series_filename
 
 
 class ShardServer(VoterServer):
@@ -71,8 +80,17 @@ class ShardServer(VoterServer):
     Requests without a ``series`` field behave exactly like the plain
     :class:`VoterServer` (single shared engine); requests carrying one
     are routed to that series' engine, created lazily from the same
-    VDX spec.  With ``history_dir`` set, each series persists its
-    records to its own JSONL log under that directory.
+    VDX spec.  With ``history_dir`` set, each series persists through a
+    :class:`~repro.history.tiered.TieredHistoryStore` over the selected
+    ``store`` backing (``jsonl`` by default — the historical
+    one-log-per-series layout; ``packed`` for the mmap segment store
+    that scales to millions of series; ``sqlite``; ``memory``).
+
+    Engine residency is LRU-bounded at ``max_resident_series``: idle
+    engines are flushed through the tiered store and dropped, and any
+    known series — hosted before a restart, or evicted — is rehydrated
+    transparently on its next request, bit-identically to an engine
+    that never left memory.
     """
 
     #: Shards deduplicate rounds and replay cached results, so peers
@@ -88,20 +106,80 @@ class ShardServer(VoterServer):
         history_dir=None,
         registry=None,
         replay_cache_rounds: int = DEFAULT_REPLAY_CACHE_ROUNDS,
+        store: Optional[str] = None,
+        max_resident_series: Optional[int] = DEFAULT_HOT_SERIES,
+        maintenance_interval: Optional[float] = None,
     ):
         super().__init__(spec, host=host, port=port, registry=registry)
         self._history_dir = Path(history_dir) if history_dir is not None else None
         self.replay_cache_rounds = max(1, int(replay_cache_rounds))
-        self._engines: Dict[str, Any] = {}
+        if max_resident_series is not None and max_resident_series < 1:
+            raise ReproError(
+                f"max_resident_series must be >= 1 or None, "
+                f"got {max_resident_series}"
+            )
+        self.max_resident_series = max_resident_series
+        self._engines: "OrderedDict[str, Any]" = OrderedDict()
         self._series_pending: Dict[str, Dict[int, Dict[str, Optional[float]]]] = {}
         self._series_voted: Dict[str, Dict[int, Dict[str, Any]]] = {}
         self._series_watermark: Dict[str, int] = self._load_watermarks()
         self._watermark_appends = 0
-        # Rehydrate series hosted before a restart: engines are created
-        # lazily, so without the index a freshly restarted shard would
-        # answer "unknown series" for history it still holds on disk.
-        for series in self._load_series_index():
-            self._engine_for(series)
+        self._tiered = self._build_tiered_store(store, maintenance_interval)
+        # Series hosted before a restart (or evicted since): engines are
+        # created lazily on their first request, so a freshly restarted
+        # shard answers for the history it holds on disk without paying
+        # a cold-start rehydration of every series up front.
+        self._known_series = set(self._load_series_index())
+        if self._tiered is not None:
+            self._known_series.update(self._tiered.series())
+
+    def _build_tiered_store(
+        self, store: Optional[str], maintenance_interval: Optional[float]
+    ) -> Optional[TieredHistoryStore]:
+        if store is None:
+            # Default: durable shards keep the historical one-JSONL-log-
+            # per-series layout; store-less shards stay store-less so the
+            # vectorized batch kernel (store-free only) stays engaged.
+            store = "jsonl" if self._history_dir is not None else None
+        if store is None:
+            return None
+        if store not in STORE_KINDS:
+            raise ReproError(
+                f"unknown store {store!r}; expected one of {STORE_KINDS}"
+            )
+        if store != "memory" and self._history_dir is None:
+            raise ReproError(f"store {store!r} requires a history directory")
+        if store == "packed":
+            backing = PackedHistoryStore(self._history_dir / "packed")
+        elif store == "jsonl":
+            backing = JsonlStateStore(self._history_dir)
+        elif store == "sqlite":
+            backing = SqliteStateStore(self._history_dir / "series-state.db")
+        else:
+            backing = MemoryStateStore()
+        return TieredHistoryStore(
+            backing,
+            hot_series=self.max_resident_series,
+            registry=self.registry,
+            maintenance_interval=maintenance_interval,
+            maintenance_hook=self._background_maintenance,
+        )
+
+    def _background_maintenance(self) -> None:
+        """Maintenance-thread hook: compact the watermark log off-path."""
+        with self._lock:
+            if self._watermark_appends >= _WATERMARK_COMPACT_EVERY:
+                self._write_watermarks()
+
+    @property
+    def tiered_store(self) -> Optional[TieredHistoryStore]:
+        """The shard's tiered history store (None for store-less shards)."""
+        return self._tiered
+
+    def stop(self) -> None:
+        super().stop()
+        if self._tiered is not None:
+            self._tiered.close()
 
     def _series_index_path(self) -> Optional[Path]:
         if self._history_dir is None:
@@ -118,6 +196,7 @@ class ShardServer(VoterServer):
             return []
 
     def _record_series(self, series: str) -> None:
+        self._known_series.add(series)
         path = self._series_index_path()
         if path is None:
             return
@@ -125,8 +204,10 @@ class ShardServer(VoterServer):
         if series in known:
             return
         known.add(series)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(sorted(known)), encoding="utf-8")
+        # Atomic rewrite: a crash mid-write must leave the previous
+        # complete index, never a truncated one that would make the
+        # restarted shard forget every series it hosts.
+        atomic_write(path, json.dumps(sorted(known)))
 
     # -- voted watermarks ----------------------------------------------------
 
@@ -160,8 +241,7 @@ class ShardServer(VoterServer):
             json.dumps({"series": series, "round": number})
             for series, number in sorted(self._series_watermark.items())
         ]
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text("".join(line + "\n" for line in lines), encoding="utf-8")
+        atomic_write(path, "".join(line + "\n" for line in lines))
         self._watermark_appends = 0
 
     def _record_watermark(self, series: str, number: int) -> None:
@@ -200,26 +280,50 @@ class ShardServer(VoterServer):
 
     def _engine_for(self, series: str, create: bool = True):
         engine = self._engines.get(series)
-        if engine is None:
-            if not create:
-                raise ProtocolError(
+        if engine is not None:
+            self._engines.move_to_end(series)
+            return engine
+        known = series in self._known_series
+        if not create and not known:
+            raise ProtocolError(
                 f"unknown series {series!r}", code=ErrorCode.UNKNOWN_SERIES
             )
-            store = None
-            if self._history_dir is not None:
-                store = JsonlHistoryStore(
-                    self._history_dir / _series_filename(series)
-                )
-            engine = build_engine(
-                self.spec, history_store=store, registry=self.registry
-            )
-            self._engines[series] = engine
+        # A known-but-not-resident series (evicted, or hosted before a
+        # restart) rehydrates here: the engine is rebuilt from the spec
+        # and its HistoryRecords restore ``(records, update_count)``
+        # through the tiered store, bit-identically to an engine that
+        # never left memory.
+        store = (
+            self._tiered.store_for(series) if self._tiered is not None else None
+        )
+        engine = build_engine(
+            self.spec, history_store=store, registry=self.registry
+        )
+        self._engines[series] = engine
+        if not known:
             self._record_series(series)
+        self._evict_engines()
         return engine
+
+    def _evict_engines(self) -> None:
+        """Drop least-recently-used engines beyond the residency bound."""
+        if self.max_resident_series is None or self._tiered is None:
+            return
+        while len(self._engines) > self.max_resident_series:
+            series, engine = self._engines.popitem(last=False)
+            history = getattr(engine.voter, "history", None)
+            if history is not None:
+                history.persist()
+            self._tiered.evict(series)
 
     @property
     def series_hosted(self) -> Tuple[str, ...]:
-        return tuple(sorted(self._engines))
+        return tuple(sorted(set(self._engines) | self._known_series))
+
+    @property
+    def resident_series(self) -> Tuple[str, ...]:
+        """Series with a live engine right now (LRU order, oldest first)."""
+        return tuple(self._engines)
 
     # -- series-routed voting ----------------------------------------------
 
@@ -370,9 +474,17 @@ class ShardServer(VoterServer):
         if series is None:
             response = super()._op_stats(request)
             response["series"] = list(self.series_hosted)
+            # Round counters are per-process; a known-but-not-resident
+            # series reports 0, exactly as it would after a restart.
             response["series_rounds"] = {
-                s: self._engines[s].rounds_processed for s in self.series_hosted
+                s: (
+                    self._engines[s].rounds_processed
+                    if s in self._engines
+                    else 0
+                )
+                for s in self.series_hosted
             }
+            response["resident_series"] = len(self._engines)
             return response
         engine = self._engine_for(series, create=False)
         return ok_response(series=series, **engine.statistics())
@@ -383,6 +495,11 @@ class ShardServer(VoterServer):
             for engine in self._engines.values():
                 engine.reset()
             self._engines.clear()
+            if self._tiered is not None:
+                # Evicted/non-resident series have no engine to reset;
+                # wipe their persisted state directly.
+                self._tiered.clear()
+            self._known_series.clear()
             self._series_pending.clear()
             self._series_voted.clear()
             self._series_watermark.clear()
@@ -397,6 +514,9 @@ class ShardServer(VoterServer):
             store = getattr(history, "store", None)
             if store is not None:
                 store.clear()
+        elif self._tiered is not None:
+            self._tiered.delete(series)
+        self._known_series.discard(series)
         self._series_pending.pop(series, None)
         self._series_voted.pop(series, None)
         if self._series_watermark.pop(series, None) is not None:
@@ -404,7 +524,7 @@ class ShardServer(VoterServer):
         path = self._series_index_path()
         if path is not None:
             known = [s for s in self._load_series_index() if s != series]
-            path.write_text(json.dumps(known), encoding="utf-8")
+            atomic_write(path, json.dumps(known))
         return ok_response(reset=True, series=series)
 
     def _op_configure(self, request) -> Dict[str, Any]:
@@ -414,7 +534,10 @@ class ShardServer(VoterServer):
             store = getattr(history, "store", None)
             if store is not None:
                 store.clear()
+        if self._tiered is not None:
+            self._tiered.clear()
         self._engines.clear()
+        self._known_series.clear()
         self._series_pending.clear()
         self._series_voted.clear()
         self._series_watermark.clear()
@@ -451,9 +574,9 @@ class ShardServer(VoterServer):
             # records *and* its update counter, so the bootstrap trigger
             # and EMA warm-up behave as if this shard never crashed.
             history.absorb(records, int(updates))
-            store = getattr(history, "store", None)
-            if store is not None:  # absorb skips the store by design
-                store.save(history.snapshot())
+            # absorb skips the store by design; persist() writes both
+            # the records and the adopted update counter through.
+            history.persist()
         else:
             history.seed(records, count_as_update=False)
         if watermark is not None:
@@ -461,14 +584,30 @@ class ShardServer(VoterServer):
         return ok_response(synced=len(records), series=series)
 
 
-def _backend_main(spec: VotingSpec, host: str, history_dir, conn) -> None:
+def _backend_main(
+    spec: VotingSpec,
+    host: str,
+    history_dir,
+    store: Optional[str],
+    max_resident_series: Optional[int],
+    maintenance_interval: Optional[float],
+    conn,
+) -> None:
     """Subprocess entry: serve one shard until the process is killed."""
     from ..obs import disable
 
     # The child serves over the wire; its metrics die with it anyway,
     # and a forked copy of the parent registry would only skew labels.
     disable()
-    server = ShardServer(spec, host=host, port=0, history_dir=history_dir)
+    server = ShardServer(
+        spec,
+        host=host,
+        port=0,
+        history_dir=history_dir,
+        store=store,
+        max_resident_series=max_resident_series,
+        maintenance_interval=maintenance_interval,
+    )
     server.start()
     conn.send(server.address)
     conn.close()
@@ -494,6 +633,9 @@ class ManagedBackend:
         host: str = "127.0.0.1",
         mode: Optional[str] = None,
         probe_timeout: float = 2.0,
+        store: Optional[str] = None,
+        max_resident_series: Optional[int] = DEFAULT_HOT_SERIES,
+        maintenance_interval: Optional[float] = None,
     ):
         if mode is None:
             mode = "process" if fork_available() else "thread"
@@ -501,11 +643,18 @@ class ManagedBackend:
             raise ReproError(f"unknown backend mode {mode!r}")
         if mode == "process" and not fork_available():
             raise ReproError("process-mode backends need the fork start method")
+        if store is not None and store not in STORE_KINDS:
+            raise ReproError(
+                f"unknown store {store!r}; expected one of {STORE_KINDS}"
+            )
         self.backend_id = backend_id
         self.spec = spec
         self.host = host
         self.mode = mode
         self.probe_timeout = probe_timeout
+        self.store = store
+        self.max_resident_series = max_resident_series
+        self.maintenance_interval = maintenance_interval
         self.history_dir = Path(history_dir) if history_dir is not None else None
         self.restarts = 0
         self._process: Optional[multiprocessing.process.BaseProcess] = None
@@ -531,7 +680,13 @@ class ManagedBackend:
             self.history_dir.mkdir(parents=True, exist_ok=True)
         if self.mode == "thread":
             self._server = ShardServer(
-                self.spec, host=self.host, port=0, history_dir=self.history_dir
+                self.spec,
+                host=self.host,
+                port=0,
+                history_dir=self.history_dir,
+                store=self.store,
+                max_resident_series=self.max_resident_series,
+                maintenance_interval=self.maintenance_interval,
             )
             self._server.start()
             self._address = self._server.address
@@ -540,7 +695,15 @@ class ManagedBackend:
             parent_conn, child_conn = ctx.Pipe()
             self._process = ctx.Process(
                 target=_backend_main,
-                args=(self.spec, self.host, self.history_dir, child_conn),
+                args=(
+                    self.spec,
+                    self.host,
+                    self.history_dir,
+                    self.store,
+                    self.max_resident_series,
+                    self.maintenance_interval,
+                    child_conn,
+                ),
                 daemon=True,
                 name=f"shard-{self.backend_id}",
             )

@@ -28,6 +28,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from ..exceptions import ReproError
+from ..history import DEFAULT_HOT_SERIES
 from ..obs import ClusterInstruments, MetricsRegistry, get_default_registry
 from ..service.client import VoterClient
 from ..vdx.spec import VotingSpec
@@ -50,6 +51,14 @@ class FusionCluster:
             temporary directory (cleaned up on :meth:`stop`) when None.
         mode: backend mode — ``"process"`` (default where ``fork``
             exists) or ``"thread"``.
+        store: per-shard history storage tier — ``"packed"``,
+            ``"jsonl"``, ``"sqlite"`` or ``"memory"`` (default: the
+            historical per-series JSONL logs).
+        max_resident_series: per-shard LRU bound on live engines / hot
+            history states; ``None`` keeps everything resident.
+        maintenance_interval: when set, each shard runs a background
+            thread compacting its store (dead packed-segment space,
+            watermark log) every this many seconds.
         probe_interval: seconds between monitor liveness sweeps.
         auto_restart: restart backends that die; turn off to observe
             raw failover behaviour (e.g. the bit-identity benchmark).
@@ -66,6 +75,9 @@ class FusionCluster:
         port: int = 0,
         history_root=None,
         mode: Optional[str] = None,
+        store: Optional[str] = None,
+        max_resident_series: Optional[int] = DEFAULT_HOT_SERIES,
+        maintenance_interval: Optional[float] = None,
         probe_interval: float = 0.25,
         auto_restart: bool = True,
         vnodes: int = DEFAULT_VNODES,
@@ -79,6 +91,9 @@ class FusionCluster:
         self.host = host
         self.port = port
         self.mode = mode
+        self.store = store
+        self.max_resident_series = max_resident_series
+        self.maintenance_interval = maintenance_interval
         self.probe_interval = probe_interval
         self.auto_restart = auto_restart
         self.registry = registry if registry is not None else get_default_registry()
@@ -180,6 +195,9 @@ class FusionCluster:
             history_dir=self.history_root / backend_id,
             host=self.host,
             mode=self.mode,
+            store=self.store,
+            max_resident_series=self.max_resident_series,
+            maintenance_interval=self.maintenance_interval,
         )
         address = backend.start()
         with self._lock:

@@ -2,21 +2,46 @@
 
 The paper's deployment keeps history records in a datastore and notes
 that "datastore reads and writes [are] the bottleneck" of the
-1-millisecond history-aware round (§7).  This package provides the
-store interface plus two backends: a process-local in-memory store and
-a JSONL append-log file store with snapshot/replay semantics.
+1-millisecond history-aware round (§7).  This package provides two
+interfaces and their backends:
+
+* :class:`HistoryStore` — one series' records (in-memory, JSONL log,
+  SQLite, write-behind cache);
+* :class:`SeriesStateStore` — bulk state for an entire shard's series
+  population (memory dict, JSONL directory, single SQLite database,
+  packed mmap segments), fronted by :class:`TieredHistoryStore`'s
+  LRU-bounded hot set for million-series shards.
 """
 
-from .store import HistoryStore
+from .store import HistoryStore, SeriesState, SeriesStateStore
 from .memory import MemoryHistoryStore
 from .file import JsonlHistoryStore
 from .sqlite import SqliteHistoryStore
 from .cached import WriteBehindStore
+from .bulk import (
+    JsonlStateStore,
+    MemoryStateStore,
+    SqliteStateStore,
+    series_filename,
+)
+from .packed import PackedHistoryStore, PackedSeriesStore
+from .tiered import DEFAULT_HOT_SERIES, TieredHistoryStore, TieredSeriesStore
 
 __all__ = [
+    "DEFAULT_HOT_SERIES",
     "HistoryStore",
-    "MemoryHistoryStore",
     "JsonlHistoryStore",
+    "JsonlStateStore",
+    "MemoryHistoryStore",
+    "MemoryStateStore",
+    "PackedHistoryStore",
+    "PackedSeriesStore",
+    "SeriesState",
+    "SeriesStateStore",
     "SqliteHistoryStore",
+    "SqliteStateStore",
+    "TieredHistoryStore",
+    "TieredSeriesStore",
     "WriteBehindStore",
+    "series_filename",
 ]

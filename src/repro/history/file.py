@@ -15,6 +15,7 @@ from pathlib import Path
 from typing import Dict, Mapping, Optional, Union
 
 from ..exceptions import HistoryStoreError
+from ..util import atomic_write
 from .store import HistoryStore
 
 
@@ -79,13 +80,17 @@ class JsonlHistoryStore(HistoryStore):
         self._appends_since_compact = 0
 
     def compact(self) -> None:
-        """Rewrite the log as a single line holding the latest snapshot."""
+        """Rewrite the log as a single line holding the latest snapshot.
+
+        The rewrite goes through :func:`repro.util.atomic_write`
+        (sibling mkstemp + ``os.replace``), so a crash mid-compaction
+        leaves either the old multi-line log or the new one-line log —
+        never a truncated file, and never a stale ``.tmp`` that a
+        concurrent compaction would trip over.
+        """
         snapshot = self.load()
-        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
         try:
-            with open(tmp, "w", encoding="utf-8") as fh:
-                fh.write(json.dumps(snapshot, sort_keys=True) + "\n")
-            os.replace(tmp, self.path)
+            atomic_write(self.path, json.dumps(snapshot, sort_keys=True) + "\n")
         except OSError as exc:
             raise HistoryStoreError(f"cannot compact history log {self.path}: {exc}")
         self._appends_since_compact = 0

@@ -25,6 +25,7 @@ from .instruments import (
     IngestInstruments,
     RuntimeInstruments,
     ServiceInstruments,
+    StoreInstruments,
 )
 from .metrics import (
     DEFAULT_LATENCY_BUCKETS,
@@ -57,6 +58,7 @@ __all__ = [
     "NullRegistry",
     "RuntimeInstruments",
     "ServiceInstruments",
+    "StoreInstruments",
     "disable",
     "enable",
     "exponential_buckets",

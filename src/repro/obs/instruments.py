@@ -23,6 +23,7 @@ __all__ = [
     "EngineInstruments",
     "RuntimeInstruments",
     "ServiceInstruments",
+    "StoreInstruments",
 ]
 
 #: Degraded-round reason labels shared by the per-round and batch paths.
@@ -265,6 +266,63 @@ class IngestInstruments:
         )
         self.frames_v2_json = frames.labels("2-json")
         self.frames_v3_binary = frames.labels("3-binary")
+
+
+class StoreInstruments:
+    """Tiered-history-store metrics: residency, churn, compaction cost.
+
+    The hot-set gauge and the segment-byte gauges are render-time
+    callbacks reading the store directly, so the per-round store path
+    never pays for them; the churn counters are bumped by the store on
+    eviction/rehydration/write-back, which are already off the
+    per-round fast path.
+    """
+
+    __slots__ = (
+        "enabled",
+        "evictions",
+        "rehydrations",
+        "writebacks",
+        "compaction_seconds",
+    )
+
+    def __init__(self, registry: MetricsRegistry, store: Any = None):
+        self.enabled = registry.enabled
+        self.evictions = registry.counter(
+            "store_evictions_total",
+            "Series evicted from the tiered history store's hot set.",
+        )
+        self.rehydrations = registry.counter(
+            "store_rehydrations_total",
+            "Series rehydrated from the backing store into the hot set.",
+        )
+        self.writebacks = registry.counter(
+            "store_writebacks_total",
+            "Dirty series states written back to the backing store.",
+        )
+        self.compaction_seconds = registry.histogram(
+            "store_compaction_seconds",
+            "Wall time of one backing-store compaction pass.",
+        )
+        if store is not None:
+            # Last store constructed against a registry wins, matching
+            # the fusion_history_record precedent in EngineInstruments.
+            registry.gauge(
+                "store_hot_series",
+                "Series resident in the tiered store's hot set.",
+            ).set_function(lambda: float(store.hot_size))
+            segment_bytes = registry.gauge(
+                "store_segment_bytes",
+                "Bytes held by the backing store's segment files.",
+                labels=("state",),
+            )
+            backing = getattr(store, "backing", None)
+            segment_bytes.labels("live").set_function(
+                lambda: float(getattr(backing, "live_bytes", 0))
+            )
+            segment_bytes.labels("dead").set_function(
+                lambda: float(getattr(backing, "dead_bytes", 0))
+            )
 
 
 class RuntimeInstruments:

@@ -86,8 +86,22 @@ class HistoryRecords:
         self._updates = 0
         self._store = store
         if store is not None:
-            for module, value in store.load().items():
-                self._set(module, float(value))
+            # Extended store protocol: stores exposing ``load_state`` /
+            # ``save_state`` persist the update counter alongside the
+            # records, so a rehydrated engine is bit-identical to one
+            # that never left memory (the AVOC bootstrap trigger keys on
+            # ``update_count == 0``, which record values alone cannot
+            # restore).  Plain stores keep the legacy records-only cycle.
+            if hasattr(store, "load_state"):
+                state = store.load_state()
+                if state is not None:
+                    records, updates = state
+                    for module, value in records.items():
+                        self._set(module, float(value))
+                    self._updates = int(updates)
+            else:
+                for module, value in store.load().items():
+                    self._set(module, float(value))
 
     # -- slot management --------------------------------------------------
 
@@ -163,6 +177,20 @@ class HistoryRecords:
         """The attached persistent backend (None for in-memory records)."""
         return self._store
 
+    def persist(self) -> None:
+        """Write the current state through to the attached store.
+
+        Uses the extended ``save_state(records, updates)`` protocol when
+        the store offers it (tiered/packed backends), falling back to
+        the records-only ``save`` otherwise.  No-op without a store.
+        """
+        if self._store is None:
+            return
+        if hasattr(self._store, "save_state"):
+            self._store.save_state(self.snapshot(), self._updates)
+        else:
+            self._store.save(self.snapshot())
+
     def __len__(self) -> int:
         return len(self._index)
 
@@ -194,8 +222,7 @@ class HistoryRecords:
             self.update_at(slots, np.fromiter(scores.values(), dtype=float))
         else:
             self._updates += 1
-            if self._store is not None:
-                self._store.save(self.snapshot())
+            self.persist()
         return self.snapshot()
 
     def update_at(self, slots: np.ndarray, scores: np.ndarray) -> None:
@@ -218,8 +245,7 @@ class HistoryRecords:
             )
         self._values[slots] = np.minimum(np.maximum(updated, 0.0), 1.0)
         self._updates += 1
-        if self._store is not None:
-            self._store.save(self.snapshot())
+        self.persist()
 
     def seed(self, records: Mapping[str, float], count_as_update: bool = True) -> None:
         """Overwrite records directly (used by the AVOC bootstrap)."""
@@ -227,8 +253,7 @@ class HistoryRecords:
             self._set(module, min(max(float(value), 0.0), 1.0))
         if count_as_update:
             self._updates += 1
-        if self._store is not None:
-            self._store.save(self.snapshot())
+        self.persist()
 
     def absorb(self, records: Mapping[str, float], update_count: int) -> None:
         """Overwrite all records and the update counter in one step.

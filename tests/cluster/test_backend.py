@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.cluster.backend import ManagedBackend, ShardServer, _series_filename
+from repro.exceptions import ReproError
 from repro.runtime.pool import fork_available
 from repro.service.client import ServiceError, VoterClient
 from repro.vdx.examples import AVOC_SPEC
@@ -312,6 +313,172 @@ class TestHistoryPersistence:
         got = [r["value"] for r in resumed]
         want = [None if np.isnan(v) else float(v) for v in outcome.values[20:]]
         assert got == pytest.approx(want)
+
+
+class TestTieredResidency:
+    def test_engine_residency_is_bounded(self, tmp_path):
+        server = ShardServer(AVOC_SPEC, history_dir=tmp_path,
+                             max_resident_series=2)
+        server.start()
+        try:
+            with VoterClient(*server.address) as c:
+                values = dict(zip(MODULES, [18.0, 18.1, 17.9]))
+                for k in range(6):
+                    c.vote(0, values, series=f"s{k}")
+                assert len(server.resident_series) <= 2
+                assert len(server.series_hosted) == 6
+                stats = c.stats()
+                assert stats["resident_series"] <= 2
+                assert sorted(stats["series"]) == [f"s{k}" for k in range(6)]
+        finally:
+            server.stop()
+
+    def test_evicted_series_still_answers_reads(self, tmp_path):
+        server = ShardServer(AVOC_SPEC, history_dir=tmp_path,
+                             max_resident_series=1)
+        server.start()
+        try:
+            with VoterClient(*server.address) as c:
+                values = dict(zip(MODULES, [18.0, 18.1, 17.9]))
+                c.vote(0, values, series="a")
+                snapshot = c.history(series="a")
+                c.vote(0, values, series="b")  # evicts a
+                assert server.resident_series == ("b",)
+                assert c.history(series="a") == pytest.approx(snapshot)
+                # Truly unknown series are still refused, not created.
+                with pytest.raises(ServiceError, match="unknown series"):
+                    c.stats(series="never-seen")
+        finally:
+            server.stop()
+
+    def test_thrashed_series_vote_bit_identically(self, tmp_path):
+        """With room for one engine, two interleaved series evict each
+        other on every round — and must still match an engine that
+        never left memory, exactly."""
+        rows = rows_for(30, seed=5)
+        reference = build_engine(AVOC_SPEC)
+        outcome = reference.process_batch(np.asarray(rows), MODULES)
+        want = [None if np.isnan(v) else float(v) for v in outcome.values]
+        server = ShardServer(AVOC_SPEC, history_dir=tmp_path, store="packed",
+                             max_resident_series=1)
+        server.start()
+        try:
+            with VoterClient(*server.address) as c:
+                got = {"a": [], "b": []}
+                for i, row in enumerate(rows):
+                    for key in ("a", "b"):
+                        response = c.vote(i, dict(zip(MODULES, row)),
+                                          series=key)
+                        got[key].append(response["value"])
+            assert server.tiered_store.evictions > 0
+            assert server.tiered_store.rehydrations > 0
+        finally:
+            server.stop()
+        assert got["a"] == want
+        assert got["b"] == want
+
+    def test_restart_is_lazy_and_rehydrates_on_demand(self, tmp_path):
+        rows = rows_for(10)
+        server = ShardServer(AVOC_SPEC, history_dir=tmp_path, store="packed")
+        server.start()
+        with VoterClient(*server.address) as c:
+            for key in ("a", "b", "c"):
+                c.vote_batch([{"series": key, "rounds": list(range(10)),
+                               "modules": MODULES, "rows": rows}])
+            records = c.history(series="b")
+        server.stop()
+        reborn = ShardServer(AVOC_SPEC, history_dir=tmp_path, store="packed")
+        reborn.start()
+        try:
+            # No eager cold-start: engines come back only when asked for.
+            assert reborn.resident_series == ()
+            assert reborn.series_hosted == ("a", "b", "c")
+            with VoterClient(*reborn.address) as c:
+                assert c.history(series="b") == pytest.approx(records)
+            assert reborn.resident_series == ("b",)
+        finally:
+            reborn.stop()
+
+    def test_rejects_bad_residency_bound(self, tmp_path):
+        with pytest.raises(ReproError, match="max_resident_series"):
+            ShardServer(AVOC_SPEC, history_dir=tmp_path,
+                        max_resident_series=0)
+
+
+class TestStoreKnobs:
+    @pytest.mark.parametrize(
+        "store,keeps_counter",
+        [("packed", True), ("sqlite", True), ("jsonl", False)],
+    )
+    def test_state_survives_restart(self, tmp_path, store, keeps_counter):
+        rows = rows_for(8)
+        server = ShardServer(AVOC_SPEC, history_dir=tmp_path, store=store)
+        server.start()
+        with VoterClient(*server.address) as c:
+            for i, row in enumerate(rows):
+                c.vote(i, dict(zip(MODULES, row)), series="s")
+            before = c.request({"op": "history", "series": "s"})
+        server.stop()
+        reborn = ShardServer(AVOC_SPEC, history_dir=tmp_path, store=store)
+        reborn.start()
+        try:
+            with VoterClient(*reborn.address) as c:
+                after = c.request({"op": "history", "series": "s"})
+        finally:
+            reborn.stop()
+        assert after["records"] == pytest.approx(before["records"])
+        assert after["watermark"] == before["watermark"]
+        assert before["updates"] > 0
+        # The packed and sqlite tiers persist the update counter; the
+        # legacy JSONL line format cannot, so it restarts at 0 — the
+        # same behavior a restarted shard has always had.
+        assert after["updates"] == (before["updates"] if keeps_counter else 0)
+
+    def test_memory_store_needs_no_history_dir(self):
+        server = ShardServer(AVOC_SPEC, store="memory", max_resident_series=1)
+        server.start()
+        try:
+            with VoterClient(*server.address) as c:
+                values = dict(zip(MODULES, [18.0, 18.1, 17.9]))
+                c.vote(0, values, series="a")
+                snapshot = c.history(series="a")
+                c.vote(0, values, series="b")  # evicts a into the dict tier
+                assert c.history(series="a") == pytest.approx(snapshot)
+        finally:
+            server.stop()
+
+    def test_reset_wipes_the_backing_store(self, tmp_path):
+        server = ShardServer(AVOC_SPEC, history_dir=tmp_path, store="packed")
+        server.start()
+        try:
+            with VoterClient(*server.address) as c:
+                c.vote(0, dict(zip(MODULES, [18.0, 18.1, 17.9])), series="s")
+                c.reset()
+                assert server.series_hosted == ()
+                with pytest.raises(ServiceError, match="unknown series"):
+                    c.history(series="s")
+        finally:
+            server.stop()
+
+    def test_unknown_store_kind_is_rejected(self, tmp_path):
+        with pytest.raises(ReproError, match="unknown store"):
+            ShardServer(AVOC_SPEC, history_dir=tmp_path, store="csv")
+        with pytest.raises(ReproError, match="unknown store"):
+            ManagedBackend("b0", AVOC_SPEC, history_dir=tmp_path,
+                           store="csv", mode="thread")
+
+    def test_durable_store_requires_history_dir(self):
+        with pytest.raises(ReproError, match="history directory"):
+            ShardServer(AVOC_SPEC, store="packed")
+
+    def test_managed_backend_passes_store_through(self, tmp_path):
+        backend = ManagedBackend("b0", AVOC_SPEC, history_dir=tmp_path,
+                                 mode="thread", store="packed",
+                                 max_resident_series=2)
+        with backend:
+            with VoterClient(*backend.address) as c:
+                c.vote(0, dict(zip(MODULES, [18.0, 18.1, 17.9])), series="s")
+        assert (tmp_path / "packed" / "index.jsonl").exists()
 
 
 class TestManagedBackendThread:

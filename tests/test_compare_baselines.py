@@ -12,6 +12,7 @@ from benchmarks.compare_baselines import (
     compare_ingest,
     compare_latency,
     compare_parallel,
+    compare_store,
     main,
 )
 
@@ -221,6 +222,87 @@ class TestCompareIngest:
         assert len(failures) == 2
         assert any("roundtrip" in f for f in failures)
         assert any("fan_in" in f for f in failures)
+
+
+COMMITTED_STORE = {
+    "cold_start": {
+        "n_series": 100_000,
+        "speedup": 9.0,
+        "floor": 5.0,
+        "enforced": True,
+    },
+    "residency": {
+        "hot_bound": 1024,
+        "hot_within_bound": True,
+        "bounded_under_unbounded": True,
+        "enforced": True,
+    },
+    "identity": {"bit_identical": True},
+}
+
+
+class TestCompareStore:
+    def test_clean_run_has_no_failures(self):
+        assert compare_store(COMMITTED_STORE, COMMITTED_STORE) == []
+
+    def test_cold_start_below_floor_fails(self):
+        fresh = json.loads(json.dumps(COMMITTED_STORE))
+        fresh["cold_start"]["speedup"] = 3.0
+        failures = compare_store(COMMITTED_STORE, fresh)
+        assert failures and any(
+            "below the recorded floor" in f for f in failures
+        )
+
+    def test_cold_start_regression_over_tolerance_fails(self):
+        committed = json.loads(json.dumps(COMMITTED_STORE))
+        committed["cold_start"]["floor"] = None
+        fresh = json.loads(json.dumps(committed))
+        fresh["cold_start"]["speedup"] = 5.5  # -39% vs 9.0
+        failures = compare_store(committed, fresh)
+        assert failures and "regressed" in failures[0]
+
+    def test_unenforced_cold_start_is_reported_not_failed(self, capsys):
+        fresh = json.loads(json.dumps(COMMITTED_STORE))
+        fresh["cold_start"]["speedup"] = 1.0
+        fresh["cold_start"]["enforced"] = False  # small-series smoke run
+        assert compare_store(COMMITTED_STORE, fresh) == []
+        assert "[not enforced]" in capsys.readouterr().out
+
+    def test_hot_set_over_bound_fails_even_unenforced(self):
+        fresh = json.loads(json.dumps(COMMITTED_STORE))
+        fresh["residency"]["hot_within_bound"] = False
+        fresh["residency"]["enforced"] = False
+        failures = compare_store(COMMITTED_STORE, fresh)
+        assert failures and "exceeded its configured bound" in failures[0]
+
+    def test_unenforced_heap_comparison_is_reported_not_failed(self, capsys):
+        fresh = json.loads(json.dumps(COMMITTED_STORE))
+        fresh["residency"]["bounded_under_unbounded"] = False
+        fresh["residency"]["enforced"] = False
+        assert compare_store(COMMITTED_STORE, fresh) == []
+        assert "[not enforced]" in capsys.readouterr().out
+
+    def test_enforced_heap_comparison_fails(self):
+        fresh = json.loads(json.dumps(COMMITTED_STORE))
+        fresh["residency"]["bounded_under_unbounded"] = False
+        failures = compare_store(COMMITTED_STORE, fresh)
+        assert failures and "did not hold less heap" in failures[0]
+
+    def test_identity_divergence_always_fails(self):
+        fresh = json.loads(json.dumps(COMMITTED_STORE))
+        fresh["identity"]["bit_identical"] = False
+        failures = compare_store(COMMITTED_STORE, fresh)
+        assert failures == [
+            "store/identity: evict/rehydrate states diverged from the "
+            "always-resident reference"
+        ]
+
+    def test_missing_fresh_sections_fail(self):
+        failures = compare_store(COMMITTED_STORE, {})
+        assert len(failures) == 3
+        assert any("cold_start" in f for f in failures)
+        assert any("residency" in f for f in failures)
+        assert any("identity" in f for f in failures)
 
 
 class TestCli:

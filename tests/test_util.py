@@ -1,0 +1,48 @@
+"""Tests for the shared atomic-write helper."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.util import atomic_write
+
+
+def test_writes_text(tmp_path):
+    target = tmp_path / "out.txt"
+    atomic_write(target, "hello\n")
+    assert target.read_text() == "hello\n"
+
+
+def test_writes_bytes(tmp_path):
+    target = tmp_path / "out.bin"
+    atomic_write(target, b"\x00\x01\x02")
+    assert target.read_bytes() == b"\x00\x01\x02"
+
+
+def test_creates_parent_directories(tmp_path):
+    target = tmp_path / "deep" / "nested" / "out.txt"
+    atomic_write(target, "x")
+    assert target.read_text() == "x"
+
+
+def test_overwrites_atomically_and_leaves_no_temp_files(tmp_path):
+    target = tmp_path / "out.txt"
+    atomic_write(target, "old")
+    atomic_write(target, "new")
+    assert target.read_text() == "new"
+    assert os.listdir(tmp_path) == ["out.txt"]
+
+
+def test_failure_leaves_previous_content_and_no_temp(tmp_path, monkeypatch):
+    target = tmp_path / "out.txt"
+    atomic_write(target, "precious")
+    monkeypatch.setattr(
+        os, "replace", lambda *a, **k: (_ for _ in ()).throw(OSError("boom"))
+    )
+    with pytest.raises(OSError):
+        atomic_write(target, "lost")
+    monkeypatch.undo()
+    assert target.read_text() == "precious"
+    assert os.listdir(tmp_path) == ["out.txt"]
