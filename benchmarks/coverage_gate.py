@@ -1,0 +1,61 @@
+"""Ratchet-up line-coverage gate for the tier-1 suite.
+
+CI runs the tier-1 suite under ``coverage`` (one matrix leg) and then
+invokes this script, which compares the measured total line coverage
+against the floor recorded in ``COVERAGE_FLOOR.json`` at the repo root.
+
+The gate is ratchet-up only: a drop below the committed floor fails the
+build, and when the measured total comfortably exceeds the floor the
+script asks (without failing) for the floor to be raised in the same
+spirit as the BENCH_*.json baselines.  Lowering the floor requires an
+explicit edit to COVERAGE_FLOOR.json in a reviewed commit.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import subprocess
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+FLOOR_FILE = ROOT / "COVERAGE_FLOOR.json"
+
+#: Headroom above the floor before the script nags for a ratchet.
+RATCHET_HINT_MARGIN = 3.0
+
+
+def measured_total() -> float:
+    """Total line coverage (percent) from the current ``.coverage`` data."""
+    out = subprocess.check_output(
+        [sys.executable, "-m", "coverage", "report", "--format=total"],
+        cwd=ROOT,
+        text=True,
+    )
+    return float(out.strip())
+
+
+def main() -> int:
+    floor = float(json.loads(FLOOR_FILE.read_text())["line_percent_floor"])
+    total = measured_total()
+    print(f"coverage gate: measured {total:.2f}% against floor {floor:.2f}%")
+    if total < floor:
+        print(
+            f"FAIL: total line coverage {total:.2f}% fell below the "
+            f"committed floor {floor:.2f}% (COVERAGE_FLOOR.json). "
+            "Add tests for the new code, or (only with review) lower "
+            "the floor.",
+            file=sys.stderr,
+        )
+        return 1
+    if total >= floor + RATCHET_HINT_MARGIN:
+        print(
+            f"hint: coverage exceeds the floor by "
+            f"{total - floor:.2f} points — consider ratcheting "
+            f"COVERAGE_FLOOR.json up to {total - 1.0:.1f}."
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

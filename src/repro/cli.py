@@ -477,6 +477,36 @@ def _cmd_tune(args) -> int:
     return 0
 
 
+def _parse_names(text: str):
+    """``"all"`` or a comma-separated name list → sweep argument."""
+    if text == "all":
+        return "all"
+    return tuple(name.strip() for name in text.split(",") if name.strip())
+
+
+def _cmd_adversarial(args) -> int:
+    from .experiments import run_adversarial_sweep
+
+    severities = tuple(float(s) for s in args.severities.split(","))
+    result = run_adversarial_sweep(
+        scenarios=_parse_names(args.scenarios),
+        algorithms=_parse_names(args.algorithms),
+        severities=severities,
+        rounds=args.rounds,
+        seed=args.seed,
+        warmup=args.warmup,
+        workers=args.workers,
+    )
+    rendered = result.to_json() if args.format == "json" else result.to_markdown()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        print(f"wrote adversarial ranking to {args.output}")
+    else:
+        print(rendered, end="")
+    return 0
+
+
 def _cmd_latency(args) -> int:
     from .analysis.report import render_table
     from .types import Round
@@ -552,6 +582,42 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("use_case", choices=("uc1", "uc2"))
     simulate.add_argument("--algorithm", default="avoc")
     simulate.add_argument("--rounds", type=int, default=400)
+
+    adversarial = sub.add_parser(
+        "adversarial",
+        help="rank algorithms across adversarial threat models",
+    )
+    adversarial.add_argument(
+        "--scenarios", default="all",
+        help="comma-separated scenario names, or 'all' (default)",
+    )
+    adversarial.add_argument(
+        "--algorithms", default="all",
+        help="comma-separated registry names, or 'all' (default: the "
+        "per-kind contender sets)",
+    )
+    adversarial.add_argument(
+        "--severities", default="1,3,6",
+        help="comma-separated fault severities (default: 1,3,6)",
+    )
+    adversarial.add_argument("--rounds", type=int, default=400)
+    adversarial.add_argument("--seed", type=int, default=7)
+    adversarial.add_argument(
+        "--warmup", type=int, default=20,
+        help="rounds excluded from the metric while history warms up",
+    )
+    adversarial.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the sweep grid (results are "
+        "identical at any count)",
+    )
+    adversarial.add_argument(
+        "--format", choices=("md", "json"), default="md",
+        help="ranking output format (default: markdown tables)",
+    )
+    adversarial.add_argument(
+        "--output", default=None, help="output file (default stdout)"
+    )
 
     latency = sub.add_parser("latency", help="per-round latency of each voter")
     latency.add_argument("--iterations", type=int, default=2000)
@@ -664,6 +730,7 @@ _COMMANDS = {
     "fig7": _cmd_fig7,
     "shelf": _cmd_shelf,
     "compare": _cmd_compare,
+    "adversarial": _cmd_adversarial,
     "vdx": _cmd_vdx,
     "simulate": _cmd_simulate,
     "latency": _cmd_latency,

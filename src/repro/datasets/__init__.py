@@ -20,6 +20,20 @@ from .injection import (
     spike_fault,
     stuck_fault,
 )
+from .scenarios import (
+    ScenarioData,
+    ScenarioSpec,
+    SymbolDataset,
+    available_scenarios,
+    build_scenario,
+    colluding_offset_fault,
+    drift_fault,
+    flapping_fault,
+    flip_flop_fault,
+    generate_multirate_dataset,
+    generate_symbol_burst,
+    scenario_kind,
+)
 from .loader import load_csv, load_json, save_csv, save_json
 
 __all__ = [
@@ -33,6 +47,18 @@ __all__ = [
     "spike_fault",
     "stuck_fault",
     "drop_values",
+    "ScenarioData",
+    "ScenarioSpec",
+    "SymbolDataset",
+    "available_scenarios",
+    "build_scenario",
+    "colluding_offset_fault",
+    "drift_fault",
+    "flapping_fault",
+    "flip_flop_fault",
+    "generate_multirate_dataset",
+    "generate_symbol_burst",
+    "scenario_kind",
     "load_csv",
     "load_json",
     "save_csv",

@@ -9,7 +9,7 @@ suite and the ablation benchmarks.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -24,13 +24,32 @@ def _module_index(dataset: Dataset, module: str) -> int:
         raise DatasetError(f"no module named {module!r} in dataset {dataset.name!r}")
 
 
-def _window(dataset: Dataset, start_round: int, end_round: Optional[int]):
+def _window(
+    dataset: Dataset, start_round: int, end_round: Optional[int]
+) -> Tuple[int, int]:
+    """Validated ``[start, end)`` round window for an injector.
+
+    Out-of-range windows raise instead of silently clamping/no-op'ing:
+    an injector that targets rounds the dataset does not have is a
+    caller bug, and a silently unmodified "faulty" dataset poisons any
+    experiment built on it.
+    """
     if start_round < 0:
         raise DatasetError("start_round must be non-negative")
+    if start_round >= dataset.n_rounds:
+        raise DatasetError(
+            f"start_round {start_round} is beyond dataset "
+            f"{dataset.name!r} ({dataset.n_rounds} rounds)"
+        )
     end = dataset.n_rounds if end_round is None else end_round
     if end < start_round:
         raise DatasetError("end_round precedes start_round")
-    return start_round, min(end, dataset.n_rounds)
+    if end > dataset.n_rounds:
+        raise DatasetError(
+            f"end_round {end} is beyond dataset "
+            f"{dataset.name!r} ({dataset.n_rounds} rounds)"
+        )
+    return start_round, end
 
 
 def offset_fault(

@@ -1,0 +1,568 @@
+"""Composable adversarial scenario generators.
+
+:mod:`repro.datasets.injection` covers the paper's single-fault
+transformations (offset, stuck, spikes, dropout).  This module grows
+them into *threat models*: seeded, parameterized generators that
+produce a clean/faulty dataset pair (plus ground truth where it
+exists) so the experiment layer can rank every algorithm per threat —
+see :mod:`repro.experiments.adversarial`.
+
+Numeric scenarios reuse the calibrated UC-1 light signal as the base;
+the categorical scenario generates a smart-shelf-style symbol stream.
+Every generator is deterministic given ``(rounds, severity, seed)``.
+
+Threat models
+-------------
+
+``colluding_pair``
+    Two modules apply the *same* offset — a Byzantine pair that agrees
+    with itself, defeating pure outlier exclusion.
+``flip_flop``
+    One module alternates between faulty and healthy every few rounds,
+    re-earning trust from slow-decay history schemes between bursts.
+``slow_drift``
+    Calibration loss: one module drifts linearly away from the truth,
+    staying inside the agreement margin for many rounds.
+``flapping``
+    One module cycles outage/rejoin, returning with a bias after each
+    rejoin — availability and correctness coupled.
+``multirate``
+    Heterogeneous workload: fast/medium/slow modalities with different
+    native units (normalized for the vote, quantized in native units)
+    and per-modality dropout regimes, plus an offset fault on one fast
+    module.
+``symbol_burst``
+    Categorical: colluding sensors emit the wrong symbol during seeded
+    bursts while healthy sensors suffer elevated burst dropout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import DatasetError
+from .dataset import Dataset
+from .injection import _module_index, _window, offset_fault
+from .light_uc1 import UC1Config, generate_uc1_dataset
+
+__all__ = [
+    "ScenarioData",
+    "ScenarioSpec",
+    "SymbolDataset",
+    "available_scenarios",
+    "build_scenario",
+    "colluding_offset_fault",
+    "drift_fault",
+    "flapping_fault",
+    "flip_flop_fault",
+    "generate_multirate_dataset",
+    "generate_symbol_burst",
+    "scenario_kind",
+]
+
+
+# ---------------------------------------------------------------------------
+# Composable numeric injectors (grown out of injection.py)
+# ---------------------------------------------------------------------------
+
+
+def colluding_offset_fault(
+    dataset: Dataset,
+    modules: Tuple[str, ...],
+    delta: float,
+    start_round: int = 0,
+    end_round: Optional[int] = None,
+) -> Dataset:
+    """Apply the *same* offset to several modules (a Byzantine pair).
+
+    Colluders agree with each other, so schemes that only look for
+    isolated outliers (or exclude by deviation from the mean) can be
+    pulled toward the colluding cluster.
+    """
+    if len(modules) < 2:
+        raise DatasetError("collusion needs at least two modules")
+    if len(set(modules)) != len(modules):
+        raise DatasetError(f"colluding modules must be distinct, got {modules}")
+    if len(modules) * 2 > len(dataset.modules):
+        raise DatasetError(
+            f"colluders must stay a minority ({len(modules)} of "
+            f"{len(dataset.modules)})"
+        )
+    indices = [_module_index(dataset, m) for m in modules]
+    start, end = _window(dataset, start_round, end_round)
+    matrix = dataset.matrix.copy()
+    for idx in indices:
+        matrix[start:end, idx] += delta
+    return dataset.with_matrix(
+        matrix,
+        suffix="collusion",
+        fault={"type": "collusion", "modules": list(modules), "delta": delta,
+               "start_round": start, "end_round": end},
+    )
+
+
+def flip_flop_fault(
+    dataset: Dataset,
+    module: str,
+    delta: float,
+    period: int = 10,
+    start_round: int = 0,
+    end_round: Optional[int] = None,
+) -> Dataset:
+    """Toggle an offset on and off every ``period`` rounds.
+
+    The module is faulty for ``period`` rounds, healthy for the next
+    ``period``, and so on — long enough to poison naive averaging,
+    short enough to re-earn trust from slowly-decaying history records
+    before the next burst.
+    """
+    if period < 1:
+        raise DatasetError(f"period must be at least 1 round, got {period}")
+    idx = _module_index(dataset, module)
+    start, end = _window(dataset, start_round, end_round)
+    matrix = dataset.matrix.copy()
+    offsets = np.arange(end - start) // period % 2 == 0
+    matrix[start:end, idx] += np.where(offsets, delta, 0.0)
+    return dataset.with_matrix(
+        matrix,
+        suffix=f"flipflop-{module}",
+        fault={"type": "flip_flop", "module": module, "delta": delta,
+               "period": period, "start_round": start, "end_round": end},
+    )
+
+
+def drift_fault(
+    dataset: Dataset,
+    module: str,
+    total_drift: float,
+    start_round: int = 0,
+    end_round: Optional[int] = None,
+) -> Dataset:
+    """Linear calibration drift from 0 to ``total_drift`` over the window."""
+    idx = _module_index(dataset, module)
+    start, end = _window(dataset, start_round, end_round)
+    if end - start < 2:
+        raise DatasetError("drift needs a window of at least two rounds")
+    matrix = dataset.matrix.copy()
+    ramp = np.linspace(0.0, float(total_drift), end - start)
+    matrix[start:end, idx] += ramp
+    return dataset.with_matrix(
+        matrix,
+        suffix=f"drift-{module}",
+        fault={"type": "drift", "module": module, "total_drift": total_drift,
+               "start_round": start, "end_round": end},
+    )
+
+
+def flapping_fault(
+    dataset: Dataset,
+    module: str,
+    outage: int = 15,
+    uptime: int = 25,
+    delta: float = 0.0,
+    start_round: int = 0,
+    end_round: Optional[int] = None,
+) -> Dataset:
+    """Cycle one module through outage/rejoin, biased after each rejoin.
+
+    The module goes dark (NaN) for ``outage`` rounds, rejoins for
+    ``uptime`` rounds reporting with a ``delta`` bias, then flaps
+    again.  Exercises roster handling, quorum interaction, and how
+    quickly a scheme re-trusts (or keeps distrusting) a returning
+    sensor.
+    """
+    if outage < 1 or uptime < 1:
+        raise DatasetError(
+            f"outage and uptime must be at least 1 round, got "
+            f"outage={outage} uptime={uptime}"
+        )
+    idx = _module_index(dataset, module)
+    start, end = _window(dataset, start_round, end_round)
+    matrix = dataset.matrix.copy()
+    phase = np.arange(end - start) % (outage + uptime)
+    dark = phase < outage
+    column = matrix[start:end, idx]
+    column = np.where(dark, np.nan, column + delta)
+    matrix[start:end, idx] = column
+    return dataset.with_matrix(
+        matrix,
+        suffix=f"flapping-{module}",
+        fault={"type": "flapping", "module": module, "outage": outage,
+               "uptime": uptime, "delta": delta,
+               "start_round": start, "end_round": end},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Heterogeneous multi-rate / multi-unit workload
+# ---------------------------------------------------------------------------
+
+#: (name, unit, unit_scale, sample_every, dropout, noise_std) per module.
+#: Values are normalized to the common latent unit for the vote; the
+#: native-unit quantization step leaves each modality with a different
+#: resolution artefact, as in a real mixed radar/audio/pressure fusion.
+_MULTIRATE_MODALITIES: Tuple[Tuple[str, str, float, int, float, float], ...] = (
+    ("F1", "lux", 1000.0, 1, 0.02, 0.05),
+    ("F2", "lux", 1000.0, 1, 0.02, 0.05),
+    ("M1", "kilolumen", 1.0, 2, 0.05, 0.08),
+    ("M2", "kilolumen", 1.0, 2, 0.05, 0.08),
+    ("S1", "centilumen", 100_000.0, 5, 0.10, 0.12),
+    ("S2", "centilumen", 100_000.0, 5, 0.10, 0.12),
+)
+
+
+def generate_multirate_dataset(
+    rounds: int = 400,
+    seed: int = 7,
+    base: Optional[Dataset] = None,
+) -> Dataset:
+    """Six modules at three rates/units tracking one latent signal.
+
+    The latent signal is the per-round median of a clean UC-1 dataset,
+    so the workload stays anchored to the paper's calibrated sensor
+    model.  Each module samples every ``sample_every`` rounds (NaN in
+    between), quantizes in its native unit, and drops out at its
+    modality's rate.
+    """
+    if rounds < 10:
+        raise DatasetError(f"multirate needs at least 10 rounds, got {rounds}")
+    if base is None:
+        base = generate_uc1_dataset(UC1Config(n_rounds=rounds))
+    if base.n_rounds < rounds:
+        raise DatasetError(
+            f"base dataset has {base.n_rounds} rounds, need {rounds}"
+        )
+    latent = np.median(base.matrix[:rounds], axis=1)
+    rng = np.random.default_rng(seed)
+    columns = []
+    for _name, _unit, scale, every, dropout, noise in _MULTIRATE_MODALITIES:
+        native = (latent + rng.normal(0.0, noise, rounds)) * scale
+        column = np.round(native) / scale
+        ticks = np.arange(rounds) % every != 0
+        column[ticks] = np.nan
+        column[rng.random(rounds) < dropout] = np.nan
+        columns.append(column)
+    matrix = np.column_stack(columns)
+    return Dataset(
+        name="multirate",
+        modules=[m[0] for m in _MULTIRATE_MODALITIES],
+        matrix=matrix,
+        metadata={
+            "seed": seed,
+            "modalities": {
+                name: {"unit": unit, "unit_scale": scale,
+                       "sample_every": every, "dropout": dropout}
+                for name, unit, scale, every, dropout, _ in _MULTIRATE_MODALITIES
+            },
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Categorical symbol-burst scenario
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SymbolDataset:
+    """Rounds × sensors categorical readings plus the ground truth."""
+
+    modules: List[str]
+    readings: List[List[Optional[str]]]
+    truth: List[str]
+    metadata: Dict = field(default_factory=dict)
+
+    @property
+    def n_rounds(self) -> int:
+        return len(self.readings)
+
+    def round_values(self, number: int) -> Dict[str, Optional[str]]:
+        return dict(zip(self.modules, self.readings[number]))
+
+
+_SYMBOL_STATES = ("present", "absent")
+
+
+def generate_symbol_burst(
+    rounds: int = 400,
+    severity: float = 1.0,
+    seed: int = 7,
+    n_sensors: int = 9,
+    n_colluders: int = 3,
+    flip_probability: float = 0.0,
+    burst_length: int = 12,
+    burst_every: int = 40,
+) -> Tuple[SymbolDataset, SymbolDataset]:
+    """Clean and attacked symbol streams for the categorical rankers.
+
+    Ground truth is a stable occupancy state by default (set
+    ``flip_probability`` for a slowly-flipping regime; regime-change
+    robustness is the drift scenarios' domain).  In the attacked
+    stream, ``n_colluders`` sensors emit the *wrong* symbol during
+    periodic bursts while the healthy sensors simultaneously drop out
+    at a severity-scaled rate — so during a burst the colluders can
+    hold a plurality of the present readings.  Between bursts the
+    colluders behave honestly, re-earning full trust from bounded
+    reward/penalty history records before every burst; once the wrong
+    symbol wins one round, the majority's own updates reward the
+    colluders and penalise the healthy sensors, locking the error in
+    for the rest of the burst.  A symbol prior breaks that feedback
+    loop.  Severity scales the healthy burst dropout; the returned
+    pair shares the same truth and the same healthy noise, differing
+    only in the attack.
+    """
+    if n_colluders * 2 >= n_sensors:
+        raise DatasetError(
+            f"colluders must stay a minority ({n_colluders} of {n_sensors})"
+        )
+    if rounds < burst_every:
+        raise DatasetError(
+            f"need at least {burst_every} rounds for one burst, got {rounds}"
+        )
+    if severity <= 0:
+        raise DatasetError(f"severity must be positive, got {severity}")
+    rng = np.random.default_rng(seed)
+    truth: List[str] = []
+    state = _SYMBOL_STATES[0]
+    for _ in range(rounds):
+        if rng.random() < flip_probability:
+            state = (
+                _SYMBOL_STATES[1] if state == _SYMBOL_STATES[0]
+                else _SYMBOL_STATES[0]
+            )
+        truth.append(state)
+
+    modules = [f"P{i + 1}" for i in range(n_sensors)]
+    colluders = set(modules[:n_colluders])
+    burst_dropout = min(0.95, 0.1 + 0.13 * severity)
+    base_accuracy = 0.97
+    base_dropout = 0.02
+
+    clean_rows: List[List[Optional[str]]] = []
+    attacked_rows: List[List[Optional[str]]] = []
+    for number, true_state in enumerate(truth):
+        wrong = (
+            _SYMBOL_STATES[1] if true_state == _SYMBOL_STATES[0]
+            else _SYMBOL_STATES[0]
+        )
+        in_burst = number % burst_every < burst_length
+        clean_row: List[Optional[str]] = []
+        attacked_row: List[Optional[str]] = []
+        for module in modules:
+            # One draw pair per (round, module) in both streams keeps
+            # the healthy behaviour identical between clean/attacked.
+            drop_draw = rng.random()
+            value_draw = rng.random()
+            honest: Optional[str]
+            if drop_draw < base_dropout:
+                honest = None
+            elif value_draw < base_accuracy:
+                honest = true_state
+            else:
+                honest = wrong
+            clean_row.append(honest)
+            if module in colluders:
+                attacked_row.append(wrong if in_burst else honest)
+            elif in_burst and drop_draw < burst_dropout:
+                attacked_row.append(None)
+            else:
+                attacked_row.append(honest)
+        clean_rows.append(clean_row)
+        attacked_rows.append(attacked_row)
+
+    meta = {
+        "seed": seed,
+        "severity": severity,
+        "colluders": sorted(colluders),
+        "burst_length": burst_length,
+        "burst_every": burst_every,
+        "burst_dropout": burst_dropout,
+    }
+    clean = SymbolDataset(
+        modules=list(modules), readings=clean_rows, truth=list(truth),
+        metadata=dict(meta, attacked=False),
+    )
+    attacked = SymbolDataset(
+        modules=list(modules), readings=attacked_rows, truth=list(truth),
+        metadata=dict(meta, attacked=True),
+    )
+    return clean, attacked
+
+
+# ---------------------------------------------------------------------------
+# Scenario registry
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScenarioData:
+    """One built scenario: the clean/faulty pair plus bookkeeping.
+
+    ``clean``/``faulty`` are :class:`Dataset` for numeric scenarios and
+    :class:`SymbolDataset` (with ``truth``) for categorical ones.
+    """
+
+    name: str
+    kind: str  # "numeric" | "categorical"
+    clean: object
+    faulty: object
+    faulty_modules: Tuple[str, ...]
+    severity: float
+    seed: int
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A named, parameterized scenario generator."""
+
+    name: str
+    kind: str
+    description: str
+    build: Callable[..., ScenarioData]
+
+
+def _uc1_base(rounds: int, base: Optional[Dataset]) -> Dataset:
+    if base is not None:
+        if base.n_rounds < rounds:
+            raise DatasetError(
+                f"base dataset has {base.n_rounds} rounds, need {rounds}"
+            )
+        return base.slice(0, rounds) if base.n_rounds > rounds else base
+    return generate_uc1_dataset(UC1Config(n_rounds=rounds))
+
+
+def _build_colluding_pair(rounds, severity, seed, base=None) -> ScenarioData:
+    clean = _uc1_base(rounds, base)
+    start = rounds // 8
+    faulty = colluding_offset_fault(
+        clean, ("E1", "E2"), float(severity), start_round=start
+    )
+    return ScenarioData("colluding_pair", "numeric", clean, faulty,
+                        ("E1", "E2"), float(severity), seed)
+
+
+def _build_flip_flop(rounds, severity, seed, base=None) -> ScenarioData:
+    clean = _uc1_base(rounds, base)
+    start = rounds // 8
+    faulty = flip_flop_fault(
+        clean, "E1", float(severity), period=10, start_round=start
+    )
+    return ScenarioData("flip_flop", "numeric", clean, faulty,
+                        ("E1",), float(severity), seed)
+
+
+def _build_slow_drift(rounds, severity, seed, base=None) -> ScenarioData:
+    clean = _uc1_base(rounds, base)
+    start = rounds // 4
+    faulty = drift_fault(clean, "E3", float(severity), start_round=start)
+    return ScenarioData("slow_drift", "numeric", clean, faulty,
+                        ("E3",), float(severity), seed)
+
+
+def _build_flapping(rounds, severity, seed, base=None) -> ScenarioData:
+    clean = _uc1_base(rounds, base)
+    start = rounds // 8
+    faulty = flapping_fault(
+        clean, "E2", outage=15, uptime=25,
+        delta=float(severity), start_round=start,
+    )
+    return ScenarioData("flapping", "numeric", clean, faulty,
+                        ("E2",), float(severity), seed)
+
+
+def _build_multirate(rounds, severity, seed, base=None) -> ScenarioData:
+    clean = generate_multirate_dataset(rounds, seed=seed, base=base)
+    start = rounds // 8
+    faulty = offset_fault(clean, "F2", float(severity), start_round=start)
+    return ScenarioData("multirate", "numeric", clean, faulty,
+                        ("F2",), float(severity), seed)
+
+
+def _build_symbol_burst(rounds, severity, seed, base=None) -> ScenarioData:
+    clean, attacked = generate_symbol_burst(rounds, float(severity), seed)
+    return ScenarioData(
+        "symbol_burst", "categorical", clean, attacked,
+        tuple(attacked.metadata["colluders"]), float(severity), seed,
+    )
+
+
+SCENARIOS: Dict[str, ScenarioSpec] = {
+    spec.name: spec
+    for spec in (
+        ScenarioSpec(
+            "colluding_pair", "numeric",
+            "Byzantine pair applies the same offset to two modules",
+            _build_colluding_pair,
+        ),
+        ScenarioSpec(
+            "flip_flop", "numeric",
+            "one module toggles a burst offset every 10 rounds",
+            _build_flip_flop,
+        ),
+        ScenarioSpec(
+            "slow_drift", "numeric",
+            "one module drifts linearly out of calibration",
+            _build_slow_drift,
+        ),
+        ScenarioSpec(
+            "flapping", "numeric",
+            "one module cycles outage/rejoin, biased after each rejoin",
+            _build_flapping,
+        ),
+        ScenarioSpec(
+            "multirate", "numeric",
+            "multi-rate/multi-unit modalities with dropout regimes "
+            "plus an offset fault",
+            _build_multirate,
+        ),
+        ScenarioSpec(
+            "symbol_burst", "categorical",
+            "colluding sensors flood the wrong symbol during dropout bursts",
+            _build_symbol_burst,
+        ),
+    )
+}
+
+
+def available_scenarios() -> Tuple[str, ...]:
+    """Names of all registered scenarios, sorted."""
+    return tuple(sorted(SCENARIOS))
+
+
+def scenario_kind(name: str) -> str:
+    """``"numeric"`` or ``"categorical"`` for a registered scenario."""
+    try:
+        return SCENARIOS[name].kind
+    except KeyError:
+        raise DatasetError(
+            f"unknown scenario {name!r}; available: {available_scenarios()}"
+        )
+
+
+def build_scenario(
+    name: str,
+    rounds: int = 400,
+    severity: float = 1.0,
+    seed: int = 7,
+    base: Optional[Dataset] = None,
+) -> ScenarioData:
+    """Build one scenario by name (deterministic per rounds/severity/seed).
+
+    ``base`` optionally supplies a pre-generated clean UC-1 dataset for
+    the numeric scenarios (sliced to ``rounds``), so a sweep can share
+    one base across workers instead of regenerating it per cell.
+    """
+    if rounds < 16:
+        raise DatasetError(f"scenarios need at least 16 rounds, got {rounds}")
+    if severity <= 0:
+        raise DatasetError(f"severity must be positive, got {severity}")
+    try:
+        spec = SCENARIOS[name]
+    except KeyError:
+        raise DatasetError(
+            f"unknown scenario {name!r}; available: {available_scenarios()}"
+        )
+    return spec.build(rounds, severity, seed, base=base)

@@ -15,10 +15,20 @@ from .uc2 import (
     Fig7Result,
     run_fig7,
 )
+from .adversarial import (
+    DEFAULT_CATEGORICAL_ALGORITHMS,
+    DEFAULT_NUMERIC_ALGORITHMS,
+    AdversarialResult,
+    run_adversarial_sweep,
+)
 from .robustness import RobustnessResult, run_robustness_sweep
 from .shelf import ShelfResult, run_shelf_experiment
 
 __all__ = [
+    "AdversarialResult",
+    "run_adversarial_sweep",
+    "DEFAULT_NUMERIC_ALGORITHMS",
+    "DEFAULT_CATEGORICAL_ALGORITHMS",
     "RobustnessResult",
     "run_robustness_sweep",
     "ShelfResult",

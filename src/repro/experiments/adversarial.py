@@ -1,0 +1,334 @@
+"""Adversarial ranking sweep: algorithm × threat model × severity.
+
+Runs every requested algorithm against every registered adversarial
+scenario (:mod:`repro.datasets.scenarios`) at several severities and
+ranks them per threat model — turning the single-fault robustness
+figure into a capability matrix.
+
+Metrics (lower is better for both kinds):
+
+* numeric scenarios — the residual ``mean |faulty − clean|`` of the
+  fused output after the warm-up rounds, exactly the
+  :mod:`repro.experiments.robustness` metric;
+* categorical scenarios — the fused error rate against the scenario's
+  ground truth after warm-up (held/skipped rounds count as errors only
+  when the substituted value disagrees with the truth).
+
+The (scenario, algorithm, severity) grid cells are independent, so the
+sweep fans out over the runtime worker pool with the clean UC-1 base
+travelling once through shared memory; results are identical at any
+worker count.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.diff import run_voter_series
+from ..datasets.light_uc1 import UC1Config, generate_uc1_dataset
+from ..datasets.scenarios import (
+    SCENARIOS,
+    available_scenarios,
+    build_scenario,
+)
+from ..exceptions import ConfigurationError
+from ..runtime.pool import parallel_map
+from ..types import Round
+from ..voting.registry import (
+    available_algorithms,
+    categorical_algorithms,
+    create_voter,
+)
+from ._parallel import dataset_payload, materialise
+
+#: Numeric contenders: the zoo's ranked families plus the new masker.
+DEFAULT_NUMERIC_ALGORITHMS: Tuple[str, ...] = (
+    "average",
+    "median",
+    "me",
+    "hybrid",
+    "clustering",
+    "avoc",
+    "incoherence",
+)
+
+#: Categorical contenders.
+DEFAULT_CATEGORICAL_ALGORITHMS: Tuple[str, ...] = (
+    "categorical_majority",
+    "probabilistic",
+)
+
+DEFAULT_SEVERITIES: Tuple[float, ...] = (1.0, 3.0, 6.0)
+
+
+@dataclass
+class AdversarialResult:
+    """Per-cell metrics plus per-scenario rankings."""
+
+    scenarios: Tuple[str, ...]
+    severities: Tuple[float, ...]
+    rounds: int
+    seed: int
+    warmup: int
+    #: algorithms evaluated per scenario (kind-dependent).
+    algorithms: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    #: metric[(scenario, algorithm, severity)] — lower is better.
+    metrics: Dict[Tuple[str, str, float], float] = field(default_factory=dict)
+
+    def metric(self, scenario: str, algorithm: str, severity: float) -> float:
+        return self.metrics[(scenario, str(algorithm), float(severity))]
+
+    def mean_metric(self, scenario: str, algorithm: str) -> float:
+        """Severity-averaged metric for one (scenario, algorithm)."""
+        values = [
+            self.metrics[(scenario, algorithm, severity)]
+            for severity in self.severities
+        ]
+        return float(np.mean(values))
+
+    def ranking(self, scenario: str) -> List[Tuple[str, float]]:
+        """Algorithms best-first by severity-averaged metric."""
+        pairs = [
+            (algorithm, self.mean_metric(scenario, algorithm))
+            for algorithm in self.algorithms[scenario]
+        ]
+        return sorted(pairs, key=lambda pair: (pair[1], pair[0]))
+
+    def winner(self, scenario: str) -> str:
+        return self.ranking(scenario)[0][0]
+
+    def ranking_rows(self) -> List[Dict]:
+        """One row per scenario, ready for EXPERIMENTS.md."""
+        rows = []
+        for scenario in self.scenarios:
+            ranking = self.ranking(scenario)
+            rows.append(
+                {
+                    "scenario": scenario,
+                    "kind": SCENARIOS[scenario].kind,
+                    "winner": ranking[0][0],
+                    "ranking": ranking,
+                }
+            )
+        return rows
+
+    def to_markdown(self) -> str:
+        """Ranking tables (one per scenario kind), lower is better."""
+        lines: List[str] = []
+        for kind, metric_label in (
+            ("numeric", "mean |faulty − clean| after warm-up"),
+            ("categorical", "error rate vs ground truth after warm-up"),
+        ):
+            scenarios = [
+                s for s in self.scenarios if SCENARIOS[s].kind == kind
+            ]
+            if not scenarios:
+                continue
+            algorithms = self.algorithms[scenarios[0]]
+            lines.append(
+                f"### {kind.capitalize()} scenarios ({metric_label}; "
+                f"severity-averaged, lower is better)"
+            )
+            lines.append("")
+            header = ["scenario"] + list(algorithms) + ["winner"]
+            lines.append("| " + " | ".join(header) + " |")
+            lines.append("|" + "---|" * len(header))
+            for scenario in scenarios:
+                winner = self.winner(scenario)
+                cells = [scenario]
+                for algorithm in algorithms:
+                    value = self.mean_metric(scenario, algorithm)
+                    text = f"{value:.4f}"
+                    cells.append(
+                        f"**{text}**" if algorithm == winner else text
+                    )
+                cells.append(winner)
+                lines.append("| " + " | ".join(cells) + " |")
+            lines.append("")
+        return "\n".join(lines).rstrip() + "\n"
+
+    def to_json(self) -> str:
+        cells = [
+            {
+                "scenario": scenario,
+                "algorithm": algorithm,
+                "severity": severity,
+                "metric": metric,
+            }
+            for (scenario, algorithm, severity), metric in sorted(
+                self.metrics.items()
+            )
+        ]
+        return json.dumps(
+            {
+                "rounds": self.rounds,
+                "seed": self.seed,
+                "warmup": self.warmup,
+                "severities": list(self.severities),
+                "winners": {s: self.winner(s) for s in self.scenarios},
+                "cells": cells,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+
+def _categorical_error_rate(algorithm, scenario_data, warmup):
+    """Fused error rate against the ground truth after warm-up."""
+    from ..fusion.engine import FusionEngine
+
+    attacked = scenario_data.faulty
+    voter = create_voter(algorithm)
+    engine = FusionEngine(voter, roster=list(attacked.modules))
+    errors = 0
+    judged = 0
+    for number in range(attacked.n_rounds):
+        result = engine.process(
+            Round.from_mapping(number, attacked.round_values(number))
+        )
+        if number < warmup:
+            continue
+        judged += 1
+        if result.value != attacked.truth[number]:
+            errors += 1
+    return errors / judged if judged else 0.0
+
+
+def _numeric_residual(algorithm, scenario_data, warmup):
+    """Residual deviation of the faulty run from the clean run."""
+    clean_out = run_voter_series(create_voter(algorithm), scenario_data.clean)
+    fault_out = run_voter_series(create_voter(algorithm), scenario_data.faulty)
+    diff = np.abs(fault_out - clean_out)[warmup:]
+    return float(np.nanmean(diff))
+
+
+def _sweep_cell(payload, cell):
+    handle, rounds, seed, warmup = payload
+    scenario, algorithm, severity = cell
+    base = materialise(handle) if handle is not None else None
+    data = build_scenario(
+        scenario, rounds=rounds, severity=severity, seed=seed, base=base
+    )
+    if data.kind == "categorical":
+        return _categorical_error_rate(algorithm, data, warmup)
+    return _numeric_residual(algorithm, data, warmup)
+
+
+def _resolve_scenarios(scenarios) -> Tuple[str, ...]:
+    if scenarios is None or scenarios == "all":
+        return available_scenarios()
+    names = tuple(scenarios)
+    unknown = [n for n in names if n not in SCENARIOS]
+    if unknown:
+        raise ConfigurationError(
+            f"unknown scenarios {unknown}; available: {available_scenarios()}"
+        )
+    return names
+
+
+def _resolve_algorithms(algorithms, kind: str) -> Tuple[str, ...]:
+    if algorithms is None or algorithms == "all":
+        return (
+            DEFAULT_CATEGORICAL_ALGORITHMS
+            if kind == "categorical"
+            else DEFAULT_NUMERIC_ALGORITHMS
+        )
+    names = tuple(algorithms)
+    unknown = [n for n in names if n not in available_algorithms()]
+    if unknown:
+        raise ConfigurationError(
+            f"unknown algorithms {unknown}; available: {available_algorithms()}"
+        )
+    categorical = set(categorical_algorithms())
+    if kind == "categorical":
+        return tuple(n for n in names if n in categorical)
+    return tuple(n for n in names if n not in categorical)
+
+
+def run_adversarial_sweep(
+    scenarios=None,
+    algorithms=None,
+    severities: Sequence[float] = DEFAULT_SEVERITIES,
+    rounds: int = 400,
+    seed: int = 7,
+    warmup: int = 20,
+    workers: Optional[int] = 1,
+) -> AdversarialResult:
+    """Rank algorithms per threat model.
+
+    Args:
+        scenarios: scenario names, or None/"all" for every registered
+            scenario.
+        algorithms: registry names, or None/"all" for the per-kind
+            defaults.  An explicit list is filtered per scenario kind
+            (numeric scenarios take the numeric names, categorical the
+            categorical ones); scenarios left with no contenders are
+            dropped.
+        severities: fault severities swept per scenario (offset in
+            kilolumen for the numeric scenarios, burst-dropout scale
+            for the categorical one).
+        rounds / seed: scenario size and generator seed.
+        warmup: rounds excluded from the metric while history warms up.
+        workers: worker processes for the cell grid; results are
+            identical at any count.
+    """
+    if warmup >= rounds:
+        raise ConfigurationError(
+            f"warmup ({warmup}) must be below rounds ({rounds})"
+        )
+    severities = tuple(float(s) for s in severities)
+    if not severities:
+        raise ConfigurationError("need at least one severity")
+    scenario_names = _resolve_scenarios(scenarios)
+
+    per_scenario: Dict[str, Tuple[str, ...]] = {}
+    for scenario in scenario_names:
+        contenders = _resolve_algorithms(algorithms, SCENARIOS[scenario].kind)
+        if contenders:
+            per_scenario[scenario] = contenders
+    if not per_scenario:
+        raise ConfigurationError(
+            "no (scenario, algorithm) pairs left after kind filtering"
+        )
+
+    cells = [
+        (scenario, algorithm, severity)
+        for scenario, contenders in per_scenario.items()
+        for algorithm in contenders
+        for severity in severities
+    ]
+
+    needs_base = any(SCENARIOS[s].kind == "numeric" for s in per_scenario)
+    base = (
+        generate_uc1_dataset(UC1Config(n_rounds=rounds)) if needs_base else None
+    )
+    result = AdversarialResult(
+        scenarios=tuple(per_scenario),
+        severities=severities,
+        rounds=rounds,
+        seed=seed,
+        warmup=warmup,
+        algorithms=per_scenario,
+    )
+    if base is not None:
+        with dataset_payload((base,), workers) as (handle,):
+            outputs = parallel_map(
+                _sweep_cell,
+                cells,
+                workers=workers,
+                payload=(handle, rounds, seed, warmup),
+            )
+    else:
+        outputs = parallel_map(
+            _sweep_cell,
+            cells,
+            workers=workers,
+            payload=(None, rounds, seed, warmup),
+        )
+    for (scenario, algorithm, severity), metric in zip(cells, outputs):
+        result.metrics[(scenario, algorithm, severity)] = float(metric)
+    return result

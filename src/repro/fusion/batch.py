@@ -3,7 +3,7 @@
 :func:`process_matrix` is the engine behind
 :meth:`FusionEngine.process_batch` and the top-level :func:`fuse`
 facade.  It evaluates the engine's fault/quorum policy for every round
-up front with array arithmetic, then dispatches to one of four
+up front with array arithmetic, then dispatches to one of five
 vectorized kernels selected by :meth:`Voter.batch_kernel`:
 
 ``stateless``
@@ -14,6 +14,11 @@ vectorized kernels selected by :meth:`Voter.batch_kernel`:
     compacted values with vectorized margins.
 ``plurality``
     PluralityVoter — sequential tally loop carrying the tie-break.
+``incoherence``
+    IncoherenceMaskingVoter — dynamic margins precomputed for all
+    rounds, then a sequential loop over the voter's own
+    ``_apply``/``_outcome`` core (the mask hysteresis is a genuine
+    cross-round dependency).
 ``history``
     The Standard/Me/Sdt/Hybrid/AVOC family — margins and pairwise
     agreement scores precomputed for all rounds, then a tight
@@ -180,6 +185,8 @@ def process_matrix(
         _run_clustering(ctx)
     elif kernel == "plurality":
         _run_plurality(ctx)
+    elif kernel == "incoherence":
+        _run_incoherence(ctx)
     elif kernel == "history":
         _run_history(ctx)
     else:  # pragma: no cover - registry/hook mismatch
@@ -589,6 +596,43 @@ def _run_plurality(ctx: _BatchContext) -> None:
         voter._last_output = tie_break
 
     ctx.writebacks.append(writeback)
+
+
+def _run_incoherence(ctx: _BatchContext) -> None:
+    """IncoherenceMaskingVoter: batch margins + the voter's own core.
+
+    The dynamic margin is the only per-round quantity that vectorizes
+    (it dominates the scalar cost via ``np.median``); the mask/score
+    recurrence itself is replayed through the voter's ``_apply`` and
+    ``_outcome`` methods so the two paths cannot drift apart.  State is
+    mutated in place — the votable set is fixed up front and this
+    kernel never marks conflicts, so there is no writeback to defer.
+    """
+    voter = ctx.engine.voter
+    params = voter.params
+    margins = kernels.batch_dynamic_margins(
+        ctx.matrix, params.error, params.min_margin, ctx.counts
+    )
+    ensured = False
+    for number in np.flatnonzero(ctx.votable):
+        if number >= ctx.cutoff:
+            break
+        if not ensured:
+            # The scalar path ensures every round with the full module
+            # roster; once is equivalent (ensure only inserts zeros).
+            voter._ensure(ctx.modules)
+            ensured = True
+        columns = np.flatnonzero(ctx.mask[number])
+        names = _present_modules(ctx, columns)
+        values = [float(v) for v in ctx.matrix[number, columns]]
+        margin = float(margins[number])
+        output, weights = voter._apply(names, values, margin)
+        ctx.outputs[number] = output
+        if ctx.diagnostics:
+            ctx.out_weights[number, columns] = weights
+            ctx.outcomes[number] = voter._outcome(
+                int(number), names, values, weights, margin, output
+            )
 
 
 #: Adaptive segment-scan block sizing: start small so event-dense

@@ -76,6 +76,31 @@ CATEGORICAL_SPEC = VotingSpec.from_dict(
     }
 )
 
+INCOHERENCE_SPEC = VotingSpec.from_dict(
+    {
+        "algorithm_name": "Incoherence",
+        "history": "INCOHERENCE",
+        "params": {
+            "error": 0.05,
+            "incoherence_rise": 0.35,
+            "incoherence_decay": 0.1,
+            "mask_threshold": 1.0,
+            "rejoin_threshold": 0.25,
+        },
+        "collation": "MEAN",
+    }
+)
+
+PROBABILISTIC_SPEC = VotingSpec.from_dict(
+    {
+        "algorithm_name": "door-state-prob",
+        "history": "STANDARD",
+        "collation": "PROBABILISTIC_MAJORITY",
+        "value_type": "CATEGORICAL",
+        "params": {"prior_strength": 1.0, "prior_smoothing": 1.0},
+    }
+)
+
 
 def all_example_specs() -> Dict[str, VotingSpec]:
     """Every canned spec, keyed by its algorithm name."""
@@ -88,5 +113,7 @@ def all_example_specs() -> Dict[str, VotingSpec]:
         CLUSTERING_SPEC,
         STATELESS_MEAN_SPEC,
         CATEGORICAL_SPEC,
+        INCOHERENCE_SPEC,
+        PROBABILISTIC_SPEC,
     )
     return {spec.algorithm_name: spec for spec in specs}

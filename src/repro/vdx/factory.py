@@ -16,7 +16,9 @@ from ..voting.base import Voter, VoterParams
 from ..voting.categorical import CategoricalMajorityVoter
 from ..voting.clustering_voter import ClusteringOnlyVoter
 from ..voting.hybrid import HybridVoter
+from ..voting.incoherence import IncoherenceMaskingVoter
 from ..voting.module_elimination import ModuleEliminationVoter
+from ..voting.probabilistic import ProbabilisticSymbolVoter
 from ..voting.soft_dynamic import SoftDynamicThresholdVoter
 from ..voting.standard import StandardVoter
 from ..voting.stateless import CollationVoter
@@ -72,11 +74,38 @@ def build_voter(spec: VotingSpec, history_store=None) -> Voter:
             have caught it).
     """
     if spec.is_categorical:
+        if spec.collation == "PROBABILISTIC_MAJORITY":
+            return ProbabilisticSymbolVoter(
+                history_mode=_CATEGORICAL_HISTORY[spec.history],
+                prior_strength=float(spec.params.get("prior_strength", 1.0)),
+                smoothing=float(spec.params.get("prior_smoothing", 1.0)),
+                prior_decay=float(spec.params.get("prior_decay", 0.05)),
+                reward=float(spec.params.get("reward", 0.1)),
+                penalty=float(spec.params.get("penalty", 0.2)),
+                policy=str(spec.params.get("history_policy", "additive")),
+            )
         return CategoricalMajorityVoter(
             history_mode=_CATEGORICAL_HISTORY[spec.history],
             reward=float(spec.params.get("reward", 0.1)),
             penalty=float(spec.params.get("penalty", 0.2)),
             policy=str(spec.params.get("history_policy", "additive")),
+        )
+
+    if spec.history == "INCOHERENCE":
+        # No HistoryRecords: the score table is the whole state, so a
+        # persistent history store does not apply here.
+        params = _voter_params(
+            spec,
+            elimination="none",
+            base=IncoherenceMaskingVoter.default_params(),
+        )
+        return IncoherenceMaskingVoter(
+            params=params,
+            rise=float(spec.params.get("incoherence_rise", 0.35)),
+            decay=float(spec.params.get("incoherence_decay", 0.1)),
+            mask_threshold=float(spec.params.get("mask_threshold", 1.0)),
+            rejoin_threshold=float(spec.params.get("rejoin_threshold", 0.25)),
+            score_cap=float(spec.params.get("score_cap", 2.0)),
         )
 
     if spec.history == "NONE":

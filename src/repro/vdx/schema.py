@@ -29,11 +29,19 @@ QUORUM_MODES = ("NONE", "UNTIL", "ANY")
 #: threshold (absolute) from the round median.
 EXCLUSION_MODES = ("NONE", "DEVIATION", "RANGE")
 
-#: History algorithm selection (§4 of the paper).
-HISTORY_MODES = ("NONE", "STANDARD", "ME", "SDT", "HYBRID")
+#: History algorithm selection (§4 of the paper, plus the
+#: incoherence-scored adaptive masking extension [Alagöz]).
+HISTORY_MODES = ("NONE", "STANDARD", "ME", "SDT", "HYBRID", "INCOHERENCE")
 
-#: Collation techniques (§6; "mean nearest neighbour" per Listing 1).
-COLLATION_MODES = ("MEAN", "MEDIAN", "MEAN_NEAREST_NEIGHBOR", "WEIGHTED_MAJORITY")
+#: Collation techniques (§6; "mean nearest neighbour" per Listing 1;
+#: PROBABILISTIC_MAJORITY is the symbol-prior categorical extension).
+COLLATION_MODES = (
+    "MEAN",
+    "MEDIAN",
+    "MEAN_NEAREST_NEIGHBOR",
+    "WEIGHTED_MAJORITY",
+    "PROBABILISTIC_MAJORITY",
+)
 
 #: Candidate value domains.  ``CATEGORICAL`` enables the §6 extension
 #: with its restrictions (no hybrid history, no bootstrap, no
@@ -210,6 +218,63 @@ PARAM_FIELDS: Tuple[Field, ...] = (
         minimum=0,
         maximum=1,
         doc="EMA-policy smoothing factor.",
+    ),
+    Field(
+        "incoherence_rise",
+        (int, float),
+        default=0.35,
+        minimum=0,
+        doc="Incoherence score increment on a margin violation (history=INCOHERENCE).",
+    ),
+    Field(
+        "incoherence_decay",
+        (int, float),
+        default=0.1,
+        minimum=0,
+        doc="Incoherence score decrement while coherent (history=INCOHERENCE).",
+    ),
+    Field(
+        "mask_threshold",
+        (int, float),
+        default=1.0,
+        minimum=0,
+        doc="Incoherence score at which a module is masked.",
+    ),
+    Field(
+        "rejoin_threshold",
+        (int, float),
+        default=0.25,
+        minimum=0,
+        doc="Incoherence score at which a masked module is readmitted.",
+    ),
+    Field(
+        "score_cap",
+        (int, float),
+        default=2.0,
+        minimum=0,
+        doc="Upper bound on the incoherence score.",
+    ),
+    Field(
+        "prior_strength",
+        (int, float),
+        default=1.0,
+        minimum=0,
+        doc="Symbol-prior exponent (collation=PROBABILISTIC_MAJORITY).",
+    ),
+    Field(
+        "prior_smoothing",
+        (int, float),
+        default=1.0,
+        minimum=0,
+        doc="Laplace smoothing of the symbol prior.",
+    ),
+    Field(
+        "prior_decay",
+        (int, float),
+        default=0.05,
+        minimum=0,
+        maximum=0.999999,
+        doc="Per-round geometric decay of the symbol-prior counts.",
     ),
 )
 

@@ -121,7 +121,7 @@ def _cross_field_rules(document: Dict[str, Any], problems: List[str]) -> None:
                 "categorical values do not support value-based exclusion "
                 "(no mean/standard deviation exists)"
             )
-        if history in ("HYBRID", "SDT"):
+        if history in ("HYBRID", "SDT", "INCOHERENCE"):
             problems.append(
                 f"categorical values do not support the {history} history "
                 "algorithm (fine-grained agreement is undefined)"
@@ -131,17 +131,39 @@ def _cross_field_rules(document: Dict[str, Any], problems: List[str]) -> None:
                 "clustering-based bootstrapping cannot be applied to "
                 "categorical values"
             )
-        if collation != "WEIGHTED_MAJORITY":
+        if collation not in ("WEIGHTED_MAJORITY", "PROBABILISTIC_MAJORITY"):
             problems.append(
-                "the only collation method for categorical values is "
-                "WEIGHTED_MAJORITY"
+                "categorical values require a majority collation "
+                "(WEIGHTED_MAJORITY or PROBABILISTIC_MAJORITY)"
             )
     else:
-        if collation == "WEIGHTED_MAJORITY":
+        if collation in ("WEIGHTED_MAJORITY", "PROBABILISTIC_MAJORITY"):
             problems.append(
-                "WEIGHTED_MAJORITY collation is reserved for categorical "
+                f"{collation} collation is reserved for categorical "
                 "value types"
             )
+        if history == "INCOHERENCE" and bootstrapping:
+            problems.append(
+                "history=INCOHERENCE keeps no history records, so "
+                "clustering bootstrapping does not apply"
+            )
+
+    params = document.get("params")
+    if isinstance(params, dict):
+        mask = params.get("mask_threshold", 1.0)
+        rejoin = params.get("rejoin_threshold", 0.25)
+        cap = params.get("score_cap", 2.0)
+        if isinstance(mask, (int, float)) and isinstance(rejoin, (int, float)):
+            if rejoin >= mask:
+                problems.append(
+                    "params.rejoin_threshold must be strictly below "
+                    "params.mask_threshold (mask hysteresis)"
+                )
+        if isinstance(mask, (int, float)) and isinstance(cap, (int, float)):
+            if cap < mask:
+                problems.append(
+                    "params.score_cap must be at least params.mask_threshold"
+                )
 
     if quorum == "UNTIL":
         pct = document.get("quorum_percentage", 100)

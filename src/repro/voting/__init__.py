@@ -12,7 +12,10 @@ paper (§4–§5):
 * ``AVOC`` — Hybrid with clustering-based history bootstrapping (the
   paper's contribution);
 * ``MLV`` — maximum-likelihood voting (extension, §6 limitations);
-* categorical weighted-majority voting (VDX categorical mode).
+* categorical weighted-majority voting (VDX categorical mode);
+* ``incoherence`` — incoherence-scored adaptive masking [Alagöz];
+* ``probabilistic`` — symbol-prior probabilistic voting for the
+  categorical path [Alagöz].
 
 All voters share the :class:`~repro.voting.base.Voter` interface: feed
 :class:`~repro.types.Round` objects to :meth:`vote` and receive
@@ -43,7 +46,14 @@ from .clustering_voter import ClusteringOnlyVoter
 from .avoc import AvocVoter
 from .mlv import MaximumLikelihoodVoter
 from .categorical import CategoricalMajorityVoter
-from .registry import available_algorithms, create_voter, register_voter
+from .incoherence import IncoherenceMaskingVoter
+from .probabilistic import ProbabilisticSymbolVoter
+from .registry import (
+    available_algorithms,
+    categorical_algorithms,
+    create_voter,
+    register_voter,
+)
 
 __all__ = [
     "Voter",
@@ -69,7 +79,10 @@ __all__ = [
     "AvocVoter",
     "MaximumLikelihoodVoter",
     "CategoricalMajorityVoter",
+    "IncoherenceMaskingVoter",
+    "ProbabilisticSymbolVoter",
     "available_algorithms",
+    "categorical_algorithms",
     "create_voter",
     "register_voter",
 ]

@@ -13,7 +13,7 @@ re-introduction hook the paper mentions for implementers).
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Hashable, Optional
 
 from ..exceptions import ConfigurationError
 from ..types import Round, VoteOutcome
@@ -62,7 +62,7 @@ class CategoricalMajorityVoter(Voter):
         self.distance = distance
         self.tolerance = tolerance
         self.history = HistoryRecords(policy=policy, reward=reward, penalty=penalty)
-        self._last_output = None
+        self._last_output: Optional[Hashable] = None
 
     def _agrees(self, value, winner) -> bool:
         if value == winner:

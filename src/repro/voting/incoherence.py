@@ -1,0 +1,215 @@
+"""Incoherence-scored adaptive fault masking.
+
+Implements the adaptive masking scheme of "Adaptive Fault Masking With
+Incoherence Scoring" (Alagöz, PAPERS.md): every module carries an
+*incoherence score* that rises when its reading falls outside the
+dynamic agreement margin around a robust reference (the weighted
+median of the currently unmasked readings) and decays while it
+agrees.  Judging incoherence against the median rather than the fused
+output keeps a single large-offset module from dragging the reference
+far enough to indict the honest majority.  A module whose score crosses ``mask_threshold`` is masked —
+its readings stop contributing to the fused value — until sustained
+coherence drives the score back below ``rejoin_threshold`` (hysteresis,
+so a flip-flopping module cannot oscillate in and out of the vote).
+
+Unlike the history-aware voters this one keeps no
+:class:`~repro.voting.history.HistoryRecords`; its state is the score
+table itself, which makes the regulation parameters (``rise``,
+``decay``, the two thresholds and ``score_cap``) the complete
+description of its adaptivity.
+
+The masking decision for round *t* is taken from the scores *entering*
+the round: the fused output is collated from the currently unmasked
+modules, incoherence is judged against that output, and the updated
+scores/masks take effect in round *t + 1*.  Modules absent from a round
+keep their score and mask untouched, so a masked sensor stays masked
+through an outage and must re-earn trust after it rejoins.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import ConfigurationError
+from ..types import Round, VoteOutcome
+from .agreement import dynamic_margin
+from .base import Voter, VoterParams
+from .collation import collate, weighted_median
+
+__all__ = ["IncoherenceMaskingVoter"]
+
+
+class IncoherenceMaskingVoter(Voter):
+    """Numeric voter with incoherence-scored adaptive masking.
+
+    Args:
+        params: shared numeric parameters; ``error``/``min_margin``
+            shape the dynamic margin and ``collation`` picks the fuse
+            (``WEIGHTED_MAJORITY`` is rejected — masking is weight
+            zeroing, not tallying).
+        rise: score increment applied when a module's reading is
+            incoherent (outside the margin around the fused output).
+        decay: score decrement applied while a module is coherent.
+        mask_threshold: score at (or above) which a module is masked.
+        rejoin_threshold: score at (or below) which a masked module is
+            readmitted; must be strictly below ``mask_threshold`` so the
+            mask has hysteresis.
+        score_cap: upper bound on the score, limiting how long a
+            recovered module needs to re-earn trust.
+    """
+
+    name = "incoherence"
+    stateful = True
+
+    def __init__(
+        self,
+        params: Optional[VoterParams] = None,
+        *,
+        rise: float = 0.35,
+        decay: float = 0.1,
+        mask_threshold: float = 1.0,
+        rejoin_threshold: float = 0.25,
+        score_cap: float = 2.0,
+    ):
+        self.params = params or self.default_params()
+        if self.params.collation.upper() == "WEIGHTED_MAJORITY":
+            raise ConfigurationError(
+                "incoherence masking is numeric; WEIGHTED_MAJORITY "
+                "collation is not supported"
+            )
+        if rise <= 0:
+            raise ConfigurationError(f"rise must be positive, got {rise}")
+        if decay < 0:
+            raise ConfigurationError(f"decay must be non-negative, got {decay}")
+        if mask_threshold <= 0:
+            raise ConfigurationError(
+                f"mask_threshold must be positive, got {mask_threshold}"
+            )
+        if not 0.0 <= rejoin_threshold < mask_threshold:
+            raise ConfigurationError(
+                "rejoin_threshold must be in [0, mask_threshold), got "
+                f"{rejoin_threshold} against mask_threshold={mask_threshold}"
+            )
+        if score_cap < mask_threshold:
+            raise ConfigurationError(
+                "score_cap must be at least mask_threshold, got "
+                f"{score_cap} against mask_threshold={mask_threshold}"
+            )
+        self.rise = float(rise)
+        self.decay = float(decay)
+        self.mask_threshold = float(mask_threshold)
+        self.rejoin_threshold = float(rejoin_threshold)
+        self.score_cap = float(score_cap)
+        self._scores: Dict[str, float] = {}
+        self._masked: Dict[str, bool] = {}
+
+    @classmethod
+    def default_params(cls) -> VoterParams:
+        """Masking zeroes weights itself; no record-based elimination."""
+        return VoterParams(elimination="none")
+
+    # -- introspection -----------------------------------------------------
+
+    def incoherence_scores(self) -> Dict[str, float]:
+        """Current per-module incoherence scores (copy)."""
+        return dict(self._scores)
+
+    def masked_modules(self) -> Tuple[str, ...]:
+        """Currently masked module names, sorted."""
+        return tuple(sorted(m for m, flag in self._masked.items() if flag))
+
+    # -- shared scalar/batch core ------------------------------------------
+
+    def _ensure(self, modules: Sequence[str]) -> None:
+        for module in modules:
+            if module not in self._scores:
+                self._scores[module] = 0.0
+                self._masked[module] = False
+
+    def _apply(
+        self, names: List[str], values: List[float], margin: float
+    ) -> Tuple[float, List[float]]:
+        """One round of mask-collate-score; returns (output, weights).
+
+        Both the scalar :meth:`vote` path and the batch kernel call this
+        method, so the two paths are bit-identical by construction.
+        """
+        weights = [0.0 if self._masked[m] else 1.0 for m in names]
+        output = collate(self.params.collation, values, weights)
+        # Robust scoring reference: the unmasked median (uniform-weight
+        # fallback when everything is masked), so one faulty module
+        # cannot shift the reference onto the honest majority.
+        reference = weighted_median(values, weights)
+        for module, value in zip(names, values):
+            if abs(value - reference) > margin:
+                score = min(self._scores[module] + self.rise, self.score_cap)
+            else:
+                score = max(self._scores[module] - self.decay, 0.0)
+            self._scores[module] = score
+            if self._masked[module]:
+                if score <= self.rejoin_threshold:
+                    self._masked[module] = False
+            elif score >= self.mask_threshold:
+                self._masked[module] = True
+        return output, weights
+
+    def _outcome(
+        self,
+        number: int,
+        names: List[str],
+        values: List[float],
+        weights: List[float],
+        margin: float,
+        output: float,
+    ) -> VoteOutcome:
+        return VoteOutcome(
+            round_number=number,
+            value=output,
+            weights=dict(zip(names, weights)),
+            eliminated=tuple(
+                m for m, w in zip(names, weights) if w == 0.0
+            ),
+            diagnostics={
+                "margin": margin,
+                "incoherence": {m: self._scores[m] for m in names},
+                "masked": self.masked_modules(),
+            },
+        )
+
+    # -- Voter interface ---------------------------------------------------
+
+    def vote(self, voting_round: Round) -> VoteOutcome:
+        voting_round.require_nonempty()
+        present = voting_round.present
+        names = [r.module for r in present]
+        values = [float(r.value) for r in present]
+        self._ensure(voting_round.modules)
+        margin = dynamic_margin(
+            values, self.params.error, self.params.min_margin
+        )
+        output, weights = self._apply(names, values, margin)
+        return self._outcome(
+            voting_round.number, names, values, weights, margin, output
+        )
+
+    def reset(self) -> None:
+        self._scores.clear()
+        self._masked.clear()
+
+    def batch_kernel(self) -> Optional[str]:
+        """``"incoherence"`` when the scoring core is unmodified.
+
+        The batch kernel replays :meth:`_apply`/:meth:`_outcome` with
+        vectorized margin precomputation, so any subclass override of
+        the core disables it (same guard as
+        :meth:`HistoryAwareVoter.batch_kernel`).
+        """
+        cls = type(self)
+        if (
+            cls.vote is not IncoherenceMaskingVoter.vote
+            or cls._apply is not IncoherenceMaskingVoter._apply
+            or cls._ensure is not IncoherenceMaskingVoter._ensure
+            or cls._outcome is not IncoherenceMaskingVoter._outcome
+        ):
+            return None
+        return "incoherence"

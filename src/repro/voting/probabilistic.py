@@ -1,0 +1,194 @@
+"""Symbol-prior probabilistic voting for the categorical path.
+
+Implements the probabilistic fault-masking scheme of "Fault Masking By
+Probabilistic Voting" (Alagöz, PAPERS.md) on top of the VDX categorical
+mode: instead of a pure weighted majority, each candidate symbol's
+weighted tally is modulated by a smoothed prior learned from the
+voter's own output history.  A colluding minority that floods a rare
+symbol must therefore overcome both the honest majority's tally *and*
+the symbol's low prior; conversely a symbol the voter has been emitting
+for many rounds survives short dropout bursts of the honest modules.
+
+The posterior score for candidate symbol *s* in a round is::
+
+    score(s) = tally(s) * P(s) ** prior_strength
+    P(s)     = (count(s) + smoothing) / (total + smoothing * n_candidates)
+
+where ``count`` is the (optionally decayed) number of past rounds the
+voter output *s*, and ``n_candidates`` ranges over the symbols present
+in the round.  With no history (cold start) every ``P(s)`` is equal and
+the vote reduces exactly to the weighted majority of
+:class:`~repro.voting.categorical.CategoricalMajorityVoter`;
+``prior_strength=0`` disables the prior permanently.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional
+
+from ..exceptions import ConfigurationError, NoMajorityError
+from ..types import Round, VoteOutcome
+from .base import Voter
+from .history import HistoryRecords
+
+_HISTORY_MODES = ("none", "standard", "me")
+
+
+class ProbabilisticSymbolVoter(Voter):
+    """Weighted majority with a smoothed symbol prior.
+
+    Args:
+        history_mode: ``"none"``, ``"standard"`` or ``"me"`` — the same
+            per-module reliability weighting as
+            :class:`~repro.voting.categorical.CategoricalMajorityVoter`.
+        prior_strength: exponent applied to the symbol prior; ``0``
+            disables the prior, values above 1 sharpen it.
+        smoothing: Laplace smoothing constant (> 0) keeping unseen
+            symbols electable.
+        prior_decay: per-round geometric decay of the prior counts in
+            ``[0, 1)``; ``0`` means an all-time prior, larger values
+            track regime changes faster.  The default keeps an
+            effective window of ~20 rounds: an unbounded prior can
+            lock onto a stale symbol after a genuine state change and
+            then reinforce its own wrong outputs indefinitely.
+        reward / penalty / policy: history update parameters, as in
+            :class:`~repro.voting.history.HistoryRecords`.
+    """
+
+    name = "probabilistic"
+    stateful = True
+
+    def __init__(
+        self,
+        history_mode: str = "standard",
+        prior_strength: float = 1.0,
+        smoothing: float = 1.0,
+        prior_decay: float = 0.05,
+        reward: float = 0.1,
+        penalty: float = 0.2,
+        policy: str = "additive",
+    ):
+        if history_mode not in _HISTORY_MODES:
+            raise ConfigurationError(
+                f"history_mode must be one of {_HISTORY_MODES}, got {history_mode!r}"
+            )
+        if prior_strength < 0:
+            raise ConfigurationError(
+                f"prior_strength must be non-negative, got {prior_strength}"
+            )
+        if smoothing <= 0:
+            raise ConfigurationError(
+                f"smoothing must be positive, got {smoothing}"
+            )
+        if not 0.0 <= prior_decay < 1.0:
+            raise ConfigurationError(
+                f"prior_decay must be in [0, 1), got {prior_decay}"
+            )
+        self.history_mode = history_mode
+        self.prior_strength = float(prior_strength)
+        self.smoothing = float(smoothing)
+        self.prior_decay = float(prior_decay)
+        self.history = HistoryRecords(policy=policy, reward=reward, penalty=penalty)
+        self._priors: Dict[Hashable, float] = {}
+        self._last_output: Optional[Hashable] = None
+
+    # -- introspection -----------------------------------------------------
+
+    def symbol_priors(self) -> Dict[Hashable, float]:
+        """Smoothed prior probabilities over the symbols seen so far."""
+        if not self._priors:
+            return {}
+        total = sum(self._priors.values())
+        denom = total + self.smoothing * len(self._priors)
+        return {
+            symbol: (count + self.smoothing) / denom
+            for symbol, count in self._priors.items()
+        }
+
+    # -- Voter interface ---------------------------------------------------
+
+    def vote(self, voting_round: Round) -> VoteOutcome:
+        voting_round.require_nonempty()
+        present = voting_round.present
+        modules = [r.module for r in present]
+        values = [r.value for r in present]
+        self.history.ensure(voting_round.modules)
+
+        if self.history_mode == "none":
+            weights: Dict[str, float] = {m: 1.0 for m in modules}
+            eliminated = ()
+        else:
+            weights = self.history.weights(modules)
+            eliminated = (
+                self.history.below_mean(modules) if self.history_mode == "me" else ()
+            )
+            for module in eliminated:
+                weights[module] = 0.0
+
+        tallies: Dict[Hashable, float] = {}
+        for value, module in zip(values, modules):
+            tallies[value] = tallies.get(value, 0.0) + weights[module]
+        if all(t == 0 for t in tallies.values()):
+            # Degenerate all-zero weights: fall back to unweighted
+            # counts, mirroring weighted_plurality.
+            tallies = {}
+            for value in values:
+                tallies[value] = tallies.get(value, 0.0) + 1.0
+
+        total = sum(self._priors.values())
+        denom = total + self.smoothing * len(tallies)
+        posterior = {
+            symbol: tally
+            * (
+                (self._priors.get(symbol, 0.0) + self.smoothing) / denom
+            )
+            ** self.prior_strength
+            for symbol, tally in tallies.items()
+        }
+        top = max(posterior.values())
+        winners = [s for s, score in posterior.items() if score == top]
+        if len(winners) == 1:
+            winner = winners[0]
+        elif self._last_output is not None and self._last_output in winners:
+            winner = self._last_output
+        else:
+            # No state is mutated on a conflict, matching the
+            # weighted_plurality convention.
+            raise NoMajorityError(f"tie between {sorted(map(repr, winners))}")
+        self._last_output = winner
+
+        if self.history_mode != "none":
+            scores = {
+                m: (1.0 if v == winner else 0.0)
+                for m, v in zip(modules, values)
+            }
+            self.history.update(scores)
+
+        if self.prior_decay:
+            factor = 1.0 - self.prior_decay
+            self._priors = {s: c * factor for s, c in self._priors.items()}
+        self._priors[winner] = self._priors.get(winner, 0.0) + 1.0
+
+        return VoteOutcome(
+            round_number=voting_round.number,
+            value=winner,
+            weights=weights,
+            history=self.history.snapshot(),
+            eliminated=eliminated,
+            diagnostics={"tallies": tallies, "posterior": posterior},
+        )
+
+    def reset(self) -> None:
+        self.history.reset()
+        self._priors.clear()
+        self._last_output = None
+
+    def batch_kernel(self) -> Optional[str]:
+        """Always ``None``: the prior recurrence is hash-based.
+
+        The symbol prior couples every round to the previous output
+        through a dictionary update, so there is no bit-identical
+        vectorization; :meth:`FusionEngine.process_batch` falls back to
+        the exact per-round loop.
+        """
+        return None

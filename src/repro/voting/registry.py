@@ -17,7 +17,9 @@ from .base import Voter, VoterParams
 from .categorical import CategoricalMajorityVoter
 from .clustering_voter import ClusteringOnlyVoter
 from .hybrid import HybridVoter
+from .incoherence import IncoherenceMaskingVoter
 from .mlv import MaximumLikelihoodVoter
+from .probabilistic import ProbabilisticSymbolVoter
 from .module_elimination import ModuleEliminationVoter
 from .soft_dynamic import SoftDynamicThresholdVoter
 from .standard import StandardVoter
@@ -25,14 +27,28 @@ from .stateless import MeanVoter, MedianVoter, PluralityVoter
 
 _REGISTRY: Dict[str, Callable[..., Voter]] = {}
 _ALIASES: Dict[str, str] = {}
+_CATEGORICAL: set = set()
 
 
-def register_voter(name: str, factory: Callable[..., Voter], aliases=()) -> None:
-    """Register a voter factory under ``name`` (and optional aliases)."""
+def register_voter(
+    name: str,
+    factory: Callable[..., Voter],
+    aliases=(),
+    categorical: bool = False,
+) -> None:
+    """Register a voter factory under ``name`` (and optional aliases).
+
+    ``categorical=True`` marks algorithms that vote over hashable
+    symbols rather than floats; callers that feed numeric matrices
+    (batch equivalence tests, numeric experiment sweeps) filter on
+    :func:`categorical_algorithms`.
+    """
     key = name.lower()
     if key in _REGISTRY:
         raise ConfigurationError(f"voter {name!r} is already registered")
     _REGISTRY[key] = factory
+    if categorical:
+        _CATEGORICAL.add(key)
     for alias in aliases:
         _ALIASES[alias.lower()] = key
 
@@ -40,6 +56,11 @@ def register_voter(name: str, factory: Callable[..., Voter], aliases=()) -> None
 def available_algorithms() -> Tuple[str, ...]:
     """Canonical names of all registered algorithms, sorted."""
     return tuple(sorted(_REGISTRY))
+
+
+def categorical_algorithms() -> Tuple[str, ...]:
+    """Canonical names of the categorical (symbol-voting) algorithms."""
+    return tuple(sorted(_CATEGORICAL))
 
 
 def create_voter(name: str, params: Optional[VoterParams] = None, **kwargs) -> Voter:
@@ -100,4 +121,23 @@ register_voter(
     "categorical_majority",
     _categorical_factory,
     aliases=("categorical", "weighted_majority"),
+    categorical=True,
+)
+
+register_voter(
+    "incoherence",
+    IncoherenceMaskingVoter,
+    aliases=("incoherence-masking", "adaptive-masking"),
+)
+
+
+def _probabilistic_factory(params=None, **kwargs):
+    return ProbabilisticSymbolVoter(**kwargs)
+
+
+register_voter(
+    "probabilistic",
+    _probabilistic_factory,
+    aliases=("probabilistic_majority", "symbol-prior"),
+    categorical=True,
 )

@@ -7,7 +7,7 @@ vote" of the latency claim in §7.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Hashable, Optional
 
 from ..types import Round, VoteOutcome
 from .base import Voter
@@ -78,7 +78,7 @@ class PluralityVoter(Voter):
     stateful = True  # remembers the last output for tie-breaking
 
     def __init__(self):
-        self._last_output = None
+        self._last_output: Optional[Hashable] = None
 
     def vote(self, voting_round: Round) -> VoteOutcome:
         voting_round.require_nonempty()

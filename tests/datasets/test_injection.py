@@ -46,6 +46,33 @@ class TestOffsetFault:
         with pytest.raises(DatasetError):
             offset_fault(uc1_small, "E4", 6.0, start_round=10, end_round=5)
 
+    def test_start_beyond_dataset_rejected(self, uc1_small):
+        # Regression: this used to silently no-op, returning a "faulty"
+        # dataset identical to the clean one.
+        with pytest.raises(DatasetError, match="beyond dataset"):
+            offset_fault(uc1_small, "E4", 6.0, start_round=uc1_small.n_rounds)
+
+    def test_end_beyond_dataset_rejected(self, uc1_small):
+        # Regression: this used to silently clamp to n_rounds.
+        with pytest.raises(DatasetError, match="beyond dataset"):
+            offset_fault(uc1_small, "E4", 6.0, end_round=uc1_small.n_rounds + 1)
+
+    def test_negative_start_rejected(self, uc1_small):
+        with pytest.raises(DatasetError, match="non-negative"):
+            offset_fault(uc1_small, "E4", 6.0, start_round=-1)
+
+    def test_every_injector_validates_windows(self, uc1_small):
+        from repro.datasets import drop_values, spike_fault, stuck_fault
+
+        bad = uc1_small.n_rounds + 10
+        for inject in (
+            lambda: stuck_fault(uc1_small, "E4", 1.0, start_round=bad),
+            lambda: spike_fault(uc1_small, "E4", 5.0, end_round=bad),
+            lambda: drop_values(uc1_small, "E4", 0.5, start_round=bad),
+        ):
+            with pytest.raises(DatasetError, match="beyond dataset"):
+                inject()
+
 
 class TestOtherInjectors:
     def test_stuck(self, uc1_small):

@@ -1,0 +1,212 @@
+"""Adversarial scenario generators: validation and seeded determinism."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.light_uc1 import UC1Config, generate_uc1_dataset
+from repro.datasets.scenarios import (
+    available_scenarios,
+    build_scenario,
+    colluding_offset_fault,
+    drift_fault,
+    flapping_fault,
+    flip_flop_fault,
+    generate_multirate_dataset,
+    generate_symbol_burst,
+    scenario_kind,
+)
+from repro.exceptions import DatasetError
+
+
+@pytest.fixture(scope="module")
+def base():
+    return generate_uc1_dataset(UC1Config(n_rounds=120))
+
+
+class TestCompositeInjectors:
+    def test_colluding_pair_applies_same_offset(self, base):
+        faulty = colluding_offset_fault(base, ("E1", "E2"), 3.0, start_round=10)
+        diff = faulty.matrix - base.matrix
+        assert np.allclose(np.nan_to_num(diff[10:, 0]), 3.0)
+        assert np.allclose(np.nan_to_num(diff[10:, 1]), 3.0)
+        assert np.all(np.nan_to_num(diff[:, 2:]) == 0.0)
+        assert np.all(np.nan_to_num(diff[:10]) == 0.0)
+
+    def test_collusion_needs_two_distinct_minority_modules(self, base):
+        with pytest.raises(DatasetError, match="at least two"):
+            colluding_offset_fault(base, ("E1",), 3.0)
+        with pytest.raises(DatasetError, match="distinct"):
+            colluding_offset_fault(base, ("E1", "E1"), 3.0)
+        with pytest.raises(DatasetError, match="minority"):
+            colluding_offset_fault(base, ("E1", "E2", "E3"), 3.0)
+
+    def test_flip_flop_alternates_offset(self, base):
+        faulty = flip_flop_fault(base, "E1", 2.0, period=5)
+        diff = np.nan_to_num(faulty.matrix - base.matrix)[:, 0]
+        assert np.allclose(diff[0:5], 2.0)
+        assert np.allclose(diff[5:10], 0.0)
+        assert np.allclose(diff[10:15], 2.0)
+
+    def test_flip_flop_rejects_bad_period(self, base):
+        with pytest.raises(DatasetError, match="period"):
+            flip_flop_fault(base, "E1", 2.0, period=0)
+
+    def test_drift_ramps_linearly(self, base):
+        faulty = drift_fault(base, "E3", 4.0)
+        diff = np.nan_to_num(faulty.matrix - base.matrix)[:, 2]
+        assert diff[0] == pytest.approx(0.0)
+        assert diff[-1] == pytest.approx(4.0)
+        assert np.all(np.diff(diff) >= -1e-9)
+
+    def test_drift_needs_two_rounds(self, base):
+        with pytest.raises(DatasetError, match="two rounds"):
+            drift_fault(base, "E3", 4.0, start_round=base.n_rounds - 1)
+
+    def test_flapping_cycles_outage_and_bias(self, base):
+        faulty = flapping_fault(base, "E2", outage=4, uptime=6, delta=1.5)
+        column = faulty.matrix[:, 1]
+        assert np.all(np.isnan(column[0:4]))
+        rejoined = column[4:10] - base.matrix[4:10, 1]
+        assert np.allclose(rejoined[~np.isnan(rejoined)], 1.5)
+        assert np.all(np.isnan(column[10:14]))
+
+    def test_flapping_rejects_bad_cycle(self, base):
+        with pytest.raises(DatasetError, match="outage and uptime"):
+            flapping_fault(base, "E2", outage=0, uptime=5)
+
+    def test_injector_windows_are_validated(self, base):
+        with pytest.raises(DatasetError, match="beyond dataset"):
+            colluding_offset_fault(
+                base, ("E1", "E2"), 3.0, start_round=base.n_rounds
+            )
+        with pytest.raises(DatasetError, match="beyond dataset"):
+            flip_flop_fault(base, "E1", 2.0, end_round=base.n_rounds + 1)
+
+
+class TestMultirateWorkload:
+    def test_modalities_and_cadence(self):
+        data = generate_multirate_dataset(rounds=60, seed=7)
+        assert data.modules == ["F1", "F2", "M1", "M2", "S1", "S2"]
+        slow = data.matrix[:, 4]
+        off_tick = [i for i in range(60) if i % 5 != 0]
+        assert np.all(np.isnan(slow[off_tick]))
+        meta = data.metadata["modalities"]
+        assert meta["F1"]["unit"] != meta["M1"]["unit"] != meta["S1"]["unit"]
+
+    def test_normalized_to_common_unit(self):
+        data = generate_multirate_dataset(rounds=60, seed=7)
+        # All modalities track the same latent kilolumen signal, so the
+        # per-module means agree despite the native-unit quantization.
+        means = [np.nanmean(data.matrix[:, i]) for i in range(6)]
+        assert max(means) - min(means) < 1.0
+
+    def test_rejects_short_runs_and_short_base(self, base):
+        with pytest.raises(DatasetError, match="at least 10"):
+            generate_multirate_dataset(rounds=5)
+        with pytest.raises(DatasetError, match="need 500"):
+            generate_multirate_dataset(rounds=500, base=base)
+
+    def test_seeded_determinism(self):
+        a = generate_multirate_dataset(rounds=40, seed=11)
+        b = generate_multirate_dataset(rounds=40, seed=11)
+        c = generate_multirate_dataset(rounds=40, seed=12)
+        assert np.array_equal(a.matrix, b.matrix, equal_nan=True)
+        assert not np.array_equal(a.matrix, c.matrix, equal_nan=True)
+
+
+class TestSymbolBurst:
+    def test_clean_and_attacked_share_truth_and_healthy_noise(self):
+        clean, attacked = generate_symbol_burst(rounds=80, severity=2.0)
+        assert clean.truth == attacked.truth
+        assert clean.modules == attacked.modules
+        colluders = set(attacked.metadata["colluders"])
+        burst_every = attacked.metadata["burst_every"]
+        burst_length = attacked.metadata["burst_length"]
+        for number in range(80):
+            in_burst = number % burst_every < burst_length
+            for i, module in enumerate(clean.modules):
+                if module in colluders or in_burst:
+                    continue
+                # Outside bursts the healthy streams are identical.
+                assert clean.readings[number][i] == attacked.readings[number][i]
+
+    def test_colluders_emit_wrong_symbol_in_bursts(self):
+        clean, attacked = generate_symbol_burst(rounds=80, severity=1.0)
+        colluders = set(attacked.metadata["colluders"])
+        for number in range(attacked.metadata["burst_length"]):
+            truth = attacked.truth[number]
+            for i, module in enumerate(attacked.modules):
+                if module in colluders:
+                    value = attacked.readings[number][i]
+                    assert value is not None and value != truth
+
+    def test_severity_scales_burst_dropout(self):
+        _, mild = generate_symbol_burst(rounds=80, severity=1.0)
+        _, harsh = generate_symbol_burst(rounds=80, severity=6.0)
+        assert harsh.metadata["burst_dropout"] > mild.metadata["burst_dropout"]
+
+    def test_validation(self):
+        with pytest.raises(DatasetError, match="minority"):
+            generate_symbol_burst(rounds=80, n_sensors=6, n_colluders=3)
+        with pytest.raises(DatasetError, match="severity"):
+            generate_symbol_burst(rounds=80, severity=0.0)
+        with pytest.raises(DatasetError, match="rounds"):
+            generate_symbol_burst(rounds=10)
+
+    def test_flip_probability_enables_regime_changes(self):
+        clean, _ = generate_symbol_burst(
+            rounds=400, seed=7, flip_probability=0.05
+        )
+        assert len(set(clean.truth)) == 2
+
+
+class TestScenarioRegistry:
+    def test_available_and_kinds(self):
+        names = available_scenarios()
+        assert names == tuple(sorted(names))
+        assert set(names) == {
+            "colluding_pair", "flip_flop", "slow_drift", "flapping",
+            "multirate", "symbol_burst",
+        }
+        assert scenario_kind("symbol_burst") == "categorical"
+        assert scenario_kind("colluding_pair") == "numeric"
+        with pytest.raises(DatasetError, match="unknown scenario"):
+            scenario_kind("nope")
+
+    def test_build_validation(self):
+        with pytest.raises(DatasetError, match="at least 16"):
+            build_scenario("flip_flop", rounds=8)
+        with pytest.raises(DatasetError, match="severity"):
+            build_scenario("flip_flop", rounds=40, severity=-1.0)
+        with pytest.raises(DatasetError, match="unknown scenario"):
+            build_scenario("nope", rounds=40)
+
+    @pytest.mark.parametrize("name", sorted(
+        ("colluding_pair", "flip_flop", "slow_drift", "flapping",
+         "multirate", "symbol_burst")
+    ))
+    def test_every_scenario_is_seed_deterministic(self, name):
+        a = build_scenario(name, rounds=64, severity=2.0, seed=9)
+        b = build_scenario(name, rounds=64, severity=2.0, seed=9)
+        assert a.kind == b.kind
+        assert a.faulty_modules == b.faulty_modules
+        if a.kind == "numeric":
+            assert np.array_equal(
+                a.faulty.matrix, b.faulty.matrix, equal_nan=True
+            )
+            assert np.array_equal(
+                a.clean.matrix, b.clean.matrix, equal_nan=True
+            )
+        else:
+            assert a.faulty.readings == b.faulty.readings
+            assert a.faulty.truth == b.faulty.truth
+
+    def test_base_is_sliced_and_checked(self, base):
+        data = build_scenario(
+            "colluding_pair", rounds=64, severity=1.0, base=base
+        )
+        assert data.clean.n_rounds == 64
+        with pytest.raises(DatasetError, match="need 200"):
+            build_scenario("colluding_pair", rounds=200, base=base)

@@ -1,0 +1,142 @@
+"""Adversarial ranking sweep: determinism, winners, worker identity."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.adversarial import (
+    DEFAULT_CATEGORICAL_ALGORITHMS,
+    DEFAULT_NUMERIC_ALGORITHMS,
+    run_adversarial_sweep,
+)
+
+ROUNDS = 160
+SEVERITIES = (3.0,)
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    return run_adversarial_sweep(
+        scenarios=("colluding_pair", "symbol_burst"),
+        algorithms=("average", "incoherence",
+                    "categorical_majority", "probabilistic"),
+        severities=SEVERITIES,
+        rounds=ROUNDS,
+    )
+
+
+class TestSweepMechanics:
+    def test_kind_filtering_splits_algorithms(self, small_sweep):
+        assert small_sweep.algorithms["colluding_pair"] == (
+            "average", "incoherence",
+        )
+        assert small_sweep.algorithms["symbol_burst"] == (
+            "categorical_majority", "probabilistic",
+        )
+
+    def test_all_cells_filled(self, small_sweep):
+        for scenario, contenders in small_sweep.algorithms.items():
+            for algorithm in contenders:
+                for severity in SEVERITIES:
+                    value = small_sweep.metric(scenario, algorithm, severity)
+                    assert value >= 0.0
+
+    def test_deterministic_across_runs(self, small_sweep):
+        again = run_adversarial_sweep(
+            scenarios=("colluding_pair", "symbol_burst"),
+            algorithms=("average", "incoherence",
+                        "categorical_majority", "probabilistic"),
+            severities=SEVERITIES,
+            rounds=ROUNDS,
+        )
+        assert again.metrics == small_sweep.metrics
+
+    def test_identical_at_any_worker_count(self, small_sweep):
+        parallel = run_adversarial_sweep(
+            scenarios=("colluding_pair", "symbol_burst"),
+            algorithms=("average", "incoherence",
+                        "categorical_majority", "probabilistic"),
+            severities=SEVERITIES,
+            rounds=ROUNDS,
+            workers=2,
+        )
+        assert parallel.metrics == small_sweep.metrics
+
+    def test_defaults_resolve_per_kind(self):
+        result = run_adversarial_sweep(
+            scenarios=("symbol_burst",), severities=(1.0,), rounds=80,
+        )
+        assert result.algorithms["symbol_burst"] == (
+            DEFAULT_CATEGORICAL_ALGORITHMS
+        )
+        assert "incoherence" in DEFAULT_NUMERIC_ALGORITHMS
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="warmup"):
+            run_adversarial_sweep(rounds=40, warmup=40)
+        with pytest.raises(ConfigurationError, match="severity"):
+            run_adversarial_sweep(severities=())
+        with pytest.raises(ConfigurationError, match="unknown scenarios"):
+            run_adversarial_sweep(scenarios=("nope",))
+        with pytest.raises(ConfigurationError, match="unknown algorithms"):
+            run_adversarial_sweep(algorithms=("nope",))
+        with pytest.raises(ConfigurationError, match="no .* pairs"):
+            run_adversarial_sweep(
+                scenarios=("symbol_burst",), algorithms=("average",),
+            )
+
+
+class TestExpectedWinners:
+    """The CI robustness matrix asserts one winner per threat model."""
+
+    def test_incoherence_wins_colluding_pair(self, small_sweep):
+        assert small_sweep.winner("colluding_pair") == "incoherence"
+        ranking = dict(small_sweep.ranking("colluding_pair"))
+        assert ranking["incoherence"] < ranking["average"]
+
+    def test_probabilistic_wins_symbol_burst(self, small_sweep):
+        assert small_sweep.winner("symbol_burst") == "probabilistic"
+        ranking = dict(small_sweep.ranking("symbol_burst"))
+        assert ranking["probabilistic"] < ranking["categorical_majority"]
+
+    def test_incoherence_beats_average_under_flip_flop(self):
+        result = run_adversarial_sweep(
+            scenarios=("flip_flop",),
+            algorithms=("average", "incoherence"),
+            severities=SEVERITIES,
+            rounds=ROUNDS,
+        )
+        ranking = dict(result.ranking("flip_flop"))
+        assert ranking["incoherence"] < ranking["average"]
+
+
+class TestReporting:
+    def test_ranking_rows(self, small_sweep):
+        rows = {row["scenario"]: row for row in small_sweep.ranking_rows()}
+        assert rows["colluding_pair"]["kind"] == "numeric"
+        assert rows["symbol_burst"]["kind"] == "categorical"
+        assert rows["symbol_burst"]["winner"] == "probabilistic"
+
+    def test_markdown_tables(self, small_sweep):
+        text = small_sweep.to_markdown()
+        assert "### Numeric scenarios" in text
+        assert "### Categorical scenarios" in text
+        assert "| colluding_pair |" in text
+        # The winner's cell is bolded.
+        assert "**" in text
+
+    def test_json_round_trip(self, small_sweep):
+        payload = json.loads(small_sweep.to_json())
+        assert payload["rounds"] == ROUNDS
+        assert payload["winners"]["colluding_pair"] == "incoherence"
+        cells = {
+            (c["scenario"], c["algorithm"], c["severity"]): c["metric"]
+            for c in payload["cells"]
+        }
+        assert cells == {
+            key: pytest.approx(value)
+            for key, value in small_sweep.metrics.items()
+        }

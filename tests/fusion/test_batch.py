@@ -28,12 +28,18 @@ from repro.fusion.quorum import QuorumRule
 from repro.types import Round, is_missing
 from repro.vdx.examples import AVOC_SPEC
 from repro.voting.avoc import AvocVoter
-from repro.voting.registry import available_algorithms, create_voter
+from repro.voting.registry import (
+    available_algorithms,
+    categorical_algorithms,
+    create_voter,
+)
 
 #: Every registered numeric algorithm (the batch path is numeric-only;
 #: categorical voters never reach it).
 ALGORITHMS = tuple(
-    name for name in sorted(available_algorithms()) if "categorical" not in name
+    name
+    for name in sorted(available_algorithms())
+    if name not in categorical_algorithms()
 )
 
 

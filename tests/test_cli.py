@@ -118,6 +118,29 @@ class TestSimulate:
         assert "rounds: 40" in out
 
 
+class TestAdversarial:
+    def test_markdown_to_stdout(self, capsys):
+        assert main([
+            "adversarial", "--scenarios", "symbol_burst",
+            "--rounds", "80", "--severities", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "### Categorical scenarios" in out
+        assert "probabilistic" in out
+
+    def test_json_to_file(self, tmp_path, capsys):
+        target = tmp_path / "ranking.json"
+        assert main([
+            "adversarial", "--scenarios", "symbol_burst",
+            "--algorithms", "categorical_majority,probabilistic",
+            "--rounds", "80", "--severities", "3",
+            "--format", "json", "--output", str(target),
+        ]) == 0
+        assert "wrote adversarial ranking" in capsys.readouterr().out
+        payload = json.loads(target.read_text())
+        assert payload["winners"]["symbol_burst"] == "probabilistic"
+
+
 class TestLatency:
     def test_reports_microseconds(self, capsys):
         assert main(["latency", "--iterations", "50"]) == 0

@@ -72,14 +72,18 @@ class TestRegistryCoverage:
     def test_every_registered_algorithm_instantiates_and_votes(self):
         from repro.exceptions import NoMajorityError
         from repro.types import Round
-        from repro.voting.registry import available_algorithms, create_voter
+        from repro.voting.registry import (
+            available_algorithms,
+            categorical_algorithms,
+            create_voter,
+        )
 
         for name in available_algorithms():
             if name.startswith("constant42"):
                 continue  # registered by another test module
             voter = create_voter(name)
             voting_round = Round.from_values(0, ["a", "a", "b"]) if (
-                "categorical" in name or name == "plurality"
+                name in categorical_algorithms() or name == "plurality"
             ) else Round.from_values(0, [10.0, 10.05, 10.1])
             try:
                 outcome = voter.vote(voting_round)

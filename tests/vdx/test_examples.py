@@ -34,4 +34,11 @@ class TestAllExamples:
 
     def test_examples_cover_all_history_modes(self):
         histories = {spec.history for spec in all_example_specs().values()}
-        assert histories == {"NONE", "STANDARD", "ME", "SDT", "HYBRID"}
+        assert histories == {
+            "NONE",
+            "STANDARD",
+            "ME",
+            "SDT",
+            "HYBRID",
+            "INCOHERENCE",
+        }

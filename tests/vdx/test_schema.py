@@ -32,11 +32,19 @@ class TestSchemaContents:
             assert key in names
 
     def test_history_modes_cover_paper_algorithms(self):
-        assert set(HISTORY_MODES) == {"NONE", "STANDARD", "ME", "SDT", "HYBRID"}
+        assert set(HISTORY_MODES) == {
+            "NONE",
+            "STANDARD",
+            "ME",
+            "SDT",
+            "HYBRID",
+            "INCOHERENCE",
+        }
 
     def test_collation_modes(self):
         assert "MEAN_NEAREST_NEIGHBOR" in COLLATION_MODES
         assert "WEIGHTED_MAJORITY" in COLLATION_MODES
+        assert "PROBABILISTIC_MAJORITY" in COLLATION_MODES
 
     def test_only_algorithm_name_required(self):
         required = [f.name for f in FIELDS if f.required]

@@ -1,0 +1,234 @@
+"""Incoherence-scored adaptive masking voter.
+
+Covers the regulation-parameter contract, the mask/rejoin hysteresis,
+scalar/batch bit-identity (including NaN gaps and quorum interaction),
+and a hypothesis fuzz over random gap-ridden matrices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError, EmptyRoundError
+from repro.fusion.engine import FusionEngine
+from repro.fusion.quorum import QuorumRule
+from repro.types import Round, is_missing
+from repro.voting.base import VoterParams
+from repro.voting.incoherence import IncoherenceMaskingVoter
+from repro.voting.registry import create_voter
+
+
+def run_rounds(engine, matrix, modules):
+    results = []
+    for number, row in enumerate(matrix):
+        mapping = {
+            m: (None if is_missing(v) else float(v))
+            for m, v in zip(modules, row)
+        }
+        results.append(engine.process(Round.from_mapping(number, mapping)))
+    return results
+
+
+class TestRegulationParameters:
+    def test_defaults(self):
+        voter = IncoherenceMaskingVoter()
+        assert voter.rise == 0.35
+        assert voter.decay == 0.1
+        assert voter.mask_threshold == 1.0
+        assert voter.rejoin_threshold == 0.25
+        assert voter.score_cap == 2.0
+        assert voter.params.elimination == "none"
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            ({"rise": 0.0}, "rise must be positive"),
+            ({"rise": -1.0}, "rise must be positive"),
+            ({"decay": -0.1}, "decay must be non-negative"),
+            ({"mask_threshold": 0.0}, "mask_threshold must be positive"),
+            ({"rejoin_threshold": 1.0}, "rejoin_threshold"),
+            ({"rejoin_threshold": -0.1}, "rejoin_threshold"),
+            ({"score_cap": 0.5}, "score_cap"),
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs, match):
+        with pytest.raises(ConfigurationError, match=match):
+            IncoherenceMaskingVoter(**kwargs)
+
+    def test_weighted_majority_collation_rejected(self):
+        params = VoterParams(collation="WEIGHTED_MAJORITY", elimination="none")
+        with pytest.raises(ConfigurationError, match="WEIGHTED_MAJORITY"):
+            IncoherenceMaskingVoter(params=params)
+
+    def test_registered(self):
+        voter = create_voter("incoherence")
+        assert isinstance(voter, IncoherenceMaskingVoter)
+        assert create_voter("incoherence-masking").name == "incoherence"
+        assert create_voter("adaptive-masking").name == "incoherence"
+
+
+class TestMaskingBehaviour:
+    def test_empty_round_raises(self):
+        with pytest.raises(EmptyRoundError):
+            IncoherenceMaskingVoter().vote(Round.from_mapping(0, {}))
+
+    def test_persistent_outlier_gets_masked(self):
+        voter = IncoherenceMaskingVoter()
+        for number in range(6):
+            outcome = voter.vote(
+                Round.from_values(number, [18.0, 18.1, 17.9, 18.05, 24.0])
+            )
+        assert voter.masked_modules() == ("E5",)
+        # Once masked the outlier stops contributing to the fuse.
+        assert outcome.value == pytest.approx(18.0125)
+        assert outcome.eliminated == ("E5",)
+
+    def test_scores_decay_while_coherent(self):
+        voter = IncoherenceMaskingVoter()
+        voter.vote(Round.from_values(0, [18.0, 18.1, 17.9, 18.05, 24.0]))
+        spiked = voter.incoherence_scores()["E5"]
+        assert spiked == pytest.approx(0.35)
+        for number in range(1, 5):
+            voter.vote(
+                Round.from_values(number, [18.0, 18.1, 17.9, 18.05, 18.02])
+            )
+        assert voter.incoherence_scores()["E5"] == pytest.approx(0.0)
+
+    def test_rejoin_hysteresis(self):
+        voter = IncoherenceMaskingVoter(rise=1.0, decay=0.5, score_cap=1.0)
+        voter.vote(Round.from_values(0, [18.0, 18.1, 17.9, 18.05, 24.0]))
+        assert voter.masked_modules() == ("E5",)
+        # One coherent round drops the score to 0.5 — above the rejoin
+        # threshold, so the module stays masked (hysteresis).
+        voter.vote(Round.from_values(1, [18.0, 18.1, 17.9, 18.05, 18.0]))
+        assert voter.masked_modules() == ("E5",)
+        # A second coherent round reaches 0.0 <= rejoin_threshold.
+        voter.vote(Round.from_values(2, [18.0, 18.1, 17.9, 18.05, 18.0]))
+        assert voter.masked_modules() == ()
+
+    def test_absent_module_keeps_score_and_mask(self):
+        voter = IncoherenceMaskingVoter()
+        for number in range(4):
+            voter.vote(
+                Round.from_values(number, [18.0, 18.1, 17.9, 18.05, 24.0])
+            )
+        assert voter.masked_modules() == ("E5",)
+        score = voter.incoherence_scores()["E5"]
+        voter.vote(
+            Round.from_mapping(4, {"E1": 18.0, "E2": 18.1, "E3": 17.9})
+        )
+        assert voter.masked_modules() == ("E5",)
+        assert voter.incoherence_scores()["E5"] == score
+
+    def test_score_cap_bounds_reearn_time(self):
+        voter = IncoherenceMaskingVoter(score_cap=1.0)
+        for number in range(20):
+            voter.vote(
+                Round.from_values(number, [18.0, 18.1, 17.9, 18.05, 24.0])
+            )
+        assert voter.incoherence_scores()["E5"] == pytest.approx(1.0)
+
+    def test_single_outlier_cannot_indict_majority(self):
+        # Scoring runs against the unmasked median, so one large offset
+        # never drags the reference onto the honest majority.
+        voter = IncoherenceMaskingVoter()
+        for number in range(10):
+            voter.vote(
+                Round.from_values(number, [18.0, 18.1, 17.9, 18.05, 60.0])
+            )
+        assert voter.masked_modules() == ("E5",)
+
+    def test_reset_clears_state(self):
+        voter = IncoherenceMaskingVoter()
+        for number in range(6):
+            voter.vote(
+                Round.from_values(number, [18.0, 18.1, 17.9, 18.05, 24.0])
+            )
+        voter.reset()
+        assert voter.incoherence_scores() == {}
+        assert voter.masked_modules() == ()
+
+    def test_diagnostics_expose_margin_scores_and_mask(self):
+        voter = IncoherenceMaskingVoter()
+        outcome = voter.vote(Round.from_values(0, [18.0, 18.1, 24.0]))
+        assert set(outcome.diagnostics) == {"margin", "incoherence", "masked"}
+        assert outcome.diagnostics["incoherence"]["E3"] == pytest.approx(0.35)
+
+
+class TestBatchEquivalence:
+    def test_kernel_name_and_override_guard(self):
+        assert IncoherenceMaskingVoter().batch_kernel() == "incoherence"
+
+        class Custom(IncoherenceMaskingVoter):
+            def _apply(self, names, values, margin):
+                return super()._apply(names, values, margin)
+
+        assert Custom().batch_kernel() is None
+
+    def assert_equivalent(self, make_engine, matrix, modules):
+        e_ref = make_engine()
+        e_batch = make_engine()
+        reference = run_rounds(e_ref, matrix, modules)
+        batch = e_batch.process_batch(
+            matrix, modules=modules, diagnostics=True
+        ).to_results()
+        assert len(reference) == len(batch)
+        for a, b in zip(reference, batch):
+            assert a.status == b.status
+            assert a.value == b.value  # bit-identity, not approx
+            if a.outcome is not None:
+                assert b.outcome is not None
+                assert a.outcome.weights == b.outcome.weights
+                assert a.outcome.eliminated == b.outcome.eliminated
+                assert a.outcome.diagnostics == b.outcome.diagnostics
+        assert (
+            e_ref.voter.incoherence_scores()
+            == e_batch.voter.incoherence_scores()
+        )
+        assert e_ref.voter.masked_modules() == e_batch.voter.masked_modules()
+
+    def test_uc1_with_fault_and_gaps(self, uc1_small_faulty):
+        matrix = uc1_small_faulty.matrix[:200].copy()
+        rng = np.random.default_rng(3)
+        matrix[rng.random(matrix.shape) < 0.1] = np.nan
+        matrix[7] = np.nan
+        self.assert_equivalent(
+            lambda: FusionEngine(create_voter("incoherence")),
+            matrix,
+            list(uc1_small_faulty.modules),
+        )
+
+    def test_quorum_interaction(self, uc1_small):
+        matrix = uc1_small.matrix[:120].copy()
+        matrix[10:30, :3] = np.nan  # 2 of 5 present: below 80% quorum
+        self.assert_equivalent(
+            lambda: FusionEngine(
+                create_voter("incoherence"),
+                quorum=QuorumRule(mode="UNTIL", percentage=80),
+            ),
+            matrix,
+            list(uc1_small.modules),
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        n_rounds=st.integers(min_value=1, max_value=40),
+        n_modules=st.integers(min_value=1, max_value=6),
+        gap_fraction=st.floats(min_value=0.0, max_value=0.6),
+    )
+    def test_fuzz_scalar_batch_identity(
+        self, seed, n_rounds, n_modules, gap_fraction
+    ):
+        rng = np.random.default_rng(seed)
+        matrix = 18.0 + rng.normal(0.0, 1.0, size=(n_rounds, n_modules))
+        matrix[rng.random(matrix.shape) < gap_fraction] = np.nan
+        modules = [f"E{i + 1}" for i in range(n_modules)]
+        self.assert_equivalent(
+            lambda: FusionEngine(create_voter("incoherence")),
+            matrix,
+            modules,
+        )

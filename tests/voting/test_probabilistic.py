@@ -1,0 +1,209 @@
+"""Symbol-prior probabilistic voting (categorical path).
+
+Covers the posterior contract (cold start reduces to the weighted
+majority), prior build-up and decay, tie handling, the documented
+batch fallback, and a determinism fuzz over random symbol streams.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import (
+    ConfigurationError,
+    EmptyRoundError,
+    NoMajorityError,
+)
+from repro.types import Round
+from repro.voting.categorical import CategoricalMajorityVoter
+from repro.voting.probabilistic import ProbabilisticSymbolVoter
+from repro.voting.registry import categorical_algorithms, create_voter
+
+
+def vote_mapping(voter, number, mapping):
+    return voter.vote(Round.from_mapping(number, mapping))
+
+
+class TestConstruction:
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            ({"history_mode": "hybrid"}, "history_mode"),
+            ({"prior_strength": -0.1}, "prior_strength"),
+            ({"smoothing": 0.0}, "smoothing"),
+            ({"smoothing": -1.0}, "smoothing"),
+            ({"prior_decay": 1.0}, "prior_decay"),
+            ({"prior_decay": -0.1}, "prior_decay"),
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs, match):
+        with pytest.raises(ConfigurationError, match=match):
+            ProbabilisticSymbolVoter(**kwargs)
+
+    def test_registered_as_categorical(self):
+        voter = create_voter("probabilistic")
+        assert isinstance(voter, ProbabilisticSymbolVoter)
+        assert "probabilistic" in categorical_algorithms()
+        assert create_voter("symbol-prior").name == "probabilistic"
+        assert create_voter("probabilistic_majority").name == "probabilistic"
+
+    def test_empty_round_raises(self):
+        with pytest.raises(EmptyRoundError):
+            ProbabilisticSymbolVoter().vote(Round.from_mapping(0, {}))
+
+
+class TestPosterior:
+    def test_cold_start_matches_weighted_majority(self):
+        mapping = {"S1": "a", "S2": "a", "S3": "b"}
+        prob = ProbabilisticSymbolVoter()
+        majority = CategoricalMajorityVoter()
+        assert (
+            vote_mapping(prob, 0, mapping).value
+            == vote_mapping(majority, 0, mapping).value
+            == "a"
+        )
+
+    def test_zero_strength_ignores_prior(self):
+        voter = ProbabilisticSymbolVoter(prior_strength=0.0)
+        for number in range(30):
+            vote_mapping(voter, number, {"S1": "a", "S2": "a", "S3": "a"})
+        # With the prior disabled a fresh 2-1 majority for "b" wins even
+        # against 30 rounds of "a" history.
+        outcome = vote_mapping(voter, 30, {"S1": "b", "S2": "b", "S3": "a"})
+        assert outcome.value == "b"
+
+    def test_prior_defends_against_burst_flood(self):
+        voter = ProbabilisticSymbolVoter()
+        for number in range(30):
+            vote_mapping(
+                voter, number,
+                {f"S{i}": "present" for i in range(1, 8)},
+            )
+        # Colluders flood the wrong symbol while the honest sensors are
+        # mostly dropped out: 2 wrong vs 1 right present.
+        outcome = vote_mapping(
+            voter, 30, {"S1": "absent", "S2": "absent", "S3": "present"}
+        )
+        assert outcome.value == "present"
+
+    def test_prior_builds_and_decays(self):
+        voter = ProbabilisticSymbolVoter(prior_decay=0.5)
+        vote_mapping(voter, 0, {"S1": "a", "S2": "a"})
+        vote_mapping(voter, 1, {"S1": "a", "S2": "a"})
+        priors = voter.symbol_priors()
+        assert set(priors) == {"a"}
+        # counts: 1 decayed to 0.5, plus 1 → 1.5; smoothed over the one
+        # seen symbol: (1.5 + 1) / (1.5 + 1).
+        assert priors["a"] == pytest.approx(1.0)
+        vote_mapping(voter, 2, {"S1": "b", "S2": "b", "S3": "b"})
+        assert set(voter.symbol_priors()) == {"a", "b"}
+
+    def test_diagnostics_expose_tallies_and_posterior(self):
+        voter = ProbabilisticSymbolVoter()
+        outcome = vote_mapping(voter, 0, {"S1": "a", "S2": "a", "S3": "b"})
+        assert outcome.diagnostics["tallies"]["a"] == pytest.approx(2.0)
+        assert set(outcome.diagnostics["posterior"]) == {"a", "b"}
+
+    def test_me_mode_zero_weights_below_mean(self):
+        voter = ProbabilisticSymbolVoter(history_mode="me")
+        for number in range(10):
+            vote_mapping(voter, number, {"S1": "a", "S2": "a", "S3": "b"})
+        outcome = vote_mapping(voter, 10, {"S1": "a", "S2": "a", "S3": "b"})
+        assert "S3" in outcome.eliminated
+        assert outcome.weights["S3"] == 0.0
+
+
+class TestTieHandling:
+    def test_fresh_tie_raises_without_mutation(self):
+        voter = ProbabilisticSymbolVoter()
+        with pytest.raises(NoMajorityError):
+            vote_mapping(voter, 0, {"S1": "a", "S2": "b"})
+        assert voter.symbol_priors() == {}
+        assert voter.history.update_count == 0
+
+    def test_tie_resolved_by_last_output(self):
+        voter = ProbabilisticSymbolVoter(prior_strength=0.0)
+        vote_mapping(voter, 0, {"S1": "a", "S2": "a", "S3": "b"})
+        # Prior disabled: posterior ties 1-1, the previous output wins.
+        outcome = vote_mapping(voter, 1, {"S1": "a", "S2": "b"})
+        assert outcome.value == "a"
+
+    def test_reset_clears_priors_history_and_last_output(self):
+        voter = ProbabilisticSymbolVoter()
+        vote_mapping(voter, 0, {"S1": "a", "S2": "a", "S3": "b"})
+        voter.reset()
+        assert voter.symbol_priors() == {}
+        assert voter.history.update_count == 0
+        with pytest.raises(NoMajorityError):
+            vote_mapping(voter, 0, {"S1": "a", "S2": "b"})
+
+
+class TestBatchFallback:
+    def test_batch_kernel_is_documented_fallback(self):
+        assert ProbabilisticSymbolVoter().batch_kernel() is None
+
+    def test_engine_series_matches_manual_loop(self):
+        from repro.fusion.engine import FusionEngine
+
+        rounds = [
+            {"S1": "a", "S2": "a", "S3": "b"},
+            {"S1": "a", "S2": None, "S3": "a"},
+            {"S1": "b", "S2": "a", "S3": "a"},
+            {"S1": "a", "S2": "a", "S3": "a"},
+        ]
+        manual = ProbabilisticSymbolVoter()
+        expected = [
+            vote_mapping(manual, n, m).value for n, m in enumerate(rounds)
+        ]
+        engine = FusionEngine(
+            ProbabilisticSymbolVoter(), roster=["S1", "S2", "S3"]
+        )
+        got = [
+            engine.process(Round.from_mapping(n, m)).value
+            for n, m in enumerate(rounds)
+        ]
+        assert got == expected
+
+
+class TestFuzzDeterminism:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        n_rounds=st.integers(min_value=1, max_value=40),
+        n_modules=st.integers(min_value=1, max_value=6),
+    )
+    def test_identical_streams_identical_outputs(
+        self, seed, n_rounds, n_modules
+    ):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        symbols = ("a", "b", "c")
+        modules = [f"S{i + 1}" for i in range(n_modules)]
+        stream = [
+            {
+                m: (
+                    None
+                    if rng.random() < 0.2
+                    else symbols[rng.integers(len(symbols))]
+                )
+                for m in modules
+            }
+            for _ in range(n_rounds)
+        ]
+        outputs = []
+        for _ in range(2):
+            voter = ProbabilisticSymbolVoter()
+            series = []
+            for number, mapping in enumerate(stream):
+                if all(v is None for v in mapping.values()):
+                    series.append("<empty>")
+                    continue
+                try:
+                    series.append(vote_mapping(voter, number, mapping).value)
+                except NoMajorityError:
+                    series.append("<tie>")
+            outputs.append(series)
+        assert outputs[0] == outputs[1]
