@@ -339,6 +339,8 @@ def _cmd_cluster(args) -> int:
     )
     print(json.dumps(cluster.describe(), indent=2))
     if args.once:
+        if args.metrics:
+            _print_shard_metrics(cluster.gateway.dispatch)
         cluster.stop()
         return 0
     try:
@@ -348,7 +350,111 @@ def _cmd_cluster(args) -> int:
     except KeyboardInterrupt:
         pass
     finally:
+        if args.metrics:
+            try:
+                _print_shard_metrics(cluster.gateway.dispatch)
+            except Exception as exc:  # noqa: BLE001 - shutdown must proceed
+                print(f"(per-shard metrics unavailable: {exc})")
         cluster.stop()
+    return 0
+
+
+def _print_shard_metrics(dispatch) -> None:
+    """Print per-shard metric sections pulled through a gateway."""
+    response = dispatch({"op": "metrics", "shards": True})
+    for backend_id, text in sorted(response.get("shard_metrics", {}).items()):
+        print(f"\n== shard metrics [{backend_id}] ==")
+        print(text if text else "(no metrics collected)", end="")
+    failed = response.get("shard_failures", [])
+    if failed:
+        print(f"\n(unreachable shards: {', '.join(failed)})")
+
+
+def _cmd_dashboard(args) -> int:
+    import json
+
+    from .ops import (
+        AlertRule,
+        DashboardServer,
+        FileNotifier,
+        LogNotifier,
+        default_alert_rules,
+    )
+
+    cluster = None
+    client = None
+    gateway = None
+    dispatch = None
+    if args.gateway:
+        from .service.client import VoterClient
+
+        host, _, port = args.gateway.rpartition(":")
+        if not host or not port.isdigit():
+            print(f"--gateway expects HOST:PORT, got {args.gateway!r}")
+            return 2
+        client = VoterClient(host, int(port), timeout=10.0)
+        client.connect()
+        client.negotiate("auto")
+        dispatch = client.request
+        # Remote topology is unknown, so the shards-down rule stays off.
+        rules = default_alert_rules()
+        target = args.gateway
+    else:
+        from .cluster.supervisor import FusionCluster
+        from .vdx.examples import AVOC_SPEC
+        from .vdx.spec import VotingSpec
+
+        spec = VotingSpec.from_file(args.spec) if args.spec else AVOC_SPEC
+        cluster = FusionCluster(
+            spec,
+            n_shards=args.shards,
+            replicas=args.replicas,
+            mode=args.mode,
+            store=args.store,
+        )
+        cluster.start()
+        gateway = cluster.gateway
+        rules = default_alert_rules(args.shards)
+        target = "%s:%d" % cluster.address
+    if args.rules:
+        with open(args.rules, "r", encoding="utf-8") as handle:
+            rules = [AlertRule.from_dict(item) for item in json.load(handle)]
+    notifiers = [LogNotifier()]
+    if args.alert_log:
+        notifiers.append(FileNotifier(args.alert_log))
+    dash = DashboardServer(
+        gateway=gateway,
+        dispatch=dispatch,
+        rules=rules,
+        notifiers=notifiers,
+        interval=args.interval,
+        host=args.host,
+        port=args.port,
+    )
+    dash.start()
+    host, port = dash.address
+    print(f"operations dashboard at http://{host}:{port}/ (cluster: {target})")
+    print("endpoints: / (HTML)  /metrics  /api/snapshot  /api/alerts  "
+          "/api/stream (SSE)")
+    print(f"alert rules: {', '.join(rule.name for rule in rules) or '(none)'}")
+    try:
+        if not args.once:
+            import threading
+
+            threading.Event().wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if args.metrics:
+            try:
+                _print_shard_metrics(dispatch or gateway.dispatch)
+            except Exception as exc:  # noqa: BLE001 - shutdown must proceed
+                print(f"(per-shard metrics unavailable: {exc})")
+        dash.stop()
+        if client is not None:
+            client.close()
+        if cluster is not None:
+            cluster.stop()
     return 0
 
 
@@ -430,6 +536,26 @@ def _cmd_fuse(args) -> int:
     return 0
 
 
+def _live_tune_space(algorithm: str):
+    """The discrete deployable-config space ``tune --live`` sweeps.
+
+    Discrete on purpose: live trials cost a cluster reconfiguration
+    plus a full scenario replay, and a small closed set of candidate
+    configs (a) is what a capacity-planning run actually compares and
+    (b) makes random draws collide, so the trial memoization cache
+    does real work.
+    """
+    from .tuning import Choice, ParameterSpace, live_base_params
+
+    return ParameterSpace(
+        {
+            "error": Choice([0.03, 0.06, 0.12]),
+            "collation": Choice(["MEAN", "MEDIAN"]),
+        },
+        base=live_base_params(algorithm),
+    )
+
+
 def _cmd_tune(args) -> int:
     from .analysis.report import render_table
     from .datasets.injection import offset_fault
@@ -440,12 +566,65 @@ def _cmd_tune(args) -> int:
         ParameterSpace,
         genetic_search,
         grid_search,
+        random_search,
         uc1_fault_recovery_objective,
     )
     from .voting.registry import create_voter
 
     clean = generate_uc1_dataset(UC1Config(n_rounds=args.rounds))
     faulty = offset_fault(clean, "E4", 6.0)
+    if args.live:
+        from .service.client import VoterClient
+        from .tuning import (
+            LiveObjective,
+            live_genetic_search,
+            live_grid_search,
+            live_random_search,
+        )
+
+        host, _, port = args.live.rpartition(":")
+        if not host or not port.isdigit():
+            print(f"--live expects HOST:PORT, got {args.live!r}")
+            return 2
+        space = _live_tune_space(args.algorithm)
+        client = VoterClient(host, int(port), timeout=60.0)
+        client.connect()
+        client.negotiate("auto")
+        try:
+            objective = LiveObjective(
+                client.request, clean, faulty, algorithm=args.algorithm
+            )
+            if args.method == "grid":
+                result = live_grid_search(
+                    objective, space, points_per_dimension=args.points
+                )
+            elif args.method == "genetic":
+                result = live_genetic_search(
+                    objective, space, population_size=12,
+                    generations=args.points, seed=args.seed,
+                )
+            else:
+                result = live_random_search(
+                    objective, space, n_trials=args.trials, seed=args.seed
+                )
+        finally:
+            client.close()
+        print(
+            f"evaluated {result.n_trials} configurations ({args.method}, "
+            f"live against {args.live}; {objective.trials} cluster "
+            f"evaluations, {result.cache_hits} cache hits)"
+        )
+        rows = [
+            [
+                round(t.assignment["error"], 4),
+                t.assignment["collation"],
+                round(t.score, 3),
+            ]
+            for t in result.top(5)
+        ]
+        print(render_table(["error", "collation", "score"], rows))
+        print(f"\nbest: {result.best_assignment} -> score {result.best_score:.3f}")
+        return 0
     objective = uc1_fault_recovery_objective(clean, faulty, algorithm=args.algorithm)
     base = create_voter(args.algorithm).params
     space = ParameterSpace(
@@ -458,9 +637,13 @@ def _cmd_tune(args) -> int:
     )
     if args.method == "grid":
         result = grid_search(objective, space, points_per_dimension=args.points)
-    else:
+    elif args.method == "genetic":
         result = genetic_search(
             objective, space, population_size=12, generations=args.points
+        )
+    else:
+        result = random_search(
+            objective, space, n_trials=args.trials, seed=args.seed
         )
     print(f"evaluated {result.n_trials} configurations ({args.method})")
     rows = [
@@ -714,11 +897,64 @@ def build_parser() -> argparse.ArgumentParser:
 
     tune = sub.add_parser("tune", help="search voting parameters on UC-1")
     tune.add_argument("--algorithm", default="avoc")
-    tune.add_argument("--method", choices=("grid", "genetic"), default="grid")
+    tune.add_argument(
+        "--method", choices=("grid", "genetic", "random"), default="grid"
+    )
     tune.add_argument("--rounds", type=int, default=300)
     tune.add_argument(
         "--points", type=int, default=4,
         help="grid points per dimension, or GA generations",
+    )
+    tune.add_argument(
+        "--trials", type=int, default=8,
+        help="random-search trial count",
+    )
+    tune.add_argument("--seed", type=int, default=0)
+    tune.add_argument(
+        "--live", default=None, metavar="HOST:PORT",
+        help="run trials against a running cluster gateway instead of "
+        "in-process (bit-identical ranking; the cluster is reconfigured "
+        "per trial)",
+    )
+
+    dashboard = sub.add_parser(
+        "dashboard",
+        help="serve the live-operations dashboard (HTML + /metrics + SSE)",
+    )
+    dashboard.add_argument(
+        "--gateway", default=None, metavar="HOST:PORT",
+        help="attach to a running cluster gateway (default: boot a local "
+        "cluster)",
+    )
+    dashboard.add_argument("--spec", default=None, help="VDX document (default: AVOC)")
+    dashboard.add_argument("--shards", type=int, default=2)
+    dashboard.add_argument("--replicas", type=int, default=2)
+    dashboard.add_argument(
+        "--mode", choices=("process", "thread"), default=None,
+        help="backend isolation for the booted cluster",
+    )
+    dashboard.add_argument(
+        "--store", choices=("packed", "jsonl", "sqlite", "memory"),
+        default=None,
+        help="per-shard history storage tier for the booted cluster",
+    )
+    dashboard.add_argument("--host", default="127.0.0.1")
+    dashboard.add_argument("--port", type=int, default=0)
+    dashboard.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between snapshot/alert ticks",
+    )
+    dashboard.add_argument(
+        "--rules", default=None, metavar="FILE",
+        help="JSON list of alert rules (default: the stock rule set)",
+    )
+    dashboard.add_argument(
+        "--alert-log", default=None, metavar="FILE",
+        help="append one JSON line per alert transition to this file",
+    )
+    dashboard.add_argument(
+        "--once", action="store_true",
+        help="start, print the address, and exit (for scripting/tests)",
     )
 
     return parser
@@ -740,6 +976,7 @@ _COMMANDS = {
     "fuse": _cmd_fuse,
     "tune": _cmd_tune,
     "diagnose": _cmd_diagnose,
+    "dashboard": _cmd_dashboard,
 }
 
 

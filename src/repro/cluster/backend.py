@@ -594,11 +594,11 @@ def _backend_main(
     conn,
 ) -> None:
     """Subprocess entry: serve one shard until the process is killed."""
-    from ..obs import disable
+    from ..obs import MetricsRegistry
 
-    # The child serves over the wire; its metrics die with it anyway,
-    # and a forked copy of the parent registry would only skew labels.
-    disable()
+    # The child serves its metrics over the wire (the `obs`/`metrics`
+    # ops); a forked copy of the parent registry would only skew labels,
+    # so the shard gets its own empty registry instead.
     server = ShardServer(
         spec,
         host=host,
@@ -607,6 +607,7 @@ def _backend_main(
         store=store,
         max_resident_series=max_resident_series,
         maintenance_interval=maintenance_interval,
+        registry=MetricsRegistry(),
     )
     server.start()
     conn.send(server.address)
@@ -679,6 +680,11 @@ class ManagedBackend:
         if self.history_dir is not None:
             self.history_dir.mkdir(parents=True, exist_ok=True)
         if self.mode == "thread":
+            from ..obs import MetricsRegistry
+
+            # Mirror the process-mode child: each shard owns its own
+            # registry so the gateway's `obs` aggregation never
+            # double-counts shards sharing the process default.
             self._server = ShardServer(
                 self.spec,
                 host=self.host,
@@ -687,6 +693,7 @@ class ManagedBackend:
                 store=self.store,
                 max_resident_series=self.max_resident_series,
                 maintenance_interval=self.maintenance_interval,
+                registry=MetricsRegistry(),
             )
             self._server.start()
             self._address = self._server.address

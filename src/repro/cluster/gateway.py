@@ -592,8 +592,15 @@ class ClusterGateway:
             code=ErrorCode.NO_REPLICA,
         )
 
-    def _broadcast(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        """Send a request to every unfenced backend; report per-id acks."""
+    def _broadcast_collect(
+        self, request: Dict[str, Any]
+    ) -> Tuple[List[Tuple[str, Any]], List[str]]:
+        """Send a request to every unfenced backend; collect results.
+
+        Returns ``(successes, failed)`` where ``successes`` is the list
+        of ``(backend_id, response)`` pairs that answered in time and
+        ``failed`` the sorted ids that did not.
+        """
         with self._lock:
             targets = [
                 (bid, link) for bid, link in self._links.items()
@@ -607,8 +614,13 @@ class ClusterGateway:
         successes = self._await_jobs(jobs)
         acked = {backend_id for backend_id, _ in successes}
         failed = sorted(bid for bid, _ in jobs if bid not in acked)
+        return successes, failed
+
+    def _broadcast(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Send a request to every unfenced backend; report per-id acks."""
+        successes, failed = self._broadcast_collect(request)
         return {
-            "sent": len(jobs),
+            "sent": len(successes) + len(failed),
             "acknowledged": len(successes),
             "failed": failed,
         }
@@ -656,7 +668,29 @@ class ClusterGateway:
         return ok_response(spec=self.spec.to_dict())
 
     def _op_metrics(self, request) -> Dict[str, Any]:
-        return ok_response(metrics=self.registry.render())
+        """Local Prometheus text; per-shard text on ``"shards": true``."""
+        response = ok_response(metrics=self.registry.render())
+        if request.get("shards"):
+            successes, failed = self._broadcast_collect({"op": "metrics"})
+            response["shard_metrics"] = {
+                backend_id: payload.get("metrics", "")
+                for backend_id, payload in sorted(successes)
+            }
+            response["shard_failures"] = failed
+        return response
+
+    def _op_obs(self, request) -> Dict[str, Any]:
+        """Aggregated registry snapshots: the gateway's own plus every
+        answering backend's (the dashboard/scrape aggregation op)."""
+        successes, failed = self._broadcast_collect({"op": "obs"})
+        return ok_response(
+            snapshot=self.registry.snapshot(),
+            shards={
+                backend_id: payload.get("snapshot", {})
+                for backend_id, payload in sorted(successes)
+            },
+            shard_failures=failed,
+        )
 
     def _op_route(self, request) -> Dict[str, Any]:
         series = request["series"]
@@ -666,6 +700,22 @@ class ClusterGateway:
             link = self._link(backend_id)
             addresses.append(list(link.address) if link is not None else None)
         return ok_response(series=series, replicas=replicas, addresses=addresses)
+
+    @staticmethod
+    def _backend_status(link: "_BackendLink", stale: bool) -> str:
+        """One word a caller can branch (or color a dashboard) on.
+
+        Priority order matters: a fenced backend must never read as
+        healthy even if its link still answers pings, and a stale one
+        is excluded from routing even though it is alive.
+        """
+        if link.fenced:
+            return "fenced"
+        if stale:
+            return "stale"
+        if not link.alive:
+            return "dead"
+        return "alive"
 
     def _op_cluster_stats(self, request) -> Dict[str, Any]:
         with self._lock:
@@ -679,12 +729,16 @@ class ClusterGateway:
                 "alive": link.alive,
                 "fenced": link.fenced,
                 "stale": backend_id in stale,
+                "status": self._backend_status(link, backend_id in stale),
                 "breaker": link.breaker.state,
                 "requests": link.requests_sent,
                 "failures": link.failures,
             }
             for backend_id, link in sorted(links.items())
         }
+        by_status: Dict[str, int] = {}
+        for info in backends.values():
+            by_status[info["status"]] = by_status.get(info["status"], 0) + 1
         return ok_response(
             ring={
                 "backends": ring_nodes,
@@ -692,6 +746,7 @@ class ClusterGateway:
                 "vnodes": self.ring.vnodes,
             },
             backends=backends,
+            backends_by_status=by_status,
             series_routed=series_count,
             requests_served=self.requests_served,
         )

@@ -23,6 +23,7 @@ from .instruments import (
     ClusterInstruments,
     EngineInstruments,
     IngestInstruments,
+    OpsInstruments,
     RuntimeInstruments,
     ServiceInstruments,
     StoreInstruments,
@@ -56,6 +57,7 @@ __all__ = [
     "MetricsRegistry",
     "NULL_REGISTRY",
     "NullRegistry",
+    "OpsInstruments",
     "RuntimeInstruments",
     "ServiceInstruments",
     "StoreInstruments",

@@ -21,6 +21,7 @@ from .registry import MetricsRegistry
 __all__ = [
     "ClusterInstruments",
     "EngineInstruments",
+    "OpsInstruments",
     "RuntimeInstruments",
     "ServiceInstruments",
     "StoreInstruments",
@@ -323,6 +324,50 @@ class StoreInstruments:
             segment_bytes.labels("dead").set_function(
                 lambda: float(getattr(backing, "dead_bytes", 0))
             )
+
+
+class OpsInstruments:
+    """Operations-subsystem metrics: dashboard traffic, alerts, tuning.
+
+    The alert gauge is resolved through ``labels()`` per severity at
+    evaluation time (severities are user-declared, not static), the
+    dashboard counter per request path; both sit behind an HTTP
+    round-trip or a snapshot tick, so nothing here is hot.
+    """
+
+    __slots__ = (
+        "enabled",
+        "alerts_firing",
+        "dashboard_requests",
+        "snapshot_seconds",
+        "tuning_trials",
+        "tuning_cache_hits",
+    )
+
+    def __init__(self, registry: MetricsRegistry):
+        self.enabled = registry.enabled
+        self.alerts_firing = registry.gauge(
+            "ops_alerts_firing",
+            "Alert rules currently in the firing state, by severity.",
+            labels=("severity",),
+        )
+        self.dashboard_requests = registry.counter(
+            "ops_dashboard_requests_total",
+            "HTTP requests served by the operations dashboard, by path.",
+            labels=("path",),
+        )
+        self.snapshot_seconds = registry.histogram(
+            "ops_snapshot_seconds",
+            "Wall time of one dashboard snapshot collection tick.",
+        )
+        self.tuning_trials = registry.counter(
+            "ops_tuning_trials_total",
+            "Trials evaluated against a live cluster by tuning.live.",
+        )
+        self.tuning_cache_hits = registry.counter(
+            "ops_tuning_cache_hits_total",
+            "Live-tuning trials answered from the memoization cache.",
+        )
 
 
 class RuntimeInstruments:

@@ -20,7 +20,7 @@ import threading
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, Optional, Sequence
 
-from .metrics import Counter, Gauge, Histogram, _Family
+from .metrics import Counter, Gauge, Histogram, _Family, format_value
 
 __all__ = [
     "NULL_REGISTRY",
@@ -114,9 +114,16 @@ class MetricsRegistry:
                     f"{n}={v}" for n, v in zip(family.labelnames, key)
                 )
                 if isinstance(family, Histogram):
+                    total = child.count
+                    buckets = {
+                        ("+Inf" if bound == float("inf") else format_value(bound)):
+                            (cumulative / total if total else 0.0)
+                        for bound, cumulative in child.bucket_counts().items()
+                    }
                     samples[label] = {
-                        "count": child.count,
+                        "count": total,
                         "sum": child.sum,
+                        "buckets": buckets,
                     }
                 else:
                     samples[label] = child.value

@@ -1,0 +1,45 @@
+"""repro.ops — live operations: dashboard, alerting, snapshot collection.
+
+The operations subsystem is the consumer side of :mod:`repro.obs`: a
+dependency-free HTTP dashboard (:class:`DashboardServer`) that serves a
+single-page view plus ``/metrics``, ``/api/snapshot`` and an SSE
+``/api/stream`` of periodic snapshots; a declarative threshold alerting
+engine (:class:`AlertRule` / :class:`AlertManager`) evaluated on every
+snapshot tick; and the :class:`SnapshotCollector` that aggregates the
+local registry with per-shard snapshots pulled through a cluster
+gateway's ``obs``/``cluster_stats`` operations.
+
+Quick use::
+
+    from repro.ops import AlertRule, DashboardServer
+
+    rules = [AlertRule("shards-down", "cluster_backends_alive",
+                       "<", 2.0, severity="critical")]
+    with DashboardServer(gateway=cluster.gateway, rules=rules) as dash:
+        print("dashboard at http://%s:%d/" % dash.address)
+
+Live cluster tuning lives next door in :mod:`repro.tuning.live`.
+"""
+
+from .alerts import (
+    Alert,
+    AlertManager,
+    AlertRule,
+    FileNotifier,
+    LogNotifier,
+    default_alert_rules,
+)
+from .collect import SnapshotCollector, flatten_metrics
+from .dashboard import DashboardServer
+
+__all__ = [
+    "Alert",
+    "AlertManager",
+    "AlertRule",
+    "DashboardServer",
+    "FileNotifier",
+    "LogNotifier",
+    "SnapshotCollector",
+    "default_alert_rules",
+    "flatten_metrics",
+]

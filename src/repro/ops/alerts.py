@@ -1,0 +1,355 @@
+"""Declarative threshold alerting over metric snapshots.
+
+An :class:`AlertRule` names a metric (as flattened by
+:func:`repro.ops.collect.flatten_metrics`), a comparison against a
+threshold, and a ``for`` duration: the condition must hold continuously
+for that long before the alert transitions from *pending* to *firing*
+(the Prometheus-style hysteresis that keeps one noisy tick from paging
+anyone).  :class:`AlertManager` owns the rule set, evaluates it against
+each snapshot tick, drives the ``pending → firing → resolved``
+lifecycle and fans state changes out to notifier callables.
+
+Counters are monotonic, so a plain ``value > 0`` rule on, say,
+``cluster_replica_disagreements_total`` could fire once and never
+resolve.  Rules therefore pick a ``mode``: ``"value"`` compares the
+sampled value itself (the right choice for gauges), ``"delta"``
+compares the per-tick increase (the right choice for counters — the
+alert resolves as soon as the counter stops moving).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import operator
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from ..exceptions import ReproError
+
+__all__ = [
+    "Alert",
+    "AlertManager",
+    "AlertRule",
+    "FileNotifier",
+    "LogNotifier",
+    "default_alert_rules",
+]
+
+logger = logging.getLogger("repro.ops.alerts")
+
+_COMPARATORS: Dict[str, Callable[[float, float], bool]] = {
+    ">": operator.gt,
+    ">=": operator.ge,
+    "<": operator.lt,
+    "<=": operator.le,
+    "==": operator.eq,
+    "!=": operator.ne,
+}
+
+#: Lifecycle states an alert moves through.
+STATES = ("inactive", "pending", "firing", "resolved")
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One declarative threshold rule.
+
+    Args:
+        name: unique rule id (shown on the dashboard and in notifications).
+        metric: flattened metric selector — ``"cluster_backends_alive"``
+            or, with labels, ``"service_requests_total{op=vote}"``.
+        op: comparison operator (``>``, ``>=``, ``<``, ``<=``, ``==``,
+            ``!=``) applied as ``observed <op> threshold``.
+        threshold: the right-hand side of the comparison.
+        for_seconds: how long the condition must hold continuously
+            before the alert fires (0 fires on the first breaching tick).
+        severity: free-form label (``"warning"``, ``"critical"``, ...)
+            carried into notifications and the ``ops_alerts_firing``
+            gauge.
+        mode: ``"value"`` compares the sample itself, ``"delta"`` the
+            increase since the previous tick (use for counters).
+        description: optional human text for the dashboard.
+    """
+
+    name: str
+    metric: str
+    op: str
+    threshold: float
+    for_seconds: float = 0.0
+    severity: str = "warning"
+    mode: str = "value"
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARATORS:
+            raise ReproError(
+                f"alert rule {self.name!r}: unknown operator {self.op!r}; "
+                f"expected one of {tuple(_COMPARATORS)}"
+            )
+        if self.mode not in ("value", "delta"):
+            raise ReproError(
+                f"alert rule {self.name!r}: mode must be 'value' or "
+                f"'delta', got {self.mode!r}"
+            )
+        if self.for_seconds < 0:
+            raise ReproError(
+                f"alert rule {self.name!r}: for_seconds must be >= 0"
+            )
+
+    def breached(self, observed: float) -> bool:
+        return _COMPARATORS[self.op](observed, self.threshold)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "AlertRule":
+        """Build a rule from a JSON-style mapping (the CLI rules file)."""
+        known = {
+            "name", "metric", "op", "threshold", "for_seconds",
+            "severity", "mode", "description",
+        }
+        unknown = set(payload) - known
+        if unknown:
+            raise ReproError(
+                f"alert rule has unknown fields {sorted(unknown)}"
+            )
+        for required in ("name", "metric", "op", "threshold"):
+            if required not in payload:
+                raise ReproError(f"alert rule is missing {required!r}")
+        return cls(**dict(payload))  # type: ignore[arg-type]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "metric": self.metric,
+            "op": self.op,
+            "threshold": self.threshold,
+            "for_seconds": self.for_seconds,
+            "severity": self.severity,
+            "mode": self.mode,
+            "description": self.description,
+        }
+
+
+@dataclass
+class Alert:
+    """The live state of one rule inside an :class:`AlertManager`."""
+
+    rule: AlertRule
+    state: str = "inactive"
+    #: Monotonic timestamp of the first tick of the current breach run.
+    pending_since: Optional[float] = None
+    #: Monotonic timestamp of the transition into ``firing``.
+    firing_since: Optional[float] = None
+    #: The value the rule last compared (post mode adjustment).
+    last_observed: Optional[float] = None
+    #: Raw sample from the previous tick (delta-mode bookkeeping).
+    previous_sample: Optional[float] = field(default=None, repr=False)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule.to_dict(),
+            "state": self.state,
+            "pending_since": self.pending_since,
+            "firing_since": self.firing_since,
+            "last_observed": self.last_observed,
+        }
+
+
+class LogNotifier:
+    """Notifier that writes transitions to the standard logger."""
+
+    def __call__(self, alert: Alert, transition: str) -> None:
+        level = (
+            logging.WARNING if transition == "firing" else logging.INFO
+        )
+        logger.log(
+            level,
+            "alert %s %s: %s %s %s (observed %s, severity %s)",
+            alert.rule.name,
+            transition,
+            alert.rule.metric,
+            alert.rule.op,
+            alert.rule.threshold,
+            alert.last_observed,
+            alert.rule.severity,
+        )
+
+
+class FileNotifier:
+    """Notifier that appends one JSON line per transition to a file."""
+
+    def __init__(self, path: Any):
+        self.path = path
+
+    def __call__(self, alert: Alert, transition: str) -> None:
+        record = {
+            "time": time.time(),
+            "transition": transition,
+            "alert": alert.to_dict(),
+        }
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record) + "\n")
+
+
+def default_alert_rules(
+    expected_backends: Optional[int] = None,
+) -> List[AlertRule]:
+    """The stock rule set ``avoc dashboard`` starts with.
+
+    ``expected_backends`` arms the shards-down rule (omit it when
+    attaching to a remote gateway whose topology is unknown).  The
+    counter rules use delta mode so they resolve when the condition
+    stops, not never.
+    """
+    rules = [
+        AlertRule(
+            name="replica-disagreement",
+            metric="cluster_replica_disagreements_total",
+            op=">",
+            threshold=0.0,
+            mode="delta",
+            severity="warning",
+            description="replica answers diverged since the last tick",
+        ),
+        AlertRule(
+            name="ingest-backpressure",
+            metric="ingest_backpressure_drops_total",
+            op=">",
+            threshold=0.0,
+            mode="delta",
+            severity="warning",
+            description="the ingest tier shed votes since the last tick",
+        ),
+    ]
+    if expected_backends:
+        rules.insert(
+            0,
+            AlertRule(
+                name="shards-down",
+                metric="cluster_backends_alive",
+                op="<",
+                threshold=float(expected_backends),
+                severity="critical",
+                description="fewer backends alive than the cluster expects",
+            ),
+        )
+    return rules
+
+
+class AlertManager:
+    """Evaluates a rule set against snapshot ticks and tracks lifecycle.
+
+    Args:
+        rules: the declarative rule set.
+        notifiers: callables invoked as ``notifier(alert, transition)``
+            on every ``firing``/``resolved`` transition.  A notifier
+            that raises is logged and skipped — alerting must never
+            take the snapshot loop down.
+        clock: injectable monotonic clock (tests pin time with this).
+
+    A missing metric is treated as "condition not met": a cluster that
+    has not produced a counter yet should not page, and the rule
+    re-arms as soon as the metric appears.
+    """
+
+    def __init__(
+        self,
+        rules: List[AlertRule],
+        notifiers: Optional[List[Callable[[Alert, str], None]]] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        names = [rule.name for rule in rules]
+        if len(names) != len(set(names)):
+            raise ReproError("alert rule names must be unique")
+        self._clock = clock
+        self._notifiers = list(notifiers or [])
+        self._alerts: Dict[str, Alert] = {
+            rule.name: Alert(rule=rule) for rule in rules
+        }
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def alerts(self) -> Tuple[Alert, ...]:
+        return tuple(self._alerts.values())
+
+    def firing(self) -> Tuple[Alert, ...]:
+        return tuple(a for a in self._alerts.values() if a.state == "firing")
+
+    def firing_by_severity(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for alert in self.firing():
+            severity = alert.rule.severity
+            counts[severity] = counts.get(severity, 0) + 1
+        return counts
+
+    def to_dict(self) -> List[Dict[str, Any]]:
+        return [alert.to_dict() for alert in self._alerts.values()]
+
+    # -- evaluation --------------------------------------------------------
+
+    def evaluate(self, metrics: Mapping[str, float]) -> List[Tuple[Alert, str]]:
+        """Evaluate every rule against one flattened metric snapshot.
+
+        Returns the ``(alert, transition)`` pairs of this tick, after
+        fanning them out to the notifiers.
+        """
+        now = self._clock()
+        transitions: List[Tuple[Alert, str]] = []
+        for alert in self._alerts.values():
+            transition = self._step(alert, metrics, now)
+            if transition is not None:
+                transitions.append((alert, transition))
+        for alert, transition in transitions:
+            for notifier in self._notifiers:
+                try:
+                    notifier(alert, transition)
+                except Exception:  # noqa: BLE001 - alerting must not die
+                    logger.exception(
+                        "notifier %r failed for alert %s",
+                        notifier, alert.rule.name,
+                    )
+        return transitions
+
+    def _step(
+        self, alert: Alert, metrics: Mapping[str, float], now: float
+    ) -> Optional[str]:
+        rule = alert.rule
+        sample = metrics.get(rule.metric)
+        if rule.mode == "delta":
+            previous = alert.previous_sample
+            alert.previous_sample = sample
+            if sample is None or previous is None:
+                observed: Optional[float] = None
+            else:
+                observed = sample - previous
+        else:
+            observed = sample
+        alert.last_observed = observed
+        breached = observed is not None and rule.breached(observed)
+        if breached:
+            if alert.state in ("inactive", "resolved"):
+                alert.state = "pending"
+                alert.pending_since = now
+            pending_since = (
+                alert.pending_since if alert.pending_since is not None else now
+            )
+            if (
+                alert.state == "pending"
+                and now - pending_since >= rule.for_seconds
+            ):
+                alert.state = "firing"
+                alert.firing_since = now
+                return "firing"
+            return None
+        # Condition clear: a pending alert silently re-arms, a firing
+        # one resolves (and notifies).
+        alert.pending_since = None
+        if alert.state == "firing":
+            alert.state = "resolved"
+            alert.firing_since = None
+            return "resolved"
+        if alert.state == "pending":
+            alert.state = "inactive"
+        return None

@@ -1,0 +1,142 @@
+"""Snapshot collection: one aggregated view of a node or a cluster.
+
+:class:`SnapshotCollector` produces the JSON document the dashboard
+serves and the alert manager evaluates.  Pointed at a
+:class:`~repro.cluster.gateway.ClusterGateway` (in-process) or a remote
+gateway address, each tick pulls the gateway's ``obs`` aggregation op
+(the local registry snapshot plus every answering shard's) and
+``cluster_stats`` (ring membership, per-backend status); standalone it
+just snapshots the local registry.
+
+:func:`flatten_metrics` collapses an aggregated snapshot into one flat
+``{"name" | "name{label=value}": float}`` mapping — counters and
+gauges keep their values (summed across shards hosting the same
+family), histograms contribute ``_count`` and ``_sum`` samples — which
+is the selector namespace :class:`~repro.ops.alerts.AlertRule` matches
+against.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, Mapping, Optional
+
+from ..obs import MetricsRegistry, get_default_registry
+
+__all__ = ["SnapshotCollector", "flatten_metrics"]
+
+
+def _flatten_family(
+    out: Dict[str, float], name: str, family: Mapping[str, Any]
+) -> None:
+    kind = family.get("type")
+    samples = family.get("samples")
+    if not isinstance(samples, Mapping):
+        return
+    for label, value in samples.items():
+        suffix = f"{{{label}}}" if label else ""
+        if kind == "histogram" and isinstance(value, Mapping):
+            for stat in ("count", "sum"):
+                key = f"{name}_{stat}{suffix}"
+                out[key] = out.get(key, 0.0) + float(value.get(stat, 0.0))
+        elif isinstance(value, (int, float)):
+            key = f"{name}{suffix}"
+            out[key] = out.get(key, 0.0) + float(value)
+
+
+def flatten_metrics(snapshot: Mapping[str, Any]) -> Dict[str, float]:
+    """Flatten an aggregated snapshot into one metric → value mapping.
+
+    Accepts either a bare registry snapshot (family name → family) or
+    the collector's aggregated document (``local`` + ``shards``); the
+    same family appearing on several shards is summed, which is the
+    cluster-wide reading an alert threshold wants.
+    """
+    out: Dict[str, float] = {}
+    if "local" in snapshot or "shards" in snapshot:
+        parts = [snapshot.get("local") or {}]
+        shards = snapshot.get("shards") or {}
+        parts.extend(shards.values())
+    else:
+        parts = [snapshot]
+    for part in parts:
+        if not isinstance(part, Mapping):
+            continue
+        for name, family in part.items():
+            if isinstance(family, Mapping):
+                _flatten_family(out, name, family)
+    return out
+
+
+class SnapshotCollector:
+    """Builds the aggregated snapshot document, one call per tick.
+
+    Args:
+        registry: the local registry to snapshot (default: the process
+            default).
+        gateway: an in-process object speaking ``dispatch(request)``
+            (a :class:`~repro.cluster.gateway.ClusterGateway`), or None.
+        dispatch: alternatively, any callable ``request -> response``
+            (e.g. :meth:`VoterClient.request` bound to a remote
+            gateway).  At most one of ``gateway``/``dispatch`` is used;
+            ``dispatch`` wins when both are given.
+
+    The document shape::
+
+        {"time": ..., "local": {<registry snapshot>},
+         "cluster": {<cluster_stats payload> | null},
+         "shards": {"b0": {<shard registry snapshot>}, ...},
+         "shard_failures": ["b2", ...]}
+
+    A gateway that stops answering turns into ``cluster: null`` plus an
+    ``error`` field rather than an exception: the dashboard must keep
+    serving its local view while the cluster is down — that is when an
+    operator needs it most.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        gateway: Any = None,
+        dispatch: Optional[Callable[[Dict[str, Any]], Dict[str, Any]]] = None,
+    ):
+        self.registry = registry if registry is not None else get_default_registry()
+        if dispatch is None and gateway is not None:
+            dispatch = gateway.dispatch
+        self._dispatch = dispatch
+        # An in-process gateway sharing our registry is already covered
+        # by the "local" part; surfacing its snapshot again as a
+        # pseudo-shard would double-count every counter in the
+        # flattened alert view.
+        self._gateway_is_local = (
+            gateway is not None
+            and getattr(gateway, "registry", None) is self.registry
+        )
+
+    def collect(self) -> Dict[str, Any]:
+        document: Dict[str, Any] = {
+            "time": time.time(),
+            "local": self.registry.snapshot(),
+            "cluster": None,
+            "shards": {},
+            "shard_failures": [],
+        }
+        if self._dispatch is None:
+            return document
+        try:
+            obs = self._dispatch({"op": "obs"})
+            stats = self._dispatch({"op": "cluster_stats"})
+        except Exception as exc:  # noqa: BLE001 - keep serving local view
+            document["error"] = f"{type(exc).__name__}: {exc}"
+            return document
+        # A remote gateway's own registry snapshot rides along as a
+        # pseudo-shard so its counters (disagreements, failover) are
+        # visible even when the dashboard runs in another process.
+        gateway_snapshot = obs.get("snapshot") or {}
+        if gateway_snapshot and not self._gateway_is_local:
+            document["shards"]["gateway"] = gateway_snapshot
+        document["shards"].update(obs.get("shards") or {})
+        document["shard_failures"] = list(obs.get("shard_failures") or [])
+        stats.pop("ok", None)
+        document["cluster"] = stats
+        return document

@@ -1,0 +1,407 @@
+"""The operations dashboard: a dependency-free HTTP server.
+
+:class:`DashboardServer` runs a stdlib ``ThreadingHTTPServer`` in a
+daemon thread (the same start/stop/context-manager lifecycle as
+:class:`~repro.service.server.VoterServer`) plus a *tick thread* that,
+every ``interval`` seconds, collects an aggregated snapshot through a
+:class:`~repro.ops.collect.SnapshotCollector`, evaluates the
+:class:`~repro.ops.alerts.AlertManager` rule set against it, updates
+the ``ops_alerts_firing`` gauge and pushes the result to every SSE
+subscriber.
+
+Routes:
+
+``/``                 the single-page HTML dashboard (embedded, no
+                      assets, EventSource against ``/api/stream``)
+``/metrics``          Prometheus text passthrough of the local registry
+``/api/snapshot``     the latest aggregated snapshot as JSON
+``/api/stream``       ``text/event-stream`` pushing one snapshot per
+                      tick (the latest one immediately on connect)
+``/api/alerts``       alert states as JSON
+
+Every request increments ``ops_dashboard_requests_total{path}``.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..exceptions import ReproError
+from ..obs import MetricsRegistry, OpsInstruments, get_default_registry
+from .alerts import AlertManager, AlertRule, LogNotifier
+from .collect import SnapshotCollector, flatten_metrics
+
+__all__ = ["DashboardServer"]
+
+#: Paths the request counter tracks; anything else lands on "other" so
+#: a scanner cannot grow the label set without bound.
+_TRACKED_PATHS = ("/", "/metrics", "/api/snapshot", "/api/stream", "/api/alerts")
+
+_PAGE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>AVOC operations</title>
+<style>
+  body { font-family: -apple-system, "Segoe UI", sans-serif; margin: 2rem;
+         background: #0e1116; color: #dde3ea; }
+  h1 { font-size: 1.3rem; } h2 { font-size: 1.05rem; margin-top: 1.6rem; }
+  table { border-collapse: collapse; margin-top: .5rem; }
+  th, td { padding: .25rem .7rem; border-bottom: 1px solid #2c333d;
+           text-align: left; font-size: .9rem; }
+  .alive { color: #4fc06c; } .dead { color: #e5534b; }
+  .stale { color: #d4a72c; } .fenced { color: #e5534b; font-weight: bold; }
+  .firing { color: #e5534b; font-weight: bold; }
+  .pending { color: #d4a72c; } .resolved, .inactive { color: #768390; }
+  #meta { color: #768390; font-size: .85rem; }
+  code { background: #1c2128; padding: .1rem .3rem; border-radius: 3px; }
+</style>
+</head>
+<body>
+<h1>AVOC operations</h1>
+<p id="meta">waiting for first snapshot&hellip;</p>
+<h2>Alerts</h2>
+<table id="alerts"><tr><th>rule</th><th>metric</th><th>state</th>
+<th>observed</th><th>severity</th></tr></table>
+<h2>Backends</h2>
+<table id="backends"><tr><th>backend</th><th>status</th><th>breaker</th>
+<th>requests</th><th>failures</th></tr></table>
+<h2>Key metrics</h2>
+<table id="metrics"><tr><th>metric</th><th>value</th></tr></table>
+<script>
+const KEY_PREFIXES = ["cluster_", "fusion_rounds", "service_requests",
+                      "ingest_", "store_", "ops_"];
+function row(cells, classes) {
+  const tr = document.createElement("tr");
+  cells.forEach((text, i) => {
+    const td = document.createElement("td");
+    td.textContent = text;
+    if (classes && classes[i]) td.className = classes[i];
+    tr.appendChild(td);
+  });
+  return tr;
+}
+function resetTable(id) {
+  const table = document.getElementById(id);
+  while (table.rows.length > 1) table.deleteRow(1);
+  return table;
+}
+function render(doc) {
+  document.getElementById("meta").textContent =
+    "snapshot at " + new Date(doc.time * 1000).toISOString() +
+    (doc.error ? " — gateway error: " + doc.error : "");
+  const alerts = resetTable("alerts");
+  (doc.alerts || []).forEach(a => alerts.appendChild(row(
+    [a.rule.name, a.rule.metric + " " + a.rule.op + " " + a.rule.threshold,
+     a.state, a.last_observed === null ? "—" : a.last_observed,
+     a.rule.severity],
+    [null, null, a.state, null, null])));
+  const backends = resetTable("backends");
+  const cluster = doc.cluster || {};
+  Object.entries(cluster.backends || {}).forEach(([id, b]) =>
+    backends.appendChild(row(
+      [id, b.status, b.breaker, b.requests, b.failures],
+      [null, b.status, null, null, null])));
+  const metrics = resetTable("metrics");
+  Object.entries(doc.flat || {}).filter(([name]) =>
+    KEY_PREFIXES.some(p => name.startsWith(p))
+  ).sort().forEach(([name, value]) =>
+    metrics.appendChild(row([name, value])));
+}
+const source = new EventSource("/api/stream");
+source.onmessage = event => render(JSON.parse(event.data));
+</script>
+</body>
+</html>
+"""
+
+
+class _Subscriber:
+    """One SSE connection's bounded queue of pending snapshots."""
+
+    __slots__ = ("queue",)
+
+    def __init__(self) -> None:
+        # Bounded: a stalled consumer drops old ticks instead of
+        # buffering without limit; SSE is a live view, not a log.
+        self.queue: "queue.Queue[Optional[str]]" = queue.Queue(maxsize=8)
+
+    def push(self, payload: Optional[str]) -> None:
+        while True:
+            try:
+                self.queue.put_nowait(payload)
+                return
+            except queue.Full:
+                try:
+                    self.queue.get_nowait()
+                except queue.Empty:
+                    pass
+
+
+class _DashboardHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server: "_HTTPServer"
+
+    def log_message(self, format: str, *args: Any) -> None:
+        pass  # requests are counted, not printed
+
+    # -- helpers -----------------------------------------------------------
+
+    def _count(self, path: str) -> None:
+        obs = self.server.dashboard._obs
+        obs.dashboard_requests.labels(
+            path if path in _TRACKED_PATHS else "other"
+        ).inc()
+
+    def _send(self, status: int, content_type: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, payload: Any, status: int = 200) -> None:
+        self._send(
+            status,
+            "application/json; charset=utf-8",
+            json.dumps(payload).encode("utf-8"),
+        )
+
+    # -- routes ------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        path = self.path.split("?", 1)[0]
+        self._count(path)
+        try:
+            if path == "/":
+                self._send(200, "text/html; charset=utf-8", _PAGE.encode("utf-8"))
+            elif path == "/metrics":
+                self._send(
+                    200,
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    self.server.dashboard.registry.render().encode("utf-8"),
+                )
+            elif path == "/api/snapshot":
+                self._send_json(self.server.dashboard.latest_snapshot())
+            elif path == "/api/alerts":
+                self._send_json(self.server.dashboard.alert_states())
+            elif path == "/api/stream":
+                self._stream()
+            else:
+                self._send_json({"error": f"no route {path!r}"}, status=404)
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+
+    def _stream(self) -> None:
+        dashboard = self.server.dashboard
+        subscriber = dashboard._subscribe()
+        try:
+            self.send_response(200)
+            self.send_header("Content-Type", "text/event-stream")
+            self.send_header("Cache-Control", "no-cache")
+            # SSE is an unbounded body; Content-Length cannot apply.
+            self.send_header("Connection", "close")
+            self.end_headers()
+            while True:
+                payload = subscriber.queue.get()
+                if payload is None:  # server shutting down
+                    return
+                self.wfile.write(b"data: " + payload.encode("utf-8") + b"\n\n")
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            return
+        finally:
+            dashboard._unsubscribe(subscriber)
+
+
+class _HTTPServer(ThreadingHTTPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+    dashboard: "DashboardServer"
+
+
+class DashboardServer:
+    """The live-operations HTTP server plus its snapshot/alert loop.
+
+    Args:
+        registry: local metrics registry (default: the process default).
+        gateway / dispatch: where cluster state comes from — an
+            in-process :class:`~repro.cluster.gateway.ClusterGateway`,
+            or any ``request -> response`` callable (e.g. a
+            :class:`~repro.service.client.VoterClient` bound to a
+            remote gateway).  Omit both for a node-local dashboard.
+        rules: declarative :class:`~repro.ops.alerts.AlertRule` set.
+        notifiers: alert transition hooks (default: one
+            :class:`~repro.ops.alerts.LogNotifier`).
+        interval: seconds between snapshot ticks.
+        host / port: bind address (port 0 picks a free port).
+
+    Use as a context manager, or call :meth:`start` / :meth:`stop`.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        gateway: Any = None,
+        dispatch: Any = None,
+        rules: Optional[List[AlertRule]] = None,
+        notifiers: Optional[List[Any]] = None,
+        interval: float = 2.0,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        if interval <= 0:
+            raise ReproError("dashboard interval must be > 0 seconds")
+        self.registry = registry if registry is not None else get_default_registry()
+        self.interval = interval
+        self._obs = OpsInstruments(self.registry)
+        self._collector = SnapshotCollector(
+            registry=self.registry, gateway=gateway, dispatch=dispatch
+        )
+        self.alerts = AlertManager(
+            list(rules or []),
+            notifiers=notifiers if notifiers is not None else [LogNotifier()],
+        )
+        self._severities_seen: set = set()
+        self._lock = threading.Lock()
+        self._subscribers: List[_Subscriber] = []
+        self._latest: Dict[str, Any] = {
+            "time": time.time(), "local": {}, "cluster": None,
+            "shards": {}, "shard_failures": [], "alerts": [], "flat": {},
+        }
+        self._stop = threading.Event()
+        self._tick_thread: Optional[threading.Thread] = None
+        self._http: Optional[_HTTPServer] = _HTTPServer(
+            (host, port), _DashboardHandler
+        )
+        self._http.dashboard = self
+        self._address: Tuple[str, int] = self._http.server_address  # type: ignore[assignment]
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """(host, port) the dashboard is (or was) bound to."""
+        return self._address
+
+    def start(self) -> "DashboardServer":
+        if self._http is None:
+            raise ReproError("dashboard already stopped")
+        if self._thread is not None:
+            raise ReproError("dashboard already started")
+        self.tick()  # serve a real snapshot from the very first request
+        self._thread = threading.Thread(
+            target=self._http.serve_forever, kwargs={"poll_interval": 0.05},
+            daemon=True, name="ops-dashboard",
+        )
+        self._thread.start()
+        self._tick_thread = threading.Thread(
+            target=self._tick_loop, daemon=True, name="ops-dashboard-tick"
+        )
+        self._tick_thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut down HTTP, the tick loop and every SSE stream (idempotent)."""
+        self._stop.set()
+        with self._lock:
+            subscribers = list(self._subscribers)
+        for subscriber in subscribers:
+            subscriber.push(None)
+        thread, self._thread = self._thread, None
+        http, self._http = self._http, None
+        if http is not None:
+            if thread is not None:
+                http.shutdown()
+            http.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
+        tick_thread, self._tick_thread = self._tick_thread, None
+        if tick_thread is not None:
+            tick_thread.join(timeout=5.0)
+
+    def __enter__(self) -> "DashboardServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    # -- snapshot loop -----------------------------------------------------
+
+    def tick(self) -> Dict[str, Any]:
+        """Collect one snapshot, evaluate alerts, push to subscribers.
+
+        The tick thread calls this every ``interval``; tests may call
+        it directly for a deterministic extra tick.
+        """
+        start = time.perf_counter()
+        document = self._collector.collect()
+        flat = flatten_metrics(document)
+        self.alerts.evaluate(flat)
+        self._update_alert_gauge()
+        document["alerts"] = self.alerts.to_dict()
+        document["flat"] = flat
+        self._obs.snapshot_seconds.observe(time.perf_counter() - start)
+        payload = json.dumps(document)
+        with self._lock:
+            self._latest = document
+            subscribers = list(self._subscribers)
+        for subscriber in subscribers:
+            subscriber.push(payload)
+        return document
+
+    def _tick_loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                self.tick()
+            except Exception:  # noqa: BLE001 - the loop must survive a bad tick
+                import logging
+
+                logging.getLogger("repro.ops.dashboard").exception(
+                    "snapshot tick failed"
+                )
+
+    def _update_alert_gauge(self) -> None:
+        firing = self.alerts.firing_by_severity()
+        self._severities_seen.update(firing)
+        for severity in self._severities_seen:
+            self._obs.alerts_firing.labels(severity).set(
+                float(firing.get(severity, 0))
+            )
+
+    # -- accessors ---------------------------------------------------------
+
+    def latest_snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return self._latest
+
+    def alert_states(self) -> List[Dict[str, Any]]:
+        return self.alerts.to_dict()
+
+    # -- SSE subscriptions -------------------------------------------------
+
+    def _subscribe(self) -> _Subscriber:
+        subscriber = _Subscriber()
+        with self._lock:
+            self._subscribers.append(subscriber)
+            latest = self._latest
+        subscriber.push(json.dumps(latest))
+        return subscriber
+
+    def _unsubscribe(self, subscriber: _Subscriber) -> None:
+        with self._lock:
+            try:
+                self._subscribers.remove(subscriber)
+            except ValueError:
+                pass
+
+    def subscriber_count(self) -> int:
+        """Open SSE streams (tests assert disconnect cleanup with this)."""
+        with self._lock:
+            return len(self._subscribers)

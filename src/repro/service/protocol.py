@@ -39,6 +39,10 @@ Operations:
                       structured ``snapshot`` of engine/service metrics
 ``metrics``           Prometheus text exposition of the service's
                       metrics registry (see :mod:`repro.obs`)
+``obs``               structured JSON ``snapshot()`` of the metrics
+                      registry; on a gateway the reply also carries a
+                      ``shards`` map aggregating every live backend's
+                      snapshot (the dashboard/scrape aggregation op)
 ``reset``             reset voter history and engine state
 ``hello``             version handshake: ``{"op": "hello", "version": 3}``;
                       every version in :data:`SUPPORTED_VERSIONS` is
@@ -99,6 +103,7 @@ OPERATIONS = (
     "history",
     "stats",
     "metrics",
+    "obs",
     "reset",
     "configure",
     "hello",

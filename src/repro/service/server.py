@@ -431,6 +431,15 @@ class VoterServer:
         """Prometheus text exposition of the service's registry."""
         return ok_response(metrics=self.registry.render())
 
+    def _op_obs(self, request) -> Dict[str, Any]:
+        """Structured JSON snapshot of the service's registry.
+
+        The machine-readable sibling of ``metrics``: the gateway's
+        aggregation op and the dashboard consume this instead of
+        re-parsing Prometheus text.
+        """
+        return ok_response(snapshot=self.registry.snapshot())
+
     def _op_reset(self, request) -> Dict[str, Any]:
         self.engine.reset()
         self._pending.clear()

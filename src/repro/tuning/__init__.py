@@ -22,8 +22,22 @@ from .objective import (
 from .search import TuningResult, Trial, grid_search
 from .genetic import genetic_search
 from .random_search import random_search
+from .live import (
+    LiveObjective,
+    live_base_params,
+    live_genetic_search,
+    live_grid_search,
+    live_random_search,
+    spec_for_params,
+)
 
 __all__ = [
+    "LiveObjective",
+    "live_base_params",
+    "live_genetic_search",
+    "live_grid_search",
+    "live_random_search",
+    "spec_for_params",
     "random_search",
     "Choice",
     "Continuous",

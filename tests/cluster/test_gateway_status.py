@@ -1,0 +1,128 @@
+"""Gateway health reporting: distinct backend statuses and obs aggregation.
+
+``cluster_stats`` must tell stale and fenced backends apart from alive
+ones (a fenced backend still answers pings, so ``alive`` alone is a
+lie), and the ``obs`` operation must aggregate every live shard's
+structured metrics snapshot behind one request.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.supervisor import FusionCluster
+from repro.vdx.examples import AVOC_SPEC
+
+MODULES = ["E1", "E2", "E3"]
+
+
+@pytest.fixture()
+def cluster():
+    with FusionCluster(
+        AVOC_SPEC, n_shards=3, replicas=2, mode="thread", auto_restart=False
+    ) as running:
+        yield running
+
+
+class TestBackendStatus:
+    def test_healthy_cluster_reports_every_backend_alive(self, cluster):
+        with cluster.client() as client:
+            stats = client.cluster_stats()
+        statuses = {b: info["status"] for b, info in stats["backends"].items()}
+        assert statuses == {"b0": "alive", "b1": "alive", "b2": "alive"}
+        assert stats["backends_by_status"] == {"alive": 3}
+
+    def test_fenced_beats_alive(self, cluster):
+        cluster.gateway._fence("b1")
+        with cluster.client() as client:
+            stats = client.cluster_stats()
+        assert stats["backends"]["b1"]["status"] == "fenced"
+        # The link itself still answers, so the old flat flags alone
+        # would have read as healthy.
+        assert stats["backends"]["b1"]["alive"] is True
+        assert stats["backends_by_status"] == {"alive": 2, "fenced": 1}
+
+    def test_stale_is_distinct_from_alive_and_fenced(self, cluster):
+        cluster.gateway.mark_stale("b2")
+        with cluster.client() as client:
+            stats = client.cluster_stats()
+        assert stats["backends"]["b2"]["status"] == "stale"
+        assert stats["backends_by_status"] == {"alive": 2, "stale": 1}
+
+    def test_dead_backend_is_counted_as_dead(self, cluster):
+        cluster.backends["b0"].kill()
+        with cluster.client() as client:
+            # Drive a request at the dead backend so its link notices.
+            for i in range(6):
+                try:
+                    client.vote(
+                        i, dict(zip(MODULES, [18.0, 18.1, 17.9])),
+                        series=f"s{i}",
+                    )
+                except Exception:
+                    pass
+            stats = client.cluster_stats()
+        assert stats["backends"]["b0"]["status"] == "dead"
+        assert stats["backends_by_status"].get("dead") == 1
+
+    def test_fenced_wins_over_stale(self, cluster):
+        cluster.gateway.mark_stale("b1")
+        cluster.gateway._fence("b1")
+        with cluster.client() as client:
+            stats = client.cluster_stats()
+        assert stats["backends"]["b1"]["status"] == "fenced"
+
+
+class TestObsAggregation:
+    def test_obs_returns_local_and_per_shard_snapshots(self, cluster):
+        with cluster.client() as client:
+            client.vote(
+                0, dict(zip(MODULES, [18.0, 18.1, 17.9])), series="obs"
+            )
+            response = client.request({"op": "obs"})
+        assert sorted(response["shards"]) == ["b0", "b1", "b2"]
+        assert response["shard_failures"] == []
+        # The gateway's own registry rides along as the local view.
+        assert "cluster_gateway_requests_total" in response["snapshot"]
+        # Shard snapshots are structured (family -> type/samples), and
+        # independent: each shard counted its own requests only.
+        for snapshot in response["shards"].values():
+            family = snapshot["service_requests_total"]
+            assert family["type"] == "counter"
+
+    def test_obs_reports_unreachable_shards(self, cluster):
+        cluster.backends["b2"].kill()
+        with cluster.client() as client:
+            response = client.request({"op": "obs"})
+        assert "b2" in response["shard_failures"]
+        assert "b2" not in response["shards"]
+        assert sorted(response["shards"]) == ["b0", "b1"]
+
+    def test_metrics_op_gains_per_shard_sections(self, cluster):
+        with cluster.client() as client:
+            response = client.request({"op": "metrics", "shards": True})
+        assert sorted(response["shard_metrics"]) == ["b0", "b1", "b2"]
+        for text in response["shard_metrics"].values():
+            assert "service_requests_total" in text
+        # Without the flag the reply keeps its original local-only shape.
+        with cluster.client() as client:
+            plain = client.request({"op": "metrics"})
+        assert "shard_metrics" not in plain
+
+    def test_shard_registries_are_isolated(self, cluster):
+        """Each shard owns a private registry; totals never double-count."""
+        with cluster.client() as client:
+            for i in range(4):
+                client.vote(
+                    i, dict(zip(MODULES, [18.0, 18.1, 17.9])), series="iso"
+                )
+            response = client.request({"op": "obs"})
+        per_shard = [
+            sum(
+                snapshot["service_requests_total"]["samples"].values()
+            )
+            for snapshot in response["shards"].values()
+        ]
+        # The series routes to 2 replicas out of 3: exactly one shard
+        # saw no batch at all, so its request count is strictly lower.
+        assert min(per_shard) < max(per_shard)

@@ -155,6 +155,27 @@ class TestRegistry:
         assert snapshot["c_total"]["samples"]["op=x"] == 2.0
         assert snapshot["h"]["samples"][""]["count"] == 1
 
+    def test_histogram_snapshot_carries_sum_and_bucket_fractions(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", "help", buckets=(1.0, 10.0))
+        for value in (0.5, 0.5, 5.0, 50.0):
+            hist.observe(value)
+        sample = registry.snapshot()["h"]["samples"][""]
+        assert sample["count"] == 4
+        assert sample["sum"] == pytest.approx(56.0)
+        # Cumulative fractions per upper bound (rendered like the
+        # ``le`` label in the text format), +Inf always 1.0.
+        assert sample["buckets"]["1"] == pytest.approx(0.5)
+        assert sample["buckets"]["10"] == pytest.approx(0.75)
+        assert sample["buckets"]["+Inf"] == pytest.approx(1.0)
+
+    def test_empty_histogram_snapshot_has_zero_fractions(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", "help", buckets=(1.0,)).labels()
+        sample = registry.snapshot()["h"]["samples"][""]
+        assert sample["count"] == 0
+        assert all(f == 0.0 for f in sample["buckets"].values())
+
 
 class TestNullRegistry:
     def test_null_instruments_accept_everything_and_report_nothing(self):

@@ -215,3 +215,96 @@ class TestTune:
         out = capsys.readouterr().out
         assert "evaluated" in out
         assert "best:" in out
+
+    def test_random_method_is_seeded(self, capsys):
+        args = ["tune", "--rounds", "60", "--method", "random",
+                "--trials", "3", "--seed", "5"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+
+    def test_live_tune_against_a_cluster(self, capsys):
+        from repro.cluster.supervisor import FusionCluster
+        from repro.vdx.examples import AVOC_SPEC
+
+        with FusionCluster(
+            AVOC_SPEC, n_shards=2, replicas=2, mode="thread",
+            auto_restart=False,
+        ) as cluster:
+            address = "%s:%d" % cluster.address
+            assert main(
+                ["tune", "--live", address, "--method", "random",
+                 "--trials", "8", "--rounds", "60"]
+            ) == 0
+        out = capsys.readouterr().out
+        assert "live against " + address in out
+        assert "cache hits" in out
+        assert "best:" in out
+
+    def test_live_rejects_a_malformed_address(self, capsys):
+        assert main(["tune", "--live", "nonsense"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().out
+
+
+class TestDashboard:
+    def test_once_boots_cluster_and_exits(self, capsys):
+        assert main(["dashboard", "--once", "--mode", "thread"]) == 0
+        out = capsys.readouterr().out
+        assert "operations dashboard at http://127.0.0.1:" in out
+        assert "/api/stream" in out
+        assert "shards-down" in out
+
+    def test_attach_to_running_gateway(self, capsys):
+        from repro.cluster.supervisor import FusionCluster
+        from repro.vdx.examples import AVOC_SPEC
+
+        with FusionCluster(
+            AVOC_SPEC, n_shards=2, replicas=1, mode="thread",
+            auto_restart=False,
+        ) as cluster:
+            address = "%s:%d" % cluster.address
+            assert main(
+                ["dashboard", "--once", "--gateway", address]
+            ) == 0
+        out = capsys.readouterr().out
+        assert f"(cluster: {address})" in out
+        # Remote topology unknown: no shards-down rule.
+        assert "shards-down" not in out
+
+    def test_rules_file_overrides_the_stock_set(self, tmp_path, capsys):
+        rules = [{"name": "my-rule", "metric": "cluster_backends_alive",
+                  "op": "<", "threshold": 1.0}]
+        path = tmp_path / "rules.json"
+        path.write_text(json.dumps(rules))
+        assert main(
+            ["dashboard", "--once", "--mode", "thread",
+             "--rules", str(path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "alert rules: my-rule" in out
+
+    def test_gateway_rejects_a_malformed_address(self, capsys):
+        assert main(["dashboard", "--once", "--gateway", "nonsense"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().out
+
+    def test_metrics_flag_prints_per_shard_sections(self, capsys):
+        assert main(
+            ["--metrics", "dashboard", "--once", "--mode", "thread",
+             "--shards", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "== shard metrics [b0] ==" in out
+        assert "== shard metrics [b1] ==" in out
+
+
+class TestClusterMetrics:
+    def test_metrics_flag_prints_per_shard_sections(self, capsys):
+        assert main(
+            ["--metrics", "cluster", "--once", "--mode", "thread",
+             "--shards", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "== shard metrics [b0] ==" in out
+        assert "== shard metrics [b1] ==" in out
+        assert "== metrics ==" in out  # the local registry still prints

@@ -1,0 +1,226 @@
+"""Live tuning: bit-identical rankings, memoization, spec round-trips.
+
+The headline contract: a live search against a running cluster returns
+trial scores **bit-identical** to the offline objective, at any shard
+count, because every trial's spec round-trips to the exact
+:class:`VoterParams` being scored and the cluster replay path equals a
+direct in-process fuse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.cluster.supervisor import FusionCluster
+from repro.datasets.injection import offset_fault
+from repro.datasets.light_uc1 import UC1Config, generate_uc1_dataset
+from repro.exceptions import ConfigurationError
+from repro.obs import MetricsRegistry
+from repro.tuning import (
+    Choice,
+    LiveObjective,
+    ParameterSpace,
+    live_base_params,
+    live_grid_search,
+    live_random_search,
+    random_search,
+    spec_for_params,
+    uc1_fault_recovery_objective,
+)
+from repro.tuning.search import grid_search
+from repro.vdx.examples import AVOC_SPEC
+from repro.vdx.factory import build_voter
+from repro.voting.base import VoterParams
+
+ROUNDS = 80
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    clean = generate_uc1_dataset(UC1Config(n_rounds=ROUNDS))
+    return clean, offset_fault(clean, "E4", 6.0)
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    with FusionCluster(
+        AVOC_SPEC, n_shards=2, replicas=2, mode="thread", auto_restart=False
+    ) as running:
+        yield running
+
+
+def small_space(algorithm="avoc"):
+    return ParameterSpace(
+        {
+            "error": Choice([0.03, 0.06, 0.12]),
+            "collation": Choice(["MEAN", "MEDIAN"]),
+        },
+        base=live_base_params(algorithm),
+    )
+
+
+class TestSpecRoundTrip:
+    @pytest.mark.parametrize(
+        "algorithm", ["avoc", "hybrid", "standard", "me", "sdt"]
+    )
+    def test_base_params_survive_for_every_algorithm(self, algorithm):
+        base = live_base_params(algorithm)
+        spec = spec_for_params(algorithm, base)
+        assert build_voter(spec).params == base
+
+    def test_schema_carried_fields_round_trip(self):
+        params = replace(
+            live_base_params("avoc"),
+            error=0.11, soft_threshold=3.5, collation="MEDIAN",
+            reward=0.2, penalty=0.4, learning_rate=0.15,
+        )
+        spec = spec_for_params("avoc", params)
+        assert build_voter(spec).params == params
+
+    def test_inexpressible_params_fail_loudly(self):
+        params = replace(live_base_params("avoc"), min_margin=0.5)
+        with pytest.raises(ConfigurationError, match="min_margin"):
+            spec_for_params("avoc", params)
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ConfigurationError, match="cannot express"):
+            live_base_params("average")
+
+
+class TestLiveObjective:
+    def test_dataset_length_mismatch_rejected(self, scenario, cluster):
+        clean, _ = scenario
+        shorter = generate_uc1_dataset(UC1Config(n_rounds=ROUNDS // 2))
+        with pytest.raises(ConfigurationError, match="equal length"):
+            LiveObjective(cluster.gateway.dispatch, clean, shorter)
+
+    def test_unsupported_algorithm_fails_before_any_trial(
+        self, scenario, cluster
+    ):
+        clean, faulty = scenario
+        with pytest.raises(ConfigurationError, match="cannot express"):
+            LiveObjective(
+                cluster.gateway.dispatch, clean, faulty, algorithm="average"
+            )
+
+    def test_memoization_skips_repeat_cluster_trips(self, scenario, cluster):
+        clean, faulty = scenario
+        objective = LiveObjective(
+            cluster.gateway.dispatch, clean, faulty,
+            registry=MetricsRegistry(),
+        )
+        params = live_base_params("avoc")
+        first = objective(params)
+        second = objective(params)
+        assert second == first
+        assert objective.trials == 1
+        assert objective.cache_hits == 1
+
+    def test_tuning_counters_are_exported(self, scenario, cluster):
+        clean, faulty = scenario
+        registry = MetricsRegistry()
+        objective = LiveObjective(
+            cluster.gateway.dispatch, clean, faulty, registry=registry
+        )
+        params = live_base_params("avoc")
+        objective(params)
+        objective(params)
+        snapshot = registry.snapshot()
+        assert snapshot["ops_tuning_trials_total"]["samples"][""] == 1.0
+        assert snapshot["ops_tuning_cache_hits_total"]["samples"][""] == 1.0
+
+
+class TestBitIdentity:
+    def test_random_search_ranking_matches_offline(self, scenario, cluster):
+        clean, faulty = scenario
+        space = small_space()
+        offline = random_search(
+            uc1_fault_recovery_objective(clean, faulty, algorithm="avoc"),
+            space, n_trials=8, seed=7,
+        )
+        live = live_random_search(
+            LiveObjective(
+                cluster.gateway.dispatch, clean, faulty,
+                registry=MetricsRegistry(),
+            ),
+            space, n_trials=8, seed=7,
+        )
+        assert [t.assignment for t in live.trials] == [
+            t.assignment for t in offline.trials
+        ]
+        # Bit-identical scores, not approximately equal ones.
+        assert [t.score for t in live.trials] == [
+            t.score for t in offline.trials
+        ]
+        assert live.best_assignment == offline.best_assignment
+        # 8 draws over 6 distinct configs must repeat at least twice.
+        assert live.cache_hits > 0
+
+    def test_grid_search_matches_offline(self, scenario, cluster):
+        clean, faulty = scenario
+        space = small_space()
+        offline = grid_search(
+            uc1_fault_recovery_objective(clean, faulty, algorithm="avoc"),
+            space, points_per_dimension=2,
+        )
+        live = live_grid_search(
+            LiveObjective(
+                cluster.gateway.dispatch, clean, faulty,
+                registry=MetricsRegistry(),
+            ),
+            space, points_per_dimension=2,
+        )
+        assert [t.score for t in live.trials] == [
+            t.score for t in offline.trials
+        ]
+
+    def test_ranking_is_identical_at_any_shard_count(self, scenario):
+        clean, faulty = scenario
+        space = small_space()
+        rankings = []
+        for n_shards in (1, 2):
+            with FusionCluster(
+                AVOC_SPEC, n_shards=n_shards, replicas=1, mode="thread",
+                auto_restart=False,
+            ) as sized:
+                result = live_random_search(
+                    LiveObjective(
+                        sized.gateway.dispatch, clean, faulty,
+                        registry=MetricsRegistry(),
+                    ),
+                    space, n_trials=6, seed=3,
+                )
+                rankings.append(
+                    [(t.assignment, t.score) for t in result.trials]
+                )
+        assert rankings[0] == rankings[1]
+
+    def test_remote_dispatch_matches_in_process(self, scenario, cluster):
+        """The same search through a TCP client gives the same answer."""
+        clean, faulty = scenario
+        space = small_space()
+        with cluster.client() as client:
+            over_wire = live_random_search(
+                LiveObjective(
+                    client.request, clean, faulty, registry=MetricsRegistry()
+                ),
+                space, n_trials=4, seed=11,
+            )
+        in_process = live_random_search(
+            LiveObjective(
+                cluster.gateway.dispatch, clean, faulty,
+                registry=MetricsRegistry(),
+            ),
+            space, n_trials=4, seed=11,
+        )
+        assert [t.score for t in over_wire.trials] == [
+            t.score for t in in_process.trials
+        ]
+
+
+def test_voterparams_is_frozen_and_hashable():
+    # Memoization keys trials on the params value itself.
+    assert hash(VoterParams()) == hash(VoterParams())
+    assert replace(VoterParams(), error=0.1).error == 0.1
